@@ -1,0 +1,41 @@
+//! Criterion benches for the simulator's hot path: line-granularity
+//! cache-model accesses (these dominate simulation wall time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nemesis_sim::{AccessKind, Machine, MachineConfig, PhysRange};
+
+fn cache_accesses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_model");
+    let m = Machine::new(MachineConfig::xeon_e5345());
+    let buf = m.alloc_phys(1 << 20);
+    let r = PhysRange::new(buf, 1 << 20);
+    // Warm: everything resident.
+    m.access(0, 0, r, AccessKind::Read, 0);
+    g.throughput(Throughput::Elements((1 << 20) / 64));
+    g.bench_function("warm_read_1MiB", |b| {
+        b.iter(|| std::hint::black_box(m.access(0, 0, r, AccessKind::Read, 0)));
+    });
+    g.bench_function("streaming_write_1MiB_cold", |b| {
+        b.iter(|| {
+            m.flush_caches();
+            std::hint::black_box(m.access(0, 0, r, AccessKind::Write, 0))
+        });
+    });
+    g.bench_function("copy_cost_256KiB", |b| {
+        let a = m.alloc_phys(256 << 10);
+        let d = m.alloc_phys(256 << 10);
+        b.iter(|| {
+            std::hint::black_box(m.copy_cost(
+                0,
+                0,
+                PhysRange::new(a, 256 << 10),
+                PhysRange::new(d, 256 << 10),
+                0,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cache_accesses);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches comparing the three real-memory copy strategies
+//! (the host-machine analogue of Figures 4/5: two-copy vs single-copy vs
+//! offloaded).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nemesis_rt::copy::{direct_copy, DoubleBufferPipe, OffloadEngine};
+use std::sync::Arc;
+
+fn copy_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copy_engines");
+    for size in [64 << 10, 1 << 20, 4 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let src: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        g.bench_with_input(BenchmarkId::new("direct", size), &size, |b, _| {
+            let mut dst = vec![0u8; size];
+            b.iter(|| direct_copy(&src, &mut dst));
+        });
+        g.bench_with_input(BenchmarkId::new("double_buffer", size), &size, |b, _| {
+            let pipe = Arc::new(DoubleBufferPipe::new(32 << 10, 2));
+            let mut dst = vec![0u8; size];
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    let p2 = Arc::clone(&pipe);
+                    let src_ref = &src;
+                    s.spawn(move || p2.send(src_ref));
+                    pipe.recv(&mut dst);
+                });
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("offload", size), &size, |b, _| {
+            let eng = OffloadEngine::start();
+            let mut dst = vec![0u8; size];
+            b.iter(|| eng.submit(&src, &mut dst).wait());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, copy_strategies);
+criterion_main!(benches);

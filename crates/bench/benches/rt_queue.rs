@@ -1,0 +1,45 @@
+//! Criterion benches for the real-thread Nemesis queue and cell pool.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nemesis_rt::cellpool::CellPool;
+use nemesis_rt::queue::nem_queue;
+
+fn queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nem_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("enqueue_dequeue_uncontended", |b| {
+        let (tx, mut rx) = nem_queue::<u64>();
+        b.iter(|| {
+            tx.enqueue(42);
+            std::hint::black_box(rx.dequeue().unwrap());
+        });
+    });
+    g.bench_function("enqueue_dequeue_batch_64", |b| {
+        let (tx, mut rx) = nem_queue::<u64>();
+        b.iter(|| {
+            for i in 0..64 {
+                tx.enqueue(i);
+            }
+            for _ in 0..64 {
+                std::hint::black_box(rx.dequeue().unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn cell_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell_pool");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("acquire_release", |b| {
+        let pool = CellPool::new(32, 4096);
+        b.iter(|| {
+            let i = pool.try_acquire().unwrap();
+            pool.release(std::hint::black_box(i));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, queue_ops, cell_pool);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench of whole simulated PingPongs — measures simulator
+//! wall-clock cost per virtual experiment, per LMT backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nemesis_core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+use nemesis_workloads::imb::pingpong_bench;
+
+fn sim_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_pingpong_256KiB");
+    g.sample_size(10);
+    for (name, lmt) in [
+        ("default", LmtSelect::ShmCopy),
+        ("vmsplice", LmtSelect::Vmsplice),
+        ("knem", LmtSelect::Knem(KnemSelect::SyncCpu)),
+        ("knem_ioat", LmtSelect::Knem(KnemSelect::AsyncIoat)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &lmt, |b, lmt| {
+            b.iter(|| {
+                pingpong_bench(
+                    MachineConfig::xeon_e5345(),
+                    NemesisConfig::with_lmt(*lmt),
+                    Placement::DifferentSocket,
+                    256 << 10,
+                    3,
+                    1,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sim_pingpong);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * number of copy buffers in the shared-memory ring (double buffering
+//!   vs more/less) — §2 says two overlapping copies partially hide each
+//!   other;
+//! * copy-ring chunk size;
+//! * eager→rendezvous threshold (§3.5 discusses lowering it);
+//! * eager cell payload size;
+//! * the §6 collective-hint threshold extension (lower `DMAmin` when the
+//!   collective layer announces concurrent transfers);
+//! * the I/OAT engine bandwidth (where does the crossover move when the
+//!   engine is faster or slower than the paper's part).
+
+use nemesis_bench::size_label;
+use nemesis_core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+use nemesis_workloads::imb::{alltoall_bench, pingpong_bench};
+
+fn tput(cfg: NemesisConfig, size: u64) -> f64 {
+    pingpong_bench(
+        MachineConfig::xeon_e5345(),
+        cfg,
+        Placement::SharedL2,
+        size,
+        6,
+        2,
+    )
+    .throughput_mib_s
+}
+
+fn main() {
+    println!("### Ablation: ring buffer count (default LMT, 512 KiB, shared L2)\n");
+    println!("| ring buffers | MiB/s |");
+    println!("|---|---|");
+    for bufs in [1, 2, 4, 8] {
+        let mut cfg = NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+        cfg.ring_bufs = bufs;
+        println!("| {} | {:.0} |", bufs, tput(cfg, 512 << 10));
+    }
+
+    println!("\n### Ablation: ring chunk size (default LMT, 512 KiB, 2 buffers)\n");
+    println!("| chunk | MiB/s |");
+    println!("|---|---|");
+    for chunk in [8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10] {
+        let mut cfg = NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+        cfg.ring_chunk = chunk;
+        println!("| {} | {:.0} |", size_label(chunk), tput(cfg, 512 << 10));
+    }
+
+    println!("\n### Ablation: eager→rendezvous threshold (default LMT, 96 KiB message)\n");
+    println!("| eager_max | MiB/s |");
+    println!("|---|---|");
+    for eager in [16 << 10, 32 << 10, 64 << 10, 128 << 10] {
+        let mut cfg = NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+        cfg.eager_max = eager;
+        println!("| {} | {:.0} |", size_label(eager), tput(cfg, 96 << 10));
+    }
+
+    println!("\n### Ablation: eager cell payload (32 KiB eager message)\n");
+    println!("| cell payload | MiB/s |");
+    println!("|---|---|");
+    for cell in [2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10] {
+        let mut cfg = NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+        cfg.cell_payload = cell;
+        println!("| {} | {:.0} |", size_label(cell), tput(cfg, 32 << 10));
+    }
+
+    println!("\n### Ablation (§6): collective-aware DMAmin hint, 8-rank Alltoall, KNEM auto\n");
+    println!("| message | no hint (MiB/s) | with hint (MiB/s) |");
+    println!("|---|---|---|");
+    for size in [128u64 << 10, 256 << 10, 512 << 10] {
+        let run = |hint: bool| {
+            let mut cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto));
+            cfg.eager_max = 8 << 10;
+            cfg.collective_hint = hint;
+            alltoall_bench(MachineConfig::xeon_e5345(), cfg, 8, size, 2, 1)
+                .agg_throughput_mib_s
+        };
+        println!(
+            "| {} | {:.0} | {:.0} |",
+            size_label(size),
+            run(false),
+            run(true)
+        );
+    }
+
+    println!("\n### Ablation: I/OAT engine bandwidth (async I/OAT pingpong, 2 MiB, shared L2)\n");
+    println!("| engine ps/line (≈ GiB/s) | I/OAT MiB/s | CPU-copy MiB/s |");
+    println!("|---|---|---|");
+    for per_line in [20_000u64, 10_000, 5_000] {
+        let gib = 64.0 / (per_line as f64 / 1000.0); // 64 B per `per_line` ps
+        let run = |sel: KnemSelect| {
+            let mut mcfg = MachineConfig::xeon_e5345();
+            mcfg.costs.ioat_per_line = per_line;
+            pingpong_bench(
+                mcfg,
+                NemesisConfig::with_lmt(LmtSelect::Knem(sel)),
+                Placement::SharedL2,
+                2 << 20,
+                4,
+                2,
+            )
+            .throughput_mib_s
+        };
+        println!(
+            "| {per_line} (≈{gib:.1}) | {:.0} | {:.0} |",
+            run(KnemSelect::AsyncIoat),
+            run(KnemSelect::SyncCpu)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Regenerate every table and figure of the paper in one run; results
+//! land in `results/` (markdown + CSV). Expect several minutes.
+//!
+//! The extension studies (`numa_study`, `imb_suite`, `vector_ablation`,
+//! `ablations`, `crossover_small`) have their own binaries and are *not*
+//! run here, to keep this target's runtime within the paper's scope.
+
+use nemesis_bench::experiments::*;
+use nemesis_bench::{save_results, size_label};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+
+fn main() {
+    eprintln!("[1/8] Figure 3 ...");
+    save_results(
+        "fig3",
+        "Figure 3: IMB Pingpong with the vmsplice LMT using vmsplice (single-copy) or writev (two copies)",
+        "Throughput (MiB/s)",
+        &fig3_series(),
+    );
+    eprintln!("[2/8] Figure 4 ...");
+    save_results(
+        "fig4",
+        "Figure 4: IMB Pingpong throughput, 2 processes sharing a 4 MiB L2 cache",
+        "Throughput (MiB/s)",
+        &fig4_series(),
+    );
+    eprintln!("[3/8] Figure 5 ...");
+    save_results(
+        "fig5",
+        "Figure 5: IMB Pingpong throughput, 2 processes not sharing any cache",
+        "Throughput (MiB/s)",
+        &fig5_series(),
+    );
+    eprintln!("[4/8] Figure 6 ...");
+    save_results(
+        "fig6",
+        "Figure 6: KNEM synchronous vs asynchronous models",
+        "Throughput (MiB/s)",
+        &fig6_series(),
+    );
+    eprintln!("[5/8] Figure 7 ...");
+    save_results(
+        "fig7",
+        "Figure 7: IMB Alltoall aggregated throughput between 8 local processes",
+        "Aggregated throughput (MiB/s)",
+        &fig7_series(),
+    );
+    eprintln!("[6/8] Table 1 (NAS sweep, slow) ...");
+    {
+        let mut md = String::from(
+            "| NAS Kernel | default | vmsplice | KNEM copy | KNEM I/OAT | Speedup |\n|---|---|---|---|---|---|\n",
+        );
+        for row in table1_rows() {
+            md.push_str(&format!(
+                "| {} | {:.2} ms | {:.2} ms | {:.2} ms | {:.2} ms | {:+.1}% |\n",
+                row.kernel,
+                row.times_ms[0],
+                row.times_ms[1],
+                row.times_ms[2],
+                row.times_ms[3],
+                row.speedup_pct
+            ));
+        }
+        println!("### Table 1\n\n{md}");
+        let _ = std::fs::write("results/table1.md", md);
+    }
+    eprintln!("[7/8] Table 2 ...");
+    {
+        let mut md = String::from(
+            "| Workload | default | vmsplice | KNEM copy | KNEM I/OAT |\n|---|---|---|---|---|\n",
+        );
+        for row in table2_rows() {
+            md.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                row.workload, row.misses[0], row.misses[1], row.misses[2], row.misses[3]
+            ));
+        }
+        println!("### Table 2\n\n{md}");
+        let _ = std::fs::write("results/table2.md", md);
+    }
+    eprintln!("[8/8] §3.5 thresholds ...");
+    {
+        let mut md = String::from(
+            "| Host / placement | DMAmin | Measured |\n|---|---|---|\n",
+        );
+        for (label, mcfg, pl, dm) in [
+            (
+                "E5345 shared L2",
+                MachineConfig::xeon_e5345(),
+                Placement::SharedL2,
+                MachineConfig::xeon_e5345().dma_min_for_sharers(2),
+            ),
+            (
+                "E5345 no shared cache",
+                MachineConfig::xeon_e5345(),
+                Placement::DifferentSocket,
+                MachineConfig::xeon_e5345().dma_min_for_sharers(1),
+            ),
+            (
+                "X5460 shared L2",
+                MachineConfig::xeon_x5460(),
+                Placement::SharedL2,
+                MachineConfig::xeon_x5460().dma_min_for_sharers(2),
+            ),
+        ] {
+            let measured = ioat_crossover(&mcfg, pl)
+                .map(size_label)
+                .unwrap_or_else(|| ">8MiB".into());
+            md.push_str(&format!("| {} | {} | {} |\n", label, size_label(dm), measured));
+        }
+        println!("### Thresholds (3.5)\n\n{md}");
+        let _ = std::fs::write("results/thresholds.md", md);
+    }
+    eprintln!("done; see results/");
+}

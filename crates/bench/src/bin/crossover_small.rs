@@ -1,0 +1,81 @@
+//! §4.2 / §4.4: where the kernel-assisted LMTs start beating the default
+//! two-copy strategy — "KNEM becomes interesting when the message size
+//! passes 8 KiB" (PingPong) and "KNEM is interesting starting at 4 KiB
+//! messages" (Alltoall).
+//!
+//! All LMTs run with the rendezvous threshold lowered to 2 KiB so the
+//! LMT path itself is measured at small sizes.
+
+use nemesis_bench::{save_results, size_label, Series};
+use nemesis_core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+use nemesis_workloads::imb::{alltoall_bench, pingpong_bench};
+
+const SIZES: [u64; 7] = [
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+];
+
+fn main() {
+    let mcfg = MachineConfig::xeon_e5345;
+    let mut pp_series = Vec::new();
+    let mut a2a_series = Vec::new();
+    for (label, lmt) in [
+        ("default LMT", LmtSelect::ShmCopy),
+        ("KNEM LMT", LmtSelect::Knem(KnemSelect::SyncCpu)),
+    ] {
+        let mut cfg = NemesisConfig::with_lmt(lmt);
+        cfg.eager_max = 2 << 10;
+        let pp: Vec<(u64, f64)> = SIZES
+            .iter()
+            .map(|&s| {
+                let r = pingpong_bench(mcfg(), cfg.clone(), Placement::DifferentSocket, s, 10, 3);
+                (s, r.throughput_mib_s)
+            })
+            .collect();
+        pp_series.push(Series {
+            label: label.to_string(),
+            points: pp,
+        });
+        let a2a: Vec<(u64, f64)> = SIZES
+            .iter()
+            .map(|&s| {
+                let r = alltoall_bench(mcfg(), cfg.clone(), 8, s, 3, 1);
+                (s, r.agg_throughput_mib_s)
+            })
+            .collect();
+        a2a_series.push(Series {
+            label: label.to_string(),
+            points: a2a,
+        });
+    }
+    save_results(
+        "crossover_small_pingpong",
+        "Section 4.2: small-message crossover, PingPong (no shared cache, LMT threshold 2 KiB)",
+        "Throughput (MiB/s)",
+        &pp_series,
+    );
+    save_results(
+        "crossover_small_alltoall",
+        "Section 4.4: small-message crossover, Alltoall (8 processes, LMT threshold 2 KiB)",
+        "Aggregated throughput (MiB/s)",
+        &a2a_series,
+    );
+    // Report the crossover points.
+    for (name, series) in [("PingPong", &pp_series), ("Alltoall", &a2a_series)] {
+        let cross = series[0]
+            .points
+            .iter()
+            .zip(&series[1].points)
+            .find(|(d, k)| k.1 > d.1)
+            .map(|(d, _)| size_label(d.0))
+            .unwrap_or_else(|| "none".into());
+        println!("KNEM overtakes the default LMT in {name} at: {cross}");
+    }
+}

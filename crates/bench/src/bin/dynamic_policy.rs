@@ -1,0 +1,42 @@
+//! §3.5 / §6 punchline: "No single method is optimal for all
+//! situations, and so a blended approach is essential for high
+//! performance for general benchmarks and applications."
+//!
+//! This experiment reruns the Figure-4 and Figure-5 PingPongs with the
+//! blended `LmtSelect::Dynamic` policy added as a series: it should
+//! hug the default LMT's curve on the shared-cache pair and KNEM's
+//! (auto-threshold) curve on the cross-socket pair — the upper envelope
+//! of the fixed backends.
+
+use nemesis_bench::{pingpong_series, save_results, PP_SIZES};
+use nemesis_core::{KnemSelect, LmtSelect};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+
+fn main() {
+    let mcfg = MachineConfig::xeon_e5345();
+    let backends = [
+        ("default LMT", LmtSelect::ShmCopy),
+        ("vmsplice LMT", LmtSelect::Vmsplice),
+        ("KNEM LMT (auto threshold)", LmtSelect::Knem(KnemSelect::Auto)),
+        ("dynamic LMT (blended)", LmtSelect::Dynamic),
+    ];
+    for (tag, placement, title) in [
+        (
+            "dynamic_policy_shared",
+            Placement::SharedL2,
+            "Blended LMT policy vs fixed backends — shared 4 MiB L2",
+        ),
+        (
+            "dynamic_policy_split",
+            Placement::DifferentSocket,
+            "Blended LMT policy vs fixed backends — no shared cache",
+        ),
+    ] {
+        let series: Vec<_> = backends
+            .iter()
+            .map(|(label, lmt)| pingpong_series(label, &mcfg, *lmt, placement, &PP_SIZES))
+            .collect();
+        save_results(tag, title, "Throughput (MiB/s)", &series);
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 3: IMB PingPong with the vmsplice LMT using vmsplice
+//! (single-copy) or writev (two copies), vs the default LMT, with the
+//! processes sharing a cache or placed on different dies.
+
+use nemesis_bench::experiments::fig3_series;
+use nemesis_bench::save_results;
+
+fn main() {
+    save_results(
+        "fig3",
+        "Figure 3: IMB Pingpong with the vmsplice LMT using vmsplice (single-copy) or writev (two copies)",
+        "Throughput (MiB/s); the LMT is enabled when the message size passes 64 KiB",
+        &fig3_series(),
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 4: IMB PingPong throughput between 2 processes sharing a 4 MiB
+//! L2 cache, for the four LMT configurations.
+
+use nemesis_bench::experiments::fig4_series;
+use nemesis_bench::save_results;
+
+fn main() {
+    save_results(
+        "fig4",
+        "Figure 4: IMB Pingpong throughput, 2 processes sharing a 4 MiB L2 cache",
+        "Throughput (MiB/s)",
+        &fig4_series(),
+    );
+}

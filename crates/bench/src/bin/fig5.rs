@@ -1,0 +1,14 @@
+//! Figure 5: IMB PingPong throughput between 2 processes *not* sharing
+//! any cache (different sockets), for the four LMT configurations.
+
+use nemesis_bench::experiments::fig5_series;
+use nemesis_bench::save_results;
+
+fn main() {
+    save_results(
+        "fig5",
+        "Figure 5: IMB Pingpong throughput, 2 processes not sharing any cache",
+        "Throughput (MiB/s)",
+        &fig5_series(),
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 6: performance comparison of the KNEM synchronous and
+//! asynchronous models, with and without I/OAT copy offload.
+
+use nemesis_bench::experiments::fig6_series;
+use nemesis_bench::save_results;
+
+fn main() {
+    save_results(
+        "fig6",
+        "Figure 6: KNEM synchronous vs asynchronous models (2 processes, no shared cache)",
+        "Throughput (MiB/s)",
+        &fig6_series(),
+    );
+}

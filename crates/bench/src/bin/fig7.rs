@@ -1,0 +1,15 @@
+//! Figure 7: IMB Alltoall aggregated throughput between 8 local
+//! processes, 4 KiB – 4 MiB. Kernel-assisted LMTs run with a lowered
+//! 8 KiB rendezvous threshold (§4.2 / §4.4).
+
+use nemesis_bench::experiments::fig7_series;
+use nemesis_bench::save_results;
+
+fn main() {
+    save_results(
+        "fig7",
+        "Figure 7: IMB Alltoall aggregated throughput between 8 local processes",
+        "Aggregated throughput (MiB/s)",
+        &fig7_series(),
+    );
+}

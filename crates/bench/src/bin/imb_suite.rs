@@ -1,0 +1,67 @@
+//! §4.4 companion: "We observed similar behavior for several operations
+//! but present only Alltoall results here."
+//!
+//! This binary regenerates that claim across the rest of the IMB suite —
+//! Sendrecv, Exchange, Bcast, Allgather and Allreduce over 8 local
+//! processes — and reports, for each operation and message size, the
+//! aggregated throughput of the four LMT configurations. The LMT
+//! ordering of Figure 7 (KNEM ≥ vmsplice ≥ default for large messages;
+//! I/OAT ahead for the largest) should hold for every memory-intensive
+//! operation.
+
+use nemesis_bench::{save_results, Series};
+use nemesis_core::NemesisConfig;
+use nemesis_sim::MachineConfig;
+use nemesis_workloads::imb_ext::{suite_bench, SuiteBench};
+
+fn main() {
+    let sizes: [u64; 6] = [
+        16 << 10,
+        64 << 10,
+        128 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+    ];
+    for bench in SuiteBench::ALL {
+        let series: Vec<Series> = nemesis_bench::four_lmts()
+            .iter()
+            .map(|(label, lmt)| {
+                let points = sizes
+                    .iter()
+                    .map(|&s| {
+                        let mut cfg = NemesisConfig::with_lmt(*lmt);
+                        // Lowered LMT activation as in Figure 7 (§4.4).
+                        if !matches!(lmt, nemesis_core::LmtSelect::ShmCopy) {
+                            cfg.eager_max = 8 << 10;
+                        }
+                        let reps = if s >= 1 << 20 { 2 } else { 3 };
+                        let r = suite_bench(
+                            MachineConfig::xeon_e5345(),
+                            cfg,
+                            bench,
+                            8,
+                            s,
+                            reps,
+                            1,
+                        );
+                        (s, r.agg_throughput_mib_s)
+                    })
+                    .collect();
+                Series {
+                    label: label.to_string(),
+                    points,
+                }
+            })
+            .collect();
+        save_results(
+            &format!("imb_{}", bench.label().to_lowercase()),
+            &format!(
+                "Section 4.4 companion: IMB {} aggregated throughput, 8 local processes",
+                bench.label()
+            ),
+            "Aggregated throughput (MiB/s)",
+            &series,
+        );
+    }
+}

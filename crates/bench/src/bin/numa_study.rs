@@ -1,0 +1,41 @@
+//! §6 forward-looking study: the four LMTs on a Nehalem-class machine
+//! (Xeon X5550: private 256 KiB L2 per core, 8 MiB L3 per socket,
+//! per-socket memory controllers).
+//!
+//! The paper predicts that "the increasing number of cores and large,
+//! shared caches in the upcoming processors such as Intel Nehalem, and
+//! the democratization of NUMA, will keep raising the need to carefully
+//! tune intranode communication according to process affinities." This
+//! experiment checks that the §4 dichotomy carries over with the L3
+//! playing the Clovertown L2's role:
+//!
+//! * same-socket pairs share the 8 MiB L3 → the two-copy default stays
+//!   competitive (the Figure-4 regime);
+//! * cross-socket pairs share nothing and pay NUMA DRAM → single-copy
+//!   KNEM wins big (the Figure-5 regime);
+//! * `DMAmin` derives from the L3: 8 MiB / (2×4) = 1 MiB.
+
+use nemesis_bench::experiments::{ioat_crossover, numa_series};
+use nemesis_bench::{save_results, size_label};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+
+fn main() {
+    let mcfg = MachineConfig::nehalem_x5550();
+    println!(
+        "DMAmin on {}: {} (from the 8 MiB L3 shared by 4 cores)\n",
+        mcfg.name,
+        size_label(mcfg.dma_min_architectural())
+    );
+    save_results(
+        "numa_study",
+        "Section 6 study: IMB Pingpong on Nehalem X5550 (shared L3 vs NUMA cross-socket)",
+        "Throughput (MiB/s)",
+        &numa_series(),
+    );
+    let crossover = ioat_crossover(&mcfg, Placement::SharedL3);
+    println!(
+        "Measured I/OAT crossover (shared L3): {}",
+        crossover.map(size_label).unwrap_or_else(|| "> 8MiB".into())
+    );
+}

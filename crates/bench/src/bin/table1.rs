@@ -1,0 +1,39 @@
+//! Table 1: execution time of the NAS proxy kernels under the four LMT
+//! configurations, with the I/OAT speedup column.
+
+use nemesis_bench::experiments::table1_rows;
+
+fn main() {
+    println!("### Table 1: execution time of the NAS proxy kernels (virtual ms)\n");
+    println!("| NAS Kernel | default LMT | vmsplice LMT | KNEM kernel copy | KNEM I/OAT | Speedup |");
+    println!("|---|---|---|---|---|---|");
+    let mut csv = String::from("kernel,default,vmsplice,knem_copy,knem_ioat,speedup_pct\n");
+    let mut md = String::new();
+    for row in table1_rows() {
+        let line = format!(
+            "| {} | {:.2} ms | {:.2} ms | {:.2} ms | {:.2} ms | {}{:.1}% |",
+            row.kernel,
+            row.times_ms[0],
+            row.times_ms[1],
+            row.times_ms[2],
+            row.times_ms[3],
+            if row.speedup_pct >= 0.0 { "+ " } else { "- " },
+            row.speedup_pct.abs()
+        );
+        println!("{line}");
+        md.push_str(&line);
+        md.push('\n');
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.2}\n",
+            row.kernel,
+            row.times_ms[0],
+            row.times_ms[1],
+            row.times_ms[2],
+            row.times_ms[3],
+            row.speedup_pct
+        ));
+    }
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/table1.csv", csv);
+    let _ = std::fs::write("results/table1.md", md);
+}

@@ -1,0 +1,37 @@
+//! Table 2: L2 cache misses. PingPong processes bound to different dies;
+//! IS and Alltoall use all 8 cores.
+
+use nemesis_bench::experiments::table2_rows;
+
+fn fmt_miss(m: u64) -> String {
+    if m >= 1_000_000 {
+        format!("{:.2}M", m as f64 / 1e6)
+    } else if m >= 10_000 {
+        format!("{:.1}k", m as f64 / 1e3)
+    } else {
+        format!("{m}")
+    }
+}
+
+fn main() {
+    println!("### Table 2: L2 cache misses (per repetition; IS totals)\n");
+    println!("| Workload | default LMT | vmsplice LMT | KNEM kernel copy | KNEM I/OAT |");
+    println!("|---|---|---|---|---|");
+    let mut csv = String::from("workload,default,vmsplice,knem_copy,knem_ioat\n");
+    for row in table2_rows() {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            row.workload,
+            fmt_miss(row.misses[0]),
+            fmt_miss(row.misses[1]),
+            fmt_miss(row.misses[2]),
+            fmt_miss(row.misses[3])
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            row.workload, row.misses[0], row.misses[1], row.misses[2], row.misses[3]
+        ));
+    }
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/table2.csv", csv);
+}

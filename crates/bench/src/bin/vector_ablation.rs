@@ -1,0 +1,115 @@
+//! Ablation: KNEM's "vectorial buffers" (§5) vs pack/unpack, as a
+//! function of block granularity.
+//!
+//! A 1 MiB strided payload is sent between two cores that share no
+//! cache, split into blocks from 64 B (one cache line per row — the
+//! worst case for scatter machinery) up to 256 KiB. KNEM hands the
+//! kernel both scatter lists, so the transfer stays single-copy but
+//! pays pinning and mapping per segment; the shm ring and pipes cannot
+//! express scatter lists on the wire, so they pack into a staging
+//! buffer and unpack on the other side — two extra copies whose cost is
+//! granularity-independent.
+//!
+//! The result is a crossover, and it is the real reason MPI datatype
+//! engines choose pack/unpack for fine-grained types and scatter
+//! transfers for coarse ones: per-segment overhead dominates below a
+//! few hundred bytes per block; the saved copies dominate above.
+
+use nemesis_core::{KnemSelect, LmtSelect, NemesisConfig, VectorLayout};
+use nemesis_kernel::Os;
+use nemesis_sim::topology::Placement;
+use nemesis_sim::{mib_per_s, run_simulation, Machine, MachineConfig};
+
+use nemesis_bench::{save_results, Series};
+
+use std::sync::Arc;
+
+/// One strided pingpong: returns half-roundtrip throughput in MiB/s.
+fn strided_pingpong(lmt: LmtSelect, layout: VectorLayout, reps: u32) -> f64 {
+    let mcfg = MachineConfig::xeon_e5345();
+    let (a, b) = mcfg
+        .topology
+        .pair_for(Placement::DifferentSocket)
+        .expect("dual socket");
+    let machine = Arc::new(Machine::new(mcfg));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let mut cfg = NemesisConfig::with_lmt(lmt);
+    cfg.eager_max = 16 << 10; // the 1 MiB payload always takes the LMT
+    let nem = nemesis_core::Nemesis::new(os, 2, cfg);
+    let timing = parking_lot::Mutex::new((0u64, 0u64));
+    run_simulation(Arc::clone(&machine), &[a, b], |p| {
+        let comm = nem.attach(p);
+        let os = comm.os();
+        let buf = os.alloc_local(p, layout.end());
+        os.with_data_mut(p, buf, |d| d.fill(p.pid() as u8 + 1));
+        os.touch_write(p, buf, 0, layout.end());
+        let iter = || {
+            if comm.rank() == 0 {
+                comm.sendv(1, 0, buf, &layout);
+                comm.recvv(Some(1), Some(0), buf, &layout);
+            } else {
+                comm.recvv(Some(0), Some(0), buf, &layout);
+                comm.sendv(0, 0, buf, &layout);
+            }
+        };
+        iter(); // warm-up
+        comm.barrier();
+        let t0 = p.now();
+        for _ in 0..reps {
+            iter();
+        }
+        comm.barrier();
+        if comm.rank() == 0 {
+            *timing.lock() = (t0, p.now());
+        }
+    });
+    let (t0, t1) = *timing.lock();
+    let half_rtt = (t1 - t0) / reps as u64 / 2;
+    mib_per_s(layout.total(), half_rtt)
+}
+
+fn main() {
+    const TOTAL: u64 = 1 << 20;
+    let configs = [
+        ("default LMT (pack+2-copy+unpack)", LmtSelect::ShmCopy),
+        ("vmsplice LMT (pack+1-copy+unpack)", LmtSelect::Vmsplice),
+        (
+            "KNEM LMT (native scatter, 1 copy)",
+            LmtSelect::Knem(KnemSelect::SyncCpu),
+        ),
+        (
+            "KNEM LMT with I/OAT (native scatter)",
+            LmtSelect::Knem(KnemSelect::AsyncIoat),
+        ),
+    ];
+    let block_sizes = [64u64, 512, 4 << 10, 32 << 10, 256 << 10];
+    let mut series: Vec<Series> = configs
+        .iter()
+        .map(|(label, _)| Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for &bl in &block_sizes {
+        // Fixed 1 MiB payload, blocks of `bl` bytes separated by
+        // equal-sized gaps.
+        let layout = VectorLayout::strided(0, bl, 2 * bl, TOTAL / bl);
+        for (i, (_, lmt)) in configs.iter().enumerate() {
+            let thr = strided_pingpong(*lmt, layout, 3);
+            // Key the series by block size (the x-axis of this study).
+            series[i].points.push((bl, thr));
+        }
+    }
+    save_results(
+        "vector_ablation",
+        "Ablation (§5): 1 MiB strided pingpong vs block size, no shared cache — \
+         KNEM native scatter vs pack/unpack",
+        "Throughput (MiB/s); x = bytes per block",
+        &series,
+    );
+    println!(
+        "Fine-grained layouts favour pack/unpack (per-segment pin+map dominates); \
+         coarse layouts favour KNEM's native scatter (saved copies dominate). \
+         MPICH2's datatype engine makes the same choice."
+    );
+}

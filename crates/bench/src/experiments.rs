@@ -1,0 +1,291 @@
+//! Reusable experiment bodies — one function per paper table/figure.
+//! The `fig*`/`table*` binaries are thin wrappers over these, and
+//! `all_experiments` runs the lot.
+
+use nemesis_core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::{ps_to_ms, MachineConfig};
+use nemesis_workloads::imb::{alltoall_bench, pingpong_bench};
+use nemesis_workloads::nas::{run_nas, NasClass, NasKernel};
+
+use crate::{alltoall_series, four_lmts, pingpong_series, Series, A2A_SIZES, PP_SIZES};
+
+/// Figure 3 series: vmsplice vs writev vs default, two placements.
+pub fn fig3_series() -> Vec<Series> {
+    let mcfg = MachineConfig::xeon_e5345();
+    let configs = [
+        ("default LMT - Shared Cache", LmtSelect::ShmCopy, Placement::SharedL2),
+        ("vmsplice LMT - Shared Cache", LmtSelect::Vmsplice, Placement::SharedL2),
+        (
+            "vmsplice LMT using writev - Shared Cache",
+            LmtSelect::PipeWritev,
+            Placement::SharedL2,
+        ),
+        (
+            "default LMT - Different Dies",
+            LmtSelect::ShmCopy,
+            Placement::SameSocketDifferentDie,
+        ),
+        (
+            "vmsplice LMT - Different Dies",
+            LmtSelect::Vmsplice,
+            Placement::SameSocketDifferentDie,
+        ),
+        (
+            "vmsplice LMT using writev - Different Dies",
+            LmtSelect::PipeWritev,
+            Placement::SameSocketDifferentDie,
+        ),
+    ];
+    configs
+        .iter()
+        .map(|(label, lmt, pl)| pingpong_series(label, &mcfg, *lmt, *pl, &PP_SIZES))
+        .collect()
+}
+
+/// Figure 4 series: four LMTs, shared L2.
+pub fn fig4_series() -> Vec<Series> {
+    let mcfg = MachineConfig::xeon_e5345();
+    four_lmts()
+        .iter()
+        .map(|(label, lmt)| pingpong_series(label, &mcfg, *lmt, Placement::SharedL2, &PP_SIZES))
+        .collect()
+}
+
+/// Figure 5 series: four LMTs, no shared cache.
+pub fn fig5_series() -> Vec<Series> {
+    let mcfg = MachineConfig::xeon_e5345();
+    four_lmts()
+        .iter()
+        .map(|(label, lmt)| {
+            pingpong_series(label, &mcfg, *lmt, Placement::DifferentSocket, &PP_SIZES)
+        })
+        .collect()
+}
+
+/// Figure 6 series: KNEM sync vs async, ± I/OAT.
+pub fn fig6_series() -> Vec<Series> {
+    let mcfg = MachineConfig::xeon_e5345();
+    [
+        ("KNEM LMT - synchronous", KnemSelect::SyncCpu),
+        ("KNEM LMT - asynchronous", KnemSelect::AsyncKthread),
+        ("KNEM LMT - synchronous with I/OAT", KnemSelect::SyncIoat),
+        ("KNEM LMT - asynchronous with I/OAT", KnemSelect::AsyncIoat),
+    ]
+    .iter()
+    .map(|(label, sel)| {
+        pingpong_series(
+            label,
+            &mcfg,
+            LmtSelect::Knem(*sel),
+            Placement::DifferentSocket,
+            &PP_SIZES,
+        )
+    })
+    .collect()
+}
+
+/// Figure 7 series: Alltoall over 8 processes. Kernel-assisted LMTs use
+/// a lowered 8 KiB rendezvous threshold (§4.2 / §4.4).
+pub fn fig7_series() -> Vec<Series> {
+    let mcfg = MachineConfig::xeon_e5345();
+    four_lmts()
+        .iter()
+        .map(|(label, lmt)| {
+            let eager_max = match lmt {
+                LmtSelect::ShmCopy => 64 << 10,
+                _ => 8 << 10,
+            };
+            alltoall_series(label, &mcfg, *lmt, 8, &A2A_SIZES, eager_max)
+        })
+        .collect()
+}
+
+/// The four Table-1/Table-2 configurations.
+pub fn table_configs() -> [(&'static str, LmtSelect); 4] {
+    [
+        ("default", LmtSelect::ShmCopy),
+        ("vmsplice", LmtSelect::Vmsplice),
+        ("KNEM kernel copy", LmtSelect::Knem(KnemSelect::SyncCpu)),
+        ("KNEM I/OAT", LmtSelect::Knem(KnemSelect::AsyncIoat)),
+    ]
+}
+
+/// One Table-1 row: kernel label, four times (virtual ms), speedup %.
+pub struct Table1Row {
+    pub kernel: &'static str,
+    pub times_ms: [f64; 4],
+    pub speedup_pct: f64,
+}
+
+/// Run the full Table-1 sweep (slow: minutes of host time).
+pub fn table1_rows() -> Vec<Table1Row> {
+    NasKernel::ALL
+        .iter()
+        .map(|&k| {
+            let mut times = [0.0; 4];
+            for (i, (_, lmt)) in table_configs().iter().enumerate() {
+                let r = run_nas(
+                    MachineConfig::xeon_e5345(),
+                    NemesisConfig::with_lmt(*lmt),
+                    k,
+                    NasClass::B,
+                );
+                assert!(r.verified, "{} failed verification", k.label());
+                times[i] = ps_to_ms(r.time_ps);
+            }
+            Table1Row {
+                kernel: k.label(),
+                times_ms: times,
+                speedup_pct: (times[0] - times[3]) / times[0] * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// One Table-2 row: workload label and L2 misses for the four configs.
+pub struct Table2Row {
+    pub workload: String,
+    pub misses: [u64; 4],
+}
+
+/// Run the full Table-2 sweep.
+pub fn table2_rows() -> Vec<Table2Row> {
+    let mcfg = MachineConfig::xeon_e5345;
+    let mut rows = Vec::new();
+    for (label, size) in [("64KiB Pingpong", 64 << 10), ("4MiB Pingpong", 4 << 20)] {
+        let mut misses = [0u64; 4];
+        for (i, (_, lmt)) in table_configs().iter().enumerate() {
+            let mut cfg = NemesisConfig::with_lmt(*lmt);
+            cfg.eager_max = 32 << 10; // let the 64 KiB point exercise the LMT
+            let r = pingpong_bench(mcfg(), cfg, Placement::SameSocketDifferentDie, size, 5, 2);
+            misses[i] = r.l2_misses_per_rep;
+        }
+        rows.push(Table2Row {
+            workload: label.into(),
+            misses,
+        });
+    }
+    for (label, size) in [("64KiB Alltoall", 64 << 10), ("4MiB Alltoall", 4 << 20)] {
+        let mut misses = [0u64; 4];
+        for (i, (_, lmt)) in table_configs().iter().enumerate() {
+            let mut cfg = NemesisConfig::with_lmt(*lmt);
+            cfg.eager_max = 32 << 10;
+            let r = alltoall_bench(mcfg(), cfg, 8, size, 2, 1);
+            misses[i] = r.l2_misses_per_op;
+        }
+        rows.push(Table2Row {
+            workload: label.into(),
+            misses,
+        });
+    }
+    {
+        let mut misses = [0u64; 4];
+        for (i, (_, lmt)) in table_configs().iter().enumerate() {
+            let r = run_nas(
+                mcfg(),
+                NemesisConfig::with_lmt(*lmt),
+                NasKernel::Is8,
+                NasClass::B,
+            );
+            assert!(r.verified);
+            misses[i] = r.l2_misses;
+        }
+        rows.push(Table2Row {
+            workload: "is.B.8".into(),
+            misses,
+        });
+    }
+    rows
+}
+
+/// §6 forward-looking study: the four LMTs on a Nehalem-class machine
+/// (private L2s, package-wide 8 MiB L3, per-socket memory controllers).
+/// Two placements exist there: same socket (sharing the L3) and
+/// different sockets (NUMA). The §4 dichotomy must carry over with the
+/// L3 playing the Clovertown L2's role.
+pub fn numa_series() -> Vec<Series> {
+    let mcfg = MachineConfig::nehalem_x5550();
+    let mut out = Vec::new();
+    for (label, lmt) in four_lmts() {
+        out.push(pingpong_series(
+            &format!("{label} - Shared L3"),
+            &mcfg,
+            lmt,
+            Placement::SharedL3,
+            &PP_SIZES,
+        ));
+    }
+    for (label, lmt) in four_lmts() {
+        out.push(pingpong_series(
+            &format!("{label} - Different Sockets (NUMA)"),
+            &mcfg,
+            lmt,
+            Placement::DifferentSocket,
+            &PP_SIZES,
+        ));
+    }
+    out
+}
+
+/// §3.5 crossover scan: smallest size where async I/OAT beats the sync
+/// CPU copy in a PingPong.
+pub fn ioat_crossover(mcfg: &MachineConfig, placement: Placement) -> Option<u64> {
+    let mut sizes = Vec::new();
+    let mut s = 128 << 10;
+    while s <= 8 << 20 {
+        sizes.push(s);
+        sizes.push(s + s / 2);
+        s <<= 1;
+    }
+    for &s in &sizes {
+        let cpu = pingpong_bench(
+            mcfg.clone(),
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+            placement,
+            s,
+            4,
+            2,
+        );
+        let ioat = pingpong_bench(
+            mcfg.clone(),
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::AsyncIoat)),
+            placement,
+            s,
+            4,
+            2,
+        );
+        if ioat.throughput_mib_s > cpu.throughput_mib_s {
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_configs_cover_the_paper_columns() {
+        let c = table_configs();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0].0, "default");
+        assert_eq!(c[3].0, "KNEM I/OAT");
+    }
+
+    /// A minimal smoke run of one figure point per family (fast).
+    #[test]
+    fn figure_plumbing_smoke() {
+        let mcfg = MachineConfig::xeon_e5345();
+        let s = pingpong_series(
+            "x",
+            &mcfg,
+            LmtSelect::ShmCopy,
+            Placement::SharedL2,
+            &[128 << 10],
+        );
+        assert_eq!(s.points.len(), 1);
+        assert!(s.points[0].1 > 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! # nemesis-bench — experiment harness
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig3` | Figure 3: PingPong, vmsplice vs writev vs default, shared cache / different dies |
+//! | `fig4` | Figure 4: PingPong, 4 LMTs, shared 4 MiB L2 |
+//! | `fig5` | Figure 5: PingPong, 4 LMTs, no shared cache |
+//! | `fig6` | Figure 6: KNEM synchronous vs asynchronous, ± I/OAT |
+//! | `fig7` | Figure 7: Alltoall aggregated throughput, 8 processes |
+//! | `table1` | Table 1: NAS proxy execution times, 4 LMTs |
+//! | `table2` | Table 2: L2 cache misses |
+//! | `thresholds` | §3.5: empirical I/OAT crossover vs the `DMAmin` formula |
+//! | `crossover_small` | §4.2/§4.4: where KNEM starts beating the default |
+//! | `numa_study` | §6: the four LMTs on a Nehalem/NUMA machine (shared L3 vs cross-socket) |
+//! | `imb_suite` | §4.4: Sendrecv / Exchange / Bcast / Allgather / Allreduce ("similar behavior for several operations") |
+//! | `vector_ablation` | §5: KNEM vectorial buffers vs pack/unpack on strided payloads |
+//! | `ablations` | design-choice sweeps: cell size, ring depth, pipe pages, DMA bandwidth |
+//! | `all_experiments` | everything above, written to `results/` |
+//!
+//! Each binary prints a GitHub-markdown table whose rows/series match the
+//! paper's figure legends, and (optionally) writes CSV next to it.
+
+pub mod experiments;
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use nemesis_core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+use nemesis_workloads::imb::{alltoall_bench, pingpong_bench};
+
+/// A labelled series of (message size, value) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Message sizes for the PingPong figures (64 KiB – 4 MiB, as in the
+/// paper's x-axes).
+pub const PP_SIZES: [u64; 7] = [
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+];
+
+/// Message sizes for the Alltoall figure (4 KiB – 4 MiB).
+pub const A2A_SIZES: [u64; 11] = [
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+];
+
+/// Repetitions per size: fewer for large messages (IMB does the same).
+pub fn reps_for(size: u64) -> u32 {
+    match size {
+        s if s <= 64 << 10 => 20,
+        s if s <= 256 << 10 => 10,
+        s if s <= (1 << 20) => 6,
+        _ => 4,
+    }
+}
+
+/// Human-readable size label ("64kiB", "1.5MiB" — figure x-axis style).
+pub fn size_label(s: u64) -> String {
+    if s >= 1 << 20 {
+        let mib = s as f64 / (1 << 20) as f64;
+        if mib.fract() == 0.0 {
+            format!("{mib:.0}MiB")
+        } else {
+            format!("{mib:.1}MiB")
+        }
+    } else if s >= 1 << 10 {
+        format!("{}kiB", s >> 10)
+    } else {
+        format!("{s}B")
+    }
+}
+
+/// Render series as a markdown table (rows = sizes, columns = series).
+pub fn render_table(title: &str, ylabel: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}\n");
+    let _ = writeln!(out, "{ylabel}\n");
+    let _ = write!(out, "| Message size |");
+    for s in series {
+        let _ = write!(out, " {} |", s.label);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in series {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    let sizes: Vec<u64> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (i, sz) in sizes.iter().enumerate() {
+        let _ = write!(out, "| {} |", size_label(*sz));
+        for s in series {
+            let v = s.points.get(i).map(|p| p.1).unwrap_or(f64::NAN);
+            if v >= 100.0 {
+                let _ = write!(out, " {v:.0} |");
+            } else {
+                let _ = write!(out, " {v:.1} |");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render series as CSV (columns: size, then one per series).
+pub fn render_csv(series: &[Series]) -> String {
+    let mut out = String::from("size_bytes");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    let sizes: Vec<u64> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (i, sz) in sizes.iter().enumerate() {
+        let _ = write!(out, "{sz}");
+        for s in series {
+            let v = s.points.get(i).map(|p| p.1).unwrap_or(f64::NAN);
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write both renderings into `results/` (best effort).
+pub fn save_results(name: &str, title: &str, ylabel: &str, series: &[Series]) {
+    let table = render_table(title, ylabel, series);
+    println!("{table}");
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.md")), &table);
+        let _ = std::fs::write(dir.join(format!("{name}.csv")), render_csv(series));
+    }
+}
+
+/// Sweep a PingPong configuration across `sizes`.
+pub fn pingpong_series(
+    label: &str,
+    mcfg: &MachineConfig,
+    lmt: LmtSelect,
+    placement: Placement,
+    sizes: &[u64],
+) -> Series {
+    let points = sizes
+        .iter()
+        .map(|&s| {
+            let r = pingpong_bench(
+                mcfg.clone(),
+                NemesisConfig::with_lmt(lmt),
+                placement,
+                s,
+                reps_for(s),
+                2,
+            );
+            (s, r.throughput_mib_s)
+        })
+        .collect();
+    Series {
+        label: label.to_string(),
+        points,
+    }
+}
+
+/// Sweep an Alltoall configuration across `sizes` with `nprocs` ranks.
+/// `eager_max` lets experiments lower the LMT activation threshold, as
+/// §4.2/§4.4 discuss.
+pub fn alltoall_series(
+    label: &str,
+    mcfg: &MachineConfig,
+    lmt: LmtSelect,
+    nprocs: usize,
+    sizes: &[u64],
+    eager_max: u64,
+) -> Series {
+    let points = sizes
+        .iter()
+        .map(|&s| {
+            let mut cfg = NemesisConfig::with_lmt(lmt);
+            cfg.eager_max = eager_max;
+            let reps = if s >= 1 << 20 { 2 } else { 3 };
+            let r = alltoall_bench(mcfg.clone(), cfg, nprocs, s, reps, 1);
+            (s, r.agg_throughput_mib_s)
+        })
+        .collect();
+    Series {
+        label: label.to_string(),
+        points,
+    }
+}
+
+/// The four LMT configurations of Figures 4, 5 and 7. "KNEM LMT with
+/// I/OAT" uses the asynchronous completion model, which KNEM enables by
+/// default whenever I/OAT is used (§4.3).
+pub fn four_lmts() -> [(&'static str, LmtSelect); 4] {
+    [
+        ("default LMT", LmtSelect::ShmCopy),
+        ("vmsplice LMT", LmtSelect::Vmsplice),
+        ("KNEM LMT", LmtSelect::Knem(KnemSelect::SyncCpu)),
+        (
+            "KNEM LMT with I/OAT",
+            LmtSelect::Knem(KnemSelect::AsyncIoat),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(64 << 10), "64kiB");
+        assert_eq!(size_label(4 << 20), "4MiB");
+        assert_eq!(size_label(100), "100B");
+    }
+
+    #[test]
+    fn reps_decrease_with_size() {
+        assert!(reps_for(64 << 10) > reps_for(4 << 20));
+    }
+
+    #[test]
+    fn table_rendering() {
+        let s = vec![
+            Series {
+                label: "a".into(),
+                points: vec![(65536, 1000.0), (1 << 20, 2000.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(65536, 1.5), (1 << 20, 2.5)],
+            },
+        ];
+        let t = render_table("T", "MiB/s", &s);
+        assert!(t.contains("| 64kiB | 1000 | 1.5 |"));
+        assert!(t.contains("| 1MiB | 2000 | 2.5 |"));
+        let c = render_csv(&s);
+        assert!(c.starts_with("size_bytes,a,b\n65536,1000,1.5\n"));
+    }
+}

@@ -1,0 +1,808 @@
+//! MPI collective operations over the Nemesis point-to-point layer.
+//!
+//! The paper evaluates collectives in §4.4 (IMB Alltoall across 8 local
+//! processes) and notes in §6 that the collective layer *knows* when many
+//! large transfers will happen concurrently and can pass that knowledge
+//! down to the LMT threshold logic — implemented here via
+//! [`crate::Comm::set_concurrency_hint`], which every collective sets for
+//! the duration of the operation when `collective_hint` is enabled.
+//!
+//! Algorithms are the classic deterministic ones (dissemination barrier,
+//! binomial bcast/reduce, ring allgather, pairwise-exchange alltoall), so
+//! simulated timings are reproducible run to run.
+
+use nemesis_kernel::BufId;
+
+use crate::comm::Comm;
+use crate::datatype::{bytes_of, load_raw, store_raw, Element};
+
+/// Base for internal collective tags (applications should use small
+/// non-negative tags).
+const COLL_TAG: i32 = 0x4000_0000;
+
+/// Reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    fn apply_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+
+    fn apply_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+impl<'a> Comm<'a> {
+    fn coll_tag(&self, phase: i32) -> i32 {
+        // Collectives execute in the same order on every rank, so a
+        // sequence-stamped tag prevents cross-operation interference even
+        // with deep pipelining.
+        let seq = self.coll_seq.get();
+        COLL_TAG + ((seq & 0x3FFF) << 8) + phase
+    }
+
+    fn next_coll(&self) {
+        self.coll_seq.set(self.coll_seq.get().wrapping_add(1));
+    }
+
+    fn scratch_buf(&self) -> BufId {
+        if let Some(b) = self.scratch.get() {
+            return b;
+        }
+        let b = self.os().alloc(self.rank(), 4096);
+        self.scratch.set(Some(b));
+        b
+    }
+
+    /// Dissemination barrier: `ceil(log2(n))` rounds of 1-byte tokens.
+    pub fn barrier(&self) {
+        let n = self.size();
+        if n == 1 {
+            return;
+        }
+        let me = self.rank();
+        let s = self.scratch_buf();
+        let mut k = 0;
+        let mut dist = 1;
+        while dist < n {
+            let dst = (me + dist) % n;
+            let src = (me + n - dist) % n;
+            self.sendrecv(
+                dst,
+                self.coll_tag(k),
+                s,
+                0,
+                1,
+                Some(src),
+                Some(self.coll_tag(k)),
+                s,
+                64,
+                1,
+            );
+            dist <<= 1;
+            k += 1;
+        }
+        self.next_coll();
+    }
+
+    /// Binomial-tree broadcast of `buf[off..off+len]` from `root`.
+    pub fn bcast(&self, root: usize, buf: BufId, off: u64, len: u64) {
+        let n = self.size();
+        if n == 1 || len == 0 {
+            self.next_coll();
+            return;
+        }
+        let me = self.rank();
+        let vrank = (me + n - root) % n;
+        let tag = self.coll_tag(0);
+        // Receive from parent (if not root).
+        let mut mask = 1;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = (vrank - mask + root) % n;
+                self.recv(Some(parent), Some(tag), buf, off, len);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        let mut mask = mask >> 1;
+        while mask > 0 {
+            if vrank + mask < n {
+                let child = (vrank + mask + root) % n;
+                self.send(child, tag, buf, off, len);
+            }
+            mask >>= 1;
+        }
+        self.next_coll();
+    }
+
+    /// Binomial-tree reduction of `n_elems` elements into `root`'s
+    /// `rbuf[roff..]`. Every rank contributes `sbuf[soff..]`; `rbuf` must
+    /// be distinct from `sbuf`.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    fn reduce_impl<T: Element>(
+        &self,
+        root: usize,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: impl Fn(T, T) -> T,
+    ) {
+        let n = self.size();
+        let me = self.rank();
+        let os = self.os();
+        let bytes = bytes_of::<T>(n_elems);
+        let tag = self.coll_tag(1);
+        // Local accumulator starts as our contribution.
+        let mut acc: Vec<T> = load_raw(os, self.proc(), sbuf, soff, n_elems);
+        os.touch_read(self.proc(), sbuf, soff, bytes);
+        if n > 1 {
+            let vrank = (me + n - root) % n;
+            let tmp = os.alloc(me, bytes.max(1));
+            let mut mask = 1;
+            while mask < n {
+                if vrank & mask != 0 {
+                    // Send accumulator to parent and stop.
+                    let parent = (vrank - mask + root) % n;
+                    store_raw(os, self.proc(), tmp, 0, &acc);
+                    os.touch_write(self.proc(), tmp, 0, bytes);
+                    self.send(parent, tag, tmp, 0, bytes);
+                    self.next_coll();
+                    return;
+                }
+                let child = vrank + mask;
+                if child < n {
+                    let child = (child + root) % n;
+                    self.recv(Some(child), Some(tag), tmp, 0, bytes);
+                    let other: Vec<T> = load_raw(os, self.proc(), tmp, 0, n_elems);
+                    os.touch_read(self.proc(), tmp, 0, bytes);
+                    for (a, b) in acc.iter_mut().zip(other) {
+                        *a = op(*a, b);
+                    }
+                    // The combine pass writes the accumulator.
+                    os.touch_write(self.proc(), tmp, 0, bytes);
+                }
+                mask <<= 1;
+            }
+        }
+        debug_assert_eq!(me, root);
+        store_raw(os, self.proc(), rbuf, roff, &acc);
+        os.touch_write(self.proc(), rbuf, roff, bytes);
+        self.next_coll();
+    }
+
+    /// Reduce `f64` elements to `root`.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn reduce_f64(
+        &self,
+        root: usize,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.reduce_impl::<f64>(root, sbuf, soff, rbuf, roff, n_elems, |a, b| {
+            op.apply_f64(a, b)
+        });
+    }
+
+    /// Reduce `u64` elements to `root`.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn reduce_u64(
+        &self,
+        root: usize,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.reduce_impl::<u64>(root, sbuf, soff, rbuf, roff, n_elems, |a, b| {
+            op.apply_u64(a, b)
+        });
+    }
+
+    /// Allreduce = reduce to rank 0 + broadcast.
+    pub fn allreduce_f64(
+        &self,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.reduce_f64(0, sbuf, soff, rbuf, roff, n_elems, op);
+        self.bcast(0, rbuf, roff, bytes_of::<f64>(n_elems));
+    }
+
+    /// Allreduce on `u64`.
+    pub fn allreduce_u64(
+        &self,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.reduce_u64(0, sbuf, soff, rbuf, roff, n_elems, op);
+        self.bcast(0, rbuf, roff, bytes_of::<u64>(n_elems));
+    }
+
+    /// Linear gather: every rank's `len` bytes land at
+    /// `rbuf[roff + rank*len]` on `root`.
+    pub fn gather(&self, root: usize, sbuf: BufId, soff: u64, len: u64, rbuf: BufId, roff: u64) {
+        let n = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag(2);
+        if me == root {
+            self.os()
+                .user_copy(self.proc(), sbuf, soff, rbuf, roff + me as u64 * len, len);
+            let reqs: Vec<_> = (0..n)
+                .filter(|&r| r != root)
+                .map(|r| self.irecv(Some(r), Some(tag), rbuf, roff + r as u64 * len, len))
+                .collect();
+            self.waitall(&reqs);
+        } else {
+            self.send(root, tag, sbuf, soff, len);
+        }
+        self.next_coll();
+    }
+
+    /// Linear scatter: `root`'s `sbuf[soff + rank*len]` lands in each
+    /// rank's `rbuf[roff..]`.
+    pub fn scatter(&self, root: usize, sbuf: BufId, soff: u64, len: u64, rbuf: BufId, roff: u64) {
+        let n = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag(3);
+        if me == root {
+            let reqs: Vec<_> = (0..n)
+                .filter(|&r| r != root)
+                .map(|r| self.isend(r, tag, sbuf, soff + r as u64 * len, len))
+                .collect();
+            self.os()
+                .user_copy(self.proc(), sbuf, soff + me as u64 * len, rbuf, roff, len);
+            self.waitall(&reqs);
+        } else {
+            self.recv(Some(root), Some(tag), rbuf, roff, len);
+        }
+        self.next_coll();
+    }
+
+    /// Ring allgather: every rank's `len` bytes end at
+    /// `rbuf[roff + rank*len]` on all ranks.
+    pub fn allgather(&self, sbuf: BufId, soff: u64, len: u64, rbuf: BufId, roff: u64) {
+        let n = self.size();
+        let me = self.rank();
+        let os = self.os();
+        os.user_copy(self.proc(), sbuf, soff, rbuf, roff + me as u64 * len, len);
+        if n == 1 {
+            self.next_coll();
+            return;
+        }
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let tag = self.coll_tag(4);
+        for step in 0..n - 1 {
+            let send_block = (me + n - step) % n;
+            let recv_block = (me + n - step - 1) % n;
+            self.sendrecv(
+                right,
+                tag,
+                rbuf,
+                roff + send_block as u64 * len,
+                len,
+                Some(left),
+                Some(tag),
+                rbuf,
+                roff + recv_block as u64 * len,
+                len,
+            );
+        }
+        self.next_coll();
+    }
+
+    /// Inclusive prefix reduction over `u64` lanes (`MPI_Scan`): rank r's
+    /// `rbuf` ends up holding the reduction of ranks `0..=r`. NAS IS uses
+    /// the scan family to compute global key ranks.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn scan_u64(
+        &self,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.scan_impl(sbuf, soff, rbuf, roff, n_elems, op, true);
+    }
+
+    /// Exclusive prefix reduction (`MPI_Exscan`): rank r receives the
+    /// reduction of ranks `0..r`; rank 0's `rbuf` is set to the Sum
+    /// identity (zeros). Only `ReduceOp::Sum` has an identity, so other
+    /// operators leave rank 0's buffer untouched, as MPI does.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn exscan_u64(
+        &self,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.scan_impl(sbuf, soff, rbuf, roff, n_elems, op, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_impl(
+        &self,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+        inclusive: bool,
+    ) {
+        let n = self.size();
+        let me = self.rank();
+        let os = self.os();
+        let bytes = bytes_of::<u64>(n_elems);
+        let tag = self.coll_tag(7);
+        let mine: Vec<u64> = load_raw(os, self.proc(), sbuf, soff, n_elems);
+        os.touch_read(self.proc(), sbuf, soff, bytes);
+        // Chain algorithm: receive the prefix of 0..me, combine, forward.
+        let prefix: Option<Vec<u64>> = if me > 0 {
+            let tmp = os.alloc(me, bytes.max(1));
+            self.recv(Some(me - 1), Some(tag), tmp, 0, bytes);
+            let p: Vec<u64> = load_raw(os, self.proc(), tmp, 0, n_elems);
+            os.touch_read(self.proc(), tmp, 0, bytes);
+            Some(p)
+        } else {
+            None
+        };
+        let inclusive_val: Vec<u64> = match &prefix {
+            Some(p) => mine
+                .iter()
+                .zip(p)
+                .map(|(&a, &b)| op.apply_u64(a, b))
+                .collect(),
+            None => mine.clone(),
+        };
+        if me + 1 < n {
+            let tmp = os.alloc(me, bytes.max(1));
+            store_raw(os, self.proc(), tmp, 0, &inclusive_val);
+            os.touch_write(self.proc(), tmp, 0, bytes);
+            self.send(me + 1, tag, tmp, 0, bytes);
+        }
+        if inclusive {
+            store_raw(os, self.proc(), rbuf, roff, &inclusive_val);
+            os.touch_write(self.proc(), rbuf, roff, bytes);
+        } else {
+            match prefix {
+                Some(p) => {
+                    store_raw(os, self.proc(), rbuf, roff, &p);
+                    os.touch_write(self.proc(), rbuf, roff, bytes);
+                }
+                None if op == ReduceOp::Sum => {
+                    store_raw(os, self.proc(), rbuf, roff, &vec![0u64; n_elems]);
+                    os.touch_write(self.proc(), rbuf, roff, bytes);
+                }
+                None => {} // no identity: rank 0's buffer is undefined
+            }
+        }
+        self.next_coll();
+    }
+
+    /// Pairwise-exchange alltoall: rank `i`'s block `j` —
+    /// `sbuf[soff + j*len]` — lands at `rbuf[roff + i*len]` on rank `j`.
+    /// This is the operation of Figure 7.
+    pub fn alltoall(&self, sbuf: BufId, soff: u64, len: u64, rbuf: BufId, roff: u64) {
+        let n = self.size();
+        let me = self.rank();
+        let os = self.os();
+        if self.nem_cfg_collective_hint() {
+            self.set_concurrency_hint(n as u32 - 1);
+        }
+        os.user_copy(self.proc(), sbuf, soff + me as u64 * len, rbuf, roff + me as u64 * len, len);
+        let tag = self.coll_tag(5);
+        for step in 1..n {
+            let dst = (me + step) % n;
+            let src = (me + n - step) % n;
+            self.sendrecv(
+                dst,
+                tag,
+                sbuf,
+                soff + dst as u64 * len,
+                len,
+                Some(src),
+                Some(tag),
+                rbuf,
+                roff + src as u64 * len,
+                len,
+            );
+        }
+        self.set_concurrency_hint(1);
+        self.next_coll();
+    }
+
+    /// Vector alltoall: rank `i` sends `slens[j]` bytes from
+    /// `sbuf[soffs[j]]` to rank `j`, receiving into `rbuf[roffs[i]]`
+    /// (which must hold `rlens[i]` bytes — the amount rank `i` sends us).
+    pub fn alltoallv(
+        &self,
+        sbuf: BufId,
+        soffs: &[u64],
+        slens: &[u64],
+        rbuf: BufId,
+        roffs: &[u64],
+        rlens: &[u64],
+    ) {
+        let n = self.size();
+        let me = self.rank();
+        assert!(soffs.len() == n && slens.len() == n && roffs.len() == n && rlens.len() == n);
+        let os = self.os();
+        if self.nem_cfg_collective_hint() {
+            self.set_concurrency_hint(n as u32 - 1);
+        }
+        debug_assert_eq!(slens[me], rlens[me], "self block mismatch");
+        if slens[me] > 0 {
+            os.user_copy(self.proc(), sbuf, soffs[me], rbuf, roffs[me], slens[me]);
+        }
+        let tag = self.coll_tag(6);
+        for step in 1..n {
+            let dst = (me + step) % n;
+            let src = (me + n - step) % n;
+            let r = self.irecv(Some(src), Some(tag), rbuf, roffs[src], rlens[src]);
+            let s = self.isend(dst, tag, sbuf, soffs[dst], slens[dst]);
+            self.wait(r);
+            self.wait(s);
+        }
+        self.set_concurrency_hint(1);
+        self.next_coll();
+    }
+
+    fn nem_cfg_collective_hint(&self) -> bool {
+        self.config().collective_hint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Nemesis;
+    use crate::config::{KnemSelect, LmtSelect, NemesisConfig};
+    use crate::datatype::{load_raw, store_raw};
+    use nemesis_kernel::Os;
+    use nemesis_sim::{run_simulation, Machine, MachineConfig};
+    use std::sync::Arc;
+
+    fn n_ranks(
+        n: usize,
+        cfg: NemesisConfig,
+        body: impl Fn(&Comm<'_>) + Send + Sync,
+    ) -> nemesis_sim::SimReport {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Arc::new(Os::new(Arc::clone(&machine)));
+        let nem = Nemesis::new(os, n, cfg);
+        let placements: Vec<usize> = (0..n).collect();
+        run_simulation(machine, &placements, |p| {
+            let comm = nem.attach(p);
+            body(&comm);
+        })
+    }
+
+    #[test]
+    fn scan_and_exscan_prefixes() {
+        n_ranks(5, NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let me = comm.rank() as u64;
+            let n = 16usize;
+            let sbuf = os.alloc(comm.rank(), 8 * n as u64);
+            let rbuf = os.alloc(comm.rank(), 8 * n as u64);
+            // Rank r contributes lanes [r+1, r+2, ...].
+            let vals: Vec<u64> = (0..n as u64).map(|i| me + 1 + i).collect();
+            store_raw(os, comm.proc(), sbuf, 0, &vals);
+            comm.scan_u64(sbuf, 0, rbuf, 0, n, ReduceOp::Sum);
+            let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, n);
+            for (i, &g) in got.iter().enumerate() {
+                // sum over r in 0..=me of (r + 1 + i)
+                let expect: u64 = (0..=me).map(|r| r + 1 + i as u64).sum();
+                assert_eq!(g, expect, "scan rank {me} lane {i}");
+            }
+            comm.exscan_u64(sbuf, 0, rbuf, 0, n, ReduceOp::Sum);
+            let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, n);
+            for (i, &g) in got.iter().enumerate() {
+                let expect: u64 = (0..me).map(|r| r + 1 + i as u64).sum();
+                assert_eq!(g, expect, "exscan rank {me} lane {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn scan_max_single_rank() {
+        n_ranks(1, NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let sbuf = os.alloc(0, 16);
+            let rbuf = os.alloc(0, 16);
+            store_raw(os, comm.proc(), sbuf, 0, &[7u64, 3]);
+            comm.scan_u64(sbuf, 0, rbuf, 0, 2, ReduceOp::Max);
+            assert_eq!(load_raw::<u64>(os, comm.proc(), rbuf, 0, 2), vec![7, 3]);
+        });
+    }
+
+    #[test]
+    fn barrier_completes_for_various_sizes() {
+        for n in [1, 2, 3, 5, 8] {
+            n_ranks(n, NemesisConfig::default(), |comm| {
+                for _ in 0..3 {
+                    comm.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_time() {
+        // A rank that computes for 1 ms holds everyone at the barrier.
+        let r = n_ranks(4, NemesisConfig::default(), |comm| {
+            if comm.rank() == 2 {
+                comm.proc().compute(1_000_000_000); // 1 ms
+            }
+            comm.barrier();
+        });
+        for t in &r.finish_times {
+            assert!(*t >= 1_000_000_000, "all ranks must wait: {t}");
+        }
+    }
+
+    #[test]
+    fn bcast_all_roots_all_sizes() {
+        for n in [2, 4, 7] {
+            n_ranks(n, NemesisConfig::default(), |comm| {
+                let os = comm.os();
+                let buf = os.alloc(comm.rank(), 8192);
+                for root in 0..comm.size() {
+                    if comm.rank() == root {
+                        os.with_data_mut(comm.proc(), buf, |d| d.fill(root as u8 + 1));
+                    } else {
+                        os.with_data_mut(comm.proc(), buf, |d| d.fill(0));
+                    }
+                    comm.bcast(root, buf, 0, 8192);
+                    os.with_data(comm.proc(), buf, |d| {
+                        assert!(
+                            d.iter().all(|&x| x == root as u8 + 1),
+                            "bcast from {root} corrupt on rank {}",
+                            comm.rank()
+                        );
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_large_uses_lmt() {
+        n_ranks(
+            4,
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+            |comm| {
+                let os = comm.os();
+                let buf = os.alloc(comm.rank(), 512 << 10);
+                if comm.rank() == 0 {
+                    os.with_data_mut(comm.proc(), buf, |d| d.fill(0x5A));
+                }
+                comm.bcast(0, buf, 0, 512 << 10);
+                os.with_data(comm.proc(), buf, |d| assert!(d.iter().all(|&x| x == 0x5A)));
+            },
+        );
+    }
+
+    #[test]
+    fn reduce_sum_f64() {
+        n_ranks(5, NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let n_elems = 100;
+            let sbuf = os.alloc(comm.rank(), 800);
+            let rbuf = os.alloc(comm.rank(), 800);
+            let mine: Vec<f64> = (0..n_elems).map(|i| (comm.rank() * 100 + i) as f64).collect();
+            store_raw(os, comm.proc(), sbuf, 0, &mine);
+            comm.reduce_f64(2, sbuf, 0, rbuf, 0, n_elems, ReduceOp::Sum);
+            if comm.rank() == 2 {
+                let got: Vec<f64> = load_raw(os, comm.proc(), rbuf, 0, n_elems);
+                for (i, v) in got.iter().enumerate() {
+                    let expect: f64 = (0..5).map(|r| (r * 100 + i) as f64).sum();
+                    assert_eq!(*v, expect, "element {i}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_max_u64() {
+        n_ranks(6, NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let sbuf = os.alloc(comm.rank(), 64);
+            let rbuf = os.alloc(comm.rank(), 64);
+            store_raw(os, comm.proc(), sbuf, 0, &[comm.rank() as u64 * 7 + 1]);
+            comm.allreduce_u64(sbuf, 0, rbuf, 0, 1, ReduceOp::Max);
+            let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, 1);
+            assert_eq!(got[0], 5 * 7 + 1);
+        });
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        n_ranks(4, NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let n = comm.size();
+            let me = comm.rank();
+            let block = 1024u64;
+            let sbuf = os.alloc(me, block);
+            let all = os.alloc(me, block * n as u64);
+            let back = os.alloc(me, block);
+            os.with_data_mut(comm.proc(), sbuf, |d| d.fill(me as u8 + 10));
+            comm.gather(0, sbuf, 0, block, all, 0);
+            if me == 0 {
+                os.with_data(comm.proc(), all, |d| {
+                    for r in 0..n {
+                        assert!(d[r * 1024..(r + 1) * 1024]
+                            .iter()
+                            .all(|&x| x == r as u8 + 10));
+                    }
+                });
+            }
+            comm.scatter(0, all, 0, block, back, 0);
+            os.with_data(comm.proc(), back, |d| {
+                assert!(d.iter().all(|&x| x == me as u8 + 10))
+            });
+        });
+    }
+
+    #[test]
+    fn allgather_ring() {
+        n_ranks(5, NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let me = comm.rank();
+            let n = comm.size();
+            let block = 2048u64;
+            let sbuf = os.alloc(me, block);
+            let rbuf = os.alloc(me, block * n as u64);
+            os.with_data_mut(comm.proc(), sbuf, |d| d.fill(me as u8 * 3 + 1));
+            comm.allgather(sbuf, 0, block, rbuf, 0);
+            os.with_data(comm.proc(), rbuf, |d| {
+                for r in 0..n {
+                    assert!(
+                        d[r * 2048..(r + 1) * 2048]
+                            .iter()
+                            .all(|&x| x == r as u8 * 3 + 1),
+                        "rank {me}: block {r} wrong"
+                    );
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn alltoall_small_and_large() {
+        for (lmt, block) in [
+            (LmtSelect::ShmCopy, 4 << 10),
+            (LmtSelect::ShmCopy, 256 << 10),
+            (LmtSelect::Knem(KnemSelect::Auto), 256 << 10),
+            (LmtSelect::Vmsplice, 128 << 10),
+        ] {
+            n_ranks(4, NemesisConfig::with_lmt(lmt), |comm| {
+                let os = comm.os();
+                let me = comm.rank();
+                let n = comm.size();
+                let block = block as u64;
+                let sbuf = os.alloc(me, block * n as u64);
+                let rbuf = os.alloc(me, block * n as u64);
+                os.with_data_mut(comm.proc(), sbuf, |d| {
+                    for j in 0..n {
+                        // Block j gets value (me, j)-specific.
+                        let v = (me * 16 + j) as u8;
+                        d[j * block as usize..(j + 1) * block as usize].fill(v);
+                    }
+                });
+                comm.alltoall(sbuf, 0, block, rbuf, 0);
+                os.with_data(comm.proc(), rbuf, |d| {
+                    for i in 0..n {
+                        let v = (i * 16 + me) as u8;
+                        assert!(
+                            d[i * block as usize..(i + 1) * block as usize]
+                                .iter()
+                                .all(|&x| x == v),
+                            "rank {me}: block from {i} wrong"
+                        );
+                    }
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn alltoallv_uneven() {
+        n_ranks(4, NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let me = comm.rank();
+            let n = comm.size();
+            // Rank i sends (i+1)*1000 bytes to each peer j.
+            let slen = (me as u64 + 1) * 1000;
+            let slens: Vec<u64> = vec![slen; n];
+            let soffs: Vec<u64> = (0..n).map(|j| j as u64 * slen).collect();
+            let rlens: Vec<u64> = (0..n).map(|i| (i as u64 + 1) * 1000).collect();
+            let roffs: Vec<u64> = {
+                let mut acc = 0;
+                rlens
+                    .iter()
+                    .map(|l| {
+                        let o = acc;
+                        acc += l;
+                        o
+                    })
+                    .collect()
+            };
+            let sbuf = os.alloc(me, slen * n as u64);
+            let rbuf = os.alloc(me, rlens.iter().sum::<u64>());
+            os.with_data_mut(comm.proc(), sbuf, |d| d.fill(me as u8 + 1));
+            comm.alltoallv(sbuf, &soffs, &slens, rbuf, &roffs, &rlens);
+            os.with_data(comm.proc(), rbuf, |d| {
+                for i in 0..n {
+                    let lo = roffs[i] as usize;
+                    let hi = lo + rlens[i] as usize;
+                    assert!(
+                        d[lo..hi].iter().all(|&x| x == i as u8 + 1),
+                        "rank {me}: vblock from {i} wrong"
+                    );
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn eight_rank_alltoall_all_lmts_deterministic() {
+        let run = |lmt| {
+            n_ranks(8, NemesisConfig::with_lmt(lmt), |comm| {
+                let os = comm.os();
+                let me = comm.rank();
+                let block = 128u64 << 10;
+                let sbuf = os.alloc(me, block * 8);
+                let rbuf = os.alloc(me, block * 8);
+                comm.alltoall(sbuf, 0, block, rbuf, 0);
+            })
+            .makespan
+        };
+        for lmt in [
+            LmtSelect::ShmCopy,
+            LmtSelect::Vmsplice,
+            LmtSelect::Knem(KnemSelect::SyncCpu),
+            LmtSelect::Knem(KnemSelect::AsyncIoat),
+        ] {
+            assert_eq!(run(lmt), run(lmt), "{lmt:?} nondeterministic");
+        }
+    }
+}

@@ -1,0 +1,2400 @@
+//! The Nemesis communication engine: eager protocol, rendezvous, the LMT
+//! interface and the polling progress loop.
+//!
+//! Protocol summary (§2):
+//!
+//! * Messages up to `eager_max` (64 KiB by default) are **eager**: the
+//!   sender copies the payload into shared cells and enqueues an envelope
+//!   on the receiver's queue; the receiver copies the cells out — two
+//!   copies, but no handshake.
+//! * Larger messages use **rendezvous**: an RTS envelope announces the
+//!   message; the data then flows through the configured LMT backend:
+//!
+//!   | backend | copies | mechanism |
+//!   |---|---|---|
+//!   | `ShmCopy` | 2 | double-buffered shared copy ring (§2) |
+//!   | `PipeWritev` | 2 | pipe, `writev` + `readv` (§3.1 baseline) |
+//!   | `Vmsplice` | 1 | pipe, `vmsplice` + `readv` (§3.1) |
+//!   | `Knem(..)` | 1 (or 0 CPU copies with I/OAT) | KNEM cookies (§3.2) |
+//!
+//! All transfer work happens in bounded steps inside [`Comm::progress`],
+//! so sends, receives and collective phases overlap exactly as they do in
+//! the real polling-based implementation.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nemesis_kernel::{BufId, Iov, KnemFlags, Os, StatusId};
+use nemesis_sim::{Proc, Ps};
+
+use crate::config::{KnemSelect, LmtSelect, NemesisConfig};
+use crate::shm::{Envelope, LmtWire, PairPipe, PktKind, Ring, ShmSegment, ShmState};
+use crate::vector::{unpack, VectorLayout};
+
+/// Virtual-time watchdog: a blocking call that exceeds this much simulated
+/// time aborts the run (almost certainly an application deadlock).
+const WATCHDOG_PS: Ps = 200_000_000_000_000; // 200 simulated seconds
+
+/// Handle to an outstanding operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request(usize);
+
+/// Metadata of a probed message (the `MPI_Status` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageInfo {
+    pub src: usize,
+    pub tag: i32,
+    pub len: u64,
+}
+
+/// Tag wildcard.
+pub const ANY_TAG: Option<i32> = None;
+/// Source wildcard.
+pub const ANY_SOURCE: Option<usize> = None;
+
+/// The shared communication universe: one per simulation.
+pub struct Nemesis {
+    os: Arc<Os>,
+    cfg: NemesisConfig,
+    nprocs: usize,
+    seg: ShmSegment,
+    sh: Mutex<ShmState>,
+    /// Core each rank runs on, learned at [`Nemesis::attach`] time (the
+    /// dynamic LMT policy consults the pair's cache-sharing relation).
+    cores: Mutex<Vec<Option<usize>>>,
+}
+
+impl Nemesis {
+    /// Build the universe (allocates the shared segment). Call before
+    /// `run_simulation`; each process then calls [`Nemesis::attach`].
+    pub fn new(os: Arc<Os>, nprocs: usize, cfg: NemesisConfig) -> Arc<Self> {
+        let (seg, state) = ShmSegment::new(&os, nprocs, &cfg);
+        Arc::new(Self {
+            os,
+            cfg,
+            nprocs,
+            seg,
+            sh: Mutex::new(state),
+            cores: Mutex::new(vec![None; nprocs]),
+        })
+    }
+
+    pub fn os(&self) -> &Arc<Os> {
+        &self.os
+    }
+
+    pub fn cfg(&self) -> &NemesisConfig {
+        &self.cfg
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Attach the calling simulated process, producing its endpoint.
+    pub fn attach<'a>(self: &Arc<Self>, p: &'a Proc) -> Comm<'a> {
+        assert!(p.pid() < self.nprocs, "pid outside communicator");
+        self.cores.lock()[p.pid()] = Some(p.core());
+        Comm {
+            p,
+            nem: Arc::clone(self),
+            inner: RefCell::new(CommInner::default()),
+            concurrency: Cell::new(1),
+            coll_seq: Cell::new(0),
+            scratch: Cell::new(None),
+        }
+    }
+
+    /// Resolve the §3.5 blended policy for a `len`-byte transfer from
+    /// `src_core` to rank `dst`:
+    ///
+    /// * cache-sharing pairs take the two-copy ring (where §4.1/§4.2
+    ///   show it wins) — except past `DMAmin`, where KNEM's I/OAT
+    ///   offload stops polluting the shared cache and wins even there;
+    /// * everyone else takes the best available single-copy backend
+    ///   (KNEM if the module is loaded, else vmsplice, else the ring).
+    ///
+    /// An unattached destination (its core unknown yet) is treated as
+    /// not sharing a cache — the conservative direction, since
+    /// single-copy never loses badly.
+    fn dynamic_backend(&self, src_core: usize, dst: usize, len: u64) -> LmtSelect {
+        let topo = &self.os.machine().cfg().topology;
+        let shared = match self.cores.lock()[dst] {
+            Some(dst_core) => matches!(
+                topo.placement(src_core, dst_core),
+                nemesis_sim::topology::Placement::SameCore
+                    | nemesis_sim::topology::Placement::SharedL2
+                    | nemesis_sim::topology::Placement::SharedL3
+            ),
+            None => false,
+        };
+        if shared && (!self.cfg.knem_available || len < self.cfg.dma_min(self.os.machine(), 1)) {
+            LmtSelect::ShmCopy
+        } else if self.cfg.knem_available {
+            LmtSelect::Knem(KnemSelect::Auto)
+        } else if self.cfg.vmsplice_available && !shared {
+            LmtSelect::Vmsplice
+        } else {
+            LmtSelect::ShmCopy
+        }
+    }
+
+    /// Lazily create (or fetch) the copy ring for `(src, dst)`.
+    fn ring_key(&self, src: usize, dst: usize) -> (usize, usize) {
+        (src, dst)
+    }
+
+    fn ensure_ring(&self, src: usize, dst: usize) {
+        let key = self.ring_key(src, dst);
+        let mut sh = self.sh.lock();
+        sh.rings.entry(key).or_insert_with(|| Ring {
+            bufs: (0..self.cfg.ring_bufs)
+                .map(|_| self.os.alloc_shared(self.cfg.ring_chunk))
+                .collect(),
+            flags_buf: self.os.alloc_shared(self.cfg.ring_bufs as u64 * 64),
+            fill: vec![0; self.cfg.ring_bufs],
+            owner: None,
+        });
+    }
+
+    fn ensure_pipe(&self, src: usize, dst: usize) -> nemesis_kernel::PipeId {
+        let key = (src, dst);
+        {
+            let sh = self.sh.lock();
+            if let Some(pp) = sh.pipes.get(&key) {
+                return pp.pipe;
+            }
+        }
+        // Create outside the lock (pipe_create takes the OS lock).
+        let pipe = self.os.pipe_create();
+        let mut sh = self.sh.lock();
+        sh.pipes
+            .entry(key)
+            .or_insert(PairPipe {
+                pipe,
+                busy_parties: 0,
+            })
+            .pipe
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqState {
+    Active,
+    Done,
+}
+
+struct PostedRecv {
+    req: usize,
+    src: Option<usize>,
+    tag: Option<i32>,
+    buf: BufId,
+    off: u64,
+    cap: u64,
+    /// Noncontiguous receive layout (`None` = contiguous at `off`).
+    layout: Option<VectorLayout>,
+}
+
+struct SendRndv {
+    req: usize,
+    msg_id: u64,
+    dst: usize,
+    buf: BufId,
+    off: u64,
+    len: u64,
+    state: SendState,
+    done: bool,
+    /// Pack staging for noncontiguous sends over scatter-blind wires
+    /// (shm ring, pipes); recycled into the tmp pool on completion.
+    staging: Option<(u64, BufId)>,
+}
+
+enum SendState {
+    /// Waiting to acquire the pair's copy ring.
+    ShmAcquire,
+    ShmActive {
+        sent: u64,
+        next_slot: usize,
+    },
+    /// Waiting to acquire the pair's pipe.
+    PipeAcquire {
+        vmsplice: bool,
+        pipe: nemesis_kernel::PipeId,
+    },
+    PipeActive {
+        written: u64,
+        vmsplice: bool,
+        pipe: nemesis_kernel::PipeId,
+    },
+    /// vmsplice gift semantics: wait for the receiver to drain our pages.
+    PipeDrain {
+        pipe: nemesis_kernel::PipeId,
+    },
+    /// KNEM: wait for the receiver's DONE.
+    KnemWait,
+}
+
+struct RecvRndv {
+    req: usize,
+    src: usize,
+    msg_id: u64,
+    buf: BufId,
+    off: u64,
+    len: u64,
+    wire: LmtWire,
+    concurrency: u32,
+    state: RecvState,
+    done: bool,
+    /// Noncontiguous receive layout. KNEM consumes it directly as the
+    /// receive iovec (single-copy scatter); other wires receive into
+    /// `staging` and unpack on completion.
+    layout: Option<VectorLayout>,
+    /// Unpack staging: `(capacity, buffer, user_buf)` — the wire writes
+    /// into `buf`/`off` which point at the staging buffer; `user_buf` is
+    /// the real destination for the final unpack.
+    staging: Option<(u64, BufId, BufId)>,
+}
+
+enum RecvState {
+    ShmActive { recvd: u64, next_slot: usize },
+    PipeActive { read: u64 },
+    KnemIssue,
+    KnemPoll { status: StatusId },
+}
+
+/// A matched receive whose fragmented eager payload is still streaming
+/// in (the message was larger than the sender's cell pool).
+struct EagerInflight {
+    src: usize,
+    msg_id: u64,
+    req: usize,
+    /// Destination segments (user buffer blocks).
+    dst: Vec<(BufId, u64, u64)>,
+    total: u64,
+    received: u64,
+}
+
+#[derive(Default)]
+struct CommInner {
+    reqs: Vec<ReqState>,
+    posted: Vec<PostedRecv>,
+    unexpected: VecDeque<Envelope>,
+    sends: Vec<SendRndv>,
+    recvs: Vec<RecvRndv>,
+    eager_in: Vec<EagerInflight>,
+    next_msg_id: u64,
+    status_pool: Vec<StatusId>,
+    /// Recycled temporary buffers for unexpected eager payloads, keyed by
+    /// capacity (see [`Comm::buffer_unexpected`]).
+    tmp_pool: Vec<(u64, BufId)>,
+}
+
+/// The byte sub-range `[skip, skip+take)` of a segment list.
+fn segs_slice(segs: &[(BufId, u64, u64)], skip: u64, take: u64) -> Vec<(BufId, u64, u64)> {
+    let mut out = Vec::new();
+    let mut pos = 0u64;
+    let mut rem = take;
+    for &(b, o, l) in segs {
+        if rem == 0 {
+            break;
+        }
+        let seg_end = pos + l;
+        if seg_end <= skip {
+            pos = seg_end;
+            continue;
+        }
+        let from = skip.max(pos);
+        let n = (seg_end - from).min(rem);
+        out.push((b, o + (from - pos), n));
+        rem -= n;
+        pos = seg_end;
+    }
+    debug_assert_eq!(rem, 0, "segment list shorter than skip+take");
+    out
+}
+
+/// A process's endpoint into the Nemesis universe.
+pub struct Comm<'a> {
+    p: &'a Proc,
+    nem: Arc<Nemesis>,
+    inner: RefCell<CommInner>,
+    /// Concurrency hint attached to outgoing RTS packets (set by the
+    /// collective layer when `collective_hint` is enabled).
+    concurrency: Cell<u32>,
+    /// Collective sequence number (disambiguates internal tags).
+    pub(crate) coll_seq: Cell<i32>,
+    /// Lazily-allocated one-page scratch buffer (barrier tokens etc.).
+    pub(crate) scratch: Cell<Option<BufId>>,
+}
+
+impl<'a> Comm<'a> {
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.p.pid()
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.nem.nprocs
+    }
+
+    /// The simulated process handle.
+    pub fn proc(&self) -> &'a Proc {
+        self.p
+    }
+
+    /// The OS (for buffer management).
+    pub fn os(&self) -> &Arc<Os> {
+        self.nem.os()
+    }
+
+    /// The universe's configuration.
+    pub fn config(&self) -> &NemesisConfig {
+        self.nem.cfg()
+    }
+
+    /// Set the collective concurrency hint for subsequent sends (§6).
+    pub fn set_concurrency_hint(&self, n: u32) {
+        self.concurrency.set(n.max(1));
+    }
+
+    fn new_req(&self, state: ReqState) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        inner.reqs.push(state);
+        inner.reqs.len() - 1
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point API
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send of `buf[off..off+len]` to `dst` with `tag`.
+    pub fn isend(&self, dst: usize, tag: i32, buf: BufId, off: u64, len: u64) -> Request {
+        assert!(dst < self.size(), "invalid destination rank {dst}");
+        assert_ne!(dst, self.rank(), "self-send must use sendrecv_self");
+        if len <= self.nem.cfg.eager_max {
+            self.eager_send(dst, tag, &[(buf, off, len)], len);
+            Request(self.new_req(ReqState::Done))
+        } else {
+            self.rndv_send(dst, tag, buf, off, len)
+        }
+    }
+
+    /// Non-blocking noncontiguous ("vectorial") send: the strided blocks
+    /// of `layout` within `buf` form the message payload. KNEM transfers
+    /// them in a single scatter-to-scatter copy; the byte-stream LMTs
+    /// pack into a staging buffer first (MPICH2's dataloop path).
+    pub fn isendv(&self, dst: usize, tag: i32, buf: BufId, layout: &VectorLayout) -> Request {
+        assert!(dst < self.size(), "invalid destination rank {dst}");
+        assert_ne!(dst, self.rank(), "self-send must use sendrecv_self");
+        let len = layout.total();
+        if layout.is_contiguous() {
+            return self.isend(dst, tag, buf, layout.off, len);
+        }
+        if len <= self.nem.cfg.eager_max {
+            let src: Vec<(BufId, u64, u64)> = layout
+                .blocks()
+                .into_iter()
+                .map(|(o, n)| (buf, o, n))
+                .collect();
+            self.eager_send(dst, tag, &src, len);
+            return Request(self.new_req(ReqState::Done));
+        }
+        let backend = match self.nem.cfg.lmt {
+            LmtSelect::Dynamic => self.nem.dynamic_backend(self.p.core(), dst, len),
+            fixed => fixed,
+        };
+        if matches!(backend, LmtSelect::Knem(_)) {
+            return self.rndv_send_iovs(dst, tag, &layout.iovs(buf), len);
+        }
+        // Scatter-blind wire: pack into staging, send staging, recycle on
+        // completion.
+        let (cap, stage) = self.tmp_acquire(len);
+        crate::vector::pack(&self.nem.os, self.p, buf, layout, stage, 0);
+        let req = self.rndv_send(dst, tag, stage, 0, len);
+        self.inner
+            .borrow_mut()
+            .sends
+            .iter_mut()
+            .rfind(|s| s.req == req.0)
+            .expect("send just pushed")
+            .staging = Some((cap, stage));
+        req
+    }
+
+    /// Blocking noncontiguous send.
+    pub fn sendv(&self, dst: usize, tag: i32, buf: BufId, layout: &VectorLayout) {
+        let r = self.isendv(dst, tag, buf, layout);
+        self.wait(r);
+    }
+
+    /// Non-blocking noncontiguous receive into the blocks of `layout`.
+    pub fn irecvv(
+        &self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        buf: BufId,
+        layout: &VectorLayout,
+    ) -> Request {
+        if layout.is_contiguous() {
+            return self.irecv(src, tag, buf, layout.off, layout.total());
+        }
+        self.irecv_inner(src, tag, buf, layout.off, layout.total(), Some(*layout))
+    }
+
+    /// Blocking noncontiguous receive.
+    pub fn recvv(&self, src: Option<usize>, tag: Option<i32>, buf: BufId, layout: &VectorLayout) {
+        let r = self.irecvv(src, tag, buf, layout);
+        self.wait(r);
+    }
+
+    /// Non-blocking receive into `buf[off..off+cap]`.
+    pub fn irecv(
+        &self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        buf: BufId,
+        off: u64,
+        cap: u64,
+    ) -> Request {
+        self.irecv_inner(src, tag, buf, off, cap, None)
+    }
+
+    fn irecv_inner(
+        &self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        buf: BufId,
+        off: u64,
+        cap: u64,
+        layout: Option<VectorLayout>,
+    ) -> Request {
+        let req = self.new_req(ReqState::Active);
+        // Try the unexpected queue first (in arrival order).
+        let matched = {
+            let mut inner = self.inner.borrow_mut();
+            let pos = inner
+                .unexpected
+                .iter()
+                .position(|e| Self::env_matches(e, src, tag) && Self::env_ready(e));
+            pos.map(|i| inner.unexpected.remove(i).unwrap())
+        };
+        match matched {
+            Some(env) => self.deliver_any(env, req, buf, off, cap, layout),
+            None => self.inner.borrow_mut().posted.push(PostedRecv {
+                req,
+                src,
+                tag,
+                buf,
+                off,
+                cap,
+                layout,
+            }),
+        }
+        Request(req)
+    }
+
+    /// Blocking send.
+    pub fn send(&self, dst: usize, tag: i32, buf: BufId, off: u64, len: u64) {
+        let r = self.isend(dst, tag, buf, off, len);
+        self.wait(r);
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, src: Option<usize>, tag: Option<i32>, buf: BufId, off: u64, cap: u64) {
+        let r = self.irecv(src, tag, buf, off, cap);
+        self.wait(r);
+    }
+
+    /// Concurrent send+receive (the collective workhorse).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &self,
+        dst: usize,
+        stag: i32,
+        sbuf: BufId,
+        soff: u64,
+        slen: u64,
+        src: Option<usize>,
+        rtag: Option<i32>,
+        rbuf: BufId,
+        roff: u64,
+        rcap: u64,
+    ) {
+        let r = self.irecv(src, rtag, rbuf, roff, rcap);
+        let s = self.isend(dst, stag, sbuf, soff, slen);
+        self.wait(r);
+        self.wait(s);
+    }
+
+    /// Has the request completed? (Drives progress once.)
+    pub fn test(&self, r: Request) -> bool {
+        self.progress();
+        self.inner.borrow().reqs[r.0] == ReqState::Done
+    }
+
+    /// Non-blocking probe: is there a matching message (eager payload or
+    /// rendezvous announcement) waiting that no posted receive claims?
+    /// Returns its envelope metadata without consuming it.
+    pub fn iprobe(&self, src: Option<usize>, tag: Option<i32>) -> Option<MessageInfo> {
+        self.progress();
+        let inner = self.inner.borrow();
+        inner
+            .unexpected
+            .iter()
+            .find(|e| Self::env_matches(e, src, tag) && Self::env_ready(e))
+            .map(|e| MessageInfo {
+                src: e.src,
+                tag: e.tag,
+                len: match &e.kind {
+                    PktKind::Eager { len, .. } => *len,
+                    PktKind::EagerBuffered { len, .. } => *len,
+                    PktKind::EagerPartial { len, .. } => *len,
+                    PktKind::EagerFrag { .. } => {
+                        unreachable!("fragments are routed by handle_frag")
+                    }
+                    PktKind::Rts { len, .. } => *len,
+                    PktKind::Done { .. } => unreachable!("Done never parks as unexpected"),
+                },
+            })
+    }
+
+    /// Blocking probe (MPI_Probe): poll until a matching message is
+    /// visible, then return its metadata. Combine with [`Comm::recv`] to
+    /// receive messages of unknown size.
+    pub fn probe(&self, src: Option<usize>, tag: Option<i32>) -> MessageInfo {
+        let start = self.p.now();
+        loop {
+            if let Some(info) = self.iprobe(src, tag) {
+                return info;
+            }
+            self.p.poll_tick();
+            assert!(
+                self.p.now() - start < WATCHDOG_PS,
+                "rank {} stuck in probe()",
+                self.rank()
+            );
+        }
+    }
+
+    /// Block until the request completes.
+    pub fn wait(&self, r: Request) {
+        let start = self.p.now();
+        loop {
+            if self.inner.borrow().reqs[r.0] == ReqState::Done {
+                return;
+            }
+            let worked = self.progress();
+            if !worked {
+                self.p.poll_tick();
+            }
+            assert!(
+                self.p.now() - start < WATCHDOG_PS,
+                "rank {} stuck in wait() for >200 simulated seconds: deadlock?",
+                self.rank()
+            );
+        }
+    }
+
+    /// Block until all requests complete.
+    pub fn waitall(&self, rs: &[Request]) {
+        for &r in rs {
+            self.wait(r);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Eager path
+    // ------------------------------------------------------------------
+
+    /// Eager send of the source segments (one contiguous run, or a
+    /// layout's blocks): copy into pooled cells (first copy of the two)
+    /// and enqueue the envelope. Messages needing more cells than the
+    /// pool holds stream through it in fragments (real Nemesis sends
+    /// multi-cell eager data this way).
+    fn eager_send(&self, dst: usize, tag: i32, src: &[(BufId, u64, u64)], len: u64) {
+        let cfg = &self.nem.cfg;
+        let ncells = len.div_ceil(cfg.cell_payload) as usize;
+        if ncells <= cfg.cells_per_proc {
+            self.eager_send_single(dst, tag, src, len, ncells);
+        } else {
+            self.eager_send_fragmented(dst, tag, src, len);
+        }
+    }
+
+    fn eager_send_single(
+        &self,
+        dst: usize,
+        tag: i32,
+        src: &[(BufId, u64, u64)],
+        len: u64,
+        ncells: usize,
+    ) {
+        let cfg = &self.nem.cfg;
+        // Acquire cells from our own pool (§2: sender-owned cells).
+        let me = self.rank();
+        let cells: Vec<usize> = {
+            let start = self.p.now();
+            loop {
+                {
+                    let mut sh = self.nem.sh.lock();
+                    if sh.free_cells[me].len() >= ncells {
+                        let at = sh.free_cells[me].len() - ncells;
+                        break sh.free_cells[me].split_off(at);
+                    }
+                }
+                self.progress();
+                self.p.poll_tick();
+                assert!(
+                    self.p.now() - start < WATCHDOG_PS,
+                    "rank {me} starved of eager cells"
+                );
+            }
+        };
+        let mut chunks = Vec::with_capacity(ncells);
+        let mut remaining = len;
+        let cell_segs: Vec<(BufId, u64, u64)> = cells
+            .iter()
+            .map(|&c| {
+                let n = remaining.min(cfg.cell_payload);
+                remaining -= n;
+                chunks.push((me, c, n));
+                (self.nem.seg.cell_pool[me], self.nem.seg.cell_off(c), n)
+            })
+            .collect();
+        self.scatter_copy(src, &cell_segs);
+        self.enqueue(
+            dst,
+            Envelope {
+                src: me,
+                tag,
+                kind: PktKind::Eager { len, cells: chunks },
+            },
+        );
+    }
+
+    /// Stream an oversized eager payload through the cell pool: grab
+    /// whatever cells are free (at least one), ship a fragment, repeat.
+    /// Fragments stay FIFO on the pair's queue, so the receiver can
+    /// reassemble by offset.
+    fn eager_send_fragmented(&self, dst: usize, tag: i32, src: &[(BufId, u64, u64)], len: u64) {
+        let cfg = &self.nem.cfg;
+        let me = self.rank();
+        let msg_id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_msg_id += 1;
+            (me as u64) << 48 | inner.next_msg_id
+        };
+        let mut sent = 0u64;
+        let start = self.p.now();
+        while sent < len {
+            let cells: Vec<usize> = loop {
+                {
+                    let mut sh = self.nem.sh.lock();
+                    let free = &mut sh.free_cells[me];
+                    if !free.is_empty() {
+                        let need = ((len - sent).div_ceil(cfg.cell_payload) as usize)
+                            .min(free.len());
+                        let at = free.len() - need;
+                        break free.split_off(at);
+                    }
+                }
+                self.progress();
+                self.p.poll_tick();
+                assert!(
+                    self.p.now() - start < WATCHDOG_PS,
+                    "rank {me} starved of eager cells"
+                );
+            };
+            let mut chunks = Vec::with_capacity(cells.len());
+            let mut batch = 0u64;
+            let cell_segs: Vec<(BufId, u64, u64)> = cells
+                .iter()
+                .map(|&c| {
+                    let n = (len - sent - batch).min(cfg.cell_payload);
+                    batch += n;
+                    chunks.push((me, c, n));
+                    (self.nem.seg.cell_pool[me], self.nem.seg.cell_off(c), n)
+                })
+                .collect();
+            self.scatter_copy(&segs_slice(src, sent, batch), &cell_segs);
+            self.enqueue(
+                dst,
+                Envelope {
+                    src: me,
+                    tag,
+                    kind: PktKind::EagerFrag {
+                        msg_id,
+                        len,
+                        off: sent,
+                        cells: chunks,
+                    },
+                },
+            );
+            sent += batch;
+        }
+    }
+
+    /// Copy an eager payload out of its cells into the destination
+    /// segments and release the cells (second copy of the two).
+    fn eager_deliver(&self, cells: &[(usize, usize, u64)], len: u64, dst: &[(BufId, u64, u64)]) {
+        let src: Vec<(BufId, u64, u64)> = cells
+            .iter()
+            .map(|&(owner, idx, n)| {
+                (self.nem.seg.cell_pool[owner], self.nem.seg.cell_off(idx), n)
+            })
+            .collect();
+        debug_assert_eq!(src.iter().map(|s| s.2).sum::<u64>(), len);
+        self.scatter_copy(&src, dst);
+        if !cells.is_empty() {
+            let mut sh = self.nem.sh.lock();
+            for &(owner, idx, _) in cells {
+                sh.free_cells[owner].push(idx);
+            }
+            drop(sh);
+            self.p.advance(
+                cells.len() as u64 * self.nem.os.machine().cfg().costs.queue_op,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rendezvous path
+    // ------------------------------------------------------------------
+
+    fn rndv_send(&self, dst: usize, tag: i32, buf: BufId, off: u64, len: u64) -> Request {
+        let me = self.rank();
+        let req = self.new_req(ReqState::Active);
+        let msg_id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_msg_id += 1;
+            (me as u64) << 48 | inner.next_msg_id
+        };
+        let backend = match self.nem.cfg.lmt {
+            LmtSelect::Dynamic => self.nem.dynamic_backend(self.p.core(), dst, len),
+            fixed => fixed,
+        };
+        let (wire, state) = match backend {
+            LmtSelect::Dynamic => unreachable!("resolved above"),
+            LmtSelect::ShmCopy => {
+                self.nem.ensure_ring(me, dst);
+                (LmtWire::Shm, SendState::ShmAcquire)
+            }
+            LmtSelect::PipeWritev => {
+                let pipe = self.nem.ensure_pipe(me, dst);
+                (
+                    LmtWire::Pipe {
+                        pipe,
+                        vmsplice: false,
+                    },
+                    SendState::PipeAcquire {
+                        vmsplice: false,
+                        pipe,
+                    },
+                )
+            }
+            LmtSelect::Vmsplice => {
+                let pipe = self.nem.ensure_pipe(me, dst);
+                (
+                    LmtWire::Pipe {
+                        pipe,
+                        vmsplice: true,
+                    },
+                    SendState::PipeAcquire {
+                        vmsplice: true,
+                        pipe,
+                    },
+                )
+            }
+            LmtSelect::Knem(_) => {
+                let cookie = self.nem.os.knem_send_cmd(self.p, &[Iov::new(buf, off, len)]);
+                (LmtWire::Knem { cookie }, SendState::KnemWait)
+            }
+        };
+        self.enqueue(
+            dst,
+            Envelope {
+                src: me,
+                tag,
+                kind: PktKind::Rts {
+                    msg_id,
+                    len,
+                    wire,
+                    concurrency: self.concurrency.get(),
+                },
+            },
+        );
+        self.inner.borrow_mut().sends.push(SendRndv {
+            req,
+            msg_id,
+            dst,
+            buf,
+            off,
+            len,
+            state,
+            done: false,
+            staging: None,
+        });
+        Request(req)
+    }
+
+    /// KNEM rendezvous send of an explicit iovec — the "vectorial
+    /// buffers" feature §5 contrasts with LIMIC2. The cookie pins every
+    /// block; the receiver's copy walks both scatter lists, so the
+    /// transfer remains single-copy.
+    fn rndv_send_iovs(&self, dst: usize, tag: i32, iovs: &[Iov], len: u64) -> Request {
+        debug_assert!(matches!(
+            self.nem.cfg.lmt,
+            LmtSelect::Knem(_) | LmtSelect::Dynamic
+        ));
+        debug_assert_eq!(Iov::total(iovs), len);
+        let me = self.rank();
+        let req = self.new_req(ReqState::Active);
+        let msg_id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_msg_id += 1;
+            (me as u64) << 48 | inner.next_msg_id
+        };
+        let cookie = self.nem.os.knem_send_cmd(self.p, iovs);
+        self.enqueue(
+            dst,
+            Envelope {
+                src: me,
+                tag,
+                kind: PktKind::Rts {
+                    msg_id,
+                    len,
+                    wire: LmtWire::Knem { cookie },
+                    concurrency: self.concurrency.get(),
+                },
+            },
+        );
+        self.inner.borrow_mut().sends.push(SendRndv {
+            req,
+            msg_id,
+            dst,
+            // The cookie owns the block list; buf/off are unused while
+            // waiting for the receiver's DONE.
+            buf: iovs[0].buf,
+            off: iovs[0].off,
+            len,
+            state: SendState::KnemWait,
+            done: false,
+            staging: None,
+        });
+        Request(req)
+    }
+
+    // ------------------------------------------------------------------
+    // Envelope plumbing
+    // ------------------------------------------------------------------
+
+    fn enqueue(&self, dst: usize, env: Envelope) {
+        let start = self.p.now();
+        loop {
+            {
+                let mut sh = self.nem.sh.lock();
+                if sh.queues[dst].len() < self.nem.cfg.queue_slots {
+                    sh.queues[dst].push_back(env);
+                    break;
+                }
+            }
+            self.progress();
+            self.p.poll_tick();
+            assert!(
+                self.p.now() - start < WATCHDOG_PS,
+                "receive queue of rank {dst} full for >200 simulated seconds"
+            );
+        }
+        self.nem.seg.charge_enqueue(self.p, &self.nem.os, dst);
+        self.p.yield_now();
+    }
+
+    fn env_matches(env: &Envelope, src: Option<usize>, tag: Option<i32>) -> bool {
+        src.map(|s| s == env.src).unwrap_or(true) && tag.map(|t| t == env.tag).unwrap_or(true)
+    }
+
+    /// Whether a parked envelope is deliverable (reassemblies only match
+    /// once every fragment has arrived).
+    fn env_ready(env: &Envelope) -> bool {
+        !matches!(
+            env.kind,
+            PktKind::EagerPartial { len, received, .. } if received < len
+        )
+    }
+
+    /// Deliver a matched envelope into a posted receive. `layout` selects
+    /// a noncontiguous destination; `buf`/`off` describe the contiguous
+    /// case (with `layout`, `off` is ignored in favour of its blocks).
+    fn deliver_any(
+        &self,
+        env: Envelope,
+        req: usize,
+        buf: BufId,
+        off: u64,
+        cap: u64,
+        layout: Option<VectorLayout>,
+    ) {
+        match env.kind {
+            PktKind::Eager { len, ref cells } => {
+                assert!(len <= cap, "eager message ({len} B) overflows receive buffer ({cap} B)");
+                let dst = self.dst_segments(buf, off, len, layout.as_ref());
+                self.eager_deliver(cells, len, &dst);
+                self.inner.borrow_mut().reqs[req] = ReqState::Done;
+            }
+            PktKind::EagerBuffered {
+                len,
+                cap: tmp_cap,
+                tmp,
+            }
+            | PktKind::EagerPartial {
+                len,
+                cap: tmp_cap,
+                tmp,
+                received: _,
+                msg_id: _,
+            } => {
+                debug_assert!(
+                    Self::env_ready(&env),
+                    "incomplete reassembly must never match"
+                );
+                assert!(len <= cap, "eager message ({len} B) overflows receive buffer ({cap} B)");
+                match layout {
+                    Some(l) => unpack(&self.nem.os, self.p, tmp, 0, buf, &l),
+                    None => self.nem.os.user_copy(self.p, tmp, 0, buf, off, len),
+                }
+                let mut inner = self.inner.borrow_mut();
+                inner.tmp_pool.push((tmp_cap, tmp));
+                inner.reqs[req] = ReqState::Done;
+            }
+            PktKind::Rts {
+                msg_id,
+                len,
+                wire,
+                concurrency,
+            } => {
+                assert!(len <= cap, "rendezvous message ({len} B) overflows receive buffer ({cap} B)");
+                let state = match wire {
+                    LmtWire::Shm => RecvState::ShmActive {
+                        recvd: 0,
+                        next_slot: 0,
+                    },
+                    LmtWire::Pipe { .. } => RecvState::PipeActive { read: 0 },
+                    LmtWire::Knem { .. } => RecvState::KnemIssue,
+                };
+                // KNEM consumes scatter layouts natively (receive iovec);
+                // the byte-stream wires receive into a staging buffer and
+                // unpack on completion.
+                let (buf, off, layout, staging) = match (&wire, layout) {
+                    (LmtWire::Knem { .. }, l) => (buf, off, l, None),
+                    (_, Some(l)) => {
+                        let (scap, stage) = self.tmp_acquire(len);
+                        (stage, 0, Some(l), Some((scap, stage, buf)))
+                    }
+                    (_, None) => (buf, off, None, None),
+                };
+                self.inner.borrow_mut().recvs.push(RecvRndv {
+                    req,
+                    src: env.src,
+                    msg_id,
+                    buf,
+                    off,
+                    len,
+                    wire,
+                    concurrency,
+                    state,
+                    done: false,
+                    layout,
+                    staging,
+                });
+            }
+            PktKind::EagerFrag { .. } => unreachable!("fragments are routed by handle_frag"),
+            PktKind::Done { .. } => unreachable!("Done packets are handled in progress()"),
+        }
+    }
+
+    /// Destination segments of a receive: the layout's blocks, or one
+    /// contiguous run.
+    fn dst_segments(
+        &self,
+        buf: BufId,
+        off: u64,
+        len: u64,
+        layout: Option<&VectorLayout>,
+    ) -> Vec<(BufId, u64, u64)> {
+        match layout {
+            Some(l) => {
+                debug_assert_eq!(l.total(), len);
+                l.blocks().into_iter().map(|(o, n)| (buf, o, n)).collect()
+            }
+            None => vec![(buf, off, len)],
+        }
+    }
+
+    /// Route one fragment of a streamed eager message: into the matched
+    /// receive's segments, onto an unexpected reassembly, or (first
+    /// fragment) through matching.
+    fn handle_frag(&self, env: Envelope) {
+        let PktKind::EagerFrag {
+            msg_id,
+            len,
+            off,
+            ref cells,
+        } = env.kind
+        else {
+            unreachable!()
+        };
+        let n: u64 = cells.iter().map(|c| c.2).sum();
+        // (a) Later fragment of a message already matched to a receive.
+        let pos = {
+            let inner = self.inner.borrow();
+            inner
+                .eager_in
+                .iter()
+                .position(|f| f.src == env.src && f.msg_id == msg_id)
+        };
+        if let Some(i) = pos {
+            let dst_sub = segs_slice(&self.inner.borrow().eager_in[i].dst, off, n);
+            self.eager_deliver(cells, n, &dst_sub);
+            let mut inner = self.inner.borrow_mut();
+            let f = &mut inner.eager_in[i];
+            f.received += n;
+            if f.received == f.total {
+                let req = f.req;
+                inner.eager_in.swap_remove(i);
+                inner.reqs[req] = ReqState::Done;
+            }
+            return;
+        }
+        // (b) Later fragment of an unexpected message: append to its
+        // reassembly staging.
+        let partial = {
+            let inner = self.inner.borrow();
+            inner.unexpected.iter().enumerate().find_map(|(qi, e)| {
+                if e.src != env.src {
+                    return None;
+                }
+                match e.kind {
+                    PktKind::EagerPartial { msg_id: m, tmp, .. } if m == msg_id => {
+                        Some((qi, tmp))
+                    }
+                    _ => None,
+                }
+            })
+        };
+        if let Some((qi, tmp)) = partial {
+            self.eager_deliver(cells, n, &[(tmp, off, n)]);
+            let complete = {
+                let mut inner = self.inner.borrow_mut();
+                match &mut inner.unexpected[qi].kind {
+                    PktKind::EagerPartial { received, len, .. } => {
+                        *received += n;
+                        received == len
+                    }
+                    _ => unreachable!(),
+                }
+            };
+            if complete {
+                // A receive may have been posted while fragments were
+                // still streaming in; it could never match the partial,
+                // so re-run matching now.
+                let rematch = {
+                    let mut inner = self.inner.borrow_mut();
+                    let e = &inner.unexpected[qi];
+                    let pos = inner
+                        .posted
+                        .iter()
+                        .position(|pr| Self::env_matches(e, pr.src, pr.tag));
+                    pos.map(|pi| {
+                        let env = inner.unexpected.remove(qi).unwrap();
+                        (env, inner.posted.remove(pi))
+                    })
+                };
+                if let Some((env, pr)) = rematch {
+                    self.deliver_any(env, pr.req, pr.buf, pr.off, pr.cap, pr.layout);
+                }
+            }
+            return;
+        }
+        // (c) First fragment: match against posted receives, or start an
+        // unexpected reassembly.
+        debug_assert_eq!(off, 0, "first fragment must carry offset 0");
+        let matched = {
+            let mut inner = self.inner.borrow_mut();
+            let pos = inner
+                .posted
+                .iter()
+                .position(|pr| Self::env_matches(&env, pr.src, pr.tag));
+            pos.map(|i| inner.posted.remove(i))
+        };
+        match matched {
+            Some(pr) => {
+                assert!(
+                    len <= pr.cap,
+                    "eager message ({len} B) overflows receive buffer ({} B)",
+                    pr.cap
+                );
+                let dst = self.dst_segments(pr.buf, pr.off, len, pr.layout.as_ref());
+                self.eager_deliver(cells, n, &segs_slice(&dst, 0, n));
+                let mut inner = self.inner.borrow_mut();
+                if n == len {
+                    inner.reqs[pr.req] = ReqState::Done;
+                } else {
+                    inner.eager_in.push(EagerInflight {
+                        src: env.src,
+                        msg_id,
+                        req: pr.req,
+                        dst,
+                        total: len,
+                        received: n,
+                    });
+                }
+            }
+            None => {
+                let (cap, tmp) = self.tmp_acquire(len);
+                self.eager_deliver(cells, n, &[(tmp, 0, n)]);
+                self.inner.borrow_mut().unexpected.push_back(Envelope {
+                    src: env.src,
+                    tag: env.tag,
+                    kind: PktKind::EagerPartial {
+                        msg_id,
+                        len,
+                        cap,
+                        tmp,
+                        received: n,
+                    },
+                });
+            }
+        }
+    }
+
+    fn handle_env(&self, env: Envelope) {
+        if let PktKind::EagerFrag { .. } = env.kind {
+            return self.handle_frag(env);
+        }
+        if let PktKind::Done { msg_id } = env.kind {
+            let mut inner = self.inner.borrow_mut();
+            let s = inner
+                .sends
+                .iter_mut()
+                .find(|s| s.msg_id == msg_id)
+                .expect("DONE for unknown send");
+            debug_assert!(matches!(s.state, SendState::KnemWait));
+            s.done = true;
+            let req = s.req;
+            inner.reqs[req] = ReqState::Done;
+            inner.sends.retain(|s| !s.done);
+            return;
+        }
+        // Eager or RTS: match against posted receives in post order.
+        let matched = {
+            let mut inner = self.inner.borrow_mut();
+            let pos = inner
+                .posted
+                .iter()
+                .position(|pr| Self::env_matches(&env, pr.src, pr.tag));
+            pos.map(|i| inner.posted.remove(i))
+        };
+        match matched {
+            Some(pr) => self.deliver_any(env, pr.req, pr.buf, pr.off, pr.cap, pr.layout),
+            None => {
+                let env = self.buffer_unexpected(env);
+                self.inner.borrow_mut().unexpected.push_back(env);
+            }
+        }
+    }
+
+    /// Copy an unexpected eager payload out of the sender's shared cells
+    /// into a private temporary buffer and release the cells — MPICH2's
+    /// unexpected-receive path. Without this, a sender flooding a receiver
+    /// that matches in a different order starves of cells and the eager
+    /// flow control deadlocks.
+    fn buffer_unexpected(&self, env: Envelope) -> Envelope {
+        let PktKind::Eager { len, ref cells } = env.kind else {
+            return env;
+        };
+        if cells.is_empty() {
+            return env;
+        }
+        let (cap, tmp) = self.tmp_acquire(len);
+        let mut done = 0;
+        for &(owner, idx, n) in cells {
+            self.nem.os.user_copy(
+                self.p,
+                self.nem.seg.cell_pool[owner],
+                self.nem.seg.cell_off(idx),
+                tmp,
+                done,
+                n,
+            );
+            done += n;
+        }
+        debug_assert_eq!(done, len);
+        {
+            let mut sh = self.nem.sh.lock();
+            for &(owner, idx, _) in cells {
+                sh.free_cells[owner].push(idx);
+            }
+        }
+        self.p
+            .advance(cells.len() as u64 * self.nem.os.machine().cfg().costs.queue_op);
+        Envelope {
+            kind: PktKind::EagerBuffered { len, cap, tmp },
+            ..env
+        }
+    }
+
+    /// Acquire a private temporary buffer of at least `len` bytes from
+    /// the recycling pool (capacities are rounded to cell-payload
+    /// granules so buffers re-match).
+    fn tmp_acquire(&self, len: u64) -> (u64, BufId) {
+        let granule = self.nem.cfg.cell_payload.max(64);
+        let cap = len.div_ceil(granule).max(1) * granule;
+        let mut inner = self.inner.borrow_mut();
+        match inner.tmp_pool.iter().position(|&(c, _)| c == cap) {
+            Some(i) => inner.tmp_pool.swap_remove(i),
+            None => (cap, self.nem.os.alloc(self.rank(), cap)),
+        }
+    }
+
+    /// Piecewise copy between two segment lists of equal total length,
+    /// charging every byte through the cache model. The workhorse of
+    /// noncontiguous eager sends/receives.
+    fn scatter_copy(&self, src: &[(BufId, u64, u64)], dst: &[(BufId, u64, u64)]) {
+        debug_assert_eq!(
+            src.iter().map(|s| s.2).sum::<u64>(),
+            dst.iter().map(|d| d.2).sum::<u64>(),
+            "segment totals must match"
+        );
+        let mut si = 0;
+        let mut soff = 0u64;
+        for &(dbuf, doff, dlen) in dst {
+            let mut done = 0u64;
+            while done < dlen {
+                let (sbuf, sbase, slen) = src[si];
+                let n = (slen - soff).min(dlen - done);
+                self.nem
+                    .os
+                    .user_copy(self.p, sbuf, sbase + soff, dbuf, doff + done, n);
+                soff += n;
+                done += n;
+                if soff == slen {
+                    si += 1;
+                    soff = 0;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Progress engine
+    // ------------------------------------------------------------------
+
+    /// One pass of the progress engine; returns whether any work was done.
+    pub fn progress(&self) -> bool {
+        let me = self.rank();
+        let mut did = false;
+        // 1. Drain the receive queue.
+        let envs: Vec<Envelope> = {
+            let mut sh = self.nem.sh.lock();
+            sh.queues[me].drain(..).collect()
+        };
+        self.nem.seg.charge_queue_poll(self.p, &self.nem.os);
+        if !envs.is_empty() {
+            self.nem.seg.charge_dequeue(self.p, &self.nem.os, envs.len());
+            did = true;
+            for env in envs {
+                self.handle_env(env);
+            }
+        }
+        // 2. Step active receives (taken out to avoid reborrowing).
+        // Rings and pipes are per-pair FIFO resources: precompute, for
+        // each pair, the oldest active transfer so only it touches the
+        // shared resource this pass.
+        let mut recvs = std::mem::take(&mut self.inner.borrow_mut().recvs);
+        let recv_heads = pair_heads(recvs.iter().filter_map(|r| {
+            matches!(r.wire, LmtWire::Pipe { .. }).then_some((r.src, r.msg_id))
+        }));
+        for r in &mut recvs {
+            did |= self.step_recv(r, &recv_heads);
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            recvs.retain(|r| !r.done);
+            recvs.append(&mut inner.recvs); // any added meanwhile (none today)
+            inner.recvs = recvs;
+        }
+        // 3. Step active sends.
+        let mut sends = std::mem::take(&mut self.inner.borrow_mut().sends);
+        let send_heads = pair_heads(sends.iter().filter_map(|s| {
+            (!matches!(s.state, SendState::KnemWait)).then_some((s.dst, s.msg_id))
+        }));
+        for s in &mut sends {
+            did |= self.step_send(s, &send_heads);
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            sends.retain(|s| !s.done);
+            sends.append(&mut inner.sends);
+            inner.sends = sends;
+        }
+        did
+    }
+
+    /// Mark a rendezvous send complete, recycling its pack staging.
+    fn complete_send(&self, s: &mut SendRndv) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((cap, stage)) = s.staging.take() {
+            inner.tmp_pool.push((cap, stage));
+        }
+        inner.reqs[s.req] = ReqState::Done;
+        s.done = true;
+    }
+
+    /// Mark a rendezvous receive complete: unpack the staging buffer into
+    /// the user layout (scatter-blind wires only), recycle it, and
+    /// complete the request.
+    fn complete_recv(&self, r: &mut RecvRndv) {
+        if let Some((cap, stage, user_buf)) = r.staging.take() {
+            let layout = r.layout.expect("staged receives carry a layout");
+            unpack(&self.nem.os, self.p, stage, 0, user_buf, &layout);
+            self.inner.borrow_mut().tmp_pool.push((cap, stage));
+        }
+        r.done = true;
+        self.inner.borrow_mut().reqs[r.req] = ReqState::Done;
+    }
+
+    fn step_send(&self, s: &mut SendRndv, heads: &PairHeads) -> bool {
+        let os = &self.nem.os;
+        let cfg = &self.nem.cfg;
+        let me = self.rank();
+        match s.state {
+            SendState::KnemWait => false, // completed by DONE envelope
+            SendState::ShmAcquire => {
+                // FIFO per pair: acquire only if we are the oldest.
+                if heads.get(&s.dst) != Some(&s.msg_id) {
+                    return false;
+                }
+                let key = self.nem.ring_key(me, s.dst);
+                let mut sh = self.nem.sh.lock();
+                let ring = sh.rings.get_mut(&key).expect("ring exists");
+                if ring.owner.is_none() {
+                    ring.owner = Some(s.msg_id);
+                    drop(sh);
+                    s.state = SendState::ShmActive {
+                        sent: 0,
+                        next_slot: 0,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            SendState::ShmActive {
+                ref mut sent,
+                ref mut next_slot,
+            } => {
+                let key = self.nem.ring_key(me, s.dst);
+                let mut did = false;
+                // Fill every currently-free buffer (double buffering).
+                while *sent < s.len {
+                    let slot = *next_slot % cfg.ring_bufs;
+                    let (fill, ring_buf) = {
+                        let sh = self.nem.sh.lock();
+                        let ring = &sh.rings[&key];
+                        // Check the slot flag (cached read).
+                        self.nem.seg.charge_flag(self.p, os, ring, slot, false);
+                        (ring.fill[slot], ring.bufs[slot])
+                    };
+                    if fill != 0 {
+                        break; // receiver hasn't drained it yet
+                    }
+                    let n = (s.len - *sent).min(cfg.ring_chunk);
+                    os.user_copy(self.p, s.buf, s.off + *sent, ring_buf, 0, n);
+                    {
+                        let mut sh = self.nem.sh.lock();
+                        let ring = sh.rings.get_mut(&key).unwrap();
+                        ring.fill[slot] = n;
+                        self.nem.seg.charge_flag(self.p, os, ring, slot, true);
+                    }
+                    *sent += n;
+                    *next_slot += 1;
+                    did = true;
+                }
+                if *sent == s.len {
+                    // Complete once the receiver drained everything.
+                    let drained = {
+                        let sh = self.nem.sh.lock();
+                        sh.rings[&key].fill.iter().all(|&f| f == 0)
+                    };
+                    if drained {
+                        let mut sh = self.nem.sh.lock();
+                        sh.rings.get_mut(&key).unwrap().owner = None;
+                        drop(sh);
+                        self.complete_send(s);
+                        did = true;
+                    }
+                }
+                did
+            }
+            SendState::PipeAcquire { vmsplice, pipe } => {
+                if heads.get(&s.dst) != Some(&s.msg_id) {
+                    return false;
+                }
+                let key = (me, s.dst);
+                let mut sh = self.nem.sh.lock();
+                let pp = sh.pipes.get_mut(&key).expect("pipe exists");
+                if pp.busy_parties == 0 {
+                    pp.busy_parties = 2;
+                    drop(sh);
+                    s.state = SendState::PipeActive {
+                        written: 0,
+                        vmsplice,
+                        pipe,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            SendState::PipeActive {
+                ref mut written,
+                vmsplice,
+                pipe,
+            } => {
+                if *written >= s.len {
+                    return false;
+                }
+                let n = if vmsplice {
+                    os.pipe_try_vmsplice(self.p, pipe, s.buf, s.off + *written, s.len - *written)
+                } else {
+                    os.pipe_try_write(self.p, pipe, s.buf, s.off + *written, s.len - *written)
+                };
+                *written += n;
+                if *written == s.len {
+                    if vmsplice {
+                        // Gift semantics: pages must remain valid until read.
+                        s.state = SendState::PipeDrain { pipe };
+                    } else {
+                        self.finish_pipe_side(me, s.dst);
+                        self.complete_send(s);
+                    }
+                }
+                n > 0
+            }
+            SendState::PipeDrain { pipe } => {
+                if self.nem.os.pipe_is_drained(pipe) {
+                    self.finish_pipe_side(me, s.dst);
+                    self.complete_send(s);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn finish_pipe_side(&self, src: usize, dst: usize) {
+        let mut sh = self.nem.sh.lock();
+        let pp = sh.pipes.get_mut(&(src, dst)).expect("pipe exists");
+        debug_assert!(pp.busy_parties > 0);
+        pp.busy_parties -= 1;
+    }
+
+    fn step_recv(&self, r: &mut RecvRndv, heads: &PairHeads) -> bool {
+        let os = &self.nem.os;
+        let cfg = &self.nem.cfg;
+        let me = self.rank();
+        match r.state {
+            RecvState::ShmActive {
+                ref mut recvd,
+                ref mut next_slot,
+            } => {
+                let key = self.nem.ring_key(r.src, me);
+                // Only drain when the ring belongs to our message.
+                {
+                    let sh = self.nem.sh.lock();
+                    match sh.rings.get(&key) {
+                        Some(ring) if ring.owner == Some(r.msg_id) => {}
+                        _ => return false,
+                    }
+                }
+                let mut did = false;
+                while *recvd < r.len {
+                    let slot = *next_slot % cfg.ring_bufs;
+                    let (fill, ring_buf) = {
+                        let sh = self.nem.sh.lock();
+                        let ring = &sh.rings[&key];
+                        self.nem.seg.charge_flag(self.p, os, ring, slot, false);
+                        (ring.fill[slot], ring.bufs[slot])
+                    };
+                    if fill == 0 {
+                        break; // sender hasn't filled it yet
+                    }
+                    os.user_copy(self.p, ring_buf, 0, r.buf, r.off + *recvd, fill);
+                    {
+                        let mut sh = self.nem.sh.lock();
+                        let ring = sh.rings.get_mut(&key).unwrap();
+                        ring.fill[slot] = 0;
+                        self.nem.seg.charge_flag(self.p, os, ring, slot, true);
+                    }
+                    *recvd += fill;
+                    *next_slot += 1;
+                    did = true;
+                }
+                if *recvd == r.len {
+                    self.complete_recv(r);
+                }
+                did
+            }
+            RecvState::PipeActive { ref mut read } => {
+                let LmtWire::Pipe { pipe, .. } = r.wire else {
+                    unreachable!()
+                };
+                if heads.get(&r.src) != Some(&r.msg_id) {
+                    return false;
+                }
+                // The byte stream carries messages in FIFO order; only
+                // read once the sender has acquired the pipe for *us*
+                // (bytes present imply that).
+                let avail = os.pipe_bytes_available(pipe);
+                if avail == 0 {
+                    return false;
+                }
+                let n = os.pipe_try_read(self.p, pipe, r.buf, r.off + *read, r.len - *read);
+                *read += n;
+                if *read == r.len {
+                    self.finish_pipe_side(r.src, me);
+                    self.complete_recv(r);
+                }
+                n > 0
+            }
+            RecvState::KnemIssue => {
+                let LmtWire::Knem { cookie } = r.wire else {
+                    unreachable!()
+                };
+                let sel = match self.nem.cfg.lmt {
+                    LmtSelect::Knem(sel) => sel,
+                    // The blended policy always uses the DMAmin-driven
+                    // automatic mode when it picked KNEM.
+                    LmtSelect::Dynamic => KnemSelect::Auto,
+                    // The sender chose KNEM; if our config disagrees we
+                    // still honour the wire protocol with the default.
+                    _ => KnemSelect::SyncCpu,
+                };
+                let flags = self.resolve_knem(sel, r.len, r.concurrency);
+                let status = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.status_pool.pop()
+                }
+                .unwrap_or_else(|| os.knem_alloc_status(me));
+                // Scatter receives hand KNEM the block list directly —
+                // the kernel copy walks both iovecs (single copy).
+                let iovs = match &r.layout {
+                    Some(l) => l.iovs(r.buf),
+                    None => vec![Iov::new(r.buf, r.off, r.len)],
+                };
+                os.knem_recv_cmd(self.p, cookie, &iovs, flags, status);
+                r.state = RecvState::KnemPoll { status };
+                true
+            }
+            RecvState::KnemPoll { status } => {
+                if os.knem_poll_status(self.p, status) {
+                    let LmtWire::Knem { cookie } = r.wire else {
+                        unreachable!()
+                    };
+                    os.knem_destroy_cookie(self.p, cookie);
+                    os.knem_reset_status(self.p, status);
+                    self.inner.borrow_mut().status_pool.push(status);
+                    self.enqueue(
+                        r.src,
+                        Envelope {
+                            src: me,
+                            tag: 0,
+                            kind: PktKind::Done { msg_id: r.msg_id },
+                        },
+                    );
+                    self.complete_recv(r);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// §3.5: decide how the KNEM receive command runs.
+    pub fn resolve_knem(&self, sel: KnemSelect, len: u64, concurrency: u32) -> KnemFlags {
+        match sel {
+            KnemSelect::SyncCpu => KnemFlags::sync_cpu(),
+            KnemSelect::AsyncKthread => KnemFlags::async_kthread(),
+            KnemSelect::SyncIoat => KnemFlags::sync_ioat(),
+            KnemSelect::AsyncIoat => KnemFlags::async_ioat(),
+            KnemSelect::Auto => {
+                let dma_min = self
+                    .nem
+                    .cfg
+                    .dma_min(self.nem.os.machine(), concurrency as usize);
+                if len >= dma_min {
+                    // KNEM enables async mode by default only with I/OAT
+                    // (§4.3).
+                    KnemFlags::async_ioat()
+                } else {
+                    KnemFlags::sync_cpu()
+                }
+            }
+        }
+    }
+}
+
+/// Per-peer oldest active transfer: peer rank → minimum msg id.
+type PairHeads = std::collections::HashMap<usize, u64>;
+
+fn pair_heads(items: impl Iterator<Item = (usize, u64)>) -> PairHeads {
+    let mut m = PairHeads::new();
+    for (peer, id) in items {
+        m.entry(peer)
+            .and_modify(|v| *v = (*v).min(id))
+            .or_insert(id);
+    }
+    m
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use nemesis_sim::{run_simulation, Machine, MachineConfig};
+
+    /// Run a two-rank scenario on cores (0, 4) with the given config.
+    pub(crate) fn two_ranks(
+        cfg: NemesisConfig,
+        body: impl Fn(&Comm<'_>) + Send + Sync,
+    ) -> nemesis_sim::SimReport {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Arc::new(Os::new(Arc::clone(&machine)));
+        let nem = Nemesis::new(os, 2, cfg);
+        run_simulation(machine, &[0, 4], |p| {
+            let comm = nem.attach(p);
+            body(&comm);
+        })
+    }
+
+    fn fill_pattern(comm: &Comm<'_>, buf: BufId, len: u64, seed: u8) {
+        comm.os().with_data_mut(comm.proc(), buf, |d| {
+            for (i, b) in d.iter_mut().enumerate().take(len as usize) {
+                *b = (i as u8).wrapping_mul(31).wrapping_add(seed);
+            }
+        });
+        comm.os().touch_write(comm.proc(), buf, 0, len);
+    }
+
+    fn check_pattern(comm: &Comm<'_>, buf: BufId, len: u64, seed: u8) {
+        comm.os().with_data(comm.proc(), buf, |d| {
+            for (i, b) in d.iter().enumerate().take(len as usize) {
+                assert_eq!(
+                    *b,
+                    (i as u8).wrapping_mul(31).wrapping_add(seed),
+                    "byte {i} corrupt"
+                );
+            }
+        });
+    }
+
+    fn roundtrip_with(cfg: NemesisConfig, len: u64) {
+        two_ranks(cfg, |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), len.max(1));
+            if comm.rank() == 0 {
+                fill_pattern(comm, buf, len, 42);
+                comm.send(1, 7, buf, 0, len);
+            } else {
+                comm.recv(Some(0), Some(7), buf, 0, len);
+                check_pattern(comm, buf, len, 42);
+            }
+        });
+    }
+
+    #[test]
+    fn eager_small_message() {
+        roundtrip_with(NemesisConfig::default(), 1000);
+    }
+
+    #[test]
+    fn eager_multi_cell() {
+        // 48 KiB spans 3 cells of 16 KiB.
+        roundtrip_with(NemesisConfig::default(), 48 << 10);
+    }
+
+    #[test]
+    fn eager_zero_length() {
+        roundtrip_with(NemesisConfig::default(), 0);
+    }
+
+    #[test]
+    fn eager_exactly_threshold() {
+        roundtrip_with(NemesisConfig::default(), 64 << 10);
+    }
+
+    #[test]
+    fn rndv_shm_copy() {
+        roundtrip_with(NemesisConfig::with_lmt(LmtSelect::ShmCopy), 256 << 10);
+    }
+
+    #[test]
+    fn rndv_pipe_writev() {
+        roundtrip_with(NemesisConfig::with_lmt(LmtSelect::PipeWritev), 256 << 10);
+    }
+
+    #[test]
+    fn rndv_vmsplice() {
+        roundtrip_with(NemesisConfig::with_lmt(LmtSelect::Vmsplice), 256 << 10);
+    }
+
+    #[test]
+    fn rndv_knem_sync() {
+        roundtrip_with(
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+            256 << 10,
+        );
+    }
+
+    #[test]
+    fn rndv_knem_async_kthread() {
+        roundtrip_with(
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::AsyncKthread)),
+            256 << 10,
+        );
+    }
+
+    #[test]
+    fn rndv_knem_sync_ioat() {
+        roundtrip_with(
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncIoat)),
+            256 << 10,
+        );
+    }
+
+    #[test]
+    fn rndv_knem_async_ioat() {
+        roundtrip_with(
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::AsyncIoat)),
+            256 << 10,
+        );
+    }
+
+    #[test]
+    fn rndv_knem_auto_both_sides_of_threshold() {
+        let cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto));
+        roundtrip_with(cfg.clone(), 256 << 10); // below DMAmin: sync CPU
+        roundtrip_with(cfg, 2 << 20); // above DMAmin: async I/OAT
+    }
+
+    #[test]
+    fn rndv_4mib_all_backends() {
+        for lmt in [
+            LmtSelect::ShmCopy,
+            LmtSelect::Vmsplice,
+            LmtSelect::Knem(KnemSelect::SyncCpu),
+            LmtSelect::Knem(KnemSelect::AsyncIoat),
+        ] {
+            roundtrip_with(NemesisConfig::with_lmt(lmt), 4 << 20);
+        }
+    }
+
+    #[test]
+    fn unexpected_message_then_recv() {
+        two_ranks(NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), 4096);
+            if comm.rank() == 0 {
+                fill_pattern(comm, buf, 4096, 1);
+                comm.send(1, 5, buf, 0, 4096);
+            } else {
+                // Let the message arrive unexpected first.
+                for _ in 0..200 {
+                    comm.proc().poll_tick();
+                }
+                comm.progress();
+                comm.recv(Some(0), Some(5), buf, 0, 4096);
+                check_pattern(comm, buf, 4096, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn unexpected_rts_then_recv() {
+        two_ranks(
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+            |comm| {
+                let os = comm.os();
+                let buf = os.alloc(comm.rank(), 256 << 10);
+                if comm.rank() == 0 {
+                    fill_pattern(comm, buf, 256 << 10, 2);
+                    comm.send(1, 5, buf, 0, 256 << 10);
+                } else {
+                    for _ in 0..200 {
+                        comm.proc().poll_tick();
+                    }
+                    comm.progress();
+                    comm.recv(Some(0), Some(5), buf, 0, 256 << 10);
+                    check_pattern(comm, buf, 256 << 10, 2);
+                }
+            },
+        );
+    }
+
+    /// Noncontiguous roundtrip for every LMT: a strided "matrix column"
+    /// leaves rank 0 and lands in a differently-strided column on rank 1.
+    /// KNEM does this scatter-to-scatter in the kernel; the byte-stream
+    /// wires pack/unpack through staging.
+    #[test]
+    fn vectored_roundtrip_all_lmts() {
+        for lmt in [
+            LmtSelect::ShmCopy,
+            LmtSelect::PipeWritev,
+            LmtSelect::Vmsplice,
+            LmtSelect::Knem(KnemSelect::SyncCpu),
+            LmtSelect::Knem(KnemSelect::AsyncIoat),
+            LmtSelect::Knem(KnemSelect::Auto),
+        ] {
+            // Both eager (small) and rendezvous (large) totals.
+            for (bl, count) in [(512u64, 16u64), (16 << 10, 24)] {
+                let s_layout = VectorLayout::strided(64, bl, bl * 2, count);
+                let r_layout = VectorLayout::strided(128, bl, bl * 3, count);
+                let span = s_layout.end().max(r_layout.end());
+                two_ranks(NemesisConfig::with_lmt(lmt), |comm| {
+                    let os = comm.os();
+                    let buf = os.alloc(comm.rank(), span);
+                    if comm.rank() == 0 {
+                        os.with_data_mut(comm.proc(), buf, |d| {
+                            for (i, (off, len)) in
+                                s_layout.blocks().into_iter().enumerate()
+                            {
+                                d[off as usize..(off + len) as usize]
+                                    .fill(i as u8 + 1);
+                            }
+                        });
+                        os.touch_write(comm.proc(), buf, 0, span);
+                        comm.sendv(1, 3, buf, &s_layout);
+                    } else {
+                        comm.recvv(Some(0), Some(3), buf, &r_layout);
+                        os.with_data(comm.proc(), buf, |d| {
+                            for (i, (off, len)) in
+                                r_layout.blocks().into_iter().enumerate()
+                            {
+                                assert!(
+                                    d[off as usize..(off + len) as usize]
+                                        .iter()
+                                        .all(|&b| b == i as u8 + 1),
+                                    "{lmt:?} bl={bl}: block {i} corrupt"
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+
+    /// Contiguous send received into a strided layout (and vice versa).
+    #[test]
+    fn vectored_mixed_contiguity() {
+        let layout = VectorLayout::strided(0, 8 << 10, 24 << 10, 16); // 128 KiB
+        let len = layout.total();
+        two_ranks(
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+            |comm| {
+                let os = comm.os();
+                if comm.rank() == 0 {
+                    let buf = os.alloc(0, len);
+                    fill_pattern(comm, buf, len, 5);
+                    comm.send(1, 1, buf, 0, len);
+                    // Reverse direction: strided send, contiguous recv.
+                    let s = os.alloc(0, layout.end());
+                    os.with_data_mut(comm.proc(), s, |d| d.fill(0x5A));
+                    os.touch_write(comm.proc(), s, 0, layout.end());
+                    comm.sendv(1, 2, s, &layout);
+                } else {
+                    let buf = os.alloc(1, layout.end());
+                    comm.recvv(Some(0), Some(1), buf, &layout);
+                    os.with_data(comm.proc(), buf, |d| {
+                        let mut k = 0usize;
+                        for (off, blen) in layout.blocks() {
+                            for j in 0..blen as usize {
+                                assert_eq!(
+                                    d[off as usize + j],
+                                    (k as u8).wrapping_mul(31).wrapping_add(5),
+                                    "byte {k}"
+                                );
+                                k += 1;
+                            }
+                        }
+                    });
+                    let c = os.alloc(1, len);
+                    comm.recv(Some(0), Some(2), c, 0, len);
+                    os.with_data(comm.proc(), c, |d| {
+                        assert!(d[..len as usize].iter().all(|&b| b == 0x5A));
+                    });
+                }
+            },
+        );
+    }
+
+    /// Vectored messages that arrive unexpected must still deliver
+    /// correctly (the staging path interacts with the unexpected queue).
+    #[test]
+    fn vectored_unexpected_arrival() {
+        let layout = VectorLayout::strided(0, 4 << 10, 12 << 10, 40); // 160 KiB rndv
+        two_ranks(NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            if comm.rank() == 0 {
+                let s = os.alloc(0, layout.end());
+                os.with_data_mut(comm.proc(), s, |d| d.fill(0x7E));
+                os.touch_write(comm.proc(), s, 0, layout.end());
+                comm.sendv(1, 9, s, &layout);
+            } else {
+                for _ in 0..300 {
+                    comm.proc().poll_tick();
+                }
+                comm.progress();
+                let r = os.alloc(1, layout.end());
+                comm.recvv(Some(0), Some(9), r, &layout);
+                os.with_data(comm.proc(), r, |d| {
+                    for (off, blen) in layout.blocks() {
+                        assert!(d[off as usize..(off + blen) as usize]
+                            .iter()
+                            .all(|&b| b == 0x7E));
+                    }
+                });
+            }
+        });
+    }
+
+    /// The blended policy resolves per pair: shared-cache pairs take the
+    /// ring, cross-socket pairs take KNEM (when loaded), and data stays
+    /// byte-exact either way.
+    #[test]
+    fn dynamic_policy_resolves_per_pair() {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Arc::new(Os::new(Arc::clone(&machine)));
+        let nem = Nemesis::new(os, 3, NemesisConfig::with_lmt(LmtSelect::Dynamic));
+        // Ranks 0,1 share an L2 (cores 0,1); rank 2 sits across the
+        // socket (core 4).
+        run_simulation(machine, &[0, 1, 4], |p| {
+            let comm = nem.attach(p);
+            comm.barrier(); // everyone attached: cores are known
+            let os = comm.os();
+            let me = comm.rank();
+            let len = 256 << 10;
+            let buf = os.alloc(me, len);
+            match me {
+                0 => {
+                    os.with_data_mut(comm.proc(), buf, |d| d.fill(0xAB));
+                    os.touch_write(comm.proc(), buf, 0, len);
+                    comm.send(1, 1, buf, 0, len);
+                    comm.send(2, 2, buf, 0, len);
+                }
+                1 => {
+                    comm.recv(Some(0), Some(1), buf, 0, len);
+                    os.with_data(comm.proc(), buf, |d| {
+                        assert!(d.iter().all(|&b| b == 0xAB))
+                    });
+                }
+                _ => {
+                    comm.recv(Some(0), Some(2), buf, 0, len);
+                    os.with_data(comm.proc(), buf, |d| {
+                        assert!(d.iter().all(|&b| b == 0xAB))
+                    });
+                }
+            }
+            comm.barrier();
+        });
+        // KNEM was used for the cross-socket transfer only: exactly one
+        // send cookie was created and destroyed.
+        assert_eq!(nem.os().knem_live_cookies(), 0);
+    }
+
+    /// The blended policy composes with vectored transfers: the KNEM arm
+    /// uses native scatter, the ring arm packs/unpacks, both byte-exact.
+    #[test]
+    fn dynamic_policy_with_vectored_payloads() {
+        let layout = VectorLayout::strided(0, 8 << 10, 24 << 10, 16); // 128 KiB
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Arc::new(Os::new(Arc::clone(&machine)));
+        let nem = Nemesis::new(os, 3, NemesisConfig::with_lmt(LmtSelect::Dynamic));
+        // Rank 1 shares rank 0's L2; rank 2 is cross-socket.
+        run_simulation(machine, &[0, 1, 4], |p| {
+            let comm = nem.attach(p);
+            comm.barrier();
+            let os = comm.os();
+            let me = comm.rank();
+            let buf = os.alloc(me, layout.end());
+            if me == 0 {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(0x3C));
+                os.touch_write(comm.proc(), buf, 0, layout.end());
+                comm.sendv(1, 1, buf, &layout);
+                comm.sendv(2, 2, buf, &layout);
+            } else {
+                comm.recvv(Some(0), Some(me as i32), buf, &layout);
+                os.with_data(comm.proc(), buf, |d| {
+                    for (off, len) in layout.blocks() {
+                        assert!(
+                            d[off as usize..(off + len) as usize]
+                                .iter()
+                                .all(|&b| b == 0x3C),
+                            "rank {me}"
+                        );
+                    }
+                });
+            }
+            comm.barrier();
+        });
+    }
+
+    /// With KNEM unavailable, the blended policy falls back to vmsplice
+    /// for non-shared pairs (the §2 deployment discussion).
+    #[test]
+    fn dynamic_policy_without_knem_uses_vmsplice() {
+        let mut cfg = NemesisConfig::with_lmt(LmtSelect::Dynamic);
+        cfg.knem_available = false;
+        two_ranks(cfg, |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), 200_000);
+            if comm.rank() == 0 {
+                fill_pattern(comm, buf, 200_000, 8);
+                comm.send(1, 0, buf, 0, 200_000);
+            } else {
+                comm.recv(Some(0), Some(0), buf, 0, 200_000);
+                check_pattern(comm, buf, 200_000, 8);
+            }
+        });
+    }
+
+    /// A message needing more cells than the pool exists must stream
+    /// through in fragments and reassemble byte-exactly.
+    #[test]
+    fn eager_fragmented_when_pool_smaller_than_message() {
+        let mut cfg = NemesisConfig::default();
+        cfg.cell_payload = 1 << 10;
+        cfg.cells_per_proc = 3;
+        cfg.eager_max = 64 << 10;
+        two_ranks(cfg, |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), 40 << 10);
+            if comm.rank() == 0 {
+                fill_pattern(comm, buf, 40 << 10, 17);
+                comm.send(1, 4, buf, 0, 40 << 10);
+            } else {
+                comm.recv(Some(0), Some(4), buf, 0, 40 << 10);
+                check_pattern(comm, buf, 40 << 10, 17);
+            }
+        });
+    }
+
+    /// Fragmented messages that arrive unexpected reassemble in a
+    /// temporary buffer and deliver when finally matched — including
+    /// when the matching receive is posted mid-stream.
+    #[test]
+    fn eager_fragmented_unexpected_and_out_of_order() {
+        let mut cfg = NemesisConfig::default();
+        cfg.cell_payload = 1 << 10;
+        cfg.cells_per_proc = 2;
+        cfg.eager_max = 64 << 10;
+        two_ranks(cfg, |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), 16 << 10);
+            let buf2 = os.alloc(comm.rank(), 16 << 10);
+            if comm.rank() == 0 {
+                fill_pattern(comm, buf, 16 << 10, 3);
+                fill_pattern(comm, buf2, 16 << 10, 9);
+                comm.send(1, 30, buf, 0, 16 << 10);
+                comm.send(1, 31, buf2, 0, 16 << 10);
+            } else {
+                // Receive the *second* message first: the first must
+                // reassemble as unexpected while its cells recycle.
+                comm.recv(Some(0), Some(31), buf2, 0, 16 << 10);
+                check_pattern(comm, buf2, 16 << 10, 9);
+                comm.recv(Some(0), Some(30), buf, 0, 16 << 10);
+                check_pattern(comm, buf, 16 << 10, 3);
+            }
+        });
+    }
+
+    /// Vectored payloads also fragment correctly (blocks split across
+    /// fragment boundaries).
+    #[test]
+    fn eager_fragmented_vectored() {
+        let mut cfg = NemesisConfig::default();
+        cfg.cell_payload = 1 << 10;
+        cfg.cells_per_proc = 3;
+        cfg.eager_max = 64 << 10;
+        // 24 blocks of 700 B with stride 1700: 16.8 KiB total, block
+        // boundaries misaligned with the 1 KiB cells.
+        let layout = VectorLayout::strided(8, 700, 1700, 24);
+        two_ranks(cfg, |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), layout.end());
+            if comm.rank() == 0 {
+                os.with_data_mut(comm.proc(), buf, |d| {
+                    for (i, (off, len)) in layout.blocks().into_iter().enumerate() {
+                        d[off as usize..(off + len) as usize].fill(i as u8 + 1);
+                    }
+                });
+                os.touch_write(comm.proc(), buf, 0, layout.end());
+                comm.sendv(1, 6, buf, &layout);
+            } else {
+                comm.recvv(Some(0), Some(6), buf, &layout);
+                os.with_data(comm.proc(), buf, |d| {
+                    for (i, (off, len)) in layout.blocks().into_iter().enumerate() {
+                        assert!(
+                            d[off as usize..(off + len) as usize]
+                                .iter()
+                                .all(|&b| b == i as u8 + 1),
+                            "block {i} corrupt"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        two_ranks(NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            if comm.rank() == 0 {
+                let a = os.alloc(0, 64);
+                let b = os.alloc(0, 64);
+                os.with_data_mut(comm.proc(), a, |d| d.fill(0xAA));
+                os.with_data_mut(comm.proc(), b, |d| d.fill(0xBB));
+                comm.send(1, 1, a, 0, 64);
+                comm.send(1, 2, b, 0, 64);
+            } else {
+                let a = os.alloc(1, 64);
+                let b = os.alloc(1, 64);
+                // Receive tag 2 first, then tag 1.
+                comm.recv(Some(0), Some(2), b, 0, 64);
+                comm.recv(Some(0), Some(1), a, 0, 64);
+                os.with_data(comm.proc(), a, |d| assert!(d.iter().all(|&x| x == 0xAA)));
+                os.with_data(comm.proc(), b, |d| assert!(d.iter().all(|&x| x == 0xBB)));
+            }
+        });
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        two_ranks(NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), 128);
+            if comm.rank() == 0 {
+                fill_pattern(comm, buf, 128, 9);
+                comm.send(1, 77, buf, 0, 128);
+            } else {
+                comm.recv(ANY_SOURCE, ANY_TAG, buf, 0, 128);
+                check_pattern(comm, buf, 128, 9);
+            }
+        });
+    }
+
+    #[test]
+    fn many_messages_fifo_order() {
+        // 20 eager messages with the same tag must arrive in order.
+        two_ranks(NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), 1024);
+            if comm.rank() == 0 {
+                for i in 0..20u8 {
+                    os.with_data_mut(comm.proc(), buf, |d| d.fill(i));
+                    comm.send(1, 3, buf, 0, 1024);
+                }
+            } else {
+                for i in 0..20u8 {
+                    comm.recv(Some(0), Some(3), buf, 0, 1024);
+                    os.with_data(comm.proc(), buf, |d| {
+                        assert!(d.iter().all(|&x| x == i), "message {i} out of order")
+                    });
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn back_to_back_rndv_same_pair_fifo() {
+        // Two large messages through the same ring must not interleave.
+        for lmt in [LmtSelect::ShmCopy, LmtSelect::Vmsplice] {
+            two_ranks(NemesisConfig::with_lmt(lmt), |comm| {
+                let os = comm.os();
+                if comm.rank() == 0 {
+                    let a = os.alloc(0, 200 << 10);
+                    let b = os.alloc(0, 200 << 10);
+                    os.with_data_mut(comm.proc(), a, |d| d.fill(0x11));
+                    os.with_data_mut(comm.proc(), b, |d| d.fill(0x22));
+                    let ra = comm.isend(1, 1, a, 0, 200 << 10);
+                    let rb = comm.isend(1, 2, b, 0, 200 << 10);
+                    comm.waitall(&[ra, rb]);
+                } else {
+                    let a = os.alloc(1, 200 << 10);
+                    let b = os.alloc(1, 200 << 10);
+                    let ra = comm.irecv(Some(0), Some(1), a, 0, 200 << 10);
+                    let rb = comm.irecv(Some(0), Some(2), b, 0, 200 << 10);
+                    comm.waitall(&[ra, rb]);
+                    os.with_data(comm.proc(), a, |d| assert!(d.iter().all(|&x| x == 0x11)));
+                    os.with_data(comm.proc(), b, |d| assert!(d.iter().all(|&x| x == 0x22)));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bidirectional_sendrecv() {
+        two_ranks(NemesisConfig::with_lmt(LmtSelect::ShmCopy), |comm| {
+            let os = comm.os();
+            let me = comm.rank();
+            let other = 1 - me;
+            let sbuf = os.alloc(me, 128 << 10);
+            let rbuf = os.alloc(me, 128 << 10);
+            fill_pattern(comm, sbuf, 128 << 10, me as u8);
+            comm.sendrecv(
+                other,
+                1,
+                sbuf,
+                0,
+                128 << 10,
+                Some(other),
+                Some(1),
+                rbuf,
+                0,
+                128 << 10,
+            );
+            check_pattern(comm, rbuf, 128 << 10, other as u8);
+        });
+    }
+
+    #[test]
+    fn deterministic_pingpong() {
+        let run = || {
+            two_ranks(NemesisConfig::with_lmt(LmtSelect::ShmCopy), |comm| {
+                let os = comm.os();
+                let buf = os.alloc(comm.rank(), 256 << 10);
+                for _ in 0..3 {
+                    if comm.rank() == 0 {
+                        comm.send(1, 0, buf, 0, 256 << 10);
+                        comm.recv(Some(1), Some(0), buf, 0, 256 << 10);
+                    } else {
+                        comm.recv(Some(0), Some(0), buf, 0, 256 << 10);
+                        comm.send(0, 0, buf, 0, 256 << 10);
+                    }
+                }
+            })
+            .makespan
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn knem_single_copy_fewer_accesses_than_shm() {
+        let accesses = |lmt| {
+            let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+            let os = Arc::new(Os::new(Arc::clone(&machine)));
+            let nem = Nemesis::new(os, 2, NemesisConfig::with_lmt(lmt));
+            let m2 = Arc::clone(&machine);
+            run_simulation(machine, &[0, 4], |p| {
+                let comm = nem.attach(p);
+                let buf = comm.os().alloc(comm.rank(), 1 << 20);
+                if comm.rank() == 0 {
+                    comm.send(1, 0, buf, 0, 1 << 20);
+                } else {
+                    comm.recv(Some(0), Some(0), buf, 0, 1 << 20);
+                }
+            });
+            m2.snapshot().total().accesses()
+        };
+        let two_copy = accesses(LmtSelect::ShmCopy);
+        let one_copy = accesses(LmtSelect::Knem(KnemSelect::SyncCpu));
+        // 1 MiB = 16384 lines. Two-copy moves each line 4 times (2 reads +
+        // 2 writes), single-copy twice.
+        assert!(
+            two_copy > one_copy + 20_000,
+            "two-copy {two_copy} vs single-copy {one_copy}"
+        );
+    }
+
+    #[test]
+    fn concurrency_hint_lowers_auto_threshold() {
+        let mut cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto));
+        cfg.collective_hint = true;
+        two_ranks(cfg, |comm| {
+            if comm.rank() != 0 {
+                return;
+            }
+            // 256 KiB is below the 1 MiB point-to-point threshold…
+            let f = comm.resolve_knem(KnemSelect::Auto, 256 << 10, 1);
+            assert_eq!(f, KnemFlags::sync_cpu());
+            // …but above the hinted threshold for an 8-way collective.
+            let f = comm.resolve_knem(KnemSelect::Auto, 256 << 10, 8);
+            assert_eq!(f, KnemFlags::async_ioat());
+        });
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use crate::config::NemesisConfig;
+
+    #[test]
+    fn probe_reports_metadata_without_consuming() {
+        tests::two_ranks(NemesisConfig::default(), |comm| {
+            let os = comm.os();
+            if comm.rank() == 0 {
+                let buf = os.alloc(0, 12_345);
+                comm.send(1, 9, buf, 0, 12_345);
+            } else {
+                let info = comm.probe(Some(0), None);
+                assert_eq!(info.src, 0);
+                assert_eq!(info.tag, 9);
+                assert_eq!(info.len, 12_345);
+                // Probing again still sees it.
+                assert!(comm.iprobe(Some(0), Some(9)).is_some());
+                // Size from the probe drives the receive.
+                let buf = os.alloc(1, info.len);
+                comm.recv(Some(info.src), Some(info.tag), buf, 0, info.len);
+                assert!(comm.iprobe(Some(0), Some(9)).is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn probe_sees_rendezvous_announcements() {
+        tests::two_ranks(
+            NemesisConfig::with_lmt(crate::config::LmtSelect::Knem(
+                crate::config::KnemSelect::SyncCpu,
+            )),
+            |comm| {
+                let os = comm.os();
+                if comm.rank() == 0 {
+                    let buf = os.alloc(0, 1 << 20);
+                    comm.send(1, 4, buf, 0, 1 << 20);
+                } else {
+                    let info = comm.probe(ANY_SOURCE, ANY_TAG);
+                    assert_eq!(info.len, 1 << 20);
+                    let buf = os.alloc(1, info.len);
+                    comm.recv(Some(info.src), Some(info.tag), buf, 0, info.len);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn iprobe_none_when_no_traffic() {
+        tests::two_ranks(NemesisConfig::default(), |comm| {
+            if comm.rank() == 1 {
+                assert!(comm.iprobe(ANY_SOURCE, ANY_TAG).is_none());
+            }
+        });
+    }
+}

@@ -1,0 +1,186 @@
+//! Nemesis configuration: protocol thresholds and LMT backend selection.
+
+use nemesis_sim::Machine;
+
+/// Which KNEM receive mode the receiver requests (§3.2–3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnemSelect {
+    /// Synchronous CPU copy inside the receive ioctl.
+    SyncCpu,
+    /// Asynchronous copy by a kernel thread on the receiver's core.
+    AsyncKthread,
+    /// Synchronous I/OAT offload (ioctl polls the engine).
+    SyncIoat,
+    /// Asynchronous I/OAT offload (Figure-2 status write).
+    AsyncIoat,
+    /// The paper's policy (§3.5): I/OAT (asynchronously, the KNEM
+    /// default when I/OAT is used) for messages at least `DMAmin` long,
+    /// synchronous CPU copy below.
+    Auto,
+}
+
+/// Which Large Message Transfer backend rendezvous messages use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmtSelect {
+    /// The original Nemesis double-buffered shared-memory copy (two
+    /// copies through a ring of copy buffers).
+    ShmCopy,
+    /// Pipe with `writev` — still two copies, but through kernel pipe
+    /// pages (the baseline variant of Figure 3).
+    PipeWritev,
+    /// Pipe with `vmsplice` — single copy (§3.1).
+    Vmsplice,
+    /// The KNEM kernel module (§3.2).
+    Knem(KnemSelect),
+    /// The paper's blended policy (§3.5, §4.1, §6: "no single method is
+    /// optimal for all situations, and so a blended approach is
+    /// essential"): per destination, use the two-copy shared-memory ring
+    /// when the two cores share a cache (where §4.1/§4.2 show it wins),
+    /// otherwise KNEM with the automatic `DMAmin` threshold if the
+    /// module is loaded, otherwise vmsplice if available, otherwise the
+    /// ring. Availability comes from [`NemesisConfig::knem_available`]
+    /// and [`NemesisConfig::vmsplice_available`].
+    Dynamic,
+}
+
+impl LmtSelect {
+    /// Short label used by the experiment harness (matches the paper's
+    /// legend names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LmtSelect::ShmCopy => "default LMT",
+            LmtSelect::PipeWritev => "vmsplice LMT using writev",
+            LmtSelect::Vmsplice => "vmsplice LMT",
+            LmtSelect::Knem(KnemSelect::SyncCpu) => "KNEM LMT",
+            LmtSelect::Knem(KnemSelect::AsyncKthread) => "KNEM LMT - asynchronous",
+            LmtSelect::Knem(KnemSelect::SyncIoat) => "KNEM LMT with I/OAT",
+            LmtSelect::Knem(KnemSelect::AsyncIoat) => "KNEM LMT with I/OAT - asynchronous",
+            LmtSelect::Knem(KnemSelect::Auto) => "KNEM LMT (auto threshold)",
+            LmtSelect::Dynamic => "dynamic LMT (blended)",
+        }
+    }
+}
+
+/// Tunables of the Nemesis communication subsystem.
+#[derive(Debug, Clone)]
+pub struct NemesisConfig {
+    /// Messages strictly larger than this use the LMT (rendezvous)
+    /// protocol; the paper's MPICH2 default is 64 KiB (§3.5).
+    pub eager_max: u64,
+    /// LMT backend.
+    pub lmt: LmtSelect,
+    /// Override for the `DMAmin` I/OAT threshold; `None` derives it from
+    /// the machine's cache architecture (§3.5).
+    pub dma_min_override: Option<u64>,
+    /// Payload bytes per eager cell.
+    pub cell_payload: u64,
+    /// Eager cells per process.
+    pub cells_per_proc: usize,
+    /// Copy-buffer ("ring") chunk size for the shared-memory LMT.
+    pub ring_chunk: u64,
+    /// Number of copy buffers per pair — 2 is the double-buffering the
+    /// paper describes (§2).
+    pub ring_bufs: usize,
+    /// Receive-queue depth (envelopes) per process.
+    pub queue_slots: usize,
+    /// §6 future-work extension: when the collective layer announces that
+    /// many large transfers will occur concurrently, divide `DMAmin` by
+    /// the announced concurrency (Alltoall makes I/OAT profitable near
+    /// 200 KiB instead of 1 MiB, §4.4).
+    pub collective_hint: bool,
+    /// Whether the KNEM module is loaded (§2: "deploying such a
+    /// nonstandard kernel module on a system requires administrative
+    /// privileges"). Consulted by [`LmtSelect::Dynamic`].
+    pub knem_available: bool,
+    /// Whether the kernel offers `vmsplice` (Linux ≥ 2.6.17). Consulted
+    /// by [`LmtSelect::Dynamic`].
+    pub vmsplice_available: bool,
+}
+
+impl Default for NemesisConfig {
+    fn default() -> Self {
+        Self {
+            eager_max: 64 << 10,
+            lmt: LmtSelect::ShmCopy,
+            dma_min_override: None,
+            cell_payload: 16 << 10,
+            cells_per_proc: 32,
+            ring_chunk: 32 << 10,
+            ring_bufs: 2,
+            queue_slots: 512,
+            collective_hint: false,
+            knem_available: true,
+            vmsplice_available: true,
+        }
+    }
+}
+
+impl NemesisConfig {
+    /// Convenience constructor: defaults with a given LMT.
+    pub fn with_lmt(lmt: LmtSelect) -> Self {
+        Self {
+            lmt,
+            ..Self::default()
+        }
+    }
+
+    /// Effective `DMAmin` threshold on `machine`, optionally scaled down
+    /// by a collective concurrency hint.
+    pub fn dma_min(&self, machine: &Machine, concurrent_hint: usize) -> u64 {
+        let base = self
+            .dma_min_override
+            .unwrap_or_else(|| machine.cfg().dma_min_architectural());
+        if self.collective_hint && concurrent_hint > 1 {
+            (base / concurrent_hint as u64).max(64 << 10)
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use nemesis_sim::MachineConfig;
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let c = NemesisConfig::default();
+        assert_eq!(c.eager_max, 64 << 10);
+        assert_eq!(c.ring_bufs, 2, "double buffering");
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        assert_eq!(c.dma_min(&m, 1), 1 << 20);
+    }
+
+    #[test]
+    fn dma_min_override_wins() {
+        let mut c = NemesisConfig::default();
+        c.dma_min_override = Some(123);
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        assert_eq!(c.dma_min(&m, 1), 123);
+    }
+
+    #[test]
+    fn collective_hint_scales_threshold() {
+        let mut c = NemesisConfig::default();
+        c.collective_hint = true;
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        // 8-way alltoall: 1 MiB / 8 = 128 KiB — close to the ~200 KiB the
+        // paper observes in §4.4.
+        assert_eq!(c.dma_min(&m, 8), 128 << 10);
+        // Without the hint flag, the hint is ignored.
+        c.collective_hint = false;
+        assert_eq!(c.dma_min(&m, 8), 1 << 20);
+    }
+
+    #[test]
+    fn labels_are_paper_legends() {
+        assert_eq!(LmtSelect::ShmCopy.label(), "default LMT");
+        assert_eq!(LmtSelect::Vmsplice.label(), "vmsplice LMT");
+        assert_eq!(
+            LmtSelect::Knem(KnemSelect::SyncIoat).label(),
+            "KNEM LMT with I/OAT"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Typed access to simulated buffers.
+//!
+//! Workloads operate on `u32`/`u64`/`f64` arrays; these helpers convert
+//! between typed slices and the byte contents of simulated buffers,
+//! with *charged* variants (timed through the cache model) and
+//! *uncharged* variants (for initialization and verification, which the
+//! paper's benchmarks do not time either).
+
+use nemesis_kernel::{BufId, Os};
+use nemesis_sim::Proc;
+
+/// Element types that can live in simulated buffers.
+pub trait Element: Copy + Default {
+    const SIZE: usize;
+    fn to_le(self, out: &mut [u8]);
+    fn from_le(inp: &[u8]) -> Self;
+}
+
+macro_rules! impl_element {
+    ($t:ty, $n:expr) => {
+        impl Element for $t {
+            const SIZE: usize = $n;
+            #[inline]
+            fn to_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn from_le(inp: &[u8]) -> Self {
+                <$t>::from_le_bytes(inp.try_into().unwrap())
+            }
+        }
+    };
+}
+
+impl_element!(u32, 4);
+impl_element!(i32, 4);
+impl_element!(u64, 8);
+impl_element!(f64, 8);
+
+/// Bytes needed to store `n` elements of type `T`.
+pub fn bytes_of<T: Element>(n: usize) -> u64 {
+    (n * T::SIZE) as u64
+}
+
+/// Store a typed slice into a buffer **without** charging the cache model
+/// (initialization helper).
+pub fn store_raw<T: Element>(os: &Os, p: &Proc, buf: BufId, off: u64, vals: &[T]) {
+    os.with_data_mut(p, buf, |d| {
+        let base = off as usize;
+        for (i, v) in vals.iter().enumerate() {
+            v.to_le(&mut d[base + i * T::SIZE..base + (i + 1) * T::SIZE]);
+        }
+    });
+}
+
+/// Load a typed vector from a buffer **without** charging the cache model
+/// (verification helper).
+pub fn load_raw<T: Element>(os: &Os, p: &Proc, buf: BufId, off: u64, n: usize) -> Vec<T> {
+    os.with_data(p, buf, |d| {
+        let base = off as usize;
+        (0..n)
+            .map(|i| T::from_le(&d[base + i * T::SIZE..base + (i + 1) * T::SIZE]))
+            .collect()
+    })
+}
+
+/// Store a typed slice, charging a write pass over the range.
+pub fn store<T: Element>(os: &Os, p: &Proc, buf: BufId, off: u64, vals: &[T]) {
+    store_raw(os, p, buf, off, vals);
+    os.touch_write(p, buf, off, bytes_of::<T>(vals.len()));
+}
+
+/// Load a typed vector, charging a read pass over the range.
+pub fn load<T: Element>(os: &Os, p: &Proc, buf: BufId, off: u64, n: usize) -> Vec<T> {
+    os.touch_read(p, buf, off, bytes_of::<T>(n));
+    load_raw(os, p, buf, off, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemesis_sim::{run_simulation, Machine, MachineConfig};
+    use std::sync::Arc;
+
+    fn with_proc(body: impl Fn(&Proc, &Os) + Send + Sync) {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Os::new(Arc::clone(&machine));
+        run_simulation(machine, &[0], |p| body(p, &os));
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        with_proc(|p, os| {
+            let b = os.alloc(0, 4096);
+            let vals: Vec<u32> = (0..100).map(|i| i * 7 + 1).collect();
+            store(os, p, b, 16, &vals);
+            assert_eq!(load::<u32>(os, p, b, 16, 100), vals);
+        });
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        with_proc(|p, os| {
+            let b = os.alloc(0, 4096);
+            let vals: Vec<f64> = (0..50).map(|i| i as f64 * 0.25 - 3.0).collect();
+            store_raw(os, p, b, 0, &vals);
+            assert_eq!(load_raw::<f64>(os, p, b, 0, 50), vals);
+        });
+    }
+
+    #[test]
+    fn u64_at_offset() {
+        with_proc(|p, os| {
+            let b = os.alloc(0, 1024);
+            store_raw(os, p, b, 800, &[u64::MAX, 0, 42]);
+            assert_eq!(load_raw::<u64>(os, p, b, 800, 3), vec![u64::MAX, 0, 42]);
+        });
+    }
+
+    #[test]
+    fn charged_store_advances_clock() {
+        with_proc(|p, os| {
+            let b = os.alloc(0, 1 << 16);
+            let t0 = p.now();
+            let vals = vec![0u32; 16384];
+            store(os, p, b, 0, &vals);
+            assert!(p.now() > t0, "charged store must cost time");
+        });
+    }
+
+    #[test]
+    fn bytes_of_sizes() {
+        assert_eq!(bytes_of::<u32>(10), 40);
+        assert_eq!(bytes_of::<f64>(10), 80);
+        assert_eq!(bytes_of::<u64>(0), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # nemesis-core — the Nemesis communication subsystem
+//!
+//! A from-scratch reproduction of the MPICH2-Nemesis intranode channel as
+//! described in *Cache-Efficient, Intranode, Large-Message MPI
+//! Communication with MPICH2-Nemesis* (Buntinas, Goglin, Goodell,
+//! Mercier, Moreaud — ICPP 2009), running on the simulated machine of
+//! [`nemesis_sim`] and the simulated kernel of [`nemesis_kernel`].
+//!
+//! The crate provides:
+//!
+//! * an MPI-like point-to-point API ([`Comm`]: `send`/`recv`,
+//!   `isend`/`irecv`, `sendrecv`, requests and `wait`);
+//! * the **eager** protocol for small messages (shared cells, two copies);
+//! * the **rendezvous / LMT** protocol for large messages with all four
+//!   backends the paper evaluates — double-buffered shared-memory copy
+//!   (`default LMT`), pipe + `writev`, pipe + `vmsplice`, and KNEM with
+//!   synchronous, kernel-thread-asynchronous and I/OAT-offloaded modes;
+//! * the dynamic `DMAmin` threshold policy of §3.5, including the §6
+//!   collective-concurrency extension;
+//! * MPI collectives built over the point-to-point layer ([`coll`]):
+//!   barrier, bcast, reduce, allreduce, gather, scatter, allgather,
+//!   alltoall and alltoallv;
+//! * typed helpers for moving `u32`/`u64`/`f64` arrays through simulated
+//!   buffers ([`datatype`]).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nemesis_core::{Comm, LmtSelect, Nemesis, NemesisConfig};
+//! use nemesis_kernel::Os;
+//! use nemesis_sim::{run_simulation, Machine, MachineConfig};
+//!
+//! let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+//! let os = Arc::new(Os::new(Arc::clone(&machine)));
+//! let nem = Nemesis::new(os, 2, NemesisConfig::with_lmt(LmtSelect::ShmCopy));
+//! let report = run_simulation(machine, &[0, 1], |p| {
+//!     let comm = nem.attach(p);
+//!     let buf = comm.os().alloc(comm.rank(), 1 << 20);
+//!     if comm.rank() == 0 {
+//!         comm.send(1, 0, buf, 0, 1 << 20);
+//!     } else {
+//!         comm.recv(Some(0), Some(0), buf, 0, 1 << 20);
+//!     }
+//! });
+//! assert!(report.makespan > 0);
+//! ```
+
+pub mod coll;
+pub mod comm;
+pub mod config;
+pub mod datatype;
+pub mod shm;
+pub mod vector;
+
+pub use comm::{Comm, Nemesis, Request, ANY_SOURCE, ANY_TAG};
+pub use config::{KnemSelect, LmtSelect, NemesisConfig};
+pub use vector::VectorLayout;

@@ -1,0 +1,505 @@
+//! The KNEM character device (§3.2–3.4).
+//!
+//! Protocol (Figure 1): the sender *declares* a send buffer — the driver
+//! pins it, records its segment list and returns a **cookie** — and ships
+//! the cookie id to the receiver through user-space (the Nemesis
+//! rendezvous). The receiver passes the cookie plus a receive buffer to
+//! the driver, which moves the data directly between the two address
+//! spaces: one copy instead of Nemesis's two.
+//!
+//! Receive modes:
+//!
+//! * **Sync CPU** — the driver copies inside the ioctl on the receiver's
+//!   core; simple, but blocks the receiver for milliseconds on large
+//!   messages (§4.3).
+//! * **Async kernel thread** — a kernel thread performs the copy while
+//!   the receiver returns to user space and polls a status variable; the
+//!   thread runs *on the receiver's core*, so user process and kernel
+//!   thread compete for the CPU, reducing throughput (§4.3, Figure 6).
+//! * **Sync / Async I/OAT** — the copy is offloaded to the DMA engine
+//!   (§3.3). For the async variant, completion notification exploits the
+//!   engine's in-order processing: a trailing one-byte copy writes
+//!   `Success` into the status variable (Figure 2), so both the copy and
+//!   its notification happen entirely in the background.
+
+use std::collections::HashMap;
+
+use nemesis_sim::config::PAGE;
+use nemesis_sim::machine::PhysRange;
+use nemesis_sim::{Proc, Ps};
+
+use crate::mem::{BufId, Iov, Os};
+
+/// Cookie identifying a declared (pinned) send buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cookie(pub u64);
+
+/// Handle to a status variable used for asynchronous completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusId(pub usize);
+
+/// How the receive command performs the copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnemMode {
+    SyncCpu,
+    AsyncKthread,
+    SyncIoat,
+    AsyncIoat,
+}
+
+/// Flags passed to [`Os::knem_recv_cmd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnemFlags {
+    pub mode: KnemMode,
+}
+
+impl KnemFlags {
+    pub fn sync_cpu() -> Self {
+        Self {
+            mode: KnemMode::SyncCpu,
+        }
+    }
+    pub fn async_kthread() -> Self {
+        Self {
+            mode: KnemMode::AsyncKthread,
+        }
+    }
+    pub fn sync_ioat() -> Self {
+        Self {
+            mode: KnemMode::SyncIoat,
+        }
+    }
+    pub fn async_ioat() -> Self {
+        Self {
+            mode: KnemMode::AsyncIoat,
+        }
+    }
+    /// Whether the copy engine (rather than a CPU) moves the bytes.
+    pub fn uses_ioat(&self) -> bool {
+        matches!(self.mode, KnemMode::SyncIoat | KnemMode::AsyncIoat)
+    }
+}
+
+struct CookieEntry {
+    owner: usize,
+    iovs: Vec<Iov>,
+    /// Pages held pinned until the cookie is destroyed.
+    #[allow(dead_code)]
+    pinned_pages: u64,
+}
+
+struct StatusEntry {
+    owner: usize,
+    buf: BufId,
+    /// Virtual time at which the status flips to Success; `None` = no
+    /// operation outstanding.
+    done_at: Option<Ps>,
+}
+
+#[derive(Default)]
+pub(crate) struct KnemState {
+    cookies: HashMap<u64, CookieEntry>,
+    next_cookie: u64,
+    statuses: Vec<StatusEntry>,
+}
+
+/// Flat copy plan entry: (src buf, src off, dst buf, dst off, len).
+type CopyRun = (BufId, u64, BufId, u64, u64);
+
+/// Pair two iovec lists into equal-length runs (supports the vectorial
+/// buffers LiMIC2 lacks, §5).
+fn pair_iovs(src: &[Iov], dst: &[Iov]) -> Vec<CopyRun> {
+    assert_eq!(
+        Iov::total(src),
+        Iov::total(dst),
+        "source and destination iovec lengths must match"
+    );
+    let mut runs = Vec::new();
+    let (mut si, mut so, mut di, mut do_) = (0usize, 0u64, 0usize, 0u64);
+    while si < src.len() && di < dst.len() {
+        let s = &src[si];
+        let d = &dst[di];
+        let n = (s.len - so).min(d.len - do_);
+        if n > 0 {
+            runs.push((s.buf, s.off + so, d.buf, d.off + do_, n));
+        }
+        so += n;
+        do_ += n;
+        if so == s.len {
+            si += 1;
+            so = 0;
+        }
+        if do_ == d.len {
+            di += 1;
+            do_ = 0;
+        }
+    }
+    runs
+}
+
+impl Os {
+    /// KNEM send command (Figure 1, step 1): pin the buffer, save the
+    /// segment list, return a cookie.
+    pub fn knem_send_cmd(&self, p: &Proc, iovs: &[Iov]) -> Cookie {
+        self.validate_iovs(Some(p.pid()), iovs);
+        p.syscall();
+        let pages: u64 = iovs.iter().map(|v| v.len.div_ceil(PAGE).max(1)).sum();
+        p.pin_pages(pages);
+        let mut st = self.state.lock();
+        let id = st.knem.next_cookie;
+        st.knem.next_cookie += 1;
+        st.knem.cookies.insert(
+            id,
+            CookieEntry {
+                owner: p.pid(),
+                iovs: iovs.to_vec(),
+                pinned_pages: pages,
+            },
+        );
+        Cookie(id)
+    }
+
+    /// Destroy a cookie, unpinning the send buffer. Any process may do
+    /// this (in practice the receiver, after completion, or the sender on
+    /// cleanup).
+    pub fn knem_destroy_cookie(&self, p: &Proc, cookie: Cookie) {
+        p.syscall();
+        let mut st = self.state.lock();
+        st.knem
+            .cookies
+            .remove(&cookie.0)
+            .expect("destroying unknown cookie");
+    }
+
+    /// Number of live cookies (diagnostics).
+    pub fn knem_live_cookies(&self) -> usize {
+        self.state.lock().knem.cookies.len()
+    }
+
+    /// Allocate a status variable for async completions.
+    pub fn knem_alloc_status(&self, owner: usize) -> StatusId {
+        let buf = self.alloc(owner, 64);
+        let mut st = self.state.lock();
+        st.knem.statuses.push(StatusEntry {
+            owner,
+            buf,
+            done_at: None,
+        });
+        StatusId(st.knem.statuses.len() - 1)
+    }
+
+    /// Poll a status variable: returns `true` once the operation that
+    /// armed it has completed (in virtual time). Charges one cached read.
+    pub fn knem_poll_status(&self, p: &Proc, status: StatusId) -> bool {
+        let (buf, done_at) = {
+            let st = self.state.lock();
+            let e = &st.knem.statuses[status.0];
+            assert_eq!(e.owner, p.pid(), "polling someone else's status");
+            (e.buf, e.done_at)
+        };
+        let r = self.phys(buf, 0, 8);
+        let c = self
+            .machine()
+            .access(p.pid(), p.core(), r, nemesis_sim::AccessKind::Read, p.now());
+        p.advance(c);
+        match done_at {
+            Some(t) => p.now() >= t,
+            None => false,
+        }
+    }
+
+    /// Block (poll loop) until the status variable reports Success.
+    pub fn knem_wait_status(&self, p: &Proc, status: StatusId) {
+        while !self.knem_poll_status(p, status) {
+            p.poll_tick();
+        }
+    }
+
+    /// KNEM receive command (Figure 1, steps 4–6): copy the cookie's data
+    /// into `dst_iovs` using the requested mode. The status variable is
+    /// armed with the completion time; for the synchronous modes it is
+    /// already Success when the call returns.
+    pub fn knem_recv_cmd(
+        &self,
+        p: &Proc,
+        cookie: Cookie,
+        dst_iovs: &[Iov],
+        flags: KnemFlags,
+        status: StatusId,
+    ) {
+        self.validate_iovs(Some(p.pid()), dst_iovs);
+        p.syscall();
+        let src_iovs = {
+            let st = self.state.lock();
+            let entry = st
+                .knem
+                .cookies
+                .get(&cookie.0)
+                .expect("receive with unknown cookie");
+            assert_ne!(entry.owner, p.pid(), "self-receive is pointless");
+            entry.iovs.clone()
+        };
+        let runs = pair_iovs(&src_iovs, dst_iovs);
+        let total: u64 = runs.iter().map(|r| r.4).sum();
+
+        let src_pages: u64 = src_iovs.iter().map(|v| v.len.div_ceil(PAGE).max(1)).sum();
+        let done_at = match flags.mode {
+            KnemMode::SyncCpu => {
+                // Kernel copies inside the ioctl on the receiver's core,
+                // mapping each pinned source page as it goes.
+                p.advance(src_pages * self.machine().cfg().costs.knem_map_page);
+                self.kernel_copy_multi(p, &runs);
+                p.now()
+            }
+            KnemMode::AsyncKthread => {
+                // A kernel thread on the receiver's core performs the copy
+                // in the background; the user process returns immediately
+                // but the two compete for the core, inflating the copy
+                // time (§4.3). Cache effects are applied at submission.
+                let c = self.machine().cfg().costs.clone();
+                let mut cost: Ps = src_pages * c.knem_map_page;
+                for &(sb, so, db, dof, len) in &runs {
+                    cost += self.kernel_copy_deferred(p, sb, so, db, dof, len);
+                }
+                let inflated = cost * c.kthread_contention_pct / 100;
+                p.now() + c.kthread_wakeup + inflated
+            }
+            KnemMode::SyncIoat | KnemMode::AsyncIoat => {
+                // Pin the destination (§3.3: "the receive command pins the
+                // receiver buffer only when I/OAT is used").
+                let dst_pages: u64 = dst_iovs.iter().map(|v| v.len.div_ceil(PAGE).max(1)).sum();
+                p.pin_pages(dst_pages);
+                // One descriptor per physically contiguous chunk.
+                let mut descs = Vec::new();
+                for &(sb, so, db, dof, len) in &runs {
+                    let rs = self.phys(sb, so, len);
+                    let rd = self.phys(db, dof, len);
+                    let mut s_chunks = rs.page_chunks().into_iter();
+                    let mut d_chunks = rd.page_chunks().into_iter();
+                    let (mut sc, mut dc) = (s_chunks.next(), d_chunks.next());
+                    while let (Some(s), Some(d)) = (sc, dc) {
+                        let n = s.len.min(d.len);
+                        descs.push((PhysRange::new(s.base, n), PhysRange::new(d.base, n)));
+                        sc = if s.len > n {
+                            Some(PhysRange::new(s.base + n, s.len - n))
+                        } else {
+                            s_chunks.next()
+                        };
+                        dc = if d.len > n {
+                            Some(PhysRange::new(d.base + n, d.len - n))
+                        } else {
+                            d_chunks.next()
+                        };
+                    }
+                }
+                let sub = p.dma_copy(&descs);
+                // Engine moves the actual bytes (no CPU cache accounting).
+                for &(sb, so, db, dof, len) in &runs {
+                    self.dma_move_bytes(sb, so, db, dof, len);
+                }
+                if flags.mode == KnemMode::SyncIoat {
+                    // Poll the engine inside the ioctl until done. The
+                    // kernel spin reads the device's MMIO status register
+                    // across the I/O bus, adding ~12% overhead on the wait
+                    // — the cost the asynchronous model avoids (§3.4).
+                    if sub.complete_at > p.now() {
+                        let wait = sub.complete_at - p.now();
+                        p.advance(wait + wait / 8);
+                    }
+                    p.now()
+                } else {
+                    // Figure 2: trailing one-byte status copy.
+                    let sbuf = {
+                        let st = self.state.lock();
+                        st.knem.statuses[status.0].buf
+                    };
+                    let st_sub = p.dma_status(self.phys(sbuf, 0, 1));
+                    st_sub.complete_at
+                }
+            }
+        };
+        let mut st = self.state.lock();
+        st.knem.statuses[status.0].done_at = Some(done_at);
+        drop(st);
+        debug_assert!(total == Iov::total(dst_iovs));
+        p.yield_now();
+    }
+
+    /// Re-arm a status variable before reuse.
+    pub fn knem_reset_status(&self, p: &Proc, status: StatusId) {
+        let mut st = self.state.lock();
+        let e = &mut st.knem.statuses[status.0];
+        assert_eq!(e.owner, p.pid());
+        e.done_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemesis_sim::{run_simulation, Machine, MachineConfig};
+    use std::sync::Arc;
+
+    /// Two-process harness: pid 0 fills a 0-owned buffer and declares it,
+    /// pid 1 receives into its own buffer with the given flags; returns
+    /// (makespan, receiver clock at completion visibility).
+    fn transfer(len: u64, flags: KnemFlags) -> (nemesis_sim::Ps, Vec<u8>) {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Os::new(Arc::clone(&machine));
+        let cookie_slot = parking_lot::Mutex::new(None::<Cookie>);
+        let out = parking_lot::Mutex::new(Vec::new());
+        let r = run_simulation(machine, &[0, 4], |p| {
+            if p.pid() == 0 {
+                let src = os.alloc(0, len);
+                os.with_data_mut(p, src, |d| {
+                    for (i, b) in d.iter_mut().enumerate() {
+                        *b = (i % 239) as u8;
+                    }
+                });
+                os.touch_write(p, src, 0, len);
+                let c = os.knem_send_cmd(p, &[Iov::new(src, 0, len)]);
+                *cookie_slot.lock() = Some(c);
+            } else {
+                let dst = os.alloc(1, len);
+                let c = p.poll_until(|| *cookie_slot.lock());
+                let status = os.knem_alloc_status(1);
+                os.knem_recv_cmd(p, c, &[Iov::new(dst, 0, len)], flags, status);
+                os.knem_wait_status(p, status);
+                os.knem_destroy_cookie(p, c);
+                *out.lock() = os.read_bytes(p, dst, 0, len);
+            }
+        });
+        assert_eq!(os.knem_live_cookies(), 0);
+        let data = out.lock().clone();
+        (r.makespan, data)
+    }
+
+    fn verify(data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            assert_eq!(*b, (i % 239) as u8, "byte {i} corrupt");
+        }
+    }
+
+    #[test]
+    fn sync_cpu_roundtrip() {
+        let (t, d) = transfer(128 << 10, KnemFlags::sync_cpu());
+        assert!(t > 0);
+        verify(&d);
+    }
+
+    #[test]
+    fn async_kthread_roundtrip() {
+        let (t, d) = transfer(128 << 10, KnemFlags::async_kthread());
+        assert!(t > 0);
+        verify(&d);
+    }
+
+    #[test]
+    fn sync_ioat_roundtrip() {
+        let (t, d) = transfer(128 << 10, KnemFlags::sync_ioat());
+        assert!(t > 0);
+        verify(&d);
+    }
+
+    #[test]
+    fn async_ioat_roundtrip() {
+        let (t, d) = transfer(128 << 10, KnemFlags::async_ioat());
+        assert!(t > 0);
+        verify(&d);
+    }
+
+    #[test]
+    fn async_kthread_slower_than_sync_for_blocking_receiver() {
+        // A receiver that immediately waits gains nothing from the async
+        // kernel-thread model and pays the contention penalty (§4.3).
+        let (sync_t, _) = transfer(1 << 20, KnemFlags::sync_cpu());
+        let (async_t, _) = transfer(1 << 20, KnemFlags::async_kthread());
+        assert!(
+            async_t > sync_t,
+            "kthread contention must hurt: async {async_t} vs sync {sync_t}"
+        );
+    }
+
+    #[test]
+    fn ioat_avoids_receiver_cache_accesses() {
+        let run = |flags: KnemFlags| {
+            let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+            let os = Os::new(Arc::clone(&machine));
+            let cookie_slot = parking_lot::Mutex::new(None::<Cookie>);
+            let m2 = Arc::clone(&machine);
+            run_simulation(machine, &[0, 4], |p| {
+                if p.pid() == 0 {
+                    let src = os.alloc(0, 1 << 20);
+                    os.touch_write(p, src, 0, 1 << 20);
+                    *cookie_slot.lock() = Some(os.knem_send_cmd(p, &[Iov::new(src, 0, 1 << 20)]));
+                } else {
+                    let dst = os.alloc(1, 1 << 20);
+                    let c = p.poll_until(|| *cookie_slot.lock());
+                    let status = os.knem_alloc_status(1);
+                    os.knem_recv_cmd(p, c, &[Iov::new(dst, 0, 1 << 20)], flags, status);
+                    os.knem_wait_status(p, status);
+                }
+            });
+            m2.snapshot().per_proc.get(1).copied().unwrap_or_default()
+        };
+        let cpu = run(KnemFlags::sync_cpu());
+        let ioat = run(KnemFlags::sync_ioat());
+        assert!(
+            ioat.accesses() * 10 < cpu.accesses(),
+            "I/OAT receiver touches almost nothing: {} vs {}",
+            ioat.accesses(),
+            cpu.accesses()
+        );
+        assert_eq!(ioat.ioat_bytes, 1 << 20);
+        assert_eq!(ioat.ioat_descs, 256, "one descriptor per 4 KiB page");
+    }
+
+    #[test]
+    fn vectorial_iovs_pair_correctly() {
+        let src = [Iov::new(10, 0, 100), Iov::new(11, 50, 200)];
+        let dst = [Iov::new(20, 0, 120), Iov::new(21, 0, 180)];
+        let runs = pair_iovs(&src, &dst);
+        let total: u64 = runs.iter().map(|r| r.4).sum();
+        assert_eq!(total, 300);
+        assert_eq!(runs[0], (10, 0, 20, 0, 100));
+        assert_eq!(runs[1], (11, 50, 20, 100, 20));
+        assert_eq!(runs[2], (11, 70, 21, 0, 180));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_iov_lengths_rejected() {
+        pair_iovs(&[Iov::new(0, 0, 10)], &[Iov::new(1, 0, 20)]);
+    }
+
+    #[test]
+    fn status_reset_and_reuse() {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Os::new(Arc::clone(&machine));
+        run_simulation(machine, &[0, 1], |p| {
+            if p.pid() != 0 {
+                return;
+            }
+            let status = os.knem_alloc_status(0);
+            assert!(!os.knem_poll_status(p, status), "unarmed status is false");
+            os.knem_reset_status(p, status);
+            assert!(!os.knem_poll_status(p, status));
+        });
+    }
+
+    #[test]
+    fn send_cmd_pins_pages() {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Os::new(Arc::clone(&machine));
+        let m2 = Arc::clone(&machine);
+        run_simulation(machine, &[0, 1], |p| {
+            if p.pid() != 0 {
+                return;
+            }
+            let b = os.alloc(0, 10 * 4096);
+            let c = os.knem_send_cmd(p, &[Iov::new(b, 0, 10 * 4096)]);
+            os.knem_destroy_cookie(p, c);
+        });
+        assert_eq!(m2.snapshot().per_proc[0].pinned_pages, 10);
+    }
+}

@@ -1,0 +1,74 @@
+//! Spin-then-yield backoff for busy-wait loops.
+//!
+//! Nemesis is a polling design; on dedicated cores pure spinning is
+//! right. But when ranks are oversubscribed (more ranks than cores — CI
+//! boxes, laptops), a spinning waiter burns its entire scheduler quantum
+//! while the peer it waits for cannot run. [`Backoff`] spins briefly for
+//! the fast path, then starts yielding to the OS so the peer gets CPU.
+
+/// Exponential spin backoff that escalates to `yield_now`.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+/// Spins before the first yield (2^SPIN_LIMIT busy iterations total).
+const SPIN_LIMIT: u32 = 7;
+
+impl Backoff {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One wait step: busy-spin while young, yield to the OS once the
+    /// wait has lasted long enough that the peer may need our core.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Restart the fast path (call after making progress).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_and_resets() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze(); // must terminate, eventually yielding
+        }
+        assert!(b.step > SPIN_LIMIT);
+        b.reset();
+        assert_eq!(b.step, 0);
+    }
+
+    #[test]
+    fn wait_for_flag_across_threads() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let flag = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                flag.store(true, Ordering::Release);
+            });
+            let mut b = Backoff::new();
+            while !flag.load(Ordering::Acquire) {
+                b.snooze();
+            }
+        });
+    }
+}

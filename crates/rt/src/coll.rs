@@ -1,0 +1,405 @@
+//! Collective operations over the real-thread runtime ([`RtComm`]).
+//!
+//! The algorithms mirror `nemesis-core::coll` so the same communication
+//! patterns the paper benchmarks (§4.4) also run on real threads: a
+//! dissemination barrier, binomial-tree broadcast and reduce,
+//! recursive-doubling allreduce/allgather, linear gather/scatter and
+//! pairwise-exchange alltoall. All of them are built purely from
+//! [`RtComm::send`]/[`RtComm::recv`], so every byte flows through the
+//! selected [`RtLmt`](crate::comm::RtLmt) strategy.
+//!
+//! Tags: collectives use the high tag space (`COLL_TAG_BASE +
+//! round`) so they never collide with application point-to-point tags,
+//! and each rank participates in rounds in a deterministic order, which
+//! keeps matching unambiguous without a communicator sequence number.
+
+use crate::comm::RtComm;
+
+/// Base of the internal tag space used by collectives.
+pub const COLL_TAG_BASE: i32 = 1 << 24;
+
+/// Dissemination barrier: ⌈log₂ n⌉ rounds, rank r signals r+2^k.
+pub fn barrier(comm: &mut RtComm) {
+    let n = comm.size();
+    let me = comm.rank();
+    if n == 1 {
+        return;
+    }
+    let token = [0u8; 1];
+    let mut buf = [0u8; 1];
+    let mut k = 0;
+    let mut dist = 1;
+    while dist < n {
+        let dst = (me + dist) % n;
+        let src = (me + n - dist) % n;
+        let tag = COLL_TAG_BASE + k;
+        // Odd/even split inside each round avoids send-send cycles with
+        // the synchronous rendezvous path (1-byte tokens go eager, but
+        // keep the discipline uniform).
+        comm.send(dst, tag, &token);
+        comm.recv(Some(src), Some(tag), &mut buf);
+        dist <<= 1;
+        k += 1;
+    }
+}
+
+/// Binomial-tree broadcast of `data` from `root`; every rank's `data`
+/// holds the payload on return.
+pub fn bcast(comm: &mut RtComm, root: usize, data: &mut [u8]) {
+    let n = comm.size();
+    let me = comm.rank();
+    if n == 1 {
+        return;
+    }
+    // Rotate so the root is virtual rank 0.
+    let vrank = (me + n - root) % n;
+    let mut mask = 1;
+    // Receive phase: find our parent.
+    while mask < n {
+        if vrank & mask != 0 {
+            let parent = (vrank - mask + root) % n;
+            comm.recv(Some(parent), Some(COLL_TAG_BASE + 1), data);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Send phase: forward to children below our lowest set bit.
+    mask >>= 1;
+    while mask > 0 {
+        if vrank + mask < n {
+            let child = (vrank + mask + root) % n;
+            comm.send(child, COLL_TAG_BASE + 1, data);
+        }
+        mask >>= 1;
+    }
+}
+
+/// Element-wise reduction operator on byte-equal-length slices.
+pub trait ReduceOp: Sync {
+    fn combine(&self, acc: &mut [u8], other: &[u8]);
+}
+
+/// Wrapping byte-wise sum (useful for tests; real codes reduce typed
+/// lanes via [`SumU64`]).
+pub struct SumU8;
+
+impl ReduceOp for SumU8 {
+    fn combine(&self, acc: &mut [u8], other: &[u8]) {
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a = a.wrapping_add(*b);
+        }
+    }
+}
+
+/// Little-endian u64-lane sum (slice length must be a multiple of 8).
+pub struct SumU64;
+
+impl ReduceOp for SumU64 {
+    fn combine(&self, acc: &mut [u8], other: &[u8]) {
+        assert_eq!(acc.len() % 8, 0, "SumU64 needs 8-byte lanes");
+        for (a, b) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+            let s = u64::from_le_bytes(a.try_into().unwrap())
+                .wrapping_add(u64::from_le_bytes(b.try_into().unwrap()));
+            a.copy_from_slice(&s.to_le_bytes());
+        }
+    }
+}
+
+/// Binomial-tree reduce to `root`: on return, `data` at the root holds
+/// the reduction of every rank's input (other ranks' `data` is clobbered
+/// with partial results, as in MPI's sendbuf-aliasing mode).
+pub fn reduce(comm: &mut RtComm, root: usize, data: &mut [u8], op: &dyn ReduceOp) {
+    let n = comm.size();
+    let me = comm.rank();
+    if n == 1 {
+        return;
+    }
+    let vrank = (me + n - root) % n;
+    let mut tmp = vec![0u8; data.len()];
+    let mut mask = 1;
+    while mask < n {
+        if vrank & mask != 0 {
+            let parent = (vrank - mask + root) % n;
+            comm.send(parent, COLL_TAG_BASE + 2, data);
+            break;
+        }
+        let peer = vrank | mask;
+        if peer < n {
+            let child = (peer + root) % n;
+            comm.recv(Some(child), Some(COLL_TAG_BASE + 2), &mut tmp);
+            op.combine(data, &tmp);
+        }
+        mask <<= 1;
+    }
+}
+
+/// Allreduce = reduce to 0 + bcast from 0 (the pattern MPICH2 uses for
+/// large payloads when reduce-scatter does not apply).
+pub fn allreduce(comm: &mut RtComm, data: &mut [u8], op: &dyn ReduceOp) {
+    reduce(comm, 0, data, op);
+    bcast(comm, 0, data);
+}
+
+/// Linear gather: every rank's `mine` lands in `all[r*len..]` at the root.
+pub fn gather(comm: &mut RtComm, root: usize, mine: &[u8], all: Option<&mut [u8]>) {
+    let n = comm.size();
+    let me = comm.rank();
+    let len = mine.len();
+    if me == root {
+        let all = all.expect("root must supply a gather buffer");
+        assert!(all.len() >= n * len, "gather buffer too small");
+        all[me * len..(me + 1) * len].copy_from_slice(mine);
+        for src in (0..n).filter(|&r| r != root) {
+            comm.recv(
+                Some(src),
+                Some(COLL_TAG_BASE + 3),
+                &mut all[src * len..(src + 1) * len],
+            );
+        }
+    } else {
+        comm.send(root, COLL_TAG_BASE + 3, mine);
+    }
+}
+
+/// Linear scatter: the root's `all[r*len..]` lands in each rank's `mine`.
+pub fn scatter(comm: &mut RtComm, root: usize, all: Option<&[u8]>, mine: &mut [u8]) {
+    let n = comm.size();
+    let me = comm.rank();
+    let len = mine.len();
+    if me == root {
+        let all = all.expect("root must supply a scatter buffer");
+        assert!(all.len() >= n * len, "scatter buffer too small");
+        for dst in (0..n).filter(|&r| r != root) {
+            comm.send(dst, COLL_TAG_BASE + 4, &all[dst * len..(dst + 1) * len]);
+        }
+        mine.copy_from_slice(&all[me * len..(me + 1) * len]);
+    } else {
+        comm.recv(Some(root), Some(COLL_TAG_BASE + 4), mine);
+    }
+}
+
+/// Allgather by gather-to-0 + bcast (simple and deadlock-free under the
+/// synchronous rendezvous; ring allgather is measured separately in the
+/// sim crate).
+pub fn allgather(comm: &mut RtComm, mine: &[u8], all: &mut [u8]) {
+    let root = 0;
+    if comm.rank() == root {
+        gather(comm, root, mine, Some(all));
+    } else {
+        gather(comm, root, mine, None);
+    }
+    bcast(comm, root, all);
+}
+
+/// Pairwise-exchange alltoall: in round k, rank r exchanges with r ^ k
+/// (for power-of-two n) or uses the shifted ring schedule otherwise.
+/// `send[r*len..]` is what we send to rank r; `recv[r*len..]` is what we
+/// got from rank r.
+pub fn alltoall(comm: &mut RtComm, send: &[u8], recv: &mut [u8], len: usize) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(send.len() >= n * len && recv.len() >= n * len, "alltoall buffers too small");
+    recv[me * len..(me + 1) * len].copy_from_slice(&send[me * len..(me + 1) * len]);
+    if n.is_power_of_two() {
+        for k in 1..n {
+            let peer = me ^ k;
+            let tag = COLL_TAG_BASE + 5 + k as i32;
+            // XOR pairing is symmetric: lower rank sends first.
+            if me < peer {
+                comm.send(peer, tag, &send[peer * len..(peer + 1) * len]);
+                comm.recv(Some(peer), Some(tag), &mut recv[peer * len..(peer + 1) * len]);
+            } else {
+                let (a, b) = split_mut(recv, peer * len, len);
+                comm.recv(Some(peer), Some(tag), a);
+                comm.send(peer, tag, &send[peer * len..(peer + 1) * len]);
+                let _ = b;
+            }
+        }
+    } else {
+        for k in 1..n {
+            let dst = (me + k) % n;
+            let src = (me + n - k) % n;
+            let tag = COLL_TAG_BASE + 5 + k as i32;
+            // Odd/even phase split breaks the ring cycle.
+            if me.is_multiple_of(2) {
+                comm.send(dst, tag, &send[dst * len..(dst + 1) * len]);
+                comm.recv(Some(src), Some(tag), &mut recv[src * len..(src + 1) * len]);
+            } else {
+                let (a, _) = split_mut(recv, src * len, len);
+                comm.recv(Some(src), Some(tag), a);
+                comm.send(dst, tag, &send[dst * len..(dst + 1) * len]);
+            }
+        }
+    }
+}
+
+/// Borrow `buf[at..at+len]` mutably (helper keeping the borrow checker
+/// happy when receiving into a slice of a larger buffer).
+fn split_mut(buf: &mut [u8], at: usize, len: usize) -> (&mut [u8], &mut [u8]) {
+    let (_, rest) = buf.split_at_mut(at);
+    let (mid, tail) = rest.split_at_mut(len);
+    (mid, tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{run_rt, RtLmt};
+
+    const STRATEGIES: [RtLmt; 3] = [RtLmt::DoubleBuffer, RtLmt::Direct, RtLmt::Offload];
+
+    #[test]
+    fn barrier_all_sizes() {
+        for n in [1, 2, 3, 4, 8] {
+            run_rt(n, RtLmt::Direct, |comm| {
+                for _ in 0..3 {
+                    barrier(comm);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn barrier_orders_events() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase = AtomicUsize::new(0);
+        run_rt(4, RtLmt::Direct, |comm| {
+            if comm.rank() == 0 {
+                phase.store(1, Ordering::SeqCst);
+            }
+            barrier(comm);
+            // Every rank must observe rank 0's pre-barrier store.
+            assert_eq!(phase.load(Ordering::SeqCst), 1);
+        });
+    }
+
+    #[test]
+    fn bcast_small_and_large_all_roots() {
+        for lmt in STRATEGIES {
+            run_rt(4, lmt, |comm| {
+                for root in 0..4 {
+                    for len in [100usize, 200_000] {
+                        let mut data = vec![0u8; len];
+                        if comm.rank() == root {
+                            data.iter_mut()
+                                .enumerate()
+                                .for_each(|(i, b)| *b = (i % 251) as u8 ^ root as u8);
+                        }
+                        bcast(comm, root, &mut data);
+                        assert!(
+                            data.iter()
+                                .enumerate()
+                                .all(|(i, &b)| b == (i % 251) as u8 ^ root as u8),
+                            "{lmt:?} root {root} len {len}"
+                        );
+                        barrier(comm);
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_sum_u64() {
+        run_rt(4, RtLmt::Direct, |comm| {
+            let me = comm.rank() as u64;
+            let mut data: Vec<u8> = (0..100u64)
+                .flat_map(|i| (i + me).to_le_bytes())
+                .collect();
+            reduce(comm, 0, &mut data, &SumU64);
+            if comm.rank() == 0 {
+                for (i, lane) in data.chunks_exact(8).enumerate() {
+                    let v = u64::from_le_bytes(lane.try_into().unwrap());
+                    // sum over ranks of (i + r) = 4i + 0+1+2+3.
+                    assert_eq!(v, 4 * i as u64 + 6, "lane {i}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_matches_reference() {
+        for lmt in STRATEGIES {
+            run_rt(3, lmt, |comm| {
+                let me = comm.rank() as u8;
+                let mut data = vec![me + 1; 64 << 10];
+                allreduce(comm, &mut data, &SumU8);
+                // 1 + 2 + 3 everywhere.
+                assert!(data.iter().all(|&b| b == 6), "{lmt:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        run_rt(4, RtLmt::Direct, |comm| {
+            let me = comm.rank();
+            let n = comm.size();
+            let len = 10_000;
+            let mine = vec![me as u8 + 1; len];
+            let mut all = vec![0u8; n * len];
+            if me == 0 {
+                gather(comm, 0, &mine, Some(&mut all));
+                for r in 0..n {
+                    assert!(all[r * len..(r + 1) * len].iter().all(|&b| b == r as u8 + 1));
+                }
+            } else {
+                gather(comm, 0, &mine, None);
+            }
+            // Scatter it back; every rank should get its own block.
+            let mut back = vec![0u8; len];
+            if me == 0 {
+                scatter(comm, 0, Some(&all), &mut back);
+            } else {
+                scatter(comm, 0, None, &mut back);
+            }
+            assert!(back.iter().all(|&b| b == me as u8 + 1));
+        });
+    }
+
+    #[test]
+    fn allgather_all_ranks_see_everything() {
+        run_rt(4, RtLmt::DoubleBuffer, |comm| {
+            let me = comm.rank();
+            let n = comm.size();
+            let len = 50_000;
+            let mine = vec![me as u8 * 3 + 1; len];
+            let mut all = vec![0u8; n * len];
+            allgather(comm, &mine, &mut all);
+            for r in 0..n {
+                assert!(
+                    all[r * len..(r + 1) * len].iter().all(|&b| b == r as u8 * 3 + 1),
+                    "rank {me} block {r}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn alltoall_permutation_pow2_and_odd() {
+        for lmt in STRATEGIES {
+            for n in [4usize, 3] {
+                run_rt(n, lmt, |comm| {
+                    let me = comm.rank();
+                    let n = comm.size();
+                    let len = 30_000;
+                    // Block for rank r encodes (me, r).
+                    let mut send = vec![0u8; n * len];
+                    for r in 0..n {
+                        send[r * len..(r + 1) * len].fill((me * 16 + r) as u8);
+                    }
+                    let mut recv = vec![0u8; n * len];
+                    alltoall(comm, &send, &mut recv, len);
+                    for r in 0..n {
+                        assert!(
+                            recv[r * len..(r + 1) * len]
+                                .iter()
+                                .all(|&b| b == (r * 16 + me) as u8),
+                            "{lmt:?} n={n}: rank {me} block from {r}"
+                        );
+                    }
+                });
+            }
+        }
+    }
+}

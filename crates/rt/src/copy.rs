@@ -1,0 +1,358 @@
+//! Real-memory implementations of the paper's three copy strategies.
+//!
+//! * [`direct_copy`] — single copy, the userspace analogue of what KNEM
+//!   achieves through the kernel (threads share an address space, so no
+//!   kernel is needed here).
+//! * [`DoubleBufferPipe`] — the default Nemesis LMT: sender copies
+//!   chunks into a small ring of shared buffers while the receiver
+//!   copies them out, the two copies pipelining against each other (§2).
+//! * [`OffloadEngine`] — the I/OAT model: copies are submitted to a
+//!   dedicated engine thread that processes descriptors strictly in
+//!   order; completion notification is a trailing status-write
+//!   descriptor, exactly the trick of Figure 2.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::queue::{nem_queue, Sender as QSender};
+
+/// Single-copy transfer (the KNEM analogue).
+pub fn direct_copy(src: &[u8], dst: &mut [u8]) {
+    dst.copy_from_slice(src);
+}
+
+/// Marker trait for things that can run a transfer; used by benches.
+pub trait CopyEngine {
+    fn name(&self) -> &'static str;
+}
+
+/// The double-buffered copy ring. One sender thread and one receiver
+/// thread may run [`DoubleBufferPipe::send`] / [`DoubleBufferPipe::recv`]
+/// concurrently for the *same* transfer; the two copies overlap chunk by
+/// chunk, "one thereby partially hiding the cost of the other" (§2).
+pub struct DoubleBufferPipe {
+    slots: Vec<Slot>,
+    chunk: usize,
+}
+
+struct Slot {
+    /// 0 = empty, otherwise payload length.
+    len: AtomicUsize,
+    buf: parking_lot::Mutex<Box<[u8]>>,
+}
+
+impl DoubleBufferPipe {
+    /// `nbufs = 2` gives the paper's double buffering.
+    pub fn new(chunk: usize, nbufs: usize) -> Self {
+        assert!(chunk > 0 && nbufs > 0);
+        Self {
+            slots: (0..nbufs)
+                .map(|_| Slot {
+                    len: AtomicUsize::new(0),
+                    buf: parking_lot::Mutex::new(vec![0u8; chunk].into_boxed_slice()),
+                })
+                .collect(),
+            chunk,
+        }
+    }
+
+    /// Copy `src` into the ring (first of the two copies). Blocks
+    /// (spin-then-yield) when the ring is full.
+    pub fn send(&self, src: &[u8]) {
+        let n = self.slots.len();
+        let mut bo = crate::backoff::Backoff::new();
+        for (i, chunk) in src.chunks(self.chunk).enumerate() {
+            let slot = &self.slots[i % n];
+            while slot.len.load(Ordering::Acquire) != 0 {
+                bo.snooze();
+            }
+            bo.reset();
+            slot.buf.lock()[..chunk.len()].copy_from_slice(chunk);
+            slot.len.store(chunk.len(), Ordering::Release);
+        }
+    }
+
+    /// Copy out of the ring into `dst` (second copy). Blocks
+    /// (spin-then-yield) until every chunk has arrived.
+    pub fn recv(&self, dst: &mut [u8]) {
+        let n = self.slots.len();
+        let mut bo = crate::backoff::Backoff::new();
+        for (i, chunk) in dst.chunks_mut(self.chunk).enumerate() {
+            let slot = &self.slots[i % n];
+            loop {
+                let len = slot.len.load(Ordering::Acquire);
+                if len != 0 {
+                    assert_eq!(len, chunk.len(), "chunk length mismatch");
+                    break;
+                }
+                bo.snooze();
+            }
+            bo.reset();
+            chunk.copy_from_slice(&slot.buf.lock()[..chunk.len()]);
+            slot.len.store(0, Ordering::Release);
+        }
+    }
+}
+
+impl CopyEngine for DoubleBufferPipe {
+    fn name(&self) -> &'static str {
+        "double-buffer"
+    }
+}
+
+/// Raw copy descriptor shipped to the engine thread.
+enum Desc {
+    Copy {
+        src: *const u8,
+        dst: *mut u8,
+        len: usize,
+    },
+    /// The Figure-2 completion trick: an in-order one-word store.
+    Status(Arc<AtomicUsize>),
+    Shutdown,
+}
+
+// SAFETY: descriptors only travel to the engine thread; the pointers'
+// validity is guaranteed by the `Pending` borrow (see `submit`).
+unsafe impl Send for Desc {}
+
+/// A dedicated copy engine thread processing descriptors strictly in
+/// order — the I/OAT DMA engine analogue.
+pub struct OffloadEngine {
+    tx: QSender<Desc>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+/// Completion handle for a submitted copy. Holds the buffers' borrows so
+/// they cannot be touched (or freed) before completion.
+pub struct Pending<'a> {
+    flag: Arc<AtomicUsize>,
+    _borrows: PhantomData<&'a mut [u8]>,
+}
+
+impl Pending<'_> {
+    /// Has the engine finished (status written)?
+    pub fn poll(&self) -> bool {
+        self.flag.load(Ordering::Acquire) != 0
+    }
+
+    /// Wait (spin-then-yield) until complete.
+    pub fn wait(self) {
+        let mut bo = crate::backoff::Backoff::new();
+        while !self.poll() {
+            bo.snooze();
+        }
+    }
+}
+
+impl Drop for Pending<'_> {
+    fn drop(&mut self) {
+        // Never release the borrows before the engine is done with the
+        // pointers.
+        let mut bo = crate::backoff::Backoff::new();
+        while self.flag.load(Ordering::Acquire) == 0 {
+            bo.snooze();
+        }
+    }
+}
+
+impl OffloadEngine {
+    pub fn start() -> Self {
+        let (tx, mut rx) = nem_queue::<Desc>();
+        let handle = std::thread::spawn(move || {
+            let mut bytes = 0u64;
+            let mut bo = crate::backoff::Backoff::new();
+            loop {
+                match rx.dequeue() {
+                    Some(Desc::Copy { src, dst, len }) => {
+                        // SAFETY: the submitting side keeps both regions
+                        // borrowed (Pending) until the trailing status
+                        // write completes, and regions are disjoint by
+                        // &/&mut construction.
+                        unsafe { std::ptr::copy_nonoverlapping(src, dst, len) };
+                        bytes += len as u64;
+                        bo.reset();
+                    }
+                    Some(Desc::Status(flag)) => {
+                        flag.store(1, Ordering::Release);
+                        bo.reset();
+                    }
+                    Some(Desc::Shutdown) => return bytes,
+                    None => bo.snooze(),
+                }
+            }
+        });
+        Self {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Submit a copy; returns a completion handle tied to the buffers'
+    /// lifetimes. The payload is split into page-sized descriptors (as
+    /// pinned user memory would be) followed by the status descriptor.
+    pub fn submit<'a>(&self, src: &'a [u8], dst: &'a mut [u8]) -> Pending<'a> {
+        assert_eq!(src.len(), dst.len());
+        const PAGE: usize = 4096;
+        let flag = Arc::new(AtomicUsize::new(0));
+        let mut off = 0;
+        while off < src.len() {
+            let len = (src.len() - off).min(PAGE);
+            self.tx.enqueue(Desc::Copy {
+                src: src[off..].as_ptr(),
+                dst: dst[off..].as_mut_ptr(),
+                len,
+            });
+            off += len;
+        }
+        self.tx.enqueue(Desc::Status(Arc::clone(&flag)));
+        Pending {
+            flag,
+            _borrows: PhantomData,
+        }
+    }
+
+    /// Stop the engine; returns total bytes it copied.
+    pub fn shutdown(mut self) -> u64 {
+        self.tx.enqueue(Desc::Shutdown);
+        self.handle.take().unwrap().join().expect("engine panicked")
+    }
+}
+
+impl Drop for OffloadEngine {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            self.tx.enqueue(Desc::Shutdown);
+            let _ = h.join();
+        }
+    }
+}
+
+impl CopyEngine for OffloadEngine {
+    fn name(&self) -> &'static str {
+        "offload-engine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn direct_copy_works() {
+        let src = pattern(10_000);
+        let mut dst = vec![0u8; 10_000];
+        direct_copy(&src, &mut dst);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn double_buffer_pipelined_transfer() {
+        let pipe = Arc::new(DoubleBufferPipe::new(32 << 10, 2));
+        let src = pattern(1 << 20);
+        let mut dst = vec![0u8; 1 << 20];
+        std::thread::scope(|s| {
+            let p2 = Arc::clone(&pipe);
+            let src_ref = &src;
+            s.spawn(move || p2.send(src_ref));
+            pipe.recv(&mut dst);
+        });
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn double_buffer_odd_sizes() {
+        for size in [1usize, 100, 32 << 10, (32 << 10) + 1, 123_457] {
+            let pipe = Arc::new(DoubleBufferPipe::new(32 << 10, 2));
+            let src = pattern(size);
+            let mut dst = vec![0u8; size];
+            std::thread::scope(|s| {
+                let p2 = Arc::clone(&pipe);
+                let src_ref = &src;
+                s.spawn(move || p2.send(src_ref));
+                pipe.recv(&mut dst);
+            });
+            assert_eq!(src, dst, "size {size}");
+        }
+    }
+
+    #[test]
+    fn double_buffer_back_to_back_transfers() {
+        let pipe = Arc::new(DoubleBufferPipe::new(4 << 10, 2));
+        for round in 0..5u8 {
+            let src = vec![round; 40_000];
+            let mut dst = vec![0u8; 40_000];
+            std::thread::scope(|s| {
+                let p2 = Arc::clone(&pipe);
+                let src_ref = &src;
+                s.spawn(move || p2.send(src_ref));
+                pipe.recv(&mut dst);
+            });
+            assert_eq!(src, dst, "round {round}");
+        }
+    }
+
+    #[test]
+    fn offload_engine_copies_and_completes_in_order() {
+        let eng = OffloadEngine::start();
+        let src = pattern(256 << 10);
+        let mut dst = vec![0u8; 256 << 10];
+        let pending = eng.submit(&src, &mut dst);
+        pending.wait();
+        assert_eq!(src, dst);
+        // Status wrote only after the payload: verified by the data
+        // being complete at wait() return. Shutdown reports the bytes.
+        assert_eq!(eng.shutdown(), 256 << 10);
+    }
+
+    #[test]
+    fn offload_engine_overlaps_with_compute() {
+        let eng = OffloadEngine::start();
+        let src = pattern(1 << 20);
+        let mut dst = vec![0u8; 1 << 20];
+        let pending = eng.submit(&src, &mut dst);
+        // "Compute" while the engine copies.
+        let mut acc = 0u64;
+        for i in 0..100_000u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(i);
+        }
+        assert_ne!(acc, 0);
+        pending.wait();
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn offload_multiple_submissions_in_order() {
+        let eng = OffloadEngine::start();
+        let src1 = vec![1u8; 10_000];
+        let src2 = vec![2u8; 10_000];
+        let mut d1 = vec![0u8; 10_000];
+        let mut d2 = vec![0u8; 10_000];
+        let p1 = eng.submit(&src1, &mut d1);
+        let p2 = eng.submit(&src2, &mut d2);
+        // In-order channel: p2 complete implies p1 complete.
+        p2.wait();
+        assert!(p1.poll());
+        p1.wait();
+        assert_eq!(d1, src1);
+        assert_eq!(d2, src2);
+    }
+
+    #[test]
+    fn pending_drop_blocks_until_done() {
+        let eng = OffloadEngine::start();
+        let src = pattern(512 << 10);
+        let mut dst = vec![0u8; 512 << 10];
+        {
+            let _pending = eng.submit(&src, &mut dst);
+            // Dropped without wait(): Drop must block until complete so
+            // the borrows never dangle.
+        }
+        assert_eq!(src, dst);
+    }
+}

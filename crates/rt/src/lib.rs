@@ -1,0 +1,41 @@
+//! # nemesis-rt — real-thread shared-memory runtime
+//!
+//! The simulated stack (`nemesis-sim` / `nemesis-core`) reproduces the
+//! paper's *numbers*; this crate reproduces its *data structures* with
+//! real threads and real atomics, so the lock-free machinery Nemesis is
+//! built on is also exercised (and benchmarked with Criterion) on the
+//! host machine:
+//!
+//! * [`queue`] — the Nemesis lock-free MPSC queue (Vyukov-style
+//!   intrusive list: multi-producer `swap` on the tail, single-consumer
+//!   traversal), the structure behind every Nemesis receive queue [6].
+//! * [`cellpool`] — a Treiber-stack free list of fixed-size message
+//!   cells with packed ABA generation tags.
+//! * [`copy`] — the three intranode copy strategies as real-memory
+//!   engines: double-buffered two-copy pipelining (the default LMT),
+//!   direct single-copy (what KNEM achieves via the kernel; trivial
+//!   between threads because they share an address space), and offloaded
+//!   copy on a dedicated engine thread with in-order completion and a
+//!   trailing status write (the I/OAT model of Figure 2).
+
+//! * [`comm`] — a miniature message-passing runtime tying the pieces
+//!   together: rank-threads with MPSC receive queues, eager cells, and a
+//!   selectable large-message strategy (double-buffer / direct /
+//!   offload), mirroring the simulated `nemesis-core` protocol on real
+//!   hardware.
+//! * [`coll`] — collectives (barrier, bcast, reduce, allreduce, gather,
+//!   scatter, allgather, alltoall) over [`comm`], so the paper's §4.4
+//!   patterns also run on real threads.
+
+pub mod backoff;
+pub mod cellpool;
+pub mod coll;
+pub mod comm;
+pub mod copy;
+pub mod queue;
+
+pub use backoff::Backoff;
+pub use cellpool::CellPool;
+pub use comm::{run_rt, RtComm, RtLmt};
+pub use copy::{CopyEngine, DoubleBufferPipe, OffloadEngine};
+pub use queue::NemQueue;

@@ -1,0 +1,248 @@
+//! The Nemesis lock-free MPSC receive queue.
+//!
+//! Nemesis gives every process one receive queue that any local process
+//! can enqueue onto [6]. The classic implementation is an intrusive
+//! Vyukov MPSC list: producers atomically `swap` the tail and link the
+//! previous node; the single consumer walks `next` pointers. Enqueue is
+//! wait-free (one `swap` + one `store`); dequeue is lock-free and only
+//! observes a transient "empty" during the window between a producer's
+//! `swap` and its `next` store — which is fine, Nemesis polls.
+//!
+//! The API is split: [`Sender`] is cheaply clonable (one per producer),
+//! [`Receiver`] is unique and owns the consumer cursor, so single-consumer
+//! discipline is enforced by the type system rather than by comments.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    value: Option<T>,
+}
+
+struct Shared<T> {
+    /// Most recently enqueued node; producers swap this.
+    tail: AtomicPtr<Node<T>>,
+    /// Where the consumer cursor was parked when the `Receiver` dropped
+    /// (so the final `Shared` drop can free the whole chain).
+    orphan_head: AtomicPtr<Node<T>>,
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both sides are gone: free every node reachable from the parked
+        // consumer cursor (which is always set by Receiver::drop).
+        let mut cur = self.orphan_head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: sole owner at this point.
+            let next = unsafe { (*cur).next.load(Ordering::Acquire) };
+            unsafe { drop(Box::from_raw(cur)) };
+            cur = next;
+        }
+    }
+}
+
+/// Producer handle (clone one per producing thread).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+// SAFETY: producers only touch atomics; T crosses threads.
+unsafe impl<T: Send> Send for Sender<T> {}
+unsafe impl<T: Send> Sync for Sender<T> {}
+
+impl<T> Sender<T> {
+    /// Enqueue from any thread. Wait-free (one swap + one store).
+    pub fn enqueue(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value: Some(value),
+        }));
+        // AcqRel: our node's initialization happens-before any consumer
+        // that observes it via the predecessor's `next`.
+        let prev = self.shared.tail.swap(node, Ordering::AcqRel);
+        // SAFETY: `prev` is valid: nodes are only freed by the consumer
+        // after their `next` is non-null, and only we write this `next`.
+        unsafe {
+            (*prev).next.store(node, Ordering::Release);
+        }
+    }
+}
+
+/// Consumer handle (exactly one exists per queue).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+    head: *mut Node<T>,
+}
+
+// SAFETY: the Receiver can move between threads; `head` is only used
+// through `&mut self`.
+unsafe impl<T: Send> Send for Receiver<T> {}
+
+impl<T> Receiver<T> {
+    /// Dequeue the oldest fully-published item. `None` means empty (or a
+    /// producer is mid-publication — poll again).
+    pub fn dequeue(&mut self) -> Option<T> {
+        // SAFETY: `head` is consumer-owned and valid until we free it.
+        let next = unsafe { (*self.head).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            return None;
+        }
+        // SAFETY: `next` was initialized before its Release-store link.
+        let value = unsafe { (*next).value.take() };
+        let old = self.head;
+        self.head = next;
+        // `old` is unreachable by producers: its `next` is already
+        // written (we just followed it), so no producer still holds it
+        // as `prev`.
+        unsafe { drop(Box::from_raw(old)) };
+        debug_assert!(value.is_some(), "nodes past the stub carry values");
+        value
+    }
+
+    /// Whether the queue currently appears empty.
+    pub fn is_empty(&self) -> bool {
+        // SAFETY: head valid while the Receiver lives.
+        unsafe { (*self.head).next.load(Ordering::Acquire).is_null() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        // Producers may still hold `head` (or successors) as their
+        // `prev`; park the cursor for the final Shared drop instead of
+        // freeing here.
+        self.shared.orphan_head.store(self.head, Ordering::Release);
+    }
+}
+
+/// Create a new MPSC queue.
+pub fn nem_queue<T>() -> (Sender<T>, Receiver<T>) {
+    let stub = Box::into_raw(Box::new(Node {
+        next: AtomicPtr::new(ptr::null_mut()),
+        value: None,
+    }));
+    let shared = Arc::new(Shared {
+        tail: AtomicPtr::new(stub),
+        orphan_head: AtomicPtr::new(ptr::null_mut()),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared, head: stub },
+    )
+}
+
+/// Convenience alias matching the paper's terminology.
+pub type NemQueue<T> = (Sender<T>, Receiver<T>);
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (tx, mut rx) = nem_queue();
+        assert!(rx.is_empty());
+        for i in 0..100 {
+            tx.enqueue(i);
+        }
+        assert!(!rx.is_empty());
+        for i in 0..100 {
+            assert_eq!(rx.dequeue(), Some(i));
+        }
+        assert_eq!(rx.dequeue(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn empty_dequeue_is_none_repeatedly() {
+        let (tx, mut rx) = nem_queue::<String>();
+        for _ in 0..5 {
+            assert_eq!(rx.dequeue(), None);
+        }
+        tx.enqueue("x".into());
+        assert_eq!(rx.dequeue().as_deref(), Some("x"));
+        assert_eq!(rx.dequeue(), None);
+    }
+
+    #[test]
+    fn remaining_items_freed_on_drop() {
+        let probe = Arc::new(0usize);
+        {
+            let (tx, rx) = nem_queue();
+            for i in 0..10 {
+                tx.enqueue(Arc::new(i));
+            }
+            tx.enqueue(Arc::clone(&probe));
+            drop(rx);
+            // Senders can still enqueue after the receiver is gone; the
+            // nodes must not leak or dangle.
+            tx.enqueue(Arc::clone(&probe));
+        }
+        assert_eq!(Arc::strong_count(&probe), 1, "queue must free its nodes");
+    }
+
+    #[test]
+    fn mpsc_stress_per_producer_fifo() {
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 10_000;
+        let (tx, mut rx) = nem_queue::<u64>();
+        std::thread::scope(|s| {
+            for pid in 0..PRODUCERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        tx.enqueue(pid << 32 | i);
+                    }
+                });
+            }
+            let mut last = vec![None::<u64>; PRODUCERS as usize];
+            let mut count = 0u64;
+            while count < PRODUCERS * PER {
+                if let Some(v) = rx.dequeue() {
+                    let pid = (v >> 32) as usize;
+                    let seq = v & 0xFFFF_FFFF;
+                    if let Some(prev) = last[pid] {
+                        assert!(seq > prev, "producer {pid} reordered");
+                    }
+                    last[pid] = Some(seq);
+                    count += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            for pid in 0..PRODUCERS as usize {
+                assert_eq!(last[pid], Some(PER - 1));
+            }
+        });
+    }
+
+    #[test]
+    fn values_dropped_exactly_once() {
+        // Dequeue half, drop the rest with the queue; every Arc clone
+        // must be released exactly once.
+        let probe = Arc::new(());
+        {
+            let (tx, mut rx) = nem_queue();
+            for _ in 0..20 {
+                tx.enqueue(Arc::clone(&probe));
+            }
+            for _ in 0..10 {
+                assert!(rx.dequeue().is_some());
+            }
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+}

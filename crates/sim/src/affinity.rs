@@ -1,0 +1,283 @@
+//! Process-affinity placement advisor (§6).
+//!
+//! "The increasing number of cores and large, shared caches ... and the
+//! democratization of NUMA, will keep raising the need to carefully tune
+//! intranode communication according to process affinities." This module
+//! provides the tuning half: given how many bytes each rank pair
+//! exchanges (a [`TrafficMatrix`]), recommend a rank→core placement that
+//! keeps heavy pairs on cores sharing a cache.
+//!
+//! The algorithm is the classic greedy used by rankfile generators:
+//! visit pairs in decreasing traffic order and grab the cheapest
+//! placement still available. It is not optimal (graph partitioning is
+//! NP-hard) but recovers the obvious wins the paper's experiments are
+//! built around — two chatty ranks belong on a shared L2/L3, not on
+//! different sockets.
+
+use crate::config::MachineConfig;
+use crate::topology::{CoreId, Placement};
+
+/// Bytes exchanged per rank pair (symmetric; self-traffic ignored).
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    n: usize,
+    bytes: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    pub fn new(nranks: usize) -> Self {
+        Self {
+            n: nranks,
+            bytes: vec![0; nranks * nranks],
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.n
+    }
+
+    /// Record `bytes` sent from `src` to `dst`.
+    pub fn record(&mut self, src: usize, dst: usize, bytes: u64) {
+        assert!(src < self.n && dst < self.n);
+        if src != dst {
+            self.bytes[src * self.n + dst] += bytes;
+        }
+    }
+
+    /// Total traffic between `a` and `b`, both directions.
+    pub fn between(&self, a: usize, b: usize) -> u64 {
+        self.bytes[a * self.n + b] + self.bytes[b * self.n + a]
+    }
+
+    /// All unordered pairs with nonzero traffic, heaviest first.
+    fn pairs_by_weight(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            for b in a + 1..self.n {
+                let w = self.between(a, b);
+                if w > 0 {
+                    out.push((a, b, w));
+                }
+            }
+        }
+        // Deterministic: weight desc, then indices.
+        out.sort_by(|x, y| y.2.cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
+        out
+    }
+}
+
+/// Relative per-byte communication cost of a placement class, derived
+/// from the machine's cost model (cache-to-cache latencies dominate the
+/// two-copy path; DMA bypasses them, but placement still governs the
+/// non-offloaded traffic).
+pub fn placement_weight(cfg: &MachineConfig, p: Placement) -> u64 {
+    let c = &cfg.costs;
+    match p {
+        Placement::SameCore => c.l1_hit,
+        Placement::SharedL2 => c.l2_hit,
+        Placement::SharedL3 => c.l3_hit,
+        Placement::SameSocketDifferentDie => c.sibling_l2,
+        Placement::DifferentSocket => c.cross_socket,
+    }
+}
+
+/// Communication cost of an assignment under the traffic matrix
+/// (sum over pairs of bytes × placement weight). Lower is better.
+pub fn assignment_cost(cfg: &MachineConfig, traffic: &TrafficMatrix, cores: &[CoreId]) -> u128 {
+    assert_eq!(cores.len(), traffic.nranks());
+    let mut cost: u128 = 0;
+    for a in 0..traffic.nranks() {
+        for b in a + 1..traffic.nranks() {
+            let w = traffic.between(a, b);
+            if w > 0 {
+                let p = cfg.topology.placement(cores[a], cores[b]);
+                cost += w as u128 * placement_weight(cfg, p) as u128;
+            }
+        }
+    }
+    cost
+}
+
+/// Greedy placement: heavy pairs first onto the closest free cores.
+/// Returns `cores[rank] = core`. Panics if there are more ranks than
+/// cores.
+#[allow(clippy::needless_range_loop)] // loop vars double as CoreIds
+pub fn recommend_placement(cfg: &MachineConfig, traffic: &TrafficMatrix) -> Vec<CoreId> {
+    let n = traffic.nranks();
+    let ncores = cfg.topology.num_cores();
+    assert!(n <= ncores, "{n} ranks need at most {ncores} cores");
+    let mut assigned: Vec<Option<CoreId>> = vec![None; n];
+    let mut free: Vec<bool> = vec![true; ncores];
+
+    let best_free_pair = |free: &[bool]| -> Option<(CoreId, CoreId)> {
+        let mut best: Option<(u64, CoreId, CoreId)> = None;
+        for x in 0..ncores {
+            if !free[x] {
+                continue;
+            }
+            for y in x + 1..ncores {
+                if !free[y] {
+                    continue;
+                }
+                let w = placement_weight(cfg, cfg.topology.placement(x, y));
+                if best.map(|(bw, ..)| w < bw).unwrap_or(true) {
+                    best = Some((w, x, y));
+                }
+            }
+        }
+        best.map(|(_, x, y)| (x, y))
+    };
+    let closest_free_to = |free: &[bool], c: CoreId| -> Option<CoreId> {
+        let mut best: Option<(u64, CoreId)> = None;
+        for x in 0..ncores {
+            if !free[x] {
+                continue;
+            }
+            let w = placement_weight(cfg, cfg.topology.placement(c, x));
+            if best.map(|(bw, _)| w < bw).unwrap_or(true) {
+                best = Some((w, x));
+            }
+        }
+        best.map(|(_, x)| x)
+    };
+
+    for (a, b, _) in traffic.pairs_by_weight() {
+        match (assigned[a], assigned[b]) {
+            (None, None) => {
+                if let Some((x, y)) = best_free_pair(&free) {
+                    assigned[a] = Some(x);
+                    assigned[b] = Some(y);
+                    free[x] = false;
+                    free[y] = false;
+                }
+            }
+            (Some(ca), None) => {
+                if let Some(x) = closest_free_to(&free, ca) {
+                    assigned[b] = Some(x);
+                    free[x] = false;
+                }
+            }
+            (None, Some(cb)) => {
+                if let Some(x) = closest_free_to(&free, cb) {
+                    assigned[a] = Some(x);
+                    free[x] = false;
+                }
+            }
+            (Some(_), Some(_)) => {}
+        }
+    }
+    // Silent ranks take the remaining cores in order.
+    for slot in assigned.iter_mut() {
+        if slot.is_none() {
+            let x = free.iter().position(|&f| f).expect("enough cores");
+            *slot = Some(x);
+            free[x] = false;
+        }
+    }
+    assigned.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e5345() -> MachineConfig {
+        MachineConfig::xeon_e5345()
+    }
+
+    #[test]
+    fn traffic_matrix_symmetric_accumulation() {
+        let mut t = TrafficMatrix::new(4);
+        t.record(0, 1, 100);
+        t.record(1, 0, 50);
+        t.record(2, 2, 999); // self-traffic ignored
+        assert_eq!(t.between(0, 1), 150);
+        assert_eq!(t.between(1, 0), 150);
+        assert_eq!(t.between(2, 3), 0);
+    }
+
+    #[test]
+    fn chatty_pair_lands_on_shared_cache() {
+        let mut t = TrafficMatrix::new(2);
+        t.record(0, 1, 1 << 30);
+        let cores = recommend_placement(&e5345(), &t);
+        assert_eq!(
+            e5345().topology.placement(cores[0], cores[1]),
+            Placement::SharedL2
+        );
+    }
+
+    #[test]
+    fn two_chatty_pairs_get_two_dies() {
+        // Ranks (0,1) and (2,3) talk internally; no cross traffic.
+        let mut t = TrafficMatrix::new(4);
+        t.record(0, 1, 1 << 30);
+        t.record(2, 3, 1 << 29);
+        let cfg = e5345();
+        let cores = recommend_placement(&cfg, &t);
+        assert_eq!(cfg.topology.placement(cores[0], cores[1]), Placement::SharedL2);
+        assert_eq!(cfg.topology.placement(cores[2], cores[3]), Placement::SharedL2);
+        // The pairs themselves must not share a die.
+        assert_ne!(cfg.topology.l2_of(cores[0]), cfg.topology.l2_of(cores[2]));
+    }
+
+    #[test]
+    fn recommended_beats_naive_for_strided_pattern() {
+        // Pattern: rank i talks to rank i+4 (the worst case for the
+        // naive 0..8 placement on the E5345, which puts those pairs on
+        // different sockets).
+        let cfg = e5345();
+        let mut t = TrafficMatrix::new(8);
+        for i in 0..4 {
+            t.record(i, i + 4, 1 << 26);
+        }
+        let naive: Vec<CoreId> = (0..8).collect();
+        let tuned = recommend_placement(&cfg, &t);
+        let naive_cost = assignment_cost(&cfg, &t, &naive);
+        let tuned_cost = assignment_cost(&cfg, &t, &tuned);
+        assert!(
+            tuned_cost * 3 < naive_cost,
+            "tuned {tuned_cost} must be well below naive {naive_cost}"
+        );
+        // And every chatty pair ends on a shared L2.
+        for i in 0..4 {
+            assert_eq!(
+                cfg.topology.placement(tuned[i], tuned[i + 4]),
+                Placement::SharedL2
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let cfg = e5345();
+        let mut t = TrafficMatrix::new(8);
+        t.record(0, 7, 10);
+        t.record(3, 4, 10);
+        let cores = recommend_placement(&cfg, &t);
+        let mut seen = [false; 8];
+        for &c in &cores {
+            assert!(!seen[c], "core {c} used twice");
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn nehalem_pairs_prefer_shared_l3() {
+        let cfg = MachineConfig::nehalem_x5550();
+        let mut t = TrafficMatrix::new(2);
+        t.record(0, 1, 1000);
+        let cores = recommend_placement(&cfg, &t);
+        assert_eq!(
+            cfg.topology.placement(cores[0], cores[1]),
+            Placement::SharedL3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks need at most")]
+    fn too_many_ranks_panics() {
+        let t = TrafficMatrix::new(9);
+        let _ = recommend_placement(&e5345(), &t);
+    }
+}

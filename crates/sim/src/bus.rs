@@ -1,0 +1,204 @@
+//! The shared memory bus and the physical page allocator.
+//!
+//! The E5345 testbed has a front-side bus shared by both sockets with
+//! roughly 8 GiB/s of usable memory bandwidth (§3.1 mentions the figure).
+//! All DRAM traffic — CPU misses, write-backs and I/OAT transfers — is
+//! serialized through [`MemoryBus`], which models contention by tracking
+//! the virtual time at which the bus becomes free. Concurrent heavy
+//! copies (the Alltoall experiments of §4.4) therefore slow each other
+//! down, exactly the effect that moves the I/OAT crossover point earlier
+//! for collectives.
+
+use crate::config::PAGE;
+use crate::Ps;
+
+/// Bandwidth-limited, in-order memory bus.
+#[derive(Debug)]
+pub struct MemoryBus {
+    busy_until: Ps,
+    /// Occupancy per 64 B line.
+    ps_per_line: Ps,
+    /// Total bytes transferred (diagnostics).
+    total_bytes: u64,
+}
+
+impl MemoryBus {
+    pub fn new(ps_per_line: Ps) -> Self {
+        Self {
+            busy_until: 0,
+            ps_per_line,
+            total_bytes: 0,
+        }
+    }
+
+    /// Reserve the bus for `lines` cache lines starting no earlier than
+    /// `now`. Returns the *duration* from `now` until the transfer
+    /// completes (waiting time + transfer time).
+    pub fn transfer_lines(&mut self, now: Ps, lines: u64) -> Ps {
+        let start = self.busy_until.max(now);
+        let dur = lines * self.ps_per_line;
+        self.busy_until = start + dur;
+        self.total_bytes += lines * 64;
+        self.busy_until - now
+    }
+
+    /// Post a write-back: occupies bandwidth but the requester does not
+    /// wait for it (posted-write semantics). Returns nothing.
+    pub fn post_lines(&mut self, now: Ps, lines: u64) {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + lines * self.ps_per_line;
+        self.total_bytes += lines * 64;
+    }
+
+    /// Virtual time at which the bus next becomes idle.
+    pub fn busy_until(&self) -> Ps {
+        self.busy_until
+    }
+
+    /// Total bytes ever moved across the bus.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+/// Bump allocator for simulated physical memory. Every simulated buffer is
+/// backed by a unique physical range, so cache tags never collide between
+/// processes. Allocation is page-aligned: user buffers are modelled the
+/// way `get_user_pages` sees them — a list of 4 KiB pages that are
+/// physically *discontiguous* from one buffer to the next (which is what
+/// makes I/OAT submit one descriptor per page, §4.2).
+///
+/// NUMA: each node owns a disjoint 1 TiB slice of the physical address
+/// space (`node × NODE_STRIDE`), so the home node of any address is
+/// recoverable in O(1) with [`PhysAllocator::node_of`]. Non-NUMA machines
+/// simply allocate everything on node 0.
+#[derive(Debug)]
+pub struct PhysAllocator {
+    /// Next free address per NUMA node.
+    next: Vec<u64>,
+}
+
+/// Address-space stride separating NUMA nodes (1 TiB).
+pub const NODE_STRIDE: u64 = 1 << 40;
+
+impl PhysAllocator {
+    pub fn new() -> Self {
+        Self { next: Vec::new() }
+    }
+
+    /// Allocate `len` bytes, page-aligned, on node 0.
+    pub fn alloc(&mut self, len: u64) -> u64 {
+        self.alloc_on(0, len)
+    }
+
+    /// Allocate `len` bytes, page-aligned, on `node`. Returns the base
+    /// physical address.
+    pub fn alloc_on(&mut self, node: usize, len: u64) -> u64 {
+        assert!((node as u64) < u64::MAX / NODE_STRIDE, "node out of range");
+        if node >= self.next.len() {
+            // Leave each node's page 0 unused so "0" is never valid.
+            self.next
+                .extend((self.next.len()..=node).map(|n| n as u64 * NODE_STRIDE + PAGE));
+        }
+        let base = self.next[node];
+        let pages = len.div_ceil(PAGE).max(1);
+        self.next[node] += pages * PAGE;
+        assert!(
+            self.next[node] < (node as u64 + 1) * NODE_STRIDE,
+            "node {node} exhausted its 1 TiB slice"
+        );
+        base
+    }
+
+    /// Home NUMA node of a physical address.
+    #[inline]
+    pub fn node_of(addr: u64) -> usize {
+        (addr / NODE_STRIDE) as usize
+    }
+
+    /// Bytes of physical memory handed out so far (all nodes).
+    pub fn used(&self) -> u64 {
+        self.next
+            .iter()
+            .enumerate()
+            .map(|(n, &next)| next - (n as u64 * NODE_STRIDE + PAGE))
+            .sum()
+    }
+}
+
+impl Default for PhysAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_serializes_transfers() {
+        let mut bus = MemoryBus::new(1_000);
+        // First transfer at t=0: 10 lines => 10_000 ps.
+        assert_eq!(bus.transfer_lines(0, 10), 10_000);
+        // Second transfer issued at t=5_000 must wait until 10_000.
+        let d = bus.transfer_lines(5_000, 10);
+        assert_eq!(d, 5_000 + 10_000);
+        assert_eq!(bus.busy_until(), 20_000);
+        assert_eq!(bus.total_bytes(), 20 * 64);
+    }
+
+    #[test]
+    fn bus_idle_gap_not_charged() {
+        let mut bus = MemoryBus::new(1_000);
+        bus.transfer_lines(0, 1);
+        // Bus idle since t=1_000; a transfer at t=50_000 starts immediately.
+        assert_eq!(bus.transfer_lines(50_000, 2), 2_000);
+    }
+
+    #[test]
+    fn posted_writes_occupy_bandwidth() {
+        let mut bus = MemoryBus::new(1_000);
+        bus.post_lines(0, 8);
+        assert_eq!(bus.busy_until(), 8_000);
+        // A demand transfer right after waits for the posted write-back.
+        assert_eq!(bus.transfer_lines(0, 1), 9_000);
+    }
+
+    #[test]
+    fn phys_alloc_is_page_aligned_and_disjoint() {
+        let mut a = PhysAllocator::new();
+        let x = a.alloc(100);
+        let y = a.alloc(5000);
+        let z = a.alloc(1);
+        assert_eq!(x % PAGE, 0);
+        assert_eq!(y % PAGE, 0);
+        assert!(y >= x + PAGE, "ranges must not overlap");
+        assert!(z >= y + 2 * PAGE, "5000 B spans two pages");
+        assert_eq!(a.used(), (1 + 2 + 1) * PAGE);
+    }
+
+    #[test]
+    fn zero_len_alloc_still_unique() {
+        let mut a = PhysAllocator::new();
+        let x = a.alloc(0);
+        let y = a.alloc(0);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn numa_nodes_are_disjoint_and_recoverable() {
+        let mut a = PhysAllocator::new();
+        let x = a.alloc_on(0, 4096);
+        let y = a.alloc_on(1, 4096);
+        let z = a.alloc_on(0, 4096);
+        assert_eq!(PhysAllocator::node_of(x), 0);
+        assert_eq!(PhysAllocator::node_of(y), 1);
+        assert_eq!(PhysAllocator::node_of(z), 0);
+        assert!((NODE_STRIDE..2 * NODE_STRIDE).contains(&y));
+        assert_eq!(a.used(), 3 * 4096);
+        // Sparse node initialization: jumping to node 3 works.
+        let w = a.alloc_on(3, 64);
+        assert_eq!(PhysAllocator::node_of(w), 3);
+    }
+}

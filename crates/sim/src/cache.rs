@@ -1,0 +1,322 @@
+//! Set-associative, LRU, write-allocate cache model with MESI-style
+//! invalidation.
+//!
+//! Each cache is a table of sets; each set is a small MRU-ordered vector
+//! of `(line, dirty)` entries. The hierarchy (which L1 backs which core,
+//! which L2 backs which L1) lives in [`crate::machine::Machine`]; this
+//! module only knows about individual caches so it can be tested in
+//! isolation.
+//!
+//! The model intentionally captures the two behaviours the paper's
+//! analysis rests on (§2, §3.5, §4.5):
+//!
+//! 1. **Pollution** — a copy streams its source and destination through
+//!    the cache, evicting application data (LRU) and leaving the cache
+//!    full of message bytes.
+//! 2. **Reuse** — data recently written by a sibling core sharing the L2
+//!    is serviced at L2 latency instead of DRAM latency, which is why the
+//!    two-copy strategy *wins* between cores that share a cache.
+
+use crate::config::LINE;
+
+/// Outcome of probing one cache for a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    Hit,
+    Miss,
+}
+
+/// A line evicted to make room during a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    pub line: u64,
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: u64,
+    dirty: bool,
+}
+
+/// One physical cache (an L1 or an L2).
+#[derive(Debug)]
+pub struct Cache {
+    /// MRU-ordered entries per set (front = most recently used).
+    sets: Vec<Vec<Entry>>,
+    assoc: usize,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Build a cache of `size` bytes with `assoc`-way sets of 64 B lines.
+    pub fn new(size: u64, assoc: usize) -> Self {
+        assert!(assoc > 0);
+        let lines = size / LINE;
+        assert!(lines >= assoc as u64, "cache smaller than one set");
+        let num_sets = (lines / assoc as u64).next_power_of_two();
+        Self {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            assoc,
+            set_mask: num_sets - 1,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Line index for a physical address.
+    #[inline]
+    pub fn line_of(addr: u64) -> u64 {
+        addr >> LINE.trailing_zeros()
+    }
+
+    /// Number of sets (diagnostics).
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Probe for `line`; on hit, refresh LRU and optionally mark dirty.
+    pub fn access(&mut self, line: u64, write: bool) -> Probe {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|e| e.line == line) {
+            let mut e = set.remove(pos);
+            e.dirty |= write;
+            set.insert(0, e);
+            Probe::Hit
+        } else {
+            Probe::Miss
+        }
+    }
+
+    /// Probe without disturbing LRU or dirty state (used for coherence
+    /// lookups by other caches).
+    pub fn peek(&self, line: u64) -> bool {
+        let s = self.set_of(line);
+        self.sets[s].iter().any(|e| e.line == line)
+    }
+
+    /// Whether the line is present *and* dirty.
+    pub fn peek_dirty(&self, line: u64) -> bool {
+        let s = self.set_of(line);
+        self.sets[s].iter().any(|e| e.line == line && e.dirty)
+    }
+
+    /// Insert `line` as MRU; returns the evicted victim, if any.
+    /// `dirty` marks the line modified on arrival (write-allocate stores).
+    pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Evicted> {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|e| e.line == line) {
+            // Already present (races between levels): refresh.
+            let mut e = set.remove(pos);
+            e.dirty |= dirty;
+            set.insert(0, e);
+            return None;
+        }
+        let victim = if set.len() == self.assoc {
+            set.pop().map(|e| Evicted {
+                line: e.line,
+                dirty: e.dirty,
+            })
+        } else {
+            None
+        };
+        set.insert(0, Entry { line, dirty });
+        victim
+    }
+
+    /// Remove `line` if present; returns whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|e| e.line == line) {
+            let e = set.remove(pos);
+            Some(e.dirty)
+        } else {
+            None
+        }
+    }
+
+    /// Clear the dirty bit (after the line is written back or transferred
+    /// to another owner in shared state).
+    pub fn clean(&mut self, line: u64) {
+        let s = self.set_of(line);
+        if let Some(e) = self.sets[s].iter_mut().find(|e| e.line == line) {
+            e.dirty = false;
+        }
+    }
+
+    /// Mark a resident line dirty without disturbing LRU order (used when
+    /// an L1 victim is written back into its inclusive L2).
+    pub fn set_dirty(&mut self, line: u64) {
+        let s = self.set_of(line);
+        if let Some(e) = self.sets[s].iter_mut().find(|e| e.line == line) {
+            e.dirty = true;
+        }
+    }
+
+    /// All resident line indices (test/diagnostic helper; O(capacity)).
+    pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sets.iter().flatten().map(|e| e.line)
+    }
+
+    /// Number of resident lines (diagnostics / tests).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Count resident lines within a physical address range (tests and the
+    /// pollution diagnostics of Table 2).
+    pub fn resident_in(&self, base: u64, len: u64) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let first = Self::line_of(base);
+        let last = Self::line_of(base + len - 1);
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|e| e.line >= first && e.line <= last)
+            .count()
+    }
+
+    /// Drop everything (used when resetting between experiment repetitions).
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 8 lines, 2-way => 4 sets.
+        Cache::new(8 * LINE, 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.num_sets(), 4);
+        let big = Cache::new(4 << 20, 16);
+        assert_eq!(big.num_sets(), 4096);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert_eq!(c.access(42, false), Probe::Miss);
+        assert!(c.fill(42, false).is_none());
+        assert_eq!(c.access(42, false), Probe::Hit);
+        assert!(c.peek(42));
+        assert!(!c.peek_dirty(42));
+    }
+
+    #[test]
+    fn write_sets_dirty() {
+        let mut c = tiny();
+        c.fill(7, false);
+        assert_eq!(c.access(7, true), Probe::Hit);
+        assert!(c.peek_dirty(7));
+        c.clean(7);
+        assert!(!c.peek_dirty(7));
+        assert!(c.peek(7));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets). 2-way.
+        c.fill(0, false);
+        c.fill(4, false);
+        // Touch 0 so 4 becomes LRU.
+        assert_eq!(c.access(0, false), Probe::Hit);
+        let ev = c.fill(8, false).expect("must evict");
+        assert_eq!(ev.line, 4);
+        assert!(!ev.dirty);
+        assert!(c.peek(0) && c.peek(8) && !c.peek(4));
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = tiny();
+        c.fill(0, true);
+        c.fill(4, false);
+        // Insertion order: 0 then 4, so 0 is LRU and evicts dirty.
+        let ev = c.fill(8, false).unwrap();
+        assert_eq!((ev.line, ev.dirty), (0, true));
+    }
+
+    #[test]
+    fn dirty_travels_with_eviction() {
+        let mut c = tiny();
+        c.fill(4, false);
+        c.fill(0, true);
+        // 4 is LRU.
+        let ev = c.fill(8, false).unwrap();
+        assert_eq!((ev.line, ev.dirty), (4, false));
+        let ev2 = c.fill(12, false).unwrap();
+        assert_eq!((ev2.line, ev2.dirty), (0, true));
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = tiny();
+        c.fill(3, true);
+        assert_eq!(c.invalidate(3), Some(true));
+        assert_eq!(c.invalidate(3), None);
+        assert!(!c.peek(3));
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_duplicating() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(0, true);
+        assert_eq!(c.occupancy(), 1);
+        assert!(c.peek_dirty(0));
+    }
+
+    #[test]
+    fn resident_in_range() {
+        let mut c = Cache::new(64 * LINE, 8);
+        for l in 0..10u64 {
+            c.fill(l, false);
+        }
+        // Lines 0..10 => addresses 0..640.
+        assert_eq!(c.resident_in(0, 10 * LINE), 10);
+        assert_eq!(c.resident_in(0, LINE), 1);
+        assert_eq!(c.resident_in(5 * LINE, 2 * LINE), 2);
+        assert_eq!(c.resident_in(0, 0), 0);
+        assert_eq!(c.resident_in(100 * LINE, 64), 0);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.fill(1, true);
+        c.fill(2, false);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_self_evicts() {
+        // Fill 4x the cache capacity; occupancy stays at capacity and the
+        // earliest lines are gone — the pollution mechanism of §2.
+        let mut c = Cache::new(16 * LINE, 4);
+        for l in 0..64u64 {
+            c.fill(l, false);
+        }
+        assert_eq!(c.occupancy(), 16);
+        assert!(!c.peek(0));
+        assert!(c.peek(63));
+    }
+}

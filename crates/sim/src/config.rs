@@ -1,0 +1,300 @@
+//! Machine configuration: geometry of the cache hierarchy and the cost
+//! model calibrated against the paper's testbed (§4: dual-socket quad-core
+//! Xeon E5345 at 2.33 GHz, 4 MiB L2 per core pair, ~8 GiB/s memory
+//! bandwidth, ~100 ns syscalls).
+
+use crate::topology::Topology;
+use crate::{ns, Ps};
+
+/// Cache line size in bytes. Fixed at 64 B, matching the testbed.
+pub const LINE: u64 = 64;
+/// Page size in bytes (4 KiB, matching Linux on the testbed).
+pub const PAGE: u64 = 4096;
+
+/// Latency/bandwidth constants of the simulated machine, in picoseconds.
+///
+/// These are *calibration* constants: they are chosen so the simulated
+/// machine lands in the same performance regime as the paper's testbed
+/// (cached copies ≈ 6–7 GiB/s, DRAM copies ≈ 2.5 GiB/s, syscall ≈ 100 ns,
+/// I/OAT ≈ 4.8 GiB/s with high per-descriptor startup cost). Experiments
+/// compare *shapes*, not absolute numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// L1 hit, per line.
+    pub l1_hit: Ps,
+    /// L2 hit, per line.
+    pub l2_hit: Ps,
+    /// Cache-to-cache transfer from another L2 on the same socket, per line.
+    pub sibling_l2: Ps,
+    /// Cache-to-cache transfer across sockets, per line.
+    pub cross_socket: Ps,
+    /// Fixed per-line overhead of a DRAM miss that is *not* hidden by
+    /// prefetching (the bus occupancy below is charged on top).
+    pub dram_overhead: Ps,
+    /// Memory bus occupancy per 64 B line (8 GiB/s ⇒ ~7.45 ns).
+    pub bus_per_line: Ps,
+    /// Cost of entering/leaving the kernel (§3.1: ~100 ns on the Xeon).
+    pub syscall: Ps,
+    /// One shared-memory queue operation (enqueue or dequeue bookkeeping,
+    /// excluding payload copies).
+    pub queue_op: Ps,
+    /// One poll of a flag/queue that turns out empty.
+    pub poll: Ps,
+    /// Pinning one page for kernel access (`get_user_pages`).
+    pub pin_page: Ps,
+    /// Building + mapping one attached page on the `readv` side of a
+    /// vmsplice'd pipe: pipe_buf confirmation, page mapping and VFS
+    /// bookkeeping (the overhead §4.2 blames for vmsplice trailing KNEM —
+    /// "higher initialization costs due to Virtual File System
+    /// requirements").
+    pub vmsplice_map_page: Ps,
+    /// Managing one kernel pipe page on the `writev` path: pipe_buf
+    /// allocation, confirmation and wakeup bookkeeping. This is why the
+    /// two-copy pipe trails the two-copy mmap ring (default LMT) even
+    /// when a cache is shared (Figure 3).
+    pub pipe_page: Ps,
+    /// Sleeping-peer wakeup per successful pipe syscall (blocking
+    /// `readv`/`vmsplice` alternate around the 16-page ring, so every
+    /// 64 KiB chunk pays scheduler wakeups on both sides). KNEM's single
+    /// receive ioctl has no per-chunk handshake — this is the "much more
+    /// synchronization between source and destination processes" §4.2
+    /// blames for vmsplice trailing KNEM.
+    pub pipe_wakeup: Ps,
+    /// Mapping one pinned source page inside the KNEM kernel copy loop
+    /// (`kmap`-style access to another process's pages).
+    pub knem_map_page: Ps,
+    /// Submitting one I/OAT descriptor (one per physically contiguous
+    /// chunk, i.e. per page for pinned user memory).
+    pub ioat_desc: Ps,
+    /// I/OAT engine transfer time per 64 B line (≈ 4.8 GiB/s).
+    pub ioat_per_line: Ps,
+    /// Multiplier (×100) applied to copy time when a KNEM kernel thread
+    /// performs the copy on the same core as the polling receiver
+    /// (§4.3: the user process and the kernel thread compete for the CPU).
+    pub kthread_contention_pct: u64,
+    /// Scheduling latency for waking a kernel thread.
+    pub kthread_wakeup: Ps,
+    /// L3 hit, per line (only charged on parts that have an L3, §6).
+    pub l3_hit: Ps,
+    /// Extra per-line latency of a DRAM access whose home NUMA node is
+    /// not the accessor's socket (QPI hop on Nehalem-class parts, §6).
+    pub numa_remote_extra: Ps,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            l1_hit: 1_200,          // ~1.2 ns
+            l2_hit: 4_700,          // ~4.7 ns  => L2-resident copy ≈ 6.5 GiB/s
+            sibling_l2: 22_000,     // ~22 ns cache-to-cache, same socket
+            cross_socket: 30_000,   // ~30 ns cache-to-cache, FSB snoop
+            dram_overhead: 4_500,   // latency not hidden by the prefetcher
+            bus_per_line: 7_450,    // 64 B at 8 GiB/s
+            syscall: ns(100),
+            queue_op: ns(25),
+            poll: ns(40),
+            pin_page: ns(110),
+            vmsplice_map_page: ns(900),
+            pipe_page: ns(1_200),
+            pipe_wakeup: ns(2_500),
+            knem_map_page: ns(200),
+            ioat_desc: ns(180),
+            ioat_per_line: 10_000,  // 64 B at ~6 GiB/s engine rate
+            kthread_contention_pct: 205,
+            kthread_wakeup: ns(1_500),
+            l3_hit: 13_000,         // ~13 ns (Nehalem L3)
+            numa_remote_extra: 5_000, // ~5 ns/line extra beyond the QPI hop
+        }
+    }
+}
+
+/// Full description of a simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Human-readable model name (reports only).
+    pub name: &'static str,
+    pub topology: Topology,
+    /// Per-core L1 data cache size in bytes.
+    pub l1_size: u64,
+    pub l1_assoc: usize,
+    /// Per-die shared L2 size in bytes.
+    pub l2_size: u64,
+    pub l2_assoc: usize,
+    /// Shared L3 size in bytes (only meaningful when the topology has an
+    /// L3 level, §6).
+    pub l3_size: u64,
+    pub l3_assoc: usize,
+    /// Whether each socket has its own memory controller (NUMA). When
+    /// false, all DRAM traffic shares one front-side bus (Clovertown).
+    pub numa: bool,
+    pub costs: CostModel,
+}
+
+impl MachineConfig {
+    /// The paper's primary testbed (§4): dual-socket quad-core Xeon E5345,
+    /// two 4 MiB L2 caches per package, each shared between a core pair.
+    pub fn xeon_e5345() -> Self {
+        Self {
+            name: "Xeon E5345 (2x4 cores, 4 MiB L2/pair)",
+            topology: Topology::new(2, 4, 2),
+            l1_size: 32 << 10,
+            l1_assoc: 8,
+            l2_size: 4 << 20,
+            l2_assoc: 16,
+            l3_size: 0,
+            l3_assoc: 1,
+            numa: false,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// The secondary host of §3.5: single-socket quad-core Xeon X5460 with
+    /// two 6 MiB L2 caches ("running the experiment on another host with
+    /// 6 MiB L2 caches increased the threshold by 50%").
+    pub fn xeon_x5460() -> Self {
+        Self {
+            name: "Xeon X5460 (1x4 cores, 6 MiB L2/pair)",
+            topology: Topology::new(1, 4, 2),
+            l1_size: 32 << 10,
+            l1_assoc: 8,
+            l2_size: 6 << 20,
+            l2_assoc: 24,
+            l3_size: 0,
+            l3_assoc: 1,
+            numa: false,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// The §6 forward-looking platform: dual-socket quad-core Nehalem
+    /// (Xeon X5550-class) — private 256 KiB L2 per core, 8 MiB L3 shared
+    /// across the package, and per-socket integrated memory controllers
+    /// (NUMA). "The increasing number of cores and large, shared caches in
+    /// the upcoming processors such as Intel Nehalem, and the
+    /// democratization of NUMA, will keep raising the need to carefully
+    /// tune intranode communication according to process affinities."
+    pub fn nehalem_x5550() -> Self {
+        Self {
+            name: "Nehalem X5550 (2x4 cores, 256 KiB L2/core, 8 MiB L3/socket, NUMA)",
+            topology: Topology::new(2, 4, 1).with_l3(4),
+            l1_size: 32 << 10,
+            l1_assoc: 8,
+            l2_size: 256 << 10,
+            l2_assoc: 8,
+            l3_size: 8 << 20,
+            l3_assoc: 16,
+            numa: true,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// A small machine for fast unit tests: one socket, two cores sharing a
+    /// tiny L2, so eviction behaviour is exercised with small buffers.
+    pub fn tiny_test() -> Self {
+        Self {
+            name: "tiny test machine",
+            topology: Topology::new(1, 2, 2),
+            l1_size: 4 << 10,
+            l1_assoc: 4,
+            l2_size: 64 << 10,
+            l2_assoc: 8,
+            l3_size: 0,
+            l3_assoc: 1,
+            numa: false,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Number of lines in the L1 cache.
+    pub fn l1_lines(&self) -> u64 {
+        self.l1_size / LINE
+    }
+
+    /// Number of lines in the L2 cache.
+    pub fn l2_lines(&self) -> u64 {
+        self.l2_size / LINE
+    }
+
+    /// Size of the *largest* cache and how many cores share it — the
+    /// quantities §3.5 builds `DMAmin` from ("these results led us to
+    /// correlate the largest cache size (L2 here) ... with the observed
+    /// threshold"). On Clovertown that is the L2; on Nehalem the L3.
+    pub fn largest_cache(&self) -> (u64, usize) {
+        if self.topology.has_l3() {
+            (self.l3_size, self.topology.cores_per_l3())
+        } else {
+            (self.l2_size, self.topology.cores_per_l2())
+        }
+    }
+
+    /// The paper's architectural `DMAmin` threshold (§3.5):
+    /// `cache_size / (2 × cores sharing the cache)`, computed from the
+    /// largest cache level.
+    pub fn dma_min_architectural(&self) -> u64 {
+        let (size, sharers) = self.largest_cache();
+        size / (2 * sharers as u64)
+    }
+
+    /// The process-aware variant of `DMAmin`:
+    /// `cache_size / (2 × processes using the cache)`.
+    pub fn dma_min_for_sharers(&self, procs_using_cache: usize) -> u64 {
+        assert!(procs_using_cache > 0);
+        self.largest_cache().0 / (2 * procs_using_cache as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5345_dma_min_matches_paper() {
+        // §3.5: "When a 4 MiB L2 cache is shared between 2 processes, the
+        // formula leads to our 1 MiB threshold."
+        let m = MachineConfig::xeon_e5345();
+        assert_eq!(m.dma_min_architectural(), 1 << 20);
+        assert_eq!(m.dma_min_for_sharers(2), 1 << 20);
+        // "When no cache is shared, each process uses its own cache; the
+        // threshold thus jumps to 2 MiB."
+        assert_eq!(m.dma_min_for_sharers(1), 2 << 20);
+    }
+
+    #[test]
+    fn x5460_dma_min_is_50pct_larger() {
+        // §3.5: "another host with 6 MiB L2 caches increased the threshold
+        // by 50%".
+        let a = MachineConfig::xeon_e5345().dma_min_architectural();
+        let b = MachineConfig::xeon_x5460().dma_min_architectural();
+        assert_eq!(b, a + a / 2);
+    }
+
+    #[test]
+    fn line_counts() {
+        let m = MachineConfig::xeon_e5345();
+        assert_eq!(m.l1_lines(), 512);
+        assert_eq!(m.l2_lines(), 65_536);
+    }
+
+    #[test]
+    fn nehalem_dma_min_uses_l3() {
+        // Largest cache on Nehalem is the package L3 shared by 4 cores:
+        // 8 MiB / (2×4) = 1 MiB.
+        let m = MachineConfig::nehalem_x5550();
+        assert_eq!(m.largest_cache(), (8 << 20, 4));
+        assert_eq!(m.dma_min_architectural(), 1 << 20);
+        assert!(m.numa);
+        // Clovertown's largest cache is its L2.
+        assert_eq!(MachineConfig::xeon_e5345().largest_cache(), (4 << 20, 2));
+    }
+
+    #[test]
+    fn default_costs_sane() {
+        let c = CostModel::default();
+        // A cached access must be faster than a DRAM access.
+        assert!(c.l2_hit < c.dram_overhead + c.bus_per_line);
+        // I/OAT per-line cost must exceed bus occupancy (engine is slower
+        // than raw bus) but carry no latency/pollution component.
+        assert!(c.ioat_per_line > c.bus_per_line);
+        assert_eq!(c.syscall, ns(100));
+    }
+}

@@ -1,0 +1,105 @@
+//! # nemesis-sim — deterministic virtual-time machine simulator
+//!
+//! This crate is the hardware substrate of the MPICH2-Nemesis reproduction.
+//! It models the evaluation platform of the paper (a dual-socket quad-core
+//! Intel Xeon E5345 with 4 MiB L2 caches shared between core pairs, a
+//! bandwidth-limited front-side memory bus and an I/OAT DMA engine) with
+//! enough fidelity that the paper's *cache* effects — pollution from
+//! double-buffered copies, the benefit of single-copy transfers, and the
+//! cache-bypassing behaviour of I/OAT — emerge from first principles.
+//!
+//! The pieces:
+//!
+//! * [`sched`] — a deterministic virtual-time scheduler. Every simulated
+//!   process is an OS thread, but exactly one runs at a time and the
+//!   scheduler always resumes the process with the smallest virtual clock,
+//!   so simulations are sequentially consistent and bit-for-bit
+//!   reproducible regardless of host thread timing.
+//! * [`topology`] — sockets, dies, cores and the cache-sharing map.
+//! * [`cache`] — set-associative, LRU, write-allocate caches with
+//!   MESI-style invalidation and per-process hit/miss counters.
+//! * [`bus`] — the shared memory bus with bandwidth contention, plus the
+//!   physical page allocator.
+//! * [`dma`] — the I/OAT DMA engine: an in-order channel with
+//!   per-descriptor submission overhead and cache-bypassing transfers.
+//! * [`stats`] — PAPI-like hardware counters.
+//! * [`machine`] — the facade combining everything; simulated kernels and
+//!   libraries charge all memory traffic through [`machine::Machine`].
+//!
+//! Time is measured in integer **picoseconds** ([`Ps`]) to keep the
+//! simulation exactly deterministic (no floating-point accumulation).
+
+pub mod affinity;
+pub mod bus;
+pub mod cache;
+pub mod config;
+pub mod dma;
+pub mod machine;
+pub mod sched;
+pub mod stats;
+pub mod topology;
+
+pub use affinity::{assignment_cost, recommend_placement, TrafficMatrix};
+pub use config::{CostModel, MachineConfig};
+pub use machine::{AccessKind, Machine, PhysRange};
+pub use sched::{run_simulation, Proc, SimReport};
+pub use stats::{ProcStats, StatsSnapshot};
+pub use topology::{CoreId, Topology};
+
+/// Virtual time in picoseconds.
+pub type Ps = u64;
+
+/// Convenience constructor: nanoseconds to [`Ps`].
+#[inline]
+pub const fn ns(n: u64) -> Ps {
+    n * 1_000
+}
+
+/// Convenience constructor: microseconds to [`Ps`].
+#[inline]
+pub const fn us(n: u64) -> Ps {
+    n * 1_000_000
+}
+
+/// Convert a picosecond duration to fractional microseconds (for reports).
+#[inline]
+pub fn ps_to_us(ps: Ps) -> f64 {
+    ps as f64 / 1e6
+}
+
+/// Convert a picosecond duration to fractional milliseconds (for reports).
+#[inline]
+pub fn ps_to_ms(ps: Ps) -> f64 {
+    ps as f64 / 1e9
+}
+
+/// Throughput in MiB/s for `bytes` moved in `ps` of virtual time.
+#[inline]
+pub fn mib_per_s(bytes: u64, ps: Ps) -> f64 {
+    if ps == 0 {
+        return f64::INFINITY;
+    }
+    let secs = ps as f64 / 1e12;
+    bytes as f64 / (1024.0 * 1024.0) / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_helpers() {
+        assert_eq!(ns(100), 100_000);
+        assert_eq!(us(3), 3_000_000);
+        assert!((ps_to_us(2_500_000) - 2.5).abs() < 1e-12);
+        assert!((ps_to_ms(2_500_000_000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_helper() {
+        // 1 MiB in 1 ms => 1000 MiB/s.
+        let t = mib_per_s(1 << 20, 1_000_000_000);
+        assert!((t - 1000.0).abs() < 1e-6, "{t}");
+        assert!(mib_per_s(1, 0).is_infinite());
+    }
+}

@@ -1,0 +1,173 @@
+//! PAPI-like hardware counters.
+//!
+//! The paper measures L2 cache misses with PAPI (§4.5, Table 2). The
+//! simulator counts them exactly: every line-granularity access records a
+//! hit or miss at each level, attributed to the simulated process that
+//! issued it. Syscall counts, DRAM traffic and I/OAT traffic are tracked
+//! too, so experiments can report cache-pollution effects precisely.
+
+use serde::Serialize;
+
+/// Per-process counter block.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ProcStats {
+    /// Lines serviced by the L1.
+    pub l1_hits: u64,
+    /// Lines that missed the L1.
+    pub l1_misses: u64,
+    /// Lines serviced by the local L2 (after an L1 miss).
+    pub l2_hits: u64,
+    /// Lines that missed the local L2 (the PAPI `PAPI_L2_TCM` analogue).
+    pub l2_misses: u64,
+    /// L2 misses serviced by another cache rather than DRAM.
+    pub cache_to_cache: u64,
+    /// Lines serviced by the package L3 (0 on parts without one, §6).
+    pub l3_hits: u64,
+    /// Lines that missed the L3 too.
+    pub l3_misses: u64,
+    /// Bytes read from / written to DRAM by this process's CPU accesses.
+    pub dram_bytes: u64,
+    /// Subset of `dram_bytes` whose home NUMA node was remote (§6).
+    pub dram_remote_bytes: u64,
+    /// Number of system calls issued.
+    pub syscalls: u64,
+    /// Bytes moved on this process's behalf by the I/OAT engine.
+    pub ioat_bytes: u64,
+    /// I/OAT descriptors submitted on this process's behalf.
+    pub ioat_descs: u64,
+    /// Pages pinned on this process's behalf.
+    pub pinned_pages: u64,
+}
+
+impl ProcStats {
+    /// Total line-granularity accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.l1_hits + self.l1_misses
+    }
+
+    /// Merge another block into this one.
+    pub fn merge(&mut self, o: &ProcStats) {
+        self.l1_hits += o.l1_hits;
+        self.l1_misses += o.l1_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.cache_to_cache += o.cache_to_cache;
+        self.l3_hits += o.l3_hits;
+        self.l3_misses += o.l3_misses;
+        self.dram_bytes += o.dram_bytes;
+        self.dram_remote_bytes += o.dram_remote_bytes;
+        self.syscalls += o.syscalls;
+        self.ioat_bytes += o.ioat_bytes;
+        self.ioat_descs += o.ioat_descs;
+        self.pinned_pages += o.pinned_pages;
+    }
+}
+
+/// A snapshot of all counters, taken with [`crate::machine::Machine::snapshot`].
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct StatsSnapshot {
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl StatsSnapshot {
+    /// Sum of all per-process blocks.
+    pub fn total(&self) -> ProcStats {
+        let mut t = ProcStats::default();
+        for p in &self.per_proc {
+            t.merge(p);
+        }
+        t
+    }
+
+    /// Total L2 misses across all processes — the number Table 2 reports.
+    pub fn l2_misses(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.l2_misses).sum()
+    }
+
+    /// Counter deltas between two snapshots (`self` must be the later one).
+    pub fn delta_from(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let n = self.per_proc.len().max(earlier.per_proc.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.per_proc.get(i).copied().unwrap_or_default();
+            let b = earlier.per_proc.get(i).copied().unwrap_or_default();
+            out.push(ProcStats {
+                l1_hits: a.l1_hits - b.l1_hits,
+                l1_misses: a.l1_misses - b.l1_misses,
+                l2_hits: a.l2_hits - b.l2_hits,
+                l2_misses: a.l2_misses - b.l2_misses,
+                cache_to_cache: a.cache_to_cache - b.cache_to_cache,
+                l3_hits: a.l3_hits - b.l3_hits,
+                l3_misses: a.l3_misses - b.l3_misses,
+                dram_bytes: a.dram_bytes - b.dram_bytes,
+                dram_remote_bytes: a.dram_remote_bytes - b.dram_remote_bytes,
+                syscalls: a.syscalls - b.syscalls,
+                ioat_bytes: a.ioat_bytes - b.ioat_bytes,
+                ioat_descs: a.ioat_descs - b.ioat_descs,
+                pinned_pages: a.pinned_pages - b.pinned_pages,
+            });
+        }
+        StatsSnapshot { per_proc: out }
+    }
+}
+
+/// Mutable counter store inside the machine.
+#[derive(Debug, Default)]
+pub(crate) struct StatsStore {
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl StatsStore {
+    pub fn proc_mut(&mut self, pid: usize) -> &mut ProcStats {
+        if pid >= self.per_proc.len() {
+            self.per_proc.resize(pid + 1, ProcStats::default());
+        }
+        &mut self.per_proc[pid]
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            per_proc: self.per_proc.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_total() {
+        let mut s = StatsStore::default();
+        s.proc_mut(0).l2_misses = 10;
+        s.proc_mut(2).l2_misses = 5;
+        s.proc_mut(2).syscalls = 3;
+        let snap = s.snapshot();
+        assert_eq!(snap.per_proc.len(), 3);
+        assert_eq!(snap.l2_misses(), 15);
+        assert_eq!(snap.total().syscalls, 3);
+    }
+
+    #[test]
+    fn delta() {
+        let mut s = StatsStore::default();
+        s.proc_mut(0).l1_hits = 100;
+        let a = s.snapshot();
+        s.proc_mut(0).l1_hits = 150;
+        s.proc_mut(1).dram_bytes = 64;
+        let b = s.snapshot();
+        let d = b.delta_from(&a);
+        assert_eq!(d.per_proc[0].l1_hits, 50);
+        assert_eq!(d.per_proc[1].dram_bytes, 64);
+    }
+
+    #[test]
+    fn accesses_sum() {
+        let p = ProcStats {
+            l1_hits: 7,
+            l1_misses: 3,
+            ..Default::default()
+        };
+        assert_eq!(p.accesses(), 10);
+    }
+}

@@ -1,0 +1,316 @@
+//! Machine topology: sockets, dies, cores, and the cache-sharing map.
+//!
+//! The paper's primary testbed is a dual-socket quad-core Intel Xeon E5345
+//! ("Clovertown"): each package contains two dual-core dies, and each die
+//! has one 4 MiB L2 shared between its two cores. Cores on the same package
+//! but different dies share *no* cache — the configuration the paper calls
+//! "same die not sharing a cache" / "different dies".
+
+/// Identifier of a core: index in `0..topology.num_cores()`.
+pub type CoreId = usize;
+
+/// Identifier of a cache in the flat cache table of [`crate::machine::Machine`].
+pub type CacheId = usize;
+
+/// Where two cores sit relative to each other; determines cache-to-cache
+/// transfer cost and which experiments ("shared cache" vs "different dies")
+/// a core pair belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Same core (self transfer).
+    SameCore,
+    /// Two cores sharing an L2 cache (same die).
+    SharedL2,
+    /// Two cores sharing only an L3 cache (Nehalem-class parts, §6).
+    SharedL3,
+    /// Same socket, different dies: no shared cache, but on-package traffic.
+    SameSocketDifferentDie,
+    /// Different sockets: traffic crosses the front-side bus (or QPI).
+    DifferentSocket,
+}
+
+/// Static description of the machine layout.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    sockets: usize,
+    cores_per_socket: usize,
+    /// Number of cores sharing each L2 cache.
+    cores_per_l2: usize,
+    /// Number of cores sharing each L3 cache, if the part has an L3
+    /// (`None` on Clovertown/Harpertown; `Some(cores_per_socket)` on
+    /// Nehalem, where the L3 spans the package).
+    cores_per_l3: Option<usize>,
+}
+
+impl Topology {
+    /// Build a topology; `cores_per_socket` must be a multiple of
+    /// `cores_per_l2`.
+    pub fn new(sockets: usize, cores_per_socket: usize, cores_per_l2: usize) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0 && cores_per_l2 > 0);
+        assert_eq!(
+            cores_per_socket % cores_per_l2,
+            0,
+            "cores_per_socket must be a multiple of cores_per_l2"
+        );
+        Self {
+            sockets,
+            cores_per_socket,
+            cores_per_l2,
+            cores_per_l3: None,
+        }
+    }
+
+    /// Add an L3 level shared by `cores_per_l3` cores (must be a multiple
+    /// of `cores_per_l2` and divide `cores_per_socket`).
+    pub fn with_l3(mut self, cores_per_l3: usize) -> Self {
+        assert!(cores_per_l3 > 0);
+        assert_eq!(
+            cores_per_l3 % self.cores_per_l2,
+            0,
+            "an L3 must span whole L2 groups"
+        );
+        assert_eq!(
+            self.cores_per_socket % cores_per_l3,
+            0,
+            "cores_per_socket must be a multiple of cores_per_l3"
+        );
+        self.cores_per_l3 = Some(cores_per_l3);
+        self
+    }
+
+    /// Total number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Number of sockets (packages).
+    pub fn num_sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Number of distinct L2 caches.
+    pub fn num_l2(&self) -> usize {
+        self.num_cores() / self.cores_per_l2
+    }
+
+    /// How many cores share one L2 cache (the paper's
+    /// "Cores Sharing The Cache" term in the `DMAmin` formula).
+    pub fn cores_per_l2(&self) -> usize {
+        self.cores_per_l2
+    }
+
+    /// Whether the part has an L3 level.
+    pub fn has_l3(&self) -> bool {
+        self.cores_per_l3.is_some()
+    }
+
+    /// How many cores share one L3 cache (0 when there is no L3).
+    pub fn cores_per_l3(&self) -> usize {
+        self.cores_per_l3.unwrap_or(0)
+    }
+
+    /// Number of distinct L3 caches (0 when there is no L3).
+    pub fn num_l3(&self) -> usize {
+        match self.cores_per_l3 {
+            Some(k) => self.num_cores() / k,
+            None => 0,
+        }
+    }
+
+    /// Index of the L3 cache serving `core`, if the part has an L3.
+    pub fn l3_of(&self, core: CoreId) -> Option<usize> {
+        assert!(core < self.num_cores(), "core {core} out of range");
+        self.cores_per_l3.map(|k| core / k)
+    }
+
+    /// Socket that `core` belongs to.
+    pub fn socket_of(&self, core: CoreId) -> usize {
+        assert!(core < self.num_cores(), "core {core} out of range");
+        core / self.cores_per_socket
+    }
+
+    /// Index of the L2 cache serving `core` (also the die index).
+    pub fn l2_of(&self, core: CoreId) -> usize {
+        assert!(core < self.num_cores(), "core {core} out of range");
+        core / self.cores_per_l2
+    }
+
+    /// All cores sharing the L2 of `core`, including `core` itself.
+    pub fn l2_siblings(&self, core: CoreId) -> Vec<CoreId> {
+        let l2 = self.l2_of(core);
+        (0..self.num_cores())
+            .filter(|&c| self.l2_of(c) == l2)
+            .collect()
+    }
+
+    /// Relative placement of two cores.
+    pub fn placement(&self, a: CoreId, b: CoreId) -> Placement {
+        if a == b {
+            Placement::SameCore
+        } else if self.l2_of(a) == self.l2_of(b) {
+            Placement::SharedL2
+        } else if self.has_l3() && self.l3_of(a) == self.l3_of(b) {
+            Placement::SharedL3
+        } else if self.socket_of(a) == self.socket_of(b) {
+            Placement::SameSocketDifferentDie
+        } else {
+            Placement::DifferentSocket
+        }
+    }
+
+    /// The canonical core pair for a given placement, used by the
+    /// experiment harness ("shared cache" = (0,1), "different dies" =
+    /// (0,2), "different sockets" = (0, cores_per_socket)).
+    pub fn pair_for(&self, p: Placement) -> Option<(CoreId, CoreId)> {
+        let pair = match p {
+            Placement::SameCore => (0, 0),
+            Placement::SharedL2 => {
+                if self.cores_per_l2 < 2 {
+                    return None;
+                }
+                (0, 1)
+            }
+            Placement::SharedL3 => {
+                let k = self.cores_per_l3?;
+                if k <= self.cores_per_l2 {
+                    return None;
+                }
+                (0, self.cores_per_l2)
+            }
+            Placement::SameSocketDifferentDie => {
+                if self.cores_per_socket <= self.cores_per_l2 {
+                    return None;
+                }
+                // On parts whose L3 spans the socket there is no
+                // same-socket pair without a shared cache.
+                if let Some(k) = self.cores_per_l3 {
+                    if k >= self.cores_per_socket {
+                        return None;
+                    }
+                    (0, k)
+                } else {
+                    (0, self.cores_per_l2)
+                }
+            }
+            Placement::DifferentSocket => {
+                if self.sockets < 2 {
+                    return None;
+                }
+                (0, self.cores_per_socket)
+            }
+        };
+        debug_assert_eq!(self.placement(pair.0, pair.1), p);
+        Some(pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e5345() -> Topology {
+        Topology::new(2, 4, 2)
+    }
+
+    #[test]
+    fn counts() {
+        let t = e5345();
+        assert_eq!(t.num_cores(), 8);
+        assert_eq!(t.num_sockets(), 2);
+        assert_eq!(t.num_l2(), 4);
+        assert_eq!(t.cores_per_l2(), 2);
+    }
+
+    #[test]
+    fn socket_and_l2_maps() {
+        let t = e5345();
+        assert_eq!(t.socket_of(0), 0);
+        assert_eq!(t.socket_of(3), 0);
+        assert_eq!(t.socket_of(4), 1);
+        assert_eq!(t.socket_of(7), 1);
+        assert_eq!(t.l2_of(0), 0);
+        assert_eq!(t.l2_of(1), 0);
+        assert_eq!(t.l2_of(2), 1);
+        assert_eq!(t.l2_of(6), 3);
+    }
+
+    #[test]
+    fn placements() {
+        let t = e5345();
+        assert_eq!(t.placement(3, 3), Placement::SameCore);
+        assert_eq!(t.placement(0, 1), Placement::SharedL2);
+        assert_eq!(t.placement(0, 2), Placement::SameSocketDifferentDie);
+        assert_eq!(t.placement(0, 3), Placement::SameSocketDifferentDie);
+        assert_eq!(t.placement(0, 4), Placement::DifferentSocket);
+        assert_eq!(t.placement(2, 7), Placement::DifferentSocket);
+    }
+
+    #[test]
+    fn canonical_pairs() {
+        let t = e5345();
+        assert_eq!(t.pair_for(Placement::SharedL2), Some((0, 1)));
+        assert_eq!(t.pair_for(Placement::SameSocketDifferentDie), Some((0, 2)));
+        assert_eq!(t.pair_for(Placement::DifferentSocket), Some((0, 4)));
+    }
+
+    #[test]
+    fn single_socket_has_no_cross_socket_pair() {
+        // The X5460 host of section 3.5: single socket, 2 cores per L2.
+        let t = Topology::new(1, 4, 2);
+        assert_eq!(t.pair_for(Placement::DifferentSocket), None);
+        assert_eq!(t.pair_for(Placement::SameSocketDifferentDie), Some((0, 2)));
+    }
+
+    #[test]
+    fn l2_siblings_listed() {
+        let t = e5345();
+        assert_eq!(t.l2_siblings(0), vec![0, 1]);
+        assert_eq!(t.l2_siblings(5), vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_sharing_panics() {
+        let _ = Topology::new(1, 4, 3);
+    }
+
+    /// Nehalem-style: private L2 per core, package-wide L3.
+    fn nehalem() -> Topology {
+        Topology::new(2, 4, 1).with_l3(4)
+    }
+
+    #[test]
+    fn l3_counts_and_maps() {
+        let t = nehalem();
+        assert!(t.has_l3());
+        assert_eq!(t.num_l3(), 2);
+        assert_eq!(t.cores_per_l3(), 4);
+        assert_eq!(t.num_l2(), 8, "private L2 per core");
+        assert_eq!(t.l3_of(0), Some(0));
+        assert_eq!(t.l3_of(3), Some(0));
+        assert_eq!(t.l3_of(4), Some(1));
+        assert_eq!(Topology::new(2, 4, 2).l3_of(0), None);
+    }
+
+    #[test]
+    fn l3_placements() {
+        let t = nehalem();
+        assert_eq!(t.placement(0, 1), Placement::SharedL3);
+        assert_eq!(t.placement(0, 3), Placement::SharedL3);
+        assert_eq!(t.placement(0, 4), Placement::DifferentSocket);
+        assert_eq!(t.pair_for(Placement::SharedL3), Some((0, 1)));
+        // The whole socket shares the L3: no cache-less same-socket pair.
+        assert_eq!(t.pair_for(Placement::SameSocketDifferentDie), None);
+        // Clovertown has no L3 pair.
+        assert_eq!(
+            Topology::new(2, 4, 2).pair_for(Placement::SharedL3),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "whole L2 groups")]
+    fn l3_must_cover_l2_groups() {
+        let _ = Topology::new(1, 4, 2).with_l3(3);
+    }
+}

@@ -1,0 +1,25 @@
+//! # nemesis-workloads — benchmarks and applications for the Nemesis stack
+//!
+//! Two families, mirroring the paper's evaluation (§4):
+//!
+//! * [`imb`] — Intel MPI Benchmarks-style drivers: **PingPong** (Figures
+//!   3–6) and **Alltoall** (Figure 7), parameterized by message size,
+//!   LMT backend and core placement, reporting throughput and L2 misses.
+//! * [`nas`] — NAS Parallel Benchmark proxies (Table 1 / Table 2): IS is
+//!   a real bucket sort with the genuine alltoallv exchange; FT performs
+//!   real transpose exchanges; the remaining kernels (cg, ep, mg, lu, bt,
+//!   sp) reproduce each benchmark's communication pattern plus
+//!   cache-resident compute phases, which is the mechanism behind the
+//!   paper's speedups (communication copies polluting the compute
+//!   working set).
+
+pub mod imb;
+pub mod imb_ext;
+pub mod nas;
+pub mod trace;
+pub(crate) mod nas_kernels;
+
+pub use imb::{alltoall_bench, pingpong_bench, AlltoallResult, PingpongResult};
+pub use imb_ext::{suite_bench, SuiteBench, SuiteResult};
+pub use nas::{run_nas, NasKernel, NasResult};
+pub use trace::{replay, Op, Trace, TraceResult};

@@ -1,0 +1,297 @@
+//! Trace-driven communication workloads.
+//!
+//! Applications rarely look like a pingpong; this module replays an
+//! arbitrary message trace through the Nemesis stack, so placement and
+//! LMT decisions can be evaluated against realistic patterns. A trace
+//! also yields its [`TrafficMatrix`], which feeds the §6 affinity
+//! advisor ([`nemesis_sim::affinity`]) — see the `trace_affinity`
+//! example for the full loop: generate → advise → replay → compare.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use nemesis_core::{Nemesis, NemesisConfig, Request};
+use nemesis_kernel::Os;
+use nemesis_sim::{run_simulation, Machine, MachineConfig, Ps, TrafficMatrix};
+
+/// One trace operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A message from `src` to `dst` (both execute it in program order).
+    Xfer { src: usize, dst: usize, len: u64 },
+    /// Every rank computes for the given virtual time.
+    Compute(Ps),
+    /// Global synchronization.
+    Barrier,
+}
+
+/// A communication trace over `nranks` ranks.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub nranks: usize,
+    pub ops: Vec<Op>,
+}
+
+impl Trace {
+    /// The pair-traffic matrix of the trace (for the affinity advisor).
+    pub fn traffic(&self) -> TrafficMatrix {
+        let mut t = TrafficMatrix::new(self.nranks);
+        for op in &self.ops {
+            if let Op::Xfer { src, dst, len } = *op {
+                t.record(src, dst, len);
+            }
+        }
+        t
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Xfer { len, .. } => *len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Nearest-neighbour ring: `iters` rounds of `msg`-byte shifts with a
+    /// compute phase between rounds.
+    pub fn ring(nranks: usize, msg: u64, iters: u32, compute: Ps) -> Trace {
+        let mut ops = Vec::new();
+        for _ in 0..iters {
+            for r in 0..nranks {
+                ops.push(Op::Xfer {
+                    src: r,
+                    dst: (r + 1) % nranks,
+                    len: msg,
+                });
+            }
+            ops.push(Op::Compute(compute));
+            ops.push(Op::Barrier);
+        }
+        Trace { nranks, ops }
+    }
+
+    /// Clustered pairs: ranks `2k` and `2k+1` exchange heavily, with
+    /// occasional cross-cluster messages — the pattern affinity tuning
+    /// wins on.
+    pub fn clustered_pairs(
+        nranks: usize,
+        msg: u64,
+        iters: u32,
+        cross_every: u32,
+        seed: u64,
+    ) -> Trace {
+        assert_eq!(nranks % 2, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::new();
+        for i in 0..iters {
+            for k in 0..nranks / 2 {
+                ops.push(Op::Xfer {
+                    src: 2 * k,
+                    dst: 2 * k + 1,
+                    len: msg,
+                });
+                ops.push(Op::Xfer {
+                    src: 2 * k + 1,
+                    dst: 2 * k,
+                    len: msg,
+                });
+            }
+            if cross_every > 0 && i % cross_every == 0 {
+                let a = rng.random_range(0..nranks);
+                let mut b = rng.random_range(0..nranks);
+                if b == a {
+                    b = (b + 1) % nranks;
+                }
+                ops.push(Op::Xfer {
+                    src: a,
+                    dst: b,
+                    len: msg / 4,
+                });
+            }
+            ops.push(Op::Barrier);
+        }
+        Trace { nranks, ops }
+    }
+
+    /// Uniformly random pairs with log-uniform message sizes in
+    /// `[min_len, max_len]`.
+    pub fn random(
+        nranks: usize,
+        nops: usize,
+        min_len: u64,
+        max_len: u64,
+        seed: u64,
+    ) -> Trace {
+        assert!(nranks >= 2 && min_len >= 1 && min_len <= max_len);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::new();
+        let lg_min = (min_len as f64).ln();
+        let lg_max = (max_len as f64).ln();
+        for i in 0..nops {
+            let src = rng.random_range(0..nranks);
+            let mut dst = rng.random_range(0..nranks);
+            if dst == src {
+                dst = (dst + 1) % nranks;
+            }
+            let len = (lg_min + (lg_max - lg_min) * rng.random::<f64>()).exp() as u64;
+            ops.push(Op::Xfer {
+                src,
+                dst,
+                len: len.clamp(min_len, max_len),
+            });
+            // Periodic barriers bound the number of outstanding requests.
+            if i % 32 == 31 {
+                ops.push(Op::Barrier);
+            }
+        }
+        Trace { nranks, ops }
+    }
+}
+
+/// Result of replaying a trace.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    pub makespan: Ps,
+    pub l2_misses: u64,
+}
+
+/// Replay a trace with the given placement. Transfers are posted
+/// nonblocking in program order and completed at barriers / trace end,
+/// so any trace is deadlock-free.
+pub fn replay(
+    mcfg: MachineConfig,
+    ncfg: NemesisConfig,
+    placements: &[usize],
+    trace: &Trace,
+) -> TraceResult {
+    assert_eq!(placements.len(), trace.nranks);
+    let machine = Arc::new(Machine::new(mcfg));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, trace.nranks, ncfg);
+    let m2 = Arc::clone(&machine);
+    let report = run_simulation(Arc::clone(&machine), placements, |p| {
+        let comm = nem.attach(p);
+        let os = comm.os();
+        let me = comm.rank();
+        // One reusable send buffer; one receive buffer per inbound
+        // transfer (posted nonblocking, so each needs its own landing
+        // zone).
+        let max_len = trace
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Xfer { len, .. } => Some(*len),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1);
+        let sbuf = os.alloc_local(p, max_len.max(1));
+        os.with_data_mut(p, sbuf, |d| d.fill(me as u8 + 1));
+        os.touch_write(p, sbuf, 0, max_len.max(1));
+        let mut pending: Vec<Request> = Vec::new();
+        let mut tag = 0i32;
+        for op in &trace.ops {
+            match *op {
+                Op::Xfer { src, dst, len } => {
+                    tag += 1;
+                    if me == src {
+                        pending.push(comm.isend(dst, tag, sbuf, 0, len));
+                    } else if me == dst {
+                        let rbuf = os.alloc_local(p, len.max(1));
+                        pending.push(comm.irecv(Some(src), Some(tag), rbuf, 0, len));
+                    }
+                }
+                Op::Compute(ps) => {
+                    comm.proc().compute(ps);
+                }
+                Op::Barrier => {
+                    comm.waitall(&pending);
+                    pending.clear();
+                    comm.barrier();
+                }
+            }
+        }
+        comm.waitall(&pending);
+        comm.barrier();
+    });
+    TraceResult {
+        makespan: report.makespan,
+        l2_misses: m2.snapshot().l2_misses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemesis_core::LmtSelect;
+
+    #[test]
+    fn ring_trace_shape() {
+        let t = Trace::ring(4, 1000, 3, 50);
+        assert_eq!(t.nranks, 4);
+        assert_eq!(t.total_bytes(), 3 * 4 * 1000);
+        let tm = t.traffic();
+        assert_eq!(tm.between(0, 1), 3 * 1000);
+        assert_eq!(tm.between(0, 2), 0);
+    }
+
+    #[test]
+    fn random_trace_deterministic_per_seed() {
+        let a = Trace::random(4, 50, 64, 1 << 16, 7);
+        let b = Trace::random(4, 50, 64, 1 << 16, 7);
+        assert_eq!(a.ops, b.ops);
+        let c = Trace::random(4, 50, 64, 1 << 16, 8);
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn replay_ring_completes() {
+        let t = Trace::ring(4, 64 << 10, 2, 1000);
+        let r = replay(
+            MachineConfig::xeon_e5345(),
+            NemesisConfig::with_lmt(LmtSelect::ShmCopy),
+            &[0, 1, 2, 3],
+            &t,
+        );
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn replay_random_mixed_sizes_all_lmts() {
+        let t = Trace::random(4, 60, 128, 200_000, 42);
+        for lmt in [LmtSelect::ShmCopy, LmtSelect::Knem(nemesis_core::KnemSelect::Auto)] {
+            let r = replay(
+                MachineConfig::xeon_e5345(),
+                NemesisConfig::with_lmt(lmt),
+                &[0, 2, 4, 6],
+                &t,
+            );
+            assert!(r.makespan > 0, "{lmt:?}");
+        }
+    }
+
+    #[test]
+    fn clustered_placement_beats_naive() {
+        // The §6 loop: clustered traffic + advisor beats round-robin
+        // placement in actual simulated time.
+        let t = Trace::clustered_pairs(8, 256 << 10, 4, 2, 1);
+        let cfg = MachineConfig::xeon_e5345();
+        let tuned = nemesis_sim::recommend_placement(&cfg, &t.traffic());
+        // Worst-case manual placement: partners split across sockets.
+        let split: Vec<usize> = vec![0, 4, 1, 5, 2, 6, 3, 7];
+        let ncfg = || NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+        let r_tuned = replay(cfg.clone(), ncfg(), &tuned, &t);
+        let r_split = replay(cfg.clone(), ncfg(), &split, &t);
+        assert!(
+            r_tuned.makespan < r_split.makespan,
+            "tuned {} vs split {}",
+            r_tuned.makespan,
+            r_split.makespan
+        );
+    }
+}

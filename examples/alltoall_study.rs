@@ -1,0 +1,42 @@
+//! Alltoall study, including the paper's §6 future-work extension: the
+//! collective layer tells the LMT how many transfers run concurrently,
+//! which scales the `DMAmin` threshold down and turns I/OAT on earlier
+//! (§4.4 observes the I/OAT benefit starting near 200 KiB instead of
+//! 1 MiB for an 8-process Alltoall).
+//!
+//! ```bash
+//! cargo run --release --example alltoall_study
+//! ```
+
+use nemesis::core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis::sim::MachineConfig;
+use nemesis::workloads::imb::alltoall_bench;
+
+fn main() {
+    let sizes = [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20];
+    println!("8-process Alltoall, KNEM auto threshold (aggregated MiB/s)\n");
+    println!("| per-pair size | plain DMAmin | with collective hint |");
+    println!("|---|---|---|");
+    for size in sizes {
+        let mut row = Vec::new();
+        for hint in [false, true] {
+            let mut cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto));
+            cfg.collective_hint = hint;
+            let r = alltoall_bench(MachineConfig::xeon_e5345(), cfg, 8, size, 3, 1);
+            row.push(r.agg_throughput_mib_s);
+        }
+        let gain = (row[1] / row[0] - 1.0) * 100.0;
+        println!(
+            "| {} KiB | {:.0} | {:.0} ({:+.1}%) |",
+            size >> 10,
+            row[0],
+            row[1],
+            gain
+        );
+    }
+    println!(
+        "\nThe hint divides DMAmin by the announced concurrency (7 peers), so\n\
+         mid-sized collectives offload to I/OAT exactly where §4.4 observes\n\
+         the benefit to start."
+    );
+}

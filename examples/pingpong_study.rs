@@ -1,0 +1,59 @@
+//! PingPong study: compare all LMT backends at one message size, both
+//! with and without a shared cache — a one-screen digest of Figures 3–5.
+//!
+//! ```bash
+//! cargo run --release --example pingpong_study -- 1048576
+//! ```
+
+use nemesis::core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis::sim::topology::Placement;
+use nemesis::sim::MachineConfig;
+use nemesis::workloads::imb::pingpong_bench;
+
+fn main() {
+    let size: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 20);
+    let lmts = [
+        LmtSelect::ShmCopy,
+        LmtSelect::PipeWritev,
+        LmtSelect::Vmsplice,
+        LmtSelect::Knem(KnemSelect::SyncCpu),
+        LmtSelect::Knem(KnemSelect::AsyncKthread),
+        LmtSelect::Knem(KnemSelect::SyncIoat),
+        LmtSelect::Knem(KnemSelect::AsyncIoat),
+        LmtSelect::Knem(KnemSelect::Auto),
+    ];
+    println!("PingPong at {size} B (MiB/s; L2 misses per repetition)\n");
+    println!("| LMT | shared L2 | different dies | different sockets |");
+    println!("|---|---|---|---|");
+    for lmt in lmts {
+        let mut cells = Vec::new();
+        for pl in [
+            Placement::SharedL2,
+            Placement::SameSocketDifferentDie,
+            Placement::DifferentSocket,
+        ] {
+            let r = pingpong_bench(
+                MachineConfig::xeon_e5345(),
+                NemesisConfig::with_lmt(lmt),
+                pl,
+                size,
+                6,
+                2,
+            );
+            cells.push(format!(
+                "{:.0} ({} miss)",
+                r.throughput_mib_s, r.l2_misses_per_rep
+            ));
+        }
+        println!(
+            "| {} | {} | {} | {} |",
+            lmt.label(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Threshold tuner: print the §3.5 `DMAmin` formula for a machine you
+//! describe on the command line, then verify it empirically with a
+//! PingPong crossover scan on the built-in hosts.
+//!
+//! ```bash
+//! cargo run --release --example threshold_tuner -- 4 2      # 4 MiB L2, 2 sharers
+//! cargo run --release --example threshold_tuner            # scan built-in hosts
+//! ```
+
+use nemesis::core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis::sim::topology::Placement;
+use nemesis::sim::MachineConfig;
+use nemesis::workloads::imb::pingpong_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 3 {
+        let l2_mib: u64 = args[1].parse().expect("L2 size in MiB");
+        let sharers: u64 = args[2].parse().expect("processes sharing the cache");
+        let dma_min = l2_mib * (1 << 20) / (2 * sharers);
+        println!(
+            "DMAmin = {} MiB L2 / (2 x {} sharers) = {} KiB",
+            l2_mib,
+            sharers,
+            dma_min >> 10
+        );
+        return;
+    }
+
+    println!("Empirical I/OAT crossover vs the architectural formula:\n");
+    for (name, mcfg, pl) in [
+        (
+            "Xeon E5345, pair sharing 4 MiB L2",
+            MachineConfig::xeon_e5345(),
+            Placement::SharedL2,
+        ),
+        (
+            "Xeon E5345, no shared cache",
+            MachineConfig::xeon_e5345(),
+            Placement::DifferentSocket,
+        ),
+        (
+            "Xeon X5460, pair sharing 6 MiB L2",
+            MachineConfig::xeon_x5460(),
+            Placement::SharedL2,
+        ),
+    ] {
+        let formula = mcfg.dma_min_architectural();
+        print!("{name}: formula {} KiB, measured ", formula >> 10);
+        let mut found = None;
+        let mut s = 256 << 10;
+        while s <= 8 << 20 {
+            let cpu = pingpong_bench(
+                mcfg.clone(),
+                NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+                pl,
+                s,
+                4,
+                2,
+            );
+            let ioat = pingpong_bench(
+                mcfg.clone(),
+                NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::AsyncIoat)),
+                pl,
+                s,
+                4,
+                2,
+            );
+            if ioat.throughput_mib_s > cpu.throughput_mib_s {
+                found = Some(s);
+                break;
+            }
+            s *= 2;
+        }
+        match found {
+            Some(s) => println!("{} KiB", s >> 10),
+            None => println!("beyond 8 MiB"),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The §6 affinity loop, end to end: generate an application trace,
+//! derive its traffic matrix, ask the placement advisor for a rank→core
+//! mapping, and replay the trace under naive, adversarial and tuned
+//! placements to see what affinity is worth on the paper's testbed.
+//!
+//! ```bash
+//! cargo run --release --example trace_affinity
+//! ```
+
+use nemesis::core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis::sim::{assignment_cost, ps_to_ms, recommend_placement, MachineConfig};
+use nemesis::workloads::trace::{replay, Trace};
+
+fn main() {
+    let cfg = MachineConfig::xeon_e5345();
+    // An application with strong pairwise locality (ranks 2k <-> 2k+1)
+    // plus occasional cross-pair chatter.
+    let trace = Trace::clustered_pairs(8, 512 << 10, 6, 2, 42);
+    let traffic = trace.traffic();
+
+    let naive: Vec<usize> = (0..8).collect();
+    let adversarial: Vec<usize> = vec![0, 4, 1, 5, 2, 6, 3, 7]; // partners split across sockets
+    let tuned = recommend_placement(&cfg, &traffic);
+
+    println!("trace: {} ops, {} MiB total payload", trace.ops.len(), trace.total_bytes() >> 20);
+    println!("advisor placement: {tuned:?}\n");
+    println!("| placement | model cost | default LMT (ms) | KNEM auto (ms) |");
+    println!("|---|---|---|---|");
+    for (name, placement) in [
+        ("naive 0..8", &naive),
+        ("adversarial", &adversarial),
+        ("advisor", &tuned),
+    ] {
+        let cost = assignment_cost(&cfg, &traffic, placement);
+        let shm = replay(
+            cfg.clone(),
+            NemesisConfig::with_lmt(LmtSelect::ShmCopy),
+            placement,
+            &trace,
+        );
+        let knem = replay(
+            cfg.clone(),
+            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto)),
+            placement,
+            &trace,
+        );
+        println!(
+            "| {name} | {cost} | {:.2} | {:.2} |",
+            ps_to_ms(shm.makespan),
+            ps_to_ms(knem.makespan)
+        );
+    }
+    println!(
+        "\nThe advisor keeps chatty pairs on shared L2s: the two-copy default \
+         LMT gains the most (its copies hit the shared cache), and KNEM's \
+         single copy narrows the gap exactly as §4 describes."
+    );
+}

@@ -1,0 +1,36 @@
+//! # nemesis — the MPICH2-Nemesis reproduction stack
+//!
+//! Facade crate re-exporting every layer of the reproduction of
+//! *Cache-Efficient, Intranode, Large-Message MPI Communication with
+//! MPICH2-Nemesis* (Buntinas, Goglin, Goodell, Mercier, Moreaud —
+//! ICPP 2009):
+//!
+//! * [`sim`] — the deterministic virtual-time machine: topology (up to
+//!   Nehalem-class L3 + NUMA parts), set-associative LRU caches with
+//!   MESI-style coherence, bandwidth-limited memory buses, the I/OAT DMA
+//!   engine, PAPI-like counters, and the §6 affinity advisor.
+//! * [`kernel`] — the simulated Linux services Nemesis needs: address
+//!   spaces holding real bytes, pipes with `writev`/`readv`/`vmsplice`,
+//!   and the KNEM character device (cookies, vectorial iovecs,
+//!   synchronous / kernel-thread / I/OAT receive modes).
+//! * [`core`] — the Nemesis channel itself: eager cells (with
+//!   fragmentation and MPICH2-style unexpected-message buffering),
+//!   rendezvous with the four LMT backends the paper evaluates, the
+//!   `DMAmin` threshold policy and the §3.5 blended
+//!   [`core::LmtSelect::Dynamic`] selector, noncontiguous transfers, and
+//!   MPI-like point-to-point + collective operations.
+//! * [`rt`] — the same data structures on real threads and atomics
+//!   (lock-free MPSC queue, cell pool, copy engines, a mini runtime with
+//!   collectives), benchmarked with Criterion.
+//! * [`workloads`] — IMB-style microbenchmarks, NAS proxy kernels, and
+//!   trace-driven replay.
+//!
+//! Start with the `quickstart` example; DESIGN.md maps every module to
+//! the paper section it reproduces, and EXPERIMENTS.md records
+//! paper-vs-measured for every table and figure.
+
+pub use nemesis_core as core;
+pub use nemesis_kernel as kernel;
+pub use nemesis_rt as rt;
+pub use nemesis_sim as sim;
+pub use nemesis_workloads as workloads;

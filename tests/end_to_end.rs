@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the whole stack (simulator → kernel →
+//! Nemesis → workloads) exercised end to end.
+
+use std::sync::Arc;
+
+use nemesis::core::{Comm, KnemSelect, LmtSelect, Nemesis, NemesisConfig};
+use nemesis::kernel::Os;
+use nemesis::sim::{run_simulation, Machine, MachineConfig, SimReport};
+
+fn n_ranks(
+    n: usize,
+    cfg: NemesisConfig,
+    body: impl Fn(&Comm<'_>) + Send + Sync,
+) -> SimReport {
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, n, cfg);
+    let placements: Vec<usize> = (0..n).collect();
+    run_simulation(machine, &placements, |p| body(&nem.attach(p)))
+}
+
+const ALL_LMTS: [LmtSelect; 7] = [
+    LmtSelect::ShmCopy,
+    LmtSelect::PipeWritev,
+    LmtSelect::Vmsplice,
+    LmtSelect::Knem(KnemSelect::SyncCpu),
+    LmtSelect::Knem(KnemSelect::AsyncKthread),
+    LmtSelect::Knem(KnemSelect::AsyncIoat),
+    LmtSelect::Knem(KnemSelect::Auto),
+];
+
+/// Every LMT must deliver byte-exact data across a spectrum of sizes
+/// crossing the eager/rendezvous boundary and the DMAmin threshold.
+#[test]
+fn all_lmts_all_sizes_byte_exact() {
+    for lmt in ALL_LMTS {
+        n_ranks(2, NemesisConfig::with_lmt(lmt), |comm| {
+            let os = comm.os();
+            let me = comm.rank();
+            for (i, len) in [1u64, 4096, 64 << 10, 65537, 300_000, 2 << 20]
+                .into_iter()
+                .enumerate()
+            {
+                let buf = os.alloc(me, len);
+                let tag = i as i32;
+                if me == 0 {
+                    os.with_data_mut(comm.proc(), buf, |d| {
+                        for (j, b) in d.iter_mut().enumerate() {
+                            *b = (j as u8).wrapping_add(i as u8);
+                        }
+                    });
+                    comm.send(1, tag, buf, 0, len);
+                } else {
+                    comm.recv(Some(0), Some(tag), buf, 0, len);
+                    os.with_data(comm.proc(), buf, |d| {
+                        for (j, b) in d.iter().enumerate() {
+                            assert_eq!(
+                                *b,
+                                (j as u8).wrapping_add(i as u8),
+                                "{lmt:?}: byte {j} of message {i} corrupt"
+                            );
+                        }
+                    });
+                }
+            }
+        });
+    }
+}
+
+/// The full stack must be bit-deterministic: identical runs produce
+/// identical virtual times and identical counters.
+#[test]
+fn whole_stack_deterministic() {
+    let run = |lmt| {
+        let r = n_ranks(4, NemesisConfig::with_lmt(lmt), |comm| {
+            let os = comm.os();
+            let me = comm.rank();
+            let buf = os.alloc(me, 512 << 10);
+            let out = os.alloc(me, 512 << 10);
+            comm.alltoall(buf, 0, 128 << 10, out, 0);
+            comm.barrier();
+            comm.bcast(0, buf, 0, 256 << 10);
+        });
+        (r.finish_times.clone(), r.stats.l2_misses())
+    };
+    for lmt in [LmtSelect::ShmCopy, LmtSelect::Knem(KnemSelect::Auto)] {
+        assert_eq!(run(lmt), run(lmt), "{lmt:?} not deterministic");
+    }
+}
+
+/// Mixed traffic: eager and rendezvous messages interleaved with
+/// collectives across 8 ranks, all LMTs.
+#[test]
+fn mixed_traffic_8_ranks() {
+    for lmt in [
+        LmtSelect::ShmCopy,
+        LmtSelect::Vmsplice,
+        LmtSelect::Knem(KnemSelect::Auto),
+    ] {
+        n_ranks(8, NemesisConfig::with_lmt(lmt), |comm| {
+            let os = comm.os();
+            let me = comm.rank();
+            let n = comm.size();
+            let small = os.alloc(me, 1024);
+            let big = os.alloc(me, 256 << 10);
+            let rsmall = os.alloc(me, 1024);
+            let rbig = os.alloc(me, 256 << 10);
+            let next = (me + 1) % n;
+            let prev = (me + n - 1) % n;
+            for round in 0..3 {
+                let t = round * 10;
+                comm.sendrecv(next, t, small, 0, 1024, Some(prev), Some(t), rsmall, 0, 1024);
+                comm.sendrecv(
+                    next,
+                    t + 1,
+                    big,
+                    0,
+                    256 << 10,
+                    Some(prev),
+                    Some(t + 1),
+                    rbig,
+                    0,
+                    256 << 10,
+                );
+                comm.barrier();
+            }
+        });
+    }
+}
+
+/// No KNEM cookies may leak across a workload run.
+#[test]
+fn knem_cookies_all_released() {
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(
+        Arc::clone(&os),
+        4,
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+    );
+    run_simulation(machine, &[0, 1, 2, 3], |p| {
+        let comm = nem.attach(p);
+        let buf = comm.os().alloc(comm.rank(), 1 << 20);
+        let out = comm.os().alloc(comm.rank(), 1 << 20);
+        comm.alltoall(buf, 0, 256 << 10, out, 0);
+        comm.barrier();
+    });
+    assert_eq!(os.knem_live_cookies(), 0, "leaked cookies");
+}
+
+/// Unexpected-message flood: sender fires many messages before the
+/// receiver posts anything; flow control must hold and data must match.
+#[test]
+fn unexpected_flood_backpressure() {
+    n_ranks(2, NemesisConfig::default(), |comm| {
+        let os = comm.os();
+        let me = comm.rank();
+        let buf = os.alloc(me, 8 << 10);
+        if me == 0 {
+            for i in 0..100u8 {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(i));
+                comm.send(1, i as i32, buf, 0, 8 << 10);
+            }
+        } else {
+            // Sleep in virtual time so everything queues up first.
+            comm.proc().compute(2_000_000_000);
+            // Receive in reverse tag order to stress matching.
+            for i in (0..100u8).rev() {
+                comm.recv(Some(0), Some(i as i32), buf, 0, 8 << 10);
+                os.with_data(comm.proc(), buf, |d| {
+                    assert!(d.iter().all(|&x| x == i), "message {i} corrupt")
+                });
+            }
+        }
+    });
+}
+
+/// Simulated time must be monotone with message size for every LMT.
+#[test]
+fn time_monotone_in_size() {
+    for lmt in [LmtSelect::ShmCopy, LmtSelect::Knem(KnemSelect::SyncCpu)] {
+        let t = |len: u64| {
+            n_ranks(2, NemesisConfig::with_lmt(lmt), |comm| {
+                let buf = comm.os().alloc(comm.rank(), len);
+                if comm.rank() == 0 {
+                    comm.send(1, 0, buf, 0, len);
+                } else {
+                    comm.recv(Some(0), Some(0), buf, 0, len);
+                }
+            })
+            .makespan
+        };
+        let t1 = t(128 << 10);
+        let t2 = t(512 << 10);
+        let t3 = t(2 << 20);
+        assert!(t1 < t2 && t2 < t3, "{lmt:?}: {t1} {t2} {t3}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Failure-injection and stress tests: resource exhaustion, flow control
+//! and protocol-abuse scenarios that must either backpressure gracefully
+//! or fail loudly (never corrupt data).
+
+#![allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+
+use std::sync::Arc;
+
+use nemesis::core::{Comm, KnemSelect, LmtSelect, Nemesis, NemesisConfig};
+use nemesis::kernel::{Iov, KnemFlags, Os};
+use nemesis::sim::{run_simulation, Machine, MachineConfig};
+
+fn n_ranks(n: usize, cfg: NemesisConfig, body: impl Fn(&Comm<'_>) + Send + Sync) {
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, n, cfg);
+    let placements: Vec<usize> = (0..n).collect();
+    run_simulation(machine, &placements, |p| body(&nem.attach(p)));
+}
+
+/// Starve the eager cell pool: with only 2 cells of 1 KiB, a burst of
+/// 50 × 4 KiB messages forces repeated pool exhaustion; flow control
+/// must still deliver everything intact.
+#[test]
+fn eager_cell_exhaustion_backpressures() {
+    let mut cfg = NemesisConfig::default();
+    cfg.cell_payload = 1 << 10;
+    cfg.cells_per_proc = 2;
+    n_ranks(2, cfg, |comm| {
+        let os = comm.os();
+        let me = comm.rank();
+        let buf = os.alloc(me, 4 << 10);
+        if me == 0 {
+            for i in 0..50u8 {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(i));
+                comm.send(1, 0, buf, 0, 4 << 10);
+            }
+        } else {
+            for i in 0..50u8 {
+                comm.recv(Some(0), Some(0), buf, 0, 4 << 10);
+                os.with_data(comm.proc(), buf, |d| {
+                    assert!(d.iter().all(|&x| x == i), "burst message {i} corrupt")
+                });
+            }
+        }
+    });
+}
+
+/// Shrink the receive queue to 4 slots: enqueue backpressure engages.
+#[test]
+fn tiny_receive_queue_backpressures() {
+    let mut cfg = NemesisConfig::default();
+    cfg.queue_slots = 4;
+    n_ranks(2, cfg, |comm| {
+        let os = comm.os();
+        let me = comm.rank();
+        let buf = os.alloc(me, 256);
+        if me == 0 {
+            for i in 0..40 {
+                comm.send(1, i, buf, 0, 256);
+            }
+        } else {
+            comm.proc().compute(500_000_000); // let the queue fill
+            for i in 0..40 {
+                comm.recv(Some(0), Some(i), buf, 0, 256);
+            }
+        }
+    });
+}
+
+/// A pipe smaller than the message (the 16-page ring) must chunk a
+/// 1 MiB vmsplice transfer without deadlock even when the receiver is
+/// delayed.
+#[test]
+fn vmsplice_pipe_full_with_slow_receiver() {
+    n_ranks(2, NemesisConfig::with_lmt(LmtSelect::Vmsplice), |comm| {
+        let os = comm.os();
+        let me = comm.rank();
+        let buf = os.alloc(me, 1 << 20);
+        if me == 0 {
+            comm.send(1, 0, buf, 0, 1 << 20);
+        } else {
+            comm.proc().compute(2_000_000_000);
+            comm.recv(Some(0), Some(0), buf, 0, 1 << 20);
+        }
+    });
+}
+
+/// Receiving with an unknown cookie must panic loudly (protocol bug),
+/// not corrupt memory.
+#[test]
+#[should_panic(expected = "unknown cookie")]
+fn knem_unknown_cookie_panics() {
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    run_simulation(machine, &[0], |p| {
+        let dst = os.alloc(0, 64);
+        let status = os.knem_alloc_status(0);
+        os.knem_recv_cmd(
+            p,
+            nemesis::kernel::Cookie(999),
+            &[Iov::new(dst, 0, 64)],
+            KnemFlags::sync_cpu(),
+            status,
+        );
+    });
+}
+
+/// Mismatched iovec lengths between sender and receiver are rejected.
+#[test]
+#[should_panic(expected = "lengths must match")]
+fn knem_length_mismatch_rejected() {
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let cookie_slot = parking_lot::Mutex::new(None);
+    run_simulation(machine, &[0, 1], |p| {
+        if p.pid() == 0 {
+            let src = os.alloc(0, 128);
+            *cookie_slot.lock() = Some(os.knem_send_cmd(p, &[Iov::new(src, 0, 128)]));
+        } else {
+            let c = p.poll_until(|| *cookie_slot.lock());
+            let dst = os.alloc(1, 64);
+            let status = os.knem_alloc_status(1);
+            os.knem_recv_cmd(p, c, &[Iov::new(dst, 0, 64)], KnemFlags::sync_cpu(), status);
+        }
+    });
+}
+
+/// Receive-buffer overflow (message longer than the posted buffer) is a
+/// loud protocol error.
+#[test]
+#[should_panic(expected = "overflows")]
+fn message_longer_than_recv_buffer_panics() {
+    n_ranks(2, NemesisConfig::default(), |comm| {
+        let os = comm.os();
+        let me = comm.rank();
+        if me == 0 {
+            let buf = os.alloc(0, 8192);
+            comm.send(1, 0, buf, 0, 8192);
+        } else {
+            let buf = os.alloc(1, 1024);
+            comm.recv(Some(0), Some(0), buf, 0, 1024);
+        }
+    });
+}
+
+/// Many tiny rendezvous transfers through a 1-buffer ring (degenerate
+/// double buffering) must still complete and stay FIFO.
+#[test]
+fn degenerate_single_buffer_ring() {
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+    cfg.ring_bufs = 1;
+    cfg.eager_max = 4 << 10;
+    n_ranks(2, cfg, |comm| {
+        let os = comm.os();
+        let me = comm.rank();
+        let buf = os.alloc(me, 64 << 10);
+        for i in 0..5u8 {
+            if me == 0 {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(i));
+                comm.send(1, 0, buf, 0, 64 << 10);
+            } else {
+                comm.recv(Some(0), Some(0), buf, 0, 64 << 10);
+                os.with_data(comm.proc(), buf, |d| {
+                    assert!(d.iter().all(|&x| x == i))
+                });
+            }
+        }
+    });
+}
+
+/// DMA-engine backpressure: dozens of concurrent I/OAT transfers from 8
+/// ranks share one in-order channel; everything must complete correctly.
+#[test]
+fn ioat_channel_contention() {
+    n_ranks(
+        8,
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::AsyncIoat)),
+        |comm| {
+            let os = comm.os();
+            let me = comm.rank();
+            let n = comm.size();
+            let sbuf = os.alloc(me, 128 << 10);
+            let rbuf = os.alloc(me, (128 << 10) * n as u64);
+            os.with_data_mut(comm.proc(), sbuf, |d| d.fill(me as u8 + 1));
+            comm.allgather(sbuf, 0, 128 << 10, rbuf, 0);
+            os.with_data(comm.proc(), rbuf, |d| {
+                for r in 0..n {
+                    let lo = r * (128 << 10);
+                    assert!(
+                        d[lo..lo + (128 << 10)].iter().all(|&x| x == r as u8 + 1),
+                        "rank {me}: block {r} corrupt"
+                    );
+                }
+            });
+        },
+    );
+}

@@ -1,0 +1,264 @@
+//! The reproduction contract: every *qualitative* claim of the paper's
+//! evaluation, asserted as a test. These use reduced repetition counts,
+//! so thresholds are slightly relaxed versus the figures.
+
+use nemesis::core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis::sim::topology::Placement;
+use nemesis::sim::MachineConfig;
+use nemesis::workloads::imb::{alltoall_bench, pingpong_bench};
+use nemesis::workloads::nas::{run_nas, NasClass, NasKernel};
+
+fn pp(lmt: LmtSelect, pl: Placement, size: u64) -> f64 {
+    pingpong_bench(
+        MachineConfig::xeon_e5345(),
+        NemesisConfig::with_lmt(lmt),
+        pl,
+        size,
+        5,
+        2,
+    )
+    .throughput_mib_s
+}
+
+/// §4.1 / Figure 3: single-copy vmsplice beats the two-copy writev
+/// variant — "removing the copy on the send side ... dramatically
+/// increases performance, up to a factor of 2". The factor-2 end is the
+/// no-shared-cache placement; with a shared cache the second copy is
+/// cheap and the gap narrows.
+#[test]
+fn vmsplice_beats_writev() {
+    let v = pp(LmtSelect::Vmsplice, Placement::SharedL2, 512 << 10);
+    let w = pp(LmtSelect::PipeWritev, Placement::SharedL2, 512 << 10);
+    assert!(v > 1.05 * w, "SharedL2: vmsplice {v} vs writev {w}");
+    let v = pp(LmtSelect::Vmsplice, Placement::DifferentSocket, 512 << 10);
+    let w = pp(LmtSelect::PipeWritev, Placement::DifferentSocket, 512 << 10);
+    assert!(v > 1.5 * w, "DifferentSocket: vmsplice {v} vs writev {w}");
+}
+
+/// §4.1: with a shared cache the default two-copy LMT beats vmsplice;
+/// without one, vmsplice wins.
+#[test]
+fn vmsplice_vs_default_depends_on_cache_sharing() {
+    let shared_def = pp(LmtSelect::ShmCopy, Placement::SharedL2, 256 << 10);
+    let shared_vms = pp(LmtSelect::Vmsplice, Placement::SharedL2, 256 << 10);
+    assert!(shared_def > shared_vms, "{shared_def} vs {shared_vms}");
+    let split_def = pp(LmtSelect::ShmCopy, Placement::DifferentSocket, 256 << 10);
+    let split_vms = pp(LmtSelect::Vmsplice, Placement::DifferentSocket, 256 << 10);
+    assert!(split_vms > split_def, "{split_vms} vs {split_def}");
+}
+
+/// §4.2 / Figure 5: without a shared cache KNEM is more than three times
+/// faster than the default and about twice vmsplice.
+#[test]
+fn knem_dominates_without_shared_cache() {
+    let def = pp(LmtSelect::ShmCopy, Placement::DifferentSocket, 512 << 10);
+    let vms = pp(LmtSelect::Vmsplice, Placement::DifferentSocket, 512 << 10);
+    let knem = pp(
+        LmtSelect::Knem(KnemSelect::SyncCpu),
+        Placement::DifferentSocket,
+        512 << 10,
+    );
+    assert!(knem > 3.0 * def, "knem {knem} vs default {def}");
+    assert!(knem > 1.5 * vms, "knem {knem} vs vmsplice {vms}");
+}
+
+/// §4.2 / Figure 4: with a shared cache KNEM remains almost as fast as
+/// the default (within 2x, both far above the no-shared-cache default).
+#[test]
+fn knem_close_to_default_with_shared_cache() {
+    let def = pp(LmtSelect::ShmCopy, Placement::SharedL2, 256 << 10);
+    let knem = pp(
+        LmtSelect::Knem(KnemSelect::SyncCpu),
+        Placement::SharedL2,
+        256 << 10,
+    );
+    assert!(knem > def / 2.0 && knem < def * 2.0, "knem {knem} vs {def}");
+}
+
+/// §4.2: "same socket, different dies" behaves like the non-shared-cache
+/// case, not like the shared-cache case.
+#[test]
+fn different_dies_behave_like_different_sockets() {
+    let die = pp(LmtSelect::ShmCopy, Placement::SameSocketDifferentDie, 256 << 10);
+    let sock = pp(LmtSelect::ShmCopy, Placement::DifferentSocket, 256 << 10);
+    let shared = pp(LmtSelect::ShmCopy, Placement::SharedL2, 256 << 10);
+    assert!(
+        (die - sock).abs() < 0.3 * sock,
+        "different dies {die} should be near different sockets {sock}"
+    );
+    assert!(shared > 2.0 * die);
+}
+
+/// §3.5 / §4.2: I/OAT loses below the DMAmin threshold and wins above it
+/// (shared-cache pair: threshold 1 MiB).
+#[test]
+fn ioat_crossover_near_dma_min() {
+    let below_cpu = pp(
+        LmtSelect::Knem(KnemSelect::SyncCpu),
+        Placement::SharedL2,
+        256 << 10,
+    );
+    let below_ioat = pp(
+        LmtSelect::Knem(KnemSelect::AsyncIoat),
+        Placement::SharedL2,
+        256 << 10,
+    );
+    assert!(below_cpu > below_ioat, "{below_cpu} vs {below_ioat}");
+    let above_cpu = pp(
+        LmtSelect::Knem(KnemSelect::SyncCpu),
+        Placement::SharedL2,
+        4 << 20,
+    );
+    let above_ioat = pp(
+        LmtSelect::Knem(KnemSelect::AsyncIoat),
+        Placement::SharedL2,
+        4 << 20,
+    );
+    assert!(above_ioat > 1.3 * above_cpu, "{above_ioat} vs {above_cpu}");
+}
+
+/// §4.3 / Figure 6: the asynchronous kernel-thread copy is slower than
+/// the synchronous copy (CPU contention), while async I/OAT is not
+/// penalized.
+#[test]
+fn async_kthread_slower_async_ioat_fine() {
+    let sync_cpu = pp(
+        LmtSelect::Knem(KnemSelect::SyncCpu),
+        Placement::DifferentSocket,
+        1 << 20,
+    );
+    let async_kt = pp(
+        LmtSelect::Knem(KnemSelect::AsyncKthread),
+        Placement::DifferentSocket,
+        1 << 20,
+    );
+    assert!(async_kt < 0.8 * sync_cpu, "{async_kt} vs {sync_cpu}");
+    let sync_ioat = pp(
+        LmtSelect::Knem(KnemSelect::SyncIoat),
+        Placement::DifferentSocket,
+        1 << 20,
+    );
+    let async_ioat = pp(
+        LmtSelect::Knem(KnemSelect::AsyncIoat),
+        Placement::DifferentSocket,
+        1 << 20,
+    );
+    assert!(
+        async_ioat > 0.95 * sync_ioat,
+        "{async_ioat} vs {sync_ioat}"
+    );
+}
+
+/// §4.4 / Figure 7: in an 8-process Alltoall, KNEM dramatically
+/// outperforms the default for medium messages, and I/OAT becomes
+/// profitable much earlier than the point-to-point 1 MiB threshold.
+#[test]
+fn alltoall_knem_wins_medium_ioat_early() {
+    let m = MachineConfig::xeon_e5345;
+    let mut cfg_def = NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+    cfg_def.eager_max = 64 << 10;
+    let mut cfg_knem = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu));
+    cfg_knem.eager_max = 8 << 10;
+    let mut cfg_ioat = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncIoat));
+    cfg_ioat.eager_max = 8 << 10;
+
+    let def = alltoall_bench(m(), cfg_def, 8, 32 << 10, 3, 1).agg_throughput_mib_s;
+    let knem = alltoall_bench(m(), cfg_knem.clone(), 8, 32 << 10, 3, 1).agg_throughput_mib_s;
+    assert!(knem > 3.0 * def, "medium alltoall: knem {knem} vs default {def}");
+
+    // I/OAT already wins at 512 KiB in the collective (vs ~1-2 MiB in
+    // PingPong).
+    let knem_512 = alltoall_bench(m(), cfg_knem, 8, 512 << 10, 2, 1).agg_throughput_mib_s;
+    let ioat_512 = alltoall_bench(m(), cfg_ioat, 8, 512 << 10, 2, 1).agg_throughput_mib_s;
+    assert!(ioat_512 > knem_512, "{ioat_512} vs {knem_512}");
+}
+
+/// §4.5 / Table 1: IS speeds up substantially with KNEM+I/OAT; EP does
+/// not care; IS gains more than FT-like compute-heavy kernels.
+#[test]
+fn nas_is_gains_ep_does_not() {
+    let t = |k, lmt| {
+        // Class S alltoallv blocks are ~4 KiB per peer; lower the LMT
+        // activation as §4.4 recommends for collectives so the class-S
+        // proxy exercises the same transfer paths as class B.
+        let mut cfg = NemesisConfig::with_lmt(lmt);
+        cfg.eager_max = 2 << 10;
+        let r = run_nas(MachineConfig::xeon_e5345(), cfg, k, NasClass::S);
+        assert!(r.verified);
+        r.time_ps
+    };
+    let is_def = t(NasKernel::Is8, LmtSelect::ShmCopy);
+    let is_ioat = t(NasKernel::Is8, LmtSelect::Knem(KnemSelect::AsyncIoat));
+    assert!(
+        is_ioat < is_def,
+        "IS must speed up: {is_ioat} vs {is_def}"
+    );
+    let ep_def = t(NasKernel::Ep4, LmtSelect::ShmCopy);
+    let ep_ioat = t(NasKernel::Ep4, LmtSelect::Knem(KnemSelect::AsyncIoat));
+    let drift = (ep_def as f64 - ep_ioat as f64).abs() / ep_def as f64;
+    assert!(drift < 0.02, "EP must be LMT-insensitive: {drift}");
+}
+
+/// §4.5 / Table 2: L2 misses order as default > single-copy strategies,
+/// with I/OAT lowest for large messages.
+#[test]
+fn cache_miss_ordering_matches_table2() {
+    let misses = |lmt| {
+        pingpong_bench(
+            MachineConfig::xeon_e5345(),
+            NemesisConfig::with_lmt(lmt),
+            Placement::SameSocketDifferentDie,
+            4 << 20,
+            4,
+            2,
+        )
+        .l2_misses_per_rep
+    };
+    let def = misses(LmtSelect::ShmCopy);
+    let vms = misses(LmtSelect::Vmsplice);
+    let knem = misses(LmtSelect::Knem(KnemSelect::SyncCpu));
+    let ioat = misses(LmtSelect::Knem(KnemSelect::AsyncIoat));
+    assert!(def > vms, "default {def} vs vmsplice {vms}");
+    assert!(def > knem, "default {def} vs knem {knem}");
+    assert!(ioat < knem / 2, "ioat {ioat} vs knem {knem}");
+}
+
+/// §3.5 / §6: "No single method is optimal for all situations, and so a
+/// blended approach is essential" — the dynamic LMT must track the best
+/// fixed backend at *both* placements (within 5%), which no fixed
+/// backend does.
+#[test]
+fn dynamic_policy_tracks_best_fixed_backend() {
+    let size = 512 << 10;
+    for pl in [Placement::SharedL2, Placement::DifferentSocket] {
+        let fixed_best = [
+            LmtSelect::ShmCopy,
+            LmtSelect::Vmsplice,
+            LmtSelect::Knem(KnemSelect::Auto),
+        ]
+        .into_iter()
+        .map(|lmt| pp(lmt, pl, size))
+        .fold(0.0f64, f64::max);
+        let dynamic = pp(LmtSelect::Dynamic, pl, size);
+        assert!(
+            dynamic > 0.95 * fixed_best,
+            "{pl:?}: dynamic {dynamic} vs best fixed {fixed_best}"
+        );
+    }
+    // And the fixed backends each lose somewhere: the default collapses
+    // cross-socket, KNEM trails the default on a shared cache.
+    let def_split = pp(LmtSelect::ShmCopy, Placement::DifferentSocket, size);
+    let dyn_split = pp(LmtSelect::Dynamic, Placement::DifferentSocket, size);
+    assert!(dyn_split > 2.0 * def_split);
+}
+
+/// §3.5: the DMAmin formula itself (pure arithmetic, both hosts).
+#[test]
+fn dma_min_formula_values() {
+    assert_eq!(MachineConfig::xeon_e5345().dma_min_for_sharers(2), 1 << 20);
+    assert_eq!(MachineConfig::xeon_e5345().dma_min_for_sharers(1), 2 << 20);
+    assert_eq!(
+        MachineConfig::xeon_x5460().dma_min_for_sharers(2),
+        (1 << 20) + (1 << 19) // 1.5 MiB: +50% over the 4 MiB host
+    );
+}
