@@ -74,8 +74,7 @@ fn main() {
             let mut cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto));
             cfg.eager_max = 8 << 10;
             cfg.collective_hint = hint;
-            alltoall_bench(MachineConfig::xeon_e5345(), cfg, 8, size, 2, 1)
-                .agg_throughput_mib_s
+            alltoall_bench(MachineConfig::xeon_e5345(), cfg, 8, size, 2, 1).agg_throughput_mib_s
         };
         println!(
             "| {} | {:.0} | {:.0} |",

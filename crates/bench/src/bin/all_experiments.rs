@@ -81,9 +81,7 @@ fn main() {
     }
     eprintln!("[8/8] §3.5 thresholds ...");
     {
-        let mut md = String::from(
-            "| Host / placement | DMAmin | Measured |\n|---|---|---|\n",
-        );
+        let mut md = String::from("| Host / placement | DMAmin | Measured |\n|---|---|---|\n");
         for (label, mcfg, pl, dm) in [
             (
                 "E5345 shared L2",
@@ -107,7 +105,12 @@ fn main() {
             let measured = ioat_crossover(&mcfg, pl)
                 .map(size_label)
                 .unwrap_or_else(|| ">8MiB".into());
-            md.push_str(&format!("| {} | {} | {} |\n", label, size_label(dm), measured));
+            md.push_str(&format!(
+                "| {} | {} | {} |\n",
+                label,
+                size_label(dm),
+                measured
+            ));
         }
         println!("### Thresholds (3.5)\n\n{md}");
         let _ = std::fs::write("results/thresholds.md", md);

@@ -18,7 +18,10 @@ fn main() {
     let backends = [
         ("default LMT", LmtSelect::ShmCopy),
         ("vmsplice LMT", LmtSelect::Vmsplice),
-        ("KNEM LMT (auto threshold)", LmtSelect::Knem(KnemSelect::Auto)),
+        (
+            "KNEM LMT (auto threshold)",
+            LmtSelect::Knem(KnemSelect::Auto),
+        ),
         ("dynamic LMT (blended)", LmtSelect::Dynamic),
     ];
     for (tag, placement, title) in [

@@ -15,14 +15,7 @@ use nemesis_sim::MachineConfig;
 use nemesis_workloads::imb_ext::{suite_bench, SuiteBench};
 
 fn main() {
-    let sizes: [u64; 6] = [
-        16 << 10,
-        64 << 10,
-        128 << 10,
-        512 << 10,
-        1 << 20,
-        2 << 20,
-    ];
+    let sizes: [u64; 6] = [16 << 10, 64 << 10, 128 << 10, 512 << 10, 1 << 20, 2 << 20];
     for bench in SuiteBench::ALL {
         let series: Vec<Series> = nemesis_bench::four_lmts()
             .iter()
@@ -36,15 +29,7 @@ fn main() {
                             cfg.eager_max = 8 << 10;
                         }
                         let reps = if s >= 1 << 20 { 2 } else { 3 };
-                        let r = suite_bench(
-                            MachineConfig::xeon_e5345(),
-                            cfg,
-                            bench,
-                            8,
-                            s,
-                            reps,
-                            1,
-                        );
+                        let r = suite_bench(MachineConfig::xeon_e5345(), cfg, bench, 8, s, reps, 1);
                         (s, r.agg_throughput_mib_s)
                     })
                     .collect();

@@ -5,7 +5,9 @@ use nemesis_bench::experiments::table1_rows;
 
 fn main() {
     println!("### Table 1: execution time of the NAS proxy kernels (virtual ms)\n");
-    println!("| NAS Kernel | default LMT | vmsplice LMT | KNEM kernel copy | KNEM I/OAT | Speedup |");
+    println!(
+        "| NAS Kernel | default LMT | vmsplice LMT | KNEM kernel copy | KNEM I/OAT | Speedup |"
+    );
     println!("|---|---|---|---|---|---|");
     let mut csv = String::from("kernel,default,vmsplice,knem_copy,knem_ioat,speedup_pct\n");
     let mut md = String::new();

@@ -14,8 +14,16 @@ use crate::{alltoall_series, four_lmts, pingpong_series, Series, A2A_SIZES, PP_S
 pub fn fig3_series() -> Vec<Series> {
     let mcfg = MachineConfig::xeon_e5345();
     let configs = [
-        ("default LMT - Shared Cache", LmtSelect::ShmCopy, Placement::SharedL2),
-        ("vmsplice LMT - Shared Cache", LmtSelect::Vmsplice, Placement::SharedL2),
+        (
+            "default LMT - Shared Cache",
+            LmtSelect::ShmCopy,
+            Placement::SharedL2,
+        ),
+        (
+            "vmsplice LMT - Shared Cache",
+            LmtSelect::Vmsplice,
+            Placement::SharedL2,
+        ),
         (
             "vmsplice LMT using writev - Shared Cache",
             LmtSelect::PipeWritev,

@@ -427,7 +427,14 @@ impl<'a> Comm<'a> {
         if self.nem_cfg_collective_hint() {
             self.set_concurrency_hint(n as u32 - 1);
         }
-        os.user_copy(self.proc(), sbuf, soff + me as u64 * len, rbuf, roff + me as u64 * len, len);
+        os.user_copy(
+            self.proc(),
+            sbuf,
+            soff + me as u64 * len,
+            rbuf,
+            roff + me as u64 * len,
+            len,
+        );
         let tag = self.coll_tag(5);
         for step in 1..n {
             let dst = (me + step) % n;
@@ -486,323 +493,13 @@ impl<'a> Comm<'a> {
     }
 
     fn nem_cfg_collective_hint(&self) -> bool {
-        self.config().collective_hint
+        let cfg = self.config();
+        // The hint is worth announcing whenever the configured threshold
+        // policy can consume it — via the legacy flag or an explicitly
+        // concurrency-aware `ThresholdSelect`.
+        cfg.collective_hint || cfg.threshold == crate::config::ThresholdSelect::ConcurrencyAware
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::comm::Nemesis;
-    use crate::config::{KnemSelect, LmtSelect, NemesisConfig};
-    use crate::datatype::{load_raw, store_raw};
-    use nemesis_kernel::Os;
-    use nemesis_sim::{run_simulation, Machine, MachineConfig};
-    use std::sync::Arc;
-
-    fn n_ranks(
-        n: usize,
-        cfg: NemesisConfig,
-        body: impl Fn(&Comm<'_>) + Send + Sync,
-    ) -> nemesis_sim::SimReport {
-        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
-        let os = Arc::new(Os::new(Arc::clone(&machine)));
-        let nem = Nemesis::new(os, n, cfg);
-        let placements: Vec<usize> = (0..n).collect();
-        run_simulation(machine, &placements, |p| {
-            let comm = nem.attach(p);
-            body(&comm);
-        })
-    }
-
-    #[test]
-    fn scan_and_exscan_prefixes() {
-        n_ranks(5, NemesisConfig::default(), |comm| {
-            let os = comm.os();
-            let me = comm.rank() as u64;
-            let n = 16usize;
-            let sbuf = os.alloc(comm.rank(), 8 * n as u64);
-            let rbuf = os.alloc(comm.rank(), 8 * n as u64);
-            // Rank r contributes lanes [r+1, r+2, ...].
-            let vals: Vec<u64> = (0..n as u64).map(|i| me + 1 + i).collect();
-            store_raw(os, comm.proc(), sbuf, 0, &vals);
-            comm.scan_u64(sbuf, 0, rbuf, 0, n, ReduceOp::Sum);
-            let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, n);
-            for (i, &g) in got.iter().enumerate() {
-                // sum over r in 0..=me of (r + 1 + i)
-                let expect: u64 = (0..=me).map(|r| r + 1 + i as u64).sum();
-                assert_eq!(g, expect, "scan rank {me} lane {i}");
-            }
-            comm.exscan_u64(sbuf, 0, rbuf, 0, n, ReduceOp::Sum);
-            let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, n);
-            for (i, &g) in got.iter().enumerate() {
-                let expect: u64 = (0..me).map(|r| r + 1 + i as u64).sum();
-                assert_eq!(g, expect, "exscan rank {me} lane {i}");
-            }
-        });
-    }
-
-    #[test]
-    fn scan_max_single_rank() {
-        n_ranks(1, NemesisConfig::default(), |comm| {
-            let os = comm.os();
-            let sbuf = os.alloc(0, 16);
-            let rbuf = os.alloc(0, 16);
-            store_raw(os, comm.proc(), sbuf, 0, &[7u64, 3]);
-            comm.scan_u64(sbuf, 0, rbuf, 0, 2, ReduceOp::Max);
-            assert_eq!(load_raw::<u64>(os, comm.proc(), rbuf, 0, 2), vec![7, 3]);
-        });
-    }
-
-    #[test]
-    fn barrier_completes_for_various_sizes() {
-        for n in [1, 2, 3, 5, 8] {
-            n_ranks(n, NemesisConfig::default(), |comm| {
-                for _ in 0..3 {
-                    comm.barrier();
-                }
-            });
-        }
-    }
-
-    #[test]
-    fn barrier_synchronizes_time() {
-        // A rank that computes for 1 ms holds everyone at the barrier.
-        let r = n_ranks(4, NemesisConfig::default(), |comm| {
-            if comm.rank() == 2 {
-                comm.proc().compute(1_000_000_000); // 1 ms
-            }
-            comm.barrier();
-        });
-        for t in &r.finish_times {
-            assert!(*t >= 1_000_000_000, "all ranks must wait: {t}");
-        }
-    }
-
-    #[test]
-    fn bcast_all_roots_all_sizes() {
-        for n in [2, 4, 7] {
-            n_ranks(n, NemesisConfig::default(), |comm| {
-                let os = comm.os();
-                let buf = os.alloc(comm.rank(), 8192);
-                for root in 0..comm.size() {
-                    if comm.rank() == root {
-                        os.with_data_mut(comm.proc(), buf, |d| d.fill(root as u8 + 1));
-                    } else {
-                        os.with_data_mut(comm.proc(), buf, |d| d.fill(0));
-                    }
-                    comm.bcast(root, buf, 0, 8192);
-                    os.with_data(comm.proc(), buf, |d| {
-                        assert!(
-                            d.iter().all(|&x| x == root as u8 + 1),
-                            "bcast from {root} corrupt on rank {}",
-                            comm.rank()
-                        );
-                    });
-                }
-            });
-        }
-    }
-
-    #[test]
-    fn bcast_large_uses_lmt() {
-        n_ranks(
-            4,
-            NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
-            |comm| {
-                let os = comm.os();
-                let buf = os.alloc(comm.rank(), 512 << 10);
-                if comm.rank() == 0 {
-                    os.with_data_mut(comm.proc(), buf, |d| d.fill(0x5A));
-                }
-                comm.bcast(0, buf, 0, 512 << 10);
-                os.with_data(comm.proc(), buf, |d| assert!(d.iter().all(|&x| x == 0x5A)));
-            },
-        );
-    }
-
-    #[test]
-    fn reduce_sum_f64() {
-        n_ranks(5, NemesisConfig::default(), |comm| {
-            let os = comm.os();
-            let n_elems = 100;
-            let sbuf = os.alloc(comm.rank(), 800);
-            let rbuf = os.alloc(comm.rank(), 800);
-            let mine: Vec<f64> = (0..n_elems).map(|i| (comm.rank() * 100 + i) as f64).collect();
-            store_raw(os, comm.proc(), sbuf, 0, &mine);
-            comm.reduce_f64(2, sbuf, 0, rbuf, 0, n_elems, ReduceOp::Sum);
-            if comm.rank() == 2 {
-                let got: Vec<f64> = load_raw(os, comm.proc(), rbuf, 0, n_elems);
-                for (i, v) in got.iter().enumerate() {
-                    let expect: f64 = (0..5).map(|r| (r * 100 + i) as f64).sum();
-                    assert_eq!(*v, expect, "element {i}");
-                }
-            }
-        });
-    }
-
-    #[test]
-    fn allreduce_max_u64() {
-        n_ranks(6, NemesisConfig::default(), |comm| {
-            let os = comm.os();
-            let sbuf = os.alloc(comm.rank(), 64);
-            let rbuf = os.alloc(comm.rank(), 64);
-            store_raw(os, comm.proc(), sbuf, 0, &[comm.rank() as u64 * 7 + 1]);
-            comm.allreduce_u64(sbuf, 0, rbuf, 0, 1, ReduceOp::Max);
-            let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, 1);
-            assert_eq!(got[0], 5 * 7 + 1);
-        });
-    }
-
-    #[test]
-    fn gather_scatter_roundtrip() {
-        n_ranks(4, NemesisConfig::default(), |comm| {
-            let os = comm.os();
-            let n = comm.size();
-            let me = comm.rank();
-            let block = 1024u64;
-            let sbuf = os.alloc(me, block);
-            let all = os.alloc(me, block * n as u64);
-            let back = os.alloc(me, block);
-            os.with_data_mut(comm.proc(), sbuf, |d| d.fill(me as u8 + 10));
-            comm.gather(0, sbuf, 0, block, all, 0);
-            if me == 0 {
-                os.with_data(comm.proc(), all, |d| {
-                    for r in 0..n {
-                        assert!(d[r * 1024..(r + 1) * 1024]
-                            .iter()
-                            .all(|&x| x == r as u8 + 10));
-                    }
-                });
-            }
-            comm.scatter(0, all, 0, block, back, 0);
-            os.with_data(comm.proc(), back, |d| {
-                assert!(d.iter().all(|&x| x == me as u8 + 10))
-            });
-        });
-    }
-
-    #[test]
-    fn allgather_ring() {
-        n_ranks(5, NemesisConfig::default(), |comm| {
-            let os = comm.os();
-            let me = comm.rank();
-            let n = comm.size();
-            let block = 2048u64;
-            let sbuf = os.alloc(me, block);
-            let rbuf = os.alloc(me, block * n as u64);
-            os.with_data_mut(comm.proc(), sbuf, |d| d.fill(me as u8 * 3 + 1));
-            comm.allgather(sbuf, 0, block, rbuf, 0);
-            os.with_data(comm.proc(), rbuf, |d| {
-                for r in 0..n {
-                    assert!(
-                        d[r * 2048..(r + 1) * 2048]
-                            .iter()
-                            .all(|&x| x == r as u8 * 3 + 1),
-                        "rank {me}: block {r} wrong"
-                    );
-                }
-            });
-        });
-    }
-
-    #[test]
-    fn alltoall_small_and_large() {
-        for (lmt, block) in [
-            (LmtSelect::ShmCopy, 4 << 10),
-            (LmtSelect::ShmCopy, 256 << 10),
-            (LmtSelect::Knem(KnemSelect::Auto), 256 << 10),
-            (LmtSelect::Vmsplice, 128 << 10),
-        ] {
-            n_ranks(4, NemesisConfig::with_lmt(lmt), |comm| {
-                let os = comm.os();
-                let me = comm.rank();
-                let n = comm.size();
-                let block = block as u64;
-                let sbuf = os.alloc(me, block * n as u64);
-                let rbuf = os.alloc(me, block * n as u64);
-                os.with_data_mut(comm.proc(), sbuf, |d| {
-                    for j in 0..n {
-                        // Block j gets value (me, j)-specific.
-                        let v = (me * 16 + j) as u8;
-                        d[j * block as usize..(j + 1) * block as usize].fill(v);
-                    }
-                });
-                comm.alltoall(sbuf, 0, block, rbuf, 0);
-                os.with_data(comm.proc(), rbuf, |d| {
-                    for i in 0..n {
-                        let v = (i * 16 + me) as u8;
-                        assert!(
-                            d[i * block as usize..(i + 1) * block as usize]
-                                .iter()
-                                .all(|&x| x == v),
-                            "rank {me}: block from {i} wrong"
-                        );
-                    }
-                });
-            });
-        }
-    }
-
-    #[test]
-    fn alltoallv_uneven() {
-        n_ranks(4, NemesisConfig::default(), |comm| {
-            let os = comm.os();
-            let me = comm.rank();
-            let n = comm.size();
-            // Rank i sends (i+1)*1000 bytes to each peer j.
-            let slen = (me as u64 + 1) * 1000;
-            let slens: Vec<u64> = vec![slen; n];
-            let soffs: Vec<u64> = (0..n).map(|j| j as u64 * slen).collect();
-            let rlens: Vec<u64> = (0..n).map(|i| (i as u64 + 1) * 1000).collect();
-            let roffs: Vec<u64> = {
-                let mut acc = 0;
-                rlens
-                    .iter()
-                    .map(|l| {
-                        let o = acc;
-                        acc += l;
-                        o
-                    })
-                    .collect()
-            };
-            let sbuf = os.alloc(me, slen * n as u64);
-            let rbuf = os.alloc(me, rlens.iter().sum::<u64>());
-            os.with_data_mut(comm.proc(), sbuf, |d| d.fill(me as u8 + 1));
-            comm.alltoallv(sbuf, &soffs, &slens, rbuf, &roffs, &rlens);
-            os.with_data(comm.proc(), rbuf, |d| {
-                for i in 0..n {
-                    let lo = roffs[i] as usize;
-                    let hi = lo + rlens[i] as usize;
-                    assert!(
-                        d[lo..hi].iter().all(|&x| x == i as u8 + 1),
-                        "rank {me}: vblock from {i} wrong"
-                    );
-                }
-            });
-        });
-    }
-
-    #[test]
-    fn eight_rank_alltoall_all_lmts_deterministic() {
-        let run = |lmt| {
-            n_ranks(8, NemesisConfig::with_lmt(lmt), |comm| {
-                let os = comm.os();
-                let me = comm.rank();
-                let block = 128u64 << 10;
-                let sbuf = os.alloc(me, block * 8);
-                let rbuf = os.alloc(me, block * 8);
-                comm.alltoall(sbuf, 0, block, rbuf, 0);
-            })
-            .makespan
-        };
-        for lmt in [
-            LmtSelect::ShmCopy,
-            LmtSelect::Vmsplice,
-            LmtSelect::Knem(KnemSelect::SyncCpu),
-            LmtSelect::Knem(KnemSelect::AsyncIoat),
-        ] {
-            assert_eq!(run(lmt), run(lmt), "{lmt:?} nondeterministic");
-        }
-    }
-}
+mod tests;

@@ -1,0 +1,478 @@
+//! The Nemesis communication engine: eager protocol, rendezvous over
+//! the pluggable LMT backend layer, and the polling progress loop.
+//!
+//! Protocol summary (§2):
+//!
+//! * Messages up to `eager_max` (64 KiB by default) are **eager**: the
+//!   sender copies the payload into shared cells and enqueues an envelope
+//!   on the receiver's queue; the receiver copies the cells out — two
+//!   copies, but no handshake. ([`eager`])
+//! * Larger messages use **rendezvous**: an RTS envelope announces the
+//!   message; the data then flows through the selected
+//!   [`LmtBackend`](crate::lmt::LmtBackend) — the double-buffered shared
+//!   copy ring, pipe+`writev`, pipe+`vmsplice`, or KNEM (see
+//!   [`crate::lmt`] for the backend table). ([`rendezvous`])
+//!
+//! All transfer work happens in bounded steps inside [`Comm::progress`]
+//! ([`progress`]), so sends, receives and collective phases overlap
+//! exactly as they do in the real polling-based implementation.
+
+pub(crate) mod eager;
+pub(crate) mod progress;
+pub(crate) mod rendezvous;
+mod state;
+#[cfg(test)]
+mod tests;
+
+pub use state::{MessageInfo, Request};
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nemesis_kernel::{BufId, Os};
+use nemesis_sim::{Proc, Ps};
+
+use crate::config::{LmtSelect, NemesisConfig};
+use crate::lmt::{self, policy};
+use crate::shm::{PairPipe, Ring, ShmSegment, ShmState};
+use crate::vector::VectorLayout;
+
+use state::{CommInner, PostedRecv, ReqState};
+
+/// Virtual-time watchdog: a blocking call that exceeds this much simulated
+/// time aborts the run (almost certainly an application deadlock).
+pub(super) const WATCHDOG_PS: Ps = 200_000_000_000_000; // 200 simulated seconds
+
+/// Tag wildcard.
+pub const ANY_TAG: Option<i32> = None;
+/// Source wildcard.
+pub const ANY_SOURCE: Option<usize> = None;
+
+/// The shared communication universe: one per simulation.
+pub struct Nemesis {
+    pub(crate) os: Arc<Os>,
+    pub(crate) cfg: NemesisConfig,
+    pub(crate) nprocs: usize,
+    pub(crate) seg: ShmSegment,
+    pub(crate) sh: Mutex<ShmState>,
+    /// The configured `DMAmin` policy, built once — `dma_min` sits on
+    /// the per-transfer path (every KNEM `Auto` receive, every blended
+    /// selection), so transfers must not re-box it.
+    pub(crate) policy: Box<dyn crate::lmt::ThresholdPolicy + Send + Sync>,
+    /// Core each rank runs on, learned at [`Nemesis::attach`] time (the
+    /// blended LMT policy consults the pair's cache-sharing relation).
+    cores: Mutex<Vec<Option<usize>>>,
+}
+
+impl Nemesis {
+    /// Build the universe (allocates the shared segment). Call before
+    /// `run_simulation`; each process then calls [`Nemesis::attach`].
+    pub fn new(os: Arc<Os>, nprocs: usize, cfg: NemesisConfig) -> Arc<Self> {
+        let (seg, state) = ShmSegment::new(&os, nprocs, &cfg);
+        let policy = cfg.threshold_policy();
+        Arc::new(Self {
+            os,
+            cfg,
+            nprocs,
+            seg,
+            sh: Mutex::new(state),
+            policy,
+            cores: Mutex::new(vec![None; nprocs]),
+        })
+    }
+
+    pub fn os(&self) -> &Arc<Os> {
+        &self.os
+    }
+
+    pub fn cfg(&self) -> &NemesisConfig {
+        &self.cfg
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Attach the calling simulated process, producing its endpoint.
+    pub fn attach<'a>(self: &Arc<Self>, p: &'a Proc) -> Comm<'a> {
+        assert!(p.pid() < self.nprocs, "pid outside communicator");
+        self.cores.lock()[p.pid()] = Some(p.core());
+        Comm {
+            p,
+            nem: Arc::clone(self),
+            inner: RefCell::new(CommInner::default()),
+            concurrency: Cell::new(1),
+            coll_seq: Cell::new(0),
+            scratch: Cell::new(None),
+        }
+    }
+
+    /// Resolve the configured LMT selection for a `len`-byte transfer
+    /// from `src_core` to rank `dst`. Fixed selections pass through;
+    /// [`LmtSelect::Dynamic`] applies the §3.5 blended policy
+    /// ([`policy::blended_select`]). An unattached destination (its core
+    /// unknown yet) is treated as not sharing a cache — the conservative
+    /// direction, since single-copy never loses badly.
+    pub(crate) fn resolve_select(&self, src_core: usize, dst: usize, len: u64) -> LmtSelect {
+        match self.cfg.lmt {
+            LmtSelect::Dynamic => {
+                let shared = match self.cores.lock()[dst] {
+                    Some(dst_core) => {
+                        policy::cores_share_cache(self.os.machine(), src_core, dst_core)
+                    }
+                    None => false,
+                };
+                let dma_min = self.policy.dma_min(self.os.machine(), 1);
+                policy::blended_select(&self.cfg, shared, len, dma_min)
+            }
+            fixed => fixed,
+        }
+    }
+
+    /// Lazily create the copy ring for `(src, dst)`.
+    pub(crate) fn ensure_ring(&self, src: usize, dst: usize) {
+        let mut sh = self.sh.lock();
+        sh.rings.entry((src, dst)).or_insert_with(|| Ring {
+            bufs: (0..self.cfg.ring_bufs)
+                .map(|_| self.os.alloc_shared(self.cfg.ring_chunk))
+                .collect(),
+            flags_buf: self.os.alloc_shared(self.cfg.ring_bufs as u64 * 64),
+            fill: vec![0; self.cfg.ring_bufs],
+            owner: None,
+        });
+    }
+
+    /// Lazily create (or fetch) the pipe for `(src, dst)`.
+    pub(crate) fn ensure_pipe(&self, src: usize, dst: usize) -> nemesis_kernel::PipeId {
+        let key = (src, dst);
+        {
+            let sh = self.sh.lock();
+            if let Some(pp) = sh.pipes.get(&key) {
+                return pp.pipe;
+            }
+        }
+        // Create outside the lock (pipe_create takes the OS lock).
+        let pipe = self.os.pipe_create();
+        let mut sh = self.sh.lock();
+        sh.pipes
+            .entry(key)
+            .or_insert(PairPipe {
+                pipe,
+                busy_parties: 0,
+            })
+            .pipe
+    }
+}
+
+/// A process's endpoint into the Nemesis universe.
+pub struct Comm<'a> {
+    pub(in crate::comm) p: &'a Proc,
+    pub(in crate::comm) nem: Arc<Nemesis>,
+    pub(in crate::comm) inner: RefCell<CommInner>,
+    /// Concurrency hint attached to outgoing RTS packets (set by the
+    /// collective layer when `collective_hint` is enabled).
+    pub(in crate::comm) concurrency: Cell<u32>,
+    /// Collective sequence number (disambiguates internal tags).
+    pub(crate) coll_seq: Cell<i32>,
+    /// Lazily-allocated one-page scratch buffer (barrier tokens etc.).
+    pub(crate) scratch: Cell<Option<BufId>>,
+}
+
+impl<'a> Comm<'a> {
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.p.pid()
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.nem.nprocs
+    }
+
+    /// The simulated process handle.
+    pub fn proc(&self) -> &'a Proc {
+        self.p
+    }
+
+    /// The OS (for buffer management).
+    pub fn os(&self) -> &Arc<Os> {
+        self.nem.os()
+    }
+
+    /// The universe's configuration.
+    pub fn config(&self) -> &NemesisConfig {
+        self.nem.cfg()
+    }
+
+    /// The universe this endpoint is attached to (backend ops use this
+    /// to reach the shared transport state).
+    pub(crate) fn nem(&self) -> &Nemesis {
+        &self.nem
+    }
+
+    /// Set the collective concurrency hint for subsequent sends (§6).
+    pub fn set_concurrency_hint(&self, n: u32) {
+        self.concurrency.set(n.max(1));
+    }
+
+    pub(in crate::comm) fn new_req(&self, state: ReqState) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        inner.reqs.push(state);
+        inner.reqs.len() - 1
+    }
+
+    pub(super) fn next_msg_id(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_msg_id += 1;
+        (self.rank() as u64) << 48 | inner.next_msg_id
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point API
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send of `buf[off..off+len]` to `dst` with `tag`.
+    pub fn isend(&self, dst: usize, tag: i32, buf: BufId, off: u64, len: u64) -> Request {
+        assert!(dst < self.size(), "invalid destination rank {dst}");
+        assert_ne!(dst, self.rank(), "self-send must use sendrecv_self");
+        if len <= self.nem.cfg.eager_max {
+            self.eager_send(dst, tag, &[(buf, off, len)], len);
+            Request::new(self.new_req(ReqState::Done))
+        } else {
+            self.rndv_send(dst, tag, buf, off, len, None)
+        }
+    }
+
+    /// Non-blocking noncontiguous ("vectorial") send: the strided blocks
+    /// of `layout` within `buf` form the message payload. Scatter-native
+    /// backends (KNEM) transfer them in a single scatter-to-scatter
+    /// copy; the byte-stream LMTs pack into a staging buffer first
+    /// (MPICH2's dataloop path).
+    pub fn isendv(&self, dst: usize, tag: i32, buf: BufId, layout: &VectorLayout) -> Request {
+        assert!(dst < self.size(), "invalid destination rank {dst}");
+        assert_ne!(dst, self.rank(), "self-send must use sendrecv_self");
+        let len = layout.total();
+        if layout.is_contiguous() {
+            return self.isend(dst, tag, buf, layout.off, len);
+        }
+        if len <= self.nem.cfg.eager_max {
+            let src: Vec<(BufId, u64, u64)> = layout
+                .blocks()
+                .into_iter()
+                .map(|(o, n)| (buf, o, n))
+                .collect();
+            self.eager_send(dst, tag, &src, len);
+            return Request::new(self.new_req(ReqState::Done));
+        }
+        let sel = self.nem.resolve_select(self.p.core(), dst, len);
+        if lmt::backend_for(sel).scatter_native() {
+            return self.rndv_send_iovs(dst, tag, &layout.iovs(buf), len, sel);
+        }
+        // Scatter-blind wire: pack into staging, send staging, recycle on
+        // completion.
+        let (cap, stage) = self.tmp_acquire(len);
+        crate::vector::pack(&self.nem.os, self.p, buf, layout, stage, 0);
+        self.rndv_send(dst, tag, stage, 0, len, Some((cap, stage)))
+    }
+
+    /// Blocking noncontiguous send.
+    pub fn sendv(&self, dst: usize, tag: i32, buf: BufId, layout: &VectorLayout) {
+        let r = self.isendv(dst, tag, buf, layout);
+        self.wait(r);
+    }
+
+    /// Non-blocking noncontiguous receive into the blocks of `layout`.
+    pub fn irecvv(
+        &self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        buf: BufId,
+        layout: &VectorLayout,
+    ) -> Request {
+        if layout.is_contiguous() {
+            return self.irecv(src, tag, buf, layout.off, layout.total());
+        }
+        self.irecv_inner(src, tag, buf, layout.off, layout.total(), Some(*layout))
+    }
+
+    /// Blocking noncontiguous receive.
+    pub fn recvv(&self, src: Option<usize>, tag: Option<i32>, buf: BufId, layout: &VectorLayout) {
+        let r = self.irecvv(src, tag, buf, layout);
+        self.wait(r);
+    }
+
+    /// Non-blocking receive into `buf[off..off+cap]`.
+    pub fn irecv(
+        &self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        buf: BufId,
+        off: u64,
+        cap: u64,
+    ) -> Request {
+        self.irecv_inner(src, tag, buf, off, cap, None)
+    }
+
+    fn irecv_inner(
+        &self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        buf: BufId,
+        off: u64,
+        cap: u64,
+        layout: Option<VectorLayout>,
+    ) -> Request {
+        let req = self.new_req(ReqState::Active);
+        // Try the unexpected queue first (in arrival order).
+        let matched = {
+            let mut inner = self.inner.borrow_mut();
+            let pos = inner
+                .unexpected
+                .iter()
+                .position(|e| Self::env_matches(e, src, tag) && Self::env_ready(e));
+            pos.map(|i| inner.unexpected.remove(i).unwrap())
+        };
+        match matched {
+            Some(env) => self.deliver_any(env, req, buf, off, cap, layout),
+            None => self.inner.borrow_mut().posted.push(PostedRecv {
+                req,
+                src,
+                tag,
+                buf,
+                off,
+                cap,
+                layout,
+            }),
+        }
+        Request::new(req)
+    }
+
+    /// Blocking send.
+    pub fn send(&self, dst: usize, tag: i32, buf: BufId, off: u64, len: u64) {
+        let r = self.isend(dst, tag, buf, off, len);
+        self.wait(r);
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, src: Option<usize>, tag: Option<i32>, buf: BufId, off: u64, cap: u64) {
+        let r = self.irecv(src, tag, buf, off, cap);
+        self.wait(r);
+    }
+
+    /// Concurrent send+receive (the collective workhorse).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &self,
+        dst: usize,
+        stag: i32,
+        sbuf: BufId,
+        soff: u64,
+        slen: u64,
+        src: Option<usize>,
+        rtag: Option<i32>,
+        rbuf: BufId,
+        roff: u64,
+        rcap: u64,
+    ) {
+        let r = self.irecv(src, rtag, rbuf, roff, rcap);
+        let s = self.isend(dst, stag, sbuf, soff, slen);
+        self.wait(r);
+        self.wait(s);
+    }
+
+    /// Has the request completed? (Drives progress once.)
+    pub fn test(&self, r: Request) -> bool {
+        self.progress();
+        self.inner.borrow().reqs[r.id()] == ReqState::Done
+    }
+
+    /// Non-blocking probe: is there a matching message (eager payload or
+    /// rendezvous announcement) waiting that no posted receive claims?
+    /// Returns its envelope metadata without consuming it.
+    pub fn iprobe(&self, src: Option<usize>, tag: Option<i32>) -> Option<MessageInfo> {
+        use crate::shm::PktKind;
+        self.progress();
+        let inner = self.inner.borrow();
+        inner
+            .unexpected
+            .iter()
+            .find(|e| Self::env_matches(e, src, tag) && Self::env_ready(e))
+            .map(|e| MessageInfo {
+                src: e.src,
+                tag: e.tag,
+                len: match &e.kind {
+                    PktKind::Eager { len, .. } => *len,
+                    PktKind::EagerBuffered { len, .. } => *len,
+                    PktKind::EagerPartial { len, .. } => *len,
+                    PktKind::EagerFrag { .. } => {
+                        unreachable!("fragments are routed by handle_frag")
+                    }
+                    PktKind::Rts { len, .. } => *len,
+                    PktKind::Done { .. } => unreachable!("Done never parks as unexpected"),
+                },
+            })
+    }
+
+    /// Blocking probe (MPI_Probe): poll until a matching message is
+    /// visible, then return its metadata. Combine with [`Comm::recv`] to
+    /// receive messages of unknown size.
+    pub fn probe(&self, src: Option<usize>, tag: Option<i32>) -> MessageInfo {
+        let start = self.p.now();
+        loop {
+            if let Some(info) = self.iprobe(src, tag) {
+                return info;
+            }
+            self.p.poll_tick();
+            assert!(
+                self.p.now() - start < WATCHDOG_PS,
+                "rank {} stuck in probe()",
+                self.rank()
+            );
+        }
+    }
+
+    /// Block until the request completes.
+    pub fn wait(&self, r: Request) {
+        let start = self.p.now();
+        loop {
+            if self.inner.borrow().reqs[r.id()] == ReqState::Done {
+                return;
+            }
+            let worked = self.progress();
+            if !worked {
+                self.p.poll_tick();
+            }
+            assert!(
+                self.p.now() - start < WATCHDOG_PS,
+                "rank {} stuck in wait() for >200 simulated seconds: deadlock?",
+                self.rank()
+            );
+        }
+    }
+
+    /// Block until all requests complete.
+    pub fn waitall(&self, rs: &[Request]) {
+        for &r in rs {
+            self.wait(r);
+        }
+    }
+
+    pub(super) fn env_matches(
+        env: &crate::shm::Envelope,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> bool {
+        src.map(|s| s == env.src).unwrap_or(true) && tag.map(|t| t == env.tag).unwrap_or(true)
+    }
+
+    /// Whether a parked envelope is deliverable (reassemblies only match
+    /// once every fragment has arrived).
+    pub(super) fn env_ready(env: &crate::shm::Envelope) -> bool {
+        !matches!(
+            env.kind,
+            crate::shm::PktKind::EagerPartial { len, received, .. } if received < len
+        )
+    }
+}

@@ -1,0 +1,356 @@
+//! The polling progress engine: queue drain, envelope routing and
+//! matching, and bounded stepping of every active rendezvous transfer.
+
+use nemesis_kernel::BufId;
+
+use crate::shm::{Envelope, PktKind};
+use crate::vector::{unpack, VectorLayout};
+
+use super::state::{pair_heads, EagerInflight, ReqState};
+use super::{Comm, WATCHDOG_PS};
+
+impl Comm<'_> {
+    /// One pass of the progress engine; returns whether any work was done.
+    pub fn progress(&self) -> bool {
+        let me = self.rank();
+        let mut did = false;
+        // 1. Drain the receive queue.
+        let envs: Vec<Envelope> = {
+            let mut sh = self.nem.sh.lock();
+            sh.queues[me].drain(..).collect()
+        };
+        self.nem.seg.charge_queue_poll(self.p, &self.nem.os);
+        if !envs.is_empty() {
+            self.nem
+                .seg
+                .charge_dequeue(self.p, &self.nem.os, envs.len());
+            did = true;
+            for env in envs {
+                self.handle_env(env);
+            }
+        }
+        // 2. Step active receives (taken out to avoid reborrowing).
+        // Byte-stream wires are per-pair FIFO resources: precompute, for
+        // each pair, the oldest active transfer so only it touches the
+        // shared resource this pass.
+        let mut recvs = std::mem::take(&mut self.inner.borrow_mut().recvs);
+        let recv_heads = pair_heads(
+            recvs
+                .iter()
+                .filter(|r| r.op.needs_fifo())
+                .map(|r| (r.t.peer, r.t.msg_id)),
+        );
+        for r in &mut recvs {
+            did |= self.step_recv(r, &recv_heads);
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            recvs.retain(|r| !r.done);
+            recvs.append(&mut inner.recvs); // any added meanwhile (none today)
+            inner.recvs = recvs;
+        }
+        // 3. Step active sends.
+        let mut sends = std::mem::take(&mut self.inner.borrow_mut().sends);
+        let send_heads = pair_heads(
+            sends
+                .iter()
+                .filter(|s| !s.op.completes_on_done())
+                .map(|s| (s.t.peer, s.t.msg_id)),
+        );
+        for s in &mut sends {
+            did |= self.step_send(s, &send_heads);
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            sends.retain(|s| !s.done);
+            sends.append(&mut inner.sends);
+            inner.sends = sends;
+        }
+        did
+    }
+
+    pub(super) fn enqueue(&self, dst: usize, env: Envelope) {
+        let start = self.p.now();
+        loop {
+            {
+                let mut sh = self.nem.sh.lock();
+                if sh.queues[dst].len() < self.nem.cfg.queue_slots {
+                    sh.queues[dst].push_back(env);
+                    break;
+                }
+            }
+            self.progress();
+            self.p.poll_tick();
+            assert!(
+                self.p.now() - start < WATCHDOG_PS,
+                "receive queue of rank {dst} full for >200 simulated seconds"
+            );
+        }
+        self.nem.seg.charge_enqueue(self.p, &self.nem.os, dst);
+        self.p.yield_now();
+    }
+
+    pub(super) fn handle_env(&self, env: Envelope) {
+        if let PktKind::EagerFrag { .. } = env.kind {
+            return self.handle_frag(env);
+        }
+        if let PktKind::Done { msg_id } = env.kind {
+            let mut inner = self.inner.borrow_mut();
+            let s = inner
+                .sends
+                .iter_mut()
+                .find(|s| s.t.msg_id == msg_id)
+                .expect("DONE for unknown send");
+            debug_assert!(s.op.completes_on_done());
+            s.done = true;
+            let req = s.req;
+            inner.reqs[req] = ReqState::Done;
+            inner.sends.retain(|s| !s.done);
+            return;
+        }
+        // Eager or RTS: match against posted receives in post order.
+        let matched = {
+            let mut inner = self.inner.borrow_mut();
+            let pos = inner
+                .posted
+                .iter()
+                .position(|pr| Self::env_matches(&env, pr.src, pr.tag));
+            pos.map(|i| inner.posted.remove(i))
+        };
+        match matched {
+            Some(pr) => self.deliver_any(env, pr.req, pr.buf, pr.off, pr.cap, pr.layout),
+            None => {
+                let env = self.buffer_unexpected(env);
+                self.inner.borrow_mut().unexpected.push_back(env);
+            }
+        }
+    }
+
+    /// Deliver a matched envelope into a posted receive. `layout` selects
+    /// a noncontiguous destination; `buf`/`off` describe the contiguous
+    /// case (with `layout`, `off` is ignored in favour of its blocks).
+    pub(super) fn deliver_any(
+        &self,
+        env: Envelope,
+        req: usize,
+        buf: BufId,
+        off: u64,
+        cap: u64,
+        layout: Option<VectorLayout>,
+    ) {
+        match env.kind {
+            PktKind::Eager { len, ref cells } => {
+                assert!(
+                    len <= cap,
+                    "eager message ({len} B) overflows receive buffer ({cap} B)"
+                );
+                let dst = self.dst_segments(buf, off, len, layout.as_ref());
+                self.eager_deliver(cells, len, &dst);
+                self.inner.borrow_mut().reqs[req] = ReqState::Done;
+            }
+            PktKind::EagerBuffered {
+                len,
+                cap: tmp_cap,
+                tmp,
+            }
+            | PktKind::EagerPartial {
+                len,
+                cap: tmp_cap,
+                tmp,
+                received: _,
+                msg_id: _,
+            } => {
+                debug_assert!(
+                    Self::env_ready(&env),
+                    "incomplete reassembly must never match"
+                );
+                assert!(
+                    len <= cap,
+                    "eager message ({len} B) overflows receive buffer ({cap} B)"
+                );
+                match layout {
+                    Some(l) => unpack(&self.nem.os, self.p, tmp, 0, buf, &l),
+                    None => self.nem.os.user_copy(self.p, tmp, 0, buf, off, len),
+                }
+                let mut inner = self.inner.borrow_mut();
+                inner.tmp_pool.push((tmp_cap, tmp));
+                inner.reqs[req] = ReqState::Done;
+            }
+            PktKind::Rts {
+                msg_id,
+                len,
+                wire,
+                concurrency,
+            } => {
+                assert!(
+                    len <= cap,
+                    "rendezvous message ({len} B) overflows receive buffer ({cap} B)"
+                );
+                let t = crate::lmt::Transfer {
+                    msg_id,
+                    peer: env.src,
+                    buf,
+                    off,
+                    len,
+                };
+                self.rndv_start_recv(req, t, wire, concurrency, layout);
+            }
+            PktKind::EagerFrag { .. } => unreachable!("fragments are routed by handle_frag"),
+            PktKind::Done { .. } => unreachable!("Done packets are handled in progress()"),
+        }
+    }
+
+    /// Destination segments of a receive: the layout's blocks, or one
+    /// contiguous run.
+    fn dst_segments(
+        &self,
+        buf: BufId,
+        off: u64,
+        len: u64,
+        layout: Option<&VectorLayout>,
+    ) -> Vec<(BufId, u64, u64)> {
+        match layout {
+            Some(l) => {
+                debug_assert_eq!(l.total(), len);
+                l.blocks().into_iter().map(|(o, n)| (buf, o, n)).collect()
+            }
+            None => vec![(buf, off, len)],
+        }
+    }
+
+    /// Route one fragment of a streamed eager message: into the matched
+    /// receive's segments, onto an unexpected reassembly, or (first
+    /// fragment) through matching.
+    fn handle_frag(&self, env: Envelope) {
+        use super::state::segs_slice;
+        let PktKind::EagerFrag {
+            msg_id,
+            len,
+            off,
+            ref cells,
+        } = env.kind
+        else {
+            unreachable!()
+        };
+        let n: u64 = cells.iter().map(|c| c.2).sum();
+        // (a) Later fragment of a message already matched to a receive.
+        let pos = {
+            let inner = self.inner.borrow();
+            inner
+                .eager_in
+                .iter()
+                .position(|f| f.src == env.src && f.msg_id == msg_id)
+        };
+        if let Some(i) = pos {
+            let dst_sub = segs_slice(&self.inner.borrow().eager_in[i].dst, off, n);
+            self.eager_deliver(cells, n, &dst_sub);
+            let mut inner = self.inner.borrow_mut();
+            let f = &mut inner.eager_in[i];
+            f.received += n;
+            if f.received == f.total {
+                let req = f.req;
+                inner.eager_in.swap_remove(i);
+                inner.reqs[req] = ReqState::Done;
+            }
+            return;
+        }
+        // (b) Later fragment of an unexpected message: append to its
+        // reassembly staging.
+        let partial = {
+            let inner = self.inner.borrow();
+            inner.unexpected.iter().enumerate().find_map(|(qi, e)| {
+                if e.src != env.src {
+                    return None;
+                }
+                match e.kind {
+                    PktKind::EagerPartial { msg_id: m, tmp, .. } if m == msg_id => Some((qi, tmp)),
+                    _ => None,
+                }
+            })
+        };
+        if let Some((qi, tmp)) = partial {
+            self.eager_deliver(cells, n, &[(tmp, off, n)]);
+            let complete = {
+                let mut inner = self.inner.borrow_mut();
+                match &mut inner.unexpected[qi].kind {
+                    PktKind::EagerPartial { received, len, .. } => {
+                        *received += n;
+                        received == len
+                    }
+                    _ => unreachable!(),
+                }
+            };
+            if complete {
+                // A receive may have been posted while fragments were
+                // still streaming in; it could never match the partial,
+                // so re-run matching now.
+                let rematch = {
+                    let mut inner = self.inner.borrow_mut();
+                    let e = &inner.unexpected[qi];
+                    let pos = inner
+                        .posted
+                        .iter()
+                        .position(|pr| Self::env_matches(e, pr.src, pr.tag));
+                    pos.map(|pi| {
+                        let env = inner.unexpected.remove(qi).unwrap();
+                        (env, inner.posted.remove(pi))
+                    })
+                };
+                if let Some((env, pr)) = rematch {
+                    self.deliver_any(env, pr.req, pr.buf, pr.off, pr.cap, pr.layout);
+                }
+            }
+            return;
+        }
+        // (c) First fragment: match against posted receives, or start an
+        // unexpected reassembly.
+        debug_assert_eq!(off, 0, "first fragment must carry offset 0");
+        let matched = {
+            let mut inner = self.inner.borrow_mut();
+            let pos = inner
+                .posted
+                .iter()
+                .position(|pr| Self::env_matches(&env, pr.src, pr.tag));
+            pos.map(|i| inner.posted.remove(i))
+        };
+        match matched {
+            Some(pr) => {
+                assert!(
+                    len <= pr.cap,
+                    "eager message ({len} B) overflows receive buffer ({} B)",
+                    pr.cap
+                );
+                let dst = self.dst_segments(pr.buf, pr.off, len, pr.layout.as_ref());
+                self.eager_deliver(cells, n, &segs_slice(&dst, 0, n));
+                let mut inner = self.inner.borrow_mut();
+                if n == len {
+                    inner.reqs[pr.req] = ReqState::Done;
+                } else {
+                    inner.eager_in.push(EagerInflight {
+                        src: env.src,
+                        msg_id,
+                        req: pr.req,
+                        dst,
+                        total: len,
+                        received: n,
+                    });
+                }
+            }
+            None => {
+                let (cap, tmp) = self.tmp_acquire(len);
+                self.eager_deliver(cells, n, &[(tmp, 0, n)]);
+                self.inner.borrow_mut().unexpected.push_back(Envelope {
+                    src: env.src,
+                    tag: env.tag,
+                    kind: PktKind::EagerPartial {
+                        msg_id,
+                        len,
+                        cap,
+                        tmp,
+                        received: n,
+                    },
+                });
+            }
+        }
+    }
+}

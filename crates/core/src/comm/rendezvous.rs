@@ -1,0 +1,243 @@
+//! The rendezvous (LMT) protocol layer: RTS announcement, transfer
+//! lifecycle, and completion — generic over the backend.
+//!
+//! This module never inspects a backend identity: the sender resolves
+//! its [`LmtSelect`](crate::config::LmtSelect) (possibly through the
+//! §3.5 blended policy) to an [`LmtBackend`](crate::lmt::LmtBackend)
+//! and stores the returned send op; the receiver builds its recv op
+//! from the RTS wire descriptor. The progress loop then steps the ops
+//! (see [`super::progress`]); per-pair FIFO fairness is enforced here
+//! through the head election the ops receive.
+
+use nemesis_kernel::{BufId, Iov, KnemFlags, StatusId};
+
+use crate::config::{KnemSelect, LmtSelect};
+use crate::lmt::{self, Step, Transfer};
+use crate::shm::{Envelope, PktKind};
+use crate::vector::{unpack, VectorLayout};
+
+use super::state::{PairHeads, RecvRndv, ReqState, Request, SendRndv};
+use super::Comm;
+
+impl Comm<'_> {
+    /// Start a rendezvous send of the contiguous window
+    /// `buf[off..off+len]`. `staging` is a pack buffer to recycle on
+    /// completion (noncontiguous payload over a scatter-blind wire).
+    pub(super) fn rndv_send(
+        &self,
+        dst: usize,
+        tag: i32,
+        buf: BufId,
+        off: u64,
+        len: u64,
+        staging: Option<(u64, BufId)>,
+    ) -> Request {
+        let sel = self.nem.resolve_select(self.p.core(), dst, len);
+        self.rndv_send_inner(dst, tag, &[Iov::new(buf, off, len)], staging, sel)
+    }
+
+    /// Rendezvous send of an explicit iovec through a scatter-native
+    /// backend — the "vectorial buffers" feature §5 contrasts with
+    /// LIMIC2. The backend pins every block; the receiver's copy walks
+    /// both scatter lists, so the transfer remains single-copy. `sel`
+    /// is the selection the caller already resolved when it decided the
+    /// payload needs no packing — it must not be re-resolved here, or a
+    /// racing `Dynamic` re-resolution could hand the multi-block list
+    /// to a scatter-blind backend.
+    pub(super) fn rndv_send_iovs(
+        &self,
+        dst: usize,
+        tag: i32,
+        iovs: &[Iov],
+        len: u64,
+        sel: LmtSelect,
+    ) -> Request {
+        debug_assert_eq!(Iov::total(iovs), len);
+        debug_assert!(lmt::backend_for(sel).scatter_native());
+        self.rndv_send_inner(dst, tag, iovs, None, sel)
+    }
+
+    /// Common send path over the already-resolved selection. The
+    /// transfer window is `iovs[0]` extended to the iovec total: a
+    /// single block for contiguous and packed sends, and for
+    /// multi-block (scatter-native) sends the window is unused — the
+    /// backend owns the block list.
+    fn rndv_send_inner(
+        &self,
+        dst: usize,
+        tag: i32,
+        iovs: &[Iov],
+        staging: Option<(u64, BufId)>,
+        sel: LmtSelect,
+    ) -> Request {
+        let me = self.rank();
+        let req = self.new_req(ReqState::Active);
+        let msg_id = self.next_msg_id();
+        let len = Iov::total(iovs);
+        let backend = lmt::backend_for(sel);
+        let t = Transfer {
+            msg_id,
+            peer: dst,
+            buf: iovs[0].buf,
+            off: iovs[0].off,
+            len,
+        };
+        let (wire, op) = backend.start_send(self, &t, iovs);
+        self.enqueue(
+            dst,
+            Envelope {
+                src: me,
+                tag,
+                kind: PktKind::Rts {
+                    msg_id,
+                    len,
+                    wire,
+                    concurrency: self.concurrency.get(),
+                },
+            },
+        );
+        self.inner.borrow_mut().sends.push(SendRndv {
+            req,
+            t,
+            op,
+            done: false,
+            staging,
+        });
+        Request::new(req)
+    }
+
+    /// Receiver side of an RTS that matched a posted receive: pick the
+    /// backend from the wire, set up staging for scatter-blind wires,
+    /// and register the transfer with the progress loop. `t` describes
+    /// the matched user window (peer = RTS source); its window is
+    /// re-pointed at a staging buffer when the wire cannot scatter.
+    pub(super) fn rndv_start_recv(
+        &self,
+        req: usize,
+        mut t: Transfer,
+        wire: crate::shm::LmtWire,
+        concurrency: u32,
+        layout: Option<VectorLayout>,
+    ) {
+        let backend = lmt::backend_for_wire(&wire);
+        // Scatter-native backends consume the layout directly (receive
+        // iovec); scatter-blind wires receive into a staging buffer and
+        // unpack on completion.
+        let (layout, staging) = match (backend.scatter_native(), layout) {
+            (true, l) => (l, None),
+            (false, Some(l)) => {
+                let (scap, stage) = self.tmp_acquire(t.len);
+                let user_buf = t.buf;
+                t.buf = stage;
+                t.off = 0;
+                (None, Some((scap, stage, user_buf, l)))
+            }
+            (false, None) => (None, None),
+        };
+        let op = backend.start_recv(self, &t, &wire, layout.as_ref(), concurrency);
+        self.inner.borrow_mut().recvs.push(RecvRndv {
+            req,
+            t,
+            op,
+            done: false,
+            staging,
+        });
+    }
+
+    /// Mark a rendezvous send complete, recycling its pack staging.
+    pub(super) fn complete_send(&self, s: &mut SendRndv) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((cap, stage)) = s.staging.take() {
+            inner.tmp_pool.push((cap, stage));
+        }
+        inner.reqs[s.req] = ReqState::Done;
+        s.done = true;
+    }
+
+    /// Mark a rendezvous receive complete: unpack the staging buffer into
+    /// the user layout (scatter-blind wires only), recycle it, and
+    /// complete the request.
+    pub(super) fn complete_recv(&self, r: &mut RecvRndv) {
+        if let Some((cap, stage, user_buf, layout)) = r.staging.take() {
+            unpack(&self.nem.os, self.p, stage, 0, user_buf, &layout);
+            self.inner.borrow_mut().tmp_pool.push((cap, stage));
+        }
+        r.done = true;
+        self.inner.borrow_mut().reqs[r.req] = ReqState::Done;
+    }
+
+    /// Step one send op; returns whether work was done.
+    pub(super) fn step_send(&self, s: &mut SendRndv, heads: &PairHeads) -> bool {
+        let is_head = heads.get(&s.t.peer) == Some(&s.t.msg_id);
+        match s.op.step(self, &s.t, is_head) {
+            Step::Idle => false,
+            Step::Progress => true,
+            Step::Complete => {
+                self.complete_send(s);
+                true
+            }
+        }
+    }
+
+    /// Step one recv op; returns whether work was done.
+    pub(super) fn step_recv(&self, r: &mut RecvRndv, heads: &PairHeads) -> bool {
+        let is_head = heads.get(&r.t.peer) == Some(&r.t.msg_id);
+        match r.op.step(self, &r.t, is_head) {
+            Step::Idle => false,
+            Step::Progress => true,
+            Step::Complete => {
+                self.complete_recv(r);
+                true
+            }
+        }
+    }
+
+    /// §3.5: decide how the KNEM receive command runs, consulting the
+    /// configured [`ThresholdPolicy`](crate::lmt::ThresholdPolicy) for
+    /// the `Auto` mode.
+    pub fn resolve_knem(&self, sel: KnemSelect, len: u64, concurrency: u32) -> KnemFlags {
+        match sel {
+            KnemSelect::SyncCpu => KnemFlags::sync_cpu(),
+            KnemSelect::AsyncKthread => KnemFlags::async_kthread(),
+            KnemSelect::SyncIoat => KnemFlags::sync_ioat(),
+            KnemSelect::AsyncIoat => KnemFlags::async_ioat(),
+            KnemSelect::Auto => {
+                let dma_min = self
+                    .nem
+                    .policy
+                    .dma_min(self.nem.os.machine(), concurrency as usize);
+                if len >= dma_min {
+                    // KNEM enables async mode by default only with I/OAT
+                    // (§4.3).
+                    KnemFlags::async_ioat()
+                } else {
+                    KnemFlags::sync_cpu()
+                }
+            }
+        }
+    }
+
+    /// Pop a recycled KNEM status variable (or allocate one).
+    pub(crate) fn status_acquire(&self) -> StatusId {
+        let pooled = self.inner.borrow_mut().status_pool.pop();
+        pooled.unwrap_or_else(|| self.nem.os.knem_alloc_status(self.rank()))
+    }
+
+    /// Return a reset status variable to the pool.
+    pub(crate) fn status_release(&self, status: StatusId) {
+        self.inner.borrow_mut().status_pool.push(status);
+    }
+
+    /// Tell `dst` that transfer `msg_id` has fully landed (it may
+    /// release pinned resources).
+    pub(crate) fn send_done(&self, dst: usize, msg_id: u64) {
+        self.enqueue(
+            dst,
+            Envelope {
+                src: self.rank(),
+                tag: 0,
+                kind: PktKind::Done { msg_id },
+            },
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Request bookkeeping and per-endpoint protocol state.
+
+use std::collections::VecDeque;
+
+use nemesis_kernel::{BufId, StatusId};
+
+use crate::lmt::{LmtRecvOp, LmtSendOp, Transfer};
+use crate::shm::Envelope;
+use crate::vector::VectorLayout;
+
+/// Handle to an outstanding operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request(pub(super) usize);
+
+impl Request {
+    pub(super) fn new(id: usize) -> Self {
+        Self(id)
+    }
+
+    pub(super) fn id(self) -> usize {
+        self.0
+    }
+}
+
+/// Metadata of a probed message (the `MPI_Status` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageInfo {
+    pub src: usize,
+    pub tag: i32,
+    pub len: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ReqState {
+    Active,
+    Done,
+}
+
+pub(super) struct PostedRecv {
+    pub req: usize,
+    pub src: Option<usize>,
+    pub tag: Option<i32>,
+    pub buf: BufId,
+    pub off: u64,
+    pub cap: u64,
+    /// Noncontiguous receive layout (`None` = contiguous at `off`).
+    pub layout: Option<VectorLayout>,
+}
+
+/// An in-flight rendezvous send: the transfer descriptor plus the
+/// backend op driving it.
+pub(super) struct SendRndv {
+    pub req: usize,
+    pub t: Transfer,
+    pub op: Box<dyn LmtSendOp>,
+    pub done: bool,
+    /// Pack staging for noncontiguous sends over scatter-blind wires
+    /// (shm ring, pipes); recycled into the tmp pool on completion.
+    pub staging: Option<(u64, BufId)>,
+}
+
+/// An in-flight rendezvous receive.
+pub(super) struct RecvRndv {
+    pub req: usize,
+    pub t: Transfer,
+    pub op: Box<dyn LmtRecvOp>,
+    pub done: bool,
+    /// Unpack staging for scatter-blind wires: `(capacity, staging buf,
+    /// user buf, layout)` — the wire writes into the transfer window,
+    /// which points at the staging buffer; the final unpack scatters
+    /// into the user buffer through the layout.
+    pub staging: Option<(u64, BufId, BufId, VectorLayout)>,
+}
+
+/// A matched receive whose fragmented eager payload is still streaming
+/// in (the message was larger than the sender's cell pool).
+pub(super) struct EagerInflight {
+    pub src: usize,
+    pub msg_id: u64,
+    pub req: usize,
+    /// Destination segments (user buffer blocks).
+    pub dst: Vec<(BufId, u64, u64)>,
+    pub total: u64,
+    pub received: u64,
+}
+
+#[derive(Default)]
+pub(super) struct CommInner {
+    pub reqs: Vec<ReqState>,
+    pub posted: Vec<PostedRecv>,
+    pub unexpected: VecDeque<Envelope>,
+    pub sends: Vec<SendRndv>,
+    pub recvs: Vec<RecvRndv>,
+    pub eager_in: Vec<EagerInflight>,
+    pub next_msg_id: u64,
+    pub status_pool: Vec<StatusId>,
+    /// Recycled temporary buffers for unexpected eager payloads, keyed by
+    /// capacity (see `Comm::buffer_unexpected`).
+    pub tmp_pool: Vec<(u64, BufId)>,
+}
+
+/// The byte sub-range `[skip, skip+take)` of a segment list.
+pub(super) fn segs_slice(
+    segs: &[(BufId, u64, u64)],
+    skip: u64,
+    take: u64,
+) -> Vec<(BufId, u64, u64)> {
+    let mut out = Vec::new();
+    let mut pos = 0u64;
+    let mut rem = take;
+    for &(b, o, l) in segs {
+        if rem == 0 {
+            break;
+        }
+        let seg_end = pos + l;
+        if seg_end <= skip {
+            pos = seg_end;
+            continue;
+        }
+        let from = skip.max(pos);
+        let n = (seg_end - from).min(rem);
+        out.push((b, o + (from - pos), n));
+        rem -= n;
+        pos = seg_end;
+    }
+    debug_assert_eq!(rem, 0, "segment list shorter than skip+take");
+    out
+}
+
+/// Per-peer oldest active transfer: peer rank → minimum msg id.
+pub(super) type PairHeads = std::collections::HashMap<usize, u64>;
+
+pub(super) fn pair_heads(items: impl Iterator<Item = (usize, u64)>) -> PairHeads {
+    let mut m = PairHeads::new();
+    for (peer, id) in items {
+        m.entry(peer)
+            .and_modify(|v| *v = (*v).min(id))
+            .or_insert(id);
+    }
+    m
+}

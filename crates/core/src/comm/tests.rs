@@ -1,0 +1,727 @@
+//! Protocol tests: eager (single, multi-cell, fragmented), rendezvous
+//! through every LMT backend, vectored payloads, matching semantics,
+//! FIFO ordering, the blended policy, and determinism.
+
+#![allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+
+use std::sync::Arc;
+
+use nemesis_kernel::{BufId, KnemFlags, Os};
+use nemesis_sim::{run_simulation, Machine, MachineConfig};
+
+use crate::config::{KnemSelect, LmtSelect, NemesisConfig};
+use crate::vector::VectorLayout;
+
+use super::{Comm, Nemesis, ANY_SOURCE, ANY_TAG};
+
+/// Run a two-rank scenario on cores (0, 4) with the given config.
+pub(crate) fn two_ranks(
+    cfg: NemesisConfig,
+    body: impl Fn(&Comm<'_>) + Send + Sync,
+) -> nemesis_sim::SimReport {
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, 2, cfg);
+    run_simulation(machine, &[0, 4], |p| {
+        let comm = nem.attach(p);
+        body(&comm);
+    })
+}
+
+fn fill_pattern(comm: &Comm<'_>, buf: BufId, len: u64, seed: u8) {
+    comm.os().with_data_mut(comm.proc(), buf, |d| {
+        for (i, b) in d.iter_mut().enumerate().take(len as usize) {
+            *b = (i as u8).wrapping_mul(31).wrapping_add(seed);
+        }
+    });
+    comm.os().touch_write(comm.proc(), buf, 0, len);
+}
+
+fn check_pattern(comm: &Comm<'_>, buf: BufId, len: u64, seed: u8) {
+    comm.os().with_data(comm.proc(), buf, |d| {
+        for (i, b) in d.iter().enumerate().take(len as usize) {
+            assert_eq!(
+                *b,
+                (i as u8).wrapping_mul(31).wrapping_add(seed),
+                "byte {i} corrupt"
+            );
+        }
+    });
+}
+
+fn roundtrip_with(cfg: NemesisConfig, len: u64) {
+    two_ranks(cfg, |comm| {
+        let os = comm.os();
+        let buf = os.alloc(comm.rank(), len.max(1));
+        if comm.rank() == 0 {
+            fill_pattern(comm, buf, len, 42);
+            comm.send(1, 7, buf, 0, len);
+        } else {
+            comm.recv(Some(0), Some(7), buf, 0, len);
+            check_pattern(comm, buf, len, 42);
+        }
+    });
+}
+
+#[test]
+fn eager_small_message() {
+    roundtrip_with(NemesisConfig::default(), 1000);
+}
+
+#[test]
+fn eager_multi_cell() {
+    // 48 KiB spans 3 cells of 16 KiB.
+    roundtrip_with(NemesisConfig::default(), 48 << 10);
+}
+
+#[test]
+fn eager_zero_length() {
+    roundtrip_with(NemesisConfig::default(), 0);
+}
+
+#[test]
+fn eager_exactly_threshold() {
+    roundtrip_with(NemesisConfig::default(), 64 << 10);
+}
+
+#[test]
+fn rndv_shm_copy() {
+    roundtrip_with(NemesisConfig::with_lmt(LmtSelect::ShmCopy), 256 << 10);
+}
+
+#[test]
+fn rndv_pipe_writev() {
+    roundtrip_with(NemesisConfig::with_lmt(LmtSelect::PipeWritev), 256 << 10);
+}
+
+#[test]
+fn rndv_vmsplice() {
+    roundtrip_with(NemesisConfig::with_lmt(LmtSelect::Vmsplice), 256 << 10);
+}
+
+#[test]
+fn rndv_knem_sync() {
+    roundtrip_with(
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+        256 << 10,
+    );
+}
+
+#[test]
+fn rndv_knem_async_kthread() {
+    roundtrip_with(
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::AsyncKthread)),
+        256 << 10,
+    );
+}
+
+#[test]
+fn rndv_knem_sync_ioat() {
+    roundtrip_with(
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncIoat)),
+        256 << 10,
+    );
+}
+
+#[test]
+fn rndv_knem_async_ioat() {
+    roundtrip_with(
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::AsyncIoat)),
+        256 << 10,
+    );
+}
+
+#[test]
+fn rndv_knem_auto_both_sides_of_threshold() {
+    let cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto));
+    roundtrip_with(cfg.clone(), 256 << 10); // below DMAmin: sync CPU
+    roundtrip_with(cfg, 2 << 20); // above DMAmin: async I/OAT
+}
+
+#[test]
+fn rndv_4mib_all_backends() {
+    for lmt in [
+        LmtSelect::ShmCopy,
+        LmtSelect::Vmsplice,
+        LmtSelect::Knem(KnemSelect::SyncCpu),
+        LmtSelect::Knem(KnemSelect::AsyncIoat),
+    ] {
+        roundtrip_with(NemesisConfig::with_lmt(lmt), 4 << 20);
+    }
+}
+
+#[test]
+fn unexpected_message_then_recv() {
+    two_ranks(NemesisConfig::default(), |comm| {
+        let os = comm.os();
+        let buf = os.alloc(comm.rank(), 4096);
+        if comm.rank() == 0 {
+            fill_pattern(comm, buf, 4096, 1);
+            comm.send(1, 5, buf, 0, 4096);
+        } else {
+            // Let the message arrive unexpected first.
+            for _ in 0..200 {
+                comm.proc().poll_tick();
+            }
+            comm.progress();
+            comm.recv(Some(0), Some(5), buf, 0, 4096);
+            check_pattern(comm, buf, 4096, 1);
+        }
+    });
+}
+
+#[test]
+fn unexpected_rts_then_recv() {
+    two_ranks(
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+        |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), 256 << 10);
+            if comm.rank() == 0 {
+                fill_pattern(comm, buf, 256 << 10, 2);
+                comm.send(1, 5, buf, 0, 256 << 10);
+            } else {
+                for _ in 0..200 {
+                    comm.proc().poll_tick();
+                }
+                comm.progress();
+                comm.recv(Some(0), Some(5), buf, 0, 256 << 10);
+                check_pattern(comm, buf, 256 << 10, 2);
+            }
+        },
+    );
+}
+
+/// Noncontiguous roundtrip for every LMT: a strided "matrix column"
+/// leaves rank 0 and lands in a differently-strided column on rank 1.
+/// KNEM does this scatter-to-scatter in the kernel; the byte-stream
+/// wires pack/unpack through staging.
+#[test]
+fn vectored_roundtrip_all_lmts() {
+    for lmt in [
+        LmtSelect::ShmCopy,
+        LmtSelect::PipeWritev,
+        LmtSelect::Vmsplice,
+        LmtSelect::Knem(KnemSelect::SyncCpu),
+        LmtSelect::Knem(KnemSelect::AsyncIoat),
+        LmtSelect::Knem(KnemSelect::Auto),
+    ] {
+        // Both eager (small) and rendezvous (large) totals.
+        for (bl, count) in [(512u64, 16u64), (16 << 10, 24)] {
+            let s_layout = VectorLayout::strided(64, bl, bl * 2, count);
+            let r_layout = VectorLayout::strided(128, bl, bl * 3, count);
+            let span = s_layout.end().max(r_layout.end());
+            two_ranks(NemesisConfig::with_lmt(lmt), |comm| {
+                let os = comm.os();
+                let buf = os.alloc(comm.rank(), span);
+                if comm.rank() == 0 {
+                    os.with_data_mut(comm.proc(), buf, |d| {
+                        for (i, (off, len)) in s_layout.blocks().into_iter().enumerate() {
+                            d[off as usize..(off + len) as usize].fill(i as u8 + 1);
+                        }
+                    });
+                    os.touch_write(comm.proc(), buf, 0, span);
+                    comm.sendv(1, 3, buf, &s_layout);
+                } else {
+                    comm.recvv(Some(0), Some(3), buf, &r_layout);
+                    os.with_data(comm.proc(), buf, |d| {
+                        for (i, (off, len)) in r_layout.blocks().into_iter().enumerate() {
+                            assert!(
+                                d[off as usize..(off + len) as usize]
+                                    .iter()
+                                    .all(|&b| b == i as u8 + 1),
+                                "{lmt:?} bl={bl}: block {i} corrupt"
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Contiguous send received into a strided layout (and vice versa).
+#[test]
+fn vectored_mixed_contiguity() {
+    let layout = VectorLayout::strided(0, 8 << 10, 24 << 10, 16); // 128 KiB
+    let len = layout.total();
+    two_ranks(
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+        |comm| {
+            let os = comm.os();
+            if comm.rank() == 0 {
+                let buf = os.alloc(0, len);
+                fill_pattern(comm, buf, len, 5);
+                comm.send(1, 1, buf, 0, len);
+                // Reverse direction: strided send, contiguous recv.
+                let s = os.alloc(0, layout.end());
+                os.with_data_mut(comm.proc(), s, |d| d.fill(0x5A));
+                os.touch_write(comm.proc(), s, 0, layout.end());
+                comm.sendv(1, 2, s, &layout);
+            } else {
+                let buf = os.alloc(1, layout.end());
+                comm.recvv(Some(0), Some(1), buf, &layout);
+                os.with_data(comm.proc(), buf, |d| {
+                    let mut k = 0usize;
+                    for (off, blen) in layout.blocks() {
+                        for j in 0..blen as usize {
+                            assert_eq!(
+                                d[off as usize + j],
+                                (k as u8).wrapping_mul(31).wrapping_add(5),
+                                "byte {k}"
+                            );
+                            k += 1;
+                        }
+                    }
+                });
+                let c = os.alloc(1, len);
+                comm.recv(Some(0), Some(2), c, 0, len);
+                os.with_data(comm.proc(), c, |d| {
+                    assert!(d[..len as usize].iter().all(|&b| b == 0x5A));
+                });
+            }
+        },
+    );
+}
+
+/// Vectored messages that arrive unexpected must still deliver
+/// correctly (the staging path interacts with the unexpected queue).
+#[test]
+fn vectored_unexpected_arrival() {
+    let layout = VectorLayout::strided(0, 4 << 10, 12 << 10, 40); // 160 KiB rndv
+    two_ranks(NemesisConfig::default(), |comm| {
+        let os = comm.os();
+        if comm.rank() == 0 {
+            let s = os.alloc(0, layout.end());
+            os.with_data_mut(comm.proc(), s, |d| d.fill(0x7E));
+            os.touch_write(comm.proc(), s, 0, layout.end());
+            comm.sendv(1, 9, s, &layout);
+        } else {
+            for _ in 0..300 {
+                comm.proc().poll_tick();
+            }
+            comm.progress();
+            let r = os.alloc(1, layout.end());
+            comm.recvv(Some(0), Some(9), r, &layout);
+            os.with_data(comm.proc(), r, |d| {
+                for (off, blen) in layout.blocks() {
+                    assert!(d[off as usize..(off + blen) as usize]
+                        .iter()
+                        .all(|&b| b == 0x7E));
+                }
+            });
+        }
+    });
+}
+
+/// The blended policy resolves per pair: shared-cache pairs take the
+/// ring, cross-socket pairs take KNEM (when loaded), and data stays
+/// byte-exact either way.
+#[test]
+fn dynamic_policy_resolves_per_pair() {
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, 3, NemesisConfig::with_lmt(LmtSelect::Dynamic));
+    // Ranks 0,1 share an L2 (cores 0,1); rank 2 sits across the
+    // socket (core 4).
+    run_simulation(machine, &[0, 1, 4], |p| {
+        let comm = nem.attach(p);
+        comm.barrier(); // everyone attached: cores are known
+        let os = comm.os();
+        let me = comm.rank();
+        let len = 256 << 10;
+        let buf = os.alloc(me, len);
+        match me {
+            0 => {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(0xAB));
+                os.touch_write(comm.proc(), buf, 0, len);
+                comm.send(1, 1, buf, 0, len);
+                comm.send(2, 2, buf, 0, len);
+            }
+            1 => {
+                comm.recv(Some(0), Some(1), buf, 0, len);
+                os.with_data(comm.proc(), buf, |d| assert!(d.iter().all(|&b| b == 0xAB)));
+            }
+            _ => {
+                comm.recv(Some(0), Some(2), buf, 0, len);
+                os.with_data(comm.proc(), buf, |d| assert!(d.iter().all(|&b| b == 0xAB)));
+            }
+        }
+        comm.barrier();
+    });
+    // KNEM was used for the cross-socket transfer only: exactly one
+    // send cookie was created and destroyed.
+    assert_eq!(nem.os().knem_live_cookies(), 0);
+}
+
+/// The blended policy composes with vectored transfers: the KNEM arm
+/// uses native scatter, the ring arm packs/unpacks, both byte-exact.
+#[test]
+fn dynamic_policy_with_vectored_payloads() {
+    let layout = VectorLayout::strided(0, 8 << 10, 24 << 10, 16); // 128 KiB
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, 3, NemesisConfig::with_lmt(LmtSelect::Dynamic));
+    // Rank 1 shares rank 0's L2; rank 2 is cross-socket.
+    run_simulation(machine, &[0, 1, 4], |p| {
+        let comm = nem.attach(p);
+        comm.barrier();
+        let os = comm.os();
+        let me = comm.rank();
+        let buf = os.alloc(me, layout.end());
+        if me == 0 {
+            os.with_data_mut(comm.proc(), buf, |d| d.fill(0x3C));
+            os.touch_write(comm.proc(), buf, 0, layout.end());
+            comm.sendv(1, 1, buf, &layout);
+            comm.sendv(2, 2, buf, &layout);
+        } else {
+            comm.recvv(Some(0), Some(me as i32), buf, &layout);
+            os.with_data(comm.proc(), buf, |d| {
+                for (off, len) in layout.blocks() {
+                    assert!(
+                        d[off as usize..(off + len) as usize]
+                            .iter()
+                            .all(|&b| b == 0x3C),
+                        "rank {me}"
+                    );
+                }
+            });
+        }
+        comm.barrier();
+    });
+}
+
+/// With KNEM unavailable, the blended policy falls back to vmsplice
+/// for non-shared pairs (the §2 deployment discussion).
+#[test]
+fn dynamic_policy_without_knem_uses_vmsplice() {
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Dynamic);
+    cfg.knem_available = false;
+    two_ranks(cfg, |comm| {
+        let os = comm.os();
+        let buf = os.alloc(comm.rank(), 200_000);
+        if comm.rank() == 0 {
+            fill_pattern(comm, buf, 200_000, 8);
+            comm.send(1, 0, buf, 0, 200_000);
+        } else {
+            comm.recv(Some(0), Some(0), buf, 0, 200_000);
+            check_pattern(comm, buf, 200_000, 8);
+        }
+    });
+}
+
+/// A message needing more cells than the pool exists must stream
+/// through in fragments and reassemble byte-exactly.
+#[test]
+fn eager_fragmented_when_pool_smaller_than_message() {
+    let mut cfg = NemesisConfig::default();
+    cfg.cell_payload = 1 << 10;
+    cfg.cells_per_proc = 3;
+    cfg.eager_max = 64 << 10;
+    two_ranks(cfg, |comm| {
+        let os = comm.os();
+        let buf = os.alloc(comm.rank(), 40 << 10);
+        if comm.rank() == 0 {
+            fill_pattern(comm, buf, 40 << 10, 17);
+            comm.send(1, 4, buf, 0, 40 << 10);
+        } else {
+            comm.recv(Some(0), Some(4), buf, 0, 40 << 10);
+            check_pattern(comm, buf, 40 << 10, 17);
+        }
+    });
+}
+
+/// Fragmented messages that arrive unexpected reassemble in a
+/// temporary buffer and deliver when finally matched — including
+/// when the matching receive is posted mid-stream.
+#[test]
+fn eager_fragmented_unexpected_and_out_of_order() {
+    let mut cfg = NemesisConfig::default();
+    cfg.cell_payload = 1 << 10;
+    cfg.cells_per_proc = 2;
+    cfg.eager_max = 64 << 10;
+    two_ranks(cfg, |comm| {
+        let os = comm.os();
+        let buf = os.alloc(comm.rank(), 16 << 10);
+        let buf2 = os.alloc(comm.rank(), 16 << 10);
+        if comm.rank() == 0 {
+            fill_pattern(comm, buf, 16 << 10, 3);
+            fill_pattern(comm, buf2, 16 << 10, 9);
+            comm.send(1, 30, buf, 0, 16 << 10);
+            comm.send(1, 31, buf2, 0, 16 << 10);
+        } else {
+            // Receive the *second* message first: the first must
+            // reassemble as unexpected while its cells recycle.
+            comm.recv(Some(0), Some(31), buf2, 0, 16 << 10);
+            check_pattern(comm, buf2, 16 << 10, 9);
+            comm.recv(Some(0), Some(30), buf, 0, 16 << 10);
+            check_pattern(comm, buf, 16 << 10, 3);
+        }
+    });
+}
+
+/// Vectored payloads also fragment correctly (blocks split across
+/// fragment boundaries).
+#[test]
+fn eager_fragmented_vectored() {
+    let mut cfg = NemesisConfig::default();
+    cfg.cell_payload = 1 << 10;
+    cfg.cells_per_proc = 3;
+    cfg.eager_max = 64 << 10;
+    // 24 blocks of 700 B with stride 1700: 16.8 KiB total, block
+    // boundaries misaligned with the 1 KiB cells.
+    let layout = VectorLayout::strided(8, 700, 1700, 24);
+    two_ranks(cfg, |comm| {
+        let os = comm.os();
+        let buf = os.alloc(comm.rank(), layout.end());
+        if comm.rank() == 0 {
+            os.with_data_mut(comm.proc(), buf, |d| {
+                for (i, (off, len)) in layout.blocks().into_iter().enumerate() {
+                    d[off as usize..(off + len) as usize].fill(i as u8 + 1);
+                }
+            });
+            os.touch_write(comm.proc(), buf, 0, layout.end());
+            comm.sendv(1, 6, buf, &layout);
+        } else {
+            comm.recvv(Some(0), Some(6), buf, &layout);
+            os.with_data(comm.proc(), buf, |d| {
+                for (i, (off, len)) in layout.blocks().into_iter().enumerate() {
+                    assert!(
+                        d[off as usize..(off + len) as usize]
+                            .iter()
+                            .all(|&b| b == i as u8 + 1),
+                        "block {i} corrupt"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn tag_matching_out_of_order() {
+    two_ranks(NemesisConfig::default(), |comm| {
+        let os = comm.os();
+        if comm.rank() == 0 {
+            let a = os.alloc(0, 64);
+            let b = os.alloc(0, 64);
+            os.with_data_mut(comm.proc(), a, |d| d.fill(0xAA));
+            os.with_data_mut(comm.proc(), b, |d| d.fill(0xBB));
+            comm.send(1, 1, a, 0, 64);
+            comm.send(1, 2, b, 0, 64);
+        } else {
+            let a = os.alloc(1, 64);
+            let b = os.alloc(1, 64);
+            // Receive tag 2 first, then tag 1.
+            comm.recv(Some(0), Some(2), b, 0, 64);
+            comm.recv(Some(0), Some(1), a, 0, 64);
+            os.with_data(comm.proc(), a, |d| assert!(d.iter().all(|&x| x == 0xAA)));
+            os.with_data(comm.proc(), b, |d| assert!(d.iter().all(|&x| x == 0xBB)));
+        }
+    });
+}
+
+#[test]
+fn wildcard_source_and_tag() {
+    two_ranks(NemesisConfig::default(), |comm| {
+        let os = comm.os();
+        let buf = os.alloc(comm.rank(), 128);
+        if comm.rank() == 0 {
+            fill_pattern(comm, buf, 128, 9);
+            comm.send(1, 77, buf, 0, 128);
+        } else {
+            comm.recv(ANY_SOURCE, ANY_TAG, buf, 0, 128);
+            check_pattern(comm, buf, 128, 9);
+        }
+    });
+}
+
+#[test]
+fn many_messages_fifo_order() {
+    // 20 eager messages with the same tag must arrive in order.
+    two_ranks(NemesisConfig::default(), |comm| {
+        let os = comm.os();
+        let buf = os.alloc(comm.rank(), 1024);
+        if comm.rank() == 0 {
+            for i in 0..20u8 {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(i));
+                comm.send(1, 3, buf, 0, 1024);
+            }
+        } else {
+            for i in 0..20u8 {
+                comm.recv(Some(0), Some(3), buf, 0, 1024);
+                os.with_data(comm.proc(), buf, |d| {
+                    assert!(d.iter().all(|&x| x == i), "message {i} out of order")
+                });
+            }
+        }
+    });
+}
+
+#[test]
+fn back_to_back_rndv_same_pair_fifo() {
+    // Two large messages through the same ring must not interleave.
+    for lmt in [LmtSelect::ShmCopy, LmtSelect::Vmsplice] {
+        two_ranks(NemesisConfig::with_lmt(lmt), |comm| {
+            let os = comm.os();
+            if comm.rank() == 0 {
+                let a = os.alloc(0, 200 << 10);
+                let b = os.alloc(0, 200 << 10);
+                os.with_data_mut(comm.proc(), a, |d| d.fill(0x11));
+                os.with_data_mut(comm.proc(), b, |d| d.fill(0x22));
+                let ra = comm.isend(1, 1, a, 0, 200 << 10);
+                let rb = comm.isend(1, 2, b, 0, 200 << 10);
+                comm.waitall(&[ra, rb]);
+            } else {
+                let a = os.alloc(1, 200 << 10);
+                let b = os.alloc(1, 200 << 10);
+                let ra = comm.irecv(Some(0), Some(1), a, 0, 200 << 10);
+                let rb = comm.irecv(Some(0), Some(2), b, 0, 200 << 10);
+                comm.waitall(&[ra, rb]);
+                os.with_data(comm.proc(), a, |d| assert!(d.iter().all(|&x| x == 0x11)));
+                os.with_data(comm.proc(), b, |d| assert!(d.iter().all(|&x| x == 0x22)));
+            }
+        });
+    }
+}
+
+#[test]
+fn bidirectional_sendrecv() {
+    two_ranks(NemesisConfig::with_lmt(LmtSelect::ShmCopy), |comm| {
+        let os = comm.os();
+        let me = comm.rank();
+        let other = 1 - me;
+        let sbuf = os.alloc(me, 128 << 10);
+        let rbuf = os.alloc(me, 128 << 10);
+        fill_pattern(comm, sbuf, 128 << 10, me as u8);
+        comm.sendrecv(
+            other,
+            1,
+            sbuf,
+            0,
+            128 << 10,
+            Some(other),
+            Some(1),
+            rbuf,
+            0,
+            128 << 10,
+        );
+        check_pattern(comm, rbuf, 128 << 10, other as u8);
+    });
+}
+
+#[test]
+fn deterministic_pingpong() {
+    let run = || {
+        two_ranks(NemesisConfig::with_lmt(LmtSelect::ShmCopy), |comm| {
+            let os = comm.os();
+            let buf = os.alloc(comm.rank(), 256 << 10);
+            for _ in 0..3 {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, buf, 0, 256 << 10);
+                    comm.recv(Some(1), Some(0), buf, 0, 256 << 10);
+                } else {
+                    comm.recv(Some(0), Some(0), buf, 0, 256 << 10);
+                    comm.send(0, 0, buf, 0, 256 << 10);
+                }
+            }
+        })
+        .makespan
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn knem_single_copy_fewer_accesses_than_shm() {
+    let accesses = |lmt| {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Arc::new(Os::new(Arc::clone(&machine)));
+        let nem = Nemesis::new(os, 2, NemesisConfig::with_lmt(lmt));
+        let m2 = Arc::clone(&machine);
+        run_simulation(machine, &[0, 4], |p| {
+            let comm = nem.attach(p);
+            let buf = comm.os().alloc(comm.rank(), 1 << 20);
+            if comm.rank() == 0 {
+                comm.send(1, 0, buf, 0, 1 << 20);
+            } else {
+                comm.recv(Some(0), Some(0), buf, 0, 1 << 20);
+            }
+        });
+        m2.snapshot().total().accesses()
+    };
+    let two_copy = accesses(LmtSelect::ShmCopy);
+    let one_copy = accesses(LmtSelect::Knem(KnemSelect::SyncCpu));
+    // 1 MiB = 16384 lines. Two-copy moves each line 4 times (2 reads +
+    // 2 writes), single-copy twice.
+    assert!(
+        two_copy > one_copy + 20_000,
+        "two-copy {two_copy} vs single-copy {one_copy}"
+    );
+}
+
+#[test]
+fn concurrency_hint_lowers_auto_threshold() {
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto));
+    cfg.collective_hint = true;
+    two_ranks(cfg, |comm| {
+        if comm.rank() != 0 {
+            return;
+        }
+        // 256 KiB is below the 1 MiB point-to-point threshold…
+        let f = comm.resolve_knem(KnemSelect::Auto, 256 << 10, 1);
+        assert_eq!(f, KnemFlags::sync_cpu());
+        // …but above the hinted threshold for an 8-way collective.
+        let f = comm.resolve_knem(KnemSelect::Auto, 256 << 10, 8);
+        assert_eq!(f, KnemFlags::async_ioat());
+    });
+}
+
+#[test]
+fn probe_reports_metadata_without_consuming() {
+    two_ranks(NemesisConfig::default(), |comm| {
+        let os = comm.os();
+        if comm.rank() == 0 {
+            let buf = os.alloc(0, 12_345);
+            comm.send(1, 9, buf, 0, 12_345);
+        } else {
+            let info = comm.probe(Some(0), None);
+            assert_eq!(info.src, 0);
+            assert_eq!(info.tag, 9);
+            assert_eq!(info.len, 12_345);
+            // Probing again still sees it.
+            assert!(comm.iprobe(Some(0), Some(9)).is_some());
+            // Size from the probe drives the receive.
+            let buf = os.alloc(1, info.len);
+            comm.recv(Some(info.src), Some(info.tag), buf, 0, info.len);
+            assert!(comm.iprobe(Some(0), Some(9)).is_none());
+        }
+    });
+}
+
+#[test]
+fn probe_sees_rendezvous_announcements() {
+    two_ranks(
+        NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu)),
+        |comm| {
+            let os = comm.os();
+            if comm.rank() == 0 {
+                let buf = os.alloc(0, 1 << 20);
+                comm.send(1, 4, buf, 0, 1 << 20);
+            } else {
+                let info = comm.probe(ANY_SOURCE, ANY_TAG);
+                assert_eq!(info.len, 1 << 20);
+                let buf = os.alloc(1, info.len);
+                comm.recv(Some(info.src), Some(info.tag), buf, 0, info.len);
+            }
+        },
+    );
+}
+
+#[test]
+fn iprobe_none_when_no_traffic() {
+    two_ranks(NemesisConfig::default(), |comm| {
+        if comm.rank() == 1 {
+            assert!(comm.iprobe(ANY_SOURCE, ANY_TAG).is_none());
+        }
+    });
+}

@@ -61,6 +61,25 @@ impl LmtSelect {
     }
 }
 
+/// Which [`ThresholdPolicy`](crate::lmt::ThresholdPolicy) governs the
+/// §3.5 `DMAmin` decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThresholdSelect {
+    /// Derive the policy from the legacy fields: `dma_min_override`
+    /// becomes a static threshold, otherwise the architectural value
+    /// applies; `collective_hint` adds concurrency scaling.
+    #[default]
+    Auto,
+    /// Fixed threshold; ignores the machine and any hints.
+    Static(u64),
+    /// The §3.5 blended dynamic value derived from the machine's cache
+    /// architecture.
+    Blended,
+    /// Blended value, scaled down by the §6 collective concurrency
+    /// hint.
+    ConcurrencyAware,
+}
+
 /// Tunables of the Nemesis communication subsystem.
 #[derive(Debug, Clone)]
 pub struct NemesisConfig {
@@ -95,6 +114,9 @@ pub struct NemesisConfig {
     /// Whether the kernel offers `vmsplice` (Linux ≥ 2.6.17). Consulted
     /// by [`LmtSelect::Dynamic`].
     pub vmsplice_available: bool,
+    /// Which `DMAmin` threshold policy to build (see
+    /// [`NemesisConfig::threshold_policy`]).
+    pub threshold: ThresholdSelect,
 }
 
 impl Default for NemesisConfig {
@@ -111,6 +133,7 @@ impl Default for NemesisConfig {
             collective_hint: false,
             knem_available: true,
             vmsplice_available: true,
+            threshold: ThresholdSelect::Auto,
         }
     }
 }
@@ -124,17 +147,16 @@ impl NemesisConfig {
         }
     }
 
-    /// Effective `DMAmin` threshold on `machine`, optionally scaled down
-    /// by a collective concurrency hint.
+    /// Build the configured `DMAmin` policy object (see
+    /// [`crate::lmt::policy`] for the implementations).
+    pub fn threshold_policy(&self) -> Box<dyn crate::lmt::ThresholdPolicy + Send + Sync> {
+        crate::lmt::policy::policy_for(self)
+    }
+
+    /// Effective `DMAmin` threshold on `machine` under the configured
+    /// policy, given a collective concurrency hint.
     pub fn dma_min(&self, machine: &Machine, concurrent_hint: usize) -> u64 {
-        let base = self
-            .dma_min_override
-            .unwrap_or_else(|| machine.cfg().dma_min_architectural());
-        if self.collective_hint && concurrent_hint > 1 {
-            (base / concurrent_hint as u64).max(64 << 10)
-        } else {
-            base
-        }
+        self.threshold_policy().dma_min(machine, concurrent_hint)
     }
 }
 

@@ -11,12 +11,16 @@
 //! * an MPI-like point-to-point API ([`Comm`]: `send`/`recv`,
 //!   `isend`/`irecv`, `sendrecv`, requests and `wait`);
 //! * the **eager** protocol for small messages (shared cells, two copies);
-//! * the **rendezvous / LMT** protocol for large messages with all four
-//!   backends the paper evaluates — double-buffered shared-memory copy
-//!   (`default LMT`), pipe + `writev`, pipe + `vmsplice`, and KNEM with
-//!   synchronous, kernel-thread-asynchronous and I/OAT-offloaded modes;
-//! * the dynamic `DMAmin` threshold policy of §3.5, including the §6
-//!   collective-concurrency extension;
+//! * the **rendezvous / LMT** protocol for large messages over the
+//!   pluggable backend layer ([`lmt`]): all four backends the paper
+//!   evaluates — double-buffered shared-memory copy (`default LMT`),
+//!   pipe + `writev`, pipe + `vmsplice`, and KNEM with synchronous,
+//!   kernel-thread-asynchronous and I/OAT-offloaded modes — implement
+//!   the [`LmtBackend`] trait, and the rendezvous state machine drives
+//!   them only through it;
+//! * the `DMAmin` threshold logic of §3.5 behind the
+//!   [`ThresholdPolicy`] trait (static, blended dynamic, and the §6
+//!   collective-concurrency extension), chosen via [`NemesisConfig`];
 //! * MPI collectives built over the point-to-point layer ([`coll`]):
 //!   barrier, bcast, reduce, allreduce, gather, scatter, allgather,
 //!   alltoall and alltoallv;
@@ -50,9 +54,11 @@ pub mod coll;
 pub mod comm;
 pub mod config;
 pub mod datatype;
+pub mod lmt;
 pub mod shm;
 pub mod vector;
 
-pub use comm::{Comm, Nemesis, Request, ANY_SOURCE, ANY_TAG};
-pub use config::{KnemSelect, LmtSelect, NemesisConfig};
+pub use comm::{Comm, MessageInfo, Nemesis, Request, ANY_SOURCE, ANY_TAG};
+pub use config::{KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
+pub use lmt::{LmtBackend, ThresholdPolicy};
 pub use vector::VectorLayout;

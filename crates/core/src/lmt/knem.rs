@@ -1,0 +1,137 @@
+//! KNEM LMT (§3.2–3.4) — kernel-assisted single copy.
+//!
+//! The sender declares its buffer to the KNEM device and ships the
+//! returned cookie inside the RTS; the receiver passes the cookie plus
+//! its own iovec to the receive ioctl, which moves the bytes directly
+//! between the two address spaces — synchronously on the CPU, in a
+//! kernel thread, or offloaded to the I/OAT engine (mode resolution is
+//! the receiver's, via [`ThresholdPolicy`](super::policy)). This is the
+//! only backend that consumes scatter lists natively (§5's "vectorial
+//! buffers"), so strided transfers stay single-copy.
+
+use nemesis_kernel::{Iov, StatusId};
+
+use crate::comm::Comm;
+use crate::config::{KnemSelect, LmtSelect};
+use crate::shm::LmtWire;
+use crate::vector::VectorLayout;
+
+use super::{LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
+
+/// The KNEM backend singleton (the receive mode is per-transfer state,
+/// not backend identity).
+pub struct KnemBackend;
+
+impl LmtBackend for KnemBackend {
+    fn name(&self) -> &'static str {
+        "KNEM LMT"
+    }
+
+    fn scatter_native(&self) -> bool {
+        true
+    }
+
+    fn start_send(
+        &self,
+        comm: &Comm<'_>,
+        _t: &Transfer,
+        iovs: &[Iov],
+    ) -> (LmtWire, Box<dyn LmtSendOp>) {
+        // Figure 1, step 1: pin the (possibly vectorial) buffer and get
+        // the cookie the RTS will carry.
+        let cookie = comm.os().knem_send_cmd(comm.proc(), iovs);
+        (LmtWire::Knem { cookie }, Box::new(KnemSendOp))
+    }
+
+    fn start_recv(
+        &self,
+        comm: &Comm<'_>,
+        t: &Transfer,
+        wire: &LmtWire,
+        layout: Option<&VectorLayout>,
+        concurrency: u32,
+    ) -> Box<dyn LmtRecvOp> {
+        let LmtWire::Knem { cookie } = *wire else {
+            unreachable!("KNEM backend with non-KNEM wire")
+        };
+        let sel = match comm.config().lmt {
+            LmtSelect::Knem(sel) => sel,
+            // The blended policy always uses the DMAmin-driven automatic
+            // mode when it picked KNEM.
+            LmtSelect::Dynamic => KnemSelect::Auto,
+            // The sender chose KNEM; if our config disagrees we still
+            // honour the wire protocol with the default.
+            _ => KnemSelect::SyncCpu,
+        };
+        // Scatter receives hand KNEM the block list directly — the
+        // kernel copy walks both iovecs (single copy).
+        let iovs = match layout {
+            Some(l) => l.iovs(t.buf),
+            None => vec![Iov::new(t.buf, t.off, t.len)],
+        };
+        Box::new(KnemRecvOp {
+            cookie,
+            sel,
+            concurrency,
+            iovs,
+            state: KnemRecvState::Issue,
+        })
+    }
+}
+
+/// The send side holds the pinned buffer and waits for the receiver's
+/// DONE packet; there is nothing to step locally.
+struct KnemSendOp;
+
+impl LmtSendOp for KnemSendOp {
+    fn step(&mut self, _comm: &Comm<'_>, _t: &Transfer, _is_head: bool) -> Step {
+        Step::Idle // completed by the DONE envelope
+    }
+
+    fn completes_on_done(&self) -> bool {
+        true
+    }
+}
+
+enum KnemRecvState {
+    /// Issue the receive ioctl.
+    Issue,
+    /// Poll the status variable armed by the ioctl.
+    Poll(StatusId),
+}
+
+struct KnemRecvOp {
+    cookie: nemesis_kernel::Cookie,
+    sel: KnemSelect,
+    concurrency: u32,
+    iovs: Vec<Iov>,
+    state: KnemRecvState,
+}
+
+impl LmtRecvOp for KnemRecvOp {
+    fn step(&mut self, comm: &Comm<'_>, t: &Transfer, _is_head: bool) -> Step {
+        let os = comm.os();
+        let p = comm.proc();
+        match self.state {
+            KnemRecvState::Issue => {
+                let flags = comm.resolve_knem(self.sel, t.len, self.concurrency);
+                let status = comm.status_acquire();
+                os.knem_recv_cmd(p, self.cookie, &self.iovs, flags, status);
+                self.state = KnemRecvState::Poll(status);
+                Step::Progress
+            }
+            KnemRecvState::Poll(status) => {
+                if !os.knem_poll_status(p, status) {
+                    return Step::Idle;
+                }
+                os.knem_destroy_cookie(p, self.cookie);
+                os.knem_reset_status(p, status);
+                comm.status_release(status);
+                // Figure 1, step 7: tell the sender it may release the
+                // pinned buffer.
+                comm.send_done(t.peer, t.msg_id);
+                Step::Complete
+            }
+        }
+    }
+}

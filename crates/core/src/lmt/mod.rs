@@ -1,0 +1,235 @@
+//! The pluggable Large-Message-Transfer backend layer.
+//!
+//! The paper's core comparison (§3–§4) is between four interchangeable
+//! mechanisms for moving a rendezvous payload between two processes:
+//!
+//! | backend | module | copies | mechanism |
+//! |---|---|---|---|
+//! | `default LMT` | [`shm_copy`] | 2 | double-buffered shared copy ring (§2) |
+//! | `writev LMT` | [`pipe_writev`] | 2 | pipe, `writev` + `readv` (§3.1 baseline) |
+//! | `vmsplice LMT` | [`vmsplice`] | 1 | pipe, `vmsplice` + `readv` (§3.1) |
+//! | `KNEM LMT` | [`knem`] | 1 (0 CPU copies with I/OAT) | KNEM cookies (§3.2) |
+//!
+//! Every backend implements [`LmtBackend`]: the rendezvous state machine
+//! in [`crate::comm`] never matches on a backend identity — it resolves
+//! the backend once (sender side from the configured/policy-selected
+//! [`LmtSelect`], receiver side from the RTS wire descriptor) and then
+//! drives the returned [`LmtSendOp`] / [`LmtRecvOp`] in bounded steps
+//! from the progress loop. Adding a fifth mechanism (e.g. a CMA-style
+//! single-copy engine) means implementing the trait; the protocol layer
+//! does not change.
+//!
+//! The `DMAmin` threshold logic of §3.5/§6 lives in [`policy`] behind
+//! the [`ThresholdPolicy`] trait.
+
+pub mod knem;
+pub mod pipe_writev;
+pub mod policy;
+pub mod shm_copy;
+pub mod vmsplice;
+
+pub use policy::{ArchitecturalThreshold, ConcurrencyScaled, StaticThreshold, ThresholdPolicy};
+
+use nemesis_kernel::Iov;
+
+use crate::comm::Comm;
+use crate::config::{KnemSelect, LmtSelect};
+use crate::shm::LmtWire;
+use crate::vector::VectorLayout;
+
+/// One rendezvous transfer as the backend sees it: identity, peer and
+/// the (contiguous) local window. Noncontiguous shapes reach a backend
+/// either natively (KNEM iovecs) or already packed into this window.
+#[derive(Debug, Clone, Copy)]
+pub struct Transfer {
+    /// Wire-unique message id (sender rank ⊕ sequence).
+    pub msg_id: u64,
+    /// The other rank: destination for send ops, source for recv ops.
+    pub peer: usize,
+    /// Local buffer backing this side of the transfer.
+    pub buf: nemesis_kernel::BufId,
+    /// Byte offset of the window inside `buf`.
+    pub off: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// Outcome of one bounded progress step on a transfer op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Nothing could move this pass (wire full/empty, resource busy).
+    Idle,
+    /// Bytes moved or a resource was acquired; call again.
+    Progress,
+    /// The op has finished and released its side of the wire.
+    Complete,
+}
+
+/// Sender half of a transfer. Driven by [`Comm::progress`]; every call
+/// must be bounded (fill at most the currently free wire capacity).
+pub trait LmtSendOp {
+    /// Advance the transfer. `is_head` reports whether this transfer is
+    /// the oldest active one for its pair — per-pair resources (ring,
+    /// pipe) are FIFO and may only be acquired by the head.
+    fn step(&mut self, comm: &Comm<'_>, t: &Transfer, is_head: bool) -> Step;
+
+    /// `true` when the send completes through the receiver's DONE packet
+    /// rather than by local stepping (KNEM). Such ops are excluded from
+    /// the per-pair FIFO head election.
+    fn completes_on_done(&self) -> bool {
+        false
+    }
+}
+
+/// Receiver half of a transfer.
+pub trait LmtRecvOp {
+    /// Advance the transfer (see [`LmtSendOp::step`]).
+    fn step(&mut self, comm: &Comm<'_>, t: &Transfer, is_head: bool) -> Step;
+
+    /// `true` when the wire is an ordered byte stream shared by all
+    /// transfers of the pair, so receives must respect FIFO head order
+    /// (pipes). Ring and cookie wires carry their own per-message
+    /// ownership and return `false`.
+    fn needs_fifo(&self) -> bool {
+        false
+    }
+}
+
+/// A large-message-transfer mechanism (one of the paper's four).
+///
+/// Backends are stateless singletons: per-transfer state lives in the
+/// ops they return, per-pair state (rings, pipes) in the shared segment.
+pub trait LmtBackend: Sync {
+    /// The paper-legend label (matches [`LmtSelect::label`]).
+    fn name(&self) -> &'static str;
+
+    /// Whether the backend consumes scatter/gather lists natively
+    /// (single-copy strided transfers, §5). Scatter-blind backends get
+    /// payloads packed into a contiguous staging window instead.
+    fn scatter_native(&self) -> bool {
+        false
+    }
+
+    /// Sender side, at RTS time: claim/create pair resources, describe
+    /// the wire for the RTS packet, and return the send op. `iovs` is
+    /// the source block list (a single block unless
+    /// [`LmtBackend::scatter_native`]).
+    fn start_send(
+        &self,
+        comm: &Comm<'_>,
+        t: &Transfer,
+        iovs: &[Iov],
+    ) -> (LmtWire, Box<dyn LmtSendOp>);
+
+    /// Receiver side, when the RTS matches a posted receive. `layout` is
+    /// the receive scatter layout for scatter-native backends (`None` =
+    /// contiguous); `concurrency` is the §6 collective hint carried by
+    /// the RTS.
+    fn start_recv(
+        &self,
+        comm: &Comm<'_>,
+        t: &Transfer,
+        wire: &LmtWire,
+        layout: Option<&VectorLayout>,
+        concurrency: u32,
+    ) -> Box<dyn LmtRecvOp>;
+}
+
+/// Resolve the backend for a sender-side selection. `Dynamic` must be
+/// resolved to a concrete selection by [`policy`] first.
+pub fn backend_for(sel: LmtSelect) -> &'static dyn LmtBackend {
+    match sel {
+        LmtSelect::ShmCopy => &shm_copy::ShmCopyBackend,
+        LmtSelect::PipeWritev => &pipe_writev::PipeWritevBackend,
+        LmtSelect::Vmsplice => &vmsplice::VmspliceBackend,
+        LmtSelect::Knem(_) => &knem::KnemBackend,
+        LmtSelect::Dynamic => unreachable!("Dynamic resolves to a concrete backend per pair"),
+    }
+}
+
+/// Resolve the backend on the receiver side from the RTS wire
+/// descriptor (the receiver honours whatever the sender set up, even if
+/// its own configuration differs).
+pub fn backend_for_wire(wire: &LmtWire) -> &'static dyn LmtBackend {
+    match wire {
+        LmtWire::Shm => &shm_copy::ShmCopyBackend,
+        LmtWire::Pipe {
+            vmsplice: false, ..
+        } => &pipe_writev::PipeWritevBackend,
+        LmtWire::Pipe { vmsplice: true, .. } => &vmsplice::VmspliceBackend,
+        LmtWire::Knem { .. } => &knem::KnemBackend,
+    }
+}
+
+/// Every fixed (non-`Dynamic`) sender-side selection, for parity tests
+/// and experiment sweeps.
+pub const ALL_SELECTS: [LmtSelect; 8] = [
+    LmtSelect::ShmCopy,
+    LmtSelect::PipeWritev,
+    LmtSelect::Vmsplice,
+    LmtSelect::Knem(KnemSelect::SyncCpu),
+    LmtSelect::Knem(KnemSelect::AsyncKthread),
+    LmtSelect::Knem(KnemSelect::SyncIoat),
+    LmtSelect::Knem(KnemSelect::AsyncIoat),
+    LmtSelect::Knem(KnemSelect::Auto),
+];
+
+/// The chunked-pipelining loop every streaming backend shares (§2: "one
+/// thereby partially hiding the cost of the other"): repeatedly ask the
+/// wire to move one bounded chunk starting at `*done`, until the
+/// transfer finishes or the wire backs up. `xfer` returns the bytes it
+/// moved (0 = blocked). Returns whether any progress was made.
+pub(crate) fn drive_chunks(done: &mut u64, total: u64, mut xfer: impl FnMut(u64) -> u64) -> bool {
+    let mut did = false;
+    while *done < total {
+        let n = xfer(*done);
+        if n == 0 {
+            break;
+        }
+        *done += n;
+        did = true;
+    }
+    did
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_labels_match_selects() {
+        assert_eq!(backend_for(LmtSelect::ShmCopy).name(), "default LMT");
+        assert_eq!(backend_for(LmtSelect::Vmsplice).name(), "vmsplice LMT");
+        assert_eq!(
+            backend_for(LmtSelect::Knem(KnemSelect::SyncCpu)).name(),
+            "KNEM LMT"
+        );
+        assert!(backend_for(LmtSelect::Knem(KnemSelect::Auto)).scatter_native());
+        assert!(!backend_for(LmtSelect::ShmCopy).scatter_native());
+    }
+
+    #[test]
+    fn drive_chunks_stops_when_blocked() {
+        let mut done = 0u64;
+        let mut budget = 3;
+        let did = drive_chunks(&mut done, 100, |_| {
+            if budget == 0 {
+                return 0;
+            }
+            budget -= 1;
+            10
+        });
+        assert!(did);
+        assert_eq!(done, 30, "stopped at the blocked wire, not at total");
+        assert!(!drive_chunks(&mut done, 30, |_| unreachable!(
+            "already complete"
+        )));
+    }
+
+    #[test]
+    fn drive_chunks_runs_to_total() {
+        let mut done = 0u64;
+        assert!(drive_chunks(&mut done, 64, |at| (64 - at).min(24)));
+        assert_eq!(done, 64);
+    }
+}

@@ -1,0 +1,194 @@
+//! Pipe + `writev` LMT (§3.1 baseline) — still two copies, but through
+//! the kernel's 16-page pipe ring instead of the user-space copy ring.
+//!
+//! This module also hosts the pipe ops shared with the single-copy
+//! [`vmsplice`](super::vmsplice) backend: the two differ only in how
+//! the sender's bytes enter the pipe (`writev` copies them into kernel
+//! pages; `vmsplice` gifts the user pages) and in the sender's
+//! completion condition (gifted pages must stay valid until the
+//! receiver drains the pipe).
+
+use nemesis_kernel::{Iov, PipeId};
+
+use crate::comm::Comm;
+use crate::shm::LmtWire;
+use crate::vector::VectorLayout;
+
+use super::{drive_chunks, LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
+
+/// The `writev` pipe backend singleton.
+pub struct PipeWritevBackend;
+
+impl LmtBackend for PipeWritevBackend {
+    fn name(&self) -> &'static str {
+        "vmsplice LMT using writev"
+    }
+
+    fn start_send(
+        &self,
+        comm: &Comm<'_>,
+        t: &Transfer,
+        _iovs: &[Iov],
+    ) -> (LmtWire, Box<dyn LmtSendOp>) {
+        start_pipe_send(comm, t, false)
+    }
+
+    fn start_recv(
+        &self,
+        _comm: &Comm<'_>,
+        _t: &Transfer,
+        wire: &LmtWire,
+        _layout: Option<&VectorLayout>,
+        _concurrency: u32,
+    ) -> Box<dyn LmtRecvOp> {
+        start_pipe_recv(wire)
+    }
+}
+
+/// Shared sender-side constructor: make sure the pair's pipe exists and
+/// return its wire descriptor plus the send op.
+pub(super) fn start_pipe_send(
+    comm: &Comm<'_>,
+    t: &Transfer,
+    vmsplice: bool,
+) -> (LmtWire, Box<dyn LmtSendOp>) {
+    let pipe = comm.nem().ensure_pipe(comm.rank(), t.peer);
+    (
+        LmtWire::Pipe { pipe, vmsplice },
+        Box::new(PipeSendOp {
+            pipe,
+            vmsplice,
+            written: 0,
+            state: PipeSendState::Acquire,
+        }),
+    )
+}
+
+/// Shared receiver-side constructor.
+pub(super) fn start_pipe_recv(wire: &LmtWire) -> Box<dyn LmtRecvOp> {
+    let LmtWire::Pipe { pipe, .. } = *wire else {
+        unreachable!("pipe backend with non-pipe wire")
+    };
+    Box::new(PipeRecvOp { pipe, read: 0 })
+}
+
+/// Release one party's hold on the pair's pipe; the next transfer may
+/// acquire it once both sender and receiver have finished.
+fn finish_pipe_side(comm: &Comm<'_>, src: usize, dst: usize) {
+    let nem = comm.nem();
+    let mut sh = nem.sh.lock();
+    let pp = sh.pipes.get_mut(&(src, dst)).expect("pipe exists");
+    debug_assert!(pp.busy_parties > 0);
+    pp.busy_parties -= 1;
+}
+
+enum PipeSendState {
+    /// Waiting to acquire the pair's pipe (per-pair FIFO).
+    Acquire,
+    /// Pushing bytes into the pipe.
+    Active,
+    /// vmsplice gift semantics: pages must remain valid until read.
+    Drain,
+}
+
+struct PipeSendOp {
+    pipe: PipeId,
+    vmsplice: bool,
+    written: u64,
+    state: PipeSendState,
+}
+
+impl LmtSendOp for PipeSendOp {
+    fn step(&mut self, comm: &Comm<'_>, t: &Transfer, is_head: bool) -> Step {
+        let nem = comm.nem();
+        let os = comm.os();
+        let p = comm.proc();
+        match self.state {
+            PipeSendState::Acquire => {
+                if !is_head {
+                    return Step::Idle;
+                }
+                let key = (comm.rank(), t.peer);
+                let mut sh = nem.sh.lock();
+                let pp = sh.pipes.get_mut(&key).expect("pipe exists");
+                if pp.busy_parties == 0 {
+                    pp.busy_parties = 2;
+                    drop(sh);
+                    self.state = PipeSendState::Active;
+                    Step::Progress
+                } else {
+                    Step::Idle
+                }
+            }
+            PipeSendState::Active => {
+                let (pipe, vmsplice) = (self.pipe, self.vmsplice);
+                let did = drive_chunks(&mut self.written, t.len, |at| {
+                    if vmsplice {
+                        os.pipe_try_vmsplice(p, pipe, t.buf, t.off + at, t.len - at)
+                    } else {
+                        os.pipe_try_write(p, pipe, t.buf, t.off + at, t.len - at)
+                    }
+                });
+                if self.written == t.len {
+                    if self.vmsplice {
+                        self.state = PipeSendState::Drain;
+                        return Step::Progress;
+                    }
+                    finish_pipe_side(comm, comm.rank(), t.peer);
+                    return Step::Complete;
+                }
+                if did {
+                    Step::Progress
+                } else {
+                    Step::Idle
+                }
+            }
+            PipeSendState::Drain => {
+                if os.pipe_is_drained(self.pipe) {
+                    finish_pipe_side(comm, comm.rank(), t.peer);
+                    Step::Complete
+                } else {
+                    Step::Idle
+                }
+            }
+        }
+    }
+}
+
+struct PipeRecvOp {
+    pipe: PipeId,
+    read: u64,
+}
+
+impl LmtRecvOp for PipeRecvOp {
+    fn step(&mut self, comm: &Comm<'_>, t: &Transfer, is_head: bool) -> Step {
+        // The byte stream carries messages in FIFO order; only the
+        // oldest transfer of the pair may read, and only once the
+        // sender has acquired the pipe for *us* (bytes present imply
+        // that).
+        if !is_head {
+            return Step::Idle;
+        }
+        let os = comm.os();
+        let p = comm.proc();
+        if os.pipe_bytes_available(self.pipe) == 0 {
+            return Step::Idle;
+        }
+        let pipe = self.pipe;
+        let did = drive_chunks(&mut self.read, t.len, |at| {
+            os.pipe_try_read(p, pipe, t.buf, t.off + at, t.len - at)
+        });
+        if self.read == t.len {
+            finish_pipe_side(comm, t.peer, comm.rank());
+            Step::Complete
+        } else if did {
+            Step::Progress
+        } else {
+            Step::Idle
+        }
+    }
+
+    fn needs_fifo(&self) -> bool {
+        true
+    }
+}

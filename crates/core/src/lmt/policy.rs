@@ -1,0 +1,241 @@
+//! `DMAmin` threshold policies (§3.5, §6) and the blended per-pair
+//! backend selection (§4.1/§4.2).
+//!
+//! §3.5: I/OAT offload only pays off past a threshold (`DMAmin`) that
+//! depends on the cache architecture; below it a synchronous CPU copy
+//! wins. §6 extends this: when the collective layer announces that many
+//! large transfers will run concurrently, the threshold should drop
+//! (Alltoall makes I/OAT profitable near 200 KiB instead of 1 MiB,
+//! §4.4). Each variant is a [`ThresholdPolicy`]; which one a universe
+//! uses is chosen via [`NemesisConfig`]
+//! ([`NemesisConfig::threshold_policy`]).
+
+use nemesis_sim::{topology::Placement, Machine};
+
+use crate::config::{KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
+
+/// How large a transfer must be before the I/OAT receive mode is worth
+/// requesting.
+pub trait ThresholdPolicy {
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+
+    /// Effective `DMAmin` for one transfer. `concurrency` is the §6
+    /// collective hint (1 = point-to-point); policies that don't use it
+    /// must ignore it.
+    fn dma_min(&self, machine: &Machine, concurrency: usize) -> u64;
+}
+
+/// A fixed threshold (operator override; ignores machine and hint).
+pub struct StaticThreshold(pub u64);
+
+impl ThresholdPolicy for StaticThreshold {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn dma_min(&self, _machine: &Machine, _concurrency: usize) -> u64 {
+        self.0
+    }
+}
+
+/// The §3.5 blended dynamic threshold: derived from the machine's cache
+/// architecture (the copy only pollutes caches it fits into, so the
+/// crossover tracks the cache sizes).
+pub struct ArchitecturalThreshold;
+
+impl ThresholdPolicy for ArchitecturalThreshold {
+    fn name(&self) -> &'static str {
+        "architectural"
+    }
+
+    fn dma_min(&self, machine: &Machine, _concurrency: usize) -> u64 {
+        machine.cfg().dma_min_architectural()
+    }
+}
+
+/// §6 concurrency awareness: wrap a base policy and divide its
+/// threshold by the announced collective concurrency, floored so the
+/// offload never triggers for messages where setup costs dominate.
+pub struct ConcurrencyScaled<P> {
+    base: P,
+    floor: u64,
+}
+
+impl<P: ThresholdPolicy> ConcurrencyScaled<P> {
+    /// Floor at 64 KiB: below the eager threshold the LMT never runs.
+    pub fn new(base: P) -> Self {
+        Self {
+            base,
+            floor: 64 << 10,
+        }
+    }
+}
+
+impl<P: ThresholdPolicy> ThresholdPolicy for ConcurrencyScaled<P> {
+    fn name(&self) -> &'static str {
+        "concurrency-aware"
+    }
+
+    fn dma_min(&self, machine: &Machine, concurrency: usize) -> u64 {
+        let base = self.base.dma_min(machine, 1);
+        if concurrency > 1 {
+            (base / concurrency as u64).max(self.floor)
+        } else {
+            base
+        }
+    }
+}
+
+/// Build the configured policy object.
+///
+/// `ThresholdSelect::Auto` reproduces the seed behaviour from the other
+/// config fields: a `dma_min_override` becomes a [`StaticThreshold`],
+/// otherwise the architectural value applies, and `collective_hint`
+/// wraps either in [`ConcurrencyScaled`].
+pub fn policy_for(cfg: &NemesisConfig) -> Box<dyn ThresholdPolicy + Send + Sync> {
+    match cfg.threshold {
+        ThresholdSelect::Auto => match (cfg.dma_min_override, cfg.collective_hint) {
+            (Some(v), false) => Box::new(StaticThreshold(v)),
+            (Some(v), true) => Box::new(ConcurrencyScaled::new(StaticThreshold(v))),
+            (None, false) => Box::new(ArchitecturalThreshold),
+            (None, true) => Box::new(ConcurrencyScaled::new(ArchitecturalThreshold)),
+        },
+        ThresholdSelect::Static(v) => Box::new(StaticThreshold(v)),
+        ThresholdSelect::Blended => Box::new(ArchitecturalThreshold),
+        ThresholdSelect::ConcurrencyAware => {
+            Box::new(ConcurrencyScaled::new(ArchitecturalThreshold))
+        }
+    }
+}
+
+/// The §3.5 blended *backend* selection ("no single method is optimal
+/// for all situations, and so a blended approach is essential"),
+/// resolved per pair and per length:
+///
+/// * cache-sharing pairs take the two-copy ring (where §4.1/§4.2 show
+///   it wins) — except past `DMAmin`, where KNEM's I/OAT offload stops
+///   polluting the shared cache and wins even there;
+/// * everyone else takes the best available single-copy backend (KNEM
+///   if the module is loaded, else vmsplice, else the ring).
+pub fn blended_select(
+    cfg: &NemesisConfig,
+    shared_cache: bool,
+    len: u64,
+    dma_min: u64,
+) -> LmtSelect {
+    if shared_cache && (!cfg.knem_available || len < dma_min) {
+        LmtSelect::ShmCopy
+    } else if cfg.knem_available {
+        LmtSelect::Knem(KnemSelect::Auto)
+    } else if cfg.vmsplice_available && !shared_cache {
+        LmtSelect::Vmsplice
+    } else {
+        LmtSelect::ShmCopy
+    }
+}
+
+/// Whether two cores share any cache level (the pair relation the
+/// blended selection keys on).
+pub fn cores_share_cache(machine: &Machine, a: usize, b: usize) -> bool {
+    matches!(
+        machine.cfg().topology.placement(a, b),
+        Placement::SameCore | Placement::SharedL2 | Placement::SharedL3
+    )
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use nemesis_sim::MachineConfig;
+
+    #[test]
+    fn static_ignores_machine_and_hint() {
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        let p = StaticThreshold(123);
+        assert_eq!(p.dma_min(&m, 1), 123);
+        assert_eq!(p.dma_min(&m, 64), 123);
+    }
+
+    #[test]
+    fn architectural_matches_machine() {
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        assert_eq!(ArchitecturalThreshold.dma_min(&m, 1), 1 << 20);
+    }
+
+    #[test]
+    fn concurrency_scales_and_floors() {
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        let p = ConcurrencyScaled::new(ArchitecturalThreshold);
+        assert_eq!(p.dma_min(&m, 1), 1 << 20);
+        assert_eq!(p.dma_min(&m, 8), 128 << 10);
+        assert_eq!(p.dma_min(&m, 1000), 64 << 10, "floored at eager_max");
+    }
+
+    #[test]
+    fn config_auto_reproduces_seed_semantics() {
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        let mut cfg = NemesisConfig::default();
+        assert_eq!(policy_for(&cfg).dma_min(&m, 8), 1 << 20, "no hint flag");
+        cfg.collective_hint = true;
+        assert_eq!(policy_for(&cfg).dma_min(&m, 8), 128 << 10);
+        cfg.dma_min_override = Some(512 << 10);
+        assert_eq!(policy_for(&cfg).dma_min(&m, 1), 512 << 10);
+        assert_eq!(policy_for(&cfg).dma_min(&m, 4), 128 << 10);
+    }
+
+    #[test]
+    fn explicit_select_overrides_auto_derivation() {
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        let mut cfg = NemesisConfig::default();
+        cfg.dma_min_override = Some(123); // ignored by explicit selects
+        cfg.threshold = ThresholdSelect::Blended;
+        assert_eq!(policy_for(&cfg).dma_min(&m, 8), 1 << 20);
+        cfg.threshold = ThresholdSelect::ConcurrencyAware;
+        assert_eq!(policy_for(&cfg).dma_min(&m, 8), 128 << 10);
+        cfg.threshold = ThresholdSelect::Static(777);
+        assert_eq!(policy_for(&cfg).dma_min(&m, 8), 777);
+    }
+
+    #[test]
+    fn blended_selection_prefers_ring_on_shared_cache() {
+        let cfg = NemesisConfig::default();
+        assert_eq!(
+            blended_select(&cfg, true, 256 << 10, 1 << 20),
+            LmtSelect::ShmCopy
+        );
+        // Past DMAmin even shared pairs take the offload.
+        assert_eq!(
+            blended_select(&cfg, true, 2 << 20, 1 << 20),
+            LmtSelect::Knem(KnemSelect::Auto)
+        );
+        assert_eq!(
+            blended_select(&cfg, false, 256 << 10, 1 << 20),
+            LmtSelect::Knem(KnemSelect::Auto)
+        );
+    }
+
+    #[test]
+    fn blended_selection_degrades_without_modules() {
+        let mut cfg = NemesisConfig::default();
+        cfg.knem_available = false;
+        assert_eq!(
+            blended_select(&cfg, false, 256 << 10, 1 << 20),
+            LmtSelect::Vmsplice
+        );
+        cfg.vmsplice_available = false;
+        assert_eq!(
+            blended_select(&cfg, false, 256 << 10, 1 << 20),
+            LmtSelect::ShmCopy
+        );
+    }
+
+    #[test]
+    fn share_relation_follows_topology() {
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        // Xeon E5345: cores 0,1 share an L2; 0 and 4 are cross-socket.
+        assert!(cores_share_cache(&m, 0, 1));
+        assert!(!cores_share_cache(&m, 0, 4));
+    }
+}

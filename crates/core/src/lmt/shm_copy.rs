@@ -1,0 +1,185 @@
+//! The original Nemesis double-buffered shared-memory copy ring (§2) —
+//! the paper's `default LMT`.
+//!
+//! Two copies: the sender copies chunks of the user buffer into a small
+//! ring of shared copy buffers while the receiver copies them out, the
+//! two sides pipelining chunk against chunk ("one thereby partially
+//! hiding the cost of the other"). Per-pair flag lines carry the
+//! full/empty handshake and are charged through the cache model, so the
+//! ring exhibits the real line-bouncing behaviour §4.1 measures.
+
+use nemesis_kernel::Iov;
+
+use crate::comm::Comm;
+use crate::shm::LmtWire;
+use crate::vector::VectorLayout;
+
+use super::{drive_chunks, LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
+
+/// The `default LMT` backend singleton.
+pub struct ShmCopyBackend;
+
+impl LmtBackend for ShmCopyBackend {
+    fn name(&self) -> &'static str {
+        "default LMT"
+    }
+
+    fn start_send(
+        &self,
+        _comm: &Comm<'_>,
+        _t: &Transfer,
+        _iovs: &[Iov],
+    ) -> (LmtWire, Box<dyn LmtSendOp>) {
+        // The ring is created lazily per (src, dst) pair; acquisition
+        // happens in the first step so back-to-back sends stay FIFO.
+        (LmtWire::Shm, Box::new(ShmSendOp::Acquire))
+    }
+
+    fn start_recv(
+        &self,
+        _comm: &Comm<'_>,
+        _t: &Transfer,
+        _wire: &LmtWire,
+        _layout: Option<&VectorLayout>,
+        _concurrency: u32,
+    ) -> Box<dyn LmtRecvOp> {
+        Box::new(ShmRecvOp {
+            recvd: 0,
+            next_slot: 0,
+        })
+    }
+}
+
+enum ShmSendOp {
+    /// Waiting to become the ring's owner (per-pair FIFO).
+    Acquire,
+    /// Filling ring slots.
+    Active { sent: u64, next_slot: usize },
+}
+
+impl LmtSendOp for ShmSendOp {
+    fn step(&mut self, comm: &Comm<'_>, t: &Transfer, is_head: bool) -> Step {
+        let nem = comm.nem();
+        let os = comm.os();
+        let p = comm.proc();
+        let cfg = &nem.cfg;
+        let key = (comm.rank(), t.peer);
+        match self {
+            ShmSendOp::Acquire => {
+                if !is_head {
+                    return Step::Idle;
+                }
+                nem.ensure_ring(key.0, key.1);
+                let mut sh = nem.sh.lock();
+                let ring = sh.rings.get_mut(&key).expect("ring exists");
+                if ring.owner.is_none() {
+                    ring.owner = Some(t.msg_id);
+                    drop(sh);
+                    *self = ShmSendOp::Active {
+                        sent: 0,
+                        next_slot: 0,
+                    };
+                    Step::Progress
+                } else {
+                    Step::Idle
+                }
+            }
+            ShmSendOp::Active {
+                ref mut sent,
+                ref mut next_slot,
+            } => {
+                // Fill every currently-free buffer (double buffering).
+                let did = drive_chunks(sent, t.len, |at| {
+                    let slot = *next_slot % cfg.ring_bufs;
+                    let (fill, ring_buf) = {
+                        let sh = nem.sh.lock();
+                        let ring = &sh.rings[&key];
+                        // Check the slot flag (cached read).
+                        nem.seg.charge_flag(p, os, ring, slot, false);
+                        (ring.fill[slot], ring.bufs[slot])
+                    };
+                    if fill != 0 {
+                        return 0; // receiver hasn't drained it yet
+                    }
+                    let n = (t.len - at).min(cfg.ring_chunk);
+                    os.user_copy(p, t.buf, t.off + at, ring_buf, 0, n);
+                    {
+                        let mut sh = nem.sh.lock();
+                        let ring = sh.rings.get_mut(&key).unwrap();
+                        ring.fill[slot] = n;
+                        nem.seg.charge_flag(p, os, ring, slot, true);
+                    }
+                    *next_slot += 1;
+                    n
+                });
+                if *sent == t.len {
+                    // Complete once the receiver drained everything.
+                    let mut sh = nem.sh.lock();
+                    let ring = sh.rings.get_mut(&key).expect("ring exists");
+                    if ring.fill.iter().all(|&f| f == 0) {
+                        ring.owner = None;
+                        return Step::Complete;
+                    }
+                }
+                if did {
+                    Step::Progress
+                } else {
+                    Step::Idle
+                }
+            }
+        }
+    }
+}
+
+struct ShmRecvOp {
+    recvd: u64,
+    next_slot: usize,
+}
+
+impl LmtRecvOp for ShmRecvOp {
+    fn step(&mut self, comm: &Comm<'_>, t: &Transfer, _is_head: bool) -> Step {
+        let nem = comm.nem();
+        let os = comm.os();
+        let p = comm.proc();
+        let cfg = &nem.cfg;
+        let key = (t.peer, comm.rank());
+        // Only drain when the ring belongs to our message (ownership is
+        // the per-message FIFO gate on this wire).
+        {
+            let sh = nem.sh.lock();
+            match sh.rings.get(&key) {
+                Some(ring) if ring.owner == Some(t.msg_id) => {}
+                _ => return Step::Idle,
+            }
+        }
+        let next_slot = &mut self.next_slot;
+        let did = drive_chunks(&mut self.recvd, t.len, |at| {
+            let slot = *next_slot % cfg.ring_bufs;
+            let (fill, ring_buf) = {
+                let sh = nem.sh.lock();
+                let ring = &sh.rings[&key];
+                nem.seg.charge_flag(p, os, ring, slot, false);
+                (ring.fill[slot], ring.bufs[slot])
+            };
+            if fill == 0 {
+                return 0; // sender hasn't filled it yet
+            }
+            os.user_copy(p, ring_buf, 0, t.buf, t.off + at, fill);
+            {
+                let mut sh = nem.sh.lock();
+                let ring = sh.rings.get_mut(&key).unwrap();
+                ring.fill[slot] = 0;
+                nem.seg.charge_flag(p, os, ring, slot, true);
+            }
+            *next_slot += 1;
+            fill
+        });
+        if self.recvd == t.len {
+            Step::Complete
+        } else if did {
+            Step::Progress
+        } else {
+            Step::Idle
+        }
+    }
+}

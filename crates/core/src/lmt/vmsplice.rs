@@ -1,0 +1,45 @@
+//! Pipe + `vmsplice` LMT (§3.1) — single copy.
+//!
+//! The sender gifts its user pages into the pipe (`SPLICE_F_GIFT`); the
+//! receiver's `readv` performs the only copy. The mechanics are shared
+//! with [`pipe_writev`](super::pipe_writev); the differences — zero-copy
+//! injection and the sender holding its buffer until the pipe drains —
+//! are selected by the `vmsplice` flag on the shared pipe ops.
+
+use nemesis_kernel::Iov;
+
+use crate::comm::Comm;
+use crate::shm::LmtWire;
+use crate::vector::VectorLayout;
+
+use super::pipe_writev::{start_pipe_recv, start_pipe_send};
+use super::{LmtBackend, LmtRecvOp, LmtSendOp, Transfer};
+
+/// The `vmsplice` pipe backend singleton.
+pub struct VmspliceBackend;
+
+impl LmtBackend for VmspliceBackend {
+    fn name(&self) -> &'static str {
+        "vmsplice LMT"
+    }
+
+    fn start_send(
+        &self,
+        comm: &Comm<'_>,
+        t: &Transfer,
+        _iovs: &[Iov],
+    ) -> (LmtWire, Box<dyn LmtSendOp>) {
+        start_pipe_send(comm, t, true)
+    }
+
+    fn start_recv(
+        &self,
+        _comm: &Comm<'_>,
+        _t: &Transfer,
+        wire: &LmtWire,
+        _layout: Option<&VectorLayout>,
+        _concurrency: u32,
+    ) -> Box<dyn LmtRecvOp> {
+        start_pipe_recv(wire)
+    }
+}

@@ -83,8 +83,8 @@ impl KnemFlags {
 struct CookieEntry {
     owner: usize,
     iovs: Vec<Iov>,
-    /// Pages held pinned until the cookie is destroyed.
-    #[allow(dead_code)]
+    /// Pages held pinned until the cookie is destroyed (released —
+    /// `put_page` — and charged by [`Os::knem_destroy_cookie`]).
     pinned_pages: u64,
 }
 
@@ -161,19 +161,37 @@ impl Os {
 
     /// Destroy a cookie, unpinning the send buffer. Any process may do
     /// this (in practice the receiver, after completion, or the sender on
-    /// cleanup).
+    /// cleanup). Releasing the pinned pages (`put_page`) is charged at a
+    /// quarter of the `get_user_pages` cost — no page-table walk or
+    /// fault handling on release.
     pub fn knem_destroy_cookie(&self, p: &Proc, cookie: Cookie) {
         p.syscall();
-        let mut st = self.state.lock();
-        st.knem
-            .cookies
-            .remove(&cookie.0)
-            .expect("destroying unknown cookie");
+        let entry = {
+            let mut st = self.state.lock();
+            st.knem
+                .cookies
+                .remove(&cookie.0)
+                .expect("destroying unknown cookie")
+        };
+        p.advance(entry.pinned_pages * self.machine().cfg().costs.pin_page / 4);
     }
 
     /// Number of live cookies (diagnostics).
     pub fn knem_live_cookies(&self) -> usize {
         self.state.lock().knem.cookies.len()
+    }
+
+    /// Pages currently held pinned by live cookies (diagnostics: a
+    /// nonzero value after a quiescent point is a pin leak, the failure
+    /// mode real KNEM guards with region accounting).
+    pub fn knem_pinned_pages(&self) -> u64 {
+        self.state
+            .lock()
+            .knem
+            .cookies
+            .values()
+            .map(|e| e.pinned_pages)
+            .sum()
     }
 
     /// Allocate a status variable for async completions.
@@ -498,7 +516,9 @@ mod tests {
             }
             let b = os.alloc(0, 10 * 4096);
             let c = os.knem_send_cmd(p, &[Iov::new(b, 0, 10 * 4096)]);
+            assert_eq!(os.knem_pinned_pages(), 10, "cookie holds its pin");
             os.knem_destroy_cookie(p, c);
+            assert_eq!(os.knem_pinned_pages(), 0, "destroy releases the pin");
         });
         assert_eq!(m2.snapshot().per_proc[0].pinned_pages, 10);
     }

@@ -238,10 +238,8 @@ impl Os {
                     src_off + len <= dst_off || dst_off + len <= src_off,
                     "overlapping same-buffer copy"
                 );
-                e.data.copy_within(
-                    src_off as usize..(src_off + len) as usize,
-                    dst_off as usize,
-                );
+                e.data
+                    .copy_within(src_off as usize..(src_off + len) as usize, dst_off as usize);
                 (
                     PhysRange::new(e.phys + src_off, len),
                     PhysRange::new(e.phys + dst_off, len),
@@ -281,8 +279,7 @@ impl Os {
                 PhysRange::new(de.phys + dst_off, len),
             )
         };
-        self.machine
-            .copy_cost(p.pid(), p.core(), rs, rd, p.now())
+        self.machine.copy_cost(p.pid(), p.core(), rs, rd, p.now())
     }
 
     /// Kernel-side byte move with **no** CPU cache accounting (the I/OAT

@@ -120,7 +120,10 @@ impl Os {
                     pipe.free_pages.pop().expect("free slot implies free page")
                 };
                 let chunk = (len - written).min(PAGE);
-                st.pipes.pipes[pipe].segs.push_back(Seg::Copied { page: pg, len: chunk });
+                st.pipes.pipes[pipe].segs.push_back(Seg::Copied {
+                    page: pg,
+                    len: chunk,
+                });
                 pairs.push((buf, off + written, ring_buf, pg as u64 * PAGE, chunk));
                 written += chunk;
             }
@@ -180,7 +183,10 @@ impl Os {
         dst_off: u64,
         max_len: u64,
     ) -> u64 {
-        self.validate_iovs(Some(p.pid()), &[crate::mem::Iov::new(dst, dst_off, max_len)]);
+        self.validate_iovs(
+            Some(p.pid()),
+            &[crate::mem::Iov::new(dst, dst_off, max_len)],
+        );
         p.syscall();
         let mut pairs = Vec::new();
         let mut mapped_pages = 0u64;
@@ -288,10 +294,8 @@ impl Os {
             for &(src, src_off, dst, dst_off, len) in pairs {
                 let (rs, rd) = if src == dst {
                     let e = &mut st.buffers[src];
-                    e.data.copy_within(
-                        src_off as usize..(src_off + len) as usize,
-                        dst_off as usize,
-                    );
+                    e.data
+                        .copy_within(src_off as usize..(src_off + len) as usize, dst_off as usize);
                     (
                         nemesis_sim::PhysRange::new(e.phys + src_off, len),
                         nemesis_sim::PhysRange::new(e.phys + dst_off, len),

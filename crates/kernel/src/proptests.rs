@@ -1,17 +1,22 @@
-//! Property-based tests on the kernel services: the pipe must behave as
-//! a byte stream under any interleaving of chunked writes and reads, and
-//! KNEM must move bytes correctly between arbitrary iovec splits.
+//! Randomized property tests on the kernel services: the pipe must
+//! behave as a byte stream under any interleaving of chunked writes and
+//! reads, and KNEM must move bytes correctly between arbitrary iovec
+//! splits. Cases are drawn from a seeded generator, so every run
+//! exercises the same (reproducible) sample of the input space.
 
 #![cfg(test)]
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use nemesis_sim::{run_simulation, Machine, MachineConfig, Proc};
 
 use crate::knem::KnemFlags;
 use crate::mem::{Iov, Os};
+
+const CASES: usize = 32;
 
 fn one_proc(body: impl Fn(&Proc, &Os) + Send + Sync) {
     let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
@@ -34,18 +39,21 @@ fn chunks_of(total: u64, cuts: &[u64]) -> Vec<u64> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn cut_vec(rng: &mut StdRng, max_cut: u64, max_n: usize) -> Vec<u64> {
+    let n = rng.random_range(1..max_n);
+    (0..n).map(|_| rng.random_range(1..max_cut)).collect()
+}
 
-    /// Any interleaving of chunked writev calls and chunked readv calls
-    /// preserves the byte stream (pipes never reorder, duplicate or drop
-    /// bytes, regardless of how the 16-page ring forces partial calls).
-    #[test]
-    fn pipe_is_a_byte_stream(
-        total in 1u64..200_000,
-        wcuts in proptest::collection::vec(1u64..50_000, 1..5),
-        rcuts in proptest::collection::vec(1u64..50_000, 1..5),
-    ) {
+/// Any interleaving of chunked writev calls and chunked readv calls
+/// preserves the byte stream (pipes never reorder, duplicate or drop
+/// bytes, regardless of how the 16-page ring forces partial calls).
+#[test]
+fn pipe_is_a_byte_stream() {
+    let mut rng = StdRng::seed_from_u64(0x9d0e_51f2);
+    for case in 0..CASES {
+        let total = rng.random_range(1u64..200_000);
+        let wcuts = cut_vec(&mut rng, 50_000, 5);
+        let rcuts = cut_vec(&mut rng, 50_000, 5);
         one_proc(|p, os| {
             let pipe = os.pipe_create();
             let src = os.alloc(0, total);
@@ -85,23 +93,29 @@ proptest! {
             }
             os.with_data(p, dst, |d| {
                 for (i, b) in d.iter().enumerate() {
-                    assert_eq!(*b, (i as u8).wrapping_mul(41).wrapping_add(3), "byte {i}");
+                    assert_eq!(
+                        *b,
+                        (i as u8).wrapping_mul(41).wrapping_add(3),
+                        "case {case}: byte {i}"
+                    );
                 }
             });
             assert!(os.pipe_is_drained(pipe));
         });
     }
+}
 
-    /// A KNEM transfer between arbitrary send and receive iovec splits of
-    /// the same total length is byte-exact, for the CPU and I/OAT paths.
-    /// (Two simulated processes: KNEM rejects self-receives.)
-    #[test]
-    fn knem_arbitrary_iovec_splits(
-        total in 1u64..150_000,
-        scuts in proptest::collection::vec(1u64..40_000, 1..4),
-        rcuts in proptest::collection::vec(1u64..40_000, 1..4),
-        ioat in any::<bool>(),
-    ) {
+/// A KNEM transfer between arbitrary send and receive iovec splits of
+/// the same total length is byte-exact, for the CPU and I/OAT paths.
+/// (Two simulated processes: KNEM rejects self-receives.)
+#[test]
+fn knem_arbitrary_iovec_splits() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_cafe);
+    for case in 0..CASES {
+        let total = rng.random_range(1u64..150_000);
+        let scuts = cut_vec(&mut rng, 40_000, 4);
+        let rcuts = cut_vec(&mut rng, 40_000, 4);
+        let ioat: bool = rng.random();
         let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
         let os = Arc::new(Os::new(Arc::clone(&machine)));
         let cookie_slot = parking_lot::Mutex::new(None);
@@ -127,12 +141,20 @@ proptest! {
                 let cookie = p.poll_until(|| *cookie_slot.lock());
                 let dst = os.alloc(1, total);
                 let status = os.knem_alloc_status(1);
-                let flags = if ioat { KnemFlags::sync_ioat() } else { KnemFlags::sync_cpu() };
+                let flags = if ioat {
+                    KnemFlags::sync_ioat()
+                } else {
+                    KnemFlags::sync_cpu()
+                };
                 os.knem_recv_cmd(p, cookie, &mk_iovs(dst, &rcuts), flags, status);
                 assert!(os.knem_poll_status(p, status));
                 os.with_data(p, dst, |d| {
                     for (i, b) in d.iter().enumerate() {
-                        assert_eq!(*b, (i as u8).wrapping_mul(29).wrapping_add(7), "byte {i}");
+                        assert_eq!(
+                            *b,
+                            (i as u8).wrapping_mul(29).wrapping_add(7),
+                            "case {case}: byte {i}"
+                        );
                     }
                 });
                 os.knem_destroy_cookie(p, cookie);

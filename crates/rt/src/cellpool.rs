@@ -28,7 +28,11 @@ impl CellPool {
         assert!(n > 0 && (n as u64) < NIL as u64);
         let next: Vec<AtomicU64> = (0..n)
             .map(|i| {
-                let below = if i + 1 < n { (i + 1) as u64 } else { NIL as u64 };
+                let below = if i + 1 < n {
+                    (i + 1) as u64
+                } else {
+                    NIL as u64
+                };
                 AtomicU64::new(below)
             })
             .collect();
@@ -175,9 +179,7 @@ mod tests {
                             // Stamp and verify: if two threads ever hold
                             // the same cell, the stamp check fails.
                             let stamp = (t * ITERS + i) as u64;
-                            pool.with_cell(c, |d| {
-                                d[..8].copy_from_slice(&stamp.to_le_bytes())
-                            });
+                            pool.with_cell(c, |d| d[..8].copy_from_slice(&stamp.to_le_bytes()));
                             std::hint::spin_loop();
                             pool.with_cell(c, |d| {
                                 let got = u64::from_le_bytes(d[..8].try_into().unwrap());

@@ -198,7 +198,10 @@ pub fn allgather(comm: &mut RtComm, mine: &[u8], all: &mut [u8]) {
 pub fn alltoall(comm: &mut RtComm, send: &[u8], recv: &mut [u8], len: usize) {
     let n = comm.size();
     let me = comm.rank();
-    assert!(send.len() >= n * len && recv.len() >= n * len, "alltoall buffers too small");
+    assert!(
+        send.len() >= n * len && recv.len() >= n * len,
+        "alltoall buffers too small"
+    );
     recv[me * len..(me + 1) * len].copy_from_slice(&send[me * len..(me + 1) * len]);
     if n.is_power_of_two() {
         for k in 1..n {
@@ -207,7 +210,11 @@ pub fn alltoall(comm: &mut RtComm, send: &[u8], recv: &mut [u8], len: usize) {
             // XOR pairing is symmetric: lower rank sends first.
             if me < peer {
                 comm.send(peer, tag, &send[peer * len..(peer + 1) * len]);
-                comm.recv(Some(peer), Some(tag), &mut recv[peer * len..(peer + 1) * len]);
+                comm.recv(
+                    Some(peer),
+                    Some(tag),
+                    &mut recv[peer * len..(peer + 1) * len],
+                );
             } else {
                 let (a, b) = split_mut(recv, peer * len, len);
                 comm.recv(Some(peer), Some(tag), a);
@@ -303,9 +310,7 @@ mod tests {
     fn reduce_sum_u64() {
         run_rt(4, RtLmt::Direct, |comm| {
             let me = comm.rank() as u64;
-            let mut data: Vec<u8> = (0..100u64)
-                .flat_map(|i| (i + me).to_le_bytes())
-                .collect();
+            let mut data: Vec<u8> = (0..100u64).flat_map(|i| (i + me).to_le_bytes()).collect();
             reduce(comm, 0, &mut data, &SumU64);
             if comm.rank() == 0 {
                 for (i, lane) in data.chunks_exact(8).enumerate() {
@@ -341,7 +346,9 @@ mod tests {
             if me == 0 {
                 gather(comm, 0, &mine, Some(&mut all));
                 for r in 0..n {
-                    assert!(all[r * len..(r + 1) * len].iter().all(|&b| b == r as u8 + 1));
+                    assert!(all[r * len..(r + 1) * len]
+                        .iter()
+                        .all(|&b| b == r as u8 + 1));
                 }
             } else {
                 gather(comm, 0, &mine, None);
@@ -368,7 +375,9 @@ mod tests {
             allgather(comm, &mine, &mut all);
             for r in 0..n {
                 assert!(
-                    all[r * len..(r + 1) * len].iter().all(|&b| b == r as u8 * 3 + 1),
+                    all[r * len..(r + 1) * len]
+                        .iter()
+                        .all(|&b| b == r as u8 * 3 + 1),
                     "rank {me} block {r}"
                 );
             }

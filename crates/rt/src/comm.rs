@@ -1,10 +1,10 @@
 //! A miniature real-thread message-passing runtime combining the rt
 //! substrate pieces: ranks are OS threads, each with a Nemesis MPSC
 //! receive queue; small messages travel through pooled cells (two
-//! copies), large messages through a selectable LMT-style strategy —
-//! double-buffered ring (two copies, pipelined), direct single copy
-//! (the KNEM analogue: threads share an address space), or the offload
-//! engine (the I/OAT analogue).
+//! copies), large messages through the selected
+//! [`RtLmtBackend`](crate::lmt::RtLmtBackend) — this module never names
+//! a concrete strategy, exactly as `nemesis_core::comm` drives its
+//! backends only through `LmtBackend`.
 //!
 //! This is the host-machine counterpart of `nemesis-core`: same protocol
 //! shape, real memory, real atomics — used by tests and Criterion
@@ -15,19 +15,10 @@ use std::sync::Arc;
 
 use crate::backoff::Backoff;
 use crate::cellpool::CellPool;
-use crate::copy::{DoubleBufferPipe, OffloadEngine};
+use crate::lmt::{backend_for, RtLmtBackend};
 use crate::queue::{nem_queue, Receiver, Sender};
 
-/// Large-message strategy (the LMT backend analogue).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RtLmt {
-    /// Two copies through a per-pair double-buffered ring.
-    DoubleBuffer,
-    /// Single direct copy by the receiver.
-    Direct,
-    /// Copy offloaded to the shared engine thread.
-    Offload,
-}
+pub use crate::lmt::RtLmt;
 
 /// Messages at or below this size go eager (through cells).
 pub const EAGER_MAX: usize = 16 << 10;
@@ -61,11 +52,10 @@ unsafe impl Send for Packet {}
 struct Shared {
     senders: Vec<Sender<Packet>>,
     cells: CellPool,
-    /// Per-(src,dst) double-buffer rings, created up front.
-    rings: Vec<DoubleBufferPipe>,
-    engine: OffloadEngine,
+    /// The selected large-message backend; all transfer bytes flow
+    /// through this trait object.
+    backend: Box<dyn RtLmtBackend>,
     n: usize,
-    lmt: RtLmt,
 }
 
 /// Per-rank endpoint.
@@ -85,8 +75,9 @@ impl RtComm {
         self.shared.n
     }
 
-    fn ring_of(&self, src: usize, dst: usize) -> &DoubleBufferPipe {
-        &self.shared.rings[src * self.shared.n + dst]
+    /// Diagnostic name of the active large-message backend.
+    pub fn lmt_name(&self) -> &'static str {
+        self.shared.backend.name()
     }
 
     /// Blocking send of `data` to `dst`.
@@ -113,7 +104,8 @@ impl RtComm {
             });
             return;
         }
-        // Rendezvous: announce, then serve the transfer.
+        // Rendezvous: announce, let the backend move the payload, then
+        // hold the buffer until the receiver confirms completion.
         let done = Arc::new(AtomicUsize::new(0));
         self.shared.senders[dst].enqueue(Packet::Rndv {
             src_rank: self.rank,
@@ -124,21 +116,10 @@ impl RtComm {
                 done: Arc::clone(&done),
             },
         });
+        self.shared.backend.send_payload(self.rank, dst, data);
         let mut bo = Backoff::new();
-        match self.shared.lmt {
-            RtLmt::DoubleBuffer => {
-                // The sender performs the copy-in half of the transfer.
-                self.ring_of(self.rank, dst).send(data);
-                while done.load(Ordering::Acquire) == 0 {
-                    bo.snooze();
-                }
-            }
-            RtLmt::Direct | RtLmt::Offload => {
-                // Receiver-driven: just wait for completion.
-                while done.load(Ordering::Acquire) == 0 {
-                    bo.snooze();
-                }
-            }
+        while done.load(Ordering::Acquire) == 0 {
+            bo.snooze();
         }
     }
 
@@ -147,9 +128,7 @@ impl RtComm {
     pub fn recv(&mut self, src: Option<usize>, tag: Option<i32>, dst: &mut [u8]) -> usize {
         let pkt = self.match_packet(src, tag);
         match pkt {
-            Packet::Eager {
-                cell, len, ..
-            } => {
+            Packet::Eager { cell, len, .. } => {
                 assert!(len <= dst.len(), "receive buffer too small");
                 // Second copy: cell → user buffer; then recycle the cell.
                 self.shared
@@ -160,31 +139,66 @@ impl RtComm {
             }
             Packet::Rndv { src_rank, rts, .. } => {
                 assert!(rts.len <= dst.len(), "receive buffer too small");
-                match self.shared.lmt {
-                    RtLmt::DoubleBuffer => {
-                        self.ring_of(src_rank, self.rank).recv(&mut dst[..rts.len]);
-                    }
-                    RtLmt::Direct => {
-                        // SAFETY: the sender keeps `src` alive until we
-                        // set `done` below.
-                        let src_slice =
-                            unsafe { std::slice::from_raw_parts(rts.src, rts.len) };
-                        dst[..rts.len].copy_from_slice(src_slice);
-                    }
-                    RtLmt::Offload => {
-                        let src_slice =
-                            unsafe { std::slice::from_raw_parts(rts.src, rts.len) };
-                        self.shared
-                            .engine
-                            .submit(src_slice, &mut dst[..rts.len])
-                            .wait();
-                    }
-                }
+                // SAFETY: the sender keeps `src` alive until we set
+                // `done` below.
+                let src_slice = unsafe { std::slice::from_raw_parts(rts.src, rts.len) };
+                self.shared.backend.recv_payload(
+                    src_rank,
+                    self.rank,
+                    src_slice,
+                    &mut dst[..rts.len],
+                );
                 let len = rts.len;
                 rts.done.store(1, Ordering::Release);
                 len
             }
         }
+    }
+
+    /// Blocking vectored send: the `(offset, len)` blocks of `buf` form
+    /// the payload. All rt backends are scatter-blind, so the blocks are
+    /// packed into a contiguous staging buffer first — the same
+    /// dataloop-style path `nemesis_core` uses for its byte-stream
+    /// wires.
+    pub fn sendv(&self, dst: usize, tag: i32, buf: &[u8], blocks: &[(usize, usize)]) {
+        // Contiguous fast path (mirrors `Comm::isendv` skipping the pack
+        // when `layout.is_contiguous()`).
+        if let [(off, len)] = *blocks {
+            return self.send(dst, tag, &buf[off..off + len]);
+        }
+        let total: usize = blocks.iter().map(|&(_, l)| l).sum();
+        let mut staging = Vec::with_capacity(total);
+        for &(off, len) in blocks {
+            staging.extend_from_slice(&buf[off..off + len]);
+        }
+        self.send(dst, tag, &staging);
+    }
+
+    /// Blocking vectored receive: the payload is scattered into the
+    /// `(offset, len)` blocks of `buf`. Returns the received length.
+    pub fn recvv(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        buf: &mut [u8],
+        blocks: &[(usize, usize)],
+    ) -> usize {
+        // Contiguous fast path: receive straight into the single block.
+        if let [(off, len)] = *blocks {
+            let got = self.recv(src, tag, &mut buf[off..off + len]);
+            assert_eq!(got, len, "vectored payload length mismatch");
+            return got;
+        }
+        let total: usize = blocks.iter().map(|&(_, l)| l).sum();
+        let mut staging = vec![0u8; total];
+        let got = self.recv(src, tag, &mut staging);
+        assert_eq!(got, total, "vectored payload length mismatch");
+        let mut at = 0;
+        for &(off, len) in blocks {
+            buf[off..off + len].copy_from_slice(&staging[at..at + len]);
+            at += len;
+        }
+        got
     }
 
     fn pkt_matches(pkt: &Packet, src: Option<usize>, tag: Option<i32>) -> bool {
@@ -220,6 +234,15 @@ pub fn run_rt<F>(n: usize, lmt: RtLmt, body: F)
 where
     F: Fn(&mut RtComm) + Send + Sync,
 {
+    run_rt_with(n, backend_for(lmt, n), body)
+}
+
+/// Run `n` rank-threads over an explicit backend instance (the
+/// extension point for out-of-tree copy engines).
+pub fn run_rt_with<F>(n: usize, backend: Box<dyn RtLmtBackend>, body: F)
+where
+    F: Fn(&mut RtComm) + Send + Sync,
+{
     assert!(n >= 1);
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
@@ -231,12 +254,8 @@ where
     let shared = Arc::new(Shared {
         senders,
         cells: CellPool::new(4 * n.max(4), EAGER_MAX),
-        rings: (0..n * n)
-            .map(|_| DoubleBufferPipe::new(32 << 10, 2))
-            .collect(),
-        engine: OffloadEngine::start(),
+        backend,
         n,
-        lmt,
     });
     std::thread::scope(|s| {
         for (rank, rx) in receivers.into_iter().enumerate() {
@@ -258,12 +277,11 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    const STRATEGIES: [RtLmt; 3] = [RtLmt::DoubleBuffer, RtLmt::Direct, RtLmt::Offload];
+    use crate::lmt::ALL_RT_LMTS;
 
     #[test]
     fn eager_roundtrip_all_strategies() {
-        for lmt in STRATEGIES {
+        for lmt in ALL_RT_LMTS {
             run_rt(2, lmt, |comm| {
                 if comm.rank() == 0 {
                     let data: Vec<u8> = (0..1000).map(|i| (i % 250) as u8).collect();
@@ -279,7 +297,7 @@ mod tests {
 
     #[test]
     fn large_roundtrip_all_strategies() {
-        for lmt in STRATEGIES {
+        for lmt in ALL_RT_LMTS {
             run_rt(2, lmt, |comm| {
                 let n = 3 << 20;
                 if comm.rank() == 0 {
@@ -314,7 +332,7 @@ mod tests {
 
     #[test]
     fn ring_of_ranks_all_strategies() {
-        for lmt in STRATEGIES {
+        for lmt in ALL_RT_LMTS {
             run_rt(4, lmt, |comm| {
                 let me = comm.rank();
                 let n = comm.size();
@@ -369,5 +387,50 @@ mod tests {
                 comm.send(2, 5, &[me as u8 + 1; 32]);
             }
         });
+    }
+
+    #[test]
+    fn vectored_single_block_fast_path() {
+        run_rt(2, RtLmt::Direct, |comm| {
+            if comm.rank() == 0 {
+                let buf = vec![7u8; 100_000];
+                comm.sendv(1, 4, &buf, &[(8, 90_000)]);
+            } else {
+                let mut buf = vec![0u8; 100_000];
+                assert_eq!(
+                    comm.recvv(Some(0), Some(4), &mut buf, &[(16, 90_000)]),
+                    90_000
+                );
+                assert!(buf[16..16 + 90_000].iter().all(|&b| b == 7));
+                assert!(buf[..16].iter().all(|&b| b == 0), "outside block untouched");
+            }
+        });
+    }
+
+    #[test]
+    fn vectored_roundtrip_all_strategies() {
+        // Strided blocks large enough to force the rendezvous path.
+        let blocks: Vec<(usize, usize)> = (0..24).map(|i| (i * (3 << 10), 2 << 10)).collect();
+        let span = 24 * (3 << 10);
+        for lmt in ALL_RT_LMTS {
+            run_rt(2, lmt, |comm| {
+                if comm.rank() == 0 {
+                    let mut buf = vec![0u8; span];
+                    for (i, &(off, len)) in blocks.iter().enumerate() {
+                        buf[off..off + len].fill(i as u8 + 1);
+                    }
+                    comm.sendv(1, 3, &buf, &blocks);
+                } else {
+                    let mut buf = vec![0u8; span];
+                    comm.recvv(Some(0), Some(3), &mut buf, &blocks);
+                    for (i, &(off, len)) in blocks.iter().enumerate() {
+                        assert!(
+                            buf[off..off + len].iter().all(|&b| b == i as u8 + 1),
+                            "{lmt:?}: block {i} corrupt"
+                        );
+                    }
+                }
+            });
+        }
     }
 }

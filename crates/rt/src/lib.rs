@@ -17,6 +17,10 @@
 //!   between threads because they share an address space), and offloaded
 //!   copy on a dedicated engine thread with in-order completion and a
 //!   trailing status write (the I/OAT model of Figure 2).
+//! * [`lmt`] — the [`RtLmtBackend`] trait unifying those engines behind
+//!   the same backend vocabulary the simulated stack uses
+//!   (`nemesis_core::lmt::LmtBackend`), so `comm` drives transfers
+//!   without naming a strategy.
 
 //! * [`comm`] — a miniature message-passing runtime tying the pieces
 //!   together: rank-threads with MPSC receive queues, eager cells, and a
@@ -32,10 +36,12 @@ pub mod cellpool;
 pub mod coll;
 pub mod comm;
 pub mod copy;
+pub mod lmt;
 pub mod queue;
 
 pub use backoff::Backoff;
 pub use cellpool::CellPool;
-pub use comm::{run_rt, RtComm, RtLmt};
+pub use comm::{run_rt, run_rt_with, RtComm, RtLmt};
 pub use copy::{CopyEngine, DoubleBufferPipe, OffloadEngine};
+pub use lmt::{backend_for, RtLmtBackend, ALL_RT_LMTS};
 pub use queue::NemQueue;

@@ -1,0 +1,200 @@
+//! The real-thread LMT backend layer — the host-machine mirror of
+//! `nemesis_core::lmt`.
+//!
+//! The simulated stack drives its four paper backends through the
+//! `LmtBackend` trait; this module gives the real-thread runtime the
+//! same backend vocabulary over the three host-memory copy strategies:
+//!
+//! | selection | backend | copies | analogue of |
+//! |---|---|---|---|
+//! | [`RtLmt::DoubleBuffer`] | [`DoubleBufferBackend`] | 2 | default LMT ring (§2) |
+//! | [`RtLmt::Direct`] | [`DirectBackend`] | 1 | KNEM sync copy (§3.2) |
+//! | [`RtLmt::Offload`] | [`OffloadBackend`] | 1, off-CPU | KNEM + I/OAT (§3.3) |
+//!
+//! `rt::comm` consumes only the [`RtLmtBackend`] trait: the sender
+//! announces a transfer (RTS), calls
+//! [`send_payload`](RtLmtBackend::send_payload), and blocks on the done
+//! flag; the receiver calls
+//! [`recv_payload`](RtLmtBackend::recv_payload) and then sets the flag.
+//! New copy engines (e.g. a CMA-style `process_vm_readv` analogue) plug
+//! in by implementing the trait.
+
+use crate::copy::{direct_copy, DoubleBufferPipe, OffloadEngine};
+
+/// Large-message strategy selector (the rt analogue of
+/// `nemesis_core::LmtSelect`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtLmt {
+    /// Two copies through a per-pair double-buffered ring.
+    DoubleBuffer,
+    /// Single direct copy by the receiver.
+    Direct,
+    /// Copy offloaded to the shared engine thread.
+    Offload,
+}
+
+/// Every selection, for parity tests and benches.
+pub const ALL_RT_LMTS: [RtLmt; 3] = [RtLmt::DoubleBuffer, RtLmt::Direct, RtLmt::Offload];
+
+/// A large-message transfer mechanism between two rank-threads.
+///
+/// Completion semantics shared by all backends: the sender's `send` call
+/// must not return until the receiver has landed the payload (the
+/// runtime's done-flag handshake), and `recv_payload` must leave `dst`
+/// fully populated on return.
+pub trait RtLmtBackend: Send + Sync {
+    /// Diagnostic name (mirrors `LmtBackend::name`).
+    fn name(&self) -> &'static str;
+
+    /// Sender-side participation in the transfer of `src` to
+    /// `dst_rank`. Sender-driven backends (the ring) move bytes here;
+    /// receiver-driven backends return immediately and the runtime's
+    /// done flag keeps `src` alive until the receiver finishes.
+    fn send_payload(&self, src_rank: usize, dst_rank: usize, src: &[u8]);
+
+    /// Receiver side: land the announced payload into `dst`. `src` is
+    /// the sender's buffer, valid for the duration of the call
+    /// (receiver-driven backends copy from it; the ring ignores it).
+    fn recv_payload(&self, src_rank: usize, dst_rank: usize, src: &[u8], dst: &mut [u8]);
+}
+
+/// Build the backend for a selection. `nranks` sizes per-pair
+/// resources.
+pub fn backend_for(lmt: RtLmt, nranks: usize) -> Box<dyn RtLmtBackend> {
+    match lmt {
+        RtLmt::DoubleBuffer => Box::new(DoubleBufferBackend::new(nranks, 32 << 10, 2)),
+        RtLmt::Direct => Box::new(DirectBackend),
+        RtLmt::Offload => Box::new(OffloadBackend::new()),
+    }
+}
+
+/// Two-copy double-buffered ring per (src, dst) pair — the `default
+/// LMT` analogue. Sender and receiver pipeline chunk against chunk.
+pub struct DoubleBufferBackend {
+    rings: Vec<DoubleBufferPipe>,
+    n: usize,
+}
+
+impl DoubleBufferBackend {
+    pub fn new(nranks: usize, chunk: usize, nbufs: usize) -> Self {
+        Self {
+            rings: (0..nranks * nranks)
+                .map(|_| DoubleBufferPipe::new(chunk, nbufs))
+                .collect(),
+            n: nranks,
+        }
+    }
+
+    fn ring(&self, src: usize, dst: usize) -> &DoubleBufferPipe {
+        &self.rings[src * self.n + dst]
+    }
+}
+
+impl RtLmtBackend for DoubleBufferBackend {
+    fn name(&self) -> &'static str {
+        "double-buffer"
+    }
+
+    fn send_payload(&self, src_rank: usize, dst_rank: usize, src: &[u8]) {
+        // First copy: user buffer → ring, overlapping the receiver's
+        // drain.
+        self.ring(src_rank, dst_rank).send(src);
+    }
+
+    fn recv_payload(&self, src_rank: usize, dst_rank: usize, _src: &[u8], dst: &mut [u8]) {
+        // Second copy: ring → user buffer.
+        self.ring(src_rank, dst_rank).recv(dst);
+    }
+}
+
+/// Single receiver-side copy — the KNEM analogue (threads share an
+/// address space, so no kernel assist is needed).
+pub struct DirectBackend;
+
+impl RtLmtBackend for DirectBackend {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn send_payload(&self, _src_rank: usize, _dst_rank: usize, _src: &[u8]) {
+        // Receiver-driven: nothing to do on the sending side.
+    }
+
+    fn recv_payload(&self, _src_rank: usize, _dst_rank: usize, src: &[u8], dst: &mut [u8]) {
+        direct_copy(src, dst);
+    }
+}
+
+/// Copy offloaded to the shared engine thread with in-order completion
+/// — the I/OAT analogue (Figure 2).
+pub struct OffloadBackend {
+    engine: OffloadEngine,
+}
+
+impl OffloadBackend {
+    pub fn new() -> Self {
+        Self {
+            engine: OffloadEngine::start(),
+        }
+    }
+}
+
+impl Default for OffloadBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RtLmtBackend for OffloadBackend {
+    fn name(&self) -> &'static str {
+        "offload-engine"
+    }
+
+    fn send_payload(&self, _src_rank: usize, _dst_rank: usize, _src: &[u8]) {
+        // Receiver-driven: the receiver submits the descriptor chain.
+    }
+
+    fn recv_payload(&self, _src_rank: usize, _dst_rank: usize, src: &[u8], dst: &mut [u8]) {
+        self.engine.submit(src, dst).wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_identify_backends() {
+        for lmt in ALL_RT_LMTS {
+            let b = backend_for(lmt, 2);
+            assert!(!b.name().is_empty());
+        }
+        assert_eq!(backend_for(RtLmt::Direct, 2).name(), "direct");
+    }
+
+    #[test]
+    fn receiver_driven_backends_land_bytes() {
+        for lmt in [RtLmt::Direct, RtLmt::Offload] {
+            let b = backend_for(lmt, 2);
+            let src: Vec<u8> = (0..100_000).map(|i| (i % 249) as u8).collect();
+            let mut dst = vec![0u8; src.len()];
+            b.send_payload(0, 1, &src);
+            b.recv_payload(0, 1, &src, &mut dst);
+            assert_eq!(src, dst, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn ring_backend_pipelines_between_threads() {
+        let b = DoubleBufferBackend::new(2, 4 << 10, 2);
+        let src: Vec<u8> = (0..200_000).map(|i| (i % 241) as u8).collect();
+        let mut dst = vec![0u8; src.len()];
+        std::thread::scope(|s| {
+            let src_ref = &src;
+            let b2 = &b;
+            s.spawn(move || b2.send_payload(0, 1, src_ref));
+            b.recv_payload(0, 1, &src, &mut dst);
+        });
+        assert_eq!(src, dst);
+    }
+}

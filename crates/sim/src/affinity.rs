@@ -215,8 +215,14 @@ mod tests {
         t.record(2, 3, 1 << 29);
         let cfg = e5345();
         let cores = recommend_placement(&cfg, &t);
-        assert_eq!(cfg.topology.placement(cores[0], cores[1]), Placement::SharedL2);
-        assert_eq!(cfg.topology.placement(cores[2], cores[3]), Placement::SharedL2);
+        assert_eq!(
+            cfg.topology.placement(cores[0], cores[1]),
+            Placement::SharedL2
+        );
+        assert_eq!(
+            cfg.topology.placement(cores[2], cores[3]),
+            Placement::SharedL2
+        );
         // The pairs themselves must not share a die.
         assert_ne!(cfg.topology.l2_of(cores[0]), cfg.topology.l2_of(cores[2]));
     }

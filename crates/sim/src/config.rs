@@ -84,12 +84,12 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         Self {
-            l1_hit: 1_200,          // ~1.2 ns
-            l2_hit: 4_700,          // ~4.7 ns  => L2-resident copy ≈ 6.5 GiB/s
-            sibling_l2: 22_000,     // ~22 ns cache-to-cache, same socket
-            cross_socket: 30_000,   // ~30 ns cache-to-cache, FSB snoop
-            dram_overhead: 4_500,   // latency not hidden by the prefetcher
-            bus_per_line: 7_450,    // 64 B at 8 GiB/s
+            l1_hit: 1_200,        // ~1.2 ns
+            l2_hit: 4_700,        // ~4.7 ns  => L2-resident copy ≈ 6.5 GiB/s
+            sibling_l2: 22_000,   // ~22 ns cache-to-cache, same socket
+            cross_socket: 30_000, // ~30 ns cache-to-cache, FSB snoop
+            dram_overhead: 4_500, // latency not hidden by the prefetcher
+            bus_per_line: 7_450,  // 64 B at 8 GiB/s
             syscall: ns(100),
             queue_op: ns(25),
             poll: ns(40),
@@ -99,10 +99,10 @@ impl Default for CostModel {
             pipe_wakeup: ns(2_500),
             knem_map_page: ns(200),
             ioat_desc: ns(180),
-            ioat_per_line: 10_000,  // 64 B at ~6 GiB/s engine rate
+            ioat_per_line: 10_000, // 64 B at ~6 GiB/s engine rate
             kthread_contention_pct: 205,
             kthread_wakeup: ns(1_500),
-            l3_hit: 13_000,         // ~13 ns (Nehalem L3)
+            l3_hit: 13_000,           // ~13 ns (Nehalem L3)
             numa_remote_extra: 5_000, // ~5 ns/line extra beyond the QPI hop
         }
     }

@@ -142,10 +142,12 @@ impl Machine {
         let die_socket = (0..ndies)
             .map(|d| cfg.topology.socket_of(d * cfg.topology.cores_per_l2()))
             .collect();
-        let l3_of = (0..ncores)
-            .filter_map(|c| cfg.topology.l3_of(c))
-            .collect();
-        let nbuses = if cfg.numa { cfg.topology.num_sockets() } else { 1 };
+        let l3_of = (0..ncores).filter_map(|c| cfg.topology.l3_of(c)).collect();
+        let nbuses = if cfg.numa {
+            cfg.topology.num_sockets()
+        } else {
+            1
+        };
         let buses = (0..nbuses)
             .map(|_| MemoryBus::new(cfg.costs.bus_per_line))
             .collect();
@@ -184,7 +186,10 @@ impl Machine {
     /// shares the single bus.
     pub fn alloc_phys_on(&self, node: usize, len: u64) -> u64 {
         if self.cfg.numa {
-            assert!(node < self.cfg.topology.num_sockets(), "bad NUMA node {node}");
+            assert!(
+                node < self.cfg.topology.num_sockets(),
+                "bad NUMA node {node}"
+            );
         }
         self.inner.lock().alloc.alloc_on(node, len)
     }
@@ -254,7 +259,14 @@ impl Machine {
     /// CPU access to a physical range. Returns the time the access takes.
     /// `now` is the issuing process's current virtual clock (used for bus
     /// contention).
-    pub fn access(&self, pid: usize, core: CoreId, range: PhysRange, kind: AccessKind, now: Ps) -> Ps {
+    pub fn access(
+        &self,
+        pid: usize,
+        core: CoreId,
+        range: PhysRange,
+        kind: AccessKind,
+        now: Ps,
+    ) -> Ps {
         let mut inner = self.inner.lock();
         let mut cost: Ps = 0;
         for line in range.lines() {
@@ -266,7 +278,14 @@ impl Machine {
     /// Interleaved read-src/write-dst pass: the cost of one core copying
     /// `len` bytes between two buffers (both data movements charged, cache
     /// pollution included). Ranges must have equal length.
-    pub fn copy_cost(&self, pid: usize, core: CoreId, src: PhysRange, dst: PhysRange, now: Ps) -> Ps {
+    pub fn copy_cost(
+        &self,
+        pid: usize,
+        core: CoreId,
+        src: PhysRange,
+        dst: PhysRange,
+        now: Ps,
+    ) -> Ps {
         assert_eq!(src.len, dst.len, "copy ranges must match");
         let mut inner = self.inner.lock();
         let mut cost: Ps = 0;
@@ -462,7 +481,8 @@ impl Machine {
                 // memory.
                 let die = id - self.ncores;
                 for core in 0..self.ncores {
-                    if self.die_of[core] == die && inner.caches[core].invalidate(ev.line).is_some() {
+                    if self.die_of[core] == die && inner.caches[core].invalidate(ev.line).is_some()
+                    {
                         if let Some(m) = inner.presence.get_mut(&ev.line) {
                             *m &= !(1 << core);
                             if *m == 0 {
@@ -551,7 +571,9 @@ impl Machine {
             cpu_cost += c.ioat_desc;
             let done = inner.dma.submit(now + cpu_cost, dst.len);
             // Engine read+write both occupy the destination's home bus.
-            let bus = self.home_node_of_line(dst.base / LINE).min(inner.buses.len() - 1);
+            let bus = self
+                .home_node_of_line(dst.base / LINE)
+                .min(inner.buses.len() - 1);
             inner.buses[bus].post_lines(now + cpu_cost, 2 * dst.len.div_ceil(LINE));
             complete_at = done;
             let st = inner.stats.proc_mut(pid);
@@ -620,7 +642,12 @@ impl Machine {
 
     /// Total bytes moved over the memory bus(es) so far.
     pub fn bus_bytes(&self) -> u64 {
-        self.inner.lock().buses.iter().map(MemoryBus::total_bytes).sum()
+        self.inner
+            .lock()
+            .buses
+            .iter()
+            .map(MemoryBus::total_bytes)
+            .sum()
     }
 
     /// Verify the presence map matches cache contents (test helper; O(n)).
@@ -779,11 +806,7 @@ mod tests {
         // Receiver (core 4) has the destination cached from earlier use.
         m.access(4, 4, rd, AccessKind::Write, 0);
         assert!(m.l2_resident(4, rd) > 0);
-        let descs: Vec<_> = rs
-            .page_chunks()
-            .into_iter()
-            .zip(rd.page_chunks())
-            .collect();
+        let descs: Vec<_> = rs.page_chunks().into_iter().zip(rd.page_chunks()).collect();
         let sub = m.dma_submit_copy(4, 0, &descs);
         assert!(sub.cpu_cost > 0);
         assert!(sub.complete_at > sub.cpu_cost);

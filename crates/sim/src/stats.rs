@@ -6,10 +6,8 @@
 //! issued it. Syscall counts, DRAM traffic and I/OAT traffic are tracked
 //! too, so experiments can report cache-pollution effects precisely.
 
-use serde::Serialize;
-
 /// Per-process counter block.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ProcStats {
     /// Lines serviced by the L1.
     pub l1_hits: u64,
@@ -64,7 +62,7 @@ impl ProcStats {
 }
 
 /// A snapshot of all counters, taken with [`crate::machine::Machine::snapshot`].
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone)]
 pub struct StatsSnapshot {
     pub per_proc: Vec<ProcStats>,
 }

@@ -302,10 +302,7 @@ mod tests {
         // The whole socket shares the L3: no cache-less same-socket pair.
         assert_eq!(t.pair_for(Placement::SameSocketDifferentDie), None);
         // Clovertown has no L3 pair.
-        assert_eq!(
-            Topology::new(2, 4, 2).pair_for(Placement::SharedL3),
-            None
-        );
+        assert_eq!(Topology::new(2, 4, 2).pair_for(Placement::SharedL3), None);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 pub mod imb;
 pub mod imb_ext;
 pub mod nas;
-pub mod trace;
 pub(crate) mod nas_kernels;
+pub mod trace;
 
 pub use imb::{alltoall_bench, pingpong_bench, AlltoallResult, PingpongResult};
 pub use imb_ext::{suite_bench, SuiteBench, SuiteResult};

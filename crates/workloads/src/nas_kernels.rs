@@ -5,7 +5,7 @@ use nemesis_core::coll::ReduceOp;
 use nemesis_core::datatype::{bytes_of, load_raw, store_raw};
 use nemesis_core::Comm;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::nas::{NasClass, Scale};
 

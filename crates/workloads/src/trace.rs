@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use nemesis_core::{Nemesis, NemesisConfig, Request};
 use nemesis_kernel::Os;
@@ -120,13 +120,7 @@ impl Trace {
 
     /// Uniformly random pairs with log-uniform message sizes in
     /// `[min_len, max_len]`.
-    pub fn random(
-        nranks: usize,
-        nops: usize,
-        min_len: u64,
-        max_len: u64,
-        seed: u64,
-    ) -> Trace {
+    pub fn random(nranks: usize, nops: usize, min_len: u64, max_len: u64, seed: u64) -> Trace {
         assert!(nranks >= 2 && min_len >= 1 && min_len <= max_len);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ops = Vec::new();
@@ -264,7 +258,10 @@ mod tests {
     #[test]
     fn replay_random_mixed_sizes_all_lmts() {
         let t = Trace::random(4, 60, 128, 200_000, 42);
-        for lmt in [LmtSelect::ShmCopy, LmtSelect::Knem(nemesis_core::KnemSelect::Auto)] {
+        for lmt in [
+            LmtSelect::ShmCopy,
+            LmtSelect::Knem(nemesis_core::KnemSelect::Auto),
+        ] {
             let r = replay(
                 MachineConfig::xeon_e5345(),
                 NemesisConfig::with_lmt(lmt),

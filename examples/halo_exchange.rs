@@ -119,7 +119,10 @@ fn main() {
         ("default LMT", LmtSelect::ShmCopy),
         ("vmsplice LMT", LmtSelect::Vmsplice),
         ("KNEM LMT", LmtSelect::Knem(KnemSelect::SyncCpu)),
-        ("KNEM LMT with I/OAT (auto)", LmtSelect::Knem(KnemSelect::Auto)),
+        (
+            "KNEM LMT with I/OAT (auto)",
+            LmtSelect::Knem(KnemSelect::Auto),
+        ),
     ] {
         let (ms, misses) = run(lmt);
         println!("| {label} | {ms:.2} | {misses} |");

@@ -41,12 +41,26 @@ fn main() {
         let next = (me + 1) % comm.size();
         let prev = (me + comm.size() - 1) % comm.size();
         let rbuf = os.alloc(me, 1 << 20);
-        comm.sendrecv(next, 7, buf, 0, 1 << 20, Some(prev), Some(7), rbuf, 0, 1 << 20);
+        comm.sendrecv(
+            next,
+            7,
+            buf,
+            0,
+            1 << 20,
+            Some(prev),
+            Some(7),
+            rbuf,
+            0,
+            1 << 20,
+        );
 
         comm.barrier();
     });
 
-    println!("4 ranks finished in {:.1} virtual us", ps_to_us(report.makespan));
+    println!(
+        "4 ranks finished in {:.1} virtual us",
+        ps_to_us(report.makespan)
+    );
     let total = report.stats.total();
     println!(
         "hardware counters: {} L2 misses, {} syscalls, {} B DRAM traffic",

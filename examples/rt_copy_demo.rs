@@ -65,7 +65,10 @@ fn main() {
 
     println!("16 MiB transfer on this host, {REPS} reps each:");
     println!("  direct single copy : {:8.0} MiB/s", mibs(SIZE, direct));
-    println!("  double-buffer ring : {:8.0} MiB/s (two copies, pipelined)", mibs(SIZE, doublebuf));
+    println!(
+        "  double-buffer ring : {:8.0} MiB/s (two copies, pipelined)",
+        mibs(SIZE, doublebuf)
+    );
     println!(
         "  offload engine     : {:8.0} MiB/s (+{} overlap iterations on the submitting thread)",
         mibs(SIZE, offload),

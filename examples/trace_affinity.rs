@@ -22,7 +22,11 @@ fn main() {
     let adversarial: Vec<usize> = vec![0, 4, 1, 5, 2, 6, 3, 7]; // partners split across sockets
     let tuned = recommend_placement(&cfg, &traffic);
 
-    println!("trace: {} ops, {} MiB total payload", trace.ops.len(), trace.total_bytes() >> 20);
+    println!(
+        "trace: {} ops, {} MiB total payload",
+        trace.ops.len(),
+        trace.total_bytes() >> 20
+    );
     println!("advisor placement: {tuned:?}\n");
     println!("| placement | model cost | default LMT (ms) | KNEM auto (ms) |");
     println!("|---|---|---|---|");

@@ -15,13 +15,15 @@
 //!   synchronous / kernel-thread / I/OAT receive modes).
 //! * [`core`] — the Nemesis channel itself: eager cells (with
 //!   fragmentation and MPICH2-style unexpected-message buffering),
-//!   rendezvous with the four LMT backends the paper evaluates, the
-//!   `DMAmin` threshold policy and the §3.5 blended
+//!   rendezvous over the pluggable `core::lmt` backend layer (the four
+//!   paper backends behind the `LmtBackend` trait), the `DMAmin`
+//!   `ThresholdPolicy` and the §3.5 blended
 //!   [`core::LmtSelect::Dynamic`] selector, noncontiguous transfers, and
 //!   MPI-like point-to-point + collective operations.
 //! * [`rt`] — the same data structures on real threads and atomics
-//!   (lock-free MPSC queue, cell pool, copy engines, a mini runtime with
-//!   collectives), benchmarked with Criterion.
+//!   (lock-free MPSC queue, cell pool, copy engines behind the mirror
+//!   `RtLmtBackend` trait, a mini runtime with collectives),
+//!   benchmarked with Criterion.
 //! * [`workloads`] — IMB-style microbenchmarks, NAS proxy kernels, and
 //!   trace-driven replay.
 //!

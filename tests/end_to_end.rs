@@ -7,11 +7,7 @@ use nemesis::core::{Comm, KnemSelect, LmtSelect, Nemesis, NemesisConfig};
 use nemesis::kernel::Os;
 use nemesis::sim::{run_simulation, Machine, MachineConfig, SimReport};
 
-fn n_ranks(
-    n: usize,
-    cfg: NemesisConfig,
-    body: impl Fn(&Comm<'_>) + Send + Sync,
-) -> SimReport {
+fn n_ranks(n: usize, cfg: NemesisConfig, body: impl Fn(&Comm<'_>) + Send + Sync) -> SimReport {
     let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
     let os = Arc::new(Os::new(Arc::clone(&machine)));
     let nem = Nemesis::new(os, n, cfg);
@@ -109,7 +105,18 @@ fn mixed_traffic_8_ranks() {
             let prev = (me + n - 1) % n;
             for round in 0..3 {
                 let t = round * 10;
-                comm.sendrecv(next, t, small, 0, 1024, Some(prev), Some(t), rsmall, 0, 1024);
+                comm.sendrecv(
+                    next,
+                    t,
+                    small,
+                    0,
+                    1024,
+                    Some(prev),
+                    Some(t),
+                    rsmall,
+                    0,
+                    1024,
+                );
                 comm.sendrecv(
                     next,
                     t + 1,

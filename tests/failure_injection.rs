@@ -161,9 +161,7 @@ fn degenerate_single_buffer_ring() {
                 comm.send(1, 0, buf, 0, 64 << 10);
             } else {
                 comm.recv(Some(0), Some(0), buf, 0, 64 << 10);
-                os.with_data(comm.proc(), buf, |d| {
-                    assert!(d.iter().all(|&x| x == i))
-                });
+                os.with_data(comm.proc(), buf, |d| assert!(d.iter().all(|&x| x == i)));
             }
         }
     });

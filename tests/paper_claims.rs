@@ -79,7 +79,11 @@ fn knem_close_to_default_with_shared_cache() {
 /// case, not like the shared-cache case.
 #[test]
 fn different_dies_behave_like_different_sockets() {
-    let die = pp(LmtSelect::ShmCopy, Placement::SameSocketDifferentDie, 256 << 10);
+    let die = pp(
+        LmtSelect::ShmCopy,
+        Placement::SameSocketDifferentDie,
+        256 << 10,
+    );
     let sock = pp(LmtSelect::ShmCopy, Placement::DifferentSocket, 256 << 10);
     let shared = pp(LmtSelect::ShmCopy, Placement::SharedL2, 256 << 10);
     assert!(
@@ -143,10 +147,7 @@ fn async_kthread_slower_async_ioat_fine() {
         Placement::DifferentSocket,
         1 << 20,
     );
-    assert!(
-        async_ioat > 0.95 * sync_ioat,
-        "{async_ioat} vs {sync_ioat}"
-    );
+    assert!(async_ioat > 0.95 * sync_ioat, "{async_ioat} vs {sync_ioat}");
 }
 
 /// §4.4 / Figure 7: in an 8-process Alltoall, KNEM dramatically
@@ -164,7 +165,10 @@ fn alltoall_knem_wins_medium_ioat_early() {
 
     let def = alltoall_bench(m(), cfg_def, 8, 32 << 10, 3, 1).agg_throughput_mib_s;
     let knem = alltoall_bench(m(), cfg_knem.clone(), 8, 32 << 10, 3, 1).agg_throughput_mib_s;
-    assert!(knem > 3.0 * def, "medium alltoall: knem {knem} vs default {def}");
+    assert!(
+        knem > 3.0 * def,
+        "medium alltoall: knem {knem} vs default {def}"
+    );
 
     // I/OAT already wins at 512 KiB in the collective (vs ~1-2 MiB in
     // PingPong).
@@ -189,10 +193,7 @@ fn nas_is_gains_ep_does_not() {
     };
     let is_def = t(NasKernel::Is8, LmtSelect::ShmCopy);
     let is_ioat = t(NasKernel::Is8, LmtSelect::Knem(KnemSelect::AsyncIoat));
-    assert!(
-        is_ioat < is_def,
-        "IS must speed up: {is_ioat} vs {is_def}"
-    );
+    assert!(is_ioat < is_def, "IS must speed up: {is_ioat} vs {is_def}");
     let ep_def = t(NasKernel::Ep4, LmtSelect::ShmCopy);
     let ep_ioat = t(NasKernel::Ep4, LmtSelect::Knem(KnemSelect::AsyncIoat));
     let drift = (ep_def as f64 - ep_ioat as f64).abs() / ep_def as f64;

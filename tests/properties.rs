@@ -1,18 +1,22 @@
-//! Property-based tests (proptest) on core invariants: message
-//! integrity under random sizes/offsets/tags for every LMT, alltoallv
-//! permutation correctness, cache-model conservation laws, and
-//! real-thread queue FIFO.
+//! Randomized property tests on core invariants: message integrity
+//! under random sizes/offsets/tags for every LMT, alltoallv permutation
+//! correctness, cache-model conservation laws, and real-thread queue
+//! FIFO. Cases are drawn from a seeded generator, so every run covers
+//! the same (reproducible) sample of the input space.
 
 #![allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use nemesis::core::{Comm, KnemSelect, LmtSelect, Nemesis, NemesisConfig, VectorLayout};
 use nemesis::kernel::Os;
 use nemesis::rt::queue::nem_queue;
 use nemesis::sim::{run_simulation, AccessKind, Machine, MachineConfig, PhysRange};
+
+const CASES: usize = 24;
 
 fn two_ranks(cfg: NemesisConfig, body: impl Fn(&Comm<'_>) + Send + Sync) {
     let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
@@ -21,30 +25,26 @@ fn two_ranks(cfg: NemesisConfig, body: impl Fn(&Comm<'_>) + Send + Sync) {
     run_simulation(machine, &[0, 4], |p| body(&nem.attach(p)));
 }
 
-fn lmt_strategy() -> impl Strategy<Value = LmtSelect> {
-    prop_oneof![
-        Just(LmtSelect::ShmCopy),
-        Just(LmtSelect::PipeWritev),
-        Just(LmtSelect::Vmsplice),
-        Just(LmtSelect::Knem(KnemSelect::SyncCpu)),
-        Just(LmtSelect::Knem(KnemSelect::AsyncKthread)),
-        Just(LmtSelect::Knem(KnemSelect::AsyncIoat)),
-        Just(LmtSelect::Knem(KnemSelect::Auto)),
-    ]
-}
+const ALL_LMTS: [LmtSelect; 7] = [
+    LmtSelect::ShmCopy,
+    LmtSelect::PipeWritev,
+    LmtSelect::Vmsplice,
+    LmtSelect::Knem(KnemSelect::SyncCpu),
+    LmtSelect::Knem(KnemSelect::AsyncKthread),
+    LmtSelect::Knem(KnemSelect::AsyncIoat),
+    LmtSelect::Knem(KnemSelect::Auto),
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any message of any size through any LMT arrives byte-exact, even
-    /// at unaligned offsets.
-    #[test]
-    fn any_lmt_any_size_roundtrip(
-        lmt in lmt_strategy(),
-        len in 1u64..300_000,
-        off in 0u64..128,
-        seed in any::<u8>(),
-    ) {
+/// Any message of any size through any LMT arrives byte-exact, even at
+/// unaligned offsets.
+#[test]
+fn any_lmt_any_size_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x00a1_11a7);
+    for case in 0..CASES {
+        let lmt = ALL_LMTS[rng.random_range(0..ALL_LMTS.len())];
+        let len = rng.random_range(1u64..300_000);
+        let off = rng.random_range(0u64..128);
+        let seed: u8 = rng.random();
         two_ranks(NemesisConfig::with_lmt(lmt), |comm| {
             let os = comm.os();
             let me = comm.rank();
@@ -60,22 +60,29 @@ proptest! {
                 comm.recv(Some(0), Some(3), buf, off, len);
                 os.with_data(comm.proc(), buf, |d| {
                     for i in 0..len as usize {
-                        let expect =
-                            ((off as usize + i) as u8).wrapping_mul(17).wrapping_add(seed);
-                        assert_eq!(d[off as usize + i], expect, "byte {i}");
+                        let expect = ((off as usize + i) as u8)
+                            .wrapping_mul(17)
+                            .wrapping_add(seed);
+                        assert_eq!(d[off as usize + i], expect, "case {case}: byte {i}");
                     }
                 });
             }
         });
     }
+}
 
-    /// Random-size alltoallv delivers every block to the right rank with
-    /// the right content (a permutation-correctness property).
-    #[test]
-    fn alltoallv_random_counts(
-        counts in proptest::collection::vec(0u64..40_000, 16),
-        lmt in prop_oneof![Just(LmtSelect::ShmCopy), Just(LmtSelect::Knem(KnemSelect::Auto))],
-    ) {
+/// Random-size alltoallv delivers every block to the right rank with
+/// the right content (a permutation-correctness property).
+#[test]
+fn alltoallv_random_counts() {
+    let mut rng = StdRng::seed_from_u64(0xa270a11);
+    for _case in 0..CASES {
+        let counts: Vec<u64> = (0..16).map(|_| rng.random_range(0u64..40_000)).collect();
+        let lmt = if rng.random() {
+            LmtSelect::ShmCopy
+        } else {
+            LmtSelect::Knem(KnemSelect::Auto)
+        };
         // counts[i*4+j] = bytes rank i sends rank j.
         let counts = Arc::new(counts);
         let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
@@ -129,14 +136,16 @@ proptest! {
             });
         });
     }
+}
 
-    /// Cache-model conservation: hits + misses at L1 equals total
-    /// accesses, and L2 traffic equals L1 misses.
-    #[test]
-    fn cache_counter_conservation(
-        len in 64u64..100_000,
-        reps in 1usize..4,
-    ) {
+/// Cache-model conservation: hits + misses at L1 equals total accesses,
+/// and L2 traffic equals L1 misses.
+#[test]
+fn cache_counter_conservation() {
+    let mut rng = StdRng::seed_from_u64(0xcac4e);
+    for _case in 0..CASES {
+        let len = rng.random_range(64u64..100_000);
+        let reps = rng.random_range(1usize..4);
         let m = Machine::new(MachineConfig::xeon_e5345());
         let base = m.alloc_phys(len);
         for _ in 0..reps {
@@ -144,15 +153,21 @@ proptest! {
             m.access(0, 0, PhysRange::new(base, len), AccessKind::Write, 0);
         }
         let s = m.snapshot().per_proc[0];
-        prop_assert_eq!(s.l1_hits + s.l1_misses, s.accesses());
-        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses);
+        assert_eq!(s.l1_hits + s.l1_misses, s.accesses());
+        assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses);
         m.check_presence_invariant();
     }
+}
 
-    /// The real-thread MPSC queue is FIFO for any interleaving of
-    /// enqueues from one producer.
-    #[test]
-    fn rt_queue_fifo(values in proptest::collection::vec(any::<u32>(), 0..200)) {
+/// The real-thread MPSC queue is FIFO for any interleaving of enqueues
+/// from one producer.
+#[test]
+fn rt_queue_fifo() {
+    let mut rng = StdRng::seed_from_u64(0xf1f0);
+    for _case in 0..CASES {
+        let values: Vec<u32> = (0..rng.random_range(0usize..200))
+            .map(|_| rng.random())
+            .collect();
         let (tx, mut rx) = nem_queue();
         for &v in &values {
             tx.enqueue(v);
@@ -161,19 +176,21 @@ proptest! {
         while let Some(v) = rx.dequeue() {
             out.push(v);
         }
-        prop_assert_eq!(out, values);
+        assert_eq!(out, values);
     }
+}
 
-    /// Fragmented eager streaming: any message size against any tiny
-    /// cell pool arrives byte-exact (the pool-smaller-than-message
-    /// regime the flow control must survive).
-    #[test]
-    fn fragmented_eager_any_pool(
-        len in 1u64..60_000,
-        cell_payload in prop_oneof![Just(256u64), Just(1024), Just(4096)],
-        cells in 1usize..5,
-        seed in any::<u8>(),
-    ) {
+/// Fragmented eager streaming: any message size against any tiny cell
+/// pool arrives byte-exact (the pool-smaller-than-message regime the
+/// flow control must survive).
+#[test]
+fn fragmented_eager_any_pool() {
+    let mut rng = StdRng::seed_from_u64(0xf7a6);
+    for _case in 0..CASES {
+        let len = rng.random_range(1u64..60_000);
+        let cell_payload = [256u64, 1024, 4096][rng.random_range(0..3usize)];
+        let cells = rng.random_range(1usize..5);
+        let seed: u8 = rng.random();
         let mut cfg = NemesisConfig::default();
         cfg.eager_max = 64 << 10;
         cfg.cell_payload = cell_payload;
@@ -199,22 +216,24 @@ proptest! {
             }
         });
     }
+}
 
-    /// Vectored transfers: any strided source layout to any strided
-    /// destination layout of the same total, through eager and
-    /// rendezvous, arrives block-exact.
-    #[test]
-    fn vectored_any_layout_roundtrip(
-        block in 64u64..4096,
-        count in 1u64..24,
-        sgap in 0u64..512,
-        rgap in 0u64..512,
-        lmt in prop_oneof![
-            Just(LmtSelect::ShmCopy),
-            Just(LmtSelect::Vmsplice),
-            Just(LmtSelect::Knem(KnemSelect::SyncCpu)),
-        ],
-    ) {
+/// Vectored transfers: any strided source layout to any strided
+/// destination layout of the same total, through eager and rendezvous,
+/// arrives block-exact.
+#[test]
+fn vectored_any_layout_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x7ec7);
+    for _case in 0..CASES {
+        let block = rng.random_range(64u64..4096);
+        let count = rng.random_range(1u64..24);
+        let sgap = rng.random_range(0u64..512);
+        let rgap = rng.random_range(0u64..512);
+        let lmt = [
+            LmtSelect::ShmCopy,
+            LmtSelect::Vmsplice,
+            LmtSelect::Knem(KnemSelect::SyncCpu),
+        ][rng.random_range(0..3usize)];
         let s_layout = VectorLayout::strided(0, block, block + sgap, count);
         let r_layout = VectorLayout::strided(32, block, block + rgap, count);
         two_ranks(NemesisConfig::with_lmt(lmt), |comm| {
