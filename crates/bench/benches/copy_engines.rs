@@ -15,6 +15,8 @@ fn copy_strategies(c: &mut Criterion) {
             let mut dst = vec![0u8; size];
             b.iter(|| direct_copy(&src, &mut dst));
         });
+        // Adaptive chunk schedule (default) vs the seed's fixed 32 KiB
+        // chunks — the before/after comparison for the pipelining change.
         g.bench_with_input(BenchmarkId::new("double_buffer", size), &size, |b, _| {
             let pipe = Arc::new(DoubleBufferPipe::new(32 << 10, 2));
             let mut dst = vec![0u8; size];
@@ -27,6 +29,22 @@ fn copy_strategies(c: &mut Criterion) {
                 });
             });
         });
+        g.bench_with_input(
+            BenchmarkId::new("double_buffer_fixed_chunk", size),
+            &size,
+            |b, _| {
+                let pipe = Arc::new(DoubleBufferPipe::with_start_chunk(32 << 10, 2, 32 << 10));
+                let mut dst = vec![0u8; size];
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        let p2 = Arc::clone(&pipe);
+                        let src_ref = &src;
+                        s.spawn(move || p2.send(src_ref));
+                        pipe.recv(&mut dst);
+                    });
+                });
+            },
+        );
         g.bench_with_input(BenchmarkId::new("offload", size), &size, |b, _| {
             let eng = OffloadEngine::start();
             let mut dst = vec![0u8; size];

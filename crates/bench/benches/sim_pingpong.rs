@@ -29,6 +29,23 @@ fn sim_pingpong(c: &mut Criterion) {
             });
         });
     }
+    // Before/after for the adaptive pipeliner on the simulated ring:
+    // `lmt_chunk_start >= ring_chunk` reproduces the seed's fixed-size
+    // chunking.
+    g.bench_function("default_fixed_chunk", |b| {
+        b.iter(|| {
+            let mut cfg = NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+            cfg.lmt_chunk_start = cfg.ring_chunk;
+            pingpong_bench(
+                MachineConfig::xeon_e5345(),
+                cfg,
+                Placement::DifferentSocket,
+                256 << 10,
+                3,
+                1,
+            )
+        });
+    });
     g.finish();
 }
 

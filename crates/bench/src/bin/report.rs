@@ -1,0 +1,250 @@
+//! Machine-readable perf baseline: runs the queue, bandwidth, and
+//! simulated-cache experiments and writes a `BENCH_*.json` the perf
+//! trajectory can be tracked against across PRs.
+//!
+//! ```text
+//! report [--out PATH] [--quick]
+//! ```
+//!
+//! * `--out PATH` — where to write the JSON (default `BENCH_2.json`).
+//! * `--quick` — CI smoke mode: tiny repetition counts, same shape.
+//!
+//! Sections:
+//! * `queue_msg_rate` — enqueue+dequeue message rates of the pooled
+//!   MPSC queue: uncontended roundtrips, 4-producer contention, and the
+//!   batched consumer drain.
+//! * `rt_bandwidth_mib_s` — real-thread pingpong bandwidth at 64 B
+//!   (inline packet path), 4 KiB (pooled-cell eager path) and 1 MiB
+//!   (rendezvous) through every `RtLmtBackend`.
+//! * `sim_pingpong_256KiB` — simulated 256 KiB pingpong per LMT
+//!   backend: virtual-time throughput and the simulated L2-miss
+//!   counters (the paper's Table 2 metric).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use nemesis_core::{KnemSelect, LmtSelect, NemesisConfig};
+use nemesis_rt::{run_rt, RtLmt, ALL_RT_LMTS};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+use nemesis_workloads::imb::pingpong_bench;
+use parking_lot::Mutex;
+
+struct Cfg {
+    queue_msgs: u64,
+    pp_reps_small: usize,
+    pp_reps_large: usize,
+    sim_reps: u32,
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\\\""))
+}
+
+/// Uncontended single-producer roundtrip rate (msgs/s).
+fn queue_spsc(msgs: u64) -> f64 {
+    let (tx, mut rx) = nemesis_rt::queue::nem_queue::<u64>();
+    let t = Instant::now();
+    for i in 0..msgs {
+        tx.enqueue(i);
+        std::hint::black_box(rx.dequeue().unwrap());
+    }
+    msgs as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Uncontended rate with the batched consumer (64-message bursts).
+fn queue_spsc_batch(msgs: u64) -> f64 {
+    let (tx, mut rx) = nemesis_rt::queue::nem_queue::<u64>();
+    let t = Instant::now();
+    let mut done = 0u64;
+    while done < msgs {
+        let burst = 64.min(msgs - done);
+        for i in 0..burst {
+            tx.enqueue(i);
+        }
+        let mut sum = 0u64;
+        rx.dequeue_batch(burst as usize, |v| sum = sum.wrapping_add(v));
+        std::hint::black_box(sum);
+        done += burst;
+    }
+    msgs as f64 / t.elapsed().as_secs_f64()
+}
+
+/// 4-producer contended throughput (msgs/s), batched consumer.
+fn queue_mpsc4(msgs: u64) -> f64 {
+    let (tx, mut rx) = nemesis_rt::queue::nem_queue::<u64>();
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            let per = msgs / 4;
+            s.spawn(move || {
+                for i in 0..per {
+                    tx.enqueue(p << 32 | i);
+                }
+            });
+        }
+        let mut seen = 0u64;
+        while seen < (msgs / 4) * 4 {
+            let n = rx.dequeue_batch(32, |v| {
+                std::hint::black_box(v);
+            });
+            seen += n as u64;
+            if n == 0 {
+                std::hint::spin_loop();
+            }
+        }
+    });
+    msgs as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Real-thread pingpong bandwidth (MiB/s) for one backend and size.
+fn rt_bandwidth(lmt: RtLmt, size: usize, reps: usize) -> f64 {
+    let result = Mutex::new(0f64);
+    run_rt(2, lmt, |comm| {
+        let data = vec![7u8; size];
+        let mut buf = vec![0u8; size];
+        if comm.rank() == 0 {
+            // Warmup.
+            comm.send(1, 0, &data);
+            comm.recv(Some(1), Some(0), &mut buf);
+            let t = Instant::now();
+            for _ in 0..reps {
+                comm.send(1, 1, &data);
+                comm.recv(Some(1), Some(1), &mut buf);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            let bytes = (2 * reps * size) as f64;
+            *result.lock() = bytes / (1 << 20) as f64 / secs;
+        } else {
+            comm.recv(Some(0), Some(0), &mut buf);
+            comm.send(0, 0, &data);
+            for _ in 0..reps {
+                comm.recv(Some(0), Some(1), &mut buf);
+                comm.send(0, 1, &data);
+            }
+        }
+    });
+    let bw = *result.lock();
+    bw
+}
+
+fn rt_lmt_key(lmt: RtLmt) -> &'static str {
+    match lmt {
+        RtLmt::DoubleBuffer => "double-buffer",
+        RtLmt::Direct => "direct",
+        RtLmt::Offload => "offload-engine",
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_2.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--quick" => quick = true,
+            other => panic!("unknown argument {other:?} (expected --out/--quick)"),
+        }
+    }
+    let cfg = if quick {
+        Cfg {
+            queue_msgs: 200_000,
+            pp_reps_small: 500,
+            pp_reps_large: 20,
+            sim_reps: 2,
+        }
+    } else {
+        Cfg {
+            queue_msgs: 2_000_000,
+            pp_reps_small: 20_000,
+            pp_reps_large: 200,
+            sim_reps: 4,
+        }
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"issue\": 2,");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+
+    // --- queue message rates -------------------------------------------------
+    eprintln!("[report] queue message rates ({} msgs)…", cfg.queue_msgs);
+    let spsc = queue_spsc(cfg.queue_msgs);
+    let spsc_batch = queue_spsc_batch(cfg.queue_msgs);
+    let mpsc4 = queue_mpsc4(cfg.queue_msgs);
+    let _ = writeln!(json, "  \"queue_msg_rate\": {{");
+    let _ = writeln!(json, "    \"spsc_msgs_per_s\": {spsc:.0},");
+    let _ = writeln!(
+        json,
+        "    \"spsc_batch_drain_msgs_per_s\": {spsc_batch:.0},"
+    );
+    let _ = writeln!(json, "    \"mpsc4_msgs_per_s\": {mpsc4:.0}");
+    let _ = writeln!(json, "  }},");
+
+    // --- real-thread bandwidth ----------------------------------------------
+    let sizes: [(&str, usize, bool); 3] = [
+        ("64B", 64, true),
+        ("4KiB", 4 << 10, true),
+        ("1MiB", 1 << 20, false),
+    ];
+    let _ = writeln!(json, "  \"rt_bandwidth_mib_s\": {{");
+    for (bi, lmt) in ALL_RT_LMTS.iter().enumerate() {
+        eprintln!("[report] rt bandwidth via {:?}…", lmt);
+        let _ = writeln!(json, "    {}: {{", quote(rt_lmt_key(*lmt)));
+        // The chunk ceiling this backend's adaptive schedule grows to —
+        // context for reading the bandwidth numbers across PRs.
+        let preferred = nemesis_rt::backend_for(*lmt, 2).preferred_chunk();
+        let _ = writeln!(json, "      \"preferred_chunk_bytes\": {preferred},");
+        for (si, (label, size, small)) in sizes.iter().enumerate() {
+            let reps = if *small {
+                cfg.pp_reps_small
+            } else {
+                cfg.pp_reps_large
+            };
+            let bw = rt_bandwidth(*lmt, *size, reps);
+            let comma = if si + 1 < sizes.len() { "," } else { "" };
+            let _ = writeln!(json, "      {}: {bw:.1}{comma}", quote(label));
+        }
+        let comma = if bi + 1 < ALL_RT_LMTS.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+
+    // --- simulated pingpong: throughput + L2 misses --------------------------
+    let sim_lmts: [(&str, LmtSelect); 4] = [
+        ("default LMT", LmtSelect::ShmCopy),
+        ("vmsplice LMT", LmtSelect::Vmsplice),
+        ("KNEM LMT", LmtSelect::Knem(KnemSelect::SyncCpu)),
+        (
+            "KNEM LMT with I/OAT",
+            LmtSelect::Knem(KnemSelect::AsyncIoat),
+        ),
+    ];
+    let _ = writeln!(json, "  \"sim_pingpong_256KiB\": {{");
+    for (i, (label, lmt)) in sim_lmts.iter().enumerate() {
+        eprintln!("[report] sim pingpong via {label}…");
+        let r = pingpong_bench(
+            MachineConfig::xeon_e5345(),
+            NemesisConfig::with_lmt(*lmt),
+            Placement::DifferentSocket,
+            256 << 10,
+            cfg.sim_reps,
+            1,
+        );
+        let comma = if i + 1 < sim_lmts.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {}: {{ \"throughput_mib_s\": {:.1}, \"l2_misses_per_rep\": {} }}{comma}",
+            quote(label),
+            r.throughput_mib_s,
+            r.l2_misses_per_rep
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("[report] wrote {out_path}");
+}

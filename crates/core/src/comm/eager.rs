@@ -5,23 +5,80 @@
 
 use nemesis_kernel::BufId;
 
-use crate::shm::{Envelope, PktKind};
+use crate::shm::{Envelope, PktKind, ShmState};
 
 use super::state::segs_slice;
 use super::{Comm, WATCHDOG_PS};
 
 impl Comm<'_> {
+    /// Spin the progress loop (watchdog-guarded) until `take` claims
+    /// cells from the shared state — the one cell-acquisition wait every
+    /// eager path shares.
+    fn await_cells<R>(&self, mut take: impl FnMut(&mut ShmState) -> Option<R>) -> R {
+        let start = self.p.now();
+        loop {
+            {
+                let mut sh = self.nem.sh.lock();
+                if let Some(r) = take(&mut sh) {
+                    return r;
+                }
+            }
+            self.progress();
+            self.p.poll_tick();
+            assert!(
+                self.p.now() - start < WATCHDOG_PS,
+                "rank {} starved of eager cells",
+                self.rank()
+            );
+        }
+    }
     /// Eager send of the source segments (one contiguous run, or a
     /// layout's blocks): copy into pooled cells (first copy of the two)
     /// and enqueue the envelope.
     pub(super) fn eager_send(&self, dst: usize, tag: i32, src: &[(BufId, u64, u64)], len: u64) {
         let cfg = &self.nem.cfg;
+        // Fused fast path: a contiguous payload fitting one cell skips
+        // all segment bookkeeping — one cell acquire, one straight-line
+        // pack-into-cell copy, done. This is the msg-rate hot path (the
+        // common small contiguous message), so it must not build
+        // per-message segment lists.
+        if let [(sbuf, soff, slen)] = *src {
+            if slen == len && len > 0 && len <= cfg.cell_payload {
+                return self.eager_send_fused(dst, tag, sbuf, soff, len);
+            }
+        }
         let ncells = len.div_ceil(cfg.cell_payload) as usize;
         if ncells <= cfg.cells_per_proc {
             self.eager_send_single(dst, tag, src, len, ncells);
         } else {
             self.eager_send_fragmented(dst, tag, src, len);
         }
+    }
+
+    /// The fused single-cell path: acquire exactly one cell and pack the
+    /// contiguous payload into it with a single copy.
+    fn eager_send_fused(&self, dst: usize, tag: i32, sbuf: BufId, soff: u64, len: u64) {
+        let me = self.rank();
+        let cell = self.await_cells(|sh| sh.free_cells[me].pop());
+        self.nem.os.user_copy(
+            self.p,
+            sbuf,
+            soff,
+            self.nem.seg.cell_pool[me],
+            self.nem.seg.cell_off(cell),
+            len,
+        );
+        self.enqueue(
+            dst,
+            Envelope {
+                src: me,
+                tag,
+                kind: PktKind::Eager {
+                    len,
+                    cells: vec![(me, cell, len)],
+                },
+            },
+        );
     }
 
     fn eager_send_single(
@@ -35,24 +92,15 @@ impl Comm<'_> {
         let cfg = &self.nem.cfg;
         // Acquire cells from our own pool (§2: sender-owned cells).
         let me = self.rank();
-        let cells: Vec<usize> = {
-            let start = self.p.now();
-            loop {
-                {
-                    let mut sh = self.nem.sh.lock();
-                    if sh.free_cells[me].len() >= ncells {
-                        let at = sh.free_cells[me].len() - ncells;
-                        break sh.free_cells[me].split_off(at);
-                    }
-                }
-                self.progress();
-                self.p.poll_tick();
-                assert!(
-                    self.p.now() - start < WATCHDOG_PS,
-                    "rank {me} starved of eager cells"
-                );
+        let cells: Vec<usize> = self.await_cells(|sh| {
+            let free = &mut sh.free_cells[me];
+            if free.len() >= ncells {
+                let at = free.len() - ncells;
+                Some(free.split_off(at))
+            } else {
+                None
             }
-        };
+        });
         let mut chunks = Vec::with_capacity(ncells);
         let mut remaining = len;
         let cell_segs: Vec<(BufId, u64, u64)> = cells
@@ -84,26 +132,16 @@ impl Comm<'_> {
         let me = self.rank();
         let msg_id = self.next_msg_id();
         let mut sent = 0u64;
-        let start = self.p.now();
         while sent < len {
-            let cells: Vec<usize> = loop {
-                {
-                    let mut sh = self.nem.sh.lock();
-                    let free = &mut sh.free_cells[me];
-                    if !free.is_empty() {
-                        let need =
-                            ((len - sent).div_ceil(cfg.cell_payload) as usize).min(free.len());
-                        let at = free.len() - need;
-                        break free.split_off(at);
-                    }
+            let cells: Vec<usize> = self.await_cells(|sh| {
+                let free = &mut sh.free_cells[me];
+                if free.is_empty() {
+                    return None;
                 }
-                self.progress();
-                self.p.poll_tick();
-                assert!(
-                    self.p.now() - start < WATCHDOG_PS,
-                    "rank {me} starved of eager cells"
-                );
-            };
+                let need = ((len - sent).div_ceil(cfg.cell_payload) as usize).min(free.len());
+                let at = free.len() - need;
+                Some(free.split_off(at))
+            });
             let mut chunks = Vec::with_capacity(cells.len());
             let mut batch = 0u64;
             let cell_segs: Vec<(BufId, u64, u64)> = cells

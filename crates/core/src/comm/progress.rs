@@ -14,10 +14,16 @@ impl Comm<'_> {
     pub fn progress(&self) -> bool {
         let me = self.rank();
         let mut did = false;
-        // 1. Drain the receive queue.
+        // 1. Drain the receive queue — at most `progress_batch`
+        // envelopes per poll, paying one control-line update for the
+        // whole batch (`charge_dequeue`). Bounding the batch keeps each
+        // pass fair to the transfer-stepping phases below; whatever
+        // remains is picked up on the next poll.
         let envs: Vec<Envelope> = {
             let mut sh = self.nem.sh.lock();
-            sh.queues[me].drain(..).collect()
+            let q = &mut sh.queues[me];
+            let n = q.len().min(self.nem.cfg.progress_batch.max(1));
+            q.drain(..n).collect()
         };
         self.nem.seg.charge_queue_poll(self.p, &self.nem.os);
         if !envs.is_empty() {

@@ -95,13 +95,31 @@ pub struct NemesisConfig {
     pub cell_payload: u64,
     /// Eager cells per process.
     pub cells_per_proc: usize,
-    /// Copy-buffer ("ring") chunk size for the shared-memory LMT.
+    /// Copy-buffer ("ring") chunk size for the shared-memory LMT — the
+    /// slot capacity, and therefore the ceiling of the adaptive chunk
+    /// schedule on that wire.
     pub ring_chunk: u64,
     /// Number of copy buffers per pair — 2 is the double-buffering the
     /// paper describes (§2).
     pub ring_bufs: usize,
+    /// First chunk size of the adaptive LMT pipeliner: transfers start
+    /// with chunks this small (fast time-to-first-byte, §2's
+    /// chunk-against-chunk overlap kicks in immediately) and double
+    /// toward the backend's `preferred_chunk` sweet spot.
+    pub lmt_chunk_start: u64,
     /// Receive-queue depth (envelopes) per process.
     pub queue_slots: usize,
+    /// Envelopes the progress loop drains per queue poll. Batching
+    /// amortises the control-line (head pointer) update: one charge per
+    /// batch instead of one per envelope.
+    pub progress_batch: usize,
+    /// Spin cap for busy-wait backoff loops: up to `2^backoff_spin_cap`
+    /// busy iterations per step before a waiter starts yielding. The
+    /// simulated stack polls in virtual time and does not spin, but the
+    /// real-thread mirror does — the `nemesis` facade crate bridges this
+    /// field into `nemesis_rt::RtConfig::spin_limit` so both stacks tune
+    /// from one configuration.
+    pub backoff_spin_cap: u32,
     /// §6 future-work extension: when the collective layer announces that
     /// many large transfers will occur concurrently, divide `DMAmin` by
     /// the announced concurrency (Alltoall makes I/OAT profitable near
@@ -127,9 +145,12 @@ impl Default for NemesisConfig {
             dma_min_override: None,
             cell_payload: 16 << 10,
             cells_per_proc: 32,
-            ring_chunk: 32 << 10,
+            ring_chunk: crate::lmt::shm_copy::RING_PREFERRED,
             ring_bufs: 2,
+            lmt_chunk_start: 4 << 10,
             queue_slots: 512,
+            progress_batch: 32,
+            backoff_spin_cap: 6,
             collective_hint: false,
             knem_available: true,
             vmsplice_available: true,

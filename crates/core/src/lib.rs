@@ -60,5 +60,5 @@ pub mod vector;
 
 pub use comm::{Comm, MessageInfo, Nemesis, Request, ANY_SOURCE, ANY_TAG};
 pub use config::{KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
-pub use lmt::{LmtBackend, ThresholdPolicy};
+pub use lmt::{ChunkPipeline, LmtBackend, ThresholdPolicy};
 pub use vector::VectorLayout;

@@ -31,6 +31,14 @@ impl LmtBackend for KnemBackend {
         true
     }
 
+    fn preferred_chunk(&self) -> u64 {
+        // The receive ioctl moves the whole (possibly vectorial) region
+        // in one kernel pass — no user-space chunking to pipeline, so
+        // the sweet spot is simply "as much as you have" up to the
+        // pinning granularity the module works in.
+        1 << 20
+    }
+
     fn start_send(
         &self,
         comm: &Comm<'_>,

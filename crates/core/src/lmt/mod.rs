@@ -103,6 +103,16 @@ pub trait LmtBackend: Sync {
     /// The paper-legend label (matches [`LmtSelect::label`]).
     fn name(&self) -> &'static str;
 
+    /// The backend's steady-state sweet-spot chunk size in bytes: the
+    /// ceiling the adaptive [`ChunkPipeline`] grows toward. Streaming
+    /// wires report their natural granule (ring slot, pipe ring);
+    /// single-shot wires (KNEM) report the granularity they prefer to
+    /// be driven at. Ops additionally clamp to configured resource
+    /// sizes (e.g. `ring_chunk`).
+    fn preferred_chunk(&self) -> u64 {
+        32 << 10
+    }
+
     /// Whether the backend consumes scatter/gather lists natively
     /// (single-copy strided transfers, §5). Scatter-blind backends get
     /// payloads packed into a contiguous staging window instead.
@@ -174,22 +184,90 @@ pub const ALL_SELECTS: [LmtSelect; 8] = [
     LmtSelect::Knem(KnemSelect::Auto),
 ];
 
-/// The chunked-pipelining loop every streaming backend shares (§2: "one
-/// thereby partially hiding the cost of the other"): repeatedly ask the
-/// wire to move one bounded chunk starting at `*done`, until the
-/// transfer finishes or the wire backs up. `xfer` returns the bytes it
-/// moved (0 = blocked). Returns whether any progress was made.
-pub(crate) fn drive_chunks(done: &mut u64, total: u64, mut xfer: impl FnMut(u64) -> u64) -> bool {
-    let mut did = false;
-    while *done < total {
-        let n = xfer(*done);
-        if n == 0 {
-            break;
+/// The adaptive chunk-pipelining engine every streaming backend shares
+/// (§2: "one thereby partially hiding the cost of the other").
+///
+/// The seed drove every wire at one fixed chunk size — good for
+/// steady-state bandwidth, bad for time-to-first-byte (the peer idles
+/// until the first whole chunk lands). The pipeline instead starts at a
+/// small `start` chunk and **doubles after every fully-consumed chunk**
+/// up to the backend's sweet spot `max` (its
+/// [`preferred_chunk`](LmtBackend::preferred_chunk), clamped by the op
+/// to configured resource sizes): latency-bound transfers finish before
+/// ever reaching the big chunks, bandwidth-bound ones spend almost all
+/// bytes at the sweet spot. A partial transfer (wire backpressure)
+/// does not grow the chunk — the wire is telling us it cannot absorb
+/// the current size yet.
+///
+/// `drive` repeatedly asks the wire to move one bounded chunk:
+/// `xfer(offset, budget)` returns the bytes it moved (0 = blocked;
+/// slot-granular wires may exceed `budget` when draining a slot the
+/// peer already filled, but never the sweet spot). Every call is
+/// bounded, so the progress loop's fairness is preserved. Returns
+/// whether any progress was made.
+pub struct ChunkPipeline {
+    done: u64,
+    chunk: u64,
+    max: u64,
+}
+
+impl ChunkPipeline {
+    /// A pipeline growing from `start` to `max` bytes per chunk.
+    pub fn new(start: u64, max: u64) -> Self {
+        let max = max.max(1);
+        Self {
+            done: 0,
+            chunk: start.clamp(1, max),
+            max,
         }
-        *done += n;
-        did = true;
     }
-    did
+
+    /// Bytes moved so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// The chunk size the next transfer step will request.
+    pub fn current_chunk(&self) -> u64 {
+        self.chunk
+    }
+
+    /// The growth ceiling (the backend's sweet spot).
+    pub fn max_chunk(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether the transfer of `total` bytes has completed.
+    pub fn is_complete(&self, total: u64) -> bool {
+        self.done >= total
+    }
+
+    /// Advance the transfer until `total` bytes moved or the wire backs
+    /// up (see the type docs). Returns whether any progress was made.
+    pub fn drive(&mut self, total: u64, mut xfer: impl FnMut(u64, u64) -> u64) -> bool {
+        let mut did = false;
+        while self.done < total {
+            let budget = self.chunk.min(total - self.done);
+            let n = xfer(self.done, budget);
+            if n == 0 {
+                break;
+            }
+            debug_assert!(
+                n <= self.max,
+                "wire moved {n} B, past the {} B preferred chunk",
+                self.max
+            );
+            self.done += n;
+            did = true;
+            // Grow only when the wire absorbed a full current-sized
+            // chunk; a remainder-limited tail or a partial write is no
+            // evidence the wire wants bigger chunks.
+            if n >= self.chunk && self.chunk < self.max {
+                self.chunk = (self.chunk * 2).min(self.max);
+            }
+        }
+        did
+    }
 }
 
 #[cfg(test)]
@@ -209,27 +287,57 @@ mod tests {
     }
 
     #[test]
-    fn drive_chunks_stops_when_blocked() {
-        let mut done = 0u64;
+    fn every_backend_reports_a_preferred_chunk() {
+        for sel in ALL_SELECTS {
+            assert!(backend_for(sel).preferred_chunk() > 0, "{sel:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_stops_when_blocked() {
+        let mut p = ChunkPipeline::new(10, 10);
         let mut budget = 3;
-        let did = drive_chunks(&mut done, 100, |_| {
+        let did = p.drive(100, |_, b| {
             if budget == 0 {
                 return 0;
             }
             budget -= 1;
-            10
+            b
         });
         assert!(did);
-        assert_eq!(done, 30, "stopped at the blocked wire, not at total");
-        assert!(!drive_chunks(&mut done, 30, |_| unreachable!(
-            "already complete"
-        )));
+        assert_eq!(p.done(), 30, "stopped at the blocked wire, not at total");
+        assert!(!p.drive(30, |_, _| unreachable!("already complete")));
+        assert!(p.is_complete(30));
     }
 
     #[test]
-    fn drive_chunks_runs_to_total() {
-        let mut done = 0u64;
-        assert!(drive_chunks(&mut done, 64, |at| (64 - at).min(24)));
-        assert_eq!(done, 64);
+    fn pipeline_grows_geometrically_to_the_sweet_spot() {
+        let mut p = ChunkPipeline::new(4, 32);
+        let mut budgets = Vec::new();
+        assert!(p.drive(200, |_, b| {
+            budgets.push(b);
+            b
+        }));
+        assert_eq!(p.done(), 200);
+        // 4 → 8 → 16 → 32 → 32 … then the remainder.
+        assert_eq!(budgets, vec![4, 8, 16, 32, 32, 32, 32, 32, 12]);
+        assert_eq!(p.current_chunk(), p.max_chunk());
+    }
+
+    #[test]
+    fn partial_transfers_do_not_grow_the_chunk() {
+        let mut p = ChunkPipeline::new(8, 64);
+        // The wire absorbs only 3 bytes per call: growth must stall.
+        assert!(p.drive(30, |_, _| 3));
+        assert_eq!(p.current_chunk(), 8);
+        assert_eq!(p.done(), 30);
+    }
+
+    #[test]
+    fn degenerate_starts_are_clamped() {
+        let p = ChunkPipeline::new(0, 16);
+        assert_eq!(p.current_chunk(), 1);
+        let p = ChunkPipeline::new(1 << 30, 16);
+        assert_eq!(p.current_chunk(), 16, "start clamps to the sweet spot");
     }
 }

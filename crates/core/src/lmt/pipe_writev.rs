@@ -14,7 +14,20 @@ use crate::comm::Comm;
 use crate::shm::LmtWire;
 use crate::vector::VectorLayout;
 
-use super::{drive_chunks, LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
+use super::{ChunkPipeline, LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
+
+/// The pipe wires' sweet spot: the kernel's 16-page pipe ring (§3.1).
+/// Writing more per call only blocks inside the syscall; writing much
+/// less pays per-call overhead on every page. Shared with the vmsplice
+/// backend — gifting pages instead of copying them does not change the
+/// ring size.
+pub(super) const PIPE_PREFERRED: u64 = 64 << 10;
+
+/// Build the pipeline for one side of a pipe transfer, growing toward
+/// the owning backend's reported sweet spot.
+fn pipe_pipeline(comm: &Comm<'_>, backend: &dyn LmtBackend) -> ChunkPipeline {
+    ChunkPipeline::new(comm.config().lmt_chunk_start, backend.preferred_chunk())
+}
 
 /// The `writev` pipe backend singleton.
 pub struct PipeWritevBackend;
@@ -24,24 +37,28 @@ impl LmtBackend for PipeWritevBackend {
         "vmsplice LMT using writev"
     }
 
+    fn preferred_chunk(&self) -> u64 {
+        PIPE_PREFERRED
+    }
+
     fn start_send(
         &self,
         comm: &Comm<'_>,
         t: &Transfer,
         _iovs: &[Iov],
     ) -> (LmtWire, Box<dyn LmtSendOp>) {
-        start_pipe_send(comm, t, false)
+        start_pipe_send(comm, self, t, false)
     }
 
     fn start_recv(
         &self,
-        _comm: &Comm<'_>,
+        comm: &Comm<'_>,
         _t: &Transfer,
         wire: &LmtWire,
         _layout: Option<&VectorLayout>,
         _concurrency: u32,
     ) -> Box<dyn LmtRecvOp> {
-        start_pipe_recv(wire)
+        start_pipe_recv(comm, self, wire)
     }
 }
 
@@ -49,6 +66,7 @@ impl LmtBackend for PipeWritevBackend {
 /// return its wire descriptor plus the send op.
 pub(super) fn start_pipe_send(
     comm: &Comm<'_>,
+    backend: &dyn LmtBackend,
     t: &Transfer,
     vmsplice: bool,
 ) -> (LmtWire, Box<dyn LmtSendOp>) {
@@ -58,18 +76,25 @@ pub(super) fn start_pipe_send(
         Box::new(PipeSendOp {
             pipe,
             vmsplice,
-            written: 0,
+            pipeline: pipe_pipeline(comm, backend),
             state: PipeSendState::Acquire,
         }),
     )
 }
 
 /// Shared receiver-side constructor.
-pub(super) fn start_pipe_recv(wire: &LmtWire) -> Box<dyn LmtRecvOp> {
+pub(super) fn start_pipe_recv(
+    comm: &Comm<'_>,
+    backend: &dyn LmtBackend,
+    wire: &LmtWire,
+) -> Box<dyn LmtRecvOp> {
     let LmtWire::Pipe { pipe, .. } = *wire else {
         unreachable!("pipe backend with non-pipe wire")
     };
-    Box::new(PipeRecvOp { pipe, read: 0 })
+    Box::new(PipeRecvOp {
+        pipe,
+        pipeline: pipe_pipeline(comm, backend),
+    })
 }
 
 /// Release one party's hold on the pair's pipe; the next transfer may
@@ -94,7 +119,7 @@ enum PipeSendState {
 struct PipeSendOp {
     pipe: PipeId,
     vmsplice: bool,
-    written: u64,
+    pipeline: ChunkPipeline,
     state: PipeSendState,
 }
 
@@ -122,14 +147,14 @@ impl LmtSendOp for PipeSendOp {
             }
             PipeSendState::Active => {
                 let (pipe, vmsplice) = (self.pipe, self.vmsplice);
-                let did = drive_chunks(&mut self.written, t.len, |at| {
+                let did = self.pipeline.drive(t.len, |at, budget| {
                     if vmsplice {
-                        os.pipe_try_vmsplice(p, pipe, t.buf, t.off + at, t.len - at)
+                        os.pipe_try_vmsplice(p, pipe, t.buf, t.off + at, budget)
                     } else {
-                        os.pipe_try_write(p, pipe, t.buf, t.off + at, t.len - at)
+                        os.pipe_try_write(p, pipe, t.buf, t.off + at, budget)
                     }
                 });
-                if self.written == t.len {
+                if self.pipeline.is_complete(t.len) {
                     if self.vmsplice {
                         self.state = PipeSendState::Drain;
                         return Step::Progress;
@@ -157,7 +182,7 @@ impl LmtSendOp for PipeSendOp {
 
 struct PipeRecvOp {
     pipe: PipeId,
-    read: u64,
+    pipeline: ChunkPipeline,
 }
 
 impl LmtRecvOp for PipeRecvOp {
@@ -175,10 +200,10 @@ impl LmtRecvOp for PipeRecvOp {
             return Step::Idle;
         }
         let pipe = self.pipe;
-        let did = drive_chunks(&mut self.read, t.len, |at| {
-            os.pipe_try_read(p, pipe, t.buf, t.off + at, t.len - at)
+        let did = self.pipeline.drive(t.len, |at, budget| {
+            os.pipe_try_read(p, pipe, t.buf, t.off + at, budget)
         });
-        if self.read == t.len {
+        if self.pipeline.is_complete(t.len) {
             finish_pipe_side(comm, t.peer, comm.rank());
             Step::Complete
         } else if did {

@@ -7,6 +7,12 @@
 //! hiding the cost of the other"). Per-pair flag lines carry the
 //! full/empty handshake and are charged through the cache model, so the
 //! ring exhibits the real line-bouncing behaviour §4.1 measures.
+//!
+//! Chunk sizes are adaptive: the sender's [`ChunkPipeline`] starts at
+//! `NemesisConfig::lmt_chunk_start` and doubles toward the ring slot
+//! capacity, so the receiver's overlapping copy starts after one small
+//! chunk instead of one full slot. Each slot's flag carries the actual
+//! fill, so the receiver needs no chunk-size agreement.
 
 use nemesis_kernel::Iov;
 
@@ -14,14 +20,35 @@ use crate::comm::Comm;
 use crate::shm::LmtWire;
 use crate::vector::VectorLayout;
 
-use super::{drive_chunks, LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
+use super::{ChunkPipeline, LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
 
 /// The `default LMT` backend singleton.
 pub struct ShmCopyBackend;
 
+/// The ring's steady-state sweet spot: one full slot per chunk. This is
+/// also `NemesisConfig::default().ring_chunk` (the config default is
+/// defined from this constant), so the backend's report and the default
+/// slot capacity cannot drift apart.
+pub(crate) const RING_PREFERRED: u64 = 32 << 10;
+
+/// Build the pipeline for one side of a ring transfer. This wire's
+/// ceiling is the slot capacity itself — a chunk can never exceed the
+/// buffer it travels through, and ablation sweeps resize the sweet spot
+/// with the slots. `ring_chunk` defaults to [`RING_PREFERRED`] (same
+/// constant [`LmtBackend::preferred_chunk`] reports), so the two cannot
+/// drift.
+fn ring_pipeline(comm: &Comm<'_>) -> ChunkPipeline {
+    let cfg = comm.config();
+    ChunkPipeline::new(cfg.lmt_chunk_start, cfg.ring_chunk)
+}
+
 impl LmtBackend for ShmCopyBackend {
     fn name(&self) -> &'static str {
         "default LMT"
+    }
+
+    fn preferred_chunk(&self) -> u64 {
+        RING_PREFERRED
     }
 
     fn start_send(
@@ -37,14 +64,14 @@ impl LmtBackend for ShmCopyBackend {
 
     fn start_recv(
         &self,
-        _comm: &Comm<'_>,
+        comm: &Comm<'_>,
         _t: &Transfer,
         _wire: &LmtWire,
         _layout: Option<&VectorLayout>,
         _concurrency: u32,
     ) -> Box<dyn LmtRecvOp> {
         Box::new(ShmRecvOp {
-            recvd: 0,
+            pipe: ring_pipeline(comm),
             next_slot: 0,
         })
     }
@@ -54,7 +81,10 @@ enum ShmSendOp {
     /// Waiting to become the ring's owner (per-pair FIFO).
     Acquire,
     /// Filling ring slots.
-    Active { sent: u64, next_slot: usize },
+    Active {
+        pipe: ChunkPipeline,
+        next_slot: usize,
+    },
 }
 
 impl LmtSendOp for ShmSendOp {
@@ -76,7 +106,7 @@ impl LmtSendOp for ShmSendOp {
                     ring.owner = Some(t.msg_id);
                     drop(sh);
                     *self = ShmSendOp::Active {
-                        sent: 0,
+                        pipe: ring_pipeline(comm),
                         next_slot: 0,
                     };
                     Step::Progress
@@ -85,11 +115,12 @@ impl LmtSendOp for ShmSendOp {
                 }
             }
             ShmSendOp::Active {
-                ref mut sent,
+                ref mut pipe,
                 ref mut next_slot,
             } => {
-                // Fill every currently-free buffer (double buffering).
-                let did = drive_chunks(sent, t.len, |at| {
+                // Fill every currently-free buffer (double buffering),
+                // growing the chunk toward the slot capacity.
+                let did = pipe.drive(t.len, |at, budget| {
                     let slot = *next_slot % cfg.ring_bufs;
                     let (fill, ring_buf) = {
                         let sh = nem.sh.lock();
@@ -101,18 +132,17 @@ impl LmtSendOp for ShmSendOp {
                     if fill != 0 {
                         return 0; // receiver hasn't drained it yet
                     }
-                    let n = (t.len - at).min(cfg.ring_chunk);
-                    os.user_copy(p, t.buf, t.off + at, ring_buf, 0, n);
+                    os.user_copy(p, t.buf, t.off + at, ring_buf, 0, budget);
                     {
                         let mut sh = nem.sh.lock();
                         let ring = sh.rings.get_mut(&key).unwrap();
-                        ring.fill[slot] = n;
+                        ring.fill[slot] = budget;
                         nem.seg.charge_flag(p, os, ring, slot, true);
                     }
                     *next_slot += 1;
-                    n
+                    budget
                 });
-                if *sent == t.len {
+                if pipe.is_complete(t.len) {
                     // Complete once the receiver drained everything.
                     let mut sh = nem.sh.lock();
                     let ring = sh.rings.get_mut(&key).expect("ring exists");
@@ -132,7 +162,7 @@ impl LmtSendOp for ShmSendOp {
 }
 
 struct ShmRecvOp {
-    recvd: u64,
+    pipe: ChunkPipeline,
     next_slot: usize,
 }
 
@@ -153,7 +183,11 @@ impl LmtRecvOp for ShmRecvOp {
             }
         }
         let next_slot = &mut self.next_slot;
-        let did = drive_chunks(&mut self.recvd, t.len, |at| {
+        // The sender decides the chunk sizes; our pipeline only tracks
+        // position. A slot may carry more than this side's current
+        // budget (the sender's schedule grew first) — `drive` accepts
+        // that, bounded by the shared slot capacity.
+        let did = self.pipe.drive(t.len, |at, _budget| {
             let slot = *next_slot % cfg.ring_bufs;
             let (fill, ring_buf) = {
                 let sh = nem.sh.lock();
@@ -174,7 +208,7 @@ impl LmtRecvOp for ShmRecvOp {
             *next_slot += 1;
             fill
         });
-        if self.recvd == t.len {
+        if self.pipe.is_complete(t.len) {
             Step::Complete
         } else if did {
             Step::Progress

@@ -23,23 +23,27 @@ impl LmtBackend for VmspliceBackend {
         "vmsplice LMT"
     }
 
+    fn preferred_chunk(&self) -> u64 {
+        super::pipe_writev::PIPE_PREFERRED
+    }
+
     fn start_send(
         &self,
         comm: &Comm<'_>,
         t: &Transfer,
         _iovs: &[Iov],
     ) -> (LmtWire, Box<dyn LmtSendOp>) {
-        start_pipe_send(comm, t, true)
+        start_pipe_send(comm, self, t, true)
     }
 
     fn start_recv(
         &self,
-        _comm: &Comm<'_>,
+        comm: &Comm<'_>,
         _t: &Transfer,
         wire: &LmtWire,
         _layout: Option<&VectorLayout>,
         _concurrency: u32,
     ) -> Box<dyn LmtRecvOp> {
-        start_pipe_recv(wire)
+        start_pipe_recv(comm, self, wire)
     }
 }

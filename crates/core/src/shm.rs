@@ -204,7 +204,11 @@ impl ShmSegment {
         p.advance(cost);
     }
 
-    /// Charge dequeuing `n` envelopes (slot line reads + bookkeeping).
+    /// Charge dequeuing a batch of `n` envelopes: one slot-line read per
+    /// envelope, plus a **single** control-line (head pointer) update
+    /// for the whole batch — the accounting win of batched draining (the
+    /// rt mirror's `dequeue_batch` realises the same thing with one
+    /// chained free-stack CAS per batch).
     pub fn charge_dequeue(&self, p: &Proc, os: &Os, n: usize) {
         if n == 0 {
             return;
@@ -221,6 +225,14 @@ impl ShmSegment {
                 p.now() + cost,
             );
         }
+        // One head-pointer publish per batch, however many envelopes.
+        cost += m.access(
+            p.pid(),
+            p.core(),
+            os.phys(self.queue_ctrl[p.pid()], 0, 64),
+            nemesis_sim::AccessKind::Write,
+            p.now() + cost,
+        );
         p.advance(cost + n as u64 * m.cfg().costs.queue_op);
     }
 

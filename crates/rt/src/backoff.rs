@@ -3,28 +3,66 @@
 //! Nemesis is a polling design; on dedicated cores pure spinning is
 //! right. But when ranks are oversubscribed (more ranks than cores — CI
 //! boxes, laptops), a spinning waiter burns its entire scheduler quantum
-//! while the peer it waits for cannot run. [`Backoff`] spins briefly for
-//! the fast path, then starts yielding to the OS so the peer gets CPU.
+//! while the peer it waits for cannot run. [`Backoff`] spins with a
+//! **capped exponential** schedule — step `k` busy-spins `2^k`
+//! iterations for `k < spin_limit` (at most `2^spin_limit - 1` total
+//! spin iterations, largest burst `2^(spin_limit-1)`), so a contended
+//! waiter never commits to an unbounded burn — then escalates to
+//! `yield_now` so the peer gets CPU.
+//!
+//! The cap is configurable: dedicated-core deployments raise it (longer
+//! in-cache spins before surrendering the quantum), oversubscribed ones
+//! lower it. The simulated stack exposes the same knob as
+//! `NemesisConfig::backoff_spin_cap`; the `nemesis` facade crate bridges
+//! it into an rt runtime config so both stacks tune from one place.
 
-/// Exponential spin backoff that escalates to `yield_now`.
-#[derive(Debug, Default)]
+/// Default spin cap: `2^DEFAULT_SPIN_LIMIT - 1` total busy iterations
+/// across the spin phase (largest single burst
+/// `2^(DEFAULT_SPIN_LIMIT-1)` = 32) before yielding — ≈ a few hundred
+/// ns, the scale of one cross-core cache-line bounce.
+pub const DEFAULT_SPIN_LIMIT: u32 = 6;
+
+/// Largest accepted cap (a ~2^15-iteration final burst ≈ tens of µs —
+/// anything above would burn whole scheduler quanta and defeat the
+/// escalation).
+pub const MAX_SPIN_LIMIT: u32 = 16;
+
+/// Capped exponential spin backoff that escalates to `yield_now`.
+#[derive(Debug)]
 pub struct Backoff {
     step: u32,
+    spin_limit: u32,
 }
 
-/// Spins before the first yield (2^SPIN_LIMIT busy iterations total).
-const SPIN_LIMIT: u32 = 7;
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::with_spin_limit(DEFAULT_SPIN_LIMIT)
+    }
+}
 
 impl Backoff {
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// One wait step: busy-spin while young, yield to the OS once the
-    /// wait has lasted long enough that the peer may need our core.
+    /// A backoff whose spin phase runs `spin_limit` doubling steps —
+    /// `2^spin_limit - 1` busy iterations in total (limit clamped to
+    /// [`MAX_SPIN_LIMIT`]) — before every further snooze yields. A limit
+    /// of 0 yields immediately — the right setting for heavily
+    /// oversubscribed runs.
+    pub fn with_spin_limit(spin_limit: u32) -> Self {
+        Self {
+            step: 0,
+            spin_limit: spin_limit.min(MAX_SPIN_LIMIT),
+        }
+    }
+
+    /// One wait step: busy-spin an exponentially growing (but capped)
+    /// number of iterations while young, yield to the OS once the wait
+    /// has lasted long enough that the peer may need our core.
     #[inline]
     pub fn snooze(&mut self) {
-        if self.step <= SPIN_LIMIT {
+        if self.step < self.spin_limit {
             for _ in 0..(1u32 << self.step) {
                 std::hint::spin_loop();
             }
@@ -32,6 +70,13 @@ impl Backoff {
         } else {
             std::thread::yield_now();
         }
+    }
+
+    /// Whether the schedule has escalated past spinning (useful for
+    /// callers that park differently once yielding starts).
+    #[inline]
+    pub fn is_yielding(&self) -> bool {
+        self.step >= self.spin_limit
     }
 
     /// Restart the fast path (call after making progress).
@@ -48,12 +93,40 @@ mod tests {
     #[test]
     fn escalates_and_resets() {
         let mut b = Backoff::new();
+        assert!(!b.is_yielding());
         for _ in 0..20 {
             b.snooze(); // must terminate, eventually yielding
         }
-        assert!(b.step > SPIN_LIMIT);
+        assert!(b.is_yielding());
         b.reset();
+        assert!(!b.is_yielding());
         assert_eq!(b.step, 0);
+    }
+
+    #[test]
+    fn zero_cap_yields_immediately() {
+        let mut b = Backoff::with_spin_limit(0);
+        assert!(b.is_yielding(), "no spin phase at cap 0");
+        b.snooze(); // must not panic, must not spin
+        assert_eq!(b.step, 0, "yielding never advances the step");
+    }
+
+    #[test]
+    fn cap_is_clamped() {
+        let b = Backoff::with_spin_limit(u32::MAX);
+        assert_eq!(b.spin_limit, MAX_SPIN_LIMIT);
+    }
+
+    #[test]
+    fn spin_iterations_are_capped() {
+        // The spin phase performs at most 2^limit - 1 total iterations
+        // before every subsequent snooze is a yield: just drive it far
+        // past the cap and confirm the step saturates at the limit.
+        let mut b = Backoff::with_spin_limit(3);
+        for _ in 0..50 {
+            b.snooze();
+        }
+        assert_eq!(b.step, 3, "step never exceeds the cap");
     }
 
     #[test]

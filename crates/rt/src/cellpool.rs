@@ -1,30 +1,35 @@
 //! Lock-free free list of fixed-size message cells.
 //!
 //! Nemesis carves its shared segment into cells; free cells live on a
-//! lock-free stack. A Treiber stack over *indices* (not pointers) with a
-//! packed generation tag avoids the ABA problem without hazard pointers:
-//! the head word is `(generation << 32) | index`, and every successful
-//! pop bumps the generation.
+//! lock-free stack. [`FreeStack`] is the reusable core: a Treiber stack
+//! over *indices* (not pointers) with a packed generation tag that
+//! avoids the ABA problem without hazard pointers — the head word is
+//! `(generation << 32) | index`, and every successful pop bumps the
+//! generation. [`CellPool`] layers byte storage on top for the eager
+//! path; the receive queue (`crate::queue`) recycles its cache-aligned
+//! packet cells through a `FreeStack` of its own, which is what makes
+//! its enqueue path allocation-free.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const NIL: u32 = u32::MAX;
 
-/// A pool of `n` cells of `cell_size` bytes each, with a lock-free
-/// free-list. Payload storage is owned by the pool; cells are checked
-/// out as indices and accessed via [`CellPool::cell`] /
-/// [`CellPool::cell_mut`].
-pub struct CellPool {
+/// A lock-free stack of free indices `0..n` with ABA generation tags.
+///
+/// `push_chain` publishes a whole batch of indices with a single
+/// successful CAS on the head word — the consumer-side analogue of the
+/// single control-line charge the simulated stack models for batched
+/// dequeues.
+pub struct FreeStack {
     /// Packed head: upper 32 bits generation, lower 32 bits index.
     head: AtomicU64,
     /// `next[i]` = index below cell `i` on the stack (NIL = bottom).
     next: Vec<AtomicU64>,
-    storage: Vec<parking_lot::Mutex<Box<[u8]>>>,
-    cell_size: usize,
 }
 
-impl CellPool {
-    pub fn new(n: usize, cell_size: usize) -> Self {
+impl FreeStack {
+    /// A stack holding every index in `0..n` (0 on top).
+    pub fn full(n: usize) -> Self {
         assert!(n > 0 && (n as u64) < NIL as u64);
         let next: Vec<AtomicU64> = (0..n)
             .map(|i| {
@@ -39,15 +44,7 @@ impl CellPool {
         Self {
             head: AtomicU64::new(0), // generation 0, index 0
             next,
-            storage: (0..n)
-                .map(|_| parking_lot::Mutex::new(vec![0u8; cell_size].into_boxed_slice()))
-                .collect(),
-            cell_size,
         }
-    }
-
-    pub fn cell_size(&self) -> usize {
-        self.cell_size
     }
 
     pub fn capacity(&self) -> usize {
@@ -64,8 +61,8 @@ impl CellPool {
         (generation as u64) << 32 | index as u64
     }
 
-    /// Pop a free cell; `None` when exhausted. Lock-free.
-    pub fn try_acquire(&self) -> Option<usize> {
+    /// Pop a free index; `None` when exhausted. Lock-free.
+    pub fn try_pop(&self) -> Option<usize> {
         let mut head = self.head.load(Ordering::Acquire);
         loop {
             let (generation, index) = Self::unpack(head);
@@ -84,9 +81,9 @@ impl CellPool {
         }
     }
 
-    /// Push a cell back. Lock-free. The caller must own the cell (from a
-    /// prior `try_acquire`).
-    pub fn release(&self, index: usize) {
+    /// Push an index back. Lock-free. The caller must own the index
+    /// (from a prior `try_pop`).
+    pub fn push(&self, index: usize) {
         assert!(index < self.next.len(), "bogus cell index");
         let mut head = self.head.load(Ordering::Acquire);
         loop {
@@ -103,14 +100,40 @@ impl CellPool {
         }
     }
 
-    /// Access a checked-out cell's payload. The mutex is uncontended by
-    /// construction (one owner per checked-out cell) — it exists to keep
-    /// the storage access safe without `unsafe`.
-    pub fn with_cell<R>(&self, index: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        f(&mut self.storage[index].lock()[..])
+    /// Push a batch of owned indices with one successful CAS: the chain
+    /// is linked privately (`indices[0]` ends on top), then spliced onto
+    /// the stack in a single head update.
+    pub fn push_chain(&self, indices: &[usize]) {
+        let Some((&first, rest)) = indices.split_first() else {
+            return;
+        };
+        assert!(
+            indices.iter().all(|&i| i < self.next.len()),
+            "bogus cell index"
+        );
+        // Link the private chain top-down: indices[k] -> indices[k+1].
+        let mut above = first;
+        for &i in rest {
+            self.next[above].store(i as u64, Ordering::Release);
+            above = i;
+        }
+        let last = above;
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (generation, top) = Self::unpack(head);
+            self.next[last].store(top as u64, Ordering::Release);
+            let new = Self::pack(generation.wrapping_add(1), first as u32);
+            match self
+                .head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
     }
 
-    /// Number of currently free cells (O(n); diagnostics only — the
+    /// Number of currently free indices (O(n); diagnostics only — the
     /// answer may be stale by the time it returns).
     pub fn free_count(&self) -> usize {
         let mut n = 0;
@@ -123,6 +146,58 @@ impl CellPool {
             }
         }
         n
+    }
+}
+
+/// A pool of `n` cells of `cell_size` bytes each, with a lock-free
+/// free-list. Payload storage is owned by the pool; cells are checked
+/// out as indices and accessed via [`CellPool::with_cell`].
+pub struct CellPool {
+    free: FreeStack,
+    storage: Vec<parking_lot::Mutex<Box<[u8]>>>,
+    cell_size: usize,
+}
+
+impl CellPool {
+    pub fn new(n: usize, cell_size: usize) -> Self {
+        Self {
+            free: FreeStack::full(n),
+            storage: (0..n)
+                .map(|_| parking_lot::Mutex::new(vec![0u8; cell_size].into_boxed_slice()))
+                .collect(),
+            cell_size,
+        }
+    }
+
+    pub fn cell_size(&self) -> usize {
+        self.cell_size
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.free.capacity()
+    }
+
+    /// Pop a free cell; `None` when exhausted. Lock-free.
+    pub fn try_acquire(&self) -> Option<usize> {
+        self.free.try_pop()
+    }
+
+    /// Push a cell back. Lock-free. The caller must own the cell (from a
+    /// prior `try_acquire`).
+    pub fn release(&self, index: usize) {
+        self.free.push(index);
+    }
+
+    /// Access a checked-out cell's payload. The mutex is uncontended by
+    /// construction (one owner per checked-out cell) — it exists to keep
+    /// the storage access safe without `unsafe`.
+    pub fn with_cell<R>(&self, index: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        f(&mut self.storage[index].lock()[..])
+    }
+
+    /// Number of currently free cells (O(n); diagnostics only).
+    pub fn free_count(&self) -> usize {
+        self.free.free_count()
     }
 }
 
@@ -166,6 +241,35 @@ mod tests {
     }
 
     #[test]
+    fn push_chain_publishes_whole_batch() {
+        let stack = FreeStack::full(8);
+        let mut held = Vec::new();
+        for _ in 0..8 {
+            held.push(stack.try_pop().unwrap());
+        }
+        assert_eq!(stack.try_pop(), None);
+        stack.push_chain(&held[..5]);
+        assert_eq!(stack.free_count(), 5);
+        // The first pushed index ends on top (LIFO over the batch).
+        assert_eq!(stack.try_pop(), Some(held[0]));
+        stack.push_chain(&held[5..]);
+        stack.push(held[0]);
+        assert_eq!(stack.free_count(), 8);
+        let mut seen = HashSet::new();
+        while let Some(i) = stack.try_pop() {
+            assert!(seen.insert(i), "index handed out twice");
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn push_chain_empty_is_noop() {
+        let stack = FreeStack::full(2);
+        stack.push_chain(&[]);
+        assert_eq!(stack.free_count(), 2);
+    }
+
+    #[test]
     fn concurrent_acquire_release_no_double_handout() {
         const THREADS: usize = 4;
         const ITERS: usize = 20_000;
@@ -192,6 +296,30 @@ mod tests {
             }
         });
         assert_eq!(pool.free_count(), 8);
+    }
+
+    #[test]
+    fn concurrent_chain_pushes_keep_all_indices() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 5_000;
+        let stack = Arc::new(FreeStack::full(32));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let stack = Arc::clone(&stack);
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let mut batch = Vec::new();
+                        for _ in 0..4 {
+                            if let Some(i) = stack.try_pop() {
+                                batch.push(i);
+                            }
+                        }
+                        stack.push_chain(&batch);
+                    }
+                });
+            }
+        });
+        assert_eq!(stack.free_count(), 32, "indices lost or duplicated");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! A miniature real-thread message-passing runtime combining the rt
 //! substrate pieces: ranks are OS threads, each with a Nemesis MPSC
-//! receive queue; small messages travel through pooled cells (two
-//! copies), large messages through the selected
+//! receive queue; tiny messages ride *inside* the queue cell (one fused
+//! pack-into-cell write), small messages travel through pooled cells
+//! (two copies), large messages through the selected
 //! [`RtLmtBackend`](crate::lmt::RtLmtBackend) — this module never names
 //! a concrete strategy, exactly as `nemesis_core::comm` drives its
 //! backends only through `LmtBackend`.
@@ -16,12 +17,63 @@ use std::sync::Arc;
 use crate::backoff::Backoff;
 use crate::cellpool::CellPool;
 use crate::lmt::{backend_for, RtLmtBackend};
-use crate::queue::{nem_queue, Receiver, Sender};
+use crate::queue::{nem_queue_cfg, Receiver, Sender};
 
 pub use crate::lmt::RtLmt;
 
 /// Messages at or below this size go eager (through cells).
 pub const EAGER_MAX: usize = 16 << 10;
+
+/// Payload bytes a packet can carry inline, inside the receive-queue
+/// cell itself. Contiguous sends at or below this size skip the cell
+/// pool entirely: one fused write packs header and payload into the
+/// queue cell, so the message touches each cache line exactly once on
+/// each side.
+pub const INLINE_MAX: usize = 256;
+
+/// Runtime tunables — the rt mirror of the queue/backoff knobs in
+/// `nemesis_core::NemesisConfig` (the `nemesis` facade crate bridges
+/// one into the other).
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Receive-queue cells per rank (bounded in-flight packets).
+    pub queue_capacity: usize,
+    /// Pooled eager cells shared by all ranks.
+    pub cells: usize,
+    /// Payload bytes per pooled cell.
+    pub cell_size: usize,
+    /// Contiguous payloads at or below this ride inline in the queue
+    /// cell (clamped to [`INLINE_MAX`]). 0 disables the inline path.
+    pub inline_max: usize,
+    /// Spin cap fed to every [`Backoff`] the runtime creates (see
+    /// `Backoff::with_spin_limit`).
+    pub spin_limit: u32,
+    /// Packets the consumer drains per queue poll (single batched
+    /// recycle).
+    pub recv_batch: usize,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 512,
+            cells: 16,
+            cell_size: EAGER_MAX,
+            inline_max: INLINE_MAX,
+            spin_limit: crate::backoff::DEFAULT_SPIN_LIMIT,
+            recv_batch: 16,
+        }
+    }
+}
+
+impl RtConfig {
+    /// Scale the pooled-cell count for `n` ranks (the former hard-wired
+    /// sizing rule).
+    fn for_ranks(mut self, n: usize) -> Self {
+        self.cells = self.cells.max(4 * n.max(4));
+        self
+    }
+}
 
 struct Rts {
     /// Sender buffer (valid until `done` is set — the sender blocks).
@@ -31,7 +83,18 @@ struct Rts {
     done: Arc<AtomicUsize>,
 }
 
+// The size difference is the point: `Inline` embeds the payload in the
+// queue cell so tiny messages never touch the cell pool. Cells are
+// slab-allocated once, so the large variant costs no per-message memory.
+#[allow(clippy::large_enum_variant)]
 enum Packet {
+    /// Fused fast path: the payload lives in this very queue cell.
+    Inline {
+        src_rank: usize,
+        tag: i32,
+        len: u16,
+        data: [u8; INLINE_MAX],
+    },
     Eager {
         src_rank: usize,
         tag: i32,
@@ -55,6 +118,7 @@ struct Shared {
     /// The selected large-message backend; all transfer bytes flow
     /// through this trait object.
     backend: Box<dyn RtLmtBackend>,
+    cfg: RtConfig,
     n: usize,
 }
 
@@ -80,19 +144,39 @@ impl RtComm {
         self.shared.backend.name()
     }
 
+    fn backoff(&self) -> Backoff {
+        Backoff::with_spin_limit(self.shared.cfg.spin_limit)
+    }
+
     /// Blocking send of `data` to `dst`.
     pub fn send(&self, dst: usize, tag: i32, data: &[u8]) {
         assert!(dst < self.shared.n && dst != self.rank, "bad destination");
-        if data.len() <= EAGER_MAX {
+        let inline_max = self.shared.cfg.inline_max.min(INLINE_MAX);
+        if data.len() <= inline_max {
+            // Fused path: pack header + payload straight into the queue
+            // cell — no pool acquire, no second staging copy.
+            let mut buf = [0u8; INLINE_MAX];
+            buf[..data.len()].copy_from_slice(data);
+            self.shared.senders[dst].enqueue(Packet::Inline {
+                src_rank: self.rank,
+                tag,
+                len: data.len() as u16,
+                data: buf,
+            });
+            return;
+        }
+        // The eager cutoff is bounded by the configured cell size: a
+        // payload that does not fit one pooled cell must go rendezvous,
+        // whatever EAGER_MAX says.
+        if data.len() <= EAGER_MAX.min(self.shared.cells.cell_size()) {
             // Eager: copy into a pooled cell (first copy).
-            let mut bo = Backoff::new();
+            let mut bo = self.backoff();
             let cell = loop {
                 if let Some(c) = self.shared.cells.try_acquire() {
                     break c;
                 }
                 bo.snooze();
             };
-            assert!(data.len() <= self.shared.cells.cell_size());
             self.shared
                 .cells
                 .with_cell(cell, |d| d[..data.len()].copy_from_slice(data));
@@ -117,7 +201,7 @@ impl RtComm {
             },
         });
         self.shared.backend.send_payload(self.rank, dst, data);
-        let mut bo = Backoff::new();
+        let mut bo = self.backoff();
         while done.load(Ordering::Acquire) == 0 {
             bo.snooze();
         }
@@ -128,6 +212,13 @@ impl RtComm {
     pub fn recv(&mut self, src: Option<usize>, tag: Option<i32>, dst: &mut [u8]) -> usize {
         let pkt = self.match_packet(src, tag);
         match pkt {
+            Packet::Inline { len, data, .. } => {
+                let len = len as usize;
+                assert!(len <= dst.len(), "receive buffer too small");
+                // The one and only copy out of the queue cell.
+                dst[..len].copy_from_slice(&data[..len]);
+                len
+            }
             Packet::Eager { cell, len, .. } => {
                 assert!(len <= dst.len(), "receive buffer too small");
                 // Second copy: cell → user buffer; then recycle the cell.
@@ -203,6 +294,7 @@ impl RtComm {
 
     fn pkt_matches(pkt: &Packet, src: Option<usize>, tag: Option<i32>) -> bool {
         let (s, t) = match pkt {
+            Packet::Inline { src_rank, tag, .. } => (*src_rank, *tag),
             Packet::Eager { src_rank, tag, .. } => (*src_rank, *tag),
             Packet::Rndv { src_rank, tag, .. } => (*src_rank, *tag),
         };
@@ -210,6 +302,7 @@ impl RtComm {
     }
 
     fn match_packet(&mut self, src: Option<usize>, tag: Option<i32>) -> Packet {
+        // Previously buffered packets first, in arrival order.
         if let Some(pos) = self
             .unexpected
             .iter()
@@ -217,12 +310,30 @@ impl RtComm {
         {
             return self.unexpected.remove(pos);
         }
-        let mut bo = Backoff::new();
+        let batch = self.shared.cfg.recv_batch.max(1);
+        let mut bo = self.backoff();
         loop {
-            match self.rx.dequeue() {
-                Some(pkt) if Self::pkt_matches(&pkt, src, tag) => return pkt,
-                Some(pkt) => self.unexpected.push(pkt),
-                None => bo.snooze(),
+            // Drain a batch per poll (one chained recycle). The first
+            // match is picked out in the sink — the pingpong hot path
+            // never touches the unexpected buffer — and everything else
+            // parks there. No rescan needed: packets parked by *this*
+            // call were already checked in the sink.
+            let mut found: Option<Packet> = None;
+            let unexpected = &mut self.unexpected;
+            let got = self.rx.dequeue_batch(batch, |p| {
+                if found.is_none() && Self::pkt_matches(&p, src, tag) {
+                    found = Some(p);
+                } else {
+                    unexpected.push(p);
+                }
+            });
+            if let Some(p) = found {
+                return p;
+            }
+            if got == 0 {
+                bo.snooze();
+            } else {
+                bo.reset();
             }
         }
     }
@@ -237,24 +348,43 @@ where
     run_rt_with(n, backend_for(lmt, n), body)
 }
 
+/// Run `n` rank-threads with an explicit [`RtConfig`] (the bridge point
+/// for `NemesisConfig`-derived tuning).
+pub fn run_rt_cfg<F>(n: usize, lmt: RtLmt, cfg: RtConfig, body: F)
+where
+    F: Fn(&mut RtComm) + Send + Sync,
+{
+    run_rt_with_cfg(n, backend_for(lmt, n), cfg, body)
+}
+
 /// Run `n` rank-threads over an explicit backend instance (the
 /// extension point for out-of-tree copy engines).
 pub fn run_rt_with<F>(n: usize, backend: Box<dyn RtLmtBackend>, body: F)
 where
     F: Fn(&mut RtComm) + Send + Sync,
 {
+    run_rt_with_cfg(n, backend, RtConfig::default(), body)
+}
+
+/// The fully explicit runner: backend instance + runtime config.
+pub fn run_rt_with_cfg<F>(n: usize, backend: Box<dyn RtLmtBackend>, cfg: RtConfig, body: F)
+where
+    F: Fn(&mut RtComm) + Send + Sync,
+{
     assert!(n >= 1);
+    let cfg = cfg.for_ranks(n);
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = nem_queue();
+        let (tx, rx) = nem_queue_cfg(cfg.queue_capacity, cfg.spin_limit);
         senders.push(tx);
         receivers.push(rx);
     }
     let shared = Arc::new(Shared {
         senders,
-        cells: CellPool::new(4 * n.max(4), EAGER_MAX),
+        cells: CellPool::new(cfg.cells, cfg.cell_size),
         backend,
+        cfg,
         n,
     });
     std::thread::scope(|s| {
@@ -293,6 +423,73 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn inline_roundtrip_boundary_sizes() {
+        // Sizes straddling the inline threshold, including zero.
+        for len in [
+            0usize,
+            1,
+            63,
+            64,
+            INLINE_MAX - 1,
+            INLINE_MAX,
+            INLINE_MAX + 1,
+        ] {
+            run_rt(2, RtLmt::Direct, move |comm| {
+                if comm.rank() == 0 {
+                    let data: Vec<u8> = (0..len).map(|i| (i % 250) as u8).collect();
+                    comm.send(1, 9, &data);
+                } else {
+                    let mut buf = vec![0xAAu8; len + 8];
+                    assert_eq!(comm.recv(Some(0), Some(9), &mut buf), len);
+                    assert!(buf[..len]
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &b)| b == (i % 250) as u8));
+                    assert!(buf[len..].iter().all(|&b| b == 0xAA), "overrun");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn small_cells_route_midsize_sends_to_rendezvous() {
+        // cell_size below EAGER_MAX: a payload between the two must go
+        // rendezvous instead of asserting on the pooled-cell copy.
+        let cfg = RtConfig {
+            cell_size: 8 << 10,
+            ..RtConfig::default()
+        };
+        run_rt_cfg(2, RtLmt::Direct, cfg, |comm| {
+            let n = 12 << 10; // > cell_size, < EAGER_MAX
+            if comm.rank() == 0 {
+                let data: Vec<u8> = (0..n).map(|i| (i % 247) as u8).collect();
+                comm.send(1, 3, &data);
+            } else {
+                let mut buf = vec![0u8; n];
+                assert_eq!(comm.recv(Some(0), Some(3), &mut buf), n);
+                assert!(buf.iter().enumerate().all(|(i, &b)| b == (i % 247) as u8));
+            }
+        });
+    }
+
+    #[test]
+    fn inline_disabled_still_delivers() {
+        let cfg = RtConfig {
+            inline_max: 0,
+            ..RtConfig::default()
+        };
+        run_rt_cfg(2, RtLmt::Direct, cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[7u8; 32]);
+            } else {
+                let mut buf = [0u8; 32];
+                assert_eq!(comm.recv(Some(0), Some(1), &mut buf), 32);
+                assert!(buf.iter().all(|&b| b == 7));
+            }
+        });
     }
 
     #[test]

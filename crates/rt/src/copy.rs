@@ -27,13 +27,27 @@ pub trait CopyEngine {
     fn name(&self) -> &'static str;
 }
 
+/// Where the adaptive chunk schedule starts (one page): small first
+/// chunks fill the pipeline fast — the receiver starts its overlapping
+/// copy almost immediately — then the size doubles toward the slot
+/// capacity so the steady state pays per-chunk flag traffic on big
+/// chunks only.
+pub const ADAPTIVE_CHUNK_START: usize = 4 << 10;
+
 /// The double-buffered copy ring. One sender thread and one receiver
 /// thread may run [`DoubleBufferPipe::send`] / [`DoubleBufferPipe::recv`]
 /// concurrently for the *same* transfer; the two copies overlap chunk by
 /// chunk, "one thereby partially hiding the cost of the other" (§2).
+///
+/// Chunking is **adaptive**: the sender's first chunk is
+/// `start_chunk` bytes (default [`ADAPTIVE_CHUNK_START`]) and doubles on
+/// every full chunk until it reaches the slot capacity. The receiver
+/// learns each chunk's size from the slot flag, so the two sides need no
+/// chunk-size agreement.
 pub struct DoubleBufferPipe {
     slots: Vec<Slot>,
     chunk: usize,
+    start_chunk: usize,
 }
 
 struct Slot {
@@ -43,9 +57,16 @@ struct Slot {
 }
 
 impl DoubleBufferPipe {
-    /// `nbufs = 2` gives the paper's double buffering.
+    /// `nbufs = 2` gives the paper's double buffering; `chunk` is the
+    /// slot capacity (the adaptive schedule's ceiling).
     pub fn new(chunk: usize, nbufs: usize) -> Self {
-        assert!(chunk > 0 && nbufs > 0);
+        Self::with_start_chunk(chunk, nbufs, ADAPTIVE_CHUNK_START)
+    }
+
+    /// Explicit first-chunk size; `start_chunk = chunk` restores the
+    /// seed's fixed-size chunking (used by benches as the baseline).
+    pub fn with_start_chunk(chunk: usize, nbufs: usize, start_chunk: usize) -> Self {
+        assert!(chunk > 0 && nbufs > 0 && start_chunk > 0);
         Self {
             slots: (0..nbufs)
                 .map(|_| Slot {
@@ -54,43 +75,59 @@ impl DoubleBufferPipe {
                 })
                 .collect(),
             chunk,
+            start_chunk: start_chunk.min(chunk),
         }
     }
 
-    /// Copy `src` into the ring (first of the two copies). Blocks
-    /// (spin-then-yield) when the ring is full.
+    /// Copy `src` into the ring (first of the two copies), growing the
+    /// chunk size geometrically from `start_chunk` to the slot capacity.
+    /// Blocks (spin-then-yield) when the ring is full.
     pub fn send(&self, src: &[u8]) {
         let n = self.slots.len();
         let mut bo = crate::backoff::Backoff::new();
-        for (i, chunk) in src.chunks(self.chunk).enumerate() {
+        let mut cur = self.start_chunk;
+        let mut at = 0usize;
+        let mut i = 0usize;
+        while at < src.len() {
+            let len = cur.min(src.len() - at);
             let slot = &self.slots[i % n];
             while slot.len.load(Ordering::Acquire) != 0 {
                 bo.snooze();
             }
             bo.reset();
-            slot.buf.lock()[..chunk.len()].copy_from_slice(chunk);
-            slot.len.store(chunk.len(), Ordering::Release);
+            slot.buf.lock()[..len].copy_from_slice(&src[at..at + len]);
+            slot.len.store(len, Ordering::Release);
+            at += len;
+            i += 1;
+            if len == cur {
+                cur = (cur * 2).min(self.chunk);
+            }
         }
     }
 
-    /// Copy out of the ring into `dst` (second copy). Blocks
-    /// (spin-then-yield) until every chunk has arrived.
+    /// Copy out of the ring into `dst` (second copy), draining whatever
+    /// chunk size the sender published. Blocks (spin-then-yield) until
+    /// every byte has arrived.
     pub fn recv(&self, dst: &mut [u8]) {
         let n = self.slots.len();
         let mut bo = crate::backoff::Backoff::new();
-        for (i, chunk) in dst.chunks_mut(self.chunk).enumerate() {
+        let mut at = 0usize;
+        let mut i = 0usize;
+        while at < dst.len() {
             let slot = &self.slots[i % n];
-            loop {
+            let len = loop {
                 let len = slot.len.load(Ordering::Acquire);
                 if len != 0 {
-                    assert_eq!(len, chunk.len(), "chunk length mismatch");
-                    break;
+                    break len;
                 }
                 bo.snooze();
-            }
+            };
             bo.reset();
-            chunk.copy_from_slice(&slot.buf.lock()[..chunk.len()]);
+            assert!(len <= dst.len() - at, "chunk overruns the transfer");
+            dst[at..at + len].copy_from_slice(&slot.buf.lock()[..len]);
             slot.len.store(0, Ordering::Release);
+            at += len;
+            i += 1;
         }
     }
 }
@@ -278,6 +315,26 @@ mod tests {
                 pipe.recv(&mut dst);
             });
             assert_eq!(src, dst, "size {size}");
+        }
+    }
+
+    #[test]
+    fn adaptive_and_fixed_chunking_deliver_identical_bytes() {
+        let src = pattern(777_777);
+        for pipe in [
+            DoubleBufferPipe::new(32 << 10, 2),
+            DoubleBufferPipe::with_start_chunk(32 << 10, 2, 32 << 10), // seed's fixed chunks
+            DoubleBufferPipe::with_start_chunk(32 << 10, 2, 1),        // degenerate start
+        ] {
+            let pipe = Arc::new(pipe);
+            let mut dst = vec![0u8; src.len()];
+            std::thread::scope(|s| {
+                let p2 = Arc::clone(&pipe);
+                let src_ref = &src;
+                s.spawn(move || p2.send(src_ref));
+                pipe.recv(&mut dst);
+            });
+            assert_eq!(src, dst);
         }
     }
 

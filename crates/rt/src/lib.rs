@@ -40,8 +40,8 @@ pub mod lmt;
 pub mod queue;
 
 pub use backoff::Backoff;
-pub use cellpool::CellPool;
-pub use comm::{run_rt, run_rt_with, RtComm, RtLmt};
+pub use cellpool::{CellPool, FreeStack};
+pub use comm::{run_rt, run_rt_cfg, run_rt_with, run_rt_with_cfg, RtComm, RtConfig, RtLmt};
 pub use copy::{CopyEngine, DoubleBufferPipe, OffloadEngine};
 pub use lmt::{backend_for, RtLmtBackend, ALL_RT_LMTS};
 pub use queue::NemQueue;

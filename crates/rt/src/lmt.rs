@@ -46,6 +46,14 @@ pub trait RtLmtBackend: Send + Sync {
     /// Diagnostic name (mirrors `LmtBackend::name`).
     fn name(&self) -> &'static str;
 
+    /// The backend's steady-state sweet-spot chunk size in bytes
+    /// (mirrors `LmtBackend::preferred_chunk`): the ceiling the adaptive
+    /// pipeliner grows toward. Single-pass backends report the transfer
+    /// granularity they prefer to be fed at.
+    fn preferred_chunk(&self) -> usize {
+        32 << 10
+    }
+
     /// Sender-side participation in the transfer of `src` to
     /// `dst_rank`. Sender-driven backends (the ring) move bytes here;
     /// receiver-driven backends return immediately and the runtime's
@@ -72,6 +80,9 @@ pub fn backend_for(lmt: RtLmt, nranks: usize) -> Box<dyn RtLmtBackend> {
 /// LMT` analogue. Sender and receiver pipeline chunk against chunk.
 pub struct DoubleBufferBackend {
     rings: Vec<DoubleBufferPipe>,
+    /// Slot capacity of every ring (the adaptive schedule's ceiling,
+    /// reported through [`RtLmtBackend::preferred_chunk`]).
+    chunk: usize,
     n: usize,
 }
 
@@ -81,6 +92,7 @@ impl DoubleBufferBackend {
             rings: (0..nranks * nranks)
                 .map(|_| DoubleBufferPipe::new(chunk, nbufs))
                 .collect(),
+            chunk,
             n: nranks,
         }
     }
@@ -93,6 +105,12 @@ impl DoubleBufferBackend {
 impl RtLmtBackend for DoubleBufferBackend {
     fn name(&self) -> &'static str {
         "double-buffer"
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        // The ring's actual slot capacity: the adaptive schedule inside
+        // `DoubleBufferPipe` grows from one page to exactly this.
+        self.chunk
     }
 
     fn send_payload(&self, src_rank: usize, dst_rank: usize, src: &[u8]) {
@@ -114,6 +132,12 @@ pub struct DirectBackend;
 impl RtLmtBackend for DirectBackend {
     fn name(&self) -> &'static str {
         "direct"
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        // Single-pass receiver copy: no intermediate buffer to size, so
+        // prefer one maximal chunk.
+        1 << 20
     }
 
     fn send_payload(&self, _src_rank: usize, _dst_rank: usize, _src: &[u8]) {
@@ -150,6 +174,13 @@ impl RtLmtBackend for OffloadBackend {
         "offload-engine"
     }
 
+    fn preferred_chunk(&self) -> usize {
+        // The engine splits submissions into page descriptors (pinned
+        // user memory); feeding it much more per submission only grows
+        // the descriptor chain ahead of the status write.
+        64 << 10
+    }
+
     fn send_payload(&self, _src_rank: usize, _dst_rank: usize, _src: &[u8]) {
         // Receiver-driven: the receiver submits the descriptor chain.
     }
@@ -170,6 +201,15 @@ mod tests {
             assert!(!b.name().is_empty());
         }
         assert_eq!(backend_for(RtLmt::Direct, 2).name(), "direct");
+    }
+
+    #[test]
+    fn double_buffer_reports_its_actual_slot_capacity() {
+        let b = DoubleBufferBackend::new(2, 7 << 10, 2);
+        assert_eq!(b.preferred_chunk(), 7 << 10);
+        for lmt in ALL_RT_LMTS {
+            assert!(backend_for(lmt, 2).preferred_chunk() > 0, "{lmt:?}");
+        }
     }
 
     #[test]

@@ -36,3 +36,48 @@ pub use nemesis_kernel as kernel;
 pub use nemesis_rt as rt;
 pub use nemesis_sim as sim;
 pub use nemesis_workloads as workloads;
+
+/// Bridge the simulated stack's configuration into the real-thread
+/// runtime: the two stacks deliberately do not depend on each other, so
+/// the shared knobs (cell sizing, backoff spin cap) cross here. Fields
+/// without a core-side counterpart keep their rt defaults.
+pub fn rt_config_from(cfg: &core::NemesisConfig) -> rt::RtConfig {
+    rt::RtConfig {
+        queue_capacity: cfg.queue_slots,
+        cells: cfg.cells_per_proc,
+        cell_size: cfg.cell_payload as usize,
+        spin_limit: cfg.backoff_spin_cap,
+        recv_batch: cfg.progress_batch,
+        ..rt::RtConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rt_config_bridges_nemesis_config() {
+        let cfg = core::NemesisConfig {
+            backoff_spin_cap: 2,
+            progress_batch: 5,
+            cell_payload: 8 << 10,
+            ..core::NemesisConfig::default()
+        };
+        let rtc = rt_config_from(&cfg);
+        assert_eq!(rtc.spin_limit, 2);
+        assert_eq!(rtc.recv_batch, 5);
+        assert_eq!(rtc.cell_size, 8 << 10);
+        assert_eq!(rtc.queue_capacity, cfg.queue_slots);
+        // And the bridged config actually runs the rt runtime.
+        rt::run_rt_cfg(2, rt::RtLmt::Direct, rtc, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[42u8; 100]);
+            } else {
+                let mut buf = [0u8; 100];
+                assert_eq!(comm.recv(Some(0), Some(1), &mut buf), 100);
+                assert!(buf.iter().all(|&b| b == 42));
+            }
+        });
+    }
+}
