@@ -36,6 +36,14 @@ impl Comm<'_> {
     /// layout's blocks): copy into pooled cells (first copy of the two)
     /// and enqueue the envelope.
     pub(super) fn eager_send(&self, dst: usize, tag: i32, src: &[(BufId, u64, u64)], len: u64) {
+        // The eager/rendezvous switch is the facade's decision
+        // ([`TransferPolicy::use_rendezvous`](crate::lmt::TransferPolicy));
+        // by the time a message reaches this module it must be on the
+        // eager side of it.
+        debug_assert!(
+            !self.nem.policy.use_rendezvous(len),
+            "rendezvous-sized message ({len} B) routed onto the eager path"
+        );
         let cfg = &self.nem.cfg;
         // Fused fast path: a contiguous payload fitting one cell skips
         // all segment bookkeeping — one cell acquire, one straight-line

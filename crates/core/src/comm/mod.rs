@@ -57,12 +57,16 @@ pub struct Nemesis {
     pub(crate) nprocs: usize,
     pub(crate) seg: ShmSegment,
     pub(crate) sh: Mutex<ShmState>,
-    /// The configured `DMAmin` policy, built once — `dma_min` sits on
-    /// the per-transfer path (every KNEM `Auto` receive, every blended
-    /// selection), so transfers must not re-box it.
-    pub(crate) policy: Box<dyn crate::lmt::ThresholdPolicy + Send + Sync>,
+    /// The transfer-decision facade, built once: every eager/rendezvous
+    /// switch, `DMAmin` query, copy-vs-offload resolution and chunk
+    /// schedule goes through it (and, under learned configurations,
+    /// every completion feeds back into it). Decisions sit on the
+    /// per-transfer path, so they must be lock-free reads — see
+    /// [`crate::lmt::tuner`] for the contract.
+    pub(crate) policy: crate::lmt::TransferPolicy,
     /// Core each rank runs on, learned at [`Nemesis::attach`] time (the
-    /// blended LMT policy consults the pair's cache-sharing relation).
+    /// blended LMT policy consults the pair's cache-sharing relation,
+    /// the tuner records per-placement samples).
     cores: Mutex<Vec<Option<usize>>>,
 }
 
@@ -71,7 +75,7 @@ impl Nemesis {
     /// `run_simulation`; each process then calls [`Nemesis::attach`].
     pub fn new(os: Arc<Os>, nprocs: usize, cfg: NemesisConfig) -> Arc<Self> {
         let (seg, state) = ShmSegment::new(&os, nprocs, &cfg);
-        let policy = cfg.threshold_policy();
+        let policy = crate::lmt::TransferPolicy::from_config(&cfg, nprocs);
         Arc::new(Self {
             os,
             cfg,
@@ -109,13 +113,37 @@ impl Nemesis {
         }
     }
 
+    /// The transfer-decision facade (reports and tests introspect the
+    /// learned state through it).
+    pub fn policy(&self) -> &crate::lmt::TransferPolicy {
+        &self.policy
+    }
+
+    /// Cache relation of two *ranks* (unattached ranks count as
+    /// cross-socket — the conservative direction).
+    pub(crate) fn placement_between(&self, a: usize, b: usize) -> nemesis_sim::topology::Placement {
+        let cores = self.cores.lock();
+        match (cores[a], cores[b]) {
+            (Some(ca), Some(cb)) => self.os.machine().cfg().topology.placement(ca, cb),
+            _ => nemesis_sim::topology::Placement::DifferentSocket,
+        }
+    }
+
     /// Resolve the configured LMT selection for a `len`-byte transfer
-    /// from `src_core` to rank `dst`. Fixed selections pass through;
-    /// [`LmtSelect::Dynamic`] applies the §3.5 blended policy
-    /// ([`policy::blended_select`]). An unattached destination (its core
-    /// unknown yet) is treated as not sharing a cache — the conservative
-    /// direction, since single-copy never loses badly.
-    pub(crate) fn resolve_select(&self, src_core: usize, dst: usize, len: u64) -> LmtSelect {
+    /// from rank `src` (running on `src_core`) to rank `dst`. Fixed
+    /// selections pass through; [`LmtSelect::Dynamic`] applies the §3.5
+    /// blended policy ([`policy::blended_select`]) under the pair's
+    /// effective `DMAmin` (learned, when so configured). An unattached
+    /// destination (its core unknown yet) is treated as not sharing a
+    /// cache — the conservative direction, since single-copy never
+    /// loses badly.
+    pub(crate) fn resolve_select(
+        &self,
+        src: usize,
+        src_core: usize,
+        dst: usize,
+        len: u64,
+    ) -> LmtSelect {
         match self.cfg.lmt {
             LmtSelect::Dynamic => {
                 let shared = match self.cores.lock()[dst] {
@@ -124,7 +152,7 @@ impl Nemesis {
                     }
                     None => false,
                 };
-                let dma_min = self.policy.dma_min(self.os.machine(), 1);
+                let dma_min = self.policy.dma_min(self.os.machine(), Some((src, dst)), 1);
                 policy::blended_select(&self.cfg, shared, len, dma_min)
             }
             fixed => fixed,
@@ -217,6 +245,39 @@ impl<'a> Comm<'a> {
         self.concurrency.set(n.max(1));
     }
 
+    /// Build the sender-side chunk pipeline for a streaming transfer
+    /// between ranks `src` and `dst` (the directed pair the tuner keys
+    /// learned sweet spots on), growing toward `ceiling`. Only this
+    /// side consumes the tuner's probe cadence.
+    pub(crate) fn lmt_pipeline(
+        &self,
+        src: usize,
+        dst: usize,
+        ceiling: u64,
+    ) -> crate::lmt::ChunkPipeline {
+        self.nem.policy.pipeline(Some((src, dst)), ceiling)
+    }
+
+    /// The receiver-side counterpart of [`Comm::lmt_pipeline`]: same
+    /// schedule, but never advances the pair's probe counter.
+    pub(crate) fn lmt_recv_pipeline(
+        &self,
+        src: usize,
+        dst: usize,
+        ceiling: u64,
+    ) -> crate::lmt::ChunkPipeline {
+        self.nem.policy.recv_pipeline(Some((src, dst)), ceiling)
+    }
+
+    /// Report one fully-absorbed sender-side chunk's timing to the
+    /// tuner (no-op under static configurations). `dst` is the
+    /// receiving rank of the transfer this chunk belongs to.
+    pub(crate) fn note_chunk(&self, dst: usize, chunk: u64, elapsed_ps: Ps) {
+        self.nem
+            .policy
+            .record_chunk(self.rank(), dst, chunk, elapsed_ps);
+    }
+
     pub(in crate::comm) fn new_req(&self, state: ReqState) -> usize {
         let mut inner = self.inner.borrow_mut();
         inner.reqs.push(state);
@@ -237,7 +298,7 @@ impl<'a> Comm<'a> {
     pub fn isend(&self, dst: usize, tag: i32, buf: BufId, off: u64, len: u64) -> Request {
         assert!(dst < self.size(), "invalid destination rank {dst}");
         assert_ne!(dst, self.rank(), "self-send must use sendrecv_self");
-        if len <= self.nem.cfg.eager_max {
+        if !self.nem.policy.use_rendezvous(len) {
             self.eager_send(dst, tag, &[(buf, off, len)], len);
             Request::new(self.new_req(ReqState::Done))
         } else {
@@ -257,7 +318,7 @@ impl<'a> Comm<'a> {
         if layout.is_contiguous() {
             return self.isend(dst, tag, buf, layout.off, len);
         }
-        if len <= self.nem.cfg.eager_max {
+        if !self.nem.policy.use_rendezvous(len) {
             let src: Vec<(BufId, u64, u64)> = layout
                 .blocks()
                 .into_iter()
@@ -266,7 +327,9 @@ impl<'a> Comm<'a> {
             self.eager_send(dst, tag, &src, len);
             return Request::new(self.new_req(ReqState::Done));
         }
-        let sel = self.nem.resolve_select(self.p.core(), dst, len);
+        let sel = self
+            .nem
+            .resolve_select(self.rank(), self.p.core(), dst, len);
         if lmt::backend_for(sel).scatter_native() {
             return self.rndv_send_iovs(dst, tag, &layout.iovs(buf), len, sel);
         }

@@ -22,7 +22,7 @@ impl Comm<'_> {
         let envs: Vec<Envelope> = {
             let mut sh = self.nem.sh.lock();
             let q = &mut sh.queues[me];
-            let n = q.len().min(self.nem.cfg.progress_batch.max(1));
+            let n = q.len().min(self.nem.policy.progress_batch());
             q.drain(..n).collect()
         };
         self.nem.seg.charge_queue_poll(self.p, &self.nem.os);

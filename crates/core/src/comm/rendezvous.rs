@@ -32,7 +32,9 @@ impl Comm<'_> {
         len: u64,
         staging: Option<(u64, BufId)>,
     ) -> Request {
-        let sel = self.nem.resolve_select(self.p.core(), dst, len);
+        let sel = self
+            .nem
+            .resolve_select(self.rank(), self.p.core(), dst, len);
         self.rndv_send_inner(dst, tag, &[Iov::new(buf, off, len)], staging, sel)
     }
 
@@ -141,6 +143,9 @@ impl Comm<'_> {
             op,
             done: false,
             staging,
+            backend: backend.name(),
+            started: self.p.now(),
+            concurrency,
         });
     }
 
@@ -155,8 +160,10 @@ impl Comm<'_> {
     }
 
     /// Mark a rendezvous receive complete: unpack the staging buffer into
-    /// the user layout (scatter-blind wires only), recycle it, and
-    /// complete the request.
+    /// the user layout (scatter-blind wires only), recycle it, complete
+    /// the request, and feed the transfer's sample into the tuner —
+    /// every LMT completion is observed exactly once, on the receiver
+    /// (the side that drives the §3.5 mode decision).
     pub(super) fn complete_recv(&self, r: &mut RecvRndv) {
         if let Some((cap, stage, user_buf, layout)) = r.staging.take() {
             unpack(&self.nem.os, self.p, stage, 0, user_buf, &layout);
@@ -164,6 +171,17 @@ impl Comm<'_> {
         }
         r.done = true;
         self.inner.borrow_mut().reqs[r.req] = ReqState::Done;
+        if self.nem.policy.is_learned() {
+            let sample = crate::lmt::TransferSample {
+                backend: r.backend,
+                class: r.op.transfer_class(),
+                placement: self.nem.placement_between(r.t.peer, self.rank()),
+                bytes: r.t.len,
+                elapsed_ps: self.p.now().saturating_sub(r.started),
+                concurrency: r.concurrency,
+            };
+            self.nem.policy.record(r.t.peer, self.rank(), &sample);
+        }
     }
 
     /// Step one send op; returns whether work was done.
@@ -192,21 +210,31 @@ impl Comm<'_> {
         }
     }
 
-    /// §3.5: decide how the KNEM receive command runs, consulting the
-    /// configured [`ThresholdPolicy`](crate::lmt::ThresholdPolicy) for
-    /// the `Auto` mode.
-    pub fn resolve_knem(&self, sel: KnemSelect, len: u64, concurrency: u32) -> KnemFlags {
+    /// §3.5: decide how the KNEM receive command runs for a transfer
+    /// arriving from rank `peer`, consulting the
+    /// [`TransferPolicy`](crate::lmt::TransferPolicy) facade for the
+    /// `Auto` mode (the pair's effective `DMAmin` — learned when so
+    /// configured, including the tuner's in-band exploration).
+    pub fn resolve_knem(
+        &self,
+        sel: KnemSelect,
+        peer: usize,
+        len: u64,
+        concurrency: u32,
+    ) -> KnemFlags {
         match sel {
             KnemSelect::SyncCpu => KnemFlags::sync_cpu(),
             KnemSelect::AsyncKthread => KnemFlags::async_kthread(),
             KnemSelect::SyncIoat => KnemFlags::sync_ioat(),
             KnemSelect::AsyncIoat => KnemFlags::async_ioat(),
             KnemSelect::Auto => {
-                let dma_min = self
-                    .nem
-                    .policy
-                    .dma_min(self.nem.os.machine(), concurrency as usize);
-                if len >= dma_min {
+                let offload = self.nem.policy.offload_decision(
+                    self.nem.os.machine(),
+                    Some((peer, self.rank())),
+                    len,
+                    concurrency as usize,
+                );
+                if offload {
                     // KNEM enables async mode by default only with I/OAT
                     // (§4.3).
                     KnemFlags::async_ioat()

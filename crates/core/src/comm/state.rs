@@ -70,6 +70,13 @@ pub(super) struct RecvRndv {
     /// which points at the staging buffer; the final unpack scatters
     /// into the user buffer through the layout.
     pub staging: Option<(u64, BufId, BufId, VectorLayout)>,
+    /// Wire backend label (the tuner sample's `backend` field).
+    pub backend: &'static str,
+    /// Virtual time the receive op was registered — completion minus
+    /// this is the elapsed time of the transfer's sample.
+    pub started: nemesis_sim::Ps,
+    /// The §6 concurrency hint the RTS carried (copied into the sample).
+    pub concurrency: u32,
 }
 
 /// A matched receive whose fragmented eager payload is still streaming

@@ -668,10 +668,10 @@ fn concurrency_hint_lowers_auto_threshold() {
             return;
         }
         // 256 KiB is below the 1 MiB point-to-point threshold…
-        let f = comm.resolve_knem(KnemSelect::Auto, 256 << 10, 1);
+        let f = comm.resolve_knem(KnemSelect::Auto, 1, 256 << 10, 1);
         assert_eq!(f, KnemFlags::sync_cpu());
         // …but above the hinted threshold for an 8-way collective.
-        let f = comm.resolve_knem(KnemSelect::Auto, 256 << 10, 8);
+        let f = comm.resolve_knem(KnemSelect::Auto, 1, 256 << 10, 8);
         assert_eq!(f, KnemFlags::async_ioat());
     });
 }

@@ -78,6 +78,33 @@ pub enum ThresholdSelect {
     /// Blended value, scaled down by the §6 collective concurrency
     /// hint.
     ConcurrencyAware,
+    /// Learn the threshold online, per (pair, placement): every LMT
+    /// completion feeds the [`tuner`](crate::lmt::tuner), which
+    /// maintains an EWMA-smoothed copy-vs-offload crossover with
+    /// hysteresis. Until a pair has observed a crossover it falls back
+    /// to the architectural value (the learned policy's prior); the
+    /// learned value is clamped so it can never sink below
+    /// [`NemesisConfig::eager_max`] (the LMT never runs below the
+    /// eager/rendezvous switchover).
+    Learned,
+}
+
+/// Which chunk schedule drives the [`ChunkPipeline`](crate::lmt::ChunkPipeline)
+/// of streaming LMT wires (see [`ChunkSchedule`](crate::lmt::ChunkSchedule)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkScheduleSelect {
+    /// Geometric growth from `lmt_chunk_start` to the backend's
+    /// preferred chunk (the PR-2 adaptive default).
+    #[default]
+    Adaptive,
+    /// Constant full-ceiling chunks (the seed's fixed-size chunking —
+    /// the baseline the paper's steady-state bandwidth tables assume).
+    Fixed,
+    /// Geometric growth toward the per-(pair, placement) sweet spot the
+    /// [`tuner`](crate::lmt::tuner) learns from per-chunk timings,
+    /// falling back to the backend's preferred chunk until one is
+    /// learned.
+    Learned,
 }
 
 /// Tunables of the Nemesis communication subsystem.
@@ -135,6 +162,8 @@ pub struct NemesisConfig {
     /// Which `DMAmin` threshold policy to build (see
     /// [`NemesisConfig::threshold_policy`]).
     pub threshold: ThresholdSelect,
+    /// Which chunk schedule streaming LMT wires pipeline with.
+    pub chunk_schedule: ChunkScheduleSelect,
 }
 
 impl Default for NemesisConfig {
@@ -155,6 +184,7 @@ impl Default for NemesisConfig {
             knem_available: true,
             vmsplice_available: true,
             threshold: ThresholdSelect::Auto,
+            chunk_schedule: ChunkScheduleSelect::default(),
         }
     }
 }

@@ -59,6 +59,9 @@ pub mod shm;
 pub mod vector;
 
 pub use comm::{Comm, MessageInfo, Nemesis, Request, ANY_SOURCE, ANY_TAG};
-pub use config::{KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
-pub use lmt::{ChunkPipeline, LmtBackend, ThresholdPolicy};
+pub use config::{ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
+pub use lmt::{
+    ChunkPipeline, ChunkSchedule, FixedChunk, GeometricGrowth, LearnedChunk, LmtBackend,
+    ThresholdPolicy, TransferClass, TransferPolicy, TransferSample, Tuner,
+};
 pub use vector::VectorLayout;

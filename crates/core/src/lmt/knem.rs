@@ -83,6 +83,7 @@ impl LmtBackend for KnemBackend {
             concurrency,
             iovs,
             state: KnemRecvState::Issue,
+            offloaded: false,
         })
     }
 }
@@ -114,6 +115,9 @@ struct KnemRecvOp {
     concurrency: u32,
     iovs: Vec<Iov>,
     state: KnemRecvState,
+    /// Whether the resolved receive mode uses the I/OAT engine — the
+    /// tuner sample's class (set when the ioctl is issued).
+    offloaded: bool,
 }
 
 impl LmtRecvOp for KnemRecvOp {
@@ -122,7 +126,8 @@ impl LmtRecvOp for KnemRecvOp {
         let p = comm.proc();
         match self.state {
             KnemRecvState::Issue => {
-                let flags = comm.resolve_knem(self.sel, t.len, self.concurrency);
+                let flags = comm.resolve_knem(self.sel, t.peer, t.len, self.concurrency);
+                self.offloaded = flags.uses_ioat();
                 let status = comm.status_acquire();
                 os.knem_recv_cmd(p, self.cookie, &self.iovs, flags, status);
                 self.state = KnemRecvState::Poll(status);
@@ -140,6 +145,14 @@ impl LmtRecvOp for KnemRecvOp {
                 comm.send_done(t.peer, t.msg_id);
                 Step::Complete
             }
+        }
+    }
+
+    fn transfer_class(&self) -> super::TransferClass {
+        if self.offloaded {
+            super::TransferClass::Offload
+        } else {
+            super::TransferClass::Copy
         }
     }
 }

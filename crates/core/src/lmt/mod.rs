@@ -26,9 +26,13 @@ pub mod knem;
 pub mod pipe_writev;
 pub mod policy;
 pub mod shm_copy;
+pub mod tuner;
 pub mod vmsplice;
 
-pub use policy::{ArchitecturalThreshold, ConcurrencyScaled, StaticThreshold, ThresholdPolicy};
+pub use policy::{
+    ArchitecturalThreshold, ConcurrencyScaled, StaticThreshold, ThresholdPolicy, TransferPolicy,
+};
+pub use tuner::{TransferClass, TransferSample, Tuner};
 
 use nemesis_kernel::Iov;
 
@@ -92,6 +96,13 @@ pub trait LmtRecvOp {
     /// ownership and return `false`.
     fn needs_fifo(&self) -> bool {
         false
+    }
+
+    /// Which mechanism moved the bytes — the [`tuner`]'s sample class.
+    /// Everything is a CPU copy except KNEM receives that resolved to
+    /// the I/OAT engine (the op reports after resolving its mode).
+    fn transfer_class(&self) -> TransferClass {
+        TransferClass::Copy
     }
 }
 
@@ -184,14 +195,112 @@ pub const ALL_SELECTS: [LmtSelect; 8] = [
     LmtSelect::Knem(KnemSelect::Auto),
 ];
 
+/// How a [`ChunkPipeline`] sizes its chunks over a transfer's lifetime.
+///
+/// PR 2 hard-coded geometric doubling into the pipeline; extracting the
+/// schedule lets the decision layer choose per transfer — geometric
+/// growth (the adaptive default), fixed full-ceiling chunks (the seed
+/// behaviour, kept selectable for reproducing the paper's tables), or
+/// growth toward a per-(pair, placement) sweet spot learned by the
+/// [`tuner`]. Implementations are value-like (a size or nothing), so a
+/// schedule decision is arithmetic — no state, no allocation.
+pub trait ChunkSchedule: Send + Sync {
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+
+    /// First chunk of a transfer, given the configured start size and
+    /// the wire ceiling.
+    fn first(&self, start: u64, max: u64) -> u64 {
+        start.clamp(1, max)
+    }
+
+    /// Chunk size after a fully-absorbed chunk of `current` bytes
+    /// (`max` is the wire ceiling). Must stay within `[1, max]`.
+    fn next(&self, current: u64, max: u64) -> u64;
+}
+
+/// Geometric doubling from the start chunk to the wire ceiling — the
+/// PR-2 adaptive default.
+pub struct GeometricGrowth;
+
+impl ChunkSchedule for GeometricGrowth {
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+
+    fn next(&self, current: u64, max: u64) -> u64 {
+        (current.saturating_mul(2)).min(max)
+    }
+}
+
+/// Constant full-ceiling chunks — the seed's fixed-size chunking, the
+/// steady-state baseline `BENCH_*.json` compares learned schedules
+/// against.
+pub struct FixedChunk;
+
+impl ChunkSchedule for FixedChunk {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn first(&self, _start: u64, max: u64) -> u64 {
+        max
+    }
+
+    fn next(&self, _current: u64, max: u64) -> u64 {
+        max
+    }
+}
+
+/// The learned-sweet-spot schedule: with a published `target` the
+/// transfer runs constant chunks of that size from the first byte (the
+/// model already decided it is the throughput optimum — ramping up to
+/// it would only re-pay the cold-start cost the model has priced in);
+/// with `target = 0` (nothing learned yet, or a probe transfer) it
+/// grows geometrically to the wire ceiling like [`GeometricGrowth`],
+/// sampling every class on the way.
+pub struct LearnedChunk {
+    /// The tuner's published sweet spot for this transfer's pair.
+    pub target: u64,
+}
+
+impl LearnedChunk {
+    fn cap(&self, max: u64) -> u64 {
+        if self.target == 0 {
+            max
+        } else {
+            self.target.clamp(1, max)
+        }
+    }
+}
+
+impl ChunkSchedule for LearnedChunk {
+    fn name(&self) -> &'static str {
+        "learned"
+    }
+
+    fn first(&self, start: u64, max: u64) -> u64 {
+        if self.target == 0 {
+            start.clamp(1, max)
+        } else {
+            self.cap(max)
+        }
+    }
+
+    fn next(&self, current: u64, max: u64) -> u64 {
+        (current.saturating_mul(2)).min(self.cap(max))
+    }
+}
+
 /// The adaptive chunk-pipelining engine every streaming backend shares
 /// (§2: "one thereby partially hiding the cost of the other").
 ///
 /// The seed drove every wire at one fixed chunk size — good for
 /// steady-state bandwidth, bad for time-to-first-byte (the peer idles
-/// until the first whole chunk lands). The pipeline instead starts at a
-/// small `start` chunk and **doubles after every fully-consumed chunk**
-/// up to the backend's sweet spot `max` (its
+/// until the first whole chunk lands). The pipeline instead asks its
+/// [`ChunkSchedule`] after every fully-consumed chunk; under the
+/// default [`GeometricGrowth`] it starts at a small `start` chunk and
+/// doubles up to the backend's sweet spot `max` (its
 /// [`preferred_chunk`](LmtBackend::preferred_chunk), clamped by the op
 /// to configured resource sizes): latency-bound transfers finish before
 /// ever reaching the big chunks, bandwidth-bound ones spend almost all
@@ -209,16 +318,24 @@ pub struct ChunkPipeline {
     done: u64,
     chunk: u64,
     max: u64,
+    schedule: Box<dyn ChunkSchedule>,
 }
 
 impl ChunkPipeline {
-    /// A pipeline growing from `start` to `max` bytes per chunk.
+    /// A pipeline growing geometrically from `start` to `max` bytes per
+    /// chunk (the PR-2 behaviour).
     pub fn new(start: u64, max: u64) -> Self {
+        Self::with_schedule(start, max, Box::new(GeometricGrowth))
+    }
+
+    /// A pipeline driven by an explicit schedule.
+    pub fn with_schedule(start: u64, max: u64, schedule: Box<dyn ChunkSchedule>) -> Self {
         let max = max.max(1);
         Self {
             done: 0,
-            chunk: start.clamp(1, max),
+            chunk: schedule.first(start, max).clamp(1, max),
             max,
+            schedule,
         }
     }
 
@@ -262,8 +379,8 @@ impl ChunkPipeline {
             // Grow only when the wire absorbed a full current-sized
             // chunk; a remainder-limited tail or a partial write is no
             // evidence the wire wants bigger chunks.
-            if n >= self.chunk && self.chunk < self.max {
-                self.chunk = (self.chunk * 2).min(self.max);
+            if n >= self.chunk {
+                self.chunk = self.schedule.next(self.chunk, self.max).clamp(1, self.max);
             }
         }
         did
@@ -339,5 +456,45 @@ mod tests {
         assert_eq!(p.current_chunk(), 1);
         let p = ChunkPipeline::new(1 << 30, 16);
         assert_eq!(p.current_chunk(), 16, "start clamps to the sweet spot");
+    }
+
+    #[test]
+    fn fixed_schedule_drives_full_ceiling_chunks() {
+        let mut p = ChunkPipeline::with_schedule(4, 32, Box::new(FixedChunk));
+        assert_eq!(p.current_chunk(), 32, "fixed ignores the start chunk");
+        let mut budgets = Vec::new();
+        assert!(p.drive(100, |_, b| {
+            budgets.push(b);
+            b
+        }));
+        assert_eq!(budgets, vec![32, 32, 32, 4], "constant chunks + remainder");
+    }
+
+    #[test]
+    fn learned_schedule_runs_at_the_target() {
+        let mut p = ChunkPipeline::with_schedule(4, 64, Box::new(LearnedChunk { target: 16 }));
+        let mut budgets = Vec::new();
+        assert!(p.drive(60, |_, b| {
+            budgets.push(b);
+            b
+        }));
+        assert_eq!(
+            budgets,
+            vec![16, 16, 16, 12],
+            "a published target runs constant target-sized chunks"
+        );
+        // An unlearned target behaves exactly like geometric growth.
+        let mut p = ChunkPipeline::with_schedule(4, 64, Box::new(LearnedChunk { target: 0 }));
+        let mut budgets = Vec::new();
+        p.drive(1000, |_, b| {
+            budgets.push(b);
+            b
+        });
+        assert_eq!(budgets[0], 4, "unlearned ramps from the start chunk");
+        assert_eq!(*budgets.iter().max().unwrap(), 64);
+        // A target above the wire ceiling clamps to the ceiling.
+        let p =
+            ChunkPipeline::with_schedule(1 << 20, 64, Box::new(LearnedChunk { target: 1 << 30 }));
+        assert_eq!(p.current_chunk(), 64);
     }
 }

@@ -23,10 +23,24 @@ use super::{ChunkPipeline, LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
 /// ring size.
 pub(super) const PIPE_PREFERRED: u64 = 64 << 10;
 
-/// Build the pipeline for one side of a pipe transfer, growing toward
-/// the owning backend's reported sweet spot.
-fn pipe_pipeline(comm: &Comm<'_>, backend: &dyn LmtBackend) -> ChunkPipeline {
-    ChunkPipeline::new(comm.config().lmt_chunk_start, backend.preferred_chunk())
+/// Build the pipeline for one side of a pipe transfer between ranks
+/// `src` and `dst` (`sender` selects which side — only the sender
+/// consumes the tuner's probe cadence), growing toward the owning
+/// backend's reported sweet spot under the configured schedule
+/// (geometric / fixed / learned).
+fn pipe_pipeline(
+    comm: &Comm<'_>,
+    backend: &dyn LmtBackend,
+    src: usize,
+    dst: usize,
+    sender: bool,
+) -> ChunkPipeline {
+    let ceiling = backend.preferred_chunk();
+    if sender {
+        comm.lmt_pipeline(src, dst, ceiling)
+    } else {
+        comm.lmt_recv_pipeline(src, dst, ceiling)
+    }
 }
 
 /// The `writev` pipe backend singleton.
@@ -53,12 +67,12 @@ impl LmtBackend for PipeWritevBackend {
     fn start_recv(
         &self,
         comm: &Comm<'_>,
-        _t: &Transfer,
+        t: &Transfer,
         wire: &LmtWire,
         _layout: Option<&VectorLayout>,
         _concurrency: u32,
     ) -> Box<dyn LmtRecvOp> {
-        start_pipe_recv(comm, self, wire)
+        start_pipe_recv(comm, self, t, wire)
     }
 }
 
@@ -76,8 +90,10 @@ pub(super) fn start_pipe_send(
         Box::new(PipeSendOp {
             pipe,
             vmsplice,
-            pipeline: pipe_pipeline(comm, backend),
+            pipeline: pipe_pipeline(comm, backend, comm.rank(), t.peer, true),
             state: PipeSendState::Acquire,
+            chunks_done: 0,
+            last_end: 0,
         }),
     )
 }
@@ -86,6 +102,7 @@ pub(super) fn start_pipe_send(
 pub(super) fn start_pipe_recv(
     comm: &Comm<'_>,
     backend: &dyn LmtBackend,
+    t: &Transfer,
     wire: &LmtWire,
 ) -> Box<dyn LmtRecvOp> {
     let LmtWire::Pipe { pipe, .. } = *wire else {
@@ -93,7 +110,7 @@ pub(super) fn start_pipe_recv(
     };
     Box::new(PipeRecvOp {
         pipe,
-        pipeline: pipe_pipeline(comm, backend),
+        pipeline: pipe_pipeline(comm, backend, t.peer, comm.rank(), false),
     })
 }
 
@@ -121,6 +138,14 @@ struct PipeSendOp {
     vmsplice: bool,
     pipeline: ChunkPipeline,
     state: PipeSendState,
+    /// Chunks pushed so far; the first two (pipeline fill) are skipped
+    /// by the tuner sampling — they never contend with the reader, so
+    /// their timings would bias the chunk model toward cold-start
+    /// behaviour.
+    chunks_done: u32,
+    /// Virtual time the previous chunk entered the pipe (steady-state
+    /// inter-chunk interval sampling).
+    last_end: nemesis_sim::Ps,
 }
 
 impl LmtSendOp for PipeSendOp {
@@ -147,12 +172,22 @@ impl LmtSendOp for PipeSendOp {
             }
             PipeSendState::Active => {
                 let (pipe, vmsplice) = (self.pipe, self.vmsplice);
+                let (chunks_done, last_end) = (&mut self.chunks_done, &mut self.last_end);
                 let did = self.pipeline.drive(t.len, |at, budget| {
-                    if vmsplice {
+                    let n = if vmsplice {
                         os.pipe_try_vmsplice(p, pipe, t.buf, t.off + at, budget)
                     } else {
                         os.pipe_try_write(p, pipe, t.buf, t.off + at, budget)
+                    };
+                    if n > 0 {
+                        let end = p.now();
+                        if *chunks_done >= 2 {
+                            comm.note_chunk(t.peer, n, end.saturating_sub(*last_end));
+                        }
+                        *last_end = end;
+                        *chunks_done += 1;
                     }
+                    n
                 });
                 if self.pipeline.is_complete(t.len) {
                     if self.vmsplice {

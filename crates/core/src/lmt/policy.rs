@@ -1,5 +1,6 @@
-//! `DMAmin` threshold policies (§3.5, §6) and the blended per-pair
-//! backend selection (§4.1/§4.2).
+//! `DMAmin` threshold policies (§3.5, §6), the blended per-pair
+//! backend selection (§4.1/§4.2), and the [`TransferPolicy`] facade the
+//! protocol layer consults.
 //!
 //! §3.5: I/OAT offload only pays off past a threshold (`DMAmin`) that
 //! depends on the cache architecture; below it a synchronous CPU copy
@@ -9,10 +10,21 @@
 //! §4.4). Each variant is a [`ThresholdPolicy`]; which one a universe
 //! uses is chosen via [`NemesisConfig`]
 //! ([`NemesisConfig::threshold_policy`]).
+//!
+//! The protocol modules (`comm::{eager, rendezvous, progress}`) never
+//! read threshold constants from the config directly: every transfer
+//! decision — eager vs rendezvous, copy vs offload, chunk schedule —
+//! goes through one [`TransferPolicy`] instance owned by the universe,
+//! which composes the configured [`ThresholdPolicy`] variant with the
+//! optional learned [`Tuner`] state behind it.
+
+use std::sync::Arc;
 
 use nemesis_sim::{topology::Placement, Machine};
 
-use crate::config::{KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
+use crate::config::{ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
+use crate::lmt::tuner::{TransferSample, Tuner};
+use crate::lmt::{ChunkPipeline, FixedChunk, LearnedChunk};
 
 /// How large a transfer must be before the I/OAT receive mode is worth
 /// requesting.
@@ -93,6 +105,12 @@ impl<P: ThresholdPolicy> ThresholdPolicy for ConcurrencyScaled<P> {
 /// config fields: a `dma_min_override` becomes a [`StaticThreshold`],
 /// otherwise the architectural value applies, and `collective_hint`
 /// wraps either in [`ConcurrencyScaled`].
+///
+/// `ThresholdSelect::Learned` returns its *prior* — the architectural
+/// value a pair starts from until it has observed a crossover. The
+/// per-pair learned refinement needs pair identity and therefore lives
+/// in [`TransferPolicy`], which wraps this prior together with the
+/// [`Tuner`].
 pub fn policy_for(cfg: &NemesisConfig) -> Box<dyn ThresholdPolicy + Send + Sync> {
     match cfg.threshold {
         ThresholdSelect::Auto => match (cfg.dma_min_override, cfg.collective_hint) {
@@ -106,6 +124,175 @@ pub fn policy_for(cfg: &NemesisConfig) -> Box<dyn ThresholdPolicy + Send + Sync>
         ThresholdSelect::ConcurrencyAware => {
             Box::new(ConcurrencyScaled::new(ArchitecturalThreshold))
         }
+        ThresholdSelect::Learned => match cfg.collective_hint {
+            false => Box::new(ArchitecturalThreshold),
+            true => Box::new(ConcurrencyScaled::new(ArchitecturalThreshold)),
+        },
+    }
+}
+
+/// The transfer-decision facade: one per universe, consulted by the
+/// protocol layer for every decision it used to read straight out of
+/// [`NemesisConfig`].
+///
+/// It composes the configured [`ThresholdPolicy`] variant
+/// (static/architectural/concurrency-scaled, or that same value as the
+/// *prior* of the learned variant) with the optional [`Tuner`] and the
+/// configured chunk schedule. Hot-path queries ([`TransferPolicy::dma_min`],
+/// [`TransferPolicy::offload_decision`], [`TransferPolicy::pipeline`])
+/// read cached atomics out of the tuner — no locks, no allocation
+/// beyond the per-transfer pipeline the ops already box.
+pub struct TransferPolicy {
+    threshold: Box<dyn ThresholdPolicy + Send + Sync>,
+    tuner: Option<Arc<Tuner>>,
+    schedule: ChunkScheduleSelect,
+    eager_max: u64,
+    lmt_chunk_start: u64,
+    progress_batch: usize,
+}
+
+impl TransferPolicy {
+    /// Build the facade for a universe of `nprocs` ranks. The tuner is
+    /// instantiated only when some decision is learned — static
+    /// configurations carry no recording overhead at all.
+    pub fn from_config(cfg: &NemesisConfig, nprocs: usize) -> Self {
+        let learned = cfg.threshold == ThresholdSelect::Learned
+            || cfg.chunk_schedule == ChunkScheduleSelect::Learned;
+        Self {
+            threshold: policy_for(cfg),
+            tuner: learned.then(|| Arc::new(Tuner::new(nprocs, cfg.eager_max))),
+            schedule: cfg.chunk_schedule,
+            eager_max: cfg.eager_max,
+            lmt_chunk_start: cfg.lmt_chunk_start,
+            progress_batch: cfg.progress_batch,
+        }
+    }
+
+    /// The eager/rendezvous switchover (§3.5's 64 KiB default).
+    pub fn eager_max(&self) -> u64 {
+        self.eager_max
+    }
+
+    /// Whether a `len`-byte message takes the rendezvous (LMT) path.
+    pub fn use_rendezvous(&self, len: u64) -> bool {
+        len > self.eager_max
+    }
+
+    /// Envelopes the progress loop drains per queue poll.
+    pub fn progress_batch(&self) -> usize {
+        self.progress_batch.max(1)
+    }
+
+    /// Effective `DMAmin` for one transfer. `pair` is the directed
+    /// (sender, receiver) rank pair when known — the learned threshold
+    /// is per pair; pair-less queries (reports, unattached peers) get
+    /// the configured prior. The learned value can never sink below the
+    /// eager switchover, and scales with the §6 concurrency hint the
+    /// same way [`ConcurrencyScaled`] scales its base.
+    pub fn dma_min(
+        &self,
+        machine: &Machine,
+        pair: Option<(usize, usize)>,
+        concurrency: usize,
+    ) -> u64 {
+        match (&self.tuner, pair) {
+            (Some(tuner), Some((src, dst))) => {
+                let prior = self.threshold.dma_min(machine, 1);
+                let learned = tuner.dma_min(src, dst, prior);
+                if concurrency > 1 {
+                    (learned / concurrency as u64).max(tuner.floor())
+                } else {
+                    learned
+                }
+            }
+            _ => self.threshold.dma_min(machine, concurrency),
+        }
+    }
+
+    /// The §3.5 copy-vs-offload decision for a KNEM `Auto` receive,
+    /// including the tuner's deterministic in-band exploration when the
+    /// threshold is learned.
+    pub fn offload_decision(
+        &self,
+        machine: &Machine,
+        pair: Option<(usize, usize)>,
+        len: u64,
+        concurrency: usize,
+    ) -> bool {
+        let threshold = self.dma_min(machine, pair, concurrency);
+        match (&self.tuner, pair) {
+            (Some(tuner), Some((src, dst))) => tuner.offload_decision(src, dst, len, threshold),
+            _ => len >= threshold,
+        }
+    }
+
+    /// Build the chunk pipeline for the *sender* side of a streaming
+    /// transfer: the configured schedule over `[lmt_chunk_start,
+    /// ceiling]`. The learned schedule pulls the pair's published sweet
+    /// spot through the probe counter — only the sender consumes probe
+    /// ticks, because only the sender's budgets size the wire's chunks
+    /// (the receiver follows the sizes it finds).
+    pub fn pipeline(&self, pair: Option<(usize, usize)>, ceiling: u64) -> ChunkPipeline {
+        self.pipeline_inner(pair, ceiling, true)
+    }
+
+    /// The *receiver* side's pipeline: same schedule, but reads the
+    /// published sweet spot without advancing the pair's probe counter
+    /// (a receiver-side probe would be wasted — its budget never
+    /// decides a chunk size — and would steal the sender's cadence).
+    pub fn recv_pipeline(&self, pair: Option<(usize, usize)>, ceiling: u64) -> ChunkPipeline {
+        self.pipeline_inner(pair, ceiling, false)
+    }
+
+    fn pipeline_inner(
+        &self,
+        pair: Option<(usize, usize)>,
+        ceiling: u64,
+        explore: bool,
+    ) -> ChunkPipeline {
+        let start = self.lmt_chunk_start;
+        match self.schedule {
+            ChunkScheduleSelect::Adaptive => ChunkPipeline::new(start, ceiling),
+            ChunkScheduleSelect::Fixed => {
+                ChunkPipeline::with_schedule(start, ceiling, Box::new(FixedChunk))
+            }
+            ChunkScheduleSelect::Learned => {
+                let target = match (&self.tuner, pair) {
+                    (Some(tuner), Some((src, dst))) if explore => {
+                        tuner.chunk_target_explored(src, dst)
+                    }
+                    (Some(tuner), Some((src, dst))) => tuner.chunk_target(src, dst, 0),
+                    _ => 0,
+                };
+                ChunkPipeline::with_schedule(start, ceiling, Box::new(LearnedChunk { target }))
+            }
+        }
+    }
+
+    /// Feed one completed transfer into the tuner (no-op under static
+    /// configurations).
+    pub fn record(&self, src: usize, dst: usize, sample: &TransferSample) {
+        if let Some(tuner) = &self.tuner {
+            tuner.record(src, dst, sample);
+        }
+    }
+
+    /// Feed one fully-absorbed chunk timing into the tuner (no-op under
+    /// static configurations).
+    pub fn record_chunk(&self, src: usize, dst: usize, chunk: u64, elapsed_ps: u64) {
+        if let Some(tuner) = &self.tuner {
+            tuner.record_chunk(src, dst, chunk, elapsed_ps);
+        }
+    }
+
+    /// Whether any decision is learned (i.e. recording is live).
+    pub fn is_learned(&self) -> bool {
+        self.tuner.is_some()
+    }
+
+    /// The tuner, when any decision is learned (reports and tests).
+    pub fn tuner(&self) -> Option<&Arc<Tuner>> {
+        self.tuner.as_ref()
     }
 }
 
@@ -196,6 +383,48 @@ mod tests {
         assert_eq!(policy_for(&cfg).dma_min(&m, 8), 128 << 10);
         cfg.threshold = ThresholdSelect::Static(777);
         assert_eq!(policy_for(&cfg).dma_min(&m, 8), 777);
+    }
+
+    #[test]
+    fn learned_facade_falls_back_to_prior_and_builds_tuner_only_when_needed() {
+        let m = Machine::new(MachineConfig::xeon_e5345());
+        let mut cfg = NemesisConfig::default();
+        let tp = TransferPolicy::from_config(&cfg, 2);
+        assert!(!tp.is_learned(), "static configs carry no tuner");
+        cfg.threshold = ThresholdSelect::Learned;
+        let tp = TransferPolicy::from_config(&cfg, 2);
+        assert!(tp.is_learned());
+        // Nothing observed yet: every query returns the architectural
+        // prior, pair or no pair.
+        assert_eq!(tp.dma_min(&m, None, 1), 1 << 20);
+        assert_eq!(tp.dma_min(&m, Some((0, 1)), 1), 1 << 20);
+        assert!(tp.use_rendezvous((64 << 10) + 1));
+        assert!(!tp.use_rendezvous(64 << 10));
+    }
+
+    #[test]
+    fn recv_pipelines_never_consume_the_probe_cadence() {
+        let cfg = NemesisConfig {
+            chunk_schedule: crate::config::ChunkScheduleSelect::Learned,
+            ..NemesisConfig::default()
+        };
+        let tp = TransferPolicy::from_config(&cfg, 2);
+        let tuner = tp.tuner().unwrap();
+        for _ in 0..5 {
+            tuner.record_chunk(0, 1, 8 << 10, 1_000);
+        }
+        assert_eq!(tuner.chunk_target(0, 1, 0), 8 << 10);
+        // Receiver-side pipelines always follow the published target…
+        for _ in 0..64 {
+            let p = tp.recv_pipeline(Some((0, 1)), 32 << 10);
+            assert_eq!(p.current_chunk(), 8 << 10);
+        }
+        // …so the sender still probes exactly every 8th transfer (a
+        // probe starts at the configured ramp chunk, not the target).
+        let ramps = (0..32)
+            .filter(|_| tp.pipeline(Some((0, 1)), 32 << 10).current_chunk() != 8 << 10)
+            .count();
+        assert_eq!(ramps, 32 / 8, "probe cadence stolen by receiver builds");
     }
 
     #[test]

@@ -31,15 +31,22 @@ pub struct ShmCopyBackend;
 /// slot capacity cannot drift apart.
 pub(crate) const RING_PREFERRED: u64 = 32 << 10;
 
-/// Build the pipeline for one side of a ring transfer. This wire's
-/// ceiling is the slot capacity itself — a chunk can never exceed the
-/// buffer it travels through, and ablation sweeps resize the sweet spot
-/// with the slots. `ring_chunk` defaults to [`RING_PREFERRED`] (same
-/// constant [`LmtBackend::preferred_chunk`] reports), so the two cannot
-/// drift.
-fn ring_pipeline(comm: &Comm<'_>) -> ChunkPipeline {
-    let cfg = comm.config();
-    ChunkPipeline::new(cfg.lmt_chunk_start, cfg.ring_chunk)
+/// Build the pipeline for one side of a ring transfer between ranks
+/// `src` and `dst` (`sender` selects which side — only the sender
+/// consumes the tuner's probe cadence). This wire's ceiling is the slot
+/// capacity itself — a chunk can never exceed the buffer it travels
+/// through, and ablation sweeps resize the sweet spot with the slots.
+/// `ring_chunk` defaults to [`RING_PREFERRED`] (same constant
+/// [`LmtBackend::preferred_chunk`] reports), so the two cannot drift.
+/// The schedule (geometric / fixed / learned) comes from the
+/// [`TransferPolicy`](crate::lmt::TransferPolicy) facade.
+fn ring_pipeline(comm: &Comm<'_>, src: usize, dst: usize, sender: bool) -> ChunkPipeline {
+    let ceiling = comm.config().ring_chunk;
+    if sender {
+        comm.lmt_pipeline(src, dst, ceiling)
+    } else {
+        comm.lmt_recv_pipeline(src, dst, ceiling)
+    }
 }
 
 impl LmtBackend for ShmCopyBackend {
@@ -65,13 +72,13 @@ impl LmtBackend for ShmCopyBackend {
     fn start_recv(
         &self,
         comm: &Comm<'_>,
-        _t: &Transfer,
+        t: &Transfer,
         _wire: &LmtWire,
         _layout: Option<&VectorLayout>,
         _concurrency: u32,
     ) -> Box<dyn LmtRecvOp> {
         Box::new(ShmRecvOp {
-            pipe: ring_pipeline(comm),
+            pipe: ring_pipeline(comm, t.peer, comm.rank(), false),
             next_slot: 0,
         })
     }
@@ -84,6 +91,16 @@ enum ShmSendOp {
     Active {
         pipe: ChunkPipeline,
         next_slot: usize,
+        /// Chunks fully absorbed so far (the first `ring_bufs` fill an
+        /// empty pipeline and are skipped by the tuner sampling — they
+        /// never wait for the receiver, so their timings would teach
+        /// the chunk model a cold-start fiction).
+        chunks_done: u32,
+        /// Virtual time the previous chunk was published — the
+        /// steady-state inter-chunk interval is what the chunk model
+        /// learns from (it includes the wait for the receiver's
+        /// overlapping drain, i.e. the pipeline's true per-chunk cost).
+        last_end: nemesis_sim::Ps,
     },
 }
 
@@ -106,8 +123,10 @@ impl LmtSendOp for ShmSendOp {
                     ring.owner = Some(t.msg_id);
                     drop(sh);
                     *self = ShmSendOp::Active {
-                        pipe: ring_pipeline(comm),
+                        pipe: ring_pipeline(comm, comm.rank(), t.peer, true),
                         next_slot: 0,
+                        chunks_done: 0,
+                        last_end: 0,
                     };
                     Step::Progress
                 } else {
@@ -117,9 +136,15 @@ impl LmtSendOp for ShmSendOp {
             ShmSendOp::Active {
                 ref mut pipe,
                 ref mut next_slot,
+                ref mut chunks_done,
+                ref mut last_end,
             } => {
                 // Fill every currently-free buffer (double buffering),
-                // growing the chunk toward the slot capacity.
+                // growing the chunk toward the slot capacity. Once the
+                // pipeline is primed, each absorbed chunk's steady-state
+                // interval feeds the tuner's chunk model (a no-op under
+                // static schedules).
+                let nbufs = cfg.ring_bufs as u32;
                 let did = pipe.drive(t.len, |at, budget| {
                     let slot = *next_slot % cfg.ring_bufs;
                     let (fill, ring_buf) = {
@@ -139,6 +164,12 @@ impl LmtSendOp for ShmSendOp {
                         ring.fill[slot] = budget;
                         nem.seg.charge_flag(p, os, ring, slot, true);
                     }
+                    let end = p.now();
+                    if *chunks_done >= nbufs {
+                        comm.note_chunk(t.peer, budget, end.saturating_sub(*last_end));
+                    }
+                    *last_end = end;
+                    *chunks_done += 1;
                     *next_slot += 1;
                     budget
                 });

@@ -1,0 +1,125 @@
+//! The learned chunk sweet spot: per-chunk timings, folded into an
+//! EWMA throughput per power-of-two chunk class; the published sweet
+//! spot is the best-throughput class, switched with hysteresis.
+//!
+//! PR 2's `ChunkPipeline` grows geometrically toward a *static*
+//! per-backend `preferred_chunk`. The real sweet spot moves with
+//! placement (a shared-L2 pair tolerates bigger chunks before the ring
+//! starts evicting the receiver's lines; a cross-socket pair pays more
+//! flag traffic per chunk) — so this model learns it from the chunks
+//! the pipeline actually drives.
+
+/// Chunk classes cover 2^9 (512 B) .. 2^(9+NCLASSES-1) = 1 MiB.
+const CLASS_BASE: u32 = 9;
+const NCLASSES: usize = 12;
+
+/// Observations a class needs before it can be published.
+const MIN_SAMPLES: u32 = 3;
+
+/// EWMA smoothing for per-class throughput.
+const ALPHA: f64 = 0.25;
+
+/// A challenger class must beat the incumbent's throughput by this
+/// factor to take over (hysteresis against measurement jitter).
+const HYSTERESIS: f64 = 1.05;
+
+#[derive(Default, Clone, Copy)]
+struct Cell {
+    /// EWMA throughput in bytes per picosecond.
+    bw: f64,
+    n: u32,
+}
+
+/// Per-pair chunk model (behind the tuner's per-pair mutex).
+pub struct ChunkModel {
+    cells: [Cell; NCLASSES],
+    /// Published class index (`usize::MAX` = none yet).
+    published: usize,
+}
+
+impl Default for ChunkModel {
+    fn default() -> Self {
+        Self {
+            cells: [Cell::default(); NCLASSES],
+            published: usize::MAX,
+        }
+    }
+}
+
+fn class_of(bytes: u64) -> usize {
+    let lg = if bytes == 0 { 0 } else { bytes.ilog2() };
+    (lg.saturating_sub(CLASS_BASE) as usize).min(NCLASSES - 1)
+}
+
+impl ChunkModel {
+    /// Fold one fully-absorbed chunk's timing into its class.
+    pub fn observe(&mut self, chunk_bytes: u64, elapsed_ps: u64) {
+        let c = class_of(chunk_bytes);
+        let bw = chunk_bytes as f64 / elapsed_ps as f64;
+        let cell = &mut self.cells[c];
+        cell.bw = if cell.n == 0 {
+            bw
+        } else {
+            ALPHA * bw + (1.0 - ALPHA) * cell.bw
+        };
+        cell.n += 1;
+        // Re-elect: best ready class, but the incumbent keeps its seat
+        // unless beaten by the hysteresis margin.
+        let best = (0..NCLASSES)
+            .filter(|&i| self.cells[i].n >= MIN_SAMPLES)
+            .max_by(|&a, &b| self.cells[a].bw.total_cmp(&self.cells[b].bw));
+        if let Some(best) = best {
+            if self.published >= NCLASSES
+                || self.cells[best].bw > self.cells[self.published].bw * HYSTERESIS
+            {
+                self.published = best;
+            }
+        }
+    }
+
+    /// The published sweet spot in bytes (`None` until any class has
+    /// enough observations).
+    pub fn sweet_spot(&self) -> Option<u64> {
+        (self.published < NCLASSES).then(|| 1u64 << (CLASS_BASE + self.published as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_min_samples_before_publishing() {
+        let mut m = ChunkModel::default();
+        m.observe(4 << 10, 1000);
+        m.observe(4 << 10, 1000);
+        assert_eq!(m.sweet_spot(), None);
+        m.observe(4 << 10, 1000);
+        assert_eq!(m.sweet_spot(), Some(4 << 10));
+    }
+
+    #[test]
+    fn elects_the_fastest_class_with_hysteresis() {
+        let mut m = ChunkModel::default();
+        for _ in 0..5 {
+            m.observe(4 << 10, 4 * (4 << 10)); // 0.25 B/ps
+            m.observe(32 << 10, 2 * (32 << 10)); // 0.5 B/ps
+            m.observe(256 << 10, 3 * (256 << 10)); // 0.33 B/ps
+        }
+        assert_eq!(m.sweet_spot(), Some(32 << 10));
+        // A marginal (<5%) challenger does not unseat the incumbent.
+        for _ in 0..50 {
+            m.observe(256 << 10, (2.0 * 0.99 * (256 << 10) as f64) as u64);
+        }
+        assert_eq!(m.sweet_spot(), Some(32 << 10));
+    }
+
+    #[test]
+    fn out_of_range_chunks_clamp_to_edge_classes() {
+        let mut m = ChunkModel::default();
+        for _ in 0..3 {
+            m.observe(16 << 20, 16 << 20); // clamps to the 1 MiB class
+        }
+        assert_eq!(m.sweet_spot(), Some(1 << 20));
+    }
+}

@@ -1,0 +1,460 @@
+//! The feedback-driven transfer tuner: learns per-(pair, placement)
+//! `DMAmin` crossovers and chunk sweet spots from observed transfer
+//! times.
+//!
+//! The paper's §3.5 `DMAmin` and the chunk sweet spot are
+//! *architectural* constants — derived from cache geometry once, then
+//! applied to every pair. The paper itself notes the crossover moves
+//! with cache placement (§3.5: a 6 MiB L2 raises the threshold by 50%)
+//! and with collective concurrency (§6/§4.4). This module closes the
+//! loop instead: every LMT completion reports a [`TransferSample`]
+//! (backend, placement, size class, concurrency, elapsed virtual time),
+//! and every fully-absorbed pipeline chunk reports its own timing. From
+//! those the tuner maintains, per directed pair:
+//!
+//! * a learned `DMAmin` — an online copy-vs-offload bandwidth
+//!   comparison per power-of-two size class (see [`threshold`]),
+//!   EWMA-smoothed and published with hysteresis so the decision
+//!   converges instead of oscillating;
+//! * a learned chunk sweet spot — the best-throughput chunk size class
+//!   observed on that pair's wire (see [`chunk`]), consumed by the
+//!   `Learned` [`ChunkSchedule`](crate::lmt::ChunkSchedule).
+//!
+//! **Hot-path contract:** decisions are *reads of cached atomics*
+//! ([`Tuner::dma_min`], [`Tuner::chunk_target`]) — no locks, no
+//! allocation. The models behind them are updated under a small
+//! per-pair mutex, but only at transfer completion (recording), never
+//! on the per-chunk or per-decision path of another transfer.
+//!
+//! Degenerate inputs are routed safely: zero-byte / zero-time samples
+//! are discarded, and a learned threshold can never be published below
+//! the eager/rendezvous switchover (`eager_max`) — the LMT never runs
+//! below it, so a smaller `DMAmin` would be meaningless and would make
+//! every rendezvous transfer request the offload (see
+//! [`Tuner::floor`]).
+
+pub mod chunk;
+pub mod threshold;
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use nemesis_sim::topology::Placement;
+
+use chunk::ChunkModel;
+use threshold::CrossoverModel;
+
+/// Which mechanism moved the bytes of a transfer — the §3.5 dichotomy
+/// the learned threshold arbitrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferClass {
+    /// A CPU copy landed the payload (shm ring, pipes, KNEM sync/kthread).
+    Copy,
+    /// The I/OAT engine moved the bytes (KNEM with I/OAT).
+    Offload,
+}
+
+/// One completed LMT transfer, as observed by the receiver (the side
+/// that drives the §3.5 mode decision).
+#[derive(Debug, Clone, Copy)]
+pub struct TransferSample {
+    /// Backend label (diagnostics and reports; the threshold model keys
+    /// on `class`).
+    pub backend: &'static str,
+    /// Copy or offload — the §3.5 dichotomy.
+    pub class: TransferClass,
+    /// Cache relation of the two cores at completion time.
+    pub placement: Placement,
+    /// Payload length in bytes (size class = `log2`).
+    pub bytes: u64,
+    /// Elapsed virtual time (picoseconds) from receive start to
+    /// completion.
+    pub elapsed_ps: u64,
+    /// The §6 collective-concurrency hint the RTS carried.
+    pub concurrency: u32,
+}
+
+impl TransferSample {
+    /// Power-of-two size class (`floor(log2(bytes))`); degenerate
+    /// lengths land in class 0.
+    pub fn size_class(&self) -> u32 {
+        if self.bytes == 0 {
+            0
+        } else {
+            self.bytes.ilog2()
+        }
+    }
+}
+
+/// Per-directed-pair learned state. Published decisions are atomics;
+/// the models feeding them sit behind a mutex taken only when
+/// recording.
+struct PairState {
+    /// Published learned `DMAmin` in bytes; 0 = nothing learned yet
+    /// (callers fall back to the configured prior).
+    dma_min: AtomicU64,
+    /// Published learned chunk sweet spot in bytes; 0 = none yet.
+    chunk: AtomicU64,
+    /// Deterministic exploration counter (see [`Tuner::offload_decision`]).
+    explore: AtomicU32,
+    /// Deterministic probe counter for the chunk schedule (see
+    /// [`Tuner::chunk_target_explored`]).
+    chunk_probe: AtomicU32,
+    /// Placement observed for this pair, as a [`placement_code`]
+    /// (`u32::MAX` = not yet seen).
+    placement: AtomicU32,
+    /// Transfer samples accepted (diagnostics).
+    samples: AtomicU64,
+    model: Mutex<Models>,
+}
+
+#[derive(Default)]
+struct Models {
+    crossover: CrossoverModel,
+    chunk: ChunkModel,
+}
+
+impl PairState {
+    fn new() -> Self {
+        Self {
+            dma_min: AtomicU64::new(0),
+            chunk: AtomicU64::new(0),
+            explore: AtomicU32::new(0),
+            chunk_probe: AtomicU32::new(0),
+            placement: AtomicU32::new(u32::MAX),
+            samples: AtomicU64::new(0),
+            model: Mutex::new(Models::default()),
+        }
+    }
+}
+
+/// Snapshot of one pair's learned state (reports and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairSnapshot {
+    /// Learned `DMAmin` (0 = unlearned).
+    pub dma_min: u64,
+    /// Learned chunk sweet spot (0 = unlearned).
+    pub chunk: u64,
+    /// Transfer samples accepted.
+    pub samples: u64,
+    /// Placement of the pair, if any transfer has been observed.
+    pub placement: Option<Placement>,
+}
+
+/// In-band exploration period: every `EXPLORE_PERIOD`-th decision whose
+/// length falls near the current threshold runs the minority mechanism,
+/// so the crossover model keeps seeing both classes on both sides of
+/// the boundary (otherwise the learned threshold could never move
+/// against its own decisions). Deterministic — no RNG on the decision
+/// path, and seeded runs stay reproducible.
+const EXPLORE_PERIOD: u32 = 8;
+
+/// The learned-policy engine: one [`PairState`] per directed (src, dst)
+/// rank pair, plus the clamp bounds every published threshold honours.
+pub struct Tuner {
+    pairs: Vec<PairState>,
+    nprocs: usize,
+    /// Lower clamp for a learned `DMAmin`: the eager/rendezvous
+    /// switchover. The LMT never runs at or below this size, so no
+    /// learned threshold may sink under it.
+    floor: u64,
+    /// Upper clamp (keeps a run of one-sided observations from pushing
+    /// the threshold to infinity).
+    ceil: u64,
+}
+
+impl Tuner {
+    /// A tuner for `nprocs` ranks. `eager_max` becomes the threshold
+    /// floor (see [`Tuner::floor`]).
+    pub fn new(nprocs: usize, eager_max: u64) -> Self {
+        let floor = eager_max.max(1);
+        Self {
+            pairs: (0..nprocs * nprocs).map(|_| PairState::new()).collect(),
+            nprocs,
+            floor,
+            ceil: (floor << 10).max(64 << 20),
+        }
+    }
+
+    fn pair(&self, src: usize, dst: usize) -> &PairState {
+        &self.pairs[src * self.nprocs + dst]
+    }
+
+    /// Record one completed transfer for the (src, dst) pair.
+    /// Degenerate samples (zero bytes, zero elapsed, or an
+    /// eager-regime length that can never reach the LMT) are discarded
+    /// — they would otherwise teach the crossover model infinite or
+    /// meaningless bandwidths.
+    pub fn record(&self, src: usize, dst: usize, s: &TransferSample) {
+        if s.bytes == 0 || s.elapsed_ps == 0 || s.bytes <= self.floor {
+            return;
+        }
+        let p = self.pair(src, dst);
+        p.placement
+            .store(placement_code(s.placement), Ordering::Relaxed);
+        p.samples.fetch_add(1, Ordering::Relaxed);
+        let mut m = p.model.lock();
+        m.crossover.observe(s.class, s.bytes, s.elapsed_ps);
+        if let Some(t) = m.crossover.learned() {
+            p.dma_min
+                .store(t.clamp(self.floor, self.ceil), Ordering::Relaxed);
+        }
+    }
+
+    /// Record one fully-absorbed pipeline chunk for the (src, dst)
+    /// pair's wire.
+    pub fn record_chunk(&self, src: usize, dst: usize, chunk_bytes: u64, elapsed_ps: u64) {
+        if chunk_bytes == 0 || elapsed_ps == 0 {
+            return;
+        }
+        let p = self.pair(src, dst);
+        let mut m = p.model.lock();
+        m.chunk.observe(chunk_bytes, elapsed_ps);
+        if let Some(c) = m.chunk.sweet_spot() {
+            p.chunk.store(c, Ordering::Relaxed);
+        }
+    }
+
+    /// The pair's effective `DMAmin`: the learned value when one exists
+    /// (clamped to `[floor, ceil]`), otherwise `prior` (clamped to the
+    /// floor as well — a configured override of 0 must not teach the
+    /// receiver to offload everything).
+    pub fn dma_min(&self, src: usize, dst: usize, prior: u64) -> u64 {
+        let learned = self.pair(src, dst).dma_min.load(Ordering::Relaxed);
+        if learned == 0 {
+            prior.max(self.floor)
+        } else {
+            learned.clamp(self.floor, self.ceil)
+        }
+    }
+
+    /// The pair's learned chunk sweet spot, or `default` while nothing
+    /// has been learned.
+    pub fn chunk_target(&self, src: usize, dst: usize, default: u64) -> u64 {
+        match self.pair(src, dst).chunk.load(Ordering::Relaxed) {
+            0 => default,
+            c => c,
+        }
+    }
+
+    /// The chunk target for one new transfer, with deterministic probe
+    /// transfers: every [`EXPLORE_PERIOD`]-th transfer runs unclamped
+    /// (returns 0 = "no target") so chunk classes above the current
+    /// sweet spot keep being sampled — without probes the schedule
+    /// could never discover that larger chunks became profitable.
+    pub fn chunk_target_explored(&self, src: usize, dst: usize) -> u64 {
+        let p = self.pair(src, dst);
+        let published = p.chunk.load(Ordering::Relaxed);
+        if published == 0 {
+            return 0;
+        }
+        let tick = p.chunk_probe.fetch_add(1, Ordering::Relaxed);
+        if tick % EXPLORE_PERIOD == EXPLORE_PERIOD - 1 {
+            0
+        } else {
+            published
+        }
+    }
+
+    /// The copy-vs-offload decision for one transfer of `len` bytes
+    /// against the already-resolved effective `threshold`, with
+    /// deterministic in-band exploration: lengths within [T/4, 4T) of
+    /// the threshold occasionally run the minority mechanism so both
+    /// sides of the crossover keep being sampled (otherwise the learned
+    /// value could never move against its own decisions). Out-of-band
+    /// lengths always follow the threshold.
+    pub fn offload_decision(&self, src: usize, dst: usize, len: u64, threshold: u64) -> bool {
+        let by_threshold = len >= threshold;
+        if len >= threshold / 4 && len < threshold.saturating_mul(4) {
+            let tick = self.pair(src, dst).explore.fetch_add(1, Ordering::Relaxed);
+            if tick % EXPLORE_PERIOD == EXPLORE_PERIOD - 1 {
+                return !by_threshold;
+            }
+        }
+        by_threshold
+    }
+
+    /// The threshold floor (the eager/rendezvous switchover).
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Snapshot one pair's learned state.
+    pub fn snapshot(&self, src: usize, dst: usize) -> PairSnapshot {
+        let p = self.pair(src, dst);
+        PairSnapshot {
+            dma_min: p.dma_min.load(Ordering::Relaxed),
+            chunk: p.chunk.load(Ordering::Relaxed),
+            samples: p.samples.load(Ordering::Relaxed),
+            placement: placement_from_code(p.placement.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+fn placement_code(p: Placement) -> u32 {
+    match p {
+        Placement::SameCore => 0,
+        Placement::SharedL2 => 1,
+        Placement::SharedL3 => 2,
+        Placement::SameSocketDifferentDie => 3,
+        Placement::DifferentSocket => 4,
+    }
+}
+
+fn placement_from_code(c: u32) -> Option<Placement> {
+    Some(match c {
+        0 => Placement::SameCore,
+        1 => Placement::SharedL2,
+        2 => Placement::SharedL3,
+        3 => Placement::SameSocketDifferentDie,
+        4 => Placement::DifferentSocket,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(class: TransferClass, bytes: u64, elapsed_ps: u64) -> TransferSample {
+        TransferSample {
+            backend: "test",
+            class,
+            placement: Placement::SharedL2,
+            bytes,
+            elapsed_ps,
+            concurrency: 1,
+        }
+    }
+
+    /// Synthetic machine: copy costs c·n, offload costs S + o·n, so the
+    /// true crossover is S/(c−o).
+    fn feed_synthetic(t: &Tuner, copy_ps_per_b: u64, offload_setup: u64, offload_ps_per_b: u64) {
+        for round in 0..40 {
+            for exp in 17..24u32 {
+                // 128 KiB .. 8 MiB, with a deterministic size wobble so
+                // classes see varied lengths.
+                let n = (1u64 << exp) + (round * 97) % 1000;
+                t.record(0, 1, &sample(TransferClass::Copy, n, copy_ps_per_b * n));
+                t.record(
+                    0,
+                    1,
+                    &sample(
+                        TransferClass::Offload,
+                        n,
+                        offload_setup + offload_ps_per_b * n,
+                    ),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_a_synthetic_crossover_within_tolerance() {
+        let t = Tuner::new(2, 64 << 10);
+        // copy 3 ps/B; offload 1 ps/B + 4.2 ms setup → crossover at
+        // 4.2e9/2 = 2.1e9/1e3… pick numbers for ~1 MiB: setup = 2 ps/B
+        // gap × 1 MiB = 2 × (1<<20) ps.
+        let setup = 2 * (1u64 << 20);
+        feed_synthetic(&t, 3, setup, 1);
+        let learned = t.dma_min(0, 1, u64::MAX);
+        let truth = 1u64 << 20;
+        assert!(
+            learned >= truth / 2 && learned <= truth * 2,
+            "learned {learned} not within 2x of true crossover {truth}"
+        );
+    }
+
+    #[test]
+    fn degenerate_samples_are_discarded_and_threshold_clamped() {
+        let t = Tuner::new(2, 64 << 10);
+        // Zero-byte / zero-time junk must not publish anything.
+        t.record(0, 1, &sample(TransferClass::Offload, 0, 100));
+        t.record(0, 1, &sample(TransferClass::Offload, 100, 0));
+        // Tiny eager-regime messages must not feed the model either.
+        for _ in 0..100 {
+            t.record(0, 1, &sample(TransferClass::Offload, 1 << 10, 10));
+            t.record(0, 1, &sample(TransferClass::Copy, 1 << 10, 1_000_000));
+        }
+        assert_eq!(t.snapshot(0, 1).samples, 0);
+        assert_eq!(t.snapshot(0, 1).dma_min, 0, "nothing learned");
+        // Offload winning at *every* observable size can drive the
+        // learned value down only to the eager switchover, never below
+        // — even when fed sizes in the class straddling the switchover.
+        for _ in 0..40 {
+            t.record(
+                0,
+                1,
+                &sample(TransferClass::Copy, 100 << 10, 100 * (100 << 10)),
+            );
+            t.record(0, 1, &sample(TransferClass::Offload, 100 << 10, 100 << 10));
+        }
+        feed_synthetic(&t, 100, 0, 1);
+        let learned = t.dma_min(0, 1, 1 << 20);
+        assert!(
+            learned >= 64 << 10,
+            "learned {learned} sank below the eager/rendezvous switchover"
+        );
+        assert!(
+            learned <= 128 << 10,
+            "offload winning everywhere should drive the threshold to the \
+             smallest observable class, got {learned}"
+        );
+        // And a degenerate prior is clamped too.
+        let fresh = Tuner::new(2, 64 << 10);
+        assert_eq!(fresh.dma_min(0, 1, 0), 64 << 10);
+    }
+
+    #[test]
+    fn copy_always_winning_raises_the_threshold() {
+        let t = Tuner::new(2, 64 << 10);
+        feed_synthetic(&t, 1, 0, 3); // offload strictly worse everywhere
+        let learned = t.dma_min(0, 1, 1 << 20);
+        assert!(
+            learned >= 8 << 20,
+            "threshold should rise past the biggest observed size, got {learned}"
+        );
+    }
+
+    #[test]
+    fn exploration_is_deterministic_and_in_band_only() {
+        let t = Tuner::new(2, 64 << 10);
+        // Far out of band: never explores.
+        for _ in 0..100 {
+            assert!(t.offload_decision(0, 1, 1 << 30, 1 << 20));
+            assert!(!t.offload_decision(0, 1, 70 << 10, 1 << 20));
+        }
+        // In band: exactly one flip per EXPLORE_PERIOD decisions.
+        let flips = (0..64)
+            .filter(|_| !t.offload_decision(0, 1, 2 << 20, 1 << 20))
+            .count();
+        assert_eq!(flips, 64 / EXPLORE_PERIOD as usize);
+    }
+
+    #[test]
+    fn chunk_sweet_spot_tracks_best_throughput() {
+        let t = Tuner::new(2, 64 << 10);
+        // 32 KiB chunks run at 2 ps/B, everything else at 4 ps/B.
+        for _ in 0..20 {
+            for exp in 12..18u32 {
+                let n = 1u64 << exp;
+                let ps_per_b = if exp == 15 { 2 } else { 4 };
+                t.record_chunk(0, 1, n, ps_per_b * n);
+            }
+        }
+        assert_eq!(t.chunk_target(0, 1, 4096), 32 << 10);
+        // Unlearned pairs fall back to the default.
+        assert_eq!(t.chunk_target(1, 0, 4096), 4096);
+    }
+
+    #[test]
+    fn snapshot_reports_placement_and_counts() {
+        let t = Tuner::new(2, 64 << 10);
+        assert_eq!(t.snapshot(0, 1).placement, None);
+        t.record(0, 1, &sample(TransferClass::Copy, 1 << 20, 1 << 20));
+        let s = t.snapshot(0, 1);
+        assert_eq!(s.placement, Some(Placement::SharedL2));
+        assert_eq!(s.samples, 1);
+    }
+}

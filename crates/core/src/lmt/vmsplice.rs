@@ -39,11 +39,11 @@ impl LmtBackend for VmspliceBackend {
     fn start_recv(
         &self,
         comm: &Comm<'_>,
-        _t: &Transfer,
+        t: &Transfer,
         wire: &LmtWire,
         _layout: Option<&VectorLayout>,
         _concurrency: u32,
     ) -> Box<dyn LmtRecvOp> {
-        start_pipe_recv(comm, self, wire)
+        start_pipe_recv(comm, self, t, wire)
     }
 }

@@ -16,8 +16,9 @@ use std::sync::Arc;
 
 use crate::backoff::Backoff;
 use crate::cellpool::CellPool;
-use crate::lmt::{backend_for, RtLmtBackend};
+use crate::lmt::{backend_for_schedule, RtLmtBackend};
 use crate::queue::{nem_queue_cfg, Receiver, Sender};
+use crate::tuner::{RtChunkScheduleSelect, RtTransferSample, RtTuner};
 
 pub use crate::lmt::RtLmt;
 
@@ -51,6 +52,14 @@ pub struct RtConfig {
     /// Packets the consumer drains per queue poll (single batched
     /// recycle).
     pub recv_batch: usize,
+    /// Chunk schedule of the double-buffer ring (the rt mirror of
+    /// `NemesisConfig::chunk_schedule`, bridged by `nemesis::rt_config_from`).
+    pub chunk_schedule: RtChunkScheduleSelect,
+    /// Per-pair learned state. `run_rt_cfg` creates one automatically
+    /// when the schedule is `Learned`; pass an explicit tuner to keep
+    /// learned state across runs (the report binary does, to measure a
+    /// converged schedule).
+    pub tuner: Option<Arc<RtTuner>>,
 }
 
 impl Default for RtConfig {
@@ -62,6 +71,8 @@ impl Default for RtConfig {
             inline_max: INLINE_MAX,
             spin_limit: crate::backoff::DEFAULT_SPIN_LIMIT,
             recv_batch: 16,
+            chunk_schedule: RtChunkScheduleSelect::default(),
+            tuner: None,
         }
     }
 }
@@ -142,6 +153,11 @@ impl RtComm {
     /// Diagnostic name of the active large-message backend.
     pub fn lmt_name(&self) -> &'static str {
         self.shared.backend.name()
+    }
+
+    /// The learned-state tuner, when the configuration carries one.
+    pub fn tuner(&self) -> Option<&Arc<RtTuner>> {
+        self.shared.cfg.tuner.as_ref()
     }
 
     fn backoff(&self) -> Backoff {
@@ -233,12 +249,33 @@ impl RtComm {
                 // SAFETY: the sender keeps `src` alive until we set
                 // `done` below.
                 let src_slice = unsafe { std::slice::from_raw_parts(rts.src, rts.len) };
+                let t0 = self
+                    .shared
+                    .cfg
+                    .tuner
+                    .as_ref()
+                    .map(|_| std::time::Instant::now());
                 self.shared.backend.recv_payload(
                     src_rank,
                     self.rank,
                     src_slice,
                     &mut dst[..rts.len],
                 );
+                // Mirror of the simulated stack's completion sampling:
+                // every rendezvous completion feeds the tuner, on the
+                // receiver.
+                if let (Some(tuner), Some(t0)) = (&self.shared.cfg.tuner, t0) {
+                    tuner.record_transfer(
+                        src_rank,
+                        self.rank,
+                        &RtTransferSample {
+                            backend: self.shared.backend.name(),
+                            offload: self.shared.backend.is_offload(),
+                            bytes: rts.len,
+                            nanos: t0.elapsed().as_nanos() as u64,
+                        },
+                    );
+                }
                 let len = rts.len;
                 rts.done.store(1, Ordering::Release);
                 len
@@ -345,16 +382,21 @@ pub fn run_rt<F>(n: usize, lmt: RtLmt, body: F)
 where
     F: Fn(&mut RtComm) + Send + Sync,
 {
-    run_rt_with(n, backend_for(lmt, n), body)
+    run_rt_cfg(n, lmt, RtConfig::default(), body)
 }
 
 /// Run `n` rank-threads with an explicit [`RtConfig`] (the bridge point
-/// for `NemesisConfig`-derived tuning).
-pub fn run_rt_cfg<F>(n: usize, lmt: RtLmt, cfg: RtConfig, body: F)
+/// for `NemesisConfig`-derived tuning). A `Learned` chunk schedule gets
+/// a fresh tuner unless the config carries one already.
+pub fn run_rt_cfg<F>(n: usize, lmt: RtLmt, mut cfg: RtConfig, body: F)
 where
     F: Fn(&mut RtComm) + Send + Sync,
 {
-    run_rt_with_cfg(n, backend_for(lmt, n), cfg, body)
+    if cfg.chunk_schedule == RtChunkScheduleSelect::Learned && cfg.tuner.is_none() {
+        cfg.tuner = Some(RtTuner::new(n));
+    }
+    let backend = backend_for_schedule(lmt, n, cfg.chunk_schedule, cfg.tuner.as_ref());
+    run_rt_with_cfg(n, backend, cfg, body)
 }
 
 /// Run `n` rank-threads over an explicit backend instance (the

@@ -34,20 +34,66 @@ pub trait CopyEngine {
 /// chunks only.
 pub const ADAPTIVE_CHUNK_START: usize = 4 << 10;
 
+/// How the sender of a [`DoubleBufferPipe`] sizes its chunks — the rt
+/// mirror of `nemesis_core::lmt::ChunkSchedule`. The learned variant
+/// reads (and feeds) the pair's [`RtPairTune`]: one atomic load per
+/// chunk decision, one timed recording per absorbed chunk, no
+/// allocation.
+#[derive(Clone, Default)]
+pub enum PipeSchedule {
+    /// Geometric doubling from the start chunk to the slot capacity
+    /// (the adaptive default).
+    #[default]
+    Geometric,
+    /// Constant chunks of the start size (with `start_chunk == chunk`
+    /// this is the seed's fixed full-slot chunking).
+    Fixed,
+    /// Geometric growth toward the pair's learned sweet spot; chunk
+    /// timings are recorded back into the same state.
+    Learned(Arc<crate::tuner::RtPairTune>),
+}
+
+impl PipeSchedule {
+    /// Growth ceiling given the slot capacity.
+    fn cap(&self, slot_cap: usize) -> usize {
+        match self {
+            PipeSchedule::Geometric | PipeSchedule::Fixed => slot_cap,
+            PipeSchedule::Learned(tune) => match tune.target() {
+                0 => slot_cap,
+                t => t.clamp(1, slot_cap),
+            },
+        }
+    }
+
+    /// Next chunk size after a fully-absorbed `current` chunk.
+    fn next(&self, current: usize, slot_cap: usize) -> usize {
+        match self {
+            PipeSchedule::Fixed => current,
+            _ => (current * 2).min(self.cap(slot_cap)),
+        }
+    }
+}
+
 /// The double-buffered copy ring. One sender thread and one receiver
 /// thread may run [`DoubleBufferPipe::send`] / [`DoubleBufferPipe::recv`]
 /// concurrently for the *same* transfer; the two copies overlap chunk by
 /// chunk, "one thereby partially hiding the cost of the other" (§2).
 ///
 /// Chunking is **adaptive**: the sender's first chunk is
-/// `start_chunk` bytes (default [`ADAPTIVE_CHUNK_START`]) and doubles on
-/// every full chunk until it reaches the slot capacity. The receiver
-/// learns each chunk's size from the slot flag, so the two sides need no
-/// chunk-size agreement.
+/// `start_chunk` bytes (default [`ADAPTIVE_CHUNK_START`]) and grows on
+/// every full chunk as its [`PipeSchedule`] dictates — doubling to the
+/// slot capacity by default, or toward a learned per-pair sweet spot.
+/// The receiver learns each chunk's size from the slot flag, so the two
+/// sides need no chunk-size agreement.
 pub struct DoubleBufferPipe {
     slots: Vec<Slot>,
     chunk: usize,
     start_chunk: usize,
+    schedule: PipeSchedule,
+    /// Transfers started (the learned schedule runs every 16th transfer
+    /// unclamped as a probe, so chunk classes above the current sweet
+    /// spot keep being sampled).
+    sends: AtomicUsize,
 }
 
 struct Slot {
@@ -66,6 +112,17 @@ impl DoubleBufferPipe {
     /// Explicit first-chunk size; `start_chunk = chunk` restores the
     /// seed's fixed-size chunking (used by benches as the baseline).
     pub fn with_start_chunk(chunk: usize, nbufs: usize, start_chunk: usize) -> Self {
+        Self::with_schedule(chunk, nbufs, start_chunk, PipeSchedule::Geometric)
+    }
+
+    /// Fully explicit constructor: slot capacity, buffer count, first
+    /// chunk, and the growth schedule.
+    pub fn with_schedule(
+        chunk: usize,
+        nbufs: usize,
+        start_chunk: usize,
+        schedule: PipeSchedule,
+    ) -> Self {
         assert!(chunk > 0 && nbufs > 0 && start_chunk > 0);
         Self {
             slots: (0..nbufs)
@@ -76,18 +133,69 @@ impl DoubleBufferPipe {
                 .collect(),
             chunk,
             start_chunk: start_chunk.min(chunk),
+            schedule,
+            sends: AtomicUsize::new(0),
         }
     }
 
     /// Copy `src` into the ring (first of the two copies), growing the
-    /// chunk size geometrically from `start_chunk` to the slot capacity.
-    /// Blocks (spin-then-yield) when the ring is full.
+    /// chunk size per the schedule — geometrically from `start_chunk`
+    /// to the slot capacity by default. Blocks (spin-then-yield) when
+    /// the ring is full.
+    ///
+    /// Under the learned schedule, transfers with a published sweet
+    /// spot run at it from the first byte (the model already priced
+    /// the ramp in), while unlearned pairs and every 16th transfer (a
+    /// *probe*) ramp from the start chunk to the slot capacity. Only
+    /// those sampling transfers are timed: the steady-state inter-chunk
+    /// interval (wait + copy + publish — the pipeline's true per-chunk
+    /// cost) feeds the pair's chunk model, with the first `nbufs`
+    /// chunks (pipeline fill) skipped. The non-probe hot path pays one
+    /// counter increment and one atomic load over the fixed schedule —
+    /// no clocks, no allocation.
     pub fn send(&self, src: &[u8]) {
         let n = self.slots.len();
         let mut bo = crate::backoff::Backoff::new();
-        let mut cur = self.start_chunk;
+        let tune = match &self.schedule {
+            PipeSchedule::Learned(t) => Some(t),
+            _ => None,
+        };
+        let published = tune.map(|t| t.target()).unwrap_or(0);
+        let sampling = tune.is_some()
+            && (published == 0 || self.sends.fetch_add(1, Ordering::Relaxed) % 16 == 15);
+        let cap = if sampling {
+            self.chunk
+        } else {
+            self.schedule.cap(self.chunk)
+        };
+        let mut cur = if published >= self.chunk {
+            // Converged at the slot capacity: nothing below it can win a
+            // probe that the model hasn't already rejected, so probes
+            // only re-time the ceiling class — no ramp, no cost.
+            self.chunk
+        } else if sampling || published == 0 {
+            self.start_chunk.min(cap)
+        } else {
+            cap
+        };
         let mut at = 0usize;
         let mut i = 0usize;
+        // Sampling transfers time *runs* of equal-sized chunks (one
+        // clock pair per size, not per chunk — clock reads are not free
+        // on every host) and record the per-chunk average; the first
+        // `nbufs` chunks (pipeline fill) start the first run but are
+        // not themselves counted.
+        let mut run_start: Option<std::time::Instant> = None;
+        let mut run_chunks = 0u32;
+        let flush_run =
+            |len: usize, run_start: &mut Option<std::time::Instant>, run_chunks: &mut u32| {
+                if let (Some(t0), Some(tune), true) = (*run_start, tune, *run_chunks > 0) {
+                    let nanos = t0.elapsed().as_nanos() as u64 / *run_chunks as u64;
+                    tune.record_chunk(len, nanos);
+                }
+                *run_start = Some(std::time::Instant::now());
+                *run_chunks = 0;
+            };
         while at < src.len() {
             let len = cur.min(src.len() - at);
             let slot = &self.slots[i % n];
@@ -100,8 +208,31 @@ impl DoubleBufferPipe {
             at += len;
             i += 1;
             if len == cur {
-                cur = (cur * 2).min(self.chunk);
+                if sampling {
+                    if i <= n {
+                        // Pipeline fill: restart the run clock so the
+                        // cold chunks never enter the model.
+                        run_start = Some(std::time::Instant::now());
+                        run_chunks = 0;
+                    } else {
+                        run_chunks += 1;
+                    }
+                }
+                let next = if sampling {
+                    // Probes ramp through every class up to the slot
+                    // capacity, regardless of the published target.
+                    (cur * 2).min(cap)
+                } else {
+                    self.schedule.next(cur, self.chunk)
+                };
+                if sampling && next != cur {
+                    flush_run(cur, &mut run_start, &mut run_chunks);
+                }
+                cur = next;
             }
+        }
+        if sampling {
+            flush_run(cur, &mut run_start, &mut run_chunks);
         }
     }
 

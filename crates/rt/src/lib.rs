@@ -21,6 +21,10 @@
 //!   the same backend vocabulary the simulated stack uses
 //!   (`nemesis_core::lmt::LmtBackend`), so `comm` drives transfers
 //!   without naming a strategy.
+//! * [`tuner`] — the wall-clock mirror of the simulated stack's learned
+//!   policy state (`nemesis_core::lmt::tuner`): per-pair chunk sweet
+//!   spots learned from observed per-chunk times, and per-transfer
+//!   samples recorded at every rendezvous completion.
 
 //! * [`comm`] — a miniature message-passing runtime tying the pieces
 //!   together: rank-threads with MPSC receive queues, eager cells, and a
@@ -38,10 +42,12 @@ pub mod comm;
 pub mod copy;
 pub mod lmt;
 pub mod queue;
+pub mod tuner;
 
 pub use backoff::Backoff;
 pub use cellpool::{CellPool, FreeStack};
 pub use comm::{run_rt, run_rt_cfg, run_rt_with, run_rt_with_cfg, RtComm, RtConfig, RtLmt};
-pub use copy::{CopyEngine, DoubleBufferPipe, OffloadEngine};
-pub use lmt::{backend_for, RtLmtBackend, ALL_RT_LMTS};
+pub use copy::{CopyEngine, DoubleBufferPipe, OffloadEngine, PipeSchedule};
+pub use lmt::{backend_for, backend_for_schedule, RtLmtBackend, ALL_RT_LMTS};
 pub use queue::NemQueue;
+pub use tuner::{RtChunkScheduleSelect, RtTransferSample, RtTuner};

@@ -19,7 +19,10 @@
 //! New copy engines (e.g. a CMA-style `process_vm_readv` analogue) plug
 //! in by implementing the trait.
 
-use crate::copy::{direct_copy, DoubleBufferPipe, OffloadEngine};
+use std::sync::Arc;
+
+use crate::copy::{direct_copy, DoubleBufferPipe, OffloadEngine, PipeSchedule};
+use crate::tuner::{RtChunkScheduleSelect, RtTuner};
 
 /// Large-message strategy selector (the rt analogue of
 /// `nemesis_core::LmtSelect`).
@@ -64,13 +67,37 @@ pub trait RtLmtBackend: Send + Sync {
     /// the sender's buffer, valid for the duration of the call
     /// (receiver-driven backends copy from it; the ring ignores it).
     fn recv_payload(&self, src_rank: usize, dst_rank: usize, src: &[u8], dst: &mut [u8]);
+
+    /// Whether the copy runs off-CPU (the offload engine) — the class
+    /// of the tuner sample a completion records (mirrors
+    /// `LmtRecvOp::transfer_class`).
+    fn is_offload(&self) -> bool {
+        false
+    }
 }
 
 /// Build the backend for a selection. `nranks` sizes per-pair
 /// resources.
 pub fn backend_for(lmt: RtLmt, nranks: usize) -> Box<dyn RtLmtBackend> {
+    backend_for_schedule(lmt, nranks, RtChunkScheduleSelect::Adaptive, None)
+}
+
+/// Build the backend for a selection under an explicit chunk schedule;
+/// the learned schedule wires each ring pipe to its pair's tuner state.
+pub fn backend_for_schedule(
+    lmt: RtLmt,
+    nranks: usize,
+    schedule: RtChunkScheduleSelect,
+    tuner: Option<&Arc<RtTuner>>,
+) -> Box<dyn RtLmtBackend> {
     match lmt {
-        RtLmt::DoubleBuffer => Box::new(DoubleBufferBackend::new(nranks, 32 << 10, 2)),
+        RtLmt::DoubleBuffer => Box::new(DoubleBufferBackend::with_schedule(
+            nranks,
+            32 << 10,
+            2,
+            schedule,
+            tuner,
+        )),
         RtLmt::Direct => Box::new(DirectBackend),
         RtLmt::Offload => Box::new(OffloadBackend::new()),
     }
@@ -88,9 +115,41 @@ pub struct DoubleBufferBackend {
 
 impl DoubleBufferBackend {
     pub fn new(nranks: usize, chunk: usize, nbufs: usize) -> Self {
+        Self::with_schedule(nranks, chunk, nbufs, RtChunkScheduleSelect::Adaptive, None)
+    }
+
+    /// Explicit chunk schedule; `Learned` requires a tuner, whose
+    /// per-pair state each ring pipe then reads and feeds.
+    pub fn with_schedule(
+        nranks: usize,
+        chunk: usize,
+        nbufs: usize,
+        schedule: RtChunkScheduleSelect,
+        tuner: Option<&Arc<RtTuner>>,
+    ) -> Self {
+        let pipe_schedule = |src: usize, dst: usize| match schedule {
+            RtChunkScheduleSelect::Adaptive => PipeSchedule::Geometric,
+            RtChunkScheduleSelect::Fixed => PipeSchedule::Fixed,
+            RtChunkScheduleSelect::Learned => match tuner {
+                Some(t) => PipeSchedule::Learned(Arc::clone(t.pair(src, dst))),
+                None => PipeSchedule::Geometric,
+            },
+        };
+        let start = match schedule {
+            // Fixed = the seed's full-slot chunking.
+            RtChunkScheduleSelect::Fixed => chunk,
+            _ => crate::copy::ADAPTIVE_CHUNK_START.min(chunk),
+        };
         Self {
             rings: (0..nranks * nranks)
-                .map(|_| DoubleBufferPipe::new(chunk, nbufs))
+                .map(|i| {
+                    DoubleBufferPipe::with_schedule(
+                        chunk,
+                        nbufs,
+                        start,
+                        pipe_schedule(i / nranks, i % nranks),
+                    )
+                })
                 .collect(),
             chunk,
             n: nranks,
@@ -187,6 +246,10 @@ impl RtLmtBackend for OffloadBackend {
 
     fn recv_payload(&self, _src_rank: usize, _dst_rank: usize, src: &[u8], dst: &mut [u8]) {
         self.engine.submit(src, dst).wait();
+    }
+
+    fn is_offload(&self) -> bool {
+        true
     }
 }
 

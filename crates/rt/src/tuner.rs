@@ -1,0 +1,275 @@
+//! The real-thread transfer tuner — the rt mirror of
+//! `nemesis_core::lmt::tuner`.
+//!
+//! The simulated tuner learns from virtual-time samples; this one
+//! learns from wall-clock timings on the host machine, per directed
+//! rank pair: every rendezvous completion records an
+//! [`RtTransferSample`], and the double-buffer ring (when driven by the
+//! `Learned` schedule) records each fully-absorbed chunk's timing. The
+//! published decisions are plain atomics — a pipe reads its learned
+//! chunk target with one `load` per chunk, no lock, no allocation (the
+//! same hot-path contract `tests/queue_alloc.rs` enforces on the queue
+//! paths).
+//!
+//! The two stacks deliberately share vocabulary, not code: the rt crate
+//! does not depend on `nemesis-core`, so the small EWMA chunk model is
+//! mirrored here in nanoseconds rather than simulated picoseconds.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Which chunk schedule the double-buffer ring pipelines with — the rt
+/// mirror of `nemesis_core::ChunkScheduleSelect`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RtChunkScheduleSelect {
+    /// Geometric growth from the start chunk to the slot capacity.
+    #[default]
+    Adaptive,
+    /// Constant full-slot chunks (the seed's fixed chunking).
+    Fixed,
+    /// Geometric growth toward the per-pair sweet spot learned from
+    /// observed per-chunk times.
+    Learned,
+}
+
+/// One completed rendezvous transfer, as observed by the receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct RtTransferSample {
+    /// Backend label (`RtLmtBackend::name`).
+    pub backend: &'static str,
+    /// Whether the copy ran off-CPU (the offload engine).
+    pub offload: bool,
+    /// Payload length in bytes.
+    pub bytes: usize,
+    /// Wall-clock receive time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Chunk classes cover 2^9 (512 B) .. 2^(9+NCLASSES-1) = 1 MiB.
+const CLASS_BASE: u32 = 9;
+const NCLASSES: usize = 12;
+const MIN_SAMPLES: u32 = 3;
+const ALPHA: f64 = 0.25;
+const HYSTERESIS: f64 = 1.05;
+
+fn class_of(bytes: usize) -> usize {
+    let lg = if bytes == 0 { 0 } else { bytes.ilog2() };
+    (lg.saturating_sub(CLASS_BASE) as usize).min(NCLASSES - 1)
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Cell {
+    /// EWMA throughput in bytes per nanosecond.
+    bw: f64,
+    n: u32,
+}
+
+#[derive(Debug, Default)]
+struct ChunkModel {
+    cells: [Cell; NCLASSES],
+    published: Option<usize>,
+}
+
+impl ChunkModel {
+    fn observe(&mut self, bytes: usize, nanos: u64) -> Option<usize> {
+        let c = class_of(bytes);
+        let bw = bytes as f64 / nanos as f64;
+        let cell = &mut self.cells[c];
+        cell.bw = if cell.n == 0 {
+            bw
+        } else {
+            ALPHA * bw + (1.0 - ALPHA) * cell.bw
+        };
+        cell.n += 1;
+        let best = (0..NCLASSES)
+            .filter(|&i| self.cells[i].n >= MIN_SAMPLES)
+            .max_by(|&a, &b| self.cells[a].bw.total_cmp(&self.cells[b].bw))?;
+        let unseat = match self.published {
+            None => true,
+            Some(inc) => self.cells[best].bw > self.cells[inc].bw * HYSTERESIS,
+        };
+        if unseat {
+            self.published = Some(best);
+        }
+        self.published.map(|c| 1usize << (CLASS_BASE + c as u32))
+    }
+}
+
+/// Learned state of one directed rank pair. The chunk target is the
+/// hot-path read; the models behind it update under a small mutex at
+/// recording time only.
+#[derive(Debug)]
+pub struct RtPairTune {
+    /// Published chunk sweet spot in bytes (0 = nothing learned).
+    target: AtomicUsize,
+    /// Transfer samples accepted (diagnostics).
+    samples: AtomicU64,
+    /// EWMA transfer bandwidths in MiB/s ×1000 (fixed point), copy and
+    /// offload — report context.
+    copy_bw: AtomicU64,
+    offload_bw: AtomicU64,
+    chunk_model: Mutex<ChunkModel>,
+}
+
+impl RtPairTune {
+    fn new() -> Self {
+        Self {
+            target: AtomicUsize::new(0),
+            samples: AtomicU64::new(0),
+            copy_bw: AtomicU64::new(0),
+            offload_bw: AtomicU64::new(0),
+            chunk_model: Mutex::new(ChunkModel::default()),
+        }
+    }
+
+    /// The published chunk sweet spot (0 = none yet). One atomic load —
+    /// safe on the per-chunk path.
+    pub fn target(&self) -> usize {
+        self.target.load(Ordering::Relaxed)
+    }
+
+    /// Fold one fully-absorbed chunk's wall-clock timing into the model
+    /// and republish the sweet spot.
+    pub fn record_chunk(&self, bytes: usize, nanos: u64) {
+        if bytes == 0 || nanos == 0 {
+            return;
+        }
+        if let Some(t) = self.chunk_model.lock().observe(bytes, nanos) {
+            self.target.store(t, Ordering::Relaxed);
+        }
+    }
+
+    fn record_transfer(&self, s: &RtTransferSample) {
+        if s.bytes == 0 || s.nanos == 0 {
+            return;
+        }
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        let mib_s_x1000 =
+            (s.bytes as f64 / (1 << 20) as f64 / (s.nanos as f64 * 1e-9) * 1000.0) as u64;
+        let slot = if s.offload {
+            &self.offload_bw
+        } else {
+            &self.copy_bw
+        };
+        let prev = slot.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            mib_s_x1000
+        } else {
+            (mib_s_x1000 + 3 * prev) / 4
+        };
+        slot.store(next, Ordering::Relaxed);
+    }
+
+    /// EWMA transfer bandwidth in MiB/s for the copy / offload classes
+    /// (0.0 = unsampled).
+    pub fn bandwidth_mib_s(&self) -> (f64, f64) {
+        (
+            self.copy_bw.load(Ordering::Relaxed) as f64 / 1000.0,
+            self.offload_bw.load(Ordering::Relaxed) as f64 / 1000.0,
+        )
+    }
+
+    /// Transfer samples accepted.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+/// The per-run tuner: one [`RtPairTune`] per directed rank pair.
+#[derive(Debug)]
+pub struct RtTuner {
+    pairs: Vec<Arc<RtPairTune>>,
+    n: usize,
+}
+
+impl RtTuner {
+    pub fn new(nranks: usize) -> Arc<Self> {
+        Arc::new(Self {
+            pairs: (0..nranks * nranks)
+                .map(|_| Arc::new(RtPairTune::new()))
+                .collect(),
+            n: nranks,
+        })
+    }
+
+    /// The directed pair's learned state (shared with the pipes that
+    /// feed and consult it).
+    pub fn pair(&self, src: usize, dst: usize) -> &Arc<RtPairTune> {
+        &self.pairs[src * self.n + dst]
+    }
+
+    /// Record one completed rendezvous transfer.
+    pub fn record_transfer(&self, src: usize, dst: usize, s: &RtTransferSample) {
+        self.pair(src, dst).record_transfer(s);
+    }
+
+    /// The directed pair's learned chunk sweet spot, if any.
+    pub fn learned_chunk(&self, src: usize, dst: usize) -> Option<usize> {
+        match self.pair(src, dst).target() {
+            0 => None,
+            t => Some(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_model_elects_best_class_with_hysteresis() {
+        let p = RtPairTune::new();
+        for _ in 0..5 {
+            p.record_chunk(4 << 10, 4 * (4 << 10) as u64);
+            p.record_chunk(32 << 10, 2 * (32 << 10) as u64);
+            p.record_chunk(256 << 10, 3 * (256 << 10) as u64);
+        }
+        assert_eq!(p.target(), 32 << 10);
+        // A sub-hysteresis challenger cannot unseat the incumbent.
+        for _ in 0..50 {
+            p.record_chunk(256 << 10, (2.0 * 0.99 * (256 << 10) as f64) as u64);
+        }
+        assert_eq!(p.target(), 32 << 10);
+    }
+
+    #[test]
+    fn degenerate_chunks_and_samples_are_discarded() {
+        let t = RtTuner::new(2);
+        t.pair(0, 1).record_chunk(0, 100);
+        t.pair(0, 1).record_chunk(100, 0);
+        t.record_transfer(
+            0,
+            1,
+            &RtTransferSample {
+                backend: "direct",
+                offload: false,
+                bytes: 0,
+                nanos: 5,
+            },
+        );
+        assert_eq!(t.learned_chunk(0, 1), None);
+        assert_eq!(t.pair(0, 1).samples(), 0);
+    }
+
+    #[test]
+    fn transfer_bandwidth_is_tracked_per_class() {
+        let t = RtTuner::new(2);
+        // 1 MiB in 1 ms = 1000 MiB/s.
+        t.record_transfer(
+            0,
+            1,
+            &RtTransferSample {
+                backend: "direct",
+                offload: false,
+                bytes: 1 << 20,
+                nanos: 1_000_000,
+            },
+        );
+        let (copy, offload) = t.pair(0, 1).bandwidth_mib_s();
+        assert!((copy - 1000.0).abs() < 1.0, "copy bw {copy}");
+        assert_eq!(offload, 0.0);
+        assert_eq!(t.pair(0, 1).samples(), 1);
+    }
+}

@@ -39,8 +39,11 @@ pub use nemesis_workloads as workloads;
 
 /// Bridge the simulated stack's configuration into the real-thread
 /// runtime: the two stacks deliberately do not depend on each other, so
-/// the shared knobs (cell sizing, backoff spin cap) cross here. Fields
-/// without a core-side counterpart keep their rt defaults.
+/// the shared knobs (cell sizing, backoff spin cap, chunk schedule)
+/// cross here. Fields without a core-side counterpart keep their rt
+/// defaults. A `Learned` chunk schedule makes `rt::run_rt_cfg` create
+/// an `RtTuner` so the double-buffer ring learns its per-pair sweet
+/// spot from observed chunk times, mirroring the simulated tuner.
 pub fn rt_config_from(cfg: &core::NemesisConfig) -> rt::RtConfig {
     rt::RtConfig {
         queue_capacity: cfg.queue_slots,
@@ -48,6 +51,11 @@ pub fn rt_config_from(cfg: &core::NemesisConfig) -> rt::RtConfig {
         cell_size: cfg.cell_payload as usize,
         spin_limit: cfg.backoff_spin_cap,
         recv_batch: cfg.progress_batch,
+        chunk_schedule: match cfg.chunk_schedule {
+            core::ChunkScheduleSelect::Adaptive => rt::RtChunkScheduleSelect::Adaptive,
+            core::ChunkScheduleSelect::Fixed => rt::RtChunkScheduleSelect::Fixed,
+            core::ChunkScheduleSelect::Learned => rt::RtChunkScheduleSelect::Learned,
+        },
         ..rt::RtConfig::default()
     }
 }
@@ -62,6 +70,7 @@ mod tests {
             backoff_spin_cap: 2,
             progress_batch: 5,
             cell_payload: 8 << 10,
+            chunk_schedule: core::ChunkScheduleSelect::Learned,
             ..core::NemesisConfig::default()
         };
         let rtc = rt_config_from(&cfg);
@@ -69,6 +78,7 @@ mod tests {
         assert_eq!(rtc.recv_batch, 5);
         assert_eq!(rtc.cell_size, 8 << 10);
         assert_eq!(rtc.queue_capacity, cfg.queue_slots);
+        assert_eq!(rtc.chunk_schedule, rt::RtChunkScheduleSelect::Learned);
         // And the bridged config actually runs the rt runtime.
         rt::run_rt_cfg(2, rt::RtLmt::Direct, rtc, |comm| {
             if comm.rank() == 0 {

@@ -1,4 +1,4 @@
-//! Properties of the adaptive chunk pipeliner.
+//! Properties of the adaptive chunk pipeliner and the learned tuner.
 //!
 //! 1. **Bounded chunks** — `ChunkPipeline::drive` never requests a
 //!    budget above the backend's preferred chunk, for seeded-random
@@ -9,14 +9,22 @@
 //! 3. **Byte-identity** — a rendezvous payload delivered through every
 //!    LMT backend under adaptive chunking is identical to the reference
 //!    bytes, including the `lmt_chunk_start >= preferred` configuration
-//!    that reproduces the seed's fixed-size chunking.
+//!    that reproduces the seed's fixed-size chunking, and the learned
+//!    threshold + chunk schedule.
+//! 4. **Tuner convergence** — a seeded run on a machine whose true
+//!    copy-vs-offload crossover is known converges to a `DMAmin`
+//!    within 2× of the architectural value, and the learned threshold
+//!    can never sink below the eager/rendezvous switchover.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use nemesis::core::lmt::ALL_SELECTS;
-use nemesis::core::{ChunkPipeline, LmtSelect, Nemesis, NemesisConfig};
+use nemesis::core::{
+    ChunkPipeline, ChunkScheduleSelect, KnemSelect, LmtSelect, Nemesis, NemesisConfig,
+    ThresholdSelect,
+};
 use nemesis::kernel::Os;
 use nemesis::sim::{run_simulation, Machine, MachineConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -162,6 +170,24 @@ fn adaptive_chunking_is_byte_identical_through_every_backend() {
                 ..NemesisConfig::default()
             },
         ),
+        (
+            // The explicit fixed schedule (full-ceiling chunks).
+            "fixed schedule",
+            NemesisConfig {
+                chunk_schedule: ChunkScheduleSelect::Fixed,
+                ..NemesisConfig::default()
+            },
+        ),
+        (
+            // Learned everything: threshold and chunk schedule adapt
+            // from samples recorded during this very transfer.
+            "learned policies",
+            NemesisConfig {
+                threshold: ThresholdSelect::Learned,
+                chunk_schedule: ChunkScheduleSelect::Learned,
+                ..NemesisConfig::default()
+            },
+        ),
     ];
     for (name, cfg) in &configs {
         for lmt in ALL_SELECTS {
@@ -172,6 +198,142 @@ fn adaptive_chunking_is_byte_identical_through_every_backend() {
             );
         }
     }
+}
+
+/// Drive a seeded pingpong sweep (per-size phases, deterministic size
+/// jitter) through KNEM `Auto` with the learned threshold, and return
+/// the learned state of pair (0, 1). Cores `(0, 1)` share the tiny
+/// machine's L2, the §3.5 configuration the architectural formula is
+/// built for.
+fn converge_tiny(cfg: NemesisConfig, sizes: &[u64], reps: usize, seed: u64) -> (u64, u64) {
+    let machine = Arc::new(Machine::new(MachineConfig::tiny_test()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
+    let nem2 = Arc::clone(&nem);
+    let sizes = sizes.to_vec();
+    run_simulation(machine, &[0, 1], move |p| {
+        let comm = nem2.attach(p);
+        let os = comm.os();
+        // Both ranks derive the same seeded jitter, so they agree on
+        // every message size without communicating it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = sizes.iter().max().unwrap() + 1024;
+        let sbuf = os.alloc(comm.rank(), max);
+        let rbuf = os.alloc(comm.rank(), max);
+        for (i, &s) in sizes.iter().enumerate() {
+            for rep in 0..reps {
+                let s = s + rng.random_range(0..256);
+                let tag = (i * 1000 + rep) as i32;
+                if comm.rank() == 0 {
+                    comm.send(1, tag, sbuf, 0, s);
+                    comm.recv(Some(1), Some(tag), rbuf, 0, s);
+                } else {
+                    comm.recv(Some(0), Some(tag), rbuf, 0, s);
+                    comm.send(0, tag, sbuf, 0, s);
+                }
+            }
+        }
+    });
+    let tuner = nem
+        .policy()
+        .tuner()
+        .expect("learned config must carry a tuner");
+    let snap = tuner.snapshot(0, 1);
+    (snap.dma_min, snap.samples)
+}
+
+/// The acceptance property: with `ThresholdSelect::Learned`, a seeded
+/// sim run on a topology with a known crossover converges to within 2×
+/// of that topology's architectural `DMAmin` (16 KiB on the tiny
+/// machine: 64 KiB L2 / (2 × 2 sharers)).
+#[test]
+fn learned_threshold_converges_within_2x_of_architectural() {
+    let arch = MachineConfig::tiny_test().dma_min_architectural();
+    assert_eq!(arch, 16 << 10);
+    let cfg = NemesisConfig {
+        lmt: LmtSelect::Knem(KnemSelect::Auto),
+        threshold: ThresholdSelect::Learned,
+        eager_max: 2 << 10,
+        cell_payload: 1 << 10,
+        ..NemesisConfig::default()
+    };
+    let sizes = [4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10];
+    let (learned, samples) = converge_tiny(cfg, &sizes, 24, 0xC0FFEE);
+    assert!(samples >= 100, "tuner starved of samples ({samples})");
+    assert!(learned > 0, "no crossover learned");
+    assert!(
+        learned >= arch / 2 && learned <= arch * 2,
+        "learned DMAmin {learned} outside [{}, {}] (architectural {arch})",
+        arch / 2,
+        arch * 2
+    );
+}
+
+/// The degenerate-route clamp: even when the offload wins at every
+/// observable size (every rendezvous size, because the eager switchover
+/// sits above the machine's true crossover), the learned threshold
+/// stops at the switchover — it can never direct the LMT below sizes
+/// the LMT serves.
+#[test]
+fn learned_threshold_never_sinks_below_eager_switchover() {
+    let cfg = NemesisConfig {
+        lmt: LmtSelect::Knem(KnemSelect::Auto),
+        threshold: ThresholdSelect::Learned,
+        eager_max: 32 << 10, // above the tiny machine's ~24 KiB crossover
+        ..NemesisConfig::default()
+    };
+    let sizes = [36 << 10, 48 << 10, 64 << 10, 128 << 10];
+    let (learned, samples) = converge_tiny(cfg, &sizes, 24, 0xBEEF);
+    assert!(samples > 0);
+    assert!(
+        learned == 0 || learned >= 32 << 10,
+        "learned DMAmin {learned} sank below the eager/rendezvous switchover"
+    );
+}
+
+/// The learned chunk schedule converges on the ring wire and keeps
+/// delivery byte-identical while doing so (the sweet spot is read per
+/// transfer, so mid-run republishing must be safe).
+#[test]
+fn learned_chunk_schedule_publishes_a_sweet_spot() {
+    let cfg = NemesisConfig {
+        lmt: LmtSelect::ShmCopy,
+        chunk_schedule: ChunkScheduleSelect::Learned,
+        eager_max: 2 << 10,
+        cell_payload: 1 << 10,
+        ..NemesisConfig::default()
+    };
+    let sizes = [16 << 10, 64 << 10, 128 << 10];
+    let machine = Arc::new(Machine::new(MachineConfig::tiny_test()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
+    let nem2 = Arc::clone(&nem);
+    run_simulation(machine, &[0, 1], move |p| {
+        let comm = nem2.attach(p);
+        let os = comm.os();
+        let max = 128 << 10;
+        let sbuf = os.alloc(comm.rank(), max);
+        let rbuf = os.alloc(comm.rank(), max);
+        for (i, &s) in sizes.iter().enumerate() {
+            for rep in 0..8 {
+                let tag = (i * 100 + rep) as i32;
+                if comm.rank() == 0 {
+                    comm.send(1, tag, sbuf, 0, s);
+                    comm.recv(Some(1), Some(tag), rbuf, 0, s);
+                } else {
+                    comm.recv(Some(0), Some(tag), rbuf, 0, s);
+                    comm.send(0, tag, sbuf, 0, s);
+                }
+            }
+        }
+    });
+    let snap = nem.policy().tuner().unwrap().snapshot(0, 1);
+    let chunk = snap.chunk;
+    assert!(chunk > 0, "no chunk sweet spot learned");
+    assert!(
+        (512..=nem.cfg().ring_chunk).contains(&chunk),
+        "sweet spot {chunk} outside the wire's chunk range"
+    );
 }
 
 /// The batched progress drain must not change delivery either, at the

@@ -12,9 +12,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use nemesis::core::lmt::ALL_SELECTS;
-use nemesis::core::{LmtSelect, Nemesis, NemesisConfig, VectorLayout};
+use nemesis::core::{
+    ChunkScheduleSelect, LmtSelect, Nemesis, NemesisConfig, ThresholdSelect, VectorLayout,
+};
 use nemesis::kernel::Os;
-use nemesis::rt::{run_rt, ALL_RT_LMTS};
+use nemesis::rt::{run_rt, run_rt_cfg, RtChunkScheduleSelect, RtConfig, ALL_RT_LMTS};
 use nemesis::sim::{run_simulation, Machine, MachineConfig};
 
 /// Rendezvous-sized payload (past the 64 KiB eager threshold).
@@ -34,11 +36,18 @@ fn strided() -> VectorLayout {
 /// received (contiguous recv, then strided recv), so the caller can
 /// compare across backends.
 fn sim_roundtrip(lmt: LmtSelect) -> (Vec<u8>, Vec<u8>) {
+    sim_roundtrip_cfg(NemesisConfig::with_lmt(lmt))
+}
+
+/// The fully-configurable variant (learned-policy parity reuses the
+/// same machinery under a different decision layer).
+fn sim_roundtrip_cfg(cfg: NemesisConfig) -> (Vec<u8>, Vec<u8>) {
+    let lmt = cfg.lmt;
     let layout = strided();
     assert_eq!(layout.total(), LEN, "layout must carry the same payload");
     let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
     let os = Arc::new(Os::new(Arc::clone(&machine)));
-    let nem = Nemesis::new(Arc::clone(&os), 2, NemesisConfig::with_lmt(lmt));
+    let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
     let contiguous_out = Mutex::new(Vec::new());
     let strided_out = Mutex::new(Vec::new());
     run_simulation(machine, &[0, 4], |p| {
@@ -126,6 +135,74 @@ fn sim_dynamic_policy_meets_parity() {
     let (contiguous, strided) = sim_roundtrip(LmtSelect::Dynamic);
     assert_eq!(contiguous, reference);
     assert_eq!(strided, reference);
+}
+
+/// The learned decision layer changes *which* mechanism and chunk sizes
+/// move the bytes, never the bytes: every backend (and the blended
+/// meta-backend) meets the parity contract with the learned threshold
+/// and learned chunk schedule active, recording samples mid-transfer.
+#[test]
+fn sim_backends_meet_parity_under_learned_policies() {
+    let reference: Vec<u8> = (0..LEN as usize).map(pattern).collect();
+    for lmt in [
+        LmtSelect::ShmCopy,
+        LmtSelect::Vmsplice,
+        LmtSelect::Knem(nemesis::core::KnemSelect::Auto),
+        LmtSelect::Dynamic,
+    ] {
+        let cfg = NemesisConfig {
+            threshold: ThresholdSelect::Learned,
+            chunk_schedule: ChunkScheduleSelect::Learned,
+            ..NemesisConfig::with_lmt(lmt)
+        };
+        let (contiguous, strided) = sim_roundtrip_cfg(cfg);
+        assert_eq!(
+            contiguous, reference,
+            "{lmt:?} under learned policies: contiguous payload differs"
+        );
+        assert_eq!(
+            strided, reference,
+            "{lmt:?} under learned policies: vectored payload differs"
+        );
+    }
+}
+
+/// The rt mirror of the learned-schedule parity: the double-buffer
+/// ring under the learned chunk schedule (tuner recording every chunk)
+/// delivers byte-identical payloads, and the tuner has actually seen
+/// the transfers.
+#[test]
+fn rt_learned_schedule_meets_parity() {
+    let len = LEN as usize;
+    let reference: Vec<u8> = (0..len).map(pattern).collect();
+    for lmt in ALL_RT_LMTS {
+        let cfg = RtConfig {
+            chunk_schedule: RtChunkScheduleSelect::Learned,
+            ..RtConfig::default()
+        };
+        let reference = &reference;
+        run_rt_cfg(2, lmt, cfg, move |comm| {
+            if comm.rank() == 0 {
+                // Several back-to-back transfers so the learned target
+                // republishes mid-stream.
+                for round in 0..4 {
+                    comm.send(1, round, reference);
+                }
+            } else {
+                let mut got = vec![0u8; len];
+                for round in 0..4 {
+                    assert_eq!(comm.recv(Some(0), Some(round), &mut got), len);
+                    assert_eq!(&got, reference, "{lmt:?}: round {round} differs");
+                }
+                let tuner = comm.tuner().expect("learned schedule carries a tuner");
+                assert_eq!(
+                    tuner.pair(0, 1).samples(),
+                    4,
+                    "{lmt:?}: every completion must be sampled"
+                );
+            }
+        });
+    }
 }
 
 /// Every real-thread backend delivers byte-identical contiguous and
