@@ -50,6 +50,34 @@ pub const ANY_TAG: Option<i32> = None;
 /// Source wildcard.
 pub const ANY_SOURCE: Option<usize> = None;
 
+/// Typed per-peer resolution error: the configured backend cannot serve
+/// a transfer to this peer (module absent, syscall missing, anchor rail
+/// unavailable). Selection never falls back silently — a fixed
+/// selection that cannot run is surfaced as this error (and the send
+/// path fails loudly with it), so a misconfigured universe is caught at
+/// the first transfer instead of quietly taking a different data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendUnavailable {
+    /// The selection that could not be honoured.
+    pub select: LmtSelect,
+    /// Destination rank of the transfer being resolved.
+    pub peer: usize,
+    /// What is missing.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for BackendUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "backend {:?} unavailable for peer {}: {}",
+            self.select, self.peer, self.reason
+        )
+    }
+}
+
+impl std::error::Error for BackendUnavailable {}
+
 /// The shared communication universe: one per simulation.
 pub struct Nemesis {
     pub(crate) os: Arc<Os>,
@@ -68,6 +96,12 @@ pub struct Nemesis {
     /// blended LMT policy consults the pair's cache-sharing relation,
     /// the tuner records per-placement samples).
     cores: Mutex<Vec<Option<usize>>>,
+    /// Rail-health registry for striped transfers: `(src, dst,
+    /// RailKind::code)` triples of rails that errored mid-transfer. A
+    /// quarantined kind is excluded when that pair composes its next
+    /// stripe set (the receiver marks, the sender consults — the shared
+    /// universe stands in for the NACK a real transport would send).
+    failed_rails: Mutex<std::collections::HashSet<(usize, usize, u8)>>,
 }
 
 impl Nemesis {
@@ -84,6 +118,7 @@ impl Nemesis {
             sh: Mutex::new(state),
             policy,
             cores: Mutex::new(vec![None; nprocs]),
+            failed_rails: Mutex::new(std::collections::HashSet::new()),
         })
     }
 
@@ -131,19 +166,28 @@ impl Nemesis {
 
     /// Resolve the configured LMT selection for a `len`-byte transfer
     /// from rank `src` (running on `src_core`) to rank `dst`. Fixed
-    /// selections pass through; [`LmtSelect::Dynamic`] applies the §3.5
-    /// blended policy ([`policy::blended_select`]) under the pair's
-    /// effective `DMAmin` (learned, when so configured). An unattached
-    /// destination (its core unknown yet) is treated as not sharing a
-    /// cache — the conservative direction, since single-copy never
-    /// loses badly.
+    /// selections are validated against the universe's availability
+    /// flags — a configured backend the peer cannot be served by is a
+    /// typed [`BackendUnavailable`] error, never a silent fallback.
+    /// [`LmtSelect::Dynamic`] applies the §3.5 blended policy
+    /// ([`policy::blended_select`]) under the pair's effective `DMAmin`
+    /// (learned, when so configured); only the blended policy is
+    /// *allowed* to degrade across backends, because degrading is its
+    /// documented contract. An unattached destination (its core unknown
+    /// yet) is treated as not sharing a cache — the conservative
+    /// direction, since single-copy never loses badly.
     pub(crate) fn resolve_select(
         &self,
         src: usize,
         src_core: usize,
         dst: usize,
         len: u64,
-    ) -> LmtSelect {
+    ) -> Result<LmtSelect, BackendUnavailable> {
+        let unavailable = |select, reason| BackendUnavailable {
+            select,
+            peer: dst,
+            reason,
+        };
         match self.cfg.lmt {
             LmtSelect::Dynamic => {
                 let shared = match self.cores.lock()[dst] {
@@ -153,10 +197,49 @@ impl Nemesis {
                     None => false,
                 };
                 let dma_min = self.policy.dma_min(self.os.machine(), Some((src, dst)), 1);
-                policy::blended_select(&self.cfg, shared, len, dma_min)
+                Ok(policy::blended_select(&self.cfg, shared, len, dma_min))
             }
-            fixed => fixed,
+            sel @ LmtSelect::Knem(_) if !self.cfg.knem_available => {
+                Err(unavailable(sel, "KNEM module not loaded"))
+            }
+            sel @ LmtSelect::Cma if !self.cfg.cma_available => {
+                Err(unavailable(sel, "kernel lacks process_vm_readv"))
+            }
+            sel @ LmtSelect::Vmsplice if !self.cfg.vmsplice_available => {
+                Err(unavailable(sel, "kernel lacks vmsplice"))
+            }
+            sel @ LmtSelect::Striped { .. } if !self.cfg.cma_available => Err(unavailable(
+                sel,
+                "striping requires the CMA anchor rail (process_vm_readv)",
+            )),
+            fixed => Ok(fixed),
         }
+    }
+
+    /// Whether a rail kind is quarantined for the directed pair.
+    pub(crate) fn rail_failed(&self, src: usize, dst: usize, kind: u8) -> bool {
+        self.failed_rails.lock().contains(&(src, dst, kind))
+    }
+
+    /// Quarantine a rail kind for the directed pair; returns `true` the
+    /// first time (so an injected fault fires exactly once per pair).
+    pub(crate) fn mark_rail_failed(&self, src: usize, dst: usize, kind: u8) -> bool {
+        self.failed_rails.lock().insert((src, dst, kind))
+    }
+
+    /// The quarantined rail kinds of a directed pair, as
+    /// [`RailKind::code`](crate::lmt::RailKind::code) values
+    /// (diagnostics and tests).
+    pub fn failed_rails(&self, src: usize, dst: usize) -> Vec<u8> {
+        let mut v: Vec<u8> = self
+            .failed_rails
+            .lock()
+            .iter()
+            .filter(|&&(s, d, _)| s == src && d == dst)
+            .map(|&(_, _, k)| k)
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Lazily create the copy ring for `(src, dst)`.
@@ -245,6 +328,15 @@ impl<'a> Comm<'a> {
         self.concurrency.set(n.max(1));
     }
 
+    /// Resolve the backend a `len`-byte transfer to `dst` would take,
+    /// surfacing the typed [`BackendUnavailable`] error instead of
+    /// panicking — the inspectable form of the resolution every
+    /// rendezvous send performs (which fails loudly on `Err`).
+    pub fn try_select(&self, dst: usize, len: u64) -> Result<LmtSelect, BackendUnavailable> {
+        self.nem
+            .resolve_select(self.rank(), self.p.core(), dst, len)
+    }
+
     /// Build the sender-side chunk pipeline for a streaming transfer
     /// between ranks `src` and `dst` (the directed pair the tuner keys
     /// learned sweet spots on), growing toward `ceiling`. Only this
@@ -329,7 +421,8 @@ impl<'a> Comm<'a> {
         }
         let sel = self
             .nem
-            .resolve_select(self.rank(), self.p.core(), dst, len);
+            .resolve_select(self.rank(), self.p.core(), dst, len)
+            .unwrap_or_else(|e| panic!("{e}"));
         if lmt::backend_for(sel).scatter_native() {
             return self.rndv_send_iovs(dst, tag, &layout.iovs(buf), len, sel);
         }

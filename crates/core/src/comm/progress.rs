@@ -102,16 +102,20 @@ impl Comm<'_> {
         }
         if let PktKind::Done { msg_id } = env.kind {
             let mut inner = self.inner.borrow_mut();
-            let s = inner
-                .sends
-                .iter_mut()
-                .find(|s| s.t.msg_id == msg_id)
-                .expect("DONE for unknown send");
-            debug_assert!(s.op.completes_on_done());
-            s.done = true;
-            let req = s.req;
-            inner.reqs[req] = ReqState::Done;
-            inner.sends.retain(|s| !s.done);
+            if let Some(s) = inner.sends.iter_mut().find(|s| s.t.msg_id == msg_id) {
+                debug_assert!(s.op.completes_on_done());
+                s.done = true;
+                let req = s.req;
+                inner.reqs[req] = ReqState::Done;
+                inner.sends.retain(|s| !s.done);
+            } else {
+                // A per-rail DONE of a striped transfer: offer it to the
+                // meta-backend parents; the owner marks its rail done
+                // and completes through its own step once every rail
+                // has.
+                let absorbed = inner.sends.iter_mut().any(|s| s.op.absorb_done(msg_id));
+                assert!(absorbed, "DONE for unknown send (msg id {msg_id:#x})");
+            }
             return;
         }
         // Eager or RTS: match against posted receives in post order.

@@ -34,7 +34,8 @@ impl Comm<'_> {
     ) -> Request {
         let sel = self
             .nem
-            .resolve_select(self.rank(), self.p.core(), dst, len);
+            .resolve_select(self.rank(), self.p.core(), dst, len)
+            .unwrap_or_else(|e| panic!("{e}"));
         self.rndv_send_inner(dst, tag, &[Iov::new(buf, off, len)], staging, sel)
     }
 
@@ -171,7 +172,7 @@ impl Comm<'_> {
         }
         r.done = true;
         self.inner.borrow_mut().reqs[r.req] = ReqState::Done;
-        if self.nem.policy.is_learned() {
+        if self.nem.policy.is_learned() && !r.op.records_own_samples() {
             let sample = crate::lmt::TransferSample {
                 backend: r.backend,
                 class: r.op.transfer_class(),

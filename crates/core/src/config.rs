@@ -32,14 +32,27 @@ pub enum LmtSelect {
     Vmsplice,
     /// The KNEM kernel module (§3.2).
     Knem(KnemSelect),
+    /// CMA-style `process_vm_readv` (single copy, **no kernel module**
+    /// — the answer to §2's deployment concern). The receiver reads the
+    /// sender's exposed ranges directly; per-call iovec limits and the
+    /// transient page walk are modelled, nothing is pinned.
+    Cma,
+    /// One transfer striped across `rails` rail engines (rail 0 is
+    /// always CMA; further rails take KNEM-with-I/OAT, vmsplice and the
+    /// copy ring in that order, subject to availability). Spans are
+    /// bandwidth-weighted from the tuner's per-class EWMAs when
+    /// learned, equal otherwise. Clamped to `1..=MAX_RAILS`.
+    Striped { rails: u8 },
     /// The paper's blended policy (§3.5, §4.1, §6: "no single method is
     /// optimal for all situations, and so a blended approach is
     /// essential"): per destination, use the two-copy shared-memory ring
     /// when the two cores share a cache (where §4.1/§4.2 show it wins),
     /// otherwise KNEM with the automatic `DMAmin` threshold if the
-    /// module is loaded, otherwise vmsplice if available, otherwise the
-    /// ring. Availability comes from [`NemesisConfig::knem_available`]
-    /// and [`NemesisConfig::vmsplice_available`].
+    /// module is loaded, otherwise CMA if available (single copy with no
+    /// module), otherwise vmsplice, otherwise the ring. Availability
+    /// comes from [`NemesisConfig::knem_available`],
+    /// [`NemesisConfig::cma_available`] and
+    /// [`NemesisConfig::vmsplice_available`].
     Dynamic,
 }
 
@@ -56,6 +69,11 @@ impl LmtSelect {
             LmtSelect::Knem(KnemSelect::SyncIoat) => "KNEM LMT with I/OAT",
             LmtSelect::Knem(KnemSelect::AsyncIoat) => "KNEM LMT with I/OAT - asynchronous",
             LmtSelect::Knem(KnemSelect::Auto) => "KNEM LMT (auto threshold)",
+            LmtSelect::Cma => "CMA LMT",
+            LmtSelect::Striped { rails: 0 | 1 } => "striped LMT (1 rail)",
+            LmtSelect::Striped { rails: 2 } => "striped LMT (2 rails)",
+            LmtSelect::Striped { rails: 3 } => "striped LMT (3 rails)",
+            LmtSelect::Striped { rails: _ } => "striped LMT (4 rails)",
             LmtSelect::Dynamic => "dynamic LMT (blended)",
         }
     }
@@ -87,6 +105,23 @@ pub enum ThresholdSelect {
     /// [`NemesisConfig::eager_max`] (the LMT never runs below the
     /// eager/rendezvous switchover).
     Learned,
+}
+
+impl ThresholdSelect {
+    /// The CI backend-matrix hook: resolve the *default* threshold
+    /// policy from the `NEMESIS_THRESHOLD` environment variable, so the
+    /// whole tier-1 suite can run once under the static derivation and
+    /// once under the learned policy without editing any test.
+    /// Unset/`auto`/`static` keep the seed behaviour ([`Auto`]);
+    /// `learned` selects [`Learned`]; anything else fails loudly.
+    /// Configs that pin `threshold` explicitly are unaffected.
+    pub fn from_env() -> Self {
+        match std::env::var("NEMESIS_THRESHOLD").as_deref() {
+            Err(_) | Ok("") | Ok("auto") | Ok("static") => ThresholdSelect::Auto,
+            Ok("learned") => ThresholdSelect::Learned,
+            Ok(other) => panic!("NEMESIS_THRESHOLD={other:?} (expected auto | static | learned)"),
+        }
+    }
 }
 
 /// Which chunk schedule drives the [`ChunkPipeline`](crate::lmt::ChunkPipeline)
@@ -154,11 +189,29 @@ pub struct NemesisConfig {
     pub collective_hint: bool,
     /// Whether the KNEM module is loaded (§2: "deploying such a
     /// nonstandard kernel module on a system requires administrative
-    /// privileges"). Consulted by [`LmtSelect::Dynamic`].
+    /// privileges"). Consulted by [`LmtSelect::Dynamic`] and the
+    /// striped rail composition; a *fixed* `Knem` selection with the
+    /// module absent is a typed resolution error
+    /// ([`crate::comm::BackendUnavailable`]), never a silent fallback.
     pub knem_available: bool,
+    /// Whether the kernel offers `process_vm_readv` (Linux ≥ 3.2).
+    /// Consulted by [`LmtSelect::Dynamic`]; required by
+    /// [`LmtSelect::Striped`] (rail 0 anchors the stripe set).
+    pub cma_available: bool,
     /// Whether the kernel offers `vmsplice` (Linux ≥ 2.6.17). Consulted
     /// by [`LmtSelect::Dynamic`].
     pub vmsplice_available: bool,
+    /// Failure injection for striped transfers (tests): the rail at
+    /// this index errors when the receiver first drives it, once per
+    /// directed pair — the rail is then quarantined in the universe's
+    /// rail-health registry and its byte range re-read through rail 0's
+    /// full-transfer CMA window. Only the KNEM/I-OAT rail is failable:
+    /// it is receiver-driven and abortable before its bytes land,
+    /// whereas failing a streaming rail (pipe, ring) would leave the
+    /// sender pushing into a wire nobody drains, and rail 0 is the
+    /// anchor the fallback itself rides on. An index naming any other
+    /// rail kind is ignored. `None` = no injection.
+    pub stripe_fault_rail: Option<u8>,
     /// Which `DMAmin` threshold policy to build (see
     /// [`NemesisConfig::threshold_policy`]).
     pub threshold: ThresholdSelect,
@@ -182,8 +235,10 @@ impl Default for NemesisConfig {
             backoff_spin_cap: 6,
             collective_hint: false,
             knem_available: true,
+            cma_available: true,
             vmsplice_available: true,
-            threshold: ThresholdSelect::Auto,
+            stripe_fault_rail: None,
+            threshold: ThresholdSelect::from_env(),
             chunk_schedule: ChunkScheduleSelect::default(),
         }
     }
@@ -229,6 +284,7 @@ mod tests {
     #[test]
     fn dma_min_override_wins() {
         let mut c = NemesisConfig::default();
+        c.threshold = ThresholdSelect::Auto; // pin: Learned ignores the override
         c.dma_min_override = Some(123);
         let m = Machine::new(MachineConfig::xeon_e5345());
         assert_eq!(c.dma_min(&m, 1), 123);

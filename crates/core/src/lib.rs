@@ -58,10 +58,11 @@ pub mod lmt;
 pub mod shm;
 pub mod vector;
 
-pub use comm::{Comm, MessageInfo, Nemesis, Request, ANY_SOURCE, ANY_TAG};
+pub use comm::{BackendUnavailable, Comm, MessageInfo, Nemesis, Request, ANY_SOURCE, ANY_TAG};
 pub use config::{ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
 pub use lmt::{
-    ChunkPipeline, ChunkSchedule, FixedChunk, GeometricGrowth, LearnedChunk, LmtBackend,
+    ChunkPipeline, ChunkSchedule, FixedChunk, GeometricGrowth, LearnedChunk, LmtBackend, RailKind,
     ThresholdPolicy, TransferClass, TransferPolicy, TransferSample, Tuner,
 };
+pub use shm::MAX_RAILS;
 pub use vector::VectorLayout;

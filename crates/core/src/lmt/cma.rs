@@ -1,0 +1,214 @@
+//! CMA LMT — single copy through `process_vm_readv`, **no kernel
+//! module** (the answer to §2's deployment concern with KNEM).
+//!
+//! The sender exposes its (possibly vectorial) source ranges as a CMA
+//! window — pure user-space bookkeeping, the simulated stand-in for
+//! shipping the address list inside the RTS — and the receiver pulls
+//! the bytes directly out of the sender's address space with a chunked
+//! `process_vm_readv` loop. Exactly one copy, like KNEM's sync-CPU
+//! mode, but with CMA's distinct cost shape: nothing is ever pinned,
+//! and every call re-pays the transient page walk (see
+//! [`nemesis_kernel::cma`]). Per-call iovec limits give the syscall
+//! partial-read semantics, which the [`ChunkPipeline`] absorbs as
+//! wire backpressure (a short read never grows the chunk).
+//!
+//! Like KNEM, CMA consumes scatter lists natively on both sides (§5's
+//! vectorial buffers stay single-copy), and the send side completes
+//! through the receiver's DONE packet.
+
+use nemesis_kernel::{CmaWindowId, Iov};
+
+use crate::comm::Comm;
+use crate::shm::LmtWire;
+use crate::vector::VectorLayout;
+
+use super::{ChunkPipeline, LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer};
+
+/// The CMA receive loop's steady-state chunk: big enough to amortise
+/// the per-call syscall + page-walk overhead, small enough to keep each
+/// progress step bounded. The sender has no overlapping work to hide
+/// (single copy, receiver-driven), so the ceiling is purely an
+/// overhead/fairness trade-off.
+pub(super) const CMA_PREFERRED: u64 = 256 << 10;
+
+/// The CMA backend singleton.
+pub struct CmaBackend;
+
+impl LmtBackend for CmaBackend {
+    fn name(&self) -> &'static str {
+        "CMA LMT"
+    }
+
+    fn scatter_native(&self) -> bool {
+        true
+    }
+
+    fn preferred_chunk(&self) -> u64 {
+        CMA_PREFERRED
+    }
+
+    fn start_send(
+        &self,
+        comm: &Comm<'_>,
+        _t: &Transfer,
+        iovs: &[Iov],
+    ) -> (LmtWire, Box<dyn LmtSendOp>) {
+        // Publish the source ranges; the RTS carries the window id. No
+        // pinning, no syscall — the kernel first gets involved when the
+        // receiver reads.
+        let window = comm.os().cma_expose(comm.proc(), iovs);
+        (LmtWire::Cma { window }, Box::new(CmaSendOp))
+    }
+
+    fn start_recv(
+        &self,
+        comm: &Comm<'_>,
+        t: &Transfer,
+        wire: &LmtWire,
+        layout: Option<&VectorLayout>,
+        _concurrency: u32,
+    ) -> Box<dyn LmtRecvOp> {
+        let LmtWire::Cma { window } = *wire else {
+            unreachable!("CMA backend with non-CMA wire")
+        };
+        let iovs = match layout {
+            Some(l) => l.iovs(t.buf),
+            None => vec![Iov::new(t.buf, t.off, t.len)],
+        };
+        Box::new(CmaRecvOp::new(comm, t.peer, window, 0, iovs, true))
+    }
+}
+
+/// The send side holds nothing but the exposed window and waits for the
+/// receiver's DONE packet (mirrors the KNEM send op). Reused by the
+/// striped meta-backend for its anchor rail.
+pub(super) struct CmaSendOp;
+
+impl LmtSendOp for CmaSendOp {
+    fn step(&mut self, _comm: &Comm<'_>, _t: &Transfer, _is_head: bool) -> Step {
+        Step::Idle // completed by the DONE envelope
+    }
+
+    fn completes_on_done(&self) -> bool {
+        true
+    }
+}
+
+/// Receiver-driven chunked `process_vm_readv` loop. Reused by the
+/// striped meta-backend for its rail 0 (with `finish = false`: the
+/// parent op owns the window's lifetime and the DONE packet, because
+/// the window may still be needed to re-read a failed sibling rail's
+/// range).
+pub(super) struct CmaRecvOp {
+    window: CmaWindowId,
+    /// Window offset this op's range starts at (0 for a plain CMA
+    /// transfer; a rail's cumulative span offset under striping).
+    base: u64,
+    /// Local destination blocks, in payload order.
+    iovs: Vec<Iov>,
+    total: u64,
+    pipeline: ChunkPipeline,
+    /// Close the window and send DONE on completion (plain transfers).
+    finish: bool,
+}
+
+impl CmaRecvOp {
+    pub(super) fn new(
+        comm: &Comm<'_>,
+        peer: usize,
+        window: CmaWindowId,
+        base: u64,
+        iovs: Vec<Iov>,
+        finish: bool,
+    ) -> Self {
+        let total = Iov::total(&iovs);
+        Self {
+            window,
+            base,
+            iovs,
+            total,
+            pipeline: comm.lmt_recv_pipeline(peer, comm.rank(), CMA_PREFERRED),
+            finish,
+        }
+    }
+
+    /// Drive at most one `process_vm_readv` call (one bounded syscall
+    /// per progress step); returns whether bytes moved.
+    pub(super) fn drive_one(&mut self, comm: &Comm<'_>) -> bool {
+        let os = comm.os();
+        let p = comm.proc();
+        let (window, base, iovs) = (self.window, self.base, &self.iovs);
+        let mut calls = 0;
+        self.pipeline.drive(self.total, |at, budget| {
+            if calls == 1 {
+                return 0; // one syscall per step: keep steps bounded
+            }
+            calls = 1;
+            let dst = sub_iovs(iovs, at, budget);
+            os.process_vm_readv(p, window, base + at, &dst)
+        })
+    }
+
+    pub(super) fn is_complete(&self) -> bool {
+        self.pipeline.is_complete(self.total)
+    }
+}
+
+impl LmtRecvOp for CmaRecvOp {
+    fn step(&mut self, comm: &Comm<'_>, t: &Transfer, _is_head: bool) -> Step {
+        let did = self.drive_one(comm);
+        if self.is_complete() {
+            if self.finish {
+                comm.os().cma_close(comm.proc(), self.window);
+                comm.send_done(t.peer, t.msg_id);
+            }
+            Step::Complete
+        } else if did {
+            Step::Progress
+        } else {
+            Step::Idle
+        }
+    }
+}
+
+/// The byte sub-range `[skip, skip+take)` of an iovec list.
+pub(super) fn sub_iovs(iovs: &[Iov], skip: u64, take: u64) -> Vec<Iov> {
+    let mut out = Vec::new();
+    let mut pos = 0u64;
+    let mut rem = take;
+    for v in iovs {
+        if rem == 0 {
+            break;
+        }
+        let end = pos + v.len;
+        if end <= skip {
+            pos = end;
+            continue;
+        }
+        let from = skip.max(pos);
+        let n = (end - from).min(rem);
+        out.push(Iov::new(v.buf, v.off + (from - pos), n));
+        rem -= n;
+        pos = end;
+    }
+    debug_assert_eq!(rem, 0, "iovec list shorter than skip+take");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_iovs_slices_across_blocks() {
+        let iovs = [Iov::new(1, 0, 100), Iov::new(2, 50, 200)];
+        assert_eq!(sub_iovs(&iovs, 0, 300), iovs.to_vec());
+        assert_eq!(sub_iovs(&iovs, 40, 10), vec![Iov::new(1, 40, 10)]);
+        assert_eq!(
+            sub_iovs(&iovs, 90, 30),
+            vec![Iov::new(1, 90, 10), Iov::new(2, 50, 20)]
+        );
+        assert_eq!(sub_iovs(&iovs, 250, 50), vec![Iov::new(2, 200, 50)]);
+        assert!(sub_iovs(&iovs, 100, 0).is_empty());
+    }
+}

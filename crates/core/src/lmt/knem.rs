@@ -71,26 +71,41 @@ impl LmtBackend for KnemBackend {
             // honour the wire protocol with the default.
             _ => KnemSelect::SyncCpu,
         };
-        // Scatter receives hand KNEM the block list directly — the
-        // kernel copy walks both iovecs (single copy).
-        let iovs = match layout {
-            Some(l) => l.iovs(t.buf),
-            None => vec![Iov::new(t.buf, t.off, t.len)],
-        };
-        Box::new(KnemRecvOp {
-            cookie,
-            sel,
-            concurrency,
-            iovs,
-            state: KnemRecvState::Issue,
-            offloaded: false,
-        })
+        start_knem_recv(t, cookie, sel, layout, concurrency)
     }
 }
 
+/// Build a KNEM receive op with an explicit receive mode. Shared with
+/// the striped meta-backend, whose KNEM rail always runs the
+/// asynchronous I/OAT mode (the rail's whole point is moving bytes
+/// concurrently with the CPU rails).
+pub(super) fn start_knem_recv(
+    t: &Transfer,
+    cookie: nemesis_kernel::Cookie,
+    sel: KnemSelect,
+    layout: Option<&VectorLayout>,
+    concurrency: u32,
+) -> Box<dyn LmtRecvOp> {
+    // Scatter receives hand KNEM the block list directly — the
+    // kernel copy walks both iovecs (single copy).
+    let iovs = match layout {
+        Some(l) => l.iovs(t.buf),
+        None => vec![Iov::new(t.buf, t.off, t.len)],
+    };
+    Box::new(KnemRecvOp {
+        cookie,
+        sel,
+        concurrency,
+        iovs,
+        state: KnemRecvState::Issue,
+        offloaded: false,
+    })
+}
+
 /// The send side holds the pinned buffer and waits for the receiver's
-/// DONE packet; there is nothing to step locally.
-struct KnemSendOp;
+/// DONE packet; there is nothing to step locally. Reused by the striped
+/// meta-backend for its KNEM rail.
+pub(super) struct KnemSendOp;
 
 impl LmtSendOp for KnemSendOp {
     fn step(&mut self, _comm: &Comm<'_>, _t: &Transfer, _is_head: bool) -> Step {

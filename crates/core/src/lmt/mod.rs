@@ -22,16 +22,19 @@
 //! The `DMAmin` threshold logic of §3.5/§6 lives in [`policy`] behind
 //! the [`ThresholdPolicy`] trait.
 
+pub mod cma;
 pub mod knem;
 pub mod pipe_writev;
 pub mod policy;
 pub mod shm_copy;
+pub mod striped;
 pub mod tuner;
 pub mod vmsplice;
 
 pub use policy::{
     ArchitecturalThreshold, ConcurrencyScaled, StaticThreshold, ThresholdPolicy, TransferPolicy,
 };
+pub use striped::RailKind;
 pub use tuner::{TransferClass, TransferSample, Tuner};
 
 use nemesis_kernel::Iov;
@@ -78,9 +81,19 @@ pub trait LmtSendOp {
     fn step(&mut self, comm: &Comm<'_>, t: &Transfer, is_head: bool) -> Step;
 
     /// `true` when the send completes through the receiver's DONE packet
-    /// rather than by local stepping (KNEM). Such ops are excluded from
-    /// the per-pair FIFO head election.
+    /// rather than by local stepping (KNEM, CMA). Such ops are excluded
+    /// from the per-pair FIFO head election.
     fn completes_on_done(&self) -> bool {
+        false
+    }
+
+    /// Route a DONE packet whose id matched no registered send into
+    /// this op. Meta-backends (striping) give each rail its own derived
+    /// message id; the progress loop offers unmatched DONEs to every
+    /// active send, and the owning parent marks the rail complete and
+    /// returns `true`. Plain backends never consume one.
+    fn absorb_done(&mut self, msg_id: u64) -> bool {
+        let _ = msg_id;
         false
     }
 }
@@ -103,6 +116,14 @@ pub trait LmtRecvOp {
     /// the I/OAT engine (the op reports after resolving its mode).
     fn transfer_class(&self) -> TransferClass {
         TransferClass::Copy
+    }
+
+    /// `true` when the op feeds the tuner itself (the striped op
+    /// records one sample *per rail*, so the crossover model sees each
+    /// mechanism's own bandwidth instead of one blended number); the
+    /// completion path then skips its whole-transfer sample.
+    fn records_own_samples(&self) -> bool {
+        false
     }
 }
 
@@ -164,6 +185,8 @@ pub fn backend_for(sel: LmtSelect) -> &'static dyn LmtBackend {
         LmtSelect::PipeWritev => &pipe_writev::PipeWritevBackend,
         LmtSelect::Vmsplice => &vmsplice::VmspliceBackend,
         LmtSelect::Knem(_) => &knem::KnemBackend,
+        LmtSelect::Cma => &cma::CmaBackend,
+        LmtSelect::Striped { rails } => striped::backend_for_rails(rails as usize),
         LmtSelect::Dynamic => unreachable!("Dynamic resolves to a concrete backend per pair"),
     }
 }
@@ -179,12 +202,14 @@ pub fn backend_for_wire(wire: &LmtWire) -> &'static dyn LmtBackend {
         } => &pipe_writev::PipeWritevBackend,
         LmtWire::Pipe { vmsplice: true, .. } => &vmsplice::VmspliceBackend,
         LmtWire::Knem { .. } => &knem::KnemBackend,
+        LmtWire::Cma { .. } => &cma::CmaBackend,
+        LmtWire::Striped { nrails, .. } => striped::backend_for_rails(*nrails as usize),
     }
 }
 
 /// Every fixed (non-`Dynamic`) sender-side selection, for parity tests
 /// and experiment sweeps.
-pub const ALL_SELECTS: [LmtSelect; 8] = [
+pub const ALL_SELECTS: [LmtSelect; 9] = [
     LmtSelect::ShmCopy,
     LmtSelect::PipeWritev,
     LmtSelect::Vmsplice,
@@ -193,6 +218,17 @@ pub const ALL_SELECTS: [LmtSelect; 8] = [
     LmtSelect::Knem(KnemSelect::SyncIoat),
     LmtSelect::Knem(KnemSelect::AsyncIoat),
     LmtSelect::Knem(KnemSelect::Auto),
+    LmtSelect::Cma,
+];
+
+/// The striped meta-backend at every supported rail count (parity
+/// matrix sweeps; `rails: 1` is the degenerate stripe that must equal
+/// the plain anchor backend byte-for-byte).
+pub const ALL_STRIPED: [LmtSelect; 4] = [
+    LmtSelect::Striped { rails: 1 },
+    LmtSelect::Striped { rails: 2 },
+    LmtSelect::Striped { rails: 3 },
+    LmtSelect::Striped { rails: 4 },
 ];
 
 /// How a [`ChunkPipeline`] sizes its chunks over a transfer's lifetime.

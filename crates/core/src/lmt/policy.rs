@@ -285,6 +285,18 @@ impl TransferPolicy {
         }
     }
 
+    /// The pair's published per-mechanism bandwidth EWMAs in bytes per
+    /// picosecond, `(copy, offload)` — what the striped backend weighs
+    /// its rail spans with. `(0.0, 0.0)` under static configurations or
+    /// before any sample (the striper then splits equally). Reads two
+    /// published atomics — safe on the per-transfer path.
+    pub fn pair_bandwidths(&self, src: usize, dst: usize) -> (f64, f64) {
+        match &self.tuner {
+            Some(tuner) => tuner.pair_bandwidths(src, dst),
+            None => (0.0, 0.0),
+        }
+    }
+
     /// Whether any decision is learned (i.e. recording is live).
     pub fn is_learned(&self) -> bool {
         self.tuner.is_some()
@@ -303,8 +315,10 @@ impl TransferPolicy {
 /// * cache-sharing pairs take the two-copy ring (where §4.1/§4.2 show
 ///   it wins) — except past `DMAmin`, where KNEM's I/OAT offload stops
 ///   polluting the shared cache and wins even there;
-/// * everyone else takes the best available single-copy backend (KNEM
-///   if the module is loaded, else vmsplice, else the ring).
+/// * everyone else takes the best available single-copy backend: KNEM
+///   if the module is loaded, else CMA (same single-copy semantics,
+///   no module — §2's deployment concern answered), else vmsplice,
+///   else the ring.
 pub fn blended_select(
     cfg: &NemesisConfig,
     shared_cache: bool,
@@ -315,6 +329,8 @@ pub fn blended_select(
         LmtSelect::ShmCopy
     } else if cfg.knem_available {
         LmtSelect::Knem(KnemSelect::Auto)
+    } else if cfg.cma_available {
+        LmtSelect::Cma
     } else if cfg.vmsplice_available && !shared_cache {
         LmtSelect::Vmsplice
     } else {
@@ -364,6 +380,7 @@ mod tests {
     fn config_auto_reproduces_seed_semantics() {
         let m = Machine::new(MachineConfig::xeon_e5345());
         let mut cfg = NemesisConfig::default();
+        cfg.threshold = ThresholdSelect::Auto; // pin against the env toggle
         assert_eq!(policy_for(&cfg).dma_min(&m, 8), 1 << 20, "no hint flag");
         cfg.collective_hint = true;
         assert_eq!(policy_for(&cfg).dma_min(&m, 8), 128 << 10);
@@ -389,6 +406,7 @@ mod tests {
     fn learned_facade_falls_back_to_prior_and_builds_tuner_only_when_needed() {
         let m = Machine::new(MachineConfig::xeon_e5345());
         let mut cfg = NemesisConfig::default();
+        cfg.threshold = ThresholdSelect::Auto; // pin against the env toggle
         let tp = TransferPolicy::from_config(&cfg, 2);
         assert!(!tp.is_learned(), "static configs carry no tuner");
         cfg.threshold = ThresholdSelect::Learned;
@@ -449,6 +467,12 @@ mod tests {
     fn blended_selection_degrades_without_modules() {
         let mut cfg = NemesisConfig::default();
         cfg.knem_available = false;
+        assert_eq!(
+            blended_select(&cfg, false, 256 << 10, 1 << 20),
+            LmtSelect::Cma,
+            "no module: CMA keeps single-copy without one"
+        );
+        cfg.cma_available = false;
         assert_eq!(
             blended_select(&cfg, false, 256 << 10, 1 << 20),
             LmtSelect::Vmsplice

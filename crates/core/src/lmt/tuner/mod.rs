@@ -106,6 +106,11 @@ struct PairState {
     placement: AtomicU32,
     /// Transfer samples accepted (diagnostics).
     samples: AtomicU64,
+    /// Published per-mechanism bandwidth EWMAs (`f64` bits, bytes per
+    /// picosecond; 0 = unsampled). The striped backend weighs its rail
+    /// spans with these — one atomic load per mechanism per transfer.
+    copy_bw: AtomicU64,
+    offload_bw: AtomicU64,
     model: Mutex<Models>,
 }
 
@@ -124,6 +129,8 @@ impl PairState {
             chunk_probe: AtomicU32::new(0),
             placement: AtomicU32::new(u32::MAX),
             samples: AtomicU64::new(0),
+            copy_bw: AtomicU64::new(0),
+            offload_bw: AtomicU64::new(0),
             model: Mutex::new(Models::default()),
         }
     }
@@ -194,12 +201,37 @@ impl Tuner {
         p.placement
             .store(placement_code(s.placement), Ordering::Relaxed);
         p.samples.fetch_add(1, Ordering::Relaxed);
+        // Publish the per-mechanism bandwidth EWMA (same smoothing the
+        // crossover cells use, but aggregated over sizes — the striped
+        // backend's rail-weighting input).
+        let bw = s.bytes as f64 / s.elapsed_ps as f64;
+        let slot = match s.class {
+            TransferClass::Copy => &p.copy_bw,
+            TransferClass::Offload => &p.offload_bw,
+        };
+        let prev = f64::from_bits(slot.load(Ordering::Relaxed));
+        let next = if prev == 0.0 {
+            bw
+        } else {
+            0.25 * bw + 0.75 * prev
+        };
+        slot.store(next.to_bits(), Ordering::Relaxed);
         let mut m = p.model.lock();
         m.crossover.observe(s.class, s.bytes, s.elapsed_ps);
         if let Some(t) = m.crossover.learned() {
             p.dma_min
                 .store(t.clamp(self.floor, self.ceil), Ordering::Relaxed);
         }
+    }
+
+    /// The pair's published per-mechanism bandwidth EWMAs in bytes per
+    /// picosecond, `(copy, offload)`; 0.0 = unsampled.
+    pub fn pair_bandwidths(&self, src: usize, dst: usize) -> (f64, f64) {
+        let p = self.pair(src, dst);
+        (
+            f64::from_bits(p.copy_bw.load(Ordering::Relaxed)),
+            f64::from_bits(p.offload_bw.load(Ordering::Relaxed)),
+        )
     }
 
     /// Record one fully-absorbed pipeline chunk for the (src, dst)

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use nemesis_kernel::{BufId, Cookie, Os, PipeId};
+use nemesis_kernel::{BufId, CmaWindowId, Cookie, Os, PipeId};
 use nemesis_sim::Proc;
 
 use crate::config::NemesisConfig;
@@ -22,6 +22,29 @@ use crate::config::NemesisConfig;
 /// Payload cells referenced by an eager envelope: (owner pid, cell index,
 /// bytes used).
 pub type CellChunk = (usize, usize, u64);
+
+/// Maximum rails a striped transfer may span (the RTS wire descriptor
+/// carries a fixed-size rail table).
+pub const MAX_RAILS: usize = 4;
+
+/// One rail of a striped transfer, as described by the RTS. A flattened
+/// copy of the non-striped [`LmtWire`] variants (a wire cannot nest
+/// itself by value); `None` pads unused rail slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RailWire {
+    /// Unused rail slot (also: a rail whose span rounded to zero).
+    #[default]
+    None,
+    /// The pair's shared copy-buffer ring.
+    Shm,
+    /// The pair's pipe; `vmsplice` selects single-copy.
+    Pipe { pipe: PipeId, vmsplice: bool },
+    /// A KNEM cookie covering this rail's byte range.
+    Knem { cookie: Cookie },
+    /// A CMA window (rail 0's window covers the *whole* transfer so a
+    /// failed sibling rail's range can be re-read through it).
+    Cma { window: CmaWindowId },
+}
 
 /// Rendezvous wire info carried by an RTS packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +55,18 @@ pub enum LmtWire {
     Pipe { pipe: PipeId, vmsplice: bool },
     /// Transfer via a KNEM cookie.
     Knem { cookie: Cookie },
+    /// Transfer via a CMA window (`process_vm_readv`, single copy, no
+    /// kernel module).
+    Cma { window: CmaWindowId },
+    /// Transfer striped across several rails: rail `i` carries
+    /// `spans[i]` bytes starting at the cumulative offset of the spans
+    /// before it. The receiver reconstructs the identical split from
+    /// this table, so both sides agree without negotiation.
+    Striped {
+        nrails: u8,
+        rails: [RailWire; MAX_RAILS],
+        spans: [u64; MAX_RAILS],
+    },
 }
 
 /// Packet payload.

@@ -21,12 +21,14 @@
 //! actually move bytes, so higher layers can verify data integrity while
 //! the simulator produces timings and cache-miss counts.
 
+pub mod cma;
 pub mod knem;
 pub mod mem;
 pub mod pipe;
 #[cfg(test)]
 mod proptests;
 
+pub use cma::{CmaWindowId, CMA_MAX_SEGS};
 pub use knem::{Cookie, KnemFlags, KnemMode, StatusId};
 pub use mem::{BufId, Iov, Os};
 pub use pipe::PipeId;

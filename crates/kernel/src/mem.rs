@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use nemesis_sim::machine::PhysRange;
 use nemesis_sim::{Machine, Proc};
 
+use crate::cma::CmaState;
 use crate::knem::KnemState;
 use crate::pipe::PipeTable;
 
@@ -52,6 +53,7 @@ pub(crate) struct OsState {
     pub buffers: Vec<BufEntry>,
     pub pipes: PipeTable,
     pub knem: KnemState,
+    pub cma: CmaState,
 }
 
 impl OsState {
@@ -86,6 +88,7 @@ impl Os {
                 buffers: Vec::new(),
                 pipes: PipeTable::default(),
                 knem: KnemState::default(),
+                cma: CmaState::default(),
             }),
         }
     }

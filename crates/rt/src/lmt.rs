@@ -34,10 +34,32 @@ pub enum RtLmt {
     Direct,
     /// Copy offloaded to the shared engine thread.
     Offload,
+    /// Single receiver-driven copy in syscall-bounded chunks — the
+    /// `process_vm_readv` (CMA) analogue.
+    Cma,
+    /// One transfer striped across `n` rails: the receiver's CPU drives
+    /// rail 0 while each further rail's stripe runs on its own engine
+    /// thread, all stripes moving concurrently (mirrors
+    /// `core::lmt::striped`).
+    Striped(u8),
 }
 
-/// Every selection, for parity tests and benches.
-pub const ALL_RT_LMTS: [RtLmt; 3] = [RtLmt::DoubleBuffer, RtLmt::Direct, RtLmt::Offload];
+/// Every non-striped selection, for parity tests and benches.
+pub const ALL_RT_LMTS: [RtLmt; 4] = [
+    RtLmt::DoubleBuffer,
+    RtLmt::Direct,
+    RtLmt::Offload,
+    RtLmt::Cma,
+];
+
+/// The striped selection at every supported rail count (`Striped(1)`
+/// is the degenerate stripe that must equal the plain CMA backend).
+pub const ALL_RT_STRIPED: [RtLmt; 4] = [
+    RtLmt::Striped(1),
+    RtLmt::Striped(2),
+    RtLmt::Striped(3),
+    RtLmt::Striped(4),
+];
 
 /// A large-message transfer mechanism between two rank-threads.
 ///
@@ -100,6 +122,8 @@ pub fn backend_for_schedule(
         )),
         RtLmt::Direct => Box::new(DirectBackend),
         RtLmt::Offload => Box::new(OffloadBackend::new()),
+        RtLmt::Cma => Box::new(CmaBackend),
+        RtLmt::Striped(rails) => Box::new(StripedBackend::new(rails as usize)),
     }
 }
 
@@ -228,6 +252,133 @@ impl Default for OffloadBackend {
     }
 }
 
+/// Single receiver-driven copy in syscall-bounded chunks — the CMA
+/// (`process_vm_readv`) analogue. Each "call" moves at most
+/// [`CmaBackend::CALL_MAX`] bytes, mirroring the per-call iovec limits
+/// and partial-read loop of the simulated kernel's CMA model.
+pub struct CmaBackend;
+
+impl CmaBackend {
+    /// Per-call byte budget (the simulated syscall boundary).
+    pub const CALL_MAX: usize = 256 << 10;
+}
+
+impl RtLmtBackend for CmaBackend {
+    fn name(&self) -> &'static str {
+        "cma"
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        Self::CALL_MAX
+    }
+
+    fn send_payload(&self, _src_rank: usize, _dst_rank: usize, _src: &[u8]) {
+        // Receiver-driven: the sender only exposes its buffer (the
+        // runtime's done flag keeps it alive).
+    }
+
+    fn recv_payload(&self, _src_rank: usize, _dst_rank: usize, src: &[u8], dst: &mut [u8]) {
+        for (s, d) in src
+            .chunks(Self::CALL_MAX)
+            .zip(dst.chunks_mut(Self::CALL_MAX))
+        {
+            direct_copy(s, d);
+        }
+    }
+}
+
+/// One transfer striped across `rails` rails: stripe 0 is copied by the
+/// receiving thread (the CMA analogue) while each further stripe runs
+/// on its own dedicated engine thread — every stripe moves
+/// concurrently, the rt mirror of `core::lmt::striped`'s CPU + DMA
+/// overlap. Stripes are contiguous, page-aligned, equal-weighted
+/// (wall-clock rails have no tuner EWMAs to weigh by), and the receive
+/// returns only when every stripe has landed — the caller never sees a
+/// partial payload.
+pub struct StripedBackend {
+    engines: Vec<OffloadEngine>,
+    rails: usize,
+}
+
+impl StripedBackend {
+    pub fn new(rails: usize) -> Self {
+        let rails = rails.clamp(1, 4);
+        Self {
+            engines: (1..rails).map(|_| OffloadEngine::start()).collect(),
+            rails,
+        }
+    }
+
+    /// The page-aligned stripe spans for `len` bytes (rail 0 absorbs
+    /// the remainder, mirroring the sim's anchor rail).
+    fn spans(&self, len: usize) -> Vec<usize> {
+        const PAGE: usize = 4096;
+        let mut spans = vec![0usize; self.rails];
+        let cap = len.saturating_sub(len.min(PAGE));
+        let mut assigned = 0usize;
+        for s in spans.iter_mut().skip(1) {
+            let span = (len / self.rails / PAGE * PAGE).min(cap - assigned.min(cap));
+            *s = span;
+            assigned += span;
+        }
+        spans[0] = len - assigned;
+        spans
+    }
+}
+
+impl RtLmtBackend for StripedBackend {
+    fn name(&self) -> &'static str {
+        match self.rails {
+            1 => "striped-1",
+            2 => "striped-2",
+            3 => "striped-3",
+            _ => "striped-4",
+        }
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        CmaBackend::CALL_MAX
+    }
+
+    fn send_payload(&self, _src_rank: usize, _dst_rank: usize, _src: &[u8]) {
+        // Receiver-driven on every rail.
+    }
+
+    fn recv_payload(&self, _src_rank: usize, _dst_rank: usize, src: &[u8], dst: &mut [u8]) {
+        let spans = self.spans(dst.len());
+        // Carve the destination into per-rail stripes.
+        let mut rest = dst;
+        let mut stripes = Vec::with_capacity(spans.len());
+        let mut at = 0usize;
+        for &span in &spans {
+            let (head, tail) = rest.split_at_mut(span);
+            stripes.push((at, head));
+            at += span;
+            rest = tail;
+        }
+        // Rails 1.. run on their engines; rail 0 on this thread, all
+        // concurrent. Pending handles hold the borrows until complete.
+        let mut iter = stripes.into_iter();
+        let (lo0, stripe0) = iter.next().expect("rails >= 1");
+        let mut pending = Vec::new();
+        for (engine, (lo, stripe)) in self.engines.iter().zip(iter) {
+            if !stripe.is_empty() {
+                pending.push(engine.submit(&src[lo..lo + stripe.len()], stripe));
+            }
+        }
+        CmaBackend.recv_payload(0, 0, &src[lo0..lo0 + stripe0.len()], stripe0);
+        for p in pending {
+            p.wait();
+        }
+    }
+
+    fn is_offload(&self) -> bool {
+        // Rails beyond the anchor move their bytes off the receiving
+        // thread.
+        self.rails > 1
+    }
+}
+
 impl RtLmtBackend for OffloadBackend {
     fn name(&self) -> &'static str {
         "offload-engine"
@@ -259,11 +410,42 @@ mod tests {
 
     #[test]
     fn names_identify_backends() {
-        for lmt in ALL_RT_LMTS {
+        for lmt in ALL_RT_LMTS.into_iter().chain(ALL_RT_STRIPED) {
             let b = backend_for(lmt, 2);
             assert!(!b.name().is_empty());
         }
         assert_eq!(backend_for(RtLmt::Direct, 2).name(), "direct");
+        assert_eq!(backend_for(RtLmt::Cma, 2).name(), "cma");
+        assert_eq!(backend_for(RtLmt::Striped(3), 2).name(), "striped-3");
+    }
+
+    #[test]
+    fn striped_spans_are_page_aligned_and_cover_the_payload() {
+        for rails in 1..=4usize {
+            let b = StripedBackend::new(rails);
+            for len in [0usize, 1, 4095, 4096, 300 << 10, (1 << 20) + 7] {
+                let spans = b.spans(len);
+                assert_eq!(spans.len(), rails);
+                assert_eq!(spans.iter().sum::<usize>(), len, "rails={rails} len={len}");
+                for &s in &spans[1..] {
+                    assert_eq!(s % 4096, 0, "non-anchor spans are page-aligned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_receives_land_byte_identical_payloads() {
+        for rails in 1..=4u8 {
+            let b = StripedBackend::new(rails as usize);
+            for len in [1usize, 4096, (300 << 10) + 123, 1 << 20] {
+                let src: Vec<u8> = (0..len).map(|i| (i % 243) as u8).collect();
+                let mut dst = vec![0u8; len];
+                b.send_payload(0, 1, &src);
+                b.recv_payload(0, 1, &src, &mut dst);
+                assert_eq!(src, dst, "rails={rails} len={len}");
+            }
+        }
     }
 
     #[test]

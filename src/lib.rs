@@ -37,6 +37,27 @@ pub use nemesis_rt as rt;
 pub use nemesis_sim as sim;
 pub use nemesis_workloads as workloads;
 
+/// Bridge a simulated-stack backend selection onto its real-thread
+/// analogue, so one configuration drives the same mechanism family on
+/// both stacks: two-copy wires map to the double-buffer ring,
+/// single-copy CPU wires to the direct copy, I/OAT modes to the engine
+/// thread, and CMA / striping to their rt mirrors. `Dynamic` resolves
+/// per pair in the simulated stack; the rt runtime has one backend per
+/// universe, so it maps to the single-copy default.
+pub fn rt_lmt_from(lmt: core::LmtSelect) -> rt::RtLmt {
+    use core::{KnemSelect, LmtSelect};
+    match lmt {
+        LmtSelect::ShmCopy | LmtSelect::PipeWritev => rt::RtLmt::DoubleBuffer,
+        LmtSelect::Vmsplice
+        | LmtSelect::Knem(KnemSelect::SyncCpu)
+        | LmtSelect::Knem(KnemSelect::AsyncKthread) => rt::RtLmt::Direct,
+        LmtSelect::Knem(_) => rt::RtLmt::Offload,
+        LmtSelect::Cma => rt::RtLmt::Cma,
+        LmtSelect::Striped { rails } => rt::RtLmt::Striped(rails),
+        LmtSelect::Dynamic => rt::RtLmt::Direct,
+    }
+}
+
 /// Bridge the simulated stack's configuration into the real-thread
 /// runtime: the two stacks deliberately do not depend on each other, so
 /// the shared knobs (cell sizing, backoff spin cap, chunk schedule)
@@ -79,6 +100,20 @@ mod tests {
         assert_eq!(rtc.cell_size, 8 << 10);
         assert_eq!(rtc.queue_capacity, cfg.queue_slots);
         assert_eq!(rtc.chunk_schedule, rt::RtChunkScheduleSelect::Learned);
+        // Backend selections bridge onto their rt analogues.
+        assert_eq!(rt_lmt_from(core::LmtSelect::Cma), rt::RtLmt::Cma);
+        assert_eq!(
+            rt_lmt_from(core::LmtSelect::Striped { rails: 3 }),
+            rt::RtLmt::Striped(3)
+        );
+        assert_eq!(
+            rt_lmt_from(core::LmtSelect::Knem(core::KnemSelect::AsyncIoat)),
+            rt::RtLmt::Offload
+        );
+        assert_eq!(
+            rt_lmt_from(core::LmtSelect::ShmCopy),
+            rt::RtLmt::DoubleBuffer
+        );
         // And the bridged config actually runs the rt runtime.
         rt::run_rt_cfg(2, rt::RtLmt::Direct, rtc, |comm| {
             if comm.rank() == 0 {

@@ -11,12 +11,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use nemesis::core::lmt::ALL_SELECTS;
+use nemesis::core::lmt::{ALL_SELECTS, ALL_STRIPED};
 use nemesis::core::{
     ChunkScheduleSelect, LmtSelect, Nemesis, NemesisConfig, ThresholdSelect, VectorLayout,
 };
 use nemesis::kernel::Os;
-use nemesis::rt::{run_rt, run_rt_cfg, RtChunkScheduleSelect, RtConfig, ALL_RT_LMTS};
+use nemesis::rt::{
+    run_rt, run_rt_cfg, RtChunkScheduleSelect, RtConfig, ALL_RT_LMTS, ALL_RT_STRIPED,
+};
 use nemesis::sim::{run_simulation, Machine, MachineConfig};
 
 /// Rendezvous-sized payload (past the 64 KiB eager threshold).
@@ -108,6 +110,138 @@ fn sim_roundtrip_cfg(cfg: NemesisConfig) -> (Vec<u8>, Vec<u8>) {
         std::mem::take(&mut *strided_out.lock()),
     );
     out
+}
+
+/// The full cross-backend matrix on the simulated stack: every backend
+/// (incl. CMA and striped over 2/3/4 rails) × {zero-length,
+/// exactly-`eager_max`, `eager_max`+1, mid-size contiguous, strided}
+/// payloads × {static, learned} policies. One simulation per (backend,
+/// policy) cell carries every payload shape, so the matrix also
+/// exercises consecutive mixed-size traffic on one pair.
+#[test]
+fn sim_full_backend_matrix() {
+    let eager_max = NemesisConfig::default().eager_max;
+    let mid = 160u64 << 10;
+    // 40 blocks of 4 KiB, 12 KiB apart = the strided mid-size payload.
+    let layout = VectorLayout::strided(64, 4 << 10, 12 << 10, 40);
+    assert_eq!(layout.total(), mid);
+    for learned in [false, true] {
+        for lmt in ALL_SELECTS.into_iter().chain(ALL_STRIPED) {
+            let mut cfg = NemesisConfig::with_lmt(lmt);
+            if learned {
+                cfg.threshold = ThresholdSelect::Learned;
+                cfg.chunk_schedule = ChunkScheduleSelect::Learned;
+            } else {
+                cfg.threshold = ThresholdSelect::Auto;
+                cfg.chunk_schedule = ChunkScheduleSelect::Adaptive;
+            }
+            let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+            let os = Arc::new(Os::new(Arc::clone(&machine)));
+            let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
+            let layout = &layout;
+            run_simulation(machine, &[0, 4], |p| {
+                let comm = nem.attach(p);
+                let os = comm.os();
+                let sizes = [0u64, eager_max, eager_max + 1, mid];
+                if comm.rank() == 0 {
+                    let buf = os.alloc(0, mid.max(eager_max + 1));
+                    for (i, &len) in sizes.iter().enumerate() {
+                        os.with_data_mut(comm.proc(), buf, |d| {
+                            for (j, b) in d[..len as usize].iter_mut().enumerate() {
+                                *b = pattern(j ^ i);
+                            }
+                        });
+                        os.touch_write(comm.proc(), buf, 0, len.max(1));
+                        comm.send(1, i as i32, buf, 0, len);
+                    }
+                    // Strided payload, same pattern stream.
+                    let sbuf = os.alloc(0, layout.end());
+                    os.with_data_mut(comm.proc(), sbuf, |d| {
+                        let mut k = 0usize;
+                        for (off, blen) in layout.blocks() {
+                            for j in 0..blen as usize {
+                                d[off as usize + j] = pattern(k);
+                                k += 1;
+                            }
+                        }
+                    });
+                    comm.sendv(1, 100, sbuf, layout);
+                } else {
+                    let buf = os.alloc(1, mid.max(eager_max + 1));
+                    for (i, &len) in sizes.iter().enumerate() {
+                        comm.recv(Some(0), Some(i as i32), buf, 0, len);
+                        let got = os.read_bytes(comm.proc(), buf, 0, len.max(1));
+                        for (j, &b) in got[..len as usize].iter().enumerate() {
+                            assert_eq!(
+                                b,
+                                pattern(j ^ i),
+                                "{lmt:?} learned={learned} len={len}: byte {j}"
+                            );
+                        }
+                    }
+                    let rlayout = VectorLayout::strided(128, 4 << 10, 20 << 10, 40);
+                    let rbuf = os.alloc(1, rlayout.end());
+                    comm.recvv(Some(0), Some(100), rbuf, &rlayout);
+                    let raw = os.read_bytes(comm.proc(), rbuf, 0, rlayout.end());
+                    let mut k = 0usize;
+                    for (off, blen) in rlayout.blocks() {
+                        for j in 0..blen as usize {
+                            assert_eq!(
+                                raw[off as usize + j],
+                                pattern(k),
+                                "{lmt:?} learned={learned}: strided byte {k} (block at {off}+{j})"
+                            );
+                            k += 1;
+                        }
+                    }
+                }
+            });
+            assert_eq!(os.knem_live_cookies(), 0, "{lmt:?} learned={learned}");
+            assert_eq!(os.knem_pinned_pages(), 0, "{lmt:?} learned={learned}");
+            assert_eq!(os.cma_live_windows(), 0, "{lmt:?} learned={learned}");
+        }
+    }
+}
+
+/// The rt mirror of the matrix: every real-thread backend (incl. CMA
+/// and striped over 1–4 rails) × boundary payload sizes × {fixed,
+/// learned} chunk schedules.
+#[test]
+fn rt_full_backend_matrix() {
+    let eager_max = nemesis::rt::comm::EAGER_MAX;
+    let sizes = [0usize, 1, 257, eager_max, eager_max + 1, 300 << 10];
+    for schedule in [RtChunkScheduleSelect::Fixed, RtChunkScheduleSelect::Learned] {
+        for lmt in ALL_RT_LMTS.into_iter().chain(ALL_RT_STRIPED) {
+            let cfg = RtConfig {
+                chunk_schedule: schedule,
+                ..RtConfig::default()
+            };
+            run_rt_cfg(2, lmt, cfg, move |comm| {
+                if comm.rank() == 0 {
+                    for (i, &len) in sizes.iter().enumerate() {
+                        let data: Vec<u8> = (0..len).map(|j| pattern(j ^ i)).collect();
+                        comm.send(1, i as i32, &data);
+                    }
+                } else {
+                    for (i, &len) in sizes.iter().enumerate() {
+                        let mut buf = vec![0xEE; len];
+                        assert_eq!(
+                            comm.recv(Some(0), Some(i as i32), &mut buf),
+                            len,
+                            "{lmt:?} {schedule:?} len={len}"
+                        );
+                        for (j, &b) in buf.iter().enumerate() {
+                            assert_eq!(
+                                b,
+                                pattern(j ^ i),
+                                "{lmt:?} {schedule:?} len={len}: byte {j}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    }
 }
 
 /// Every simulated backend delivers byte-identical contiguous and

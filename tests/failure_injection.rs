@@ -167,6 +167,132 @@ fn degenerate_single_buffer_ring() {
     });
 }
 
+/// A striped child rail erroring mid-stream must fail over cleanly: no
+/// hang, no partial delivery visible to the receiver (the receive only
+/// completes with every byte intact), the failed rail's range re-read
+/// through the surviving anchor rail, and the rail quarantined so the
+/// retry (the pair's next transfer) composes without it.
+#[test]
+fn striped_rail_failure_fails_over_and_quarantines_the_rail() {
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Striped { rails: 2 });
+    cfg.stripe_fault_rail = Some(1); // the KNEM/I-OAT rail errors on first use
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
+    let nem2 = Arc::clone(&nem);
+    run_simulation(machine, &[0, 4], move |p| {
+        let comm = nem2.attach(p);
+        let os = comm.os();
+        let me = comm.rank();
+        let len = 1 << 20;
+        let buf = os.alloc(me, len);
+        // Transfer 1: the DMA rail errors mid-transfer; the anchor rail
+        // absorbs its range. Transfer 2 (the retry): composed without
+        // the quarantined rail from the start.
+        for round in 0..2u8 {
+            if me == 0 {
+                os.with_data_mut(comm.proc(), buf, |d| {
+                    for (i, b) in d.iter_mut().enumerate() {
+                        *b = (i as u8).wrapping_add(round);
+                    }
+                });
+                comm.send(1, round as i32, buf, 0, len);
+            } else {
+                comm.recv(Some(0), Some(round as i32), buf, 0, len);
+                os.with_data(comm.proc(), buf, |d| {
+                    for (i, &b) in d.iter().enumerate() {
+                        assert_eq!(
+                            b,
+                            (i as u8).wrapping_add(round),
+                            "round {round}: byte {i} corrupt after rail failure"
+                        );
+                    }
+                });
+            }
+        }
+    });
+    // The failed rail is quarantined for the pair, and the abort leaked
+    // nothing (cookie destroyed, window closed, no pages pinned).
+    assert_eq!(
+        nem.failed_rails(0, 1),
+        vec![nemesis::core::RailKind::KnemIoat.code()],
+        "the errored rail kind must be quarantined for the pair"
+    );
+    assert_eq!(os.knem_live_cookies(), 0, "aborted rail leaked its cookie");
+    assert_eq!(os.knem_pinned_pages(), 0, "aborted rail leaked a pin");
+    assert_eq!(os.cma_live_windows(), 0, "anchor window leaked");
+}
+
+/// A configured backend that is unavailable for the peer is a *typed*
+/// resolution error — inspectable through `Comm::try_select`, never a
+/// silent fallback onto a different data path.
+#[test]
+fn unavailable_backend_resolution_is_a_typed_error() {
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu));
+    cfg.knem_available = false;
+    n_ranks(2, cfg, |comm| {
+        if comm.rank() != 0 {
+            return;
+        }
+        let err = comm
+            .try_select(1, 1 << 20)
+            .expect_err("fixed KNEM without the module must not resolve");
+        assert_eq!(err.select, LmtSelect::Knem(KnemSelect::SyncCpu));
+        assert_eq!(err.peer, 1);
+        assert!(err.reason.contains("KNEM module"), "reason: {}", err.reason);
+        // Eager-sized messages never resolve a backend, so they are
+        // unaffected by the missing module.
+        let buf = comm.os().alloc(0, 1024);
+        comm.send(1, 0, buf, 0, 1024);
+    });
+    // CMA and striping surface their own typed reasons.
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Cma);
+    cfg.cma_available = false;
+    n_ranks(2, cfg, |comm| {
+        if comm.rank() == 0 {
+            let err = comm
+                .try_select(1, 1 << 20)
+                .expect_err("no process_vm_readv");
+            assert!(err.reason.contains("process_vm_readv"));
+        }
+    });
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Striped { rails: 3 });
+    cfg.cma_available = false;
+    n_ranks(2, cfg, |comm| {
+        if comm.rank() == 0 {
+            let err = comm.try_select(1, 1 << 20).expect_err("no anchor rail");
+            assert!(err.reason.contains("anchor"));
+        }
+    });
+    // The blended policy is the one selector allowed to degrade across
+    // backends (that is its documented contract): same universe, no
+    // error.
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Dynamic);
+    cfg.knem_available = false;
+    cfg.cma_available = false;
+    n_ranks(2, cfg, |comm| {
+        if comm.rank() == 0 {
+            assert!(comm.try_select(1, 1 << 20).is_ok());
+        }
+    });
+}
+
+/// The send path fails loudly with the typed error — a rendezvous-sized
+/// message through an unavailable fixed backend never silently takes a
+/// different wire.
+#[test]
+#[should_panic(expected = "unavailable for peer 1: KNEM module not loaded")]
+fn sending_through_unavailable_backend_panics_with_the_typed_error() {
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto));
+    cfg.knem_available = false;
+    n_ranks(2, cfg, |comm| {
+        if comm.rank() == 0 {
+            let buf = comm.os().alloc(0, 1 << 20);
+            comm.send(1, 0, buf, 0, 1 << 20);
+        }
+    });
+}
+
 /// DMA-engine backpressure: dozens of concurrent I/OAT transfers from 8
 /// ranks share one in-order channel; everything must complete correctly.
 #[test]
