@@ -6,7 +6,7 @@
 //! report [--out PATH] [--quick]
 //! ```
 //!
-//! * `--out PATH` — where to write the JSON (default `BENCH_4.json`).
+//! * `--out PATH` — where to write the JSON (default `BENCH_5.json`).
 //! * `--quick` — CI smoke mode: tiny repetition counts, same shape.
 //!
 //! Sections (the first four keep the `BENCH_3.json` shape, so the
@@ -35,13 +35,20 @@
 //!   meta-backend at 1–4 rails plus the speedup over the single rail
 //!   (the acceptance bar: ≥ 1.5× at 2+ rails in the simulated cost
 //!   model), with the rt mirror's wall-clock numbers for context.
+//! * `learned_backend_vs_dynamic` — the learned backend selector
+//!   (`NEMESIS_BACKEND=learned`, a per-(pair, size-class) bandit over
+//!   the fixed mechanisms) against the rule-based blended `Dynamic`
+//!   policy and the best fixed backend, at 64 B / 4 KiB / 1 MiB on
+//!   both simulated parts. The acceptance bar: converged learned
+//!   selection ≥ 0.95× the best fixed backend at every size.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
 use nemesis_core::{
-    ChunkScheduleSelect, KnemSelect, LmtSelect, Nemesis, NemesisConfig, ThresholdSelect,
+    BackendSelect, ChunkScheduleSelect, KnemSelect, LmtSelect, Nemesis, NemesisConfig,
+    ThresholdSelect,
 };
 use nemesis_kernel::Os;
 use nemesis_rt::{
@@ -172,6 +179,7 @@ fn rt_lmt_key(lmt: RtLmt) -> &'static str {
         RtLmt::Striped(2) => "striped-2",
         RtLmt::Striped(3) => "striped-3",
         RtLmt::Striped(_) => "striped-4",
+        RtLmt::Learned => "learned",
     }
 }
 
@@ -335,8 +343,21 @@ fn sim_striped(mcfg: MachineConfig, rails: u8, reps: u32) -> f64 {
     pingpong_bench(mcfg, cfg, Placement::DifferentSocket, 1 << 20, reps, 6).throughput_mib_s
 }
 
+/// Simulated pingpong bandwidth under an explicit config/machine pair
+/// (cross-socket placement, with warmup roundtrips — the learned
+/// selector converges during warmup).
+fn sim_pingpong_cfg(
+    mcfg: MachineConfig,
+    cfg: NemesisConfig,
+    size: u64,
+    reps: u32,
+    warm: u32,
+) -> f64 {
+    pingpong_bench(mcfg, cfg, Placement::DifferentSocket, size, reps, warm).throughput_mib_s
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -363,7 +384,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"issue\": 4,");
+    let _ = writeln!(json, "  \"issue\": 5,");
     let _ = writeln!(json, "  \"quick\": {quick},");
 
     // --- queue message rates -------------------------------------------------
@@ -528,6 +549,76 @@ fn main() {
         let _ = writeln!(json, "      \"{rails}\": {bw:.1}{comma}");
     }
     let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+
+    // --- learned backend selection vs the blended rules ----------------------
+    // The bar: after warmup (the selector's sweep runs during the
+    // untimed roundtrips), the learned selection must reach ≥ 0.95× the
+    // best fixed backend at every size on both parts. 64 B and 4 KiB
+    // ride the eager path — no backend resolution — so they pin the
+    // selector's zero-overhead contract there; 1 MiB is where the
+    // choice is real.
+    type MachinePick = (&'static str, fn() -> MachineConfig);
+    let machines: [MachinePick; 2] = [
+        ("e5345", MachineConfig::xeon_e5345),
+        ("x5550", MachineConfig::nehalem_x5550),
+    ];
+    let lb_candidates: [(&str, LmtSelect); 5] = [
+        ("default LMT", LmtSelect::ShmCopy),
+        ("vmsplice LMT", LmtSelect::Vmsplice),
+        (
+            "KNEM LMT (auto threshold)",
+            LmtSelect::Knem(KnemSelect::Auto),
+        ),
+        ("CMA LMT", LmtSelect::Cma),
+        ("striped LMT (2 rails)", LmtSelect::Striped { rails: 2 }),
+    ];
+    let lb_sizes: [(&str, u64); 3] = [("64B", 64), ("4KiB", 4 << 10), ("1MiB", 1 << 20)];
+    // Warmup must cover the 8-arm sweep (2 probes per arm, per
+    // direction) with headroom to settle on the winner.
+    let lb_warm = 24u32;
+    let _ = writeln!(json, "  \"learned_backend_vs_dynamic\": {{");
+    for (mi, (mkey, mcfg)) in machines.iter().enumerate() {
+        let _ = writeln!(json, "    {}: {{", quote(mkey));
+        for (si, (skey, size)) in lb_sizes.iter().enumerate() {
+            eprintln!("[report] learned backend vs dynamic, {mkey} at {skey}…");
+            let mut best_fixed = 0f64;
+            let mut best_label = "";
+            for (label, lmt) in lb_candidates {
+                let fixed = NemesisConfig {
+                    backend: BackendSelect::Dynamic,
+                    ..NemesisConfig::with_lmt(lmt)
+                };
+                let bw = sim_pingpong_cfg(mcfg(), fixed, *size, cfg.sim_reps, 1);
+                if bw > best_fixed {
+                    best_fixed = bw;
+                    best_label = label;
+                }
+            }
+            let dynamic_cfg = NemesisConfig {
+                backend: BackendSelect::Dynamic,
+                ..NemesisConfig::with_lmt(LmtSelect::Dynamic)
+            };
+            let dynamic_bw = sim_pingpong_cfg(mcfg(), dynamic_cfg, *size, cfg.sim_reps, 1);
+            let learned_cfg = NemesisConfig {
+                backend: BackendSelect::LearnedBackend,
+                ..NemesisConfig::with_lmt(LmtSelect::Dynamic)
+            };
+            let learned_bw = sim_pingpong_cfg(mcfg(), learned_cfg, *size, cfg.sim_reps, lb_warm);
+            let comma = if si + 1 < lb_sizes.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {}: {{ \"best_fixed\": {}, \"best_fixed_mib_s\": {best_fixed:.1}, \
+                 \"dynamic_mib_s\": {dynamic_bw:.1}, \"learned_mib_s\": {learned_bw:.1}, \
+                 \"learned_over_best_fixed\": {:.3} }}{comma}",
+                quote(skey),
+                quote(best_label),
+                learned_bw / best_fixed
+            );
+        }
+        let comma = if mi + 1 < machines.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
     let _ = writeln!(json, "  }},");
 
     // --- learned vs static -------------------------------------------------

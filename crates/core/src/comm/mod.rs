@@ -175,13 +175,16 @@ impl Nemesis {
     /// *allowed* to degrade across backends, because degrading is its
     /// documented contract. An unattached destination (its core unknown
     /// yet) is treated as not sharing a cache — the conservative
-    /// direction, since single-copy never loses badly.
+    /// direction, since single-copy never loses badly. `commit` marks a
+    /// resolution that a transfer will actually follow (see
+    /// [`Nemesis::learned_backend_select`]); inspections pass `false`.
     pub(crate) fn resolve_select(
         &self,
         src: usize,
         src_core: usize,
         dst: usize,
         len: u64,
+        commit: bool,
     ) -> Result<LmtSelect, BackendUnavailable> {
         let unavailable = |select, reason| BackendUnavailable {
             select,
@@ -190,6 +193,9 @@ impl Nemesis {
         };
         match self.cfg.lmt {
             LmtSelect::Dynamic => {
+                if let Some(sel) = self.learned_backend_select(src, dst, len, commit) {
+                    return Ok(sel);
+                }
                 let shared = match self.cores.lock()[dst] {
                     Some(dst_core) => {
                         policy::cores_share_cache(self.os.machine(), src_core, dst_core)
@@ -214,6 +220,77 @@ impl Nemesis {
             )),
             fixed => Ok(fixed),
         }
+    }
+
+    /// The learned replacement of the blended `Dynamic` resolution:
+    /// consult the tuner's per-(pair, size-class) backend bandit when
+    /// [`BackendSelect::LearnedBackend`](crate::config::BackendSelect)
+    /// is configured. Arms the universe cannot serve are masked out
+    /// (the selector never returns an unresolvable selection), and a
+    /// rail kind quarantined by the striped fault path demotes the arm
+    /// built on that mechanism before picking (no re-pick until the
+    /// selector's decay window expires).
+    /// `commit` distinguishes a real selection (a transfer will run and
+    /// report its reward) from an inspection (`Comm::try_select`): only
+    /// committed selections advance the bandit's exploration state —
+    /// an inspection must not burn sweep picks whose rewards never
+    /// arrive.
+    fn learned_backend_select(
+        &self,
+        src: usize,
+        dst: usize,
+        len: u64,
+        commit: bool,
+    ) -> Option<LmtSelect> {
+        use crate::config::KnemSelect;
+        use crate::lmt::tuner::selector::{arm_of, NARMS};
+        use crate::lmt::RailKind;
+        if !self.policy.is_learned_backend() {
+            return None;
+        }
+        let tuner = self.policy.tuner()?;
+        // A quarantined rail kind also demotes the selector arm that
+        // *is* that mechanism (striped arms are spared: they compose
+        // around the failed kind on their own). One pass over the
+        // registry lock; the per-pair demote locks are only taken in
+        // the rare case something actually failed.
+        const KIND_ARMS: [(RailKind, LmtSelect); 4] = [
+            (RailKind::Cma, LmtSelect::Cma),
+            (RailKind::KnemIoat, LmtSelect::Knem(KnemSelect::Auto)),
+            (RailKind::Vmsplice, LmtSelect::Vmsplice),
+            (RailKind::Shm, LmtSelect::ShmCopy),
+        ];
+        let mut quarantined = [false; 4];
+        {
+            let failed = self.failed_rails.lock();
+            for (i, (kind, _)) in KIND_ARMS.iter().enumerate() {
+                quarantined[i] = failed.contains(&(src, dst, kind.code()));
+            }
+        }
+        for (i, (_, sel)) in KIND_ARMS.iter().enumerate() {
+            if quarantined[i] {
+                tuner.demote_arm(src, dst, *sel);
+            }
+        }
+        let mut eligible = [true; NARMS];
+        for (i, &arm) in crate::lmt::tuner::selector::ARMS.iter().enumerate() {
+            eligible[i] = match arm {
+                LmtSelect::Knem(_) => self.cfg.knem_available,
+                LmtSelect::Cma => self.cfg.cma_available,
+                LmtSelect::Vmsplice => self.cfg.vmsplice_available,
+                // Striping needs its CMA anchor; the other rails are
+                // composed (and skipped) per availability inside it.
+                LmtSelect::Striped { .. } => self.cfg.cma_available,
+                _ => true,
+            };
+        }
+        let sel = if commit {
+            self.policy.select_backend(src, dst, len, &eligible)?
+        } else {
+            self.policy.peek_select_backend(src, dst, len, &eligible)?
+        };
+        debug_assert!(arm_of(sel).is_some());
+        Some(sel)
     }
 
     /// Whether a rail kind is quarantined for the directed pair.
@@ -331,10 +408,14 @@ impl<'a> Comm<'a> {
     /// Resolve the backend a `len`-byte transfer to `dst` would take,
     /// surfacing the typed [`BackendUnavailable`] error instead of
     /// panicking — the inspectable form of the resolution every
-    /// rendezvous send performs (which fails loudly on `Err`).
+    /// rendezvous send performs (which fails loudly on `Err`). Side
+    /// effect free: under the learned backend selector this *peeks* at
+    /// the bandit instead of advancing its exploration state, so
+    /// inspection calls never burn sweep picks whose rewards would
+    /// never arrive.
     pub fn try_select(&self, dst: usize, len: u64) -> Result<LmtSelect, BackendUnavailable> {
         self.nem
-            .resolve_select(self.rank(), self.p.core(), dst, len)
+            .resolve_select(self.rank(), self.p.core(), dst, len, false)
     }
 
     /// Build the sender-side chunk pipeline for a streaming transfer
@@ -421,7 +502,7 @@ impl<'a> Comm<'a> {
         }
         let sel = self
             .nem
-            .resolve_select(self.rank(), self.p.core(), dst, len)
+            .resolve_select(self.rank(), self.p.core(), dst, len, true)
             .unwrap_or_else(|e| panic!("{e}"));
         if lmt::backend_for(sel).scatter_native() {
             return self.rndv_send_iovs(dst, tag, &layout.iovs(buf), len, sel);

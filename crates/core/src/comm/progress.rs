@@ -101,20 +101,28 @@ impl Comm<'_> {
             return self.handle_frag(env);
         }
         if let PktKind::Done { msg_id } = env.kind {
-            let mut inner = self.inner.borrow_mut();
-            if let Some(s) = inner.sends.iter_mut().find(|s| s.t.msg_id == msg_id) {
+            let matched = {
+                let mut inner = self.inner.borrow_mut();
+                let pos = inner.sends.iter().position(|s| s.t.msg_id == msg_id);
+                match pos {
+                    Some(i) => Some(inner.sends.remove(i)),
+                    None => {
+                        // A per-rail DONE of a striped transfer: offer
+                        // it to the meta-backend parents; the owner
+                        // marks its rail done and completes through its
+                        // own step once every rail has.
+                        let absorbed = inner.sends.iter_mut().any(|s| s.op.absorb_done(msg_id));
+                        assert!(absorbed, "DONE for unknown send (msg id {msg_id:#x})");
+                        None
+                    }
+                }
+            };
+            if let Some(mut s) = matched {
                 debug_assert!(s.op.completes_on_done());
-                s.done = true;
-                let req = s.req;
-                inner.reqs[req] = ReqState::Done;
-                inner.sends.retain(|s| !s.done);
-            } else {
-                // A per-rail DONE of a striped transfer: offer it to the
-                // meta-backend parents; the owner marks its rail done
-                // and completes through its own step once every rail
-                // has.
-                let absorbed = inner.sends.iter_mut().any(|s| s.op.absorb_done(msg_id));
-                assert!(absorbed, "DONE for unknown send (msg id {msg_id:#x})");
+                // Through the shared completion path, so DONE-completed
+                // backends (KNEM, CMA, striped) feed the backend
+                // selector's reward exactly like stepped ones.
+                self.complete_send(&mut s);
             }
             return;
         }
@@ -191,6 +199,7 @@ impl Comm<'_> {
                 len,
                 wire,
                 concurrency,
+                arm,
             } => {
                 assert!(
                     len <= cap,
@@ -203,7 +212,7 @@ impl Comm<'_> {
                     off,
                     len,
                 };
-                self.rndv_start_recv(req, t, wire, concurrency, layout);
+                self.rndv_start_recv(req, t, wire, concurrency, arm, layout);
             }
             PktKind::EagerFrag { .. } => unreachable!("fragments are routed by handle_frag"),
             PktKind::Done { .. } => unreachable!("Done packets are handled in progress()"),

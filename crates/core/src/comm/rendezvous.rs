@@ -34,7 +34,7 @@ impl Comm<'_> {
     ) -> Request {
         let sel = self
             .nem
-            .resolve_select(self.rank(), self.p.core(), dst, len)
+            .resolve_select(self.rank(), self.p.core(), dst, len, true)
             .unwrap_or_else(|e| panic!("{e}"));
         self.rndv_send_inner(dst, tag, &[Iov::new(buf, off, len)], staging, sel)
     }
@@ -85,6 +85,13 @@ impl Comm<'_> {
             off: iovs[0].off,
             len,
         };
+        // Tell the receiver which selector arm chose this backend (the
+        // reward is recorded there, on the honest transfer clock).
+        let arm = if self.nem.policy.is_learned_backend() {
+            crate::lmt::tuner::selector::arm_of(sel).map(|a| a as u8)
+        } else {
+            None
+        };
         let (wire, op) = backend.start_send(self, &t, iovs);
         self.enqueue(
             dst,
@@ -96,6 +103,7 @@ impl Comm<'_> {
                     len,
                     wire,
                     concurrency: self.concurrency.get(),
+                    arm,
                 },
             },
         );
@@ -120,6 +128,7 @@ impl Comm<'_> {
         mut t: Transfer,
         wire: crate::shm::LmtWire,
         concurrency: u32,
+        arm: Option<u8>,
         layout: Option<VectorLayout>,
     ) {
         let backend = lmt::backend_for_wire(&wire);
@@ -145,6 +154,7 @@ impl Comm<'_> {
             done: false,
             staging,
             backend: backend.name(),
+            arm,
             started: self.p.now(),
             concurrency,
         });
@@ -172,14 +182,24 @@ impl Comm<'_> {
         }
         r.done = true;
         self.inner.borrow_mut().reqs[r.req] = ReqState::Done;
+        let elapsed_ps = self.p.now().saturating_sub(r.started);
+        // Credit the selector arm the sender chose (carried in the
+        // RTS) with the achieved bandwidth — for every completion,
+        // including ops that record their own per-rail samples.
+        if let Some(arm) = r.arm {
+            self.nem
+                .policy
+                .record_arm(r.t.peer, self.rank(), arm as usize, r.t.len, elapsed_ps);
+        }
         if self.nem.policy.is_learned() && !r.op.records_own_samples() {
             let sample = crate::lmt::TransferSample {
                 backend: r.backend,
                 class: r.op.transfer_class(),
                 placement: self.nem.placement_between(r.t.peer, self.rank()),
                 bytes: r.t.len,
-                elapsed_ps: self.p.now().saturating_sub(r.started),
+                elapsed_ps,
                 concurrency: r.concurrency,
+                rail: r.op.rail_kind(),
             };
             self.nem.policy.record(r.t.peer, self.rank(), &sample);
         }

@@ -72,6 +72,10 @@ pub(super) struct RecvRndv {
     pub staging: Option<(u64, BufId, BufId, VectorLayout)>,
     /// Wire backend label (the tuner sample's `backend` field).
     pub backend: &'static str,
+    /// The selector arm the sender chose (carried in the RTS; `None`
+    /// under rule-based resolution). Credited with the transfer's
+    /// achieved bandwidth at completion.
+    pub arm: Option<u8>,
     /// Virtual time the receive op was registered — completion minus
     /// this is the elapsed time of the transfer's sample.
     pub started: nemesis_sim::Ps,

@@ -124,6 +124,41 @@ impl ThresholdSelect {
     }
 }
 
+/// How [`LmtSelect::Dynamic`] resolves its per-pair backend choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSelect {
+    /// The paper's rule-based blended policy (§3.5/§4.1: cache-sharing
+    /// pairs take the ring below `DMAmin`, everyone else the best
+    /// available single-copy engine).
+    #[default]
+    Dynamic,
+    /// Learn the backend choice online: a deterministic per-(pair,
+    /// size-class) bandit over the fixed mechanisms (incl. the striped
+    /// meta-backend at 2–4 rails), fed by per-transfer bandwidth
+    /// observations on the sender. See
+    /// [`selector`](crate::lmt::tuner::selector) for the arm table,
+    /// exploration schedule, quarantine demotion and placement-change
+    /// re-exploration. Only consulted when `lmt` is
+    /// [`LmtSelect::Dynamic`]; fixed selections stay fixed.
+    LearnedBackend,
+}
+
+impl BackendSelect {
+    /// The CI backend-matrix hook (the sibling of
+    /// [`ThresholdSelect::from_env`]): resolve the *default* `Dynamic`
+    /// resolution mode from the `NEMESIS_BACKEND` environment variable.
+    /// Unset/`dynamic` keep the rule-based blended policy; `learned`
+    /// selects the bandit; anything else fails loudly. Configs that pin
+    /// `backend` explicitly are unaffected.
+    pub fn from_env() -> Self {
+        match std::env::var("NEMESIS_BACKEND").as_deref() {
+            Err(_) | Ok("") | Ok("dynamic") => BackendSelect::Dynamic,
+            Ok("learned") => BackendSelect::LearnedBackend,
+            Ok(other) => panic!("NEMESIS_BACKEND={other:?} (expected dynamic | learned)"),
+        }
+    }
+}
+
 /// Which chunk schedule drives the [`ChunkPipeline`](crate::lmt::ChunkPipeline)
 /// of streaming LMT wires (see [`ChunkSchedule`](crate::lmt::ChunkSchedule)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -217,6 +252,18 @@ pub struct NemesisConfig {
     pub threshold: ThresholdSelect,
     /// Which chunk schedule streaming LMT wires pipeline with.
     pub chunk_schedule: ChunkScheduleSelect,
+    /// How [`LmtSelect::Dynamic`] resolves per pair: the rule-based
+    /// blended policy, or the learned backend selector.
+    pub backend: BackendSelect,
+    /// Optional warm-start for the learned state: a snapshot produced
+    /// by a previous universe's
+    /// [`Tuner::export_snapshot`](crate::lmt::Tuner::export_snapshot)
+    /// (reachable as `nem.policy().export_snapshot()`). Imported into
+    /// the tuner at construction when any decision is learned, so
+    /// `DMAmin`, chunk sweet spots, rail-kind bandwidths and selector
+    /// cells persist across universes instead of re-converging from
+    /// scratch.
+    pub tuner_snapshot: Option<String>,
 }
 
 impl Default for NemesisConfig {
@@ -240,6 +287,8 @@ impl Default for NemesisConfig {
             stripe_fault_rail: None,
             threshold: ThresholdSelect::from_env(),
             chunk_schedule: ChunkScheduleSelect::default(),
+            backend: BackendSelect::from_env(),
+            tuner_snapshot: None,
         }
     }
 }

@@ -59,7 +59,9 @@ pub mod shm;
 pub mod vector;
 
 pub use comm::{BackendUnavailable, Comm, MessageInfo, Nemesis, Request, ANY_SOURCE, ANY_TAG};
-pub use config::{ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
+pub use config::{
+    BackendSelect, ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect,
+};
 pub use lmt::{
     ChunkPipeline, ChunkSchedule, FixedChunk, GeometricGrowth, LearnedChunk, LmtBackend, RailKind,
     ThresholdPolicy, TransferClass, TransferPolicy, TransferSample, Tuner,

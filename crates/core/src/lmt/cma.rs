@@ -169,6 +169,10 @@ impl LmtRecvOp for CmaRecvOp {
             Step::Idle
         }
     }
+
+    fn rail_kind(&self) -> Option<super::RailKind> {
+        Some(super::RailKind::Cma)
+    }
 }
 
 /// The byte sub-range `[skip, skip+take)` of an iovec list.

@@ -170,4 +170,10 @@ impl LmtRecvOp for KnemRecvOp {
             super::TransferClass::Copy
         }
     }
+
+    fn rail_kind(&self) -> Option<super::RailKind> {
+        // Only the I/OAT mode matches a stripe rail mechanism; the CPU
+        // copy modes move bytes no rail uses.
+        self.offloaded.then_some(super::RailKind::KnemIoat)
+    }
 }

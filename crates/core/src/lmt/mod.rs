@@ -125,6 +125,16 @@ pub trait LmtRecvOp {
     fn records_own_samples(&self) -> bool {
         false
     }
+
+    /// The rail mechanism this op's bytes moved through, when it maps
+    /// onto one of the striped [`RailKind`]s — the tuner keeps one
+    /// bandwidth cell per kind (the striped span weighting's input), so
+    /// plain CMA/vmsplice/ring/I-OAT transfers teach the cells the
+    /// stripe splitter later reads. `None` for mechanisms no stripe
+    /// rail uses (pipe+writev, KNEM's CPU copy modes).
+    fn rail_kind(&self) -> Option<RailKind> {
+        None
+    }
 }
 
 /// A large-message-transfer mechanism (one of the paper's four).

@@ -105,11 +105,12 @@ pub(super) fn start_pipe_recv(
     t: &Transfer,
     wire: &LmtWire,
 ) -> Box<dyn LmtRecvOp> {
-    let LmtWire::Pipe { pipe, .. } = *wire else {
+    let LmtWire::Pipe { pipe, vmsplice } = *wire else {
         unreachable!("pipe backend with non-pipe wire")
     };
     Box::new(PipeRecvOp {
         pipe,
+        vmsplice,
         pipeline: pipe_pipeline(comm, backend, t.peer, comm.rank(), false),
     })
 }
@@ -217,6 +218,9 @@ impl LmtSendOp for PipeSendOp {
 
 struct PipeRecvOp {
     pipe: PipeId,
+    /// Whether the sender feeds the pipe with `vmsplice` (the
+    /// single-copy variant that doubles as a stripe rail mechanism).
+    vmsplice: bool,
     pipeline: ChunkPipeline,
 }
 
@@ -250,5 +254,9 @@ impl LmtRecvOp for PipeRecvOp {
 
     fn needs_fifo(&self) -> bool {
         true
+    }
+
+    fn rail_kind(&self) -> Option<super::RailKind> {
+        self.vmsplice.then_some(super::RailKind::Vmsplice)
     }
 }

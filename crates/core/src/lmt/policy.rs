@@ -22,8 +22,11 @@ use std::sync::Arc;
 
 use nemesis_sim::{topology::Placement, Machine};
 
-use crate::config::{ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect};
-use crate::lmt::tuner::{TransferSample, Tuner};
+use crate::config::{
+    BackendSelect, ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect,
+};
+use crate::lmt::striped::RailKind;
+use crate::lmt::tuner::{selector, TransferSample, Tuner};
 use crate::lmt::{ChunkPipeline, FixedChunk, LearnedChunk};
 
 /// How large a transfer must be before the I/OAT receive mode is worth
@@ -146,6 +149,9 @@ pub struct TransferPolicy {
     threshold: Box<dyn ThresholdPolicy + Send + Sync>,
     tuner: Option<Arc<Tuner>>,
     schedule: ChunkScheduleSelect,
+    /// Whether `Dynamic` resolves through the learned backend selector
+    /// (and therefore whether sender-side arm feedback is recorded).
+    learned_backend: bool,
     eager_max: u64,
     lmt_chunk_start: u64,
     progress_batch: usize,
@@ -154,14 +160,27 @@ pub struct TransferPolicy {
 impl TransferPolicy {
     /// Build the facade for a universe of `nprocs` ranks. The tuner is
     /// instantiated only when some decision is learned — static
-    /// configurations carry no recording overhead at all.
+    /// configurations carry no recording overhead at all. A configured
+    /// [`NemesisConfig::tuner_snapshot`] warm-starts the tuner with a
+    /// previous universe's learned state.
     pub fn from_config(cfg: &NemesisConfig, nprocs: usize) -> Self {
+        let learned_backend =
+            cfg.backend == BackendSelect::LearnedBackend && cfg.lmt == LmtSelect::Dynamic;
         let learned = cfg.threshold == ThresholdSelect::Learned
-            || cfg.chunk_schedule == ChunkScheduleSelect::Learned;
+            || cfg.chunk_schedule == ChunkScheduleSelect::Learned
+            || learned_backend;
+        let tuner = learned.then(|| {
+            let t = Tuner::new(nprocs, cfg.eager_max);
+            if let Some(snap) = &cfg.tuner_snapshot {
+                t.import_snapshot(snap);
+            }
+            Arc::new(t)
+        });
         Self {
             threshold: policy_for(cfg),
-            tuner: learned.then(|| Arc::new(Tuner::new(nprocs, cfg.eager_max))),
+            tuner,
             schedule: cfg.chunk_schedule,
+            learned_backend,
             eager_max: cfg.eager_max,
             lmt_chunk_start: cfg.lmt_chunk_start,
             progress_batch: cfg.progress_batch,
@@ -297,9 +316,76 @@ impl TransferPolicy {
         }
     }
 
+    /// The pair's published bandwidth EWMA for one rail kind in bytes
+    /// per picosecond — the striped span weighting's preferred input
+    /// (each rail kind owns its cell; the blended
+    /// [`TransferPolicy::pair_bandwidths`] cells are its fallback).
+    /// 0.0 under static configurations or before any sample.
+    pub fn rail_bandwidth(&self, src: usize, dst: usize, kind: RailKind) -> f64 {
+        match &self.tuner {
+            Some(tuner) => tuner.rail_bandwidth(src, dst, kind),
+            None => 0.0,
+        }
+    }
+
     /// Whether any decision is learned (i.e. recording is live).
     pub fn is_learned(&self) -> bool {
         self.tuner.is_some()
+    }
+
+    /// Whether `Dynamic` resolves through the learned backend selector.
+    pub fn is_learned_backend(&self) -> bool {
+        self.learned_backend
+    }
+
+    /// Pick the backend for one `len`-byte transfer on the directed
+    /// pair through the learned selector. `None` when the selector is
+    /// not configured (the caller then applies the rule-based blended
+    /// policy). `eligible` masks arms the universe cannot serve.
+    pub fn select_backend(
+        &self,
+        src: usize,
+        dst: usize,
+        len: u64,
+        eligible: &[bool; selector::NARMS],
+    ) -> Option<LmtSelect> {
+        match (&self.tuner, self.learned_backend) {
+            (Some(tuner), true) => Some(tuner.select_backend(src, dst, len, eligible)),
+            _ => None,
+        }
+    }
+
+    /// What [`TransferPolicy::select_backend`] would return, without
+    /// advancing the exploration state (inspection calls).
+    pub fn peek_select_backend(
+        &self,
+        src: usize,
+        dst: usize,
+        len: u64,
+        eligible: &[bool; selector::NARMS],
+    ) -> Option<LmtSelect> {
+        match (&self.tuner, self.learned_backend) {
+            (Some(tuner), true) => Some(tuner.peek_backend(src, dst, len, eligible)),
+            _ => None,
+        }
+    }
+
+    /// Feed one completed transfer's achieved bandwidth back to the
+    /// selector arm that served it (no-op unless the learned backend
+    /// selector is active). Called on the receiver — its elapsed time
+    /// (RTS match to completion) is the honest transfer cost; the arm
+    /// index travels in the RTS packet from the sender who chose it.
+    pub fn record_arm(&self, src: usize, dst: usize, arm: usize, bytes: u64, elapsed_ps: u64) {
+        if let (Some(tuner), true) = (&self.tuner, self.learned_backend) {
+            tuner.observe_arm(src, dst, arm, bytes, elapsed_ps);
+        }
+    }
+
+    /// Serialize the learned state for a future universe's
+    /// [`NemesisConfig::tuner_snapshot`] (`None` under static
+    /// configurations).
+    pub fn export_snapshot(&self) -> Option<String> {
+        self.tuner.as_ref().map(|t| t.export_snapshot())
     }
 
     /// The tuner, when any decision is learned (reports and tests).

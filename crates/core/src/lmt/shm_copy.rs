@@ -247,4 +247,8 @@ impl LmtRecvOp for ShmRecvOp {
             Step::Idle
         }
     }
+
+    fn rail_kind(&self) -> Option<super::RailKind> {
+        Some(super::RailKind::Shm)
+    }
 }

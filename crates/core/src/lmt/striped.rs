@@ -137,21 +137,36 @@ fn compose_rails(comm: &Comm<'_>, src: usize, dst: usize, want: usize) -> Vec<Ra
 }
 
 /// Split `len` bytes into one page-aligned span per rail,
-/// bandwidth-weighted from the tuner's published per-mechanism EWMAs
-/// when both mechanisms have been observed (the DMA rail weighs in at
-/// the offload EWMA, CPU rails at the copy EWMA), equal otherwise. The
-/// anchor takes the remainder, so it can only be empty when `len` is.
+/// bandwidth-weighted from the tuner's published EWMAs when every rail
+/// has an observed weight, equal otherwise. Each rail prefers its own
+/// **per-kind** cell — before those existed, vmsplice and ring rails
+/// shared the Copy cell with CMA, which flattened the weights of
+/// 3+-rail stripes into a near-equal split — and falls back to the
+/// blended per-mechanism cell (offload for the DMA rail, copy for CPU
+/// rails) while its kind is unsampled. The anchor takes the remainder,
+/// so it can only be empty when `len` is.
 fn split_spans(comm: &Comm<'_>, src: usize, dst: usize, kinds: &[RailKind], len: u64) -> Vec<u64> {
-    let (copy_bw, offload_bw) = comm.nem().policy.pair_bandwidths(src, dst);
-    let weighted = copy_bw > 0.0 && offload_bw > 0.0;
-    let weights: Vec<f64> = kinds
+    let policy = &comm.nem().policy;
+    let (copy_bw, offload_bw) = policy.pair_bandwidths(src, dst);
+    let raw: Vec<f64> = kinds
         .iter()
-        .map(|k| match k {
-            RailKind::KnemIoat if weighted => offload_bw,
-            _ if weighted => copy_bw,
-            _ => 1.0,
+        .map(|&k| {
+            let own = policy.rail_bandwidth(src, dst, k);
+            if own > 0.0 {
+                own
+            } else if k == RailKind::KnemIoat {
+                offload_bw
+            } else {
+                copy_bw
+            }
         })
         .collect();
+    let weighted = raw.iter().all(|&w| w > 0.0);
+    let weights: Vec<f64> = if weighted {
+        raw
+    } else {
+        vec![1.0; kinds.len()]
+    };
     let total_w: f64 = weights.iter().sum();
     let mut spans = vec![0u64; kinds.len()];
     let mut assigned = 0u64;
@@ -517,6 +532,7 @@ impl LmtRecvOp for StripedRecvOp {
                                 .now()
                                 .saturating_sub(r.started.unwrap_or_default()),
                             concurrency: 1,
+                            rail: Some(r.kind),
                         };
                         comm.nem().policy.record(r.t.peer, comm.rank(), &sample);
                     }

@@ -82,6 +82,15 @@ impl ChunkModel {
     pub fn sweet_spot(&self) -> Option<u64> {
         (self.published < NCLASSES).then(|| 1u64 << (CLASS_BASE + self.published as u32))
     }
+
+    /// Placement-change decay: reset every class's sample count (the
+    /// throughput EWMAs survive as priors). The published class keeps
+    /// answering until fresh chunks under the new placement re-elect.
+    pub fn decay(&mut self) {
+        for c in &mut self.cells {
+            c.n = 0;
+        }
+    }
 }
 
 #[cfg(test)]

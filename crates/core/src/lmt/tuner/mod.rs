@@ -34,6 +34,7 @@
 //! [`Tuner::floor`]).
 
 pub mod chunk;
+pub mod selector;
 pub mod threshold;
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -42,7 +43,11 @@ use parking_lot::Mutex;
 
 use nemesis_sim::topology::Placement;
 
+use crate::config::LmtSelect;
+use crate::lmt::striped::RailKind;
+
 use chunk::ChunkModel;
+use selector::SelectorModel;
 use threshold::CrossoverModel;
 
 /// Which mechanism moved the bytes of a transfer — the §3.5 dichotomy
@@ -73,6 +78,14 @@ pub struct TransferSample {
     pub elapsed_ps: u64,
     /// The §6 collective-concurrency hint the RTS carried.
     pub concurrency: u32,
+    /// The rail mechanism that moved the bytes, when the sample can be
+    /// attributed to one (striped per-rail samples always can; plain
+    /// transfers map their backend — CMA, vmsplice, the ring, KNEM's
+    /// I/OAT mode — onto the same kinds). Feeds the per-rail-kind
+    /// bandwidth cells the striped span weighting reads, so a vmsplice
+    /// rail's samples no longer skew the CMA rail's weight through the
+    /// shared Copy-class cell.
+    pub rail: Option<RailKind>,
 }
 
 impl TransferSample {
@@ -111,13 +124,27 @@ struct PairState {
     /// spans with these — one atomic load per mechanism per transfer.
     copy_bw: AtomicU64,
     offload_bw: AtomicU64,
+    /// Published per-rail-kind bandwidth EWMAs (`f64` bits, indexed by
+    /// [`RailKind::code`]; 0 = unsampled). Finer than the two
+    /// class-level cells above: before these existed, vmsplice and ring
+    /// rail samples shared the Copy cell with CMA, flattening the span
+    /// weights of 3+-rail stripes.
+    rail_bw: [AtomicU64; NRAIL_KINDS],
+    /// Placement-change generation: bumped whenever a sample arrives
+    /// with a different placement than the pair's previous samples (the
+    /// pair migrated); the models are decayed at the same time.
+    epoch: AtomicU64,
     model: Mutex<Models>,
 }
+
+/// Number of [`RailKind`] codes (the per-kind cell array size).
+const NRAIL_KINDS: usize = 4;
 
 #[derive(Default)]
 struct Models {
     crossover: CrossoverModel,
     chunk: ChunkModel,
+    selector: SelectorModel,
 }
 
 impl PairState {
@@ -131,9 +158,23 @@ impl PairState {
             samples: AtomicU64::new(0),
             copy_bw: AtomicU64::new(0),
             offload_bw: AtomicU64::new(0),
+            rail_bw: [const { AtomicU64::new(0) }; NRAIL_KINDS],
+            epoch: AtomicU64::new(0),
             model: Mutex::new(Models::default()),
         }
     }
+}
+
+/// Fold `bw` into the published EWMA atomic (`f64` bits; first sample
+/// seeds the cell).
+fn fold_bw(slot: &AtomicU64, bw: f64) {
+    let prev = f64::from_bits(slot.load(Ordering::Relaxed));
+    let next = if prev == 0.0 {
+        bw
+    } else {
+        0.25 * bw + 0.75 * prev
+    };
+    slot.store(next.to_bits(), Ordering::Relaxed);
 }
 
 /// Snapshot of one pair's learned state (reports and tests).
@@ -193,34 +234,130 @@ impl Tuner {
     /// eager-regime length that can never reach the LMT) are discarded
     /// — they would otherwise teach the crossover model infinite or
     /// meaningless bandwidths.
+    ///
+    /// A sample whose placement differs from the pair's previous
+    /// samples means the pair migrated mid-run: the learned models are
+    /// **decayed** (sample counts reset, estimates kept as priors) and
+    /// the pair's [`epoch`](Tuner::pair_epoch) bumped, so every
+    /// decision re-explores under the new placement instead of
+    /// exploiting stale cells.
     pub fn record(&self, src: usize, dst: usize, s: &TransferSample) {
         if s.bytes == 0 || s.elapsed_ps == 0 || s.bytes <= self.floor {
             return;
         }
         let p = self.pair(src, dst);
-        p.placement
-            .store(placement_code(s.placement), Ordering::Relaxed);
+        let code = placement_code(s.placement);
+        let prev_code = p.placement.swap(code, Ordering::Relaxed);
+        let migrated = prev_code != u32::MAX && prev_code != code;
         p.samples.fetch_add(1, Ordering::Relaxed);
-        // Publish the per-mechanism bandwidth EWMA (same smoothing the
-        // crossover cells use, but aggregated over sizes — the striped
-        // backend's rail-weighting input).
+        // Publish the per-mechanism bandwidth EWMAs (same smoothing the
+        // crossover cells use, but aggregated over sizes): the blended
+        // class cell, and — when the sample names its rail mechanism —
+        // the per-rail-kind cell the striped span weighting prefers.
         let bw = s.bytes as f64 / s.elapsed_ps as f64;
         let slot = match s.class {
             TransferClass::Copy => &p.copy_bw,
             TransferClass::Offload => &p.offload_bw,
         };
-        let prev = f64::from_bits(slot.load(Ordering::Relaxed));
-        let next = if prev == 0.0 {
-            bw
-        } else {
-            0.25 * bw + 0.75 * prev
-        };
-        slot.store(next.to_bits(), Ordering::Relaxed);
+        fold_bw(slot, bw);
+        if let Some(kind) = s.rail {
+            fold_bw(&p.rail_bw[kind.code() as usize], bw);
+        }
         let mut m = p.model.lock();
+        if migrated {
+            p.epoch.fetch_add(1, Ordering::Relaxed);
+            m.crossover.decay();
+            m.chunk.decay();
+            m.selector.decay();
+        }
         m.crossover.observe(s.class, s.bytes, s.elapsed_ps);
         if let Some(t) = m.crossover.learned() {
             p.dma_min
                 .store(t.clamp(self.floor, self.ceil), Ordering::Relaxed);
+        }
+    }
+
+    /// How many times the pair's placement has changed mid-run (each
+    /// change decays the learned models — see [`Tuner::record`]).
+    pub fn pair_epoch(&self, src: usize, dst: usize) -> u64 {
+        self.pair(src, dst).epoch.load(Ordering::Relaxed)
+    }
+
+    /// The pair's published bandwidth EWMA for one rail kind in bytes
+    /// per picosecond (0.0 = unsampled). One atomic load — safe on the
+    /// per-transfer path.
+    pub fn rail_bandwidth(&self, src: usize, dst: usize, kind: RailKind) -> f64 {
+        f64::from_bits(self.pair(src, dst).rail_bw[kind.code() as usize].load(Ordering::Relaxed))
+    }
+
+    /// Pick the backend for one `len`-byte transfer on the directed
+    /// pair (the learned replacement of the rule-based `Dynamic`
+    /// resolution). `eligible` masks the arms the universe cannot serve
+    /// — see [`selector`] for the arm table and exploration schedule.
+    /// Takes the pair's model mutex: one short lock per *transfer*
+    /// (selection time), never per chunk or on another transfer's path.
+    pub fn select_backend(
+        &self,
+        src: usize,
+        dst: usize,
+        len: u64,
+        eligible: &[bool; selector::NARMS],
+    ) -> LmtSelect {
+        let arm = self
+            .pair(src, dst)
+            .model
+            .lock()
+            .selector
+            .pick(len, eligible);
+        selector::ARMS[arm]
+    }
+
+    /// What [`Tuner::select_backend`] would return, without advancing
+    /// the exploration state — for inspection calls (`Comm::try_select`)
+    /// that never complete a transfer and must not burn sweep picks.
+    pub fn peek_backend(
+        &self,
+        src: usize,
+        dst: usize,
+        len: u64,
+        eligible: &[bool; selector::NARMS],
+    ) -> LmtSelect {
+        let arm = self
+            .pair(src, dst)
+            .model
+            .lock()
+            .selector
+            .peek(len, eligible);
+        selector::ARMS[arm]
+    }
+
+    /// Feed one completed transfer's achieved bandwidth back to the arm
+    /// that served it (recorded on the sender, which knows its choice).
+    pub fn observe_arm(&self, src: usize, dst: usize, arm: usize, bytes: u64, elapsed_ps: u64) {
+        self.pair(src, dst)
+            .model
+            .lock()
+            .selector
+            .observe(arm, bytes, elapsed_ps);
+    }
+
+    /// Demote a selector arm for the pair (a quarantined rail kind also
+    /// demotes the arm built on that mechanism). Applied once per pair:
+    /// after [`selector::DEMOTE_WINDOW`] decisions the arm becomes
+    /// eligible for re-probing. Returns whether the ban was newly
+    /// applied.
+    pub fn demote_arm(&self, src: usize, dst: usize, sel: LmtSelect) -> bool {
+        match selector::arm_of(sel) {
+            Some(arm) => self.pair(src, dst).model.lock().selector.demote_once(arm),
+            None => false,
+        }
+    }
+
+    /// Whether a selector arm is currently banned for the pair.
+    pub fn arm_banned(&self, src: usize, dst: usize, sel: LmtSelect) -> bool {
+        match selector::arm_of(sel) {
+            Some(arm) => self.pair(src, dst).model.lock().selector.is_banned(arm),
+            None => false,
         }
     }
 
@@ -322,6 +459,120 @@ impl Tuner {
             placement: placement_from_code(p.placement.load(Ordering::Relaxed)),
         }
     }
+
+    /// Serialize the published learned state (per-pair `DMAmin`, chunk
+    /// sweet spot, placement, per-mechanism and per-rail-kind bandwidth
+    /// EWMAs, selector cells) into a line-oriented snapshot a future
+    /// universe can warm-start from via
+    /// [`NemesisConfig::tuner_snapshot`](crate::config::NemesisConfig::tuner_snapshot).
+    /// Exploration clocks and raw model cells restart fresh — the
+    /// snapshot carries the *decisions*, which the new universe then
+    /// refines online.
+    pub fn export_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("nemesis-tuner-v1\n");
+        for src in 0..self.nprocs {
+            for dst in 0..self.nprocs {
+                let p = self.pair(src, dst);
+                if p.samples.load(Ordering::Relaxed) == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "pair {src} {dst} {} {} {} {:#x} {:#x} {}",
+                    p.dma_min.load(Ordering::Relaxed),
+                    p.chunk.load(Ordering::Relaxed),
+                    p.placement.load(Ordering::Relaxed),
+                    p.copy_bw.load(Ordering::Relaxed),
+                    p.offload_bw.load(Ordering::Relaxed),
+                    // The lifetime sample count rides along so a
+                    // warm-started universe that sees no new traffic
+                    // still re-exports the pair (export skips pairs
+                    // with samples == 0).
+                    p.samples.load(Ordering::Relaxed),
+                );
+                for kind in 0..NRAIL_KINDS {
+                    let bits = p.rail_bw[kind].load(Ordering::Relaxed);
+                    if bits != 0 {
+                        let _ = writeln!(out, "rail {src} {dst} {kind} {bits:#x}");
+                    }
+                }
+                p.model.lock().selector.export_lines(&mut out, src, dst);
+            }
+        }
+        out
+    }
+
+    /// Restore a snapshot produced by [`Tuner::export_snapshot`].
+    /// Tolerant of pairs outside this universe's rank count (a snapshot
+    /// from a larger universe simply drops them); unknown or malformed
+    /// lines are skipped.
+    pub fn import_snapshot(&self, snap: &str) {
+        fn parse_u64(s: &str) -> Option<u64> {
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        }
+        for line in snap.lines() {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            let (Some(&tag), Some(src), Some(dst)) = (
+                f.first(),
+                f.get(1).and_then(|s| s.parse::<usize>().ok()),
+                f.get(2).and_then(|s| s.parse::<usize>().ok()),
+            ) else {
+                continue;
+            };
+            if src >= self.nprocs || dst >= self.nprocs {
+                continue;
+            }
+            // A bandwidth cell must be a finite, non-negative f64: a
+            // corrupt snapshot must not plant a NaN the selector's
+            // `total_cmp` would rank above every real bandwidth.
+            let sane_bw = |bits: u64| {
+                let bw = f64::from_bits(bits);
+                bw.is_finite() && bw >= 0.0
+            };
+            let p = self.pair(src, dst);
+            match (tag, f.len()) {
+                ("pair", 9) => {
+                    let vals: Option<Vec<u64>> = f[3..9].iter().map(|s| parse_u64(s)).collect();
+                    if let Some(v) = vals {
+                        if !(sane_bw(v[3]) && sane_bw(v[4])) {
+                            continue;
+                        }
+                        let dma = v[0].clamp(self.floor, self.ceil);
+                        p.dma_min
+                            .store(if v[0] == 0 { 0 } else { dma }, Ordering::Relaxed);
+                        p.chunk.store(v[1], Ordering::Relaxed);
+                        p.placement.store(v[2] as u32, Ordering::Relaxed);
+                        p.copy_bw.store(v[3], Ordering::Relaxed);
+                        p.offload_bw.store(v[4], Ordering::Relaxed);
+                        p.samples.store(v[5], Ordering::Relaxed);
+                    }
+                }
+                ("rail", 5) => {
+                    if let (Some(kind), Some(bits)) = (f[3].parse::<usize>().ok(), parse_u64(f[4]))
+                    {
+                        if kind < NRAIL_KINDS && sane_bw(bits) {
+                            p.rail_bw[kind].store(bits, Ordering::Relaxed);
+                        }
+                    }
+                }
+                ("arm", 7) => {
+                    if let (Some(class), Some(arm), Some(bits), Some(n)) = (
+                        f[3].parse::<usize>().ok(),
+                        f[4].parse::<usize>().ok(),
+                        parse_u64(f[5]),
+                        f[6].parse::<u32>().ok(),
+                    ) {
+                        p.model.lock().selector.import_cell(class, arm, bits, n);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 fn placement_code(p: Placement) -> u32 {
@@ -357,6 +608,7 @@ mod tests {
             bytes,
             elapsed_ps,
             concurrency: 1,
+            rail: None,
         }
     }
 
@@ -488,5 +740,150 @@ mod tests {
         let s = t.snapshot(0, 1);
         assert_eq!(s.placement, Some(Placement::SharedL2));
         assert_eq!(s.samples, 1);
+    }
+
+    fn rail_sample(kind: RailKind, class: TransferClass, ps_per_b: u64) -> TransferSample {
+        TransferSample {
+            rail: Some(kind),
+            ..sample(class, 1 << 20, ps_per_b << 20)
+        }
+    }
+
+    /// Regression for the PR-4 shared-EWMA bug: vmsplice and ring rail
+    /// samples used to fold into the same Copy cell CMA published to,
+    /// flattening 3+-rail span weights. Each rail kind now owns a cell.
+    #[test]
+    fn rail_kind_cells_are_isolated() {
+        let t = Tuner::new(2, 64 << 10);
+        // CMA is fast (1 ps/B); vmsplice and the ring are slow (8 ps/B).
+        for _ in 0..8 {
+            t.record(0, 1, &rail_sample(RailKind::Cma, TransferClass::Copy, 1));
+            t.record(
+                0,
+                1,
+                &rail_sample(RailKind::Vmsplice, TransferClass::Copy, 8),
+            );
+            t.record(0, 1, &rail_sample(RailKind::Shm, TransferClass::Copy, 8));
+        }
+        let cma = t.rail_bandwidth(0, 1, RailKind::Cma);
+        let vms = t.rail_bandwidth(0, 1, RailKind::Vmsplice);
+        let shm = t.rail_bandwidth(0, 1, RailKind::Shm);
+        assert!(
+            cma > 4.0 * vms && cma > 4.0 * shm,
+            "slow CPU rails must not drag the CMA cell down: cma={cma} vms={vms} shm={shm}"
+        );
+        // The blended Copy-class cell still aggregates all three (its
+        // consumers expect the blend), but the per-kind cells do not
+        // bleed into each other.
+        let (copy, _) = t.pair_bandwidths(0, 1);
+        assert!(copy < cma && copy > vms);
+        assert_eq!(t.rail_bandwidth(0, 1, RailKind::KnemIoat), 0.0, "unsampled");
+        // And the other direction's pair is untouched.
+        assert_eq!(t.rail_bandwidth(1, 0, RailKind::Cma), 0.0);
+    }
+
+    /// A placement change mid-run (process migration) bumps the pair's
+    /// epoch, decays the models, and forces the selector to re-probe
+    /// every arm within `NARMS x MIN_PROBE` decisions.
+    #[test]
+    fn placement_change_decays_and_reexplores() {
+        use selector::{ARMS, MIN_PROBE, NARMS};
+        let t = Tuner::new(2, 64 << 10);
+        let all = [true; NARMS];
+        // Converge the selector on arm 4 under SharedL2.
+        for _ in 0..6 {
+            for (i, _) in ARMS.iter().enumerate() {
+                t.observe_arm(0, 1, i, 1 << 20, if i == 4 { 1 << 20 } else { 4 << 20 });
+            }
+        }
+        for _ in 0..40 {
+            t.select_backend(0, 1, 1 << 20, &all);
+        }
+        t.record(0, 1, &sample(TransferClass::Copy, 1 << 20, 1 << 20));
+        assert_eq!(t.pair_epoch(0, 1), 0);
+        // Migrate: the same pair now reports a cross-socket placement.
+        let migrated = TransferSample {
+            placement: Placement::DifferentSocket,
+            ..sample(TransferClass::Copy, 1 << 20, 1 << 20)
+        };
+        t.record(0, 1, &migrated);
+        assert_eq!(t.pair_epoch(0, 1), 1, "migration must bump the epoch");
+        // Decayed model re-probes every arm within NARMS*MIN_PROBE
+        // observed transfers (pick → completion feedback, as in live
+        // traffic).
+        let mut seen = [false; NARMS];
+        for _ in 0..NARMS as u32 * MIN_PROBE {
+            let sel = t.select_backend(0, 1, 1 << 20, &all);
+            let arm = selector::arm_of(sel).unwrap();
+            seen[arm] = true;
+            t.observe_arm(0, 1, arm, 1 << 20, 1 << 20);
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "post-migration selector must re-probe every arm, saw {seen:?}"
+        );
+        // A same-placement sample does not bump the epoch again.
+        t.record(0, 1, &migrated);
+        assert_eq!(t.pair_epoch(0, 1), 1);
+    }
+
+    /// The snapshot round-trips the published decisions into a fresh
+    /// tuner (the cross-universe persistence path).
+    #[test]
+    fn snapshot_roundtrips_into_a_fresh_tuner() {
+        let t = Tuner::new(2, 64 << 10);
+        feed_synthetic(&t, 3, 2 * (1u64 << 20), 1);
+        for _ in 0..5 {
+            t.record_chunk(0, 1, 32 << 10, 2 * (32 << 10));
+            t.record(0, 1, &rail_sample(RailKind::Cma, TransferClass::Copy, 1));
+        }
+        for arm in 0..selector::NARMS {
+            for _ in 0..3 {
+                t.observe_arm(0, 1, arm, 1 << 20, if arm == 2 { 1 << 20 } else { 3 << 20 });
+            }
+        }
+        let snap = t.export_snapshot();
+        let fresh = Tuner::new(2, 64 << 10);
+        fresh.import_snapshot(&snap);
+        assert_eq!(
+            fresh.snapshot(0, 1),
+            t.snapshot(0, 1),
+            "published decisions (and the lifetime sample count) must \
+             survive the round-trip"
+        );
+        // Chained persistence: a warm-started universe that sees no new
+        // traffic must still re-export the pair's state.
+        assert_eq!(
+            fresh.export_snapshot(),
+            snap,
+            "export → import → export must be lossless"
+        );
+        assert_eq!(
+            fresh.dma_min(0, 1, u64::MAX),
+            t.dma_min(0, 1, u64::MAX),
+            "the warm-started universe answers with the learned threshold"
+        );
+        assert!(fresh.rail_bandwidth(0, 1, RailKind::Cma) > 0.0);
+        // The imported selector cells skip the sweep and pick the
+        // learned best arm immediately.
+        let all = [true; selector::NARMS];
+        assert_eq!(
+            fresh.select_backend(0, 1, 1 << 20, &all),
+            selector::ARMS[2],
+            "warm-started selector must exploit, not re-sweep"
+        );
+        // Unknown lines, out-of-range pairs, and non-finite bandwidths
+        // (a NaN cell would outrank every real bandwidth under
+        // `total_cmp` and lock in a bogus incumbent) are skipped
+        // quietly.
+        fresh.import_snapshot(
+            "garbage\npair 9 9 1 2 3 0x0 0x0 1\narm 0 1 999 999 0x0 1\n\
+             arm 0 1 4 3 0x7ff8000000000000 3\nrail 0 1 0 0x7ff8000000000000\n",
+        );
+        assert_eq!(
+            fresh.export_snapshot(),
+            snap,
+            "corrupt records must not perturb the learned state"
+        );
     }
 }

@@ -1,0 +1,504 @@
+//! The learned backend selector: a deterministic per-(pair, size-class)
+//! bandit over the fixed LMT mechanisms, replacing the rule-based
+//! `Dynamic` resolution when [`BackendSelect::LearnedBackend`]
+//! (`crate::config::BackendSelect`) is configured.
+//!
+//! The §3.5 blended policy decides from two architectural facts (cache
+//! sharing, `DMAmin`). This model instead treats each candidate backend
+//! as a bandit *arm* and learns, per directed pair and per power-of-two
+//! size class, which arm actually delivers the most bandwidth on this
+//! machine — including the striped meta-backend at 2–4 rails, whose
+//! profitability no closed-form rule captures (it depends on bus
+//! headroom the architectural rules cannot see; cf. the FSB-bound E5345
+//! contrast in `BENCH_4.json`).
+//!
+//! # Exploration schedule (deterministic — seeded runs stay reproducible)
+//!
+//! 1. **Sweep**: until every eligible arm has [`MIN_PROBE`] samples in
+//!    the class, pick the least-sampled arm (lowest index on ties).
+//! 2. **Exploit**: pick the best bandwidth EWMA, with a small
+//!    hysteresis so measurement jitter cannot unseat the incumbent.
+//! 3. **Probes**: re-probe a minority arm at exponentially spaced ticks
+//!    (16, 32, 64, … capped), round-robin over the arms, so a regime
+//!    change is eventually noticed while the amortized probe cost goes
+//!    to zero — the convergence bound (`scenario_sweep`: within 1.25×
+//!    of the best fixed backend; `BENCH_5.json`: ≥ 0.95×) depends on
+//!    probes becoming rare.
+//!
+//! # Demotion and decay
+//!
+//! A rail kind quarantined by the striped fault path also demotes the
+//! arm built on that mechanism: the arm is banned for
+//! [`DEMOTE_WINDOW`] decisions (no re-pick until the window expires),
+//! then becomes eligible for re-probing again. A placement change
+//! (process migration) calls [`SelectorModel::decay`]: every cell's
+//! sample count is zeroed (its bandwidth estimate survives as a prior),
+//! so the sweep re-probes every arm within `arms × MIN_PROBE`
+//! decisions.
+
+use crate::config::{KnemSelect, LmtSelect};
+
+/// The candidate arms, in probe order. `Dynamic` itself and the
+/// degenerate 1-rail stripe are not arms (the former is what this model
+/// replaces, the latter is CMA with extra bookkeeping); the KNEM arm
+/// runs the `Auto` receive mode so the learned `DMAmin` still governs
+/// copy-vs-offload inside it.
+pub const ARMS: [LmtSelect; NARMS] = [
+    LmtSelect::ShmCopy,
+    LmtSelect::PipeWritev,
+    LmtSelect::Vmsplice,
+    LmtSelect::Knem(KnemSelect::Auto),
+    LmtSelect::Cma,
+    LmtSelect::Striped { rails: 2 },
+    LmtSelect::Striped { rails: 3 },
+    LmtSelect::Striped { rails: 4 },
+];
+
+/// Number of selector arms.
+pub const NARMS: usize = 8;
+
+/// The arm index of a selection, if the selection is an arm.
+pub fn arm_of(sel: LmtSelect) -> Option<usize> {
+    ARMS.iter().position(|&a| a == sel)
+}
+
+/// Size classes cover 2^16 (64 KiB, the eager/rendezvous switchover —
+/// the selector is only consulted for rendezvous transfers) up to
+/// 2^(16+NCLASSES-1) = 8 MiB; larger transfers clamp to the top class.
+const CLASS_BASE: u32 = 16;
+const NCLASSES: usize = 8;
+
+/// Samples an arm needs in a class before the sweep stops probing it.
+pub const MIN_PROBE: u32 = 2;
+
+/// First steady-state probe interval in class decisions; doubles after
+/// every probe up to [`PROBE_CAP`].
+const PROBE_START: u64 = 16;
+const PROBE_CAP: u64 = 1024;
+
+/// Decisions a demoted arm sits out before it may be re-picked.
+pub const DEMOTE_WINDOW: u64 = 256;
+
+/// EWMA smoothing for per-cell bandwidth.
+const ALPHA: f64 = 0.25;
+
+/// A challenger arm must beat the incumbent's bandwidth by this factor
+/// to unseat it.
+const HYSTERESIS: f64 = 1.05;
+
+/// The size class of a transfer length.
+pub fn class_of(bytes: u64) -> usize {
+    let lg = if bytes == 0 { 0 } else { bytes.ilog2() };
+    (lg.saturating_sub(CLASS_BASE) as usize).min(NCLASSES - 1)
+}
+
+#[derive(Default, Clone, Copy)]
+struct Cell {
+    /// EWMA bandwidth in bytes per picosecond.
+    bw: f64,
+    /// Observations folded into `bw`.
+    n: u32,
+    /// Times the arm was picked (feedback can lag the pick — a burst of
+    /// in-flight transfers reports later — so the sweep bounds itself
+    /// on picks too, never spinning on an arm whose samples are slow).
+    picked: u32,
+}
+
+#[derive(Clone, Copy)]
+struct ClassState {
+    cells: [Cell; NARMS],
+    /// Decisions taken in this class.
+    tick: u64,
+    /// Next steady-state probe fires at this class tick (0 = not yet
+    /// scheduled — set on the first exploit decision).
+    next_probe: u64,
+    probe_interval: u64,
+    /// Round-robin cursor over the arms for steady-state probes.
+    probe_cursor: usize,
+    /// Remaining repeats of the current probe (probes run in streaks
+    /// of two so the second sample measures the mechanism warm).
+    probe_streak: u8,
+    /// Incumbent arm (`usize::MAX` = none yet).
+    incumbent: usize,
+}
+
+impl Default for ClassState {
+    fn default() -> Self {
+        Self {
+            cells: [Cell::default(); NARMS],
+            tick: 0,
+            next_probe: 0,
+            probe_interval: PROBE_START,
+            probe_cursor: 0,
+            probe_streak: 0,
+            incumbent: usize::MAX,
+        }
+    }
+}
+
+/// Per-pair selector state (lives behind the tuner's per-pair mutex).
+pub struct SelectorModel {
+    classes: [ClassState; NCLASSES],
+    /// Pair-wide decision counter (the demotion clock).
+    decisions: u64,
+    /// Decision tick until which each arm is banned (demotion).
+    banned_until: [u64; NARMS],
+    /// Whether the one-shot quarantine demotion has been applied to the
+    /// arm (a permanent quarantine must not re-ban the arm forever —
+    /// after the decay window the selector may re-probe the mechanism).
+    demote_applied: [bool; NARMS],
+}
+
+impl Default for SelectorModel {
+    fn default() -> Self {
+        Self {
+            classes: [ClassState::default(); NCLASSES],
+            decisions: 0,
+            banned_until: [0; NARMS],
+            demote_applied: [false; NARMS],
+        }
+    }
+}
+
+impl SelectorModel {
+    /// Pick the arm for one transfer of `len` bytes. `eligible` masks
+    /// arms the universe cannot serve (module absent, syscall missing);
+    /// banned (demoted) arms are additionally skipped until their
+    /// window expires. Advances the exploration state — one call per
+    /// selection, never on a read-only path.
+    pub fn pick(&mut self, len: u64, eligible: &[bool; NARMS]) -> usize {
+        self.decisions += 1;
+        let now = self.decisions;
+        let open: Vec<usize> = (0..NARMS)
+            .filter(|&a| eligible[a] && self.banned_until[a] < now)
+            .collect();
+        let open = if open.is_empty() {
+            // Everything eligible is banned: the ban loses to liveness.
+            (0..NARMS).filter(|&a| eligible[a]).collect()
+        } else {
+            open
+        };
+        let Some(&first) = open.first() else {
+            return 0; // nothing eligible at all: ShmCopy always works
+        };
+        let s = &mut self.classes[class_of(len)];
+        s.tick += 1;
+        // 1. Sweep, *depth-first*: an arm's probes run back-to-back,
+        // so its second sample measures the mechanism warm (the
+        // provisional first eats the cold-start and the cache state the
+        // previous arm left behind). A breadth-first sweep would hand
+        // every arm nothing but pollution-tainted samples while an
+        // eventual incumbent streams warm — the classic exploration
+        // bias of bandits over stateful systems. Bounded by picks so
+        // slow feedback cannot pin the sweep on one arm.
+        if let Some(&arm) = open
+            .iter()
+            .find(|&&a| s.cells[a].n < MIN_PROBE && s.cells[a].picked < 2 * MIN_PROBE)
+        {
+            s.cells[arm].picked += 1;
+            return arm;
+        }
+        // 3. Exponentially-spaced minority probe, in streaks of two for
+        // the same warm-second-sample reason.
+        if s.probe_streak > 0 {
+            s.probe_streak -= 1;
+            let arm = open[s.probe_cursor % open.len()];
+            s.cells[arm].picked += 1;
+            return arm;
+        }
+        if s.next_probe == 0 {
+            s.next_probe = s.tick + s.probe_interval;
+        } else if s.tick >= s.next_probe {
+            s.probe_interval = (s.probe_interval * 2).min(PROBE_CAP);
+            s.next_probe = s.tick + s.probe_interval;
+            s.probe_cursor = (s.probe_cursor + 1) % open.len();
+            s.probe_streak = 1;
+            let arm = open[s.probe_cursor];
+            s.cells[arm].picked += 1;
+            return arm;
+        }
+        // 2. Exploit: best EWMA with hysteresis for the incumbent.
+        let best = open
+            .iter()
+            .copied()
+            .max_by(|&a, &b| s.cells[a].bw.total_cmp(&s.cells[b].bw))
+            .unwrap_or(first);
+        let inc = s.incumbent;
+        let keep_incumbent =
+            inc < NARMS && open.contains(&inc) && s.cells[best].bw <= s.cells[inc].bw * HYSTERESIS;
+        if !keep_incumbent {
+            s.incumbent = best;
+        }
+        s.cells[s.incumbent].picked += 1;
+        s.incumbent
+    }
+
+    /// What [`SelectorModel::pick`] would choose right now, without
+    /// advancing any exploration state — the side-effect-free read
+    /// behind `Comm::try_select` (an inspection call must not burn
+    /// sweep picks whose rewards will never arrive). Probe scheduling
+    /// is ignored: the peek answers with the sweep candidate while the
+    /// sweep is open, the incumbent (or best cell) afterwards.
+    pub fn peek(&self, len: u64, eligible: &[bool; NARMS]) -> usize {
+        let now = self.decisions + 1;
+        let open: Vec<usize> = (0..NARMS)
+            .filter(|&a| eligible[a] && self.banned_until[a] < now)
+            .collect();
+        let open = if open.is_empty() {
+            (0..NARMS).filter(|&a| eligible[a]).collect()
+        } else {
+            open
+        };
+        let Some(&first) = open.first() else {
+            return 0;
+        };
+        let s = &self.classes[class_of(len)];
+        if let Some(&arm) = open
+            .iter()
+            .find(|&&a| s.cells[a].n < MIN_PROBE && s.cells[a].picked < 2 * MIN_PROBE)
+        {
+            return arm;
+        }
+        if s.incumbent < NARMS && open.contains(&s.incumbent) {
+            return s.incumbent;
+        }
+        open.iter()
+            .copied()
+            .max_by(|&a, &b| s.cells[a].bw.total_cmp(&s.cells[b].bw))
+            .unwrap_or(first)
+    }
+
+    /// Fold one completed transfer's achieved bandwidth into the arm's
+    /// cell for the transfer's size class.
+    ///
+    /// An arm's *first* sample is provisional: it is stored (so an arm
+    /// that is only ever probed once still has an estimate) but fully
+    /// replaced by the second — the first use of a mechanism pays
+    /// cold-start costs (window tables, cache state, ring creation)
+    /// that would otherwise dominate the EWMA with `1 - ALPHA` weight
+    /// forever and mis-rank the arm (the same bias the chunk model
+    /// kills by skipping pipeline-fill chunks).
+    pub fn observe(&mut self, arm: usize, bytes: u64, elapsed_ps: u64) {
+        if arm >= NARMS || bytes == 0 || elapsed_ps == 0 {
+            return;
+        }
+        let bw = bytes as f64 / elapsed_ps as f64;
+        let cell = &mut self.classes[class_of(bytes)].cells[arm];
+        cell.bw = if cell.n <= 1 {
+            bw
+        } else {
+            ALPHA * bw + (1.0 - ALPHA) * cell.bw
+        };
+        cell.n = cell.n.saturating_add(1);
+    }
+
+    /// Demote an arm for [`DEMOTE_WINDOW`] decisions — applied at most
+    /// once per pair (see the type docs). Returns whether the ban was
+    /// (newly) applied.
+    pub fn demote_once(&mut self, arm: usize) -> bool {
+        if arm >= NARMS || self.demote_applied[arm] {
+            return false;
+        }
+        self.demote_applied[arm] = true;
+        self.banned_until[arm] = self.decisions + DEMOTE_WINDOW;
+        true
+    }
+
+    /// Whether the arm is currently banned (demoted and the window has
+    /// not yet expired).
+    pub fn is_banned(&self, arm: usize) -> bool {
+        arm < NARMS && self.banned_until[arm] > self.decisions
+    }
+
+    /// Placement-change decay: zero every cell's sample count (the
+    /// bandwidth estimate survives as a prior) and reset the probe
+    /// schedule, so the sweep re-probes every arm within
+    /// `arms × MIN_PROBE` decisions.
+    pub fn decay(&mut self) {
+        for s in &mut self.classes {
+            for c in &mut s.cells {
+                c.n = 0;
+                c.picked = 0;
+            }
+            s.next_probe = 0;
+            s.probe_interval = PROBE_START;
+            s.probe_streak = 0;
+            s.incumbent = usize::MAX;
+        }
+    }
+
+    /// The arm's `(bandwidth EWMA, samples)` in a size class
+    /// (diagnostics, persistence and tests).
+    pub fn cell(&self, class: usize, arm: usize) -> (f64, u32) {
+        let c = self.classes[class.min(NCLASSES - 1)].cells[arm.min(NARMS - 1)];
+        (c.bw, c.n)
+    }
+
+    /// Serialize the learned cells as `class arm bw_bits n` tuples (the
+    /// tuner's snapshot embeds them; exploration clocks restart fresh).
+    pub(super) fn export_lines(&self, out: &mut String, src: usize, dst: usize) {
+        use std::fmt::Write as _;
+        for (ci, s) in self.classes.iter().enumerate() {
+            for (ai, c) in s.cells.iter().enumerate() {
+                if c.n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "arm {src} {dst} {ci} {ai} {:#x} {}",
+                        c.bw.to_bits(),
+                        c.n
+                    );
+                }
+            }
+        }
+    }
+
+    /// Restore one exported cell (counted as picked too, so a
+    /// warm-started class exploits instead of re-sweeping). Non-finite
+    /// or negative bandwidths are rejected — a corrupt snapshot must
+    /// not plant a NaN that `total_cmp` would rank above every real
+    /// bandwidth and elect as a permanent incumbent.
+    pub(super) fn import_cell(&mut self, class: usize, arm: usize, bw_bits: u64, n: u32) {
+        let bw = f64::from_bits(bw_bits);
+        if class < NCLASSES && arm < NARMS && bw.is_finite() && bw >= 0.0 {
+            self.classes[class].cells[arm] = Cell { bw, n, picked: n };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [bool; NARMS] = [true; NARMS];
+
+    /// Feed the model a world where `best` is twice as fast as every
+    /// other arm at 1 MiB.
+    fn teach(m: &mut SelectorModel, best: usize, rounds: usize) {
+        for _ in 0..rounds {
+            for arm in 0..NARMS {
+                let ps = if arm == best { 1 << 20 } else { 2 << 20 };
+                m.observe(arm, 1 << 20, ps);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_probes_every_arm_before_exploiting() {
+        let mut m = SelectorModel::default();
+        let mut seen = [0u32; NARMS];
+        for _ in 0..NARMS as u32 * MIN_PROBE {
+            let a = m.pick(1 << 20, &ALL);
+            seen[a] += 1;
+            m.observe(a, 1 << 20, 1 << 20);
+        }
+        assert_eq!(seen, [MIN_PROBE; NARMS], "sweep must cover every arm");
+    }
+
+    #[test]
+    fn converges_on_the_best_arm_and_probes_become_rare() {
+        let mut m = SelectorModel::default();
+        teach(&mut m, 4, 4);
+        let picks: Vec<usize> = (0..200).map(|_| m.pick(1 << 20, &ALL)).collect();
+        let minority = picks.iter().filter(|&&a| a != 4).count();
+        assert!(
+            minority <= 6,
+            "expected rare probes after convergence, got {minority}/200 minority picks"
+        );
+        assert_eq!(*picks.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn ineligible_arms_are_never_picked() {
+        let mut m = SelectorModel::default();
+        let mut mask = [true; NARMS];
+        mask[3] = false; // KNEM absent
+        mask[5] = false;
+        for _ in 0..300 {
+            let a = m.pick(1 << 20, &mask);
+            assert!(a != 3 && a != 5);
+            m.observe(a, 1 << 20, 1 << 20);
+        }
+    }
+
+    #[test]
+    fn demotion_bans_for_the_window_then_releases() {
+        let mut m = SelectorModel::default();
+        teach(&mut m, 3, 4); // arm 3 is the incumbent-to-be
+        assert!(m.demote_once(3));
+        assert!(!m.demote_once(3), "demotion applies once per pair");
+        assert!(m.is_banned(3));
+        for i in 0..DEMOTE_WINDOW {
+            assert_ne!(m.pick(1 << 20, &ALL), 3, "banned arm re-picked at {i}");
+        }
+        assert!(!m.is_banned(3));
+        // After the window the arm is eligible again and, being the
+        // fastest, eventually re-elected.
+        let picked_again = (0..300).any(|_| m.pick(1 << 20, &ALL) == 3);
+        assert!(picked_again, "arm must be re-pickable after the window");
+    }
+
+    #[test]
+    fn peek_does_not_advance_exploration() {
+        let mut a = SelectorModel::default();
+        let mut b = SelectorModel::default();
+        teach(&mut a, 4, 4);
+        teach(&mut b, 4, 4);
+        // Any number of inspections…
+        for _ in 0..100 {
+            assert_eq!(a.peek(1 << 20, &ALL), 4, "peek answers with the best arm");
+        }
+        // …must leave the decision sequence identical to an
+        // uninspected twin (same sweep, same probe ticks).
+        let pa: Vec<usize> = (0..50).map(|_| a.pick(1 << 20, &ALL)).collect();
+        let pb: Vec<usize> = (0..50).map(|_| b.pick(1 << 20, &ALL)).collect();
+        assert_eq!(pa, pb, "peeks burned exploration state");
+        // Mid-sweep, the peek reports the sweep candidate.
+        let fresh = SelectorModel::default();
+        assert_eq!(fresh.peek(1 << 20, &ALL), 0);
+    }
+
+    #[test]
+    fn decay_forces_a_full_resweep() {
+        let mut m = SelectorModel::default();
+        teach(&mut m, 2, 4);
+        for _ in 0..50 {
+            m.pick(1 << 20, &ALL);
+        }
+        m.decay();
+        let mut seen = [false; NARMS];
+        for _ in 0..NARMS as u32 * MIN_PROBE {
+            let a = m.pick(1 << 20, &ALL);
+            seen[a] = true;
+            m.observe(a, 1 << 20, 1 << 20);
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every arm must be re-probed within arms x MIN_PROBE observed transfers of a decay"
+        );
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut m = SelectorModel::default();
+        // 128 KiB: arm 0 fast; 4 MiB: arm 4 fast.
+        for _ in 0..4 {
+            for arm in 0..NARMS {
+                m.observe(arm, 128 << 10, if arm == 0 { 1 << 17 } else { 1 << 19 });
+                m.observe(arm, 4 << 20, if arm == 4 { 1 << 22 } else { 1 << 24 });
+            }
+        }
+        let small: Vec<usize> = (0..40).map(|_| m.pick(128 << 10, &ALL)).collect();
+        let large: Vec<usize> = (0..40).map(|_| m.pick(4 << 20, &ALL)).collect();
+        assert_eq!(*small.last().unwrap(), 0);
+        assert_eq!(*large.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn arm_table_is_consistent() {
+        for (i, &a) in ARMS.iter().enumerate() {
+            assert_eq!(arm_of(a), Some(i));
+        }
+        assert_eq!(arm_of(LmtSelect::Dynamic), None);
+        assert_eq!(arm_of(LmtSelect::Striped { rails: 1 }), None);
+    }
+}

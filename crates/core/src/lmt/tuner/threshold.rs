@@ -155,6 +155,18 @@ impl CrossoverModel {
     pub fn learned(&self) -> Option<u64> {
         (self.published != 0).then_some(self.published)
     }
+
+    /// Placement-change decay: every cell's sample count is reset (its
+    /// bandwidth EWMA survives as a prior) and the smoothed estimate
+    /// dropped, so the published threshold holds steady as a prior but
+    /// only fresh samples under the new placement can move it — and
+    /// they face no stale-majority EWMA inertia when they do.
+    pub fn decay(&mut self) {
+        for c in self.copy.iter_mut().chain(self.offload.iter_mut()) {
+            c.n = 0;
+        }
+        self.smoothed_log2 = None;
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,15 @@ pub enum PktKind {
         /// concurrent with this one (1 = point-to-point); see
         /// `NemesisConfig::collective_hint`.
         concurrency: u32,
+        /// The learned backend selector arm that chose this transfer's
+        /// backend (`None` under rule-based resolution). The receiver
+        /// echoes it into the arm's reward at completion — the reward
+        /// must credit the *chosen* arm even when the wire degraded
+        /// (a quarantined stripe composes fewer rails than the arm
+        /// names), and the receiver's elapsed time is the honest
+        /// transfer cost (the sender's RTS→DONE span also counts
+        /// notification latency the protocol overlaps away).
+        arm: Option<u8>,
     },
     /// Transfer finished; the sender may release resources (KNEM).
     Done { msg_id: u64 },

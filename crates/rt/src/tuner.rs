@@ -177,6 +177,141 @@ impl RtPairTune {
     }
 }
 
+/// Arms of the real-thread backend selector, in probe order — the rt
+/// mirror of `nemesis_core::lmt::tuner::selector::ARMS` over the rt
+/// mechanism families (no pipe variants on the host stack; `Striped(1)`
+/// is CMA with extra bookkeeping and therefore not an arm).
+pub const RT_SELECTOR_ARMS: usize = 7;
+
+/// Selector size classes cover 2^14 (16 KiB, just below the rt
+/// eager/rendezvous switchover) .. 2^(14+7) = 2 MiB+.
+const SEL_CLASS_BASE: u32 = 14;
+const SEL_NCLASSES: usize = 8;
+const SEL_MIN_PROBE: u32 = 2;
+const SEL_PROBE_START: u64 = 16;
+const SEL_PROBE_CAP: u64 = 1024;
+
+fn sel_class_of(bytes: usize) -> usize {
+    let lg = if bytes == 0 { 0 } else { bytes.ilog2() };
+    (lg.saturating_sub(SEL_CLASS_BASE) as usize).min(SEL_NCLASSES - 1)
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SelCell {
+    /// EWMA throughput in bytes per nanosecond.
+    bw: f64,
+    n: u32,
+    picked: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SelClass {
+    cells: [SelCell; RT_SELECTOR_ARMS],
+    tick: u64,
+    next_probe: u64,
+    probe_interval: u64,
+    probe_cursor: usize,
+    /// Remaining repeats of the current probe (streaks of two — the
+    /// second sample measures the mechanism warm).
+    probe_streak: u8,
+    incumbent: usize,
+}
+
+impl Default for SelClass {
+    fn default() -> Self {
+        Self {
+            cells: [SelCell::default(); RT_SELECTOR_ARMS],
+            tick: 0,
+            next_probe: 0,
+            probe_interval: SEL_PROBE_START,
+            probe_cursor: 0,
+            probe_streak: 0,
+            incumbent: usize::MAX,
+        }
+    }
+}
+
+/// The learned backend selector of one directed rank pair — the rt
+/// mirror of the simulated stack's per-(pair, size-class) bandit:
+/// sweep every arm [`SEL_MIN_PROBE`] times, then exploit the best
+/// wall-clock bandwidth EWMA with exponentially-spaced minority probes.
+/// Deterministic in its decision sequence (the measured rewards are
+/// wall-clock, the schedule is not randomized).
+#[derive(Debug, Default)]
+pub struct RtPairSelector {
+    classes: Mutex<[SelClass; SEL_NCLASSES]>,
+}
+
+impl RtPairSelector {
+    /// Pick the arm for one `len`-byte transfer.
+    pub fn pick(&self, len: usize) -> usize {
+        let mut classes = self.classes.lock();
+        let s = &mut classes[sel_class_of(len)];
+        s.tick += 1;
+        // Depth-first sweep: back-to-back probes per arm, so the second
+        // sample measures the mechanism warm (the provisional first
+        // eats the cold-start; see the core selector for the
+        // rationale).
+        if let Some(arm) = (0..RT_SELECTOR_ARMS)
+            .find(|&a| s.cells[a].n < SEL_MIN_PROBE && s.cells[a].picked < 2 * SEL_MIN_PROBE)
+        {
+            s.cells[arm].picked += 1;
+            return arm;
+        }
+        if s.probe_streak > 0 {
+            s.probe_streak -= 1;
+            s.cells[s.probe_cursor].picked += 1;
+            return s.probe_cursor;
+        }
+        if s.next_probe == 0 {
+            s.next_probe = s.tick + s.probe_interval;
+        } else if s.tick >= s.next_probe {
+            s.probe_interval = (s.probe_interval * 2).min(SEL_PROBE_CAP);
+            s.next_probe = s.tick + s.probe_interval;
+            s.probe_cursor = (s.probe_cursor + 1) % RT_SELECTOR_ARMS;
+            s.probe_streak = 1;
+            s.cells[s.probe_cursor].picked += 1;
+            return s.probe_cursor;
+        }
+        let best = (0..RT_SELECTOR_ARMS)
+            .max_by(|&a, &b| s.cells[a].bw.total_cmp(&s.cells[b].bw))
+            .unwrap_or(0);
+        let inc = s.incumbent;
+        if inc >= RT_SELECTOR_ARMS || s.cells[best].bw > s.cells[inc].bw * HYSTERESIS {
+            s.incumbent = best;
+        }
+        s.cells[s.incumbent].picked += 1;
+        s.incumbent
+    }
+
+    /// Fold one completed transfer's wall-clock bandwidth into the
+    /// arm's cell. The first sample per arm is provisional — fully
+    /// replaced by the second — because a mechanism's first use pays
+    /// cold-start costs (thread wakeup, ring creation, cache state)
+    /// that would otherwise dominate the EWMA and mis-rank the arm.
+    pub fn observe(&self, arm: usize, bytes: usize, nanos: u64) {
+        if arm >= RT_SELECTOR_ARMS || bytes == 0 || nanos == 0 {
+            return;
+        }
+        let mut classes = self.classes.lock();
+        let cell = &mut classes[sel_class_of(bytes)].cells[arm];
+        let bw = bytes as f64 / nanos as f64;
+        cell.bw = if cell.n <= 1 {
+            bw
+        } else {
+            ALPHA * bw + (1.0 - ALPHA) * cell.bw
+        };
+        cell.n += 1;
+    }
+
+    /// The arm's `(bandwidth EWMA, samples)` in the class containing
+    /// `bytes` (diagnostics and tests).
+    pub fn cell(&self, bytes: usize, arm: usize) -> (f64, u32) {
+        let c = self.classes.lock()[sel_class_of(bytes)].cells[arm.min(RT_SELECTOR_ARMS - 1)];
+        (c.bw, c.n)
+    }
+}
+
 /// The per-run tuner: one [`RtPairTune`] per directed rank pair.
 #[derive(Debug)]
 pub struct RtTuner {
@@ -251,6 +386,40 @@ mod tests {
         );
         assert_eq!(t.learned_chunk(0, 1), None);
         assert_eq!(t.pair(0, 1).samples(), 0);
+    }
+
+    #[test]
+    fn selector_sweeps_then_converges() {
+        let s = RtPairSelector::default();
+        let mut seen = [0u32; RT_SELECTOR_ARMS];
+        for _ in 0..RT_SELECTOR_ARMS as u32 * SEL_MIN_PROBE {
+            let a = s.pick(1 << 20);
+            seen[a] += 1;
+            // Arm 2 is twice as fast as everyone else.
+            s.observe(a, 1 << 20, if a == 2 { 500_000 } else { 1_000_000 });
+        }
+        assert_eq!(seen, [SEL_MIN_PROBE; RT_SELECTOR_ARMS], "sweep coverage");
+        let picks: Vec<usize> = (0..100).map(|_| s.pick(1 << 20)).collect();
+        let minority = picks.iter().filter(|&&a| a != 2).count();
+        assert!(minority <= 4, "probes must be rare, got {minority}/100");
+        assert_eq!(*picks.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn selector_classes_are_independent() {
+        let s = RtPairSelector::default();
+        for _ in 0..SEL_MIN_PROBE {
+            for a in 0..RT_SELECTOR_ARMS {
+                s.pick(32 << 10);
+                s.pick(1 << 20);
+                s.observe(a, 32 << 10, if a == 0 { 1_000 } else { 9_000 });
+                s.observe(a, 1 << 20, if a == 3 { 1_000 } else { 9_000 });
+            }
+        }
+        let small: Vec<usize> = (0..30).map(|_| s.pick(32 << 10)).collect();
+        let large: Vec<usize> = (0..30).map(|_| s.pick(1 << 20)).collect();
+        assert_eq!(*small.last().unwrap(), 0);
+        assert_eq!(*large.last().unwrap(), 3);
     }
 
     #[test]

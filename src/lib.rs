@@ -58,6 +58,18 @@ pub fn rt_lmt_from(lmt: core::LmtSelect) -> rt::RtLmt {
     }
 }
 
+/// Config-aware variant of [`rt_lmt_from`]: a `Dynamic` selection that
+/// resolves through the learned backend selector maps onto the rt
+/// stack's own learned meta-backend (per-pair bandit over the rt
+/// mechanisms), so both stacks learn the choice when so configured.
+pub fn rt_lmt_for(cfg: &core::NemesisConfig) -> rt::RtLmt {
+    if cfg.lmt == core::LmtSelect::Dynamic && cfg.backend == core::BackendSelect::LearnedBackend {
+        rt::RtLmt::Learned
+    } else {
+        rt_lmt_from(cfg.lmt)
+    }
+}
+
 /// Bridge the simulated stack's configuration into the real-thread
 /// runtime: the two stacks deliberately do not depend on each other, so
 /// the shared knobs (cell sizing, backoff spin cap, chunk schedule)
@@ -114,6 +126,21 @@ mod tests {
             rt_lmt_from(core::LmtSelect::ShmCopy),
             rt::RtLmt::DoubleBuffer
         );
+        // Dynamic + the learned selector bridges onto the rt learned
+        // meta-backend; rule-based Dynamic keeps the single-copy
+        // default.
+        let learned_cfg = core::NemesisConfig {
+            lmt: core::LmtSelect::Dynamic,
+            backend: core::BackendSelect::LearnedBackend,
+            ..core::NemesisConfig::default()
+        };
+        assert_eq!(rt_lmt_for(&learned_cfg), rt::RtLmt::Learned);
+        let dynamic_cfg = core::NemesisConfig {
+            lmt: core::LmtSelect::Dynamic,
+            backend: core::BackendSelect::Dynamic,
+            ..core::NemesisConfig::default()
+        };
+        assert_eq!(rt_lmt_for(&dynamic_cfg), rt::RtLmt::Direct);
         // And the bridged config actually runs the rt runtime.
         rt::run_rt_cfg(2, rt::RtLmt::Direct, rtc, |comm| {
             if comm.rank() == 0 {

@@ -13,7 +13,8 @@ use parking_lot::Mutex;
 
 use nemesis::core::lmt::{ALL_SELECTS, ALL_STRIPED};
 use nemesis::core::{
-    ChunkScheduleSelect, LmtSelect, Nemesis, NemesisConfig, ThresholdSelect, VectorLayout,
+    BackendSelect, ChunkScheduleSelect, LmtSelect, Nemesis, NemesisConfig, ThresholdSelect,
+    VectorLayout,
 };
 use nemesis::kernel::Os;
 use nemesis::rt::{
@@ -203,15 +204,80 @@ fn sim_full_backend_matrix() {
     }
 }
 
-/// The rt mirror of the matrix: every real-thread backend (incl. CMA
-/// and striped over 1–4 rails) × boundary payload sizes × {fixed,
-/// learned} chunk schedules.
+/// The learned backend selector cell of the matrix: `Dynamic` resolved
+/// through the per-(pair, size-class) bandit (`BackendSelect::
+/// LearnedBackend`), stacked with the learned threshold and chunk
+/// schedule, must meet the same byte-identity contract across enough
+/// back-to-back mixed-size transfers that the selector's exploration
+/// sweep crosses *every* arm — including the striped meta-backends —
+/// mid-stream.
+#[test]
+fn sim_learned_backend_selector_meets_parity() {
+    let eager_max = NemesisConfig::default().eager_max;
+    let cfg = NemesisConfig {
+        threshold: ThresholdSelect::Learned,
+        chunk_schedule: ChunkScheduleSelect::Learned,
+        backend: BackendSelect::LearnedBackend,
+        ..NemesisConfig::with_lmt(LmtSelect::Dynamic)
+    };
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
+    let nem2 = Arc::clone(&nem);
+    // 20 rendezvous-sized transfers: the 8-arm sweep (2 probes per arm)
+    // plus exploitation, every payload verified; a few eager-sized
+    // messages ride along between them.
+    let sizes: Vec<u64> = (0..20)
+        .map(|i| (100 << 10) + ((i as u64 * 37) << 10) % (400 << 10))
+        .chain([1u64, eager_max])
+        .collect();
+    run_simulation(machine, &[0, 4], move |p| {
+        let comm = nem2.attach(p);
+        let os = comm.os();
+        let max = 1u64 << 20;
+        let buf = os.alloc(comm.rank(), max);
+        for (i, &len) in sizes.iter().enumerate() {
+            if comm.rank() == 0 {
+                os.with_data_mut(comm.proc(), buf, |d| {
+                    for (j, b) in d[..len as usize].iter_mut().enumerate() {
+                        *b = pattern(j ^ i);
+                    }
+                });
+                os.touch_write(comm.proc(), buf, 0, len);
+                comm.send(1, i as i32, buf, 0, len);
+            } else {
+                comm.recv(Some(0), Some(i as i32), buf, 0, len);
+                let got = os.read_bytes(comm.proc(), buf, 0, len);
+                for (j, &b) in got.iter().enumerate() {
+                    assert_eq!(b, pattern(j ^ i), "learned-backend: msg {i} byte {j}");
+                }
+            }
+        }
+    });
+    assert_eq!(os.knem_live_cookies(), 0, "learned-backend: cookie leak");
+    assert_eq!(os.knem_pinned_pages(), 0, "learned-backend: pin leak");
+    assert_eq!(os.cma_live_windows(), 0, "learned-backend: window leak");
+    // The selector actually explored: the sender recorded arm rewards.
+    let tuner = nem
+        .policy()
+        .tuner()
+        .expect("learned backend carries a tuner");
+    assert!(tuner.snapshot(0, 1).samples > 0);
+}
+
+/// The rt mirror of the matrix: every real-thread backend (incl. CMA,
+/// striped over 1–4 rails, and the learned meta-backend) × boundary
+/// payload sizes × {fixed, learned} chunk schedules.
 #[test]
 fn rt_full_backend_matrix() {
     let eager_max = nemesis::rt::comm::EAGER_MAX;
     let sizes = [0usize, 1, 257, eager_max, eager_max + 1, 300 << 10];
     for schedule in [RtChunkScheduleSelect::Fixed, RtChunkScheduleSelect::Learned] {
-        for lmt in ALL_RT_LMTS.into_iter().chain(ALL_RT_STRIPED) {
+        for lmt in ALL_RT_LMTS
+            .into_iter()
+            .chain(ALL_RT_STRIPED)
+            .chain([nemesis::rt::RtLmt::Learned])
+        {
             let cfg = RtConfig {
                 chunk_schedule: schedule,
                 ..RtConfig::default()

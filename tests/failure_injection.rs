@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use nemesis::core::{Comm, KnemSelect, LmtSelect, Nemesis, NemesisConfig};
+use nemesis::core::{BackendSelect, Comm, KnemSelect, LmtSelect, Nemesis, NemesisConfig};
 use nemesis::kernel::{Iov, KnemFlags, Os};
 use nemesis::sim::{run_simulation, Machine, MachineConfig};
 
@@ -221,6 +221,77 @@ fn striped_rail_failure_fails_over_and_quarantines_the_rail() {
     assert_eq!(os.knem_live_cookies(), 0, "aborted rail leaked its cookie");
     assert_eq!(os.knem_pinned_pages(), 0, "aborted rail leaked a pin");
     assert_eq!(os.cma_live_windows(), 0, "anchor window leaked");
+}
+
+/// A rail kind quarantined by the striped fault path is also *demoted
+/// by the learned backend selector*: the arm built on that mechanism
+/// (here KNEM) is banned from re-pick until the selector's decay
+/// window expires, then becomes eligible for re-probing again.
+#[test]
+fn quarantined_rail_kind_is_demoted_by_the_selector() {
+    use nemesis::core::lmt::tuner::selector::{arm_of, DEMOTE_WINDOW, NARMS};
+    use nemesis::core::RailKind;
+    let knem_arm = LmtSelect::Knem(KnemSelect::Auto);
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Dynamic);
+    cfg.backend = BackendSelect::LearnedBackend;
+    cfg.stripe_fault_rail = Some(1); // the KNEM/I-OAT rail errors on first use
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
+    let nem2 = Arc::clone(&nem);
+    // Enough rendezvous sends that the selector's exploration sweep
+    // reaches the striped arms: their KNEM rail then faults, the kind
+    // is quarantined, and every payload still lands intact.
+    run_simulation(machine, &[0, 4], move |p| {
+        let comm = nem2.attach(p);
+        let os = comm.os();
+        let me = comm.rank();
+        let len = 1 << 20;
+        let buf = os.alloc(me, len);
+        for i in 0..20u8 {
+            if me == 0 {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(i + 1));
+                comm.send(1, i as i32, buf, 0, len);
+            } else {
+                comm.recv(Some(0), Some(i as i32), buf, 0, len);
+                os.with_data(comm.proc(), buf, |d| {
+                    assert!(d.iter().all(|&b| b == i + 1), "msg {i} corrupt")
+                });
+            }
+        }
+    });
+    assert_eq!(
+        nem.failed_rails(0, 1),
+        vec![RailKind::KnemIoat.code()],
+        "the errored rail kind must be quarantined"
+    );
+    let tuner = nem.policy().tuner().expect("learned backend has a tuner");
+    assert!(
+        tuner.arm_banned(0, 1, knem_arm),
+        "the quarantined kind's arm must be demoted"
+    );
+    // No re-pick while banned; after the decay window the arm is
+    // eligible again (re-probing may then try the mechanism afresh).
+    let all = [true; NARMS];
+    let mut steps = 0u64;
+    while tuner.arm_banned(0, 1, knem_arm) {
+        let sel = tuner.select_backend(0, 1, 1 << 20, &all);
+        assert_ne!(
+            arm_of(sel),
+            arm_of(knem_arm),
+            "demoted arm re-picked after {steps} decisions (window {DEMOTE_WINDOW})"
+        );
+        steps += 1;
+        assert!(steps <= DEMOTE_WINDOW + 1, "ban never expired");
+    }
+    assert!(steps > 0, "the ban must cover at least one decision");
+    assert!(
+        !tuner.arm_banned(0, 1, knem_arm),
+        "window expiry re-opens the arm"
+    );
+    assert_eq!(os.knem_live_cookies(), 0);
+    assert_eq!(os.knem_pinned_pages(), 0);
+    assert_eq!(os.cma_live_windows(), 0);
 }
 
 /// A configured backend that is unavailable for the peer is a *typed*

@@ -9,15 +9,15 @@ use nemesis::workloads::imb::{alltoall_bench, pingpong_bench};
 use nemesis::workloads::nas::{run_nas, NasClass, NasKernel};
 
 fn pp(lmt: LmtSelect, pl: Placement, size: u64) -> f64 {
-    pingpong_bench(
-        MachineConfig::xeon_e5345(),
-        NemesisConfig::with_lmt(lmt),
-        pl,
-        size,
-        5,
-        2,
-    )
-    .throughput_mib_s
+    // Pin the rule-based blended resolution: this suite asserts the
+    // §3.5 rules themselves (the learned selector has its own
+    // convergence suite in tests/scenario_sweep.rs, and at 5 reps it
+    // would still be mid-sweep under NEMESIS_BACKEND=learned).
+    let cfg = NemesisConfig {
+        backend: nemesis::core::BackendSelect::Dynamic,
+        ..NemesisConfig::with_lmt(lmt)
+    };
+    pingpong_bench(MachineConfig::xeon_e5345(), cfg, pl, size, 5, 2).throughput_mib_s
 }
 
 /// §4.1 / Figure 3: single-copy vmsplice beats the two-copy writev

@@ -138,6 +138,7 @@ fn unequal_rail_speeds_still_reassemble_byte_identically() {
                         0,
                         1,
                         &TransferSample {
+                            rail: None,
                             backend: "seed",
                             class,
                             placement: Placement::DifferentSocket,
