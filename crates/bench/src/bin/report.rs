@@ -3,11 +3,13 @@
 //! trajectory can be tracked against across PRs.
 //!
 //! ```text
-//! report [--out PATH] [--quick]
+//! report [--out PATH] [--quick] [--scaling-only]
 //! ```
 //!
-//! * `--out PATH` — where to write the JSON (default `BENCH_5.json`).
+//! * `--out PATH` — where to write the JSON (default `BENCH_6.json`).
 //! * `--quick` — CI smoke mode: tiny repetition counts, same shape.
+//! * `--scaling-only` — emit only the `rank_scaling` section (the
+//!   seconds-scale CI lane for the scale-out acceptance bar).
 //!
 //! Sections (the first four keep the `BENCH_3.json` shape, so the
 //! perf trajectory stays comparable across PRs):
@@ -41,6 +43,12 @@
 //!   policy and the best fixed backend, at 64 B / 4 KiB / 1 MiB on
 //!   both simulated parts. The acceptance bar: converged learned
 //!   selection ≥ 0.95× the best fixed backend at every size.
+//! * `rank_scaling` — the scale-out story: one fixed bursty MMPP
+//!   workload (8 active ranks, 8 directed pairs, rendezvous-sized
+//!   messages) replayed inside universes declared for 8/64/256 ranks.
+//!   Host ns per progress-engine poll must stay flat in the universe
+//!   size (256-rank ≤ 1.2× the 8-rank cost) and resident tuner cells
+//!   must track touched pairs, not ranks².
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -57,6 +65,7 @@ use nemesis_rt::{
 use nemesis_sim::topology::Placement;
 use nemesis_sim::{run_simulation, Machine, MachineConfig};
 use nemesis_workloads::imb::pingpong_bench;
+use nemesis_workloads::{replay_on, Trace};
 use parking_lot::Mutex;
 
 struct Cfg {
@@ -356,16 +365,110 @@ fn sim_pingpong_cfg(
     pingpong_bench(mcfg, cfg, Placement::DifferentSocket, size, reps, warm).throughput_mib_s
 }
 
+/// One point of the rank-scaling sweep: a fixed bursty MMPP workload —
+/// 8 active ranks forming 8 directed pairs, 256 KiB (rendezvous)
+/// messages — replayed inside a universe declared for `universe` ranks
+/// under the learned threshold/chunk policy. Everything except the
+/// universe size is held constant, so any growth in the returned
+/// (host ns per progress poll, polls, resident tuner cells) is
+/// scale-out cost: the doorbell-gated engine and lazy tuner should
+/// keep the first flat and the last at touched-pairs.
+fn rank_scaling_probe(universe: usize, steps: u32) -> (f64, u64, usize) {
+    let pairs: Vec<(usize, usize)> = (0..4)
+        .flat_map(|k| [(2 * k, 2 * k + 1), (2 * k + 1, 2 * k)])
+        .collect();
+    let trace = Trace::mmpp(8, &pairs, steps, 256 << 10, 0.15, 0.25, 1.2, 17);
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let cfg = NemesisConfig {
+        threshold: ThresholdSelect::Learned,
+        chunk_schedule: ChunkScheduleSelect::Learned,
+        ..NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto))
+    };
+    let nem = Nemesis::new(os, universe, cfg);
+    let placements: Vec<usize> = (0..8).collect();
+    let t0 = Instant::now();
+    let (_, polls) = replay_on(Arc::clone(&machine), &nem, &placements, &trace);
+    let host_ns = t0.elapsed().as_nanos() as f64;
+    let resident = nem.policy().resident_pairs().unwrap_or(0);
+    (host_ns / polls.max(1) as f64, polls, resident)
+}
+
+/// The `rank_scaling` section (always the report's last section — no
+/// trailing comma). Host wall-clock per poll is noisy, so each point
+/// takes the best of a few repetitions (min is the right statistic for
+/// a cost floor).
+fn emit_rank_scaling(json: &mut String, quick: bool) {
+    let scale_steps: u32 = if quick { 24 } else { 96 };
+    let scale_reps = if quick { 2 } else { 4 };
+    let _ = writeln!(json, "  \"rank_scaling\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"MMPP bursty: 8 active ranks, 8 directed pairs, 256 KiB rendezvous\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"compared_against\": \"BENCH_4.json (last committed artifact)\","
+    );
+    let universes = [8usize, 64, 256];
+    let mut ns_at = [0f64; 3];
+    let _ = writeln!(json, "    \"universe_ranks\": {{");
+    for (ui, &u) in universes.iter().enumerate() {
+        eprintln!("[report] rank scaling at {u} simulated ranks…");
+        let mut best = f64::INFINITY;
+        let (mut polls, mut resident) = (0u64, 0usize);
+        for _ in 0..scale_reps {
+            let (ns, p, r) = rank_scaling_probe(u, scale_steps);
+            if ns < best {
+                (best, polls, resident) = (ns, p, r);
+            }
+        }
+        ns_at[ui] = best;
+        let comma = if ui + 1 < universes.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      \"{u}\": {{ \"host_ns_per_poll\": {best:.1}, \"polls\": {polls}, \
+             \"resident_tuner_cells\": {resident}, \"pair_matrix_cells\": {} }}{comma}",
+            u * u
+        );
+    }
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(
+        json,
+        "    \"poll_cost_256_over_8\": {:.3}",
+        ns_at[2] / ns_at[0]
+    );
+    let _ = writeln!(json, "  }}");
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut quick = false;
+    let mut scaling_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--quick" => quick = true,
-            other => panic!("unknown argument {other:?} (expected --out/--quick)"),
+            "--scaling-only" => scaling_only = true,
+            other => {
+                panic!("unknown argument {other:?} (expected --out/--quick/--scaling-only)")
+            }
         }
+    }
+    // The CI smoke lane: just the rank-scaling sweep, bounded to
+    // seconds, so the scale-out acceptance bar is checked on every push
+    // without paying for the wall-clock bandwidth sections.
+    if scaling_only {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"issue\": 6,");
+        let _ = writeln!(json, "  \"quick\": {quick},");
+        emit_rank_scaling(&mut json, quick);
+        json.push_str("}\n");
+        std::fs::write(&out_path, &json).expect("write report");
+        println!("{json}");
+        eprintln!("[report] wrote {out_path}");
+        return;
     }
     let cfg = if quick {
         Cfg {
@@ -384,7 +487,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"issue\": 5,");
+    let _ = writeln!(json, "  \"issue\": 6,");
     let _ = writeln!(json, "  \"quick\": {quick},");
 
     // --- queue message rates -------------------------------------------------
@@ -732,7 +835,9 @@ fn main() {
         );
     }
     let _ = writeln!(json, "    }}");
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }},");
+
+    emit_rank_scaling(&mut json, quick);
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write report");

@@ -104,6 +104,15 @@ pub struct Nemesis {
     failed_rails: Mutex<std::collections::HashSet<(usize, usize, u8)>>,
 }
 
+impl Drop for Nemesis {
+    /// Universe teardown writes the learned state back to the
+    /// configured snapshot file, closing the persistence loop the
+    /// construction-time load opens (`NEMESIS_TUNER_SNAPSHOT`).
+    fn drop(&mut self) {
+        self.save_tuner_snapshot();
+    }
+}
+
 impl Nemesis {
     /// Build the universe (allocates the shared segment). Call before
     /// `run_simulation`; each process then calls [`Nemesis::attach`].
@@ -145,6 +154,7 @@ impl Nemesis {
             concurrency: Cell::new(1),
             coll_seq: Cell::new(0),
             scratch: Cell::new(None),
+            polls: Cell::new(0),
         }
     }
 
@@ -152,6 +162,19 @@ impl Nemesis {
     /// learned state through it).
     pub fn policy(&self) -> &crate::lmt::TransferPolicy {
         &self.policy
+    }
+
+    /// Persist the learned state to
+    /// [`tuner_snapshot_path`](NemesisConfig::tuner_snapshot_path) now
+    /// (no-op without a path or a tuner). Teardown calls this; exposed
+    /// for checkpointing mid-run.
+    pub fn save_tuner_snapshot(&self) {
+        if let (Some(path), Some(snap)) = (
+            self.cfg.tuner_snapshot_path.as_ref(),
+            self.policy.export_snapshot(),
+        ) {
+            let _ = std::fs::write(path, snap);
+        }
     }
 
     /// Cache relation of two *ranks* (unattached ranks count as
@@ -366,6 +389,9 @@ pub struct Comm<'a> {
     pub(crate) coll_seq: Cell<i32>,
     /// Lazily-allocated one-page scratch buffer (barrier tokens etc.).
     pub(crate) scratch: Cell<Option<BufId>>,
+    /// Lifetime count of [`Comm::progress`] calls (scaling diagnostics:
+    /// benches divide host wall-clock by this to get cost per poll).
+    pub(in crate::comm) polls: Cell<u64>,
 }
 
 impl<'a> Comm<'a> {
@@ -382,6 +408,13 @@ impl<'a> Comm<'a> {
     /// The simulated process handle.
     pub fn proc(&self) -> &'a Proc {
         self.p
+    }
+
+    /// How many times [`Comm::progress`] has run on this endpoint.
+    /// Scaling benches divide host wall-clock by this to report a
+    /// per-poll cost that is independent of how often callers spin.
+    pub fn polls(&self) -> u64 {
+        self.polls.get()
     }
 
     /// The OS (for buffer management).
@@ -581,6 +614,7 @@ impl<'a> Comm<'a> {
                 off,
                 cap,
                 layout,
+                seq: 0,
             }),
         }
         Request::new(req)

@@ -1,31 +1,56 @@
-//! The polling progress engine: queue drain, envelope routing and
-//! matching, and bounded stepping of every active rendezvous transfer.
+//! The polling progress engine: doorbell-gated queue drain, sharded
+//! envelope routing and matching, and bounded stepping of the active
+//! rendezvous op shards.
+//!
+//! Per-poll cost is O(active): the shared-queue doorbell bitmap decides
+//! whether the queue is touched at all, the pending-op containers are
+//! sharded by peer (only shards with traffic are visited, and the FIFO
+//! head of a shard is its first entry — no per-poll head-election map),
+//! and DONE routing is an O(log active-in-shard) indexed lookup instead
+//! of a scan of every pending send.
 
 use nemesis_kernel::BufId;
 
 use crate::shm::{Envelope, PktKind};
 use crate::vector::{unpack, VectorLayout};
 
-use super::state::{pair_heads, EagerInflight, ReqState};
+use super::state::{EagerInflight, ReqState};
 use super::{Comm, WATCHDOG_PS};
 
 impl Comm<'_> {
     /// One pass of the progress engine; returns whether any work was done.
     pub fn progress(&self) -> bool {
         let me = self.rank();
+        self.polls.set(self.polls.get() + 1);
         let mut did = false;
-        // 1. Drain the receive queue — at most `progress_batch`
-        // envelopes per poll, paying one control-line update for the
-        // whole batch (`charge_dequeue`). Bounding the batch keeps each
-        // pass fair to the transfer-stepping phases below; whatever
-        // remains is picked up on the next poll.
-        let envs: Vec<Envelope> = {
+        // 1. Doorbell-gated drain — the poll reads the doorbell words
+        // (cached while idle; see `ShmSegment::charge_doorbell_poll`)
+        // and only touches the queue when a sender rang. At most
+        // `progress_batch` envelopes per poll, paying one control-line
+        // update for the whole batch (`charge_dequeue`); bounding the
+        // batch keeps each pass fair to the transfer-stepping phases
+        // below, and a partial drain leaves the bells set so the next
+        // poll resumes.
+        let (envs, cleared): (Vec<Envelope>, Vec<usize>) = {
             let mut sh = self.nem.sh.lock();
-            let q = &mut sh.queues[me];
-            let n = q.len().min(self.nem.policy.progress_batch());
-            q.drain(..n).collect()
+            if sh.doorbell_active(me) {
+                let q = &mut sh.queues[me];
+                let n = q.len().min(self.nem.policy.progress_batch());
+                let envs: Vec<Envelope> = q.drain(..n).collect();
+                let cleared = if sh.queues[me].is_empty() {
+                    sh.clear_doorbell(me)
+                } else {
+                    Vec::new()
+                };
+                (envs, cleared)
+            } else {
+                (Vec::new(), Vec::new())
+            }
         };
-        self.nem.seg.charge_queue_poll(self.p, &self.nem.os);
+        self.nem.seg.charge_doorbell_poll(self.p, &self.nem.os);
+        self.nem
+            .seg
+            .charge_doorbell_clear(self.p, &self.nem.os, &cleared);
         if !envs.is_empty() {
             self.nem
                 .seg
@@ -35,53 +60,67 @@ impl Comm<'_> {
                 self.handle_env(env);
             }
         }
-        // 2. Step active receives (taken out to avoid reborrowing).
-        // Byte-stream wires are per-pair FIFO resources: precompute, for
-        // each pair, the oldest active transfer so only it touches the
-        // shared resource this pass.
+        // 2. Step active receive shards (taken out to avoid
+        // reborrowing). A byte-stream wire is a per-pair FIFO resource:
+        // within a shard the BTreeMap order is msg-id order, so the
+        // first FIFO-needing entry *is* the pair head and only it may
+        // touch the shared resource this pass. Shards are visited in
+        // bitmap order (ascending peer) for determinism.
         let mut recvs = std::mem::take(&mut self.inner.borrow_mut().recvs);
-        let recv_heads = pair_heads(
-            recvs
+        for peer in recvs.active_peers() {
+            let Some(shard) = recvs.shard_mut(peer) else {
+                continue;
+            };
+            let head = shard
                 .iter()
-                .filter(|r| r.op.needs_fifo())
-                .map(|r| (r.t.peer, r.t.msg_id)),
-        );
-        for r in &mut recvs {
-            did |= self.step_recv(r, &recv_heads);
+                .find(|(_, r)| r.op.needs_fifo())
+                .map(|(&id, _)| id);
+            for r in shard.values_mut() {
+                did |= self.step_recv(r, head);
+            }
+            shard.retain(|_, r| !r.done);
         }
+        recvs.sweep_empty();
         {
             let mut inner = self.inner.borrow_mut();
-            recvs.retain(|r| !r.done);
-            recvs.append(&mut inner.recvs); // any added meanwhile (none today)
+            let added = std::mem::take(&mut inner.recvs); // any added meanwhile (none today)
+            recvs.merge(added);
             inner.recvs = recvs;
         }
-        // 3. Step active sends.
+        // 3. Step active send shards.
         let mut sends = std::mem::take(&mut self.inner.borrow_mut().sends);
-        let send_heads = pair_heads(
-            sends
+        for peer in sends.active_peers() {
+            let Some(shard) = sends.shard_mut(peer) else {
+                continue;
+            };
+            let head = shard
                 .iter()
-                .filter(|s| !s.op.completes_on_done())
-                .map(|s| (s.t.peer, s.t.msg_id)),
-        );
-        for s in &mut sends {
-            did |= self.step_send(s, &send_heads);
+                .find(|(_, s)| !s.op.completes_on_done())
+                .map(|(&id, _)| id);
+            for s in shard.values_mut() {
+                did |= self.step_send(s, head);
+            }
+            shard.retain(|_, s| !s.done);
         }
+        sends.sweep_empty();
         {
             let mut inner = self.inner.borrow_mut();
-            sends.retain(|s| !s.done);
-            sends.append(&mut inner.sends);
+            let added = std::mem::take(&mut inner.sends);
+            sends.merge(added);
             inner.sends = sends;
         }
         did
     }
 
     pub(super) fn enqueue(&self, dst: usize, env: Envelope) {
+        let me = self.rank();
         let start = self.p.now();
         loop {
             {
                 let mut sh = self.nem.sh.lock();
                 if sh.queues[dst].len() < self.nem.cfg.queue_slots {
                     sh.queues[dst].push_back(env);
+                    sh.ring_doorbell(dst, me);
                     break;
                 }
             }
@@ -93,6 +132,9 @@ impl Comm<'_> {
             );
         }
         self.nem.seg.charge_enqueue(self.p, &self.nem.os, dst);
+        self.nem
+            .seg
+            .charge_doorbell_ring(self.p, &self.nem.os, dst, me);
         self.p.yield_now();
     }
 
@@ -101,17 +143,23 @@ impl Comm<'_> {
             return self.handle_frag(env);
         }
         if let PktKind::Done { msg_id } = env.kind {
+            // DONEs always come from the transfer's receiver, so the
+            // owning send lives in the shard of `env.src` — an indexed
+            // `(peer, msg_id)` removal, O(log active-in-shard), instead
+            // of a scan over every pending send.
             let matched = {
                 let mut inner = self.inner.borrow_mut();
-                let pos = inner.sends.iter().position(|s| s.t.msg_id == msg_id);
-                match pos {
-                    Some(i) => Some(inner.sends.remove(i)),
+                match inner.sends.remove(env.src, msg_id) {
+                    Some(s) => Some(s),
                     None => {
                         // A per-rail DONE of a striped transfer: offer
-                        // it to the meta-backend parents; the owner
-                        // marks its rail done and completes through its
-                        // own step once every rail has.
-                        let absorbed = inner.sends.iter_mut().any(|s| s.op.absorb_done(msg_id));
+                        // it to the meta-backend parents of the same
+                        // peer; the owner marks its rail done and
+                        // completes through its own step once every
+                        // rail has.
+                        let absorbed = inner.sends.shard_mut(env.src).is_some_and(|shard| {
+                            shard.values_mut().any(|s| s.op.absorb_done(msg_id))
+                        });
                         assert!(absorbed, "DONE for unknown send (msg id {msg_id:#x})");
                         None
                     }
@@ -126,15 +174,10 @@ impl Comm<'_> {
             }
             return;
         }
-        // Eager or RTS: match against posted receives in post order.
-        let matched = {
-            let mut inner = self.inner.borrow_mut();
-            let pos = inner
-                .posted
-                .iter()
-                .position(|pr| Self::env_matches(&env, pr.src, pr.tag));
-            pos.map(|i| inner.posted.remove(i))
-        };
+        // Eager or RTS: match against posted receives in post order
+        // (the source-bucketed set only scans candidates of `env.src`
+        // plus the wildcard list).
+        let matched = self.inner.borrow_mut().posted.take_match(env.src, env.tag);
         match matched {
             Some(pr) => self.deliver_any(env, pr.req, pr.buf, pr.off, pr.cap, pr.layout),
             None => {
@@ -252,23 +295,21 @@ impl Comm<'_> {
             unreachable!()
         };
         let n: u64 = cells.iter().map(|c| c.2).sum();
-        // (a) Later fragment of a message already matched to a receive.
-        let pos = {
+        // (a) Later fragment of a message already matched to a receive
+        // (indexed by `(src, msg_id)` — no scan).
+        let key = (env.src, msg_id);
+        let dst_sub = {
             let inner = self.inner.borrow();
-            inner
-                .eager_in
-                .iter()
-                .position(|f| f.src == env.src && f.msg_id == msg_id)
+            inner.eager_in.get(&key).map(|f| segs_slice(&f.dst, off, n))
         };
-        if let Some(i) = pos {
-            let dst_sub = segs_slice(&self.inner.borrow().eager_in[i].dst, off, n);
+        if let Some(dst_sub) = dst_sub {
             self.eager_deliver(cells, n, &dst_sub);
             let mut inner = self.inner.borrow_mut();
-            let f = &mut inner.eager_in[i];
+            let f = inner.eager_in.get_mut(&key).expect("reassembly vanished");
             f.received += n;
             if f.received == f.total {
                 let req = f.req;
-                inner.eager_in.swap_remove(i);
+                inner.eager_in.remove(&key);
                 inner.reqs[req] = ReqState::Done;
             }
             return;
@@ -305,14 +346,10 @@ impl Comm<'_> {
                 // so re-run matching now.
                 let rematch = {
                     let mut inner = self.inner.borrow_mut();
-                    let e = &inner.unexpected[qi];
-                    let pos = inner
-                        .posted
-                        .iter()
-                        .position(|pr| Self::env_matches(e, pr.src, pr.tag));
-                    pos.map(|pi| {
+                    let (esrc, etag) = (inner.unexpected[qi].src, inner.unexpected[qi].tag);
+                    inner.posted.take_match(esrc, etag).map(|pr| {
                         let env = inner.unexpected.remove(qi).unwrap();
-                        (env, inner.posted.remove(pi))
+                        (env, pr)
                     })
                 };
                 if let Some((env, pr)) = rematch {
@@ -324,14 +361,7 @@ impl Comm<'_> {
         // (c) First fragment: match against posted receives, or start an
         // unexpected reassembly.
         debug_assert_eq!(off, 0, "first fragment must carry offset 0");
-        let matched = {
-            let mut inner = self.inner.borrow_mut();
-            let pos = inner
-                .posted
-                .iter()
-                .position(|pr| Self::env_matches(&env, pr.src, pr.tag));
-            pos.map(|i| inner.posted.remove(i))
-        };
+        let matched = self.inner.borrow_mut().posted.take_match(env.src, env.tag);
         match matched {
             Some(pr) => {
                 assert!(
@@ -345,14 +375,15 @@ impl Comm<'_> {
                 if n == len {
                     inner.reqs[pr.req] = ReqState::Done;
                 } else {
-                    inner.eager_in.push(EagerInflight {
-                        src: env.src,
-                        msg_id,
-                        req: pr.req,
-                        dst,
-                        total: len,
-                        received: n,
-                    });
+                    inner.eager_in.insert(
+                        (env.src, msg_id),
+                        EagerInflight {
+                            req: pr.req,
+                            dst,
+                            total: len,
+                            received: n,
+                        },
+                    );
                 }
             }
             None => {

@@ -16,7 +16,7 @@ use crate::lmt::{self, Step, Transfer};
 use crate::shm::{Envelope, PktKind};
 use crate::vector::{unpack, VectorLayout};
 
-use super::state::{PairHeads, RecvRndv, ReqState, Request, SendRndv};
+use super::state::{RecvRndv, ReqState, Request, SendRndv};
 use super::Comm;
 
 impl Comm<'_> {
@@ -107,13 +107,17 @@ impl Comm<'_> {
                 },
             },
         );
-        self.inner.borrow_mut().sends.push(SendRndv {
-            req,
-            t,
-            op,
-            done: false,
-            staging,
-        });
+        self.inner.borrow_mut().sends.insert(
+            dst,
+            msg_id,
+            SendRndv {
+                req,
+                t,
+                op,
+                done: false,
+                staging,
+            },
+        );
         Request::new(req)
     }
 
@@ -147,17 +151,22 @@ impl Comm<'_> {
             (false, None) => (None, None),
         };
         let op = backend.start_recv(self, &t, &wire, layout.as_ref(), concurrency);
-        self.inner.borrow_mut().recvs.push(RecvRndv {
-            req,
-            t,
-            op,
-            done: false,
-            staging,
-            backend: backend.name(),
-            arm,
-            started: self.p.now(),
-            concurrency,
-        });
+        let (peer, msg_id) = (t.peer, t.msg_id);
+        self.inner.borrow_mut().recvs.insert(
+            peer,
+            msg_id,
+            RecvRndv {
+                req,
+                t,
+                op,
+                done: false,
+                staging,
+                backend: backend.name(),
+                arm,
+                started: self.p.now(),
+                concurrency,
+            },
+        );
     }
 
     /// Mark a rendezvous send complete, recycling its pack staging.
@@ -205,9 +214,10 @@ impl Comm<'_> {
         }
     }
 
-    /// Step one send op; returns whether work was done.
-    pub(super) fn step_send(&self, s: &mut SendRndv, heads: &PairHeads) -> bool {
-        let is_head = heads.get(&s.t.peer) == Some(&s.t.msg_id);
+    /// Step one send op; returns whether work was done. `head` is the
+    /// peer shard's elected FIFO head (the oldest FIFO-needing msg id).
+    pub(super) fn step_send(&self, s: &mut SendRndv, head: Option<u64>) -> bool {
+        let is_head = head == Some(s.t.msg_id);
         match s.op.step(self, &s.t, is_head) {
             Step::Idle => false,
             Step::Progress => true,
@@ -218,9 +228,10 @@ impl Comm<'_> {
         }
     }
 
-    /// Step one recv op; returns whether work was done.
-    pub(super) fn step_recv(&self, r: &mut RecvRndv, heads: &PairHeads) -> bool {
-        let is_head = heads.get(&r.t.peer) == Some(&r.t.msg_id);
+    /// Step one recv op; returns whether work was done. `head` is the
+    /// peer shard's elected FIFO head (the oldest FIFO-needing msg id).
+    pub(super) fn step_recv(&self, r: &mut RecvRndv, head: Option<u64>) -> bool {
+        let is_head = head == Some(r.t.msg_id);
         match r.op.step(self, &r.t, is_head) {
             Step::Idle => false,
             Step::Progress => true,

@@ -1,6 +1,15 @@
 //! Request bookkeeping and per-endpoint protocol state.
+//!
+//! The pending-operation containers are **peer-sharded**: rendezvous
+//! sends/receives live in per-peer ordered shards ([`OpShards`]) with a
+//! doorbell bitmap of active peers, and posted receives are bucketed by
+//! concrete source with a sequence-ordered wildcard list ([`PostedSet`]).
+//! Every routing step (DONE, RTS, envelope matching) therefore touches
+//! only the state of the peer that produced the event — per-poll and
+//! per-envelope cost scale with *active* peers, never with the rank
+//! count.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use nemesis_kernel::{BufId, StatusId};
 
@@ -45,6 +54,80 @@ pub(super) struct PostedRecv {
     pub cap: u64,
     /// Noncontiguous receive layout (`None` = contiguous at `off`).
     pub layout: Option<VectorLayout>,
+    /// Post-order sequence number, assigned by [`PostedSet::push`].
+    /// Matching must honour post order *across* the per-source buckets
+    /// and the wildcard list; comparing head sequence numbers restores
+    /// the global order the old single-list scan got for free.
+    pub seq: u64,
+}
+
+/// Posted receives, bucketed by concrete source rank. Wildcard-source
+/// receives live in their own ordered list; an incoming envelope (whose
+/// source is always concrete) compares the oldest match of its source
+/// bucket against the oldest wildcard match and takes the earlier post.
+/// Matching cost is O(candidates of that source), not O(all posted) —
+/// the scalable-app pattern of one pre-posted receive per possible peer
+/// stops costing O(ranks) per arriving envelope.
+#[derive(Default)]
+pub(super) struct PostedSet {
+    by_src: HashMap<usize, VecDeque<PostedRecv>>,
+    any_src: VecDeque<PostedRecv>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl PostedSet {
+    /// Register a posted receive (assigns its post-order sequence).
+    pub fn push(&mut self, mut pr: PostedRecv) {
+        pr.seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        match pr.src {
+            Some(s) => self.by_src.entry(s).or_default().push_back(pr),
+            None => self.any_src.push_back(pr),
+        }
+    }
+
+    /// Take the oldest posted receive matching an envelope from `src`
+    /// with `tag`, honouring global post order (a posted tag of `None`
+    /// matches anything; the source is matched structurally by bucket).
+    pub fn take_match(&mut self, src: usize, tag: i32) -> Option<PostedRecv> {
+        let tag_ok = |pr: &PostedRecv| pr.tag.is_none_or(|t| t == tag);
+        let src_hit = self
+            .by_src
+            .get(&src)
+            .and_then(|q| q.iter().position(tag_ok).map(|i| (i, q[i].seq)));
+        let any_hit = self
+            .any_src
+            .iter()
+            .position(tag_ok)
+            .map(|i| (i, self.any_src[i].seq));
+        let taken = match (src_hit, any_hit) {
+            (Some((i, s)), Some((j, a))) => {
+                if s < a {
+                    self.by_src.get_mut(&src).unwrap().remove(i)
+                } else {
+                    self.any_src.remove(j)
+                }
+            }
+            (Some((i, _)), None) => self.by_src.get_mut(&src).unwrap().remove(i),
+            (None, Some((j, _))) => self.any_src.remove(j),
+            (None, None) => None,
+        };
+        if taken.is_some() {
+            self.len -= 1;
+            if self.by_src.get(&src).is_some_and(VecDeque::is_empty) {
+                self.by_src.remove(&src);
+            }
+        }
+        taken
+    }
+
+    /// Number of posted receives (diagnostics and tests).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
 }
 
 /// An in-flight rendezvous send: the transfer descriptor plus the
@@ -86,8 +169,6 @@ pub(super) struct RecvRndv {
 /// A matched receive whose fragmented eager payload is still streaming
 /// in (the message was larger than the sender's cell pool).
 pub(super) struct EagerInflight {
-    pub src: usize,
-    pub msg_id: u64,
     pub req: usize,
     /// Destination segments (user buffer blocks).
     pub dst: Vec<(BufId, u64, u64)>,
@@ -95,14 +176,131 @@ pub(super) struct EagerInflight {
     pub received: u64,
 }
 
+/// In-flight rendezvous ops, sharded by peer and indexed by `msg_id`
+/// within each shard. Per-sender msg ids are monotone, so a shard's
+/// `BTreeMap` order *is* FIFO order and its first FIFO-needing entry is
+/// the pair head — no per-poll head-election map. DONE/RTS routing is a
+/// shard lookup + `O(log active-in-shard)` tree probe instead of a
+/// linear scan of every pending op, and the progress engine visits only
+/// shards that exist (one per peer with traffic).
+pub(super) struct OpShards<T> {
+    shards: HashMap<usize, BTreeMap<u64, T>>,
+    /// Doorbell bitmap over peers (bit set ⇔ shard non-empty): one u64
+    /// word covers 64 peers, mirroring the shared-queue doorbell layout.
+    bitmap: Vec<u64>,
+    len: usize,
+}
+
+impl<T> Default for OpShards<T> {
+    fn default() -> Self {
+        Self {
+            shards: HashMap::new(),
+            bitmap: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> OpShards<T> {
+    pub fn insert(&mut self, peer: usize, msg_id: u64, op: T) {
+        let word = peer / 64;
+        if self.bitmap.len() <= word {
+            self.bitmap.resize(word + 1, 0);
+        }
+        self.bitmap[word] |= 1u64 << (peer % 64);
+        let prev = self.shards.entry(peer).or_default().insert(msg_id, op);
+        debug_assert!(
+            prev.is_none(),
+            "duplicate msg id {msg_id:#x} for peer {peer}"
+        );
+        self.len += 1;
+    }
+
+    /// Remove the op `(peer, msg_id)` if present.
+    pub fn remove(&mut self, peer: usize, msg_id: u64) -> Option<T> {
+        let shard = self.shards.get_mut(&peer)?;
+        let op = shard.remove(&msg_id)?;
+        if shard.is_empty() {
+            self.retire_shard(peer);
+        }
+        self.len -= 1;
+        Some(op)
+    }
+
+    /// The peer's shard, if it has pending ops.
+    pub fn shard_mut(&mut self, peer: usize) -> Option<&mut BTreeMap<u64, T>> {
+        self.shards.get_mut(&peer)
+    }
+
+    /// Drop emptied shards, clear their doorbell bits, and refresh the
+    /// count (called after a stepping pass that removed completed ops
+    /// in place).
+    pub fn sweep_empty(&mut self) {
+        let empty: Vec<usize> = self
+            .shards
+            .iter()
+            .filter(|(_, s)| s.is_empty())
+            .map(|(&p, _)| p)
+            .collect();
+        for p in empty {
+            self.retire_shard(p);
+        }
+        self.len = self.shards.values().map(BTreeMap::len).sum();
+    }
+
+    /// Move every op of `other` into `self` (the merge-back after a
+    /// stepping pass took the container out of the `RefCell`).
+    pub fn merge(&mut self, mut other: OpShards<T>) {
+        for (peer, shard) in other.shards.drain() {
+            for (id, op) in shard {
+                self.insert(peer, id, op);
+            }
+        }
+    }
+
+    /// Pending ops across all shards (diagnostics and tests).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Peers whose doorbell bit is set (bitmap scan: one word per 64
+    /// peers, `trailing_zeros` per set bit).
+    pub fn active_peers(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (w, &word) in self.bitmap.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    fn retire_shard(&mut self, peer: usize) {
+        self.shards.remove(&peer);
+        if let Some(w) = self.bitmap.get_mut(peer / 64) {
+            *w &= !(1u64 << (peer % 64));
+        }
+    }
+}
+
 #[derive(Default)]
 pub(super) struct CommInner {
     pub reqs: Vec<ReqState>,
-    pub posted: Vec<PostedRecv>,
+    pub posted: PostedSet,
     pub unexpected: VecDeque<Envelope>,
-    pub sends: Vec<SendRndv>,
-    pub recvs: Vec<RecvRndv>,
-    pub eager_in: Vec<EagerInflight>,
+    pub sends: OpShards<SendRndv>,
+    pub recvs: OpShards<RecvRndv>,
+    /// In-flight fragmented eager receives, keyed by `(src, msg_id)`.
+    pub eager_in: HashMap<(usize, u64), EagerInflight>,
     pub next_msg_id: u64,
     pub status_pool: Vec<StatusId>,
     /// Recycled temporary buffers for unexpected eager payloads, keyed by
@@ -136,17 +334,4 @@ pub(super) fn segs_slice(
     }
     debug_assert_eq!(rem, 0, "segment list shorter than skip+take");
     out
-}
-
-/// Per-peer oldest active transfer: peer rank → minimum msg id.
-pub(super) type PairHeads = std::collections::HashMap<usize, u64>;
-
-pub(super) fn pair_heads(items: impl Iterator<Item = (usize, u64)>) -> PairHeads {
-    let mut m = PairHeads::new();
-    for (peer, id) in items {
-        m.entry(peer)
-            .and_modify(|v| *v = (*v).min(id))
-            .or_insert(id);
-    }
-    m
 }

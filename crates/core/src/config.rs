@@ -264,6 +264,14 @@ pub struct NemesisConfig {
     /// cells persist across universes instead of re-converging from
     /// scratch.
     pub tuner_snapshot: Option<String>,
+    /// Snapshot *file* the learned state persists through: loaded at
+    /// universe construction if the file exists (an explicit
+    /// [`tuner_snapshot`](Self::tuner_snapshot) string wins over the
+    /// file), written back when the universe is torn down. Defaults
+    /// from the `NEMESIS_TUNER_SNAPSHOT` environment variable so a CI
+    /// job or long-running deployment can carry `DMAmin`/chunk/selector
+    /// state across runs without code changes.
+    pub tuner_snapshot_path: Option<String>,
 }
 
 impl Default for NemesisConfig {
@@ -289,8 +297,19 @@ impl Default for NemesisConfig {
             chunk_schedule: ChunkScheduleSelect::default(),
             backend: BackendSelect::from_env(),
             tuner_snapshot: None,
+            tuner_snapshot_path: tuner_snapshot_path_from_env(),
         }
     }
+}
+
+/// The persistence sibling of [`ThresholdSelect::from_env`]: resolve
+/// the default snapshot file from `NEMESIS_TUNER_SNAPSHOT` (unset or
+/// empty = no persistence). Configs that pin `tuner_snapshot_path`
+/// explicitly are unaffected.
+pub fn tuner_snapshot_path_from_env() -> Option<String> {
+    std::env::var("NEMESIS_TUNER_SNAPSHOT")
+        .ok()
+        .filter(|s| !s.is_empty())
 }
 
 impl NemesisConfig {

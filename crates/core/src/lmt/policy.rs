@@ -162,7 +162,9 @@ impl TransferPolicy {
     /// instantiated only when some decision is learned — static
     /// configurations carry no recording overhead at all. A configured
     /// [`NemesisConfig::tuner_snapshot`] warm-starts the tuner with a
-    /// previous universe's learned state.
+    /// previous universe's learned state; failing that, the snapshot
+    /// *file* at [`NemesisConfig::tuner_snapshot_path`] is loaded when
+    /// it exists (the teardown of a prior universe wrote it).
     pub fn from_config(cfg: &NemesisConfig, nprocs: usize) -> Self {
         let learned_backend =
             cfg.backend == BackendSelect::LearnedBackend && cfg.lmt == LmtSelect::Dynamic;
@@ -173,6 +175,12 @@ impl TransferPolicy {
             let t = Tuner::new(nprocs, cfg.eager_max);
             if let Some(snap) = &cfg.tuner_snapshot {
                 t.import_snapshot(snap);
+            } else if let Some(snap) = cfg
+                .tuner_snapshot_path
+                .as_ref()
+                .and_then(|p| std::fs::read_to_string(p).ok())
+            {
+                t.import_snapshot(&snap);
             }
             Arc::new(t)
         });
@@ -326,6 +334,14 @@ impl TransferPolicy {
             Some(tuner) => tuner.rail_bandwidth(src, dst, kind),
             None => 0.0,
         }
+    }
+
+    /// Number of materialized per-pair tuner cells — grows with pairs
+    /// that actually exchanged traffic, not with `nprocs²`. `None`
+    /// under static configurations (no tuner at all). Scaling benches
+    /// assert this against the full pair matrix.
+    pub fn resident_pairs(&self) -> Option<usize> {
+        self.tuner.as_ref().map(|t| t.resident_pairs())
     }
 
     /// Whether any decision is learned (i.e. recording is live).

@@ -21,10 +21,24 @@
 //!   `Learned` [`ChunkSchedule`](crate::lmt::ChunkSchedule).
 //!
 //! **Hot-path contract:** decisions are *reads of cached atomics*
-//! ([`Tuner::dma_min`], [`Tuner::chunk_target`]) — no locks, no
+//! ([`Tuner::dma_min`], [`Tuner::chunk_target`]) — no per-decision
 //! allocation. The models behind them are updated under a small
 //! per-pair mutex, but only at transfer completion (recording), never
-//! on the per-chunk or per-decision path of another transfer.
+//! on the per-chunk or per-decision path of another transfer. Pair
+//! cells are **lazily materialized** on first traffic (an uncontended
+//! read-lock on the pair map plus an `Arc` clone per decision; a
+//! write-lock only on the very first touch of a pair), so resident
+//! tuner state grows with *touched* pairs, never with `nprocs²` —
+//! a 256-rank universe with 8 active pairs holds 8 cells, not 65 536.
+//!
+//! **Placement-keyed priors:** whenever a pair publishes a decision,
+//! the published values are mirrored into one of five per-placement
+//! prior cells (same-core … cross-socket). A fresh pair inherits the
+//! prior for its placement on its first recorded transfer — crossover,
+//! chunk sweet spot, bandwidth EWMAs, and selector cells — so it
+//! warm-starts from its same-placement siblings instead of
+//! re-exploring from scratch. Its own samples then refine (and can
+//! overturn) the inherited state.
 //!
 //! Degenerate inputs are routed safely: zero-byte / zero-time samples
 //! are discarded, and a learned threshold can never be published below
@@ -37,9 +51,11 @@ pub mod chunk;
 pub mod selector;
 pub mod threshold;
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use nemesis_sim::topology::Placement;
 
@@ -198,10 +214,49 @@ pub struct PairSnapshot {
 /// path, and seeded runs stay reproducible.
 const EXPLORE_PERIOD: u32 = 8;
 
-/// The learned-policy engine: one [`PairState`] per directed (src, dst)
-/// rank pair, plus the clamp bounds every published threshold honours.
+/// Number of [`placement_code`] values (the prior-cell array size).
+const NPLACEMENTS: usize = 5;
+
+/// One placement class's shared prior: a mirror of the most recently
+/// published decisions of any pair observed at that placement. Fresh
+/// pairs inherit from it on their first recorded transfer (see
+/// [`Tuner::record`]); its cells are plain last-writer atomics — the
+/// prior is a warm-start hint, not a consensus model, and each pair's
+/// own traffic immediately starts refining the inherited values.
+struct PriorCell {
+    dma_min: AtomicU64,
+    chunk: AtomicU64,
+    copy_bw: AtomicU64,
+    offload_bw: AtomicU64,
+    rail_bw: [AtomicU64; NRAIL_KINDS],
+    /// Pairs that have contributed to this prior (diagnostics).
+    donors: AtomicU64,
+    /// Selector cells `(bw_bits, n)` per (class, arm) — copied out of a
+    /// donor pair under its model mutex, seeded into a fresh pair the
+    /// same way.
+    sel: Mutex<selector::CellGrid>,
+}
+
+impl PriorCell {
+    fn new() -> Self {
+        Self {
+            dma_min: AtomicU64::new(0),
+            chunk: AtomicU64::new(0),
+            copy_bw: AtomicU64::new(0),
+            offload_bw: AtomicU64::new(0),
+            rail_bw: [const { AtomicU64::new(0) }; NRAIL_KINDS],
+            donors: AtomicU64::new(0),
+            sel: Mutex::new(selector::EMPTY_CELL_GRID),
+        }
+    }
+}
+
+/// The learned-policy engine: one lazily-materialized [`PairState`] per
+/// *touched* directed (src, dst) rank pair, five placement-keyed prior
+/// cells, plus the clamp bounds every published threshold honours.
 pub struct Tuner {
-    pairs: Vec<PairState>,
+    pairs: RwLock<HashMap<(usize, usize), Arc<PairState>>>,
+    priors: [PriorCell; NPLACEMENTS],
     nprocs: usize,
     /// Lower clamp for a learned `DMAmin`: the eager/rendezvous
     /// switchover. The LMT never runs at or below this size, so no
@@ -214,19 +269,95 @@ pub struct Tuner {
 
 impl Tuner {
     /// A tuner for `nprocs` ranks. `eager_max` becomes the threshold
-    /// floor (see [`Tuner::floor`]).
+    /// floor (see [`Tuner::floor`]). No per-pair state is allocated
+    /// here: cells materialize on first traffic, so construction is
+    /// O(1) regardless of the universe size.
     pub fn new(nprocs: usize, eager_max: u64) -> Self {
         let floor = eager_max.max(1);
         Self {
-            pairs: (0..nprocs * nprocs).map(|_| PairState::new()).collect(),
+            pairs: RwLock::new(HashMap::new()),
+            priors: std::array::from_fn(|_| PriorCell::new()),
             nprocs,
             floor,
             ceil: (floor << 10).max(64 << 20),
         }
     }
 
-    fn pair(&self, src: usize, dst: usize) -> &PairState {
-        &self.pairs[src * self.nprocs + dst]
+    /// Materialize (or fetch) the pair's cell. Decision and recording
+    /// paths use this; read-only accessors go through
+    /// [`Tuner::try_pair`] so inspection never inflates the resident
+    /// set.
+    fn pair(&self, src: usize, dst: usize) -> Arc<PairState> {
+        if let Some(p) = self.pairs.read().get(&(src, dst)) {
+            return Arc::clone(p);
+        }
+        let mut w = self.pairs.write();
+        Arc::clone(
+            w.entry((src, dst))
+                .or_insert_with(|| Arc::new(PairState::new())),
+        )
+    }
+
+    /// The pair's cell if it has been materialized.
+    fn try_pair(&self, src: usize, dst: usize) -> Option<Arc<PairState>> {
+        self.pairs.read().get(&(src, dst)).map(Arc::clone)
+    }
+
+    /// Resident materialized pair cells (the scale-out memory
+    /// diagnostic: bounded by touched pairs, never `nprocs²`).
+    pub fn resident_pairs(&self) -> usize {
+        self.pairs.read().len()
+    }
+
+    /// Seed a virgin pair from the placement prior: published decisions
+    /// (crossover, chunk), bandwidth EWMAs, and selector cells. Only
+    /// unset cells are filled — an imported snapshot always wins over
+    /// the prior.
+    fn seed_from_prior(&self, p: &PairState, code: u32) {
+        let Some(prior) = self.priors.get(code as usize) else {
+            return;
+        };
+        if prior.donors.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let seed_if_unset = |dstc: &AtomicU64, srcc: &AtomicU64| {
+            let v = srcc.load(Ordering::Relaxed);
+            if v != 0 {
+                let _ = dstc.compare_exchange(0, v, Ordering::Relaxed, Ordering::Relaxed);
+            }
+        };
+        seed_if_unset(&p.dma_min, &prior.dma_min);
+        seed_if_unset(&p.chunk, &prior.chunk);
+        seed_if_unset(&p.copy_bw, &prior.copy_bw);
+        seed_if_unset(&p.offload_bw, &prior.offload_bw);
+        for k in 0..NRAIL_KINDS {
+            seed_if_unset(&p.rail_bw[k], &prior.rail_bw[k]);
+        }
+        let mut m = p.model.lock();
+        let grid = prior.sel.lock();
+        m.selector.seed_cells(&grid);
+    }
+
+    /// Mirror the pair's published decisions into its placement prior
+    /// (called on the recording paths — never on a decision path).
+    fn donate_to_prior(&self, p: &PairState, code: u32) {
+        let Some(prior) = self.priors.get(code as usize) else {
+            return;
+        };
+        let copy_if_set = |dstc: &AtomicU64, srcc: &AtomicU64| {
+            let v = srcc.load(Ordering::Relaxed);
+            if v != 0 {
+                dstc.store(v, Ordering::Relaxed);
+            }
+        };
+        copy_if_set(&prior.dma_min, &p.dma_min);
+        copy_if_set(&prior.chunk, &p.chunk);
+        copy_if_set(&prior.copy_bw, &p.copy_bw);
+        copy_if_set(&prior.offload_bw, &p.offload_bw);
+        for k in 0..NRAIL_KINDS {
+            copy_if_set(&prior.rail_bw[k], &p.rail_bw[k]);
+        }
+        prior.donors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one completed transfer for the (src, dst) pair.
@@ -249,6 +380,13 @@ impl Tuner {
         let code = placement_code(s.placement);
         let prev_code = p.placement.swap(code, Ordering::Relaxed);
         let migrated = prev_code != u32::MAX && prev_code != code;
+        // First placement observation on a cold pair (no imported
+        // snapshot, no prior samples): inherit the placement prior
+        // before folding this sample, so the pair starts from its
+        // same-placement siblings' decisions instead of from scratch.
+        if prev_code == u32::MAX && p.samples.load(Ordering::Relaxed) == 0 {
+            self.seed_from_prior(&p, code);
+        }
         p.samples.fetch_add(1, Ordering::Relaxed);
         // Publish the per-mechanism bandwidth EWMAs (same smoothing the
         // crossover cells use, but aggregated over sizes): the blended
@@ -275,19 +413,24 @@ impl Tuner {
             p.dma_min
                 .store(t.clamp(self.floor, self.ceil), Ordering::Relaxed);
         }
+        drop(m);
+        self.donate_to_prior(&p, code);
     }
 
     /// How many times the pair's placement has changed mid-run (each
     /// change decays the learned models — see [`Tuner::record`]).
     pub fn pair_epoch(&self, src: usize, dst: usize) -> u64 {
-        self.pair(src, dst).epoch.load(Ordering::Relaxed)
+        self.try_pair(src, dst)
+            .map_or(0, |p| p.epoch.load(Ordering::Relaxed))
     }
 
     /// The pair's published bandwidth EWMA for one rail kind in bytes
     /// per picosecond (0.0 = unsampled). One atomic load — safe on the
     /// per-transfer path.
     pub fn rail_bandwidth(&self, src: usize, dst: usize, kind: RailKind) -> f64 {
-        f64::from_bits(self.pair(src, dst).rail_bw[kind.code() as usize].load(Ordering::Relaxed))
+        f64::from_bits(self.try_pair(src, dst).map_or(0, |p| {
+            p.rail_bw[kind.code() as usize].load(Ordering::Relaxed)
+        }))
     }
 
     /// Pick the backend for one `len`-byte transfer on the directed
@@ -315,6 +458,8 @@ impl Tuner {
     /// What [`Tuner::select_backend`] would return, without advancing
     /// the exploration state — for inspection calls (`Comm::try_select`)
     /// that never complete a transfer and must not burn sweep picks.
+    /// Inspection of an untouched pair answers from a default model
+    /// without materializing the cell.
     pub fn peek_backend(
         &self,
         src: usize,
@@ -322,23 +467,26 @@ impl Tuner {
         len: u64,
         eligible: &[bool; selector::NARMS],
     ) -> LmtSelect {
-        let arm = self
-            .pair(src, dst)
-            .model
-            .lock()
-            .selector
-            .peek(len, eligible);
+        let arm = match self.try_pair(src, dst) {
+            Some(p) => p.model.lock().selector.peek(len, eligible),
+            None => SelectorModel::default().peek(len, eligible),
+        };
         selector::ARMS[arm]
     }
 
     /// Feed one completed transfer's achieved bandwidth back to the arm
     /// that served it (recorded on the sender, which knows its choice).
+    /// The pair's refreshed cells are mirrored into its placement prior
+    /// so later same-placement pairs can skip the sweep.
     pub fn observe_arm(&self, src: usize, dst: usize, arm: usize, bytes: u64, elapsed_ps: u64) {
-        self.pair(src, dst)
-            .model
-            .lock()
-            .selector
-            .observe(arm, bytes, elapsed_ps);
+        let p = self.pair(src, dst);
+        let mut m = p.model.lock();
+        m.selector.observe(arm, bytes, elapsed_ps);
+        let code = p.placement.load(Ordering::Relaxed);
+        if let Some(prior) = self.priors.get(code as usize) {
+            m.selector.copy_cells(&mut prior.sel.lock());
+            prior.donors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Demote a selector arm for the pair (a quarantined rail kind also
@@ -355,20 +503,22 @@ impl Tuner {
 
     /// Whether a selector arm is currently banned for the pair.
     pub fn arm_banned(&self, src: usize, dst: usize, sel: LmtSelect) -> bool {
-        match selector::arm_of(sel) {
-            Some(arm) => self.pair(src, dst).model.lock().selector.is_banned(arm),
-            None => false,
+        match (selector::arm_of(sel), self.try_pair(src, dst)) {
+            (Some(arm), Some(p)) => p.model.lock().selector.is_banned(arm),
+            _ => false,
         }
     }
 
     /// The pair's published per-mechanism bandwidth EWMAs in bytes per
     /// picosecond, `(copy, offload)`; 0.0 = unsampled.
     pub fn pair_bandwidths(&self, src: usize, dst: usize) -> (f64, f64) {
-        let p = self.pair(src, dst);
-        (
-            f64::from_bits(p.copy_bw.load(Ordering::Relaxed)),
-            f64::from_bits(p.offload_bw.load(Ordering::Relaxed)),
-        )
+        match self.try_pair(src, dst) {
+            Some(p) => (
+                f64::from_bits(p.copy_bw.load(Ordering::Relaxed)),
+                f64::from_bits(p.offload_bw.load(Ordering::Relaxed)),
+            ),
+            None => (0.0, 0.0),
+        }
     }
 
     /// Record one fully-absorbed pipeline chunk for the (src, dst)
@@ -382,6 +532,11 @@ impl Tuner {
         m.chunk.observe(chunk_bytes, elapsed_ps);
         if let Some(c) = m.chunk.sweet_spot() {
             p.chunk.store(c, Ordering::Relaxed);
+            let code = p.placement.load(Ordering::Relaxed);
+            if let Some(prior) = self.priors.get(code as usize) {
+                prior.chunk.store(c, Ordering::Relaxed);
+                prior.donors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -390,7 +545,9 @@ impl Tuner {
     /// floor as well — a configured override of 0 must not teach the
     /// receiver to offload everything).
     pub fn dma_min(&self, src: usize, dst: usize, prior: u64) -> u64 {
-        let learned = self.pair(src, dst).dma_min.load(Ordering::Relaxed);
+        let learned = self
+            .try_pair(src, dst)
+            .map_or(0, |p| p.dma_min.load(Ordering::Relaxed));
         if learned == 0 {
             prior.max(self.floor)
         } else {
@@ -401,7 +558,10 @@ impl Tuner {
     /// The pair's learned chunk sweet spot, or `default` while nothing
     /// has been learned.
     pub fn chunk_target(&self, src: usize, dst: usize, default: u64) -> u64 {
-        match self.pair(src, dst).chunk.load(Ordering::Relaxed) {
+        match self
+            .try_pair(src, dst)
+            .map_or(0, |p| p.chunk.load(Ordering::Relaxed))
+        {
             0 => default,
             c => c,
         }
@@ -413,7 +573,9 @@ impl Tuner {
     /// sweet spot keep being sampled — without probes the schedule
     /// could never discover that larger chunks became profitable.
     pub fn chunk_target_explored(&self, src: usize, dst: usize) -> u64 {
-        let p = self.pair(src, dst);
+        let Some(p) = self.try_pair(src, dst) else {
+            return 0;
+        };
         let published = p.chunk.load(Ordering::Relaxed);
         if published == 0 {
             return 0;
@@ -449,14 +611,22 @@ impl Tuner {
         self.floor
     }
 
-    /// Snapshot one pair's learned state.
+    /// Snapshot one pair's learned state (an untouched pair reads as
+    /// all-unlearned without being materialized).
     pub fn snapshot(&self, src: usize, dst: usize) -> PairSnapshot {
-        let p = self.pair(src, dst);
-        PairSnapshot {
-            dma_min: p.dma_min.load(Ordering::Relaxed),
-            chunk: p.chunk.load(Ordering::Relaxed),
-            samples: p.samples.load(Ordering::Relaxed),
-            placement: placement_from_code(p.placement.load(Ordering::Relaxed)),
+        match self.try_pair(src, dst) {
+            Some(p) => PairSnapshot {
+                dma_min: p.dma_min.load(Ordering::Relaxed),
+                chunk: p.chunk.load(Ordering::Relaxed),
+                samples: p.samples.load(Ordering::Relaxed),
+                placement: placement_from_code(p.placement.load(Ordering::Relaxed)),
+            },
+            None => PairSnapshot {
+                dma_min: 0,
+                chunk: 0,
+                samples: 0,
+                placement: None,
+            },
         }
     }
 
@@ -471,9 +641,15 @@ impl Tuner {
     pub fn export_snapshot(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("nemesis-tuner-v1\n");
-        for src in 0..self.nprocs {
-            for dst in 0..self.nprocs {
-                let p = self.pair(src, dst);
+        // Only materialized cells exist; sort so the export is
+        // deterministic regardless of materialization order.
+        let mut keys: Vec<(usize, usize)> = self.pairs.read().keys().copied().collect();
+        keys.sort_unstable();
+        for (src, dst) in keys {
+            {
+                let Some(p) = self.try_pair(src, dst) else {
+                    continue;
+                };
                 if p.samples.load(Ordering::Relaxed) == 0 {
                     continue;
                 }
@@ -506,7 +682,8 @@ impl Tuner {
     /// Restore a snapshot produced by [`Tuner::export_snapshot`].
     /// Tolerant of pairs outside this universe's rank count (a snapshot
     /// from a larger universe simply drops them); unknown or malformed
-    /// lines are skipped.
+    /// lines are skipped. Importing materializes exactly the pairs the
+    /// snapshot names — a sparse snapshot stays sparse.
     pub fn import_snapshot(&self, snap: &str) {
         fn parse_u64(s: &str) -> Option<u64> {
             match s.strip_prefix("0x") {
@@ -885,5 +1062,108 @@ mod tests {
             snap,
             "corrupt records must not perturb the learned state"
         );
+    }
+
+    /// Pair cells materialize on first traffic only: a big universe
+    /// holds state for touched pairs, never `nprocs²`, and read-only
+    /// inspection does not inflate the resident set.
+    #[test]
+    fn pairs_materialize_lazily_and_reads_do_not_materialize() {
+        let t = Tuner::new(256, 64 << 10);
+        assert_eq!(t.resident_pairs(), 0, "construction allocates no pairs");
+        // Inspection across the whole universe: still nothing resident.
+        for src in 0..256 {
+            let _ = t.snapshot(src, (src + 1) % 256);
+            assert_eq!(t.dma_min(src, 0, 1 << 20), 1 << 20);
+            assert_eq!(t.chunk_target(0, src, 4096), 4096);
+            let _ = t.pair_bandwidths(src, 1);
+            let _ = t.peek_backend(src, 1, 1 << 20, &[true; selector::NARMS]);
+        }
+        assert_eq!(t.resident_pairs(), 0, "reads must not materialize cells");
+        // Traffic on 8 directed pairs resides exactly 8 cells.
+        for i in 0..8 {
+            t.record(i, i + 8, &sample(TransferClass::Copy, 1 << 20, 1 << 20));
+        }
+        assert_eq!(t.resident_pairs(), 8);
+        // A sparse export from the big universe round-trips losslessly.
+        let snap = t.export_snapshot();
+        let fresh = Tuner::new(256, 64 << 10);
+        fresh.import_snapshot(&snap);
+        assert_eq!(
+            fresh.resident_pairs(),
+            8,
+            "import materializes only named pairs"
+        );
+        assert_eq!(fresh.export_snapshot(), snap);
+        // …and a smaller universe tolerates the out-of-range pairs.
+        let small = Tuner::new(4, 64 << 10);
+        small.import_snapshot(&snap);
+        assert_eq!(
+            small.resident_pairs(),
+            0,
+            "all pairs out of range for 4 ranks"
+        );
+    }
+
+    /// A fresh pair at a known placement inherits its sibling's learned
+    /// crossover (and selector incumbent) within a couple of transfers,
+    /// instead of re-exploring from scratch.
+    #[test]
+    fn placement_prior_warm_starts_a_fresh_pair() {
+        let t = Tuner::new(8, 64 << 10);
+        // Pair (0,1) learns a crossover near 1 MiB at SharedL2, and
+        // converges its selector on arm 2.
+        feed_synthetic(&t, 3, 2 * (1u64 << 20), 1);
+        for arm in 0..selector::NARMS {
+            for _ in 0..3 {
+                t.observe_arm(0, 1, arm, 1 << 20, if arm == 2 { 1 << 20 } else { 3 << 20 });
+            }
+        }
+        let sibling_dma = t.dma_min(0, 1, u64::MAX);
+        // Fresh pair (4,5), same placement (`sample()` uses SharedL2):
+        // one recorded transfer adopts the sibling's published
+        // crossover…
+        t.record(4, 5, &sample(TransferClass::Copy, 1 << 20, 1 << 20));
+        assert_eq!(
+            t.dma_min(4, 5, u64::MAX),
+            sibling_dma,
+            "fresh pair must inherit the same-placement sibling's crossover"
+        );
+        // …and its selector exploits the sibling's incumbent instead of
+        // sweeping.
+        let all = [true; selector::NARMS];
+        assert_eq!(
+            t.select_backend(4, 5, 1 << 20, &all),
+            selector::ARMS[2],
+            "fresh pair must exploit the inherited selector cells"
+        );
+        // A pair at a *different* placement inherits nothing (no donor
+        // at that placement yet).
+        let cross = TransferSample {
+            placement: Placement::DifferentSocket,
+            ..sample(TransferClass::Copy, 1 << 20, 1 << 20)
+        };
+        t.record(6, 7, &cross);
+        assert_eq!(
+            t.dma_min(6, 7, 1 << 20),
+            1 << 20,
+            "no donor at DifferentSocket: the configured prior stands"
+        );
+    }
+
+    /// An imported snapshot wins over the placement prior: seeding only
+    /// fills unset cells.
+    #[test]
+    fn imported_state_beats_the_placement_prior() {
+        let t = Tuner::new(4, 64 << 10);
+        feed_synthetic(&t, 3, 2 * (1u64 << 20), 1); // donor at SharedL2
+        let imported_dma = 4u64 << 20;
+        t.import_snapshot(&format!(
+            "nemesis-tuner-v1\npair 2 3 {imported_dma} 0 1 0x0 0x0 5\n"
+        ));
+        // First live sample at the donor's placement must not clobber
+        // the imported threshold.
+        t.record(2, 3, &sample(TransferClass::Copy, 1 << 20, 1 << 20));
+        assert_eq!(t.dma_min(2, 3, u64::MAX), imported_dma);
     }
 }

@@ -66,7 +66,16 @@ pub fn arm_of(sel: LmtSelect) -> Option<usize> {
 /// the selector is only consulted for rendezvous transfers) up to
 /// 2^(16+NCLASSES-1) = 8 MiB; larger transfers clamp to the top class.
 const CLASS_BASE: u32 = 16;
-const NCLASSES: usize = 8;
+/// Number of selector size classes.
+pub const NCLASSES: usize = 8;
+
+/// A flat `(bw_bits, n)` copy of every (class, arm) cell — the exchange
+/// format between a pair's selector and the tuner's placement-keyed
+/// prior cells (see `Tuner::seed_from_prior`).
+pub type CellGrid = [[(u64, u32); NARMS]; NCLASSES];
+
+/// An all-unsampled [`CellGrid`].
+pub const EMPTY_CELL_GRID: CellGrid = [[(0, 0); NARMS]; NCLASSES];
 
 /// Samples an arm needs in a class before the sweep stops probing it.
 pub const MIN_PROBE: u32 = 2;
@@ -361,6 +370,33 @@ impl SelectorModel {
         let bw = f64::from_bits(bw_bits);
         if class < NCLASSES && arm < NARMS && bw.is_finite() && bw >= 0.0 {
             self.classes[class].cells[arm] = Cell { bw, n, picked: n };
+        }
+    }
+
+    /// Mirror every sampled cell into `out` (the placement-prior
+    /// donation path — a plain `(bw_bits, n)` memcpy, no allocation).
+    pub(super) fn copy_cells(&self, out: &mut CellGrid) {
+        for (ci, s) in self.classes.iter().enumerate() {
+            for (ai, c) in s.cells.iter().enumerate() {
+                if c.n > 0 {
+                    out[ci][ai] = (c.bw.to_bits(), c.n);
+                }
+            }
+        }
+    }
+
+    /// Warm-start from a prior [`CellGrid`]: every sampled prior cell
+    /// lands in the matching unsampled local cell (an imported snapshot
+    /// or the pair's own traffic always wins over the prior). Seeded
+    /// cells count as picked, so the sweep skips straight to exploiting
+    /// the sibling's incumbent.
+    pub(super) fn seed_cells(&mut self, grid: &CellGrid) {
+        for (ci, row) in grid.iter().enumerate() {
+            for (ai, &(bits, n)) in row.iter().enumerate() {
+                if n > 0 && self.classes[ci].cells[ai].n == 0 {
+                    self.import_cell(ci, ai, bits, n);
+                }
+            }
         }
     }
 }

@@ -158,6 +158,44 @@ pub struct ShmState {
     pub free_cells: Vec<Vec<usize>>,
     pub rings: HashMap<(usize, usize), Ring>,
     pub pipes: HashMap<(usize, usize), PairPipe>,
+    /// Per-receiver doorbell/epoch bitmap: word `w` of `doorbell[dst]`
+    /// covers senders `64w..64w+63`; a sender's enqueue sets its bit,
+    /// the receiver clears the words when it drains its queue empty.
+    /// Word 0 is **fused into the queue control line** — the enqueue's
+    /// head/tail publish sets it and the dequeue's pointer update clears
+    /// it, so at ≤64 ranks the doorbell adds zero coherence traffic over
+    /// the seed's control-line polling. Words ≥1 each get their own
+    /// shared cache line ([`ShmSegment::doorbell_buf`]); idle words stay
+    /// in the receiver's L1 and only an actual enqueue invalidates the
+    /// one word naming the active sender — per-poll coherence traffic
+    /// scales with active peers, not ranks.
+    pub doorbell: Vec<Vec<u64>>,
+}
+
+impl ShmState {
+    /// Sender `src` rings receiver `dst`'s doorbell (call on enqueue).
+    pub fn ring_doorbell(&mut self, dst: usize, src: usize) {
+        self.doorbell[dst][src / 64] |= 1u64 << (src % 64);
+    }
+
+    /// Any bell set for receiver `me`?
+    pub fn doorbell_active(&self, me: usize) -> bool {
+        self.doorbell[me].iter().any(|&w| w != 0)
+    }
+
+    /// Clear `me`'s doorbell after a full drain; returns the indices of
+    /// the words that were set (the receiver pays one line write per
+    /// cleared word).
+    pub fn clear_doorbell(&mut self, me: usize) -> Vec<usize> {
+        let mut cleared = Vec::new();
+        for (i, w) in self.doorbell[me].iter_mut().enumerate() {
+            if *w != 0 {
+                *w = 0;
+                cleared.push(i);
+            }
+        }
+        cleared
+    }
 }
 
 /// The shared-memory segment: physical backing + logical state.
@@ -166,6 +204,12 @@ pub struct ShmSegment {
     pub queue_ctrl: Vec<BufId>,
     /// Queue slot ring per process (`queue_slots` 64 B slots).
     pub queue_slots_buf: Vec<BufId>,
+    /// Doorbell bitmap backing per process: one 64 B line per doorbell
+    /// word (per 64 peers). Line 0 is unused — word 0 lives in the
+    /// queue control line (see [`ShmState::doorbell`]).
+    pub doorbell_buf: Vec<BufId>,
+    /// Doorbell words per receiver (`⌈nprocs/64⌉`).
+    pub doorbell_words: usize,
     /// Cell pool per process.
     pub cell_pool: Vec<BufId>,
     /// Monotone enqueue counters (slot index = counter % slots).
@@ -177,9 +221,13 @@ pub struct ShmSegment {
 impl ShmSegment {
     /// Allocate the shared segment for `nprocs` processes.
     pub fn new(os: &Os, nprocs: usize, cfg: &NemesisConfig) -> (Self, ShmState) {
+        let doorbell_words = nprocs.div_ceil(64);
         let queue_ctrl = (0..nprocs).map(|_| os.alloc_shared(64)).collect();
         let queue_slots_buf = (0..nprocs)
             .map(|_| os.alloc_shared(cfg.queue_slots as u64 * 64))
+            .collect();
+        let doorbell_buf = (0..nprocs)
+            .map(|_| os.alloc_shared(doorbell_words as u64 * 64))
             .collect();
         let cell_pool = (0..nprocs)
             .map(|_| os.alloc_shared(cfg.cells_per_proc as u64 * cfg.cell_payload))
@@ -191,10 +239,13 @@ impl ShmSegment {
                 .collect(),
             rings: HashMap::new(),
             pipes: HashMap::new(),
+            doorbell: (0..nprocs).map(|_| vec![0u64; doorbell_words]).collect(),
         };
         let seg = Self {
             queue_ctrl,
             queue_slots_buf,
+            doorbell_buf,
+            doorbell_words,
             cell_pool,
             enq_seq: (0..nprocs)
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
@@ -278,6 +329,76 @@ impl ShmSegment {
             p.now() + cost,
         );
         p.advance(cost + n as u64 * m.cfg().costs.queue_op);
+    }
+
+    /// Charge the sender-side doorbell ring: one line write on the word
+    /// of `dst`'s bitmap that covers `src` (invalidates the receiver's
+    /// cached copy of exactly that word — the poll wake-up signal).
+    /// Word 0 is free: it rides the control-line write the enqueue
+    /// charge already paid.
+    pub fn charge_doorbell_ring(&self, p: &Proc, os: &Os, dst: usize, src: usize) {
+        let word = src / 64;
+        if word == 0 {
+            return;
+        }
+        let m = os.machine();
+        let cost = m.access(
+            p.pid(),
+            p.core(),
+            os.phys(self.doorbell_buf[dst], word as u64 * 64, 64),
+            nemesis_sim::AccessKind::Write,
+            p.now(),
+        );
+        p.advance(cost);
+    }
+
+    /// Charge one poll of our own doorbell: a read of the queue control
+    /// line (which carries word 0 — exactly the seed's poll) plus one
+    /// line per extra word. Idle words stay in L1, so an idle poll's
+    /// cost is flat in the rank count; only a word some sender just
+    /// wrote misses.
+    pub fn charge_doorbell_poll(&self, p: &Proc, os: &Os) {
+        let m = os.machine();
+        let mut cost = m.access(
+            p.pid(),
+            p.core(),
+            os.phys(self.queue_ctrl[p.pid()], 0, 64),
+            nemesis_sim::AccessKind::Read,
+            p.now(),
+        );
+        for w in 1..self.doorbell_words {
+            cost += m.access(
+                p.pid(),
+                p.core(),
+                os.phys(self.doorbell_buf[p.pid()], w as u64 * 64, 64),
+                nemesis_sim::AccessKind::Read,
+                p.now() + cost,
+            );
+        }
+        p.advance(cost);
+    }
+
+    /// Charge clearing the given doorbell words after a full drain (one
+    /// line write per set word ≥1; word 0 rides the head-pointer write
+    /// the dequeue batch already paid on the control line).
+    pub fn charge_doorbell_clear(&self, p: &Proc, os: &Os, words: &[usize]) {
+        let m = os.machine();
+        let mut cost = 0;
+        for &w in words {
+            if w == 0 {
+                continue;
+            }
+            cost += m.access(
+                p.pid(),
+                p.core(),
+                os.phys(self.doorbell_buf[p.pid()], w as u64 * 64, 64),
+                nemesis_sim::AccessKind::Write,
+                p.now() + cost,
+            );
+        }
+        if cost != 0 {
+            p.advance(cost);
+        }
     }
 
     /// Charge one flag-line access on a ring.
@@ -368,6 +489,55 @@ mod tests {
             }
             let after = m2.snapshot().per_proc[0].l1_misses;
             assert_eq!(after, before, "repeated idle polls must hit L1");
+        });
+    }
+
+    /// The scale-out property of the doorbell layout: an idle 256-rank
+    /// receiver polls the control line plus 3 cached extra-word lines
+    /// (no misses after warm-up), and one sender's ring invalidates
+    /// exactly one word line.
+    #[test]
+    fn doorbell_polls_scale_with_active_senders_not_ranks() {
+        let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+        let os = Arc::new(Os::new(Arc::clone(&machine)));
+        let (seg, mut state) = ShmSegment::new(&os, 256, &NemesisConfig::default());
+        assert_eq!(seg.doorbell_words, 4);
+        let seg = Arc::new(seg);
+        let m2 = Arc::clone(&machine);
+        // Logical bitmap behaviour.
+        assert!(!state.doorbell_active(3));
+        state.ring_doorbell(3, 200);
+        assert!(state.doorbell_active(3));
+        assert_eq!(state.doorbell[3][3], 1u64 << (200 % 64));
+        assert_eq!(state.clear_doorbell(3), vec![3]);
+        assert!(!state.doorbell_active(3));
+        // Cache behaviour of the charges.
+        run_simulation(machine, &[0, 4], |p| {
+            if p.pid() == 0 {
+                seg.charge_doorbell_poll(p, &os); // warm all 4 word lines
+                let before = m2.snapshot().per_proc[0].l1_misses;
+                for _ in 0..100 {
+                    seg.charge_doorbell_poll(p, &os);
+                }
+                let after = m2.snapshot().per_proc[0].l1_misses;
+                assert_eq!(after, before, "idle doorbell polls must hit L1");
+                p.advance(1000);
+                p.yield_now();
+                // The sender (t=500) rang word 3; exactly one line of
+                // the polled set re-misses.
+                let before = m2.snapshot().per_proc[0].l2_misses;
+                seg.charge_doorbell_poll(p, &os);
+                let after = m2.snapshot().per_proc[0].l2_misses;
+                assert_eq!(
+                    after - before,
+                    1,
+                    "one ringing sender must invalidate exactly one word line"
+                );
+            } else {
+                p.advance(500);
+                p.yield_now();
+                seg.charge_doorbell_ring(p, &os, 0, 200);
+            }
         });
     }
 

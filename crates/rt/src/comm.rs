@@ -11,6 +11,7 @@
 //! shape, real memory, real atomics — used by tests and Criterion
 //! benches to validate the data structures under true parallelism.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -123,6 +124,66 @@ enum Packet {
 // thread blocks inside `send` until `done` is set.
 unsafe impl Send for Packet {}
 
+fn pkt_src(p: &Packet) -> usize {
+    match p {
+        Packet::Inline { src_rank, .. }
+        | Packet::Eager { src_rank, .. }
+        | Packet::Rndv { src_rank, .. } => *src_rank,
+    }
+}
+
+/// Buffered unexpected packets, bucketed by source rank — the rt mirror
+/// of the core engine's source-sharded posted set: a concrete-source
+/// receive scans only its sender's backlog, so buffering traffic from
+/// many peers does not make every later receive pay an O(all-buffered)
+/// scan. Global arrival order is preserved through per-packet sequence
+/// numbers, so wildcard receives still match oldest-first.
+#[derive(Default)]
+struct UnexpectedSet {
+    by_src: HashMap<usize, VecDeque<(u64, Packet)>>,
+    next_seq: u64,
+}
+
+impl UnexpectedSet {
+    fn push(&mut self, pkt: Packet) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.by_src
+            .entry(pkt_src(&pkt))
+            .or_default()
+            .push_back((seq, pkt));
+    }
+
+    /// Take the oldest buffered packet matching `(src, tag)`, if any.
+    fn take(&mut self, src: Option<usize>, tag: Option<i32>) -> Option<Packet> {
+        let bucket = match src {
+            Some(s) => s,
+            // Wildcard source: the oldest tag-match of each bucket
+            // competes on its sequence number.
+            None => {
+                self.by_src
+                    .iter()
+                    .filter_map(|(&s, q)| {
+                        q.iter()
+                            .find(|(_, p)| RtComm::pkt_matches(p, src, tag))
+                            .map(|&(seq, _)| (seq, s))
+                    })
+                    .min()?
+                    .1
+            }
+        };
+        let q = self.by_src.get_mut(&bucket)?;
+        let i = q
+            .iter()
+            .position(|(_, p)| RtComm::pkt_matches(p, src, tag))?;
+        let pkt = q.remove(i).map(|(_, p)| p);
+        if q.is_empty() {
+            self.by_src.remove(&bucket);
+        }
+        pkt
+    }
+}
+
 struct Shared {
     senders: Vec<Sender<Packet>>,
     cells: CellPool,
@@ -138,7 +199,7 @@ pub struct RtComm {
     rank: usize,
     shared: Arc<Shared>,
     rx: Receiver<Packet>,
-    unexpected: Vec<Packet>,
+    unexpected: UnexpectedSet,
 }
 
 impl RtComm {
@@ -340,12 +401,8 @@ impl RtComm {
 
     fn match_packet(&mut self, src: Option<usize>, tag: Option<i32>) -> Packet {
         // Previously buffered packets first, in arrival order.
-        if let Some(pos) = self
-            .unexpected
-            .iter()
-            .position(|p| Self::pkt_matches(p, src, tag))
-        {
-            return self.unexpected.remove(pos);
+        if let Some(p) = self.unexpected.take(src, tag) {
+            return p;
         }
         let batch = self.shared.cfg.recv_batch.max(1);
         let mut bo = self.backoff();
@@ -438,7 +495,7 @@ where
                     rank,
                     shared,
                     rx,
-                    unexpected: Vec::new(),
+                    unexpected: UnexpectedSet::default(),
                 };
                 body(&mut comm);
             });

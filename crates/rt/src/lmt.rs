@@ -161,7 +161,7 @@ impl DoubleBufferBackend {
             RtChunkScheduleSelect::Adaptive => PipeSchedule::Geometric,
             RtChunkScheduleSelect::Fixed => PipeSchedule::Fixed,
             RtChunkScheduleSelect::Learned => match tuner {
-                Some(t) => PipeSchedule::Learned(Arc::clone(t.pair(src, dst))),
+                Some(t) => PipeSchedule::Learned(t.pair(src, dst)),
                 None => PipeSchedule::Geometric,
             },
         };

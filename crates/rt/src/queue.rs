@@ -26,6 +26,16 @@
 //! The API is split: [`Sender`] is cheaply clonable (one per producer),
 //! [`Receiver`] is unique and owns the consumer cursor, so single-consumer
 //! discipline is enforced by the type system rather than by comments.
+//!
+//! **Scale-out note.** The consumer needs no doorbell bitmap, however
+//! many producers exist: all producers fan into the *one* fused MPSC
+//! list, so an idle poll reads exactly one shared word (`tail`) — the
+//! queue's own tail pointer plays the role the core engine's
+//! doorbell word plays over its shared envelope queue. Per-poll cost
+//! is flat in the rank count by construction; what scales with peers
+//! on the rt stack is matching state, which `RtComm` shards by source
+//! (see `comm::UnexpectedSet`) the way the core engine shards its
+//! posted set and rendezvous ops.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, Ordering};

@@ -15,10 +15,11 @@
 //! does not depend on `nemesis-core`, so the small EWMA chunk model is
 //! mirrored here in nanoseconds rather than simulated picoseconds.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 /// Which chunk schedule the double-buffer ring pipelines with — the rt
 /// mirror of `nemesis_core::ChunkScheduleSelect`.
@@ -312,27 +313,50 @@ impl RtPairSelector {
     }
 }
 
-/// The per-run tuner: one [`RtPairTune`] per directed rank pair.
+/// The per-run tuner. Pair cells are **lazily materialized** — the map
+/// starts empty whatever the rank count, and a directed pair's
+/// [`RtPairTune`] is allocated on its first recorded traffic (the rt
+/// mirror of the simulated tuner's sublinear state: resident cells
+/// track *touched* pairs, never ranks²). Read-only queries on an
+/// untouched pair answer the defaults without allocating.
 #[derive(Debug)]
 pub struct RtTuner {
-    pairs: Vec<Arc<RtPairTune>>,
-    n: usize,
+    pairs: RwLock<HashMap<(usize, usize), Arc<RtPairTune>>>,
 }
 
 impl RtTuner {
-    pub fn new(nranks: usize) -> Arc<Self> {
+    /// Build an empty tuner. The rank count is irrelevant to the
+    /// footprint — state appears per touched pair.
+    pub fn new(_nranks: usize) -> Arc<Self> {
         Arc::new(Self {
-            pairs: (0..nranks * nranks)
-                .map(|_| Arc::new(RtPairTune::new()))
-                .collect(),
-            n: nranks,
+            pairs: RwLock::new(HashMap::new()),
         })
     }
 
-    /// The directed pair's learned state (shared with the pipes that
-    /// feed and consult it).
-    pub fn pair(&self, src: usize, dst: usize) -> &Arc<RtPairTune> {
-        &self.pairs[src * self.n + dst]
+    /// The directed pair's learned state, materializing its cell on
+    /// first touch (shared with the pipes that feed and consult it).
+    /// The hot path is a read-lock plus an `Arc` clone; the write lock
+    /// is taken once per pair lifetime.
+    pub fn pair(&self, src: usize, dst: usize) -> Arc<RtPairTune> {
+        if let Some(p) = self.pairs.read().get(&(src, dst)) {
+            return Arc::clone(p);
+        }
+        let mut w = self.pairs.write();
+        Arc::clone(
+            w.entry((src, dst))
+                .or_insert_with(|| Arc::new(RtPairTune::new())),
+        )
+    }
+
+    /// The pair's state only if traffic already materialized it —
+    /// read-only queries must not grow the map.
+    fn try_pair(&self, src: usize, dst: usize) -> Option<Arc<RtPairTune>> {
+        self.pairs.read().get(&(src, dst)).map(Arc::clone)
+    }
+
+    /// Materialized pair cells (the resident-memory diagnostic).
+    pub fn resident_pairs(&self) -> usize {
+        self.pairs.read().len()
     }
 
     /// Record one completed rendezvous transfer.
@@ -342,7 +366,7 @@ impl RtTuner {
 
     /// The directed pair's learned chunk sweet spot, if any.
     pub fn learned_chunk(&self, src: usize, dst: usize) -> Option<usize> {
-        match self.pair(src, dst).target() {
+        match self.try_pair(src, dst).map_or(0, |p| p.target()) {
             0 => None,
             t => Some(t),
         }
@@ -420,6 +444,27 @@ mod tests {
         let large: Vec<usize> = (0..30).map(|_| s.pick(1 << 20)).collect();
         assert_eq!(*small.last().unwrap(), 0);
         assert_eq!(*large.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn pair_cells_materialize_on_traffic_not_rank_count() {
+        let t = RtTuner::new(4096);
+        assert_eq!(t.resident_pairs(), 0, "construction must allocate nothing");
+        // Read-only queries on untouched pairs answer without allocating.
+        assert_eq!(t.learned_chunk(17, 4000), None);
+        assert_eq!(t.resident_pairs(), 0);
+        t.record_transfer(
+            3,
+            9,
+            &RtTransferSample {
+                backend: "direct",
+                offload: false,
+                bytes: 1 << 20,
+                nanos: 1_000_000,
+            },
+        );
+        assert_eq!(t.resident_pairs(), 1, "one touched pair, one cell");
+        assert_eq!(t.pair(3, 9).samples(), 1);
     }
 
     #[test]

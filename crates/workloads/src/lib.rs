@@ -22,4 +22,4 @@ pub mod trace;
 pub use imb::{alltoall_bench, pingpong_bench, AlltoallResult, PingpongResult};
 pub use imb_ext::{suite_bench, SuiteBench, SuiteResult};
 pub use nas::{run_nas, NasKernel, NasResult};
-pub use trace::{replay, Op, Trace, TraceResult};
+pub use trace::{replay, replay_on, Op, Trace, TraceResult};

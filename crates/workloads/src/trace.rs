@@ -118,6 +118,66 @@ impl Trace {
         Trace { nranks, ops }
     }
 
+    /// Bursty traffic from a two-state Markov-modulated Poisson process
+    /// (MMPP): each directed pair in `pairs` carries its own ON/OFF
+    /// chain — per step it flips OFF→ON with probability `p_on`, ON→OFF
+    /// with `p_off`, and while ON emits a Poisson(`rate_on`)-distributed
+    /// number of `msg`-byte messages (OFF emits nothing). The result is
+    /// the many-rank regime the doorbell-sharded progress engine
+    /// targets: at any instant only the pairs whose chains are ON have
+    /// traffic, however many ranks exist. A barrier every 8 steps
+    /// bounds outstanding requests; deterministic per `seed`.
+    #[allow(clippy::too_many_arguments)] // the MMPP parameters are a unit
+    pub fn mmpp(
+        nranks: usize,
+        pairs: &[(usize, usize)],
+        steps: u32,
+        msg: u64,
+        p_on: f64,
+        p_off: f64,
+        rate_on: f64,
+        seed: u64,
+    ) -> Trace {
+        assert!(pairs
+            .iter()
+            .all(|&(s, d)| s < nranks && d < nranks && s != d));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut on = vec![false; pairs.len()];
+        let mut ops = Vec::new();
+        let poisson_floor = (-rate_on).exp();
+        for step in 0..steps {
+            for (i, &(src, dst)) in pairs.iter().enumerate() {
+                let flip = rng.random::<f64>();
+                if on[i] {
+                    if flip < p_off {
+                        on[i] = false;
+                    }
+                } else if flip < p_on {
+                    on[i] = true;
+                }
+                if !on[i] {
+                    continue;
+                }
+                // Knuth's Poisson sampler: product of uniforms against
+                // e^-λ (λ = rate_on is small here, so this terminates
+                // in a couple of draws).
+                let mut k = 0u32;
+                let mut acc = rng.random::<f64>();
+                while acc > poisson_floor {
+                    k += 1;
+                    acc *= rng.random::<f64>();
+                }
+                for _ in 0..k {
+                    ops.push(Op::Xfer { src, dst, len: msg });
+                }
+            }
+            if step % 8 == 7 {
+                ops.push(Op::Barrier);
+            }
+        }
+        Trace { nranks, ops }
+    }
+
     /// Uniformly random pairs with log-uniform message sizes in
     /// `[min_len, max_len]`.
     pub fn random(nranks: usize, nops: usize, min_len: u64, max_len: u64, seed: u64) -> Trace {
@@ -167,6 +227,25 @@ pub fn replay(
     let machine = Arc::new(Machine::new(mcfg));
     let os = Arc::new(Os::new(Arc::clone(&machine)));
     let nem = Nemesis::new(os, trace.nranks, ncfg);
+    replay_on(machine, &nem, placements, trace).0
+}
+
+/// Replay a trace through an existing universe, which may be declared
+/// for more ranks than the trace uses — the scale-out benches drive a
+/// small active set inside an 8/64/256-rank universe to check that
+/// per-poll cost depends on traffic, not on the universe size.
+/// `placements` covers only the trace's ranks (ranks `0..trace.nranks`
+/// of `nem`). The second return value is the total number of
+/// progress-engine polls across all active ranks, the denominator for
+/// host-side per-poll cost.
+pub fn replay_on(
+    machine: Arc<Machine>,
+    nem: &Arc<Nemesis>,
+    placements: &[usize],
+    trace: &Trace,
+) -> (TraceResult, u64) {
+    assert_eq!(placements.len(), trace.nranks);
+    let polls = std::sync::atomic::AtomicU64::new(0);
     let m2 = Arc::clone(&machine);
     let report = run_simulation(Arc::clone(&machine), placements, |p| {
         let comm = nem.attach(p);
@@ -187,6 +266,36 @@ pub fn replay(
         let sbuf = os.alloc_local(p, max_len.max(1));
         os.with_data_mut(p, sbuf, |d| d.fill(me as u8 + 1));
         os.touch_write(p, sbuf, 0, max_len.max(1));
+        // `Comm::barrier` is a collective over the whole universe; when
+        // the trace drives only a subset of a larger universe, sync the
+        // active ranks with a linear fan-in/fan-out through rank 0
+        // instead (1-byte eager messages in a tag range disjoint from
+        // the positive transfer tags).
+        let active = trace.nranks;
+        let subset = comm.size() != active;
+        let sync_buf = os.alloc_local(p, 1);
+        let mut sync_seq: i32 = 0;
+        let mut sync = |pending: &mut Vec<Request>| {
+            comm.waitall(pending);
+            pending.clear();
+            if !subset {
+                comm.barrier();
+                return;
+            }
+            sync_seq += 1;
+            let tag = i32::MIN / 2 + sync_seq;
+            if me == 0 {
+                for r in 1..active {
+                    comm.recv(Some(r), Some(tag), sync_buf, 0, 1);
+                }
+                for r in 1..active {
+                    comm.send(r, tag, sync_buf, 0, 1);
+                }
+            } else {
+                comm.send(0, tag, sync_buf, 0, 1);
+                comm.recv(Some(0), Some(tag), sync_buf, 0, 1);
+            }
+        };
         let mut pending: Vec<Request> = Vec::new();
         let mut tag = 0i32;
         for op in &trace.ops {
@@ -204,19 +313,20 @@ pub fn replay(
                     comm.proc().compute(ps);
                 }
                 Op::Barrier => {
-                    comm.waitall(&pending);
-                    pending.clear();
-                    comm.barrier();
+                    sync(&mut pending);
                 }
             }
         }
-        comm.waitall(&pending);
-        comm.barrier();
+        sync(&mut pending);
+        polls.fetch_add(comm.polls(), std::sync::atomic::Ordering::Relaxed);
     });
-    TraceResult {
-        makespan: report.makespan,
-        l2_misses: m2.snapshot().l2_misses(),
-    }
+    (
+        TraceResult {
+            makespan: report.makespan,
+            l2_misses: m2.snapshot().l2_misses(),
+        },
+        polls.into_inner(),
+    )
 }
 
 #[cfg(test)]
@@ -241,6 +351,49 @@ mod tests {
         assert_eq!(a.ops, b.ops);
         let c = Trace::random(4, 50, 64, 1 << 16, 8);
         assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn mmpp_trace_is_bursty_sparse_and_deterministic() {
+        let pairs = [(0usize, 1usize), (2, 3), (5, 4)];
+        let a = Trace::mmpp(64, &pairs, 200, 4 << 10, 0.1, 0.3, 1.5, 11);
+        let b = Trace::mmpp(64, &pairs, 200, 4 << 10, 0.1, 0.3, 1.5, 11);
+        assert_eq!(a.ops, b.ops, "same seed, same trace");
+        // Traffic only on the listed pairs, and every listed pair gets
+        // some (200 steps at these rates turn each chain ON many times;
+        // the matrix is undirected, so check both orientations).
+        let tm = a.traffic();
+        for s in 0..64 {
+            for d in s + 1..64 {
+                let expect = pairs.contains(&(s, d)) || pairs.contains(&(d, s));
+                assert_eq!(tm.between(s, d) > 0, expect, "pair ({s},{d})");
+            }
+        }
+        // Bursty: messages cluster — the trace must contain both
+        // back-to-back transfers on one pair and quiet stretches.
+        assert!(a.ops.len() > 50, "chains stayed OFF for 200 steps?");
+        let xfers = a
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Xfer { .. }))
+            .count();
+        let expected_uniform = 200.0 * pairs.len() as f64;
+        assert!(
+            (xfers as f64) < 0.8 * expected_uniform,
+            "OFF states must suppress traffic: {xfers} transfers"
+        );
+    }
+
+    #[test]
+    fn replay_mmpp_completes() {
+        let t = Trace::mmpp(8, &[(0, 1), (2, 5), (6, 3)], 40, 8 << 10, 0.2, 0.3, 1.0, 3);
+        let r = replay(
+            MachineConfig::xeon_e5345(),
+            NemesisConfig::with_lmt(LmtSelect::ShmCopy),
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            &t,
+        );
+        assert!(r.makespan > 0);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Many-rank scale-out integration: universes declared for far more
+//! ranks than carry traffic must cost O(active) to progress, keep tuner
+//! state at touched-pairs, and persist learned state across universes
+//! through the snapshot file hook.
+
+use std::sync::Arc;
+
+use nemesis::core::{KnemSelect, LmtSelect, Nemesis, NemesisConfig, ThresholdSelect};
+use nemesis::kernel::Os;
+use nemesis::sim::{run_simulation, Machine, MachineConfig};
+use nemesis::workloads::{replay_on, Trace};
+
+fn learned_cfg() -> NemesisConfig {
+    NemesisConfig {
+        threshold: ThresholdSelect::Learned,
+        ..NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::Auto))
+    }
+}
+
+/// A unique scratch path per test (the suite runs tests in parallel).
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("nemesis-{}-{}.tuner", name, std::process::id()))
+}
+
+/// Drive one rendezvous pingpong between ranks 0 and 1 of `nem`.
+fn pingpong_once(machine: Arc<Machine>, nem: &Arc<Nemesis>, reps: usize) {
+    let nem2 = Arc::clone(nem);
+    run_simulation(machine, &[0, 1], move |p| {
+        let comm = nem2.attach(p);
+        let os = comm.os();
+        let len = 256 << 10;
+        let sbuf = os.alloc(comm.rank(), len);
+        let rbuf = os.alloc(comm.rank(), len);
+        for rep in 0..reps {
+            let tag = rep as i32;
+            if comm.rank() == 0 {
+                comm.send(1, tag, sbuf, 0, len);
+                comm.recv(Some(1), Some(tag), rbuf, 0, len);
+            } else {
+                comm.recv(Some(0), Some(tag), rbuf, 0, len);
+                comm.send(0, tag, sbuf, 0, len);
+            }
+        }
+    });
+}
+
+/// Learned state written on teardown must warm-start a fresh universe
+/// through `tuner_snapshot_path` — the file round trip, not just the
+/// in-memory snapshot string.
+#[test]
+fn tuner_snapshot_file_roundtrips_across_universes() {
+    let path = scratch_path("roundtrip");
+    let _ = std::fs::remove_file(&path);
+    let cfg = NemesisConfig {
+        tuner_snapshot_path: Some(path.to_string_lossy().into_owned()),
+        ..learned_cfg()
+    };
+
+    // Universe A: learn from traffic, then drop (teardown saves).
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, 2, cfg.clone());
+    pingpong_once(Arc::clone(&machine), &nem, 6);
+    let learned_dma = nem.policy().tuner().expect("tuner").snapshot(0, 1).dma_min;
+    drop(nem);
+    let on_disk = std::fs::read_to_string(&path).expect("teardown wrote the snapshot file");
+    assert!(!on_disk.is_empty());
+
+    // Universe B: fresh construction with the same path loads the file —
+    // the learned pair is resident before any traffic flows.
+    let machine_b = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os_b = Arc::new(Os::new(Arc::clone(&machine_b)));
+    let nem_b = Nemesis::new(os_b, 2, cfg);
+    assert!(
+        nem_b.policy().resident_pairs().unwrap_or(0) >= 1,
+        "snapshot load must materialize the learned pairs"
+    );
+    assert_eq!(
+        nem_b
+            .policy()
+            .tuner()
+            .expect("tuner")
+            .snapshot(0, 1)
+            .dma_min,
+        learned_dma,
+        "warm-started DMAmin must match what universe A learned"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An explicit `tuner_snapshot` string must win over the file path.
+#[test]
+fn explicit_snapshot_string_beats_file() {
+    let path = scratch_path("explicit-wins");
+    // A file whose learned state is distinguishable from the string's.
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let file_cfg = NemesisConfig {
+        tuner_snapshot_path: Some(path.to_string_lossy().into_owned()),
+        ..learned_cfg()
+    };
+    let nem = Nemesis::new(os, 2, file_cfg.clone());
+    pingpong_once(Arc::clone(&machine), &nem, 6);
+    drop(nem);
+    let file_snap = std::fs::read_to_string(&path).expect("snapshot file");
+
+    let machine_b = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os_b = Arc::new(Os::new(Arc::clone(&machine_b)));
+    let cfg = NemesisConfig {
+        tuner_snapshot: Some(file_snap),
+        tuner_snapshot_path: Some("/nonexistent/never-read".into()),
+        ..learned_cfg()
+    };
+    let nem_b = Nemesis::new(os_b, 2, cfg);
+    assert!(
+        nem_b.policy().resident_pairs().unwrap_or(0) >= 1,
+        "the explicit string must be imported even when the path is dead"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A 256-rank universe with 8 active ranks must complete a bursty
+/// replay and keep tuner residency at touched pairs, not ranks².
+#[test]
+fn many_rank_universe_smoke() {
+    let pairs: Vec<(usize, usize)> = (0..4)
+        .flat_map(|k| [(2 * k, 2 * k + 1), (2 * k + 1, 2 * k)])
+        .collect();
+    let trace = Trace::mmpp(8, &pairs, 24, 256 << 10, 0.2, 0.3, 1.0, 5);
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, 256, learned_cfg());
+    let placements: Vec<usize> = (0..8).collect();
+    let (result, polls) = replay_on(Arc::clone(&machine), &nem, &placements, &trace);
+    assert!(result.makespan > 0);
+    assert!(polls > 0);
+    let resident = nem.policy().resident_pairs().expect("learned config");
+    // Only the 8 directed MMPP pairs carry rendezvous traffic (the
+    // subset-barrier messages are eager); 256² would be 65,536.
+    assert!(
+        resident <= pairs.len() + 8,
+        "resident cells must track touched pairs, got {resident}"
+    );
+}
