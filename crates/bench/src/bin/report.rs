@@ -3,13 +3,15 @@
 //! trajectory can be tracked against across PRs.
 //!
 //! ```text
-//! report [--out PATH] [--quick] [--scaling-only]
+//! report [--out PATH] [--quick] [--scaling-only] [--faults-only]
 //! ```
 //!
-//! * `--out PATH` — where to write the JSON (default `BENCH_6.json`).
+//! * `--out PATH` — where to write the JSON (default `BENCH_7.json`).
 //! * `--quick` — CI smoke mode: tiny repetition counts, same shape.
 //! * `--scaling-only` — emit only the `rank_scaling` section (the
 //!   seconds-scale CI lane for the scale-out acceptance bar).
+//! * `--faults-only` — emit only the `fault_recovery` section (the
+//!   seconds-scale CI lane for the availability acceptance bar).
 //!
 //! Sections (the first four keep the `BENCH_3.json` shape, so the
 //! perf trajectory stays comparable across PRs):
@@ -43,6 +45,11 @@
 //!   policy and the best fixed backend, at 64 B / 4 KiB / 1 MiB on
 //!   both simulated parts. The acceptance bar: converged learned
 //!   selection ≥ 0.95× the best fixed backend at every size.
+//! * `fault_recovery` — the availability story: 1 MiB striped
+//!   bandwidth with the KNEM rail dead vs fault-free (the degraded
+//!   mode must retain ≥ 0.5× of the fault-free number), plus the
+//!   virtual-time recovery latency of a dropped DONE (detection +
+//!   capped-backoff retry against the fault-free twin).
 //! * `rank_scaling` — the scale-out story: one fixed bursty MMPP
 //!   workload (8 active ranks, 8 directed pairs, rendezvous-sized
 //!   messages) replayed inside universes declared for 8/64/256 ranks.
@@ -55,7 +62,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nemesis_core::{
-    BackendSelect, ChunkScheduleSelect, KnemSelect, LmtSelect, Nemesis, NemesisConfig,
+    BackendSelect, ChunkScheduleSelect, FaultPlan, KnemSelect, LmtSelect, Nemesis, NemesisConfig,
     ThresholdSelect,
 };
 use nemesis_kernel::Os;
@@ -394,6 +401,99 @@ fn rank_scaling_probe(universe: usize, steps: u32) -> (f64, u64, usize) {
     (host_ns / polls.max(1) as f64, polls, resident)
 }
 
+/// Virtual-time elapsed (ps) on rank 0 for `reps` timed pingpongs of
+/// `size` under an optional fault plan, after `warm` untimed
+/// roundtrips. The warmup absorbs one-shot faults (a rail abort plus
+/// its recovery), so the timed reps measure the degraded steady state;
+/// with `warm == 0` the fault's detection and retry cost lands inside
+/// the timed window instead.
+fn sim_fault_elapsed(lmt: LmtSelect, plan: Option<&str>, size: u64, reps: u32, warm: u32) -> u64 {
+    let mut cfg = NemesisConfig::with_lmt(lmt);
+    cfg.fault_plan = plan.map(|p| FaultPlan::parse(p).expect("fault plan"));
+    cfg.retry_deadline_ps = 2_000_000_000; // 2 ms sim: bound the recovery wait
+    let mcfg = MachineConfig::xeon_e5345();
+    let (a, b) = mcfg
+        .topology
+        .pair_for(Placement::DifferentSocket)
+        .expect("pair");
+    let machine = Arc::new(Machine::new(mcfg));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, 2, cfg);
+    let elapsed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let e2 = Arc::clone(&elapsed);
+    run_simulation(machine, &[a, b], move |p| {
+        let comm = nem.attach(p);
+        let os = comm.os();
+        let sbuf = os.alloc(comm.rank(), size);
+        let rbuf = os.alloc(comm.rank(), size);
+        let mut t0 = comm.proc().now();
+        for rep in 0..(warm + reps) {
+            if rep == warm {
+                t0 = comm.proc().now();
+            }
+            let tag = rep as i32;
+            if comm.rank() == 0 {
+                comm.send(1, tag, sbuf, 0, size);
+                comm.recv(Some(1), Some(tag), rbuf, 0, size);
+            } else {
+                comm.recv(Some(0), Some(tag), rbuf, 0, size);
+                comm.send(0, tag, sbuf, 0, size);
+            }
+        }
+        if comm.rank() == 0 {
+            e2.store(comm.proc().now() - t0, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    elapsed.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The `fault_recovery` section. Two experiments, both in virtual
+/// time so the numbers are deterministic:
+/// * degraded-mode bandwidth — a 2-rail stripe whose KNEM rail aborts
+///   during warmup, timed anchor-only against the fault-free twin
+///   (the acceptance bar: retention ≥ 0.5);
+/// * recovery latency — one rendezvous whose DONE is dropped; the
+///   sender re-sends after the retry deadline, and the delta against
+///   the fault-free twin is the detection + retry cost.
+fn emit_fault_recovery(json: &mut String, quick: bool, last: bool) {
+    let reps = if quick { 2 } else { 4 };
+    let size = 1u64 << 20;
+    eprintln!("[report] fault recovery: degraded striped bandwidth…");
+    let striped = LmtSelect::Striped { rails: 2 };
+    let free_ps = sim_fault_elapsed(striped, None, size, reps, 1);
+    let degraded_ps =
+        sim_fault_elapsed(striped, Some("rail-fail:rail=knem,times=1"), size, reps, 1);
+    let to_mib_s =
+        |ps: u64| (2 * reps as u64 * size) as f64 / (1 << 20) as f64 / (ps as f64 / 1e12);
+    let free_bw = to_mib_s(free_ps);
+    let degraded_bw = to_mib_s(degraded_ps);
+    eprintln!("[report] fault recovery: dropped-DONE latency…");
+    let clean_ps = sim_fault_elapsed(LmtSelect::Cma, None, size, 1, 0);
+    let dropped_ps = sim_fault_elapsed(LmtSelect::Cma, Some("drop-done:count=1"), size, 1, 0);
+    let recovery_us = dropped_ps.saturating_sub(clean_ps) as f64 / 1e6;
+    let _ = writeln!(json, "  \"fault_recovery\": {{");
+    let _ = writeln!(json, "    \"striped_2rail_1MiB_mib_s\": {{");
+    let _ = writeln!(json, "      \"fault_free\": {free_bw:.1},");
+    let _ = writeln!(json, "      \"knem_rail_failed\": {degraded_bw:.1},");
+    let _ = writeln!(json, "      \"retention\": {:.3}", degraded_bw / free_bw);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"dropped_done_1MiB\": {{");
+    let _ = writeln!(
+        json,
+        "      \"fault_free_us\": {:.1},",
+        clean_ps as f64 / 1e6
+    );
+    let _ = writeln!(
+        json,
+        "      \"with_dropped_done_us\": {:.1},",
+        dropped_ps as f64 / 1e6
+    );
+    let _ = writeln!(json, "      \"recovery_latency_us\": {recovery_us:.1},");
+    let _ = writeln!(json, "      \"retry_deadline_ms\": 2.0");
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }}{}", if last { "" } else { "," });
+}
+
 /// The `rank_scaling` section (always the report's last section — no
 /// trailing comma). Host wall-clock per poll is noisy, so each point
 /// takes the best of a few repetitions (min is the right statistic for
@@ -442,28 +542,37 @@ fn emit_rank_scaling(json: &mut String, quick: bool) {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut quick = false;
     let mut scaling_only = false;
+    let mut faults_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--quick" => quick = true,
             "--scaling-only" => scaling_only = true,
+            "--faults-only" => faults_only = true,
             other => {
-                panic!("unknown argument {other:?} (expected --out/--quick/--scaling-only)")
+                panic!(
+                    "unknown argument {other:?} \
+                     (expected --out/--quick/--scaling-only/--faults-only)"
+                )
             }
         }
     }
-    // The CI smoke lane: just the rank-scaling sweep, bounded to
-    // seconds, so the scale-out acceptance bar is checked on every push
-    // without paying for the wall-clock bandwidth sections.
-    if scaling_only {
+    // The CI smoke lanes: one section each, bounded to seconds, so the
+    // scale-out and availability acceptance bars are checked on every
+    // push without paying for the wall-clock bandwidth sections.
+    if scaling_only || faults_only {
         let mut json = String::from("{\n");
-        let _ = writeln!(json, "  \"issue\": 6,");
+        let _ = writeln!(json, "  \"issue\": 7,");
         let _ = writeln!(json, "  \"quick\": {quick},");
-        emit_rank_scaling(&mut json, quick);
+        if faults_only {
+            emit_fault_recovery(&mut json, quick, true);
+        } else {
+            emit_rank_scaling(&mut json, quick);
+        }
         json.push_str("}\n");
         std::fs::write(&out_path, &json).expect("write report");
         println!("{json}");
@@ -487,7 +596,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"issue\": 6,");
+    let _ = writeln!(json, "  \"issue\": 7,");
     let _ = writeln!(json, "  \"quick\": {quick},");
 
     // --- queue message rates -------------------------------------------------
@@ -837,6 +946,7 @@ fn main() {
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
 
+    emit_fault_recovery(&mut json, quick, false);
     emit_rank_scaling(&mut json, quick);
     json.push_str("}\n");
 

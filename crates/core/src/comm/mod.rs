@@ -45,6 +45,13 @@ use state::{CommInner, PostedRecv, ReqState};
 /// time aborts the run (almost certainly an application deadlock).
 pub(super) const WATCHDOG_PS: Ps = 200_000_000_000_000; // 200 simulated seconds
 
+/// Cap on RTS re-announcements and DONE re-sends per transfer (the
+/// capped half of the capped-exponential retry). Fault budgets are
+/// finite, so a retry always gets through within the cap; stopping
+/// afterwards keeps a genuinely dead peer from generating control
+/// traffic forever.
+pub(super) const MAX_CTRL_RETRIES: u32 = 6;
+
 /// Tag wildcard.
 pub const ANY_TAG: Option<i32> = None;
 /// Source wildcard.
@@ -78,6 +85,45 @@ impl std::fmt::Display for BackendUnavailable {
 
 impl std::error::Error for BackendUnavailable {}
 
+/// Observable health of a directed peer path, as the sender sees it
+/// (`src → dst` in transfer direction). Only maintained when a fault
+/// plan is loaded; fault-free universes report every pair [`Healthy`]
+/// (`PeerHealth::Healthy`) without touching the map.
+///
+/// The machine: `Healthy → Suspect` on a missed retry deadline,
+/// `Suspect → Quarantined` on the second strike, `Quarantined →
+/// Probing` after the holdoff (one undegraded transfer probes the
+/// path), then `Probing → Healthy` on completion or back to
+/// `Quarantined` on another timeout. While `Suspect`, striped
+/// transfers degrade to their CMA anchor; while `Quarantined`,
+/// everything degrades to the copy ring (the one wire with no kernel
+/// mechanism to lose). Re-admission is therefore *probed*, never
+/// assumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeerHealth {
+    /// No missed deadlines; full selection applies.
+    #[default]
+    Healthy,
+    /// One missed retry deadline: striped → anchor.
+    Suspect,
+    /// Two strikes (or a failed probe): everything → ring until the
+    /// holdoff expires.
+    Quarantined,
+    /// Holdoff expired; one undegraded transfer is testing the path.
+    Probing,
+}
+
+/// Per-pair health bookkeeping (see [`PeerHealth`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerCell {
+    state: PeerHealth,
+    /// When the current state was entered (drives the quarantine
+    /// holdoff).
+    since: Ps,
+    /// Consecutive missed deadlines while not yet quarantined.
+    strikes: u32,
+}
+
 /// The shared communication universe: one per simulation.
 pub struct Nemesis {
     pub(crate) os: Arc<Os>,
@@ -102,6 +148,13 @@ pub struct Nemesis {
     /// stripe set (the receiver marks, the sender consults — the shared
     /// universe stands in for the NACK a real transport would send).
     failed_rails: Mutex<std::collections::HashSet<(usize, usize, u8)>>,
+    /// The deterministic fault injector, armed from
+    /// [`NemesisConfig::fault_plan`]. Inert (one branch per query) when
+    /// no plan is loaded.
+    faults: crate::fault::FaultEngine,
+    /// Peer-health cells, keyed by directed pair (sender's view). Only
+    /// populated while a fault plan is loaded.
+    health: Mutex<std::collections::HashMap<(usize, usize), PeerCell>>,
 }
 
 impl Drop for Nemesis {
@@ -119,6 +172,7 @@ impl Nemesis {
     pub fn new(os: Arc<Os>, nprocs: usize, cfg: NemesisConfig) -> Arc<Self> {
         let (seg, state) = ShmSegment::new(&os, nprocs, &cfg);
         let policy = crate::lmt::TransferPolicy::from_config(&cfg, nprocs);
+        let faults = crate::fault::FaultEngine::new(cfg.fault_plan.as_ref());
         Arc::new(Self {
             os,
             cfg,
@@ -128,6 +182,8 @@ impl Nemesis {
             policy,
             cores: Mutex::new(vec![None; nprocs]),
             failed_rails: Mutex::new(std::collections::HashSet::new()),
+            faults,
+            health: Mutex::new(std::collections::HashMap::new()),
         })
     }
 
@@ -167,13 +223,136 @@ impl Nemesis {
     /// Persist the learned state to
     /// [`tuner_snapshot_path`](NemesisConfig::tuner_snapshot_path) now
     /// (no-op without a path or a tuner). Teardown calls this; exposed
-    /// for checkpointing mid-run.
+    /// for checkpointing mid-run. An unwritable path is logged and
+    /// tolerated — losing a warm-start must never abort teardown (this
+    /// runs from `Drop`, where a panic would escalate to a process
+    /// abort if the universe unwinds during another panic).
     pub fn save_tuner_snapshot(&self) {
         if let (Some(path), Some(snap)) = (
             self.cfg.tuner_snapshot_path.as_ref(),
             self.policy.export_snapshot(),
         ) {
-            let _ = std::fs::write(path, snap);
+            if let Err(e) = std::fs::write(path, snap) {
+                eprintln!("nemesis: tuner snapshot not saved to {path:?}: {e} (continuing)");
+            }
+        }
+    }
+
+    /// The deterministic fault injector (inert without a configured
+    /// plan).
+    pub fn faults(&self) -> &crate::fault::FaultEngine {
+        &self.faults
+    }
+
+    /// Current health of the directed pair, as the sender sees it.
+    pub fn peer_health(&self, src: usize, dst: usize) -> PeerHealth {
+        self.health
+            .lock()
+            .get(&(src, dst))
+            .map(|c| c.state)
+            .unwrap_or_default()
+    }
+
+    /// A rendezvous to `dst` missed its retry deadline: advance the
+    /// pair's health machine. `sel` is the selection the stalled
+    /// transfer ran under — on quarantine entry under the learned
+    /// backend its arm is demoted, so the bandit's demotion window and
+    /// the health holdoff expire together and re-admission goes through
+    /// one probe instead of an immediate re-pick.
+    pub(crate) fn note_peer_timeout(
+        &self,
+        src: usize,
+        dst: usize,
+        now: Ps,
+        sel: Option<LmtSelect>,
+    ) {
+        let mut health = self.health.lock();
+        let cell = health.entry((src, dst)).or_default();
+        let quarantine = |cell: &mut PeerCell| {
+            cell.state = PeerHealth::Quarantined;
+            cell.since = now;
+            cell.strikes = 0;
+        };
+        match cell.state {
+            PeerHealth::Healthy => {
+                cell.state = PeerHealth::Suspect;
+                cell.since = now;
+                cell.strikes = 1;
+            }
+            PeerHealth::Suspect => {
+                cell.strikes += 1;
+                if cell.strikes >= 2 {
+                    quarantine(cell);
+                    if let Some(sel) = sel {
+                        if self.policy.is_learned_backend() {
+                            if let Some(tuner) = self.policy.tuner() {
+                                tuner.demote_arm(src, dst, sel);
+                            }
+                        }
+                    }
+                }
+            }
+            // A failed probe goes straight back to quarantine (the
+            // holdoff restarts).
+            PeerHealth::Probing => quarantine(cell),
+            PeerHealth::Quarantined => {}
+        }
+    }
+
+    /// A rendezvous to `dst` completed: a Suspect or Probing pair is
+    /// re-admitted as Healthy. (Quarantined pairs stay put — their
+    /// degraded ring transfers completing proves nothing about the
+    /// mechanisms that timed out; re-admission waits for the probe.)
+    pub(crate) fn note_peer_ok(&self, src: usize, dst: usize) {
+        if !self.faults.active() {
+            return;
+        }
+        let mut health = self.health.lock();
+        if let Some(cell) = health.get_mut(&(src, dst)) {
+            if matches!(cell.state, PeerHealth::Suspect | PeerHealth::Probing) {
+                cell.state = PeerHealth::Healthy;
+                cell.strikes = 0;
+            }
+        }
+    }
+
+    /// Degrade a resolved selection by the pair's health (fault-plan
+    /// universes only): Suspect strips striping down to its CMA
+    /// anchor; Quarantined degrades everything to the copy ring, until
+    /// the holdoff (2× the retry deadline) expires — then the first
+    /// *committed* resolution runs undegraded as the re-admission
+    /// probe. This is the one place a fixed selection may change, and
+    /// only because the fault contract documents it: a peer that
+    /// stopped answering must not wedge every transfer behind a dead
+    /// mechanism.
+    fn degrade_for_health(
+        &self,
+        src: usize,
+        dst: usize,
+        sel: LmtSelect,
+        commit: bool,
+        now: Ps,
+    ) -> LmtSelect {
+        let mut health = self.health.lock();
+        let Some(cell) = health.get_mut(&(src, dst)) else {
+            return sel;
+        };
+        match cell.state {
+            PeerHealth::Healthy | PeerHealth::Probing => sel,
+            PeerHealth::Suspect => match sel {
+                LmtSelect::Striped { .. } if self.cfg.cma_available => LmtSelect::Cma,
+                other => other,
+            },
+            PeerHealth::Quarantined => {
+                let holdoff = 2 * self.cfg.retry_deadline_ps;
+                if commit && now.saturating_sub(cell.since) >= holdoff {
+                    cell.state = PeerHealth::Probing;
+                    cell.since = now;
+                    sel
+                } else {
+                    LmtSelect::ShmCopy
+                }
+            }
         }
     }
 
@@ -201,6 +380,8 @@ impl Nemesis {
     /// direction, since single-copy never loses badly. `commit` marks a
     /// resolution that a transfer will actually follow (see
     /// [`Nemesis::learned_backend_select`]); inspections pass `false`.
+    /// `now` feeds the peer-health degradation (fault-plan universes
+    /// only — see [`Nemesis::degrade_for_health`]).
     pub(crate) fn resolve_select(
         &self,
         src: usize,
@@ -208,41 +389,49 @@ impl Nemesis {
         dst: usize,
         len: u64,
         commit: bool,
+        now: Ps,
     ) -> Result<LmtSelect, BackendUnavailable> {
         let unavailable = |select, reason| BackendUnavailable {
             select,
             peer: dst,
             reason,
         };
-        match self.cfg.lmt {
+        let sel = match self.cfg.lmt {
             LmtSelect::Dynamic => {
                 if let Some(sel) = self.learned_backend_select(src, dst, len, commit) {
-                    return Ok(sel);
+                    sel
+                } else {
+                    let shared = match self.cores.lock()[dst] {
+                        Some(dst_core) => {
+                            policy::cores_share_cache(self.os.machine(), src_core, dst_core)
+                        }
+                        None => false,
+                    };
+                    let dma_min = self.policy.dma_min(self.os.machine(), Some((src, dst)), 1);
+                    policy::blended_select(&self.cfg, shared, len, dma_min)
                 }
-                let shared = match self.cores.lock()[dst] {
-                    Some(dst_core) => {
-                        policy::cores_share_cache(self.os.machine(), src_core, dst_core)
-                    }
-                    None => false,
-                };
-                let dma_min = self.policy.dma_min(self.os.machine(), Some((src, dst)), 1);
-                Ok(policy::blended_select(&self.cfg, shared, len, dma_min))
             }
             sel @ LmtSelect::Knem(_) if !self.cfg.knem_available => {
-                Err(unavailable(sel, "KNEM module not loaded"))
+                return Err(unavailable(sel, "KNEM module not loaded"))
             }
             sel @ LmtSelect::Cma if !self.cfg.cma_available => {
-                Err(unavailable(sel, "kernel lacks process_vm_readv"))
+                return Err(unavailable(sel, "kernel lacks process_vm_readv"))
             }
             sel @ LmtSelect::Vmsplice if !self.cfg.vmsplice_available => {
-                Err(unavailable(sel, "kernel lacks vmsplice"))
+                return Err(unavailable(sel, "kernel lacks vmsplice"))
             }
-            sel @ LmtSelect::Striped { .. } if !self.cfg.cma_available => Err(unavailable(
-                sel,
-                "striping requires the CMA anchor rail (process_vm_readv)",
-            )),
-            fixed => Ok(fixed),
+            sel @ LmtSelect::Striped { .. } if !self.cfg.cma_available => {
+                return Err(unavailable(
+                    sel,
+                    "striping requires the CMA anchor rail (process_vm_readv)",
+                ))
+            }
+            fixed => fixed,
+        };
+        if !self.faults.active() {
+            return Ok(sel);
         }
+        Ok(self.degrade_for_health(src, dst, sel, commit, now))
     }
 
     /// The learned replacement of the blended `Dynamic` resolution:
@@ -290,8 +479,19 @@ impl Nemesis {
                 quarantined[i] = failed.contains(&(src, dst, kind.code()));
             }
         }
-        for (i, (_, sel)) in KIND_ARMS.iter().enumerate() {
-            if quarantined[i] {
+        for (i, (kind, sel)) in KIND_ARMS.iter().enumerate() {
+            if !quarantined[i] {
+                continue;
+            }
+            if tuner.arm_demote_spent(src, dst, *sel) && !tuner.arm_banned(src, dst, *sel) {
+                // The demotion window has fully expired: the arm served
+                // its sentence. Re-admit the rail kind so the next
+                // transfer that picks this arm *probes* the mechanism;
+                // clearing the demotion lets a second fault demote it
+                // again rather than silently re-picking forever.
+                self.clear_rail_failure(src, dst, kind.code());
+                tuner.arm_reset_demotion(src, dst, *sel);
+            } else {
                 tuner.demote_arm(src, dst, *sel);
             }
         }
@@ -325,6 +525,14 @@ impl Nemesis {
     /// first time (so an injected fault fires exactly once per pair).
     pub(crate) fn mark_rail_failed(&self, src: usize, dst: usize, kind: u8) -> bool {
         self.failed_rails.lock().insert((src, dst, kind))
+    }
+
+    /// Lift a rail kind's quarantine for the directed pair — the
+    /// re-admission path once its selector demotion window has expired
+    /// (see [`Nemesis::learned_backend_select`]). Returns whether the
+    /// entry existed.
+    pub(crate) fn clear_rail_failure(&self, src: usize, dst: usize, kind: u8) -> bool {
+        self.failed_rails.lock().remove(&(src, dst, kind))
     }
 
     /// The quarantined rail kinds of a directed pair, as
@@ -448,7 +656,7 @@ impl<'a> Comm<'a> {
     /// never arrive.
     pub fn try_select(&self, dst: usize, len: u64) -> Result<LmtSelect, BackendUnavailable> {
         self.nem
-            .resolve_select(self.rank(), self.p.core(), dst, len, false)
+            .resolve_select(self.rank(), self.p.core(), dst, len, false, self.p.now())
     }
 
     /// Build the sender-side chunk pipeline for a streaming transfer
@@ -535,7 +743,7 @@ impl<'a> Comm<'a> {
         }
         let sel = self
             .nem
-            .resolve_select(self.rank(), self.p.core(), dst, len, true)
+            .resolve_select(self.rank(), self.p.core(), dst, len, true, self.p.now())
             .unwrap_or_else(|e| panic!("{e}"));
         if lmt::backend_for(sel).scatter_native() {
             return self.rndv_send_iovs(dst, tag, &layout.iovs(buf), len, sel);

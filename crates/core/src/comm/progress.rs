@@ -22,6 +22,13 @@ impl Comm<'_> {
     pub fn progress(&self) -> bool {
         let me = self.rank();
         self.polls.set(self.polls.get() + 1);
+        // Fault injection: a stalled rank simply stops polling — its
+        // queue backs up, its transfers sit, and its peers' detection
+        // machinery (retry deadlines, health strikes) is what must
+        // cope. The rank resumes by itself when the window closes.
+        if self.nem.faults().stalled(me, self.p.now()) {
+            return false;
+        }
         let mut did = false;
         // 1. Doorbell-gated drain — the poll reads the doorbell words
         // (cached while idle; see `ShmSegment::charge_doorbell_poll`)
@@ -109,10 +116,73 @@ impl Comm<'_> {
             sends.merge(added);
             inner.sends = sends;
         }
+        // 4. Re-send unacknowledged DONEs (entries exist only under a
+        // fault plan): DONEs carry no ack, so each one is re-announced
+        // on a capped backoff clock — if the original was dropped, a
+        // re-send unpins the sender; if it got through, the sender's
+        // orphan tolerance absorbs the duplicate.
+        let due: Vec<(usize, u64)> = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.sent_dones.is_empty() {
+                Vec::new()
+            } else {
+                let now = self.p.now();
+                let mut due = Vec::new();
+                inner.sent_dones.retain_mut(|d| {
+                    if now < d.next_at {
+                        return true;
+                    }
+                    if d.retries >= super::MAX_CTRL_RETRIES {
+                        return false;
+                    }
+                    d.retries += 1;
+                    d.interval = d.interval.saturating_mul(2);
+                    d.next_at = now + d.interval;
+                    due.push((d.dst, d.msg_id));
+                    true
+                });
+                due
+            }
+        };
+        for (dst, msg_id) in due {
+            self.enqueue(
+                dst,
+                Envelope {
+                    src: me,
+                    tag: 0,
+                    kind: PktKind::Done { msg_id },
+                },
+            );
+            did = true;
+        }
         did
     }
 
     pub(super) fn enqueue(&self, dst: usize, env: Envelope) {
+        // Packet-level fault injection, control packets only (an RTS or
+        // DONE "on the wire" can vanish or double; payload movement is
+        // covered by the rail/window fault classes).
+        if self.nem.faults().active() {
+            if let PktKind::Rts { .. } | PktKind::Done { .. } = env.kind {
+                let is_rts = matches!(env.kind, PktKind::Rts { .. });
+                match self.nem.faults().packet_action(is_rts, self.p.now()) {
+                    crate::fault::PacketAction::Deliver => {}
+                    crate::fault::PacketAction::Drop => {
+                        // The sender paid for the send; the packet never
+                        // lands. Recovery is the retry clocks' job.
+                        self.p.yield_now();
+                        return;
+                    }
+                    crate::fault::PacketAction::Duplicate => {
+                        self.enqueue_one(dst, env.clone());
+                    }
+                }
+            }
+        }
+        self.enqueue_one(dst, env);
+    }
+
+    fn enqueue_one(&self, dst: usize, env: Envelope) {
         let me = self.rank();
         let start = self.p.now();
         loop {
@@ -160,7 +230,14 @@ impl Comm<'_> {
                         let absorbed = inner.sends.shard_mut(env.src).is_some_and(|shard| {
                             shard.values_mut().any(|s| s.op.absorb_done(msg_id))
                         });
-                        assert!(absorbed, "DONE for unknown send (msg id {msg_id:#x})");
+                        // Fault-free, an unmatched DONE is a protocol
+                        // bug. Under a fault plan it is expected: the
+                        // receiver's DONE re-send for a transfer whose
+                        // first DONE already completed us.
+                        assert!(
+                            absorbed || self.nem.faults().active(),
+                            "DONE for unknown send (msg id {msg_id:#x})"
+                        );
                         None
                     }
                 }
@@ -173,6 +250,27 @@ impl Comm<'_> {
                 self.complete_send(&mut s);
             }
             return;
+        }
+        // Duplicate-RTS guard (armed only under a fault plan): a
+        // re-announced RTS whose original got through must not match a
+        // second posted receive. Three places the original can live:
+        // still in flight (`recvs`), already completed
+        // (`completed_recvs`), or parked unmatched (`unexpected`).
+        // Dedup runs *before* matching — `OpShards::insert` asserts
+        // msg-id uniqueness.
+        if self.nem.faults().active() {
+            if let PktKind::Rts { msg_id, .. } = env.kind {
+                let inner = self.inner.borrow();
+                let dup = inner.recvs.contains(env.src, msg_id)
+                    || inner.completed_recvs.contains(&(env.src, msg_id))
+                    || inner.unexpected.iter().any(|e| {
+                        e.src == env.src
+                            && matches!(e.kind, PktKind::Rts { msg_id: m, .. } if m == msg_id)
+                    });
+                if dup {
+                    return;
+                }
+            }
         }
         // Eager or RTS: match against posted receives in post order
         // (the source-bucketed set only scans candidates of `env.src`

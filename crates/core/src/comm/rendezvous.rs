@@ -34,7 +34,7 @@ impl Comm<'_> {
     ) -> Request {
         let sel = self
             .nem
-            .resolve_select(self.rank(), self.p.core(), dst, len, true)
+            .resolve_select(self.rank(), self.p.core(), dst, len, true, self.p.now())
             .unwrap_or_else(|e| panic!("{e}"));
         self.rndv_send_inner(dst, tag, &[Iov::new(buf, off, len)], staging, sel)
     }
@@ -93,20 +93,29 @@ impl Comm<'_> {
             None
         };
         let (wire, op) = backend.start_send(self, &t, iovs);
-        self.enqueue(
-            dst,
-            Envelope {
-                src: me,
-                tag,
-                kind: PktKind::Rts {
-                    msg_id,
-                    len,
-                    wire,
-                    concurrency: self.concurrency.get(),
-                    arm,
-                },
+        let env = Envelope {
+            src: me,
+            tag,
+            kind: PktKind::Rts {
+                msg_id,
+                len,
+                wire,
+                concurrency: self.concurrency.get(),
+                arm,
             },
-        );
+        };
+        // Under a fault plan the RTS may vanish on the wire: keep a
+        // clone for re-announcement and arm the retry clock. Fault-free
+        // universes keep `rts: None` — no clone, no deadline, the seed
+        // path byte for byte.
+        let faults_active = self.nem.faults().active();
+        let (rts, next_retry, retry_interval) = if faults_active {
+            let base = self.nem.cfg.retry_deadline_ps;
+            (Some(env.clone()), self.p.now() + base, base)
+        } else {
+            (None, 0, 0)
+        };
+        self.enqueue(dst, env);
         self.inner.borrow_mut().sends.insert(
             dst,
             msg_id,
@@ -116,6 +125,11 @@ impl Comm<'_> {
                 op,
                 done: false,
                 staging,
+                sel,
+                rts,
+                next_retry,
+                retry_interval,
+                retries: 0,
             },
         );
         Request::new(req)
@@ -152,6 +166,15 @@ impl Comm<'_> {
         };
         let op = backend.start_recv(self, &t, &wire, layout.as_ref(), concurrency);
         let (peer, msg_id) = (t.peer, t.msg_id);
+        // Receives get a generous deadline (4× the sender's retry
+        // base): missing it marks the *sender* suspect — it stopped
+        // driving its side or its DONE path is dark. Armed only under
+        // a fault plan.
+        let deadline = if self.nem.faults().active() {
+            self.p.now() + 4 * self.nem.cfg.retry_deadline_ps
+        } else {
+            0
+        };
         self.inner.borrow_mut().recvs.insert(
             peer,
             msg_id,
@@ -165,18 +188,25 @@ impl Comm<'_> {
                 arm,
                 started: self.p.now(),
                 concurrency,
+                deadline,
+                suspected: false,
             },
         );
     }
 
     /// Mark a rendezvous send complete, recycling its pack staging.
     pub(super) fn complete_send(&self, s: &mut SendRndv) {
-        let mut inner = self.inner.borrow_mut();
-        if let Some((cap, stage)) = s.staging.take() {
-            inner.tmp_pool.push((cap, stage));
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some((cap, stage)) = s.staging.take() {
+                inner.tmp_pool.push((cap, stage));
+            }
+            inner.reqs[s.req] = ReqState::Done;
+            s.done = true;
         }
-        inner.reqs[s.req] = ReqState::Done;
-        s.done = true;
+        // A completed rendezvous proves the peer is answering:
+        // re-admit a Suspect/Probing pair (no-op fault-free).
+        self.nem.note_peer_ok(self.rank(), s.t.peer);
     }
 
     /// Mark a rendezvous receive complete: unpack the staging buffer into
@@ -191,6 +221,15 @@ impl Comm<'_> {
         }
         r.done = true;
         self.inner.borrow_mut().reqs[r.req] = ReqState::Done;
+        if self.nem.faults().active() {
+            // Remember the completed transfer so a duplicated RTS that
+            // arrives after its state is gone is recognised and dropped
+            // instead of re-matching a posted receive.
+            self.inner
+                .borrow_mut()
+                .completed_recvs
+                .insert((r.t.peer, r.t.msg_id));
+        }
         let elapsed_ps = self.p.now().saturating_sub(r.started);
         // Credit the selector arm the sender chose (carried in the
         // RTS) with the achieved bandwidth — for every completion,
@@ -219,8 +258,15 @@ impl Comm<'_> {
     pub(super) fn step_send(&self, s: &mut SendRndv, head: Option<u64>) -> bool {
         let is_head = head == Some(s.t.msg_id);
         match s.op.step(self, &s.t, is_head) {
-            Step::Idle => false,
-            Step::Progress => true,
+            Step::Idle => self.maybe_retry_rts(s),
+            Step::Progress => {
+                // Forward progress pushes the retry deadline out — only
+                // a genuinely dark transfer re-announces.
+                if s.next_retry != 0 {
+                    s.next_retry = self.p.now() + s.retry_interval;
+                }
+                true
+            }
             Step::Complete => {
                 self.complete_send(s);
                 true
@@ -228,13 +274,65 @@ impl Comm<'_> {
         }
     }
 
+    /// The detection half of RTS recovery: a send op that has sat idle
+    /// past its deadline re-announces its RTS with capped exponential
+    /// backoff (the receiver's duplicate guard absorbs re-announcements
+    /// whose original got through) and strikes the pair's health cell.
+    /// Unarmed (fault-free) sends return `false` immediately. A send
+    /// still dark after the whole budget fails loudly: the peer has
+    /// stopped participating (stalled, exited mid-protocol, or every
+    /// control packet is being eaten), and a named panic beats the
+    /// silent forever-hang it would otherwise be — the sim mirror of
+    /// the rt stack's `rndv_timeout`.
+    fn maybe_retry_rts(&self, s: &mut SendRndv) -> bool {
+        if s.next_retry == 0 || self.p.now() < s.next_retry {
+            return false;
+        }
+        let now = self.p.now();
+        self.nem
+            .note_peer_timeout(self.rank(), s.t.peer, now, Some(s.sel));
+        if s.retries >= super::MAX_CTRL_RETRIES {
+            panic!(
+                "rank {} stalled: rendezvous msg {} from rank {} ({} bytes) made no progress \
+                 through {} RTS re-announcements — peer dead or unreachable",
+                s.t.peer,
+                s.t.msg_id,
+                self.rank(),
+                s.t.len,
+                s.retries,
+            );
+        }
+        s.retries += 1;
+        s.retry_interval = s.retry_interval.saturating_mul(2);
+        s.next_retry = now + s.retry_interval;
+        if let Some(rts) = s.rts.clone() {
+            self.enqueue(s.t.peer, rts);
+        }
+        true
+    }
+
     /// Step one recv op; returns whether work was done. `head` is the
     /// peer shard's elected FIFO head (the oldest FIFO-needing msg id).
     pub(super) fn step_recv(&self, r: &mut RecvRndv, head: Option<u64>) -> bool {
         let is_head = head == Some(r.t.msg_id);
         match r.op.step(self, &r.t, is_head) {
-            Step::Idle => false,
-            Step::Progress => true,
+            Step::Idle => {
+                // Deadline detection (armed only under a fault plan):
+                // one strike per op — the sender stopped driving, or
+                // its control path went dark.
+                if r.deadline != 0 && !r.suspected && self.p.now() > r.deadline {
+                    r.suspected = true;
+                    self.nem
+                        .note_peer_timeout(self.rank(), r.t.peer, self.p.now(), None);
+                }
+                false
+            }
+            Step::Progress => {
+                if r.deadline != 0 {
+                    r.deadline = self.p.now() + 4 * self.nem.cfg.retry_deadline_ps;
+                }
+                true
+            }
             Step::Complete => {
                 self.complete_recv(r);
                 true
@@ -289,8 +387,25 @@ impl Comm<'_> {
     }
 
     /// Tell `dst` that transfer `msg_id` has fully landed (it may
-    /// release pinned resources).
+    /// release pinned resources). Under a fault plan the DONE is also
+    /// recorded for re-sending: a dropped DONE would pin the sender's
+    /// transfer forever, and DONEs carry no ack, so the receiver
+    /// re-announces on a capped backoff clock (duplicates are absorbed
+    /// by the sender's orphan tolerance).
     pub(crate) fn send_done(&self, dst: usize, msg_id: u64) {
+        if self.nem.faults().active() {
+            let base = self.nem.cfg.retry_deadline_ps;
+            self.inner
+                .borrow_mut()
+                .sent_dones
+                .push_back(super::state::DoneRetry {
+                    dst,
+                    msg_id,
+                    next_at: self.p.now() + base,
+                    interval: base,
+                    retries: 0,
+                });
+        }
         self.enqueue(
             dst,
             Envelope {

@@ -140,6 +140,19 @@ pub(super) struct SendRndv {
     /// Pack staging for noncontiguous sends over scatter-blind wires
     /// (shm ring, pipes); recycled into the tmp pool on completion.
     pub staging: Option<(u64, BufId)>,
+    /// The selection this transfer resolved to (quarantine bookkeeping
+    /// on retry exhaustion).
+    pub sel: crate::config::LmtSelect,
+    /// A clone of the RTS envelope, kept for re-announcement — only
+    /// while a fault plan is loaded (`None` keeps the fault-free path
+    /// allocation-identical to the seed).
+    pub rts: Option<Envelope>,
+    /// Virtual deadline of the next RTS retry (0 = retries unarmed).
+    pub next_retry: nemesis_sim::Ps,
+    /// Current backoff interval (doubles per retry, capped).
+    pub retry_interval: nemesis_sim::Ps,
+    /// RTS re-announcements so far.
+    pub retries: u32,
 }
 
 /// An in-flight rendezvous receive.
@@ -164,6 +177,12 @@ pub(super) struct RecvRndv {
     pub started: nemesis_sim::Ps,
     /// The §6 concurrency hint the RTS carried (copied into the sample).
     pub concurrency: u32,
+    /// Virtual deadline after which a receive that saw no completion is
+    /// suspected stalled (0 = unarmed; only armed under a fault plan).
+    pub deadline: nemesis_sim::Ps,
+    /// Whether this receive already reported a missed deadline (the
+    /// health strike fires once per op, not once per poll).
+    pub suspected: bool,
 }
 
 /// A matched receive whose fragmented eager payload is still streaming
@@ -214,6 +233,15 @@ impl<T> OpShards<T> {
             "duplicate msg id {msg_id:#x} for peer {peer}"
         );
         self.len += 1;
+    }
+
+    /// Whether an op `(peer, msg_id)` is pending (the RTS-duplicate
+    /// guard — dedup must run *before* [`OpShards::insert`], which
+    /// asserts ids are unique).
+    pub fn contains(&self, peer: usize, msg_id: u64) -> bool {
+        self.shards
+            .get(&peer)
+            .is_some_and(|s| s.contains_key(&msg_id))
     }
 
     /// Remove the op `(peer, msg_id)` if present.
@@ -292,6 +320,21 @@ impl<T> OpShards<T> {
     }
 }
 
+/// A DONE the receiver sent and may have to re-send (only recorded
+/// while a fault plan is loaded): if the sender's transfer were still
+/// pending — its DONE dropped — the re-send completes it; duplicates
+/// on the healthy path are absorbed by the sender's dedup.
+pub(super) struct DoneRetry {
+    pub dst: usize,
+    pub msg_id: u64,
+    /// Virtual time of the next re-send.
+    pub next_at: nemesis_sim::Ps,
+    /// Backoff interval (doubles per re-send).
+    pub interval: nemesis_sim::Ps,
+    /// Re-sends so far (capped; the entry is dropped at the cap).
+    pub retries: u32,
+}
+
 #[derive(Default)]
 pub(super) struct CommInner {
     pub reqs: Vec<ReqState>,
@@ -306,6 +349,13 @@ pub(super) struct CommInner {
     /// Recycled temporary buffers for unexpected eager payloads, keyed by
     /// capacity (see `Comm::buffer_unexpected`).
     pub tmp_pool: Vec<(u64, BufId)>,
+    /// Receives already completed on this endpoint, keyed by `(src,
+    /// msg_id)` — the duplicate-RTS guard for transfers whose state is
+    /// gone. Populated only while a fault plan is loaded.
+    pub completed_recvs: std::collections::HashSet<(usize, u64)>,
+    /// DONEs eligible for re-send (fault-plan universes only; see
+    /// [`DoneRetry`]).
+    pub sent_dones: VecDeque<DoneRetry>,
 }
 
 /// The byte sub-range `[skip, skip+take)` of a segment list.

@@ -236,17 +236,23 @@ pub struct NemesisConfig {
     /// Whether the kernel offers `vmsplice` (Linux ≥ 2.6.17). Consulted
     /// by [`LmtSelect::Dynamic`].
     pub vmsplice_available: bool,
-    /// Failure injection for striped transfers (tests): the rail at
-    /// this index errors when the receiver first drives it, once per
-    /// directed pair — the rail is then quarantined in the universe's
-    /// rail-health registry and its byte range re-read through rail 0's
-    /// full-transfer CMA window. Only the KNEM/I-OAT rail is failable:
-    /// it is receiver-driven and abortable before its bytes land,
-    /// whereas failing a streaming rail (pipe, ring) would leave the
-    /// sender pushing into a wire nobody drains, and rail 0 is the
-    /// anchor the fallback itself rides on. An index naming any other
-    /// rail kind is ignored. `None` = no injection.
-    pub stripe_fault_rail: Option<u8>,
+    /// Deterministic fault injection: the virtual-time fault schedule
+    /// the universe's [`FaultEngine`](crate::fault::FaultEngine) arms
+    /// (rail aborts, CMA window revocation, dropped/duplicated
+    /// RTS/DONE packets, peer stalls, slow rails — see
+    /// [`crate::fault`] for the event classes and the
+    /// `NEMESIS_FAULT_PLAN` grammar this field defaults from).
+    /// `None` = no injection *and* no recovery bookkeeping: the
+    /// fault-free path stays bit-identical to a plan-less build.
+    pub fault_plan: Option<crate::fault::FaultPlan>,
+    /// Base rendezvous retry deadline: with a fault plan loaded, a
+    /// sender whose transfer has made no progress for this long
+    /// re-announces its RTS (capped exponential backoff), and a
+    /// receiver re-sends unacknowledged DONEs on the same clock;
+    /// missing it twice marks the peer Suspect. Virtual picoseconds;
+    /// the default (20 ms) sits far above any healthy rendezvous gap
+    /// but well under the progress watchdog.
+    pub retry_deadline_ps: u64,
     /// Which `DMAmin` threshold policy to build (see
     /// [`NemesisConfig::threshold_policy`]).
     pub threshold: ThresholdSelect,
@@ -292,7 +298,8 @@ impl Default for NemesisConfig {
             knem_available: true,
             cma_available: true,
             vmsplice_available: true,
-            stripe_fault_rail: None,
+            fault_plan: crate::fault::FaultPlan::from_env(),
+            retry_deadline_ps: 20_000_000_000,
             threshold: ThresholdSelect::from_env(),
             chunk_schedule: ChunkScheduleSelect::default(),
             backend: BackendSelect::from_env(),

@@ -54,14 +54,18 @@ pub mod coll;
 pub mod comm;
 pub mod config;
 pub mod datatype;
+pub mod fault;
 pub mod lmt;
 pub mod shm;
 pub mod vector;
 
-pub use comm::{BackendUnavailable, Comm, MessageInfo, Nemesis, Request, ANY_SOURCE, ANY_TAG};
+pub use comm::{
+    BackendUnavailable, Comm, MessageInfo, Nemesis, PeerHealth, Request, ANY_SOURCE, ANY_TAG,
+};
 pub use config::{
     BackendSelect, ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect,
 };
+pub use fault::{FaultEngine, FaultEvent, FaultKind, FaultPlan, PacketAction};
 pub use lmt::{
     ChunkPipeline, ChunkSchedule, FixedChunk, GeometricGrowth, LearnedChunk, LmtBackend, RailKind,
     ThresholdPolicy, TransferClass, TransferPolicy, TransferSample, Tuner,

@@ -101,6 +101,9 @@ impl LmtSendOp for CmaSendOp {
 /// range).
 pub(super) struct CmaRecvOp {
     window: CmaWindowId,
+    /// The sending rank (needed to rebuild the pipeline when a window
+    /// revocation forces a restart).
+    peer: usize,
     /// Window offset this op's range starts at (0 for a plain CMA
     /// transfer; a rail's cumulative span offset under striping).
     base: u64,
@@ -124,6 +127,7 @@ impl CmaRecvOp {
         let total = Iov::total(&iovs);
         Self {
             window,
+            peer,
             base,
             iovs,
             total,
@@ -135,6 +139,17 @@ impl CmaRecvOp {
     /// Drive at most one `process_vm_readv` call (one bounded syscall
     /// per progress step); returns whether bytes moved.
     pub(super) fn drive_one(&mut self, comm: &Comm<'_>) -> bool {
+        // Window revocation (fault injection): the mapping the reads
+        // ran through was torn — every byte pulled so far is suspect.
+        // The window itself is still exposed (the sender's ranges never
+        // moved), so sequence-validated recovery is a fresh pipeline:
+        // re-read the whole range through the anchor from offset 0.
+        // Re-reading is idempotent — same source, same bytes — so the
+        // payload still lands byte-identical.
+        if comm.nem().faults().take_window_revoke(comm.proc().now()) {
+            self.pipeline = comm.lmt_recv_pipeline(self.peer, comm.rank(), CMA_PREFERRED);
+            return true;
+        }
         let os = comm.os();
         let p = comm.proc();
         let (window, base, iovs) = (self.window, self.base, &self.iovs);

@@ -38,14 +38,16 @@
 //!
 //! # Rail failure
 //!
-//! A receiver-driven rail that errors (failure injection:
-//! `NemesisConfig::stripe_fault_rail`) is aborted before any of its
-//! bytes land: its sender-side resources are released (cookie
-//! destroyed, DONE sent), the rail kind is marked failed in the
-//! universe's rail-health registry, and the rail's span is queued for
-//! re-reading through the anchor window — the transfer still completes
-//! byte-identically, with no hang and no partial delivery, and the next
-//! transfer composes its rails without the failed kind.
+//! A receiver-driven rail that errors (injected by a `rail-fail` event
+//! of the universe's fault plan — `NemesisConfig::fault_plan`) is
+//! aborted before any of its bytes land: its sender-side resources are
+//! released (cookie destroyed, DONE sent), the rail kind is marked
+//! failed in the universe's rail-health registry, and the rail's span
+//! is queued for re-reading through the anchor window — the transfer
+//! still completes byte-identically, with no hang and no partial
+//! delivery, and the next transfer composes its rails without the
+//! failed kind. A `slow-rail` event inflates a rail kind's per-step
+//! cost instead (degraded, not dead).
 
 use nemesis_kernel::{CmaWindowId, Cookie, Iov};
 use nemesis_sim::config::PAGE;
@@ -480,18 +482,24 @@ impl StripedRecvOp {
 impl LmtRecvOp for StripedRecvOp {
     fn step(&mut self, comm: &Comm<'_>, t: &Transfer, is_head: bool) -> Step {
         let mut did = false;
-        // Failure injection: the configured rail errors the first time
-        // it would be driven, once per directed pair (the rail-health
-        // registry remembers).
-        if let Some(f) = comm.config().stripe_fault_rail {
-            let i = f as usize;
-            if i > 0 && i < self.rails.len() && !self.rails[i].done {
-                let kind = self.rails[i].kind;
-                if kind == RailKind::KnemIoat
-                    && comm
-                        .nem()
-                        .mark_rail_failed(t.peer, comm.rank(), kind.code())
+        // Failure injection: an armed `rail-fail` event aborts a
+        // matching rail when the receiver would drive it, once per
+        // directed pair (the rail-health registry gates the marking;
+        // the event budget is only spent when the abort really fires).
+        // Only the KNEM/I-OAT rail is abortable — it is receiver-driven
+        // and its bytes can be discarded before they land.
+        let faults = comm.nem().faults();
+        if faults.active() {
+            let now = comm.proc().now();
+            for i in 1..self.rails.len() {
+                if self.rails[i].done || self.rails[i].kind != RailKind::KnemIoat {
+                    continue;
+                }
+                let code = RailKind::KnemIoat.code();
+                if faults.rail_fail_armed(code, now)
+                    && comm.nem().mark_rail_failed(t.peer, comm.rank(), code)
                 {
+                    faults.consume_rail_fail(code);
                     self.fail_rail(comm, i);
                     did = true;
                 }
@@ -508,7 +516,16 @@ impl LmtRecvOp for StripedRecvOp {
             if r.started.is_none() {
                 r.started = Some(comm.proc().now());
             }
-            match op.step(comm, &r.t, is_head) {
+            let step = op.step(comm, &r.t, is_head);
+            // A `slow-rail` fault inflates every productive step of the
+            // named kind — a mechanism that degrades without dying.
+            if !matches!(step, Step::Idle) && faults.active() {
+                let extra = faults.slow_extra(r.kind.code(), comm.proc().now());
+                if extra > 0 {
+                    comm.proc().advance(extra);
+                }
+            }
+            match step {
                 Step::Idle => {}
                 Step::Progress => did = true,
                 Step::Complete => {

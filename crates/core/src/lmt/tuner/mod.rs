@@ -509,6 +509,26 @@ impl Tuner {
         }
     }
 
+    /// Whether the pair's one-shot demotion of the arm has been spent
+    /// (see [`selector::SelectorModel::demote_spent`]). With
+    /// [`Tuner::arm_banned`] false this means the demotion window has
+    /// fully expired — the re-admission condition.
+    pub fn arm_demote_spent(&self, src: usize, dst: usize, sel: LmtSelect) -> bool {
+        match (selector::arm_of(sel), self.try_pair(src, dst)) {
+            (Some(arm), Some(p)) => p.model.lock().selector.demote_spent(arm),
+            _ => false,
+        }
+    }
+
+    /// Re-arm the pair's one-shot demotion of the arm after its window
+    /// expired, so a second fault can demote the re-probed mechanism
+    /// again.
+    pub fn arm_reset_demotion(&self, src: usize, dst: usize, sel: LmtSelect) {
+        if let (Some(arm), Some(p)) = (selector::arm_of(sel), self.try_pair(src, dst)) {
+            p.model.lock().selector.reset_demotion(arm);
+        }
+    }
+
     /// The pair's published per-mechanism bandwidth EWMAs in bytes per
     /// picosecond, `(copy, offload)`; 0.0 = unsampled.
     pub fn pair_bandwidths(&self, src: usize, dst: usize) -> (f64, f64) {

@@ -319,6 +319,24 @@ impl SelectorModel {
         arm < NARMS && self.banned_until[arm] > self.decisions
     }
 
+    /// Whether the one-shot demotion has been applied to the arm.
+    /// Combined with [`SelectorModel::is_banned`] this distinguishes
+    /// "still serving its sentence" from "sentence served" — the
+    /// re-admission path acts only on the latter.
+    pub fn demote_spent(&self, arm: usize) -> bool {
+        arm < NARMS && self.demote_applied[arm]
+    }
+
+    /// Re-arm the one-shot demotion after its window expired, so a
+    /// *second* fault on the re-probed mechanism can demote it again.
+    /// Without this, a permanently-flaky mechanism would be demoted
+    /// exactly once per pair and then re-picked forever.
+    pub fn reset_demotion(&mut self, arm: usize) {
+        if arm < NARMS {
+            self.demote_applied[arm] = false;
+        }
+    }
+
     /// Placement-change decay: zero every cell's sample count (the
     /// bandwidth estimate survives as a prior) and reset the probe
     /// schedule, so the sweep re-probes every arm within

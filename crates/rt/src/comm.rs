@@ -18,7 +18,7 @@ use std::sync::Arc;
 use crate::backoff::Backoff;
 use crate::cellpool::CellPool;
 use crate::lmt::{backend_for_schedule, RtLmtBackend};
-use crate::queue::{nem_queue_cfg, Receiver, Sender};
+use crate::queue::{nem_queue_cfg, QueueFull, Receiver, Sender};
 use crate::tuner::{RtChunkScheduleSelect, RtTransferSample, RtTuner};
 
 pub use crate::lmt::RtLmt;
@@ -61,6 +61,12 @@ pub struct RtConfig {
     /// learned state across runs (the report binary does, to measure a
     /// converged schedule).
     pub tuner: Option<Arc<RtTuner>>,
+    /// Real-clock cap on how long a rendezvous sender waits for the
+    /// receiver's completion — the rt mirror of the simulated engine's
+    /// watchdog. A peer that never drains the transfer turns into a
+    /// loud panic naming both ranks instead of a silent hang. `None`
+    /// waits forever (the seed behavior).
+    pub rndv_timeout: Option<std::time::Duration>,
 }
 
 impl Default for RtConfig {
@@ -74,6 +80,7 @@ impl Default for RtConfig {
             recv_batch: 16,
             chunk_schedule: RtChunkScheduleSelect::default(),
             tuner: None,
+            rndv_timeout: Some(std::time::Duration::from_secs(30)),
         }
     }
 }
@@ -279,9 +286,56 @@ impl RtComm {
         });
         self.shared.backend.send_payload(self.rank, dst, data);
         let mut bo = self.backoff();
+        let deadline = self
+            .shared
+            .cfg
+            .rndv_timeout
+            .map(|t| std::time::Instant::now() + t);
+        let mut spins: u32 = 0;
         while done.load(Ordering::Acquire) == 0 {
             bo.snooze();
+            // Check the clock only every so often: the hot path stays a
+            // pure load + snooze.
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(1024) {
+                if let Some(deadline) = deadline {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "rank {dst} stalled: rendezvous from rank {} ({} bytes) not \
+                         drained within {:?}",
+                        self.rank,
+                        data.len(),
+                        self.shared.cfg.rndv_timeout.unwrap(),
+                    );
+                }
+            }
         }
+    }
+
+    /// Non-blocking send of an inline-sized payload (at most the
+    /// configured `inline_max`): either the packet lands in `dst`'s
+    /// receive queue or the queue is full and [`QueueFull`] comes back —
+    /// the bounded queue's backpressure surfaced to the caller instead
+    /// of absorbed by `send`'s backoff loop.
+    pub fn try_send(&self, dst: usize, tag: i32, data: &[u8]) -> Result<(), QueueFull<()>> {
+        assert!(dst < self.shared.n && dst != self.rank, "bad destination");
+        let inline_max = self.shared.cfg.inline_max.min(INLINE_MAX);
+        assert!(
+            data.len() <= inline_max,
+            "try_send is the inline path: {} bytes exceeds inline_max {}",
+            data.len(),
+            inline_max
+        );
+        let mut buf = [0u8; INLINE_MAX];
+        buf[..data.len()].copy_from_slice(data);
+        self.shared.senders[dst]
+            .try_enqueue(Packet::Inline {
+                src_rank: self.rank,
+                tag,
+                len: data.len() as u16,
+                data: buf,
+            })
+            .map_err(|QueueFull(_)| QueueFull(()))
     }
 
     /// Blocking receive from `src` with `tag` into `dst`; returns the
@@ -701,6 +755,64 @@ mod tests {
                 assert!(buf[..16].iter().all(|&b| b == 0), "outside block untouched");
             }
         });
+    }
+
+    #[test]
+    fn try_send_surfaces_queue_full() {
+        // One-cell queues: the second un-drained try_send must come back
+        // as QueueFull, and draining must make the cell reusable.
+        let cfg = RtConfig {
+            queue_capacity: 1,
+            ..RtConfig::default()
+        };
+        run_rt_cfg(2, RtLmt::Direct, cfg, |comm| {
+            if comm.rank() == 0 {
+                assert_eq!(comm.try_send(1, 7, &[1u8; 16]), Ok(()));
+                let mut second = comm.try_send(1, 7, &[2u8; 16]);
+                assert_eq!(second, Err(QueueFull(())), "one-cell queue is full");
+                // The receiver drains one packet, then the cell recycles.
+                while second.is_err() {
+                    std::hint::spin_loop();
+                    second = comm.try_send(1, 7, &[2u8; 16]);
+                }
+            } else {
+                let mut buf = [0u8; 16];
+                comm.recv(Some(0), Some(7), &mut buf);
+                assert!(buf.iter().all(|&b| b == 1));
+                comm.recv(Some(0), Some(7), &mut buf);
+                assert!(buf.iter().all(|&b| b == 2));
+            }
+        });
+    }
+
+    #[test]
+    fn rndv_timeout_panics_on_stalled_peer() {
+        use std::panic::AssertUnwindSafe;
+        use std::sync::atomic::AtomicBool;
+
+        let cfg = RtConfig {
+            rndv_timeout: Some(std::time::Duration::from_millis(50)),
+            ..RtConfig::default()
+        };
+        let diagnosed = AtomicBool::new(false);
+        run_rt_cfg(2, RtLmt::Direct, cfg, |comm| {
+            if comm.rank() == 0 {
+                // Rank 1 exits without ever posting the receive: the
+                // rendezvous completion flag never flips, so the sender
+                // must turn the hang into a loud stall diagnostic.
+                let data = vec![3u8; 1 << 20];
+                let err = std::panic::catch_unwind(AssertUnwindSafe(|| comm.send(1, 1, &data)))
+                    .expect_err("stalled rendezvous must not complete");
+                let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+                assert!(
+                    msg.contains("rank 1 stalled"),
+                    "diagnostic names the peer: {msg}"
+                );
+                assert!(msg.contains("rank 0"), "diagnostic names the sender: {msg}");
+                diagnosed.store(true, Ordering::Release);
+            }
+        });
+        assert!(diagnosed.load(Ordering::Acquire));
     }
 
     #[test]

@@ -278,6 +278,9 @@ enum Desc {
     },
     /// The Figure-2 completion trick: an in-order one-word store.
     Status(Arc<AtomicUsize>),
+    /// Fault injection: makes the engine thread panic, exercising the
+    /// poison containment (see [`OffloadEngine::inject_failure`]).
+    Poison,
     Shutdown,
 }
 
@@ -285,41 +288,70 @@ enum Desc {
 // validity is guaranteed by the `Pending` borrow (see `submit`).
 unsafe impl Send for Desc {}
 
+/// Sets the shared poison word if the engine thread unwinds for any
+/// reason, so waiters stop spinning instead of hanging on a status
+/// write that will never come.
+struct PoisonOnPanic(Arc<AtomicUsize>);
+
+impl Drop for PoisonOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(1, Ordering::Release);
+        }
+    }
+}
+
 /// A dedicated copy engine thread processing descriptors strictly in
 /// order — the I/OAT DMA engine analogue.
+///
+/// **Failure containment.** If the engine thread panics, the panic is
+/// not allowed to strand waiters or poison the whole process: a drop
+/// guard in the thread flips a shared poison word, every [`Pending`]
+/// observes it and unblocks, and [`Pending::wait`] reports the failure
+/// as `false` so callers can fall back to a CPU copy of the affected
+/// span.
 pub struct OffloadEngine {
     tx: QSender<Desc>,
     handle: Option<std::thread::JoinHandle<u64>>,
+    poisoned: Arc<AtomicUsize>,
 }
 
 /// Completion handle for a submitted copy. Holds the buffers' borrows so
 /// they cannot be touched (or freed) before completion.
 pub struct Pending<'a> {
     flag: Arc<AtomicUsize>,
+    poisoned: Arc<AtomicUsize>,
     _borrows: PhantomData<&'a mut [u8]>,
 }
 
 impl Pending<'_> {
-    /// Has the engine finished (status written)?
+    /// Has the engine finished with this copy (status written), or died
+    /// trying (engine poisoned)? Either way the buffers are safe to
+    /// reuse: a poisoned engine processes no further descriptors.
     pub fn poll(&self) -> bool {
-        self.flag.load(Ordering::Acquire) != 0
+        self.flag.load(Ordering::Acquire) != 0 || self.poisoned.load(Ordering::Acquire) != 0
     }
 
-    /// Wait (spin-then-yield) until complete.
-    pub fn wait(self) {
+    /// Wait (spin-then-yield) until complete. Returns `true` if the
+    /// engine wrote the trailing status (the copy finished), `false` if
+    /// it died first — the caller owns the fallback (e.g.
+    /// [`direct_copy`] the span on the CPU).
+    pub fn wait(self) -> bool {
         let mut bo = crate::backoff::Backoff::new();
         while !self.poll() {
             bo.snooze();
         }
+        self.flag.load(Ordering::Acquire) != 0
     }
 }
 
 impl Drop for Pending<'_> {
     fn drop(&mut self) {
         // Never release the borrows before the engine is done with the
-        // pointers.
+        // pointers (or provably dead — a poisoned engine touches no
+        // further descriptors).
         let mut bo = crate::backoff::Backoff::new();
-        while self.flag.load(Ordering::Acquire) == 0 {
+        while self.flag.load(Ordering::Acquire) == 0 && self.poisoned.load(Ordering::Acquire) == 0 {
             bo.snooze();
         }
     }
@@ -328,7 +360,10 @@ impl Drop for Pending<'_> {
 impl OffloadEngine {
     pub fn start() -> Self {
         let (tx, mut rx) = nem_queue::<Desc>();
+        let poisoned = Arc::new(AtomicUsize::new(0));
+        let poison = Arc::clone(&poisoned);
         let handle = std::thread::spawn(move || {
+            let _guard = PoisonOnPanic(poison);
             let mut bytes = 0u64;
             let mut bo = crate::backoff::Backoff::new();
             loop {
@@ -346,6 +381,7 @@ impl OffloadEngine {
                         flag.store(1, Ordering::Release);
                         bo.reset();
                     }
+                    Some(Desc::Poison) => panic!("injected engine failure"),
                     Some(Desc::Shutdown) => return bytes,
                     None => bo.snooze(),
                 }
@@ -354,7 +390,21 @@ impl OffloadEngine {
         Self {
             tx,
             handle: Some(handle),
+            poisoned,
         }
+    }
+
+    /// Whether the engine thread has died (panicked). Submissions after
+    /// this complete immediately with `wait() == false`.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire) != 0
+    }
+
+    /// Fault injection: enqueue a descriptor that makes the engine
+    /// thread panic in-order (after every previously submitted copy),
+    /// exercising the poison containment end to end.
+    pub fn inject_failure(&self) {
+        self.tx.enqueue(Desc::Poison);
     }
 
     /// Submit a copy; returns a completion handle tied to the buffers'
@@ -377,14 +427,17 @@ impl OffloadEngine {
         self.tx.enqueue(Desc::Status(Arc::clone(&flag)));
         Pending {
             flag,
+            poisoned: Arc::clone(&self.poisoned),
             _borrows: PhantomData,
         }
     }
 
-    /// Stop the engine; returns total bytes it copied.
+    /// Stop the engine; returns total bytes it copied (0 if the thread
+    /// had already died of an injected or real panic — the panic was
+    /// contained when the poison word was set, not re-thrown here).
     pub fn shutdown(mut self) -> u64 {
         self.tx.enqueue(Desc::Shutdown);
-        self.handle.take().unwrap().join().expect("engine panicked")
+        self.handle.take().unwrap().join().unwrap_or(0)
     }
 }
 
@@ -529,6 +582,27 @@ mod tests {
         p1.wait();
         assert_eq!(d1, src1);
         assert_eq!(d2, src2);
+    }
+
+    #[test]
+    fn engine_panic_is_contained_and_waiters_unblock() {
+        let eng = OffloadEngine::start();
+        let src = pattern(64 << 10);
+        let mut dst = vec![0u8; 64 << 10];
+        // A copy submitted before the failure completes normally (the
+        // poison descriptor is processed in order, after it).
+        assert!(eng.submit(&src, &mut dst).wait());
+        assert_eq!(src, dst);
+        eng.inject_failure();
+        // A copy submitted behind the poison never runs: its wait must
+        // still return (no strand), reporting the failure.
+        let mut dead = vec![0u8; 64 << 10];
+        let pending = eng.submit(&src, &mut dead);
+        assert!(!pending.wait(), "post-poison copy must report failure");
+        assert!(eng.poisoned());
+        assert!(dead.iter().all(|&b| b == 0), "dead copy wrote nothing");
+        // Shutdown does not re-throw the contained panic.
+        assert_eq!(eng.shutdown(), 0);
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub use cellpool::{CellPool, FreeStack};
 pub use comm::{run_rt, run_rt_cfg, run_rt_with, run_rt_with_cfg, RtComm, RtConfig, RtLmt};
 pub use copy::{CopyEngine, DoubleBufferPipe, OffloadEngine, PipeSchedule};
 pub use lmt::{backend_for, backend_for_schedule, RtLmtBackend, ALL_RT_LMTS, ALL_RT_STRIPED};
-pub use queue::NemQueue;
+pub use queue::{NemQueue, QueueFull};
 pub use tuner::{RtChunkScheduleSelect, RtTransferSample, RtTuner};

@@ -17,7 +17,8 @@
 //!   acquisition is a lock-free pop from the recycled-cell stack.
 //! * The queue is **bounded** by its cell capacity: `enqueue` backs off
 //!   (spin-then-yield) while every cell is in flight, `try_enqueue`
-//!   reports exhaustion to the caller.
+//!   reports exhaustion to the caller as a typed [`QueueFull`] error
+//!   carrying the rejected value.
 //! * The consumer can drain in batches: [`Receiver::dequeue_batch`]
 //!   takes up to `n` published cells and returns them to the free stack
 //!   with a single CAS (`push_chain`) — mirroring the simulated stack's
@@ -45,6 +46,20 @@ use crate::backoff::Backoff;
 use crate::cellpool::FreeStack;
 
 const NIL: u32 = u32::MAX;
+
+/// Typed exhaustion error from [`Sender::try_enqueue`]: every cell is
+/// in flight, and the rejected value is handed back to the caller. The
+/// queue itself never closes (the slab owns the cells, so senders stay
+/// valid after the receiver drops); the dedicated type keeps "full"
+/// distinguishable from any future closed/disconnected condition.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueFull<T>(pub T);
+
+impl<T> std::fmt::Display for QueueFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("queue full: every cell is in flight")
+    }
+}
 
 /// Default cell capacity of [`nem_queue`] (messages in flight).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
@@ -104,7 +119,7 @@ impl<T> Sender<T> {
         loop {
             match self.try_enqueue(value) {
                 Ok(()) => return,
-                Err(v) => {
+                Err(QueueFull(v)) => {
                     value = v;
                     bo.snooze();
                 }
@@ -113,10 +128,10 @@ impl<T> Sender<T> {
     }
 
     /// Enqueue unless every cell is in flight (bounded-queue fast
-    /// check); hands the value back on exhaustion.
-    pub fn try_enqueue(&self, value: T) -> Result<(), T> {
+    /// check); hands the value back inside [`QueueFull`] on exhaustion.
+    pub fn try_enqueue(&self, value: T) -> Result<(), QueueFull<T>> {
         let Some(idx) = self.shared.free.try_pop() else {
-            return Err(value);
+            return Err(QueueFull(value));
         };
         let cell = &self.shared.cells[idx];
         // We own `idx` exclusively until the Release publication below.
@@ -314,7 +329,7 @@ mod tests {
         for i in 0..4 {
             assert!(tx.try_enqueue(i).is_ok());
         }
-        assert_eq!(tx.try_enqueue(99), Err(99), "slab exhausted");
+        assert_eq!(tx.try_enqueue(99), Err(QueueFull(99)), "slab exhausted");
         assert_eq!(rx.dequeue(), Some(0));
         assert!(tx.try_enqueue(4).is_ok(), "recycled cell reusable");
         for expect in [1, 2, 3, 4] {

@@ -175,7 +175,8 @@ fn degenerate_single_buffer_ring() {
 #[test]
 fn striped_rail_failure_fails_over_and_quarantines_the_rail() {
     let mut cfg = NemesisConfig::with_lmt(LmtSelect::Striped { rails: 2 });
-    cfg.stripe_fault_rail = Some(1); // the KNEM/I-OAT rail errors on first use
+    // The KNEM/I-OAT rail errors on first use.
+    cfg.fault_plan = Some(nemesis::core::FaultPlan::knem_rail_failure());
     let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
     let os = Arc::new(Os::new(Arc::clone(&machine)));
     let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
@@ -234,7 +235,8 @@ fn quarantined_rail_kind_is_demoted_by_the_selector() {
     let knem_arm = LmtSelect::Knem(KnemSelect::Auto);
     let mut cfg = NemesisConfig::with_lmt(LmtSelect::Dynamic);
     cfg.backend = BackendSelect::LearnedBackend;
-    cfg.stripe_fault_rail = Some(1); // the KNEM/I-OAT rail errors on first use
+    // The KNEM/I-OAT rail errors on first use.
+    cfg.fault_plan = Some(nemesis::core::FaultPlan::knem_rail_failure());
     let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
     let os = Arc::new(Os::new(Arc::clone(&machine)));
     let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
@@ -288,6 +290,96 @@ fn quarantined_rail_kind_is_demoted_by_the_selector() {
     assert!(
         !tuner.arm_banned(0, 1, knem_arm),
         "window expiry re-opens the arm"
+    );
+    assert_eq!(os.knem_live_cookies(), 0);
+    assert_eq!(os.knem_pinned_pages(), 0);
+    assert_eq!(os.cma_live_windows(), 0);
+}
+
+/// Quarantine expiry end to end: after the demotion window is served,
+/// the next selection *re-admits* the rail kind (clears the quarantine,
+/// re-arms the one-shot demotion), the re-probed mechanism faults a
+/// second time (the plan carries two rail-fail budgets), and the arm is
+/// demoted again — a permanently-flaky mechanism is probed once per
+/// window, never re-picked forever and never banned forever.
+#[test]
+fn quarantine_expiry_reprobes_the_mechanism_once_then_redemotes() {
+    use nemesis::core::lmt::tuner::selector::{arm_of, DEMOTE_WINDOW, NARMS};
+    use nemesis::core::{FaultPlan, RailKind};
+    let knem_arm = LmtSelect::Knem(KnemSelect::Auto);
+    let striped_arm = arm_of(LmtSelect::Striped { rails: 2 }).unwrap();
+    let mut cfg = NemesisConfig::with_lmt(LmtSelect::Dynamic);
+    cfg.backend = BackendSelect::LearnedBackend;
+    // TWO rail-fail budgets: one consumed by the exploration sweep, one
+    // held for the re-probe after the ban expires.
+    cfg.fault_plan = Some(FaultPlan::parse("rail-fail:rail=knem,times=2").unwrap());
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
+    let nem2 = Arc::clone(&nem);
+    run_simulation(machine, &[0, 4], move |p| {
+        let comm = nem2.attach(p);
+        let os = comm.os();
+        let me = comm.rank();
+        let len = 1 << 20;
+        let buf = os.alloc(me, len);
+        let xfer = |tag: i32, fill: u8| {
+            if me == 0 {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(fill));
+                comm.send(1, tag, buf, 0, len);
+            } else {
+                comm.recv(Some(0), Some(tag), buf, 0, len);
+                os.with_data(comm.proc(), buf, |d| {
+                    assert!(d.iter().all(|&b| b == fill), "msg {tag} corrupt")
+                });
+            }
+        };
+        // Phase 1: sweep traffic until the first injected fault
+        // quarantines the KNEM kind and demotes its arm.
+        for i in 0..20u8 {
+            xfer(i as i32, i + 1);
+        }
+        if me == 0 {
+            let tuner = nem2.policy().tuner().expect("learned backend has a tuner");
+            assert_eq!(nem2.failed_rails(0, 1), vec![RailKind::KnemIoat.code()]);
+            assert!(tuner.arm_banned(0, 1, knem_arm), "first fault demotes");
+            // Phase 2: serve out the ban with pure selector decisions —
+            // the demoted arm must never be re-picked inside the window.
+            let all = [true; NARMS];
+            let mut steps = 0u64;
+            while tuner.arm_banned(0, 1, knem_arm) {
+                let sel = tuner.select_backend(0, 1, 1 << 20, &all);
+                assert_ne!(arm_of(sel), arm_of(knem_arm), "banned arm re-picked");
+                steps += 1;
+                assert!(steps <= DEMOTE_WINDOW + 1, "ban never expired");
+            }
+            // Make the 2-rail stripe the clear incumbent so the very
+            // next transfers exercise the re-admitted KNEM rail.
+            for _ in 0..20 {
+                tuner.observe_arm(0, 1, striped_arm, 1 << 20, 1);
+            }
+        }
+        // Phases 3+4: the first selection past the expired window
+        // re-admits the rail kind; the striped incumbent then re-probes
+        // the mechanism, which faults again (second budget) on its
+        // single re-probe transfer, and the following selection demotes
+        // the arm a second time. Every payload still lands intact.
+        for round in 0..6u8 {
+            xfer(100 + round as i32, round + 31);
+        }
+    });
+    // The re-probed mechanism failed its one chance: quarantined and
+    // demoted again (demotion was re-armed at re-admission, so the
+    // second demote_once actually applied).
+    assert_eq!(
+        nem.failed_rails(0, 1),
+        vec![nemesis::core::RailKind::KnemIoat.code()],
+        "second fault re-quarantines the rail kind"
+    );
+    let tuner = nem.policy().tuner().expect("learned backend has a tuner");
+    assert!(
+        tuner.arm_banned(0, 1, LmtSelect::Knem(KnemSelect::Auto)),
+        "second fault re-demotes the arm"
     );
     assert_eq!(os.knem_live_cookies(), 0);
     assert_eq!(os.knem_pinned_pages(), 0);

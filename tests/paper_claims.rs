@@ -8,6 +8,19 @@ use nemesis::sim::MachineConfig;
 use nemesis::workloads::imb::{alltoall_bench, pingpong_bench};
 use nemesis::workloads::nas::{run_nas, NasClass, NasKernel};
 
+/// A config for asserting perf claims: fixed backend resolution and —
+/// unlike the plain default — no environment-injected fault plan.
+/// This suite compares virtual times with tight margins; a CI chaos
+/// lane (`NEMESIS_FAULT_PLAN`) would perturb exactly the quantities
+/// under assertion, so perf claims always measure the fault-free
+/// transport. Correctness under faults has its own suites
+/// (tests/chaos_sweep.rs, tests/failure_injection.rs).
+fn perf_cfg(lmt: LmtSelect) -> NemesisConfig {
+    let mut cfg = NemesisConfig::with_lmt(lmt);
+    cfg.fault_plan = None;
+    cfg
+}
+
 fn pp(lmt: LmtSelect, pl: Placement, size: u64) -> f64 {
     // Pin the rule-based blended resolution: this suite asserts the
     // §3.5 rules themselves (the learned selector has its own
@@ -15,7 +28,7 @@ fn pp(lmt: LmtSelect, pl: Placement, size: u64) -> f64 {
     // would still be mid-sweep under NEMESIS_BACKEND=learned).
     let cfg = NemesisConfig {
         backend: nemesis::core::BackendSelect::Dynamic,
-        ..NemesisConfig::with_lmt(lmt)
+        ..perf_cfg(lmt)
     };
     pingpong_bench(MachineConfig::xeon_e5345(), cfg, pl, size, 5, 2).throughput_mib_s
 }
@@ -156,11 +169,11 @@ fn async_kthread_slower_async_ioat_fine() {
 #[test]
 fn alltoall_knem_wins_medium_ioat_early() {
     let m = MachineConfig::xeon_e5345;
-    let mut cfg_def = NemesisConfig::with_lmt(LmtSelect::ShmCopy);
+    let mut cfg_def = perf_cfg(LmtSelect::ShmCopy);
     cfg_def.eager_max = 64 << 10;
-    let mut cfg_knem = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncCpu));
+    let mut cfg_knem = perf_cfg(LmtSelect::Knem(KnemSelect::SyncCpu));
     cfg_knem.eager_max = 8 << 10;
-    let mut cfg_ioat = NemesisConfig::with_lmt(LmtSelect::Knem(KnemSelect::SyncIoat));
+    let mut cfg_ioat = perf_cfg(LmtSelect::Knem(KnemSelect::SyncIoat));
     cfg_ioat.eager_max = 8 << 10;
 
     let def = alltoall_bench(m(), cfg_def, 8, 32 << 10, 3, 1).agg_throughput_mib_s;
@@ -185,7 +198,7 @@ fn nas_is_gains_ep_does_not() {
         // Class S alltoallv blocks are ~4 KiB per peer; lower the LMT
         // activation as §4.4 recommends for collectives so the class-S
         // proxy exercises the same transfer paths as class B.
-        let mut cfg = NemesisConfig::with_lmt(lmt);
+        let mut cfg = perf_cfg(lmt);
         cfg.eager_max = 2 << 10;
         let r = run_nas(MachineConfig::xeon_e5345(), cfg, k, NasClass::S);
         assert!(r.verified);
@@ -207,7 +220,7 @@ fn cache_miss_ordering_matches_table2() {
     let misses = |lmt| {
         pingpong_bench(
             MachineConfig::xeon_e5345(),
-            NemesisConfig::with_lmt(lmt),
+            perf_cfg(lmt),
             Placement::SameSocketDifferentDie,
             4 << 20,
             4,
