@@ -3,15 +3,23 @@
 //! trajectory can be tracked against across PRs.
 //!
 //! ```text
-//! report [--out PATH] [--quick] [--scaling-only] [--faults-only]
+//! report [--out PATH] [--quick] [--scaling-only] [--faults-only] [--copy-only]
 //! ```
 //!
-//! * `--out PATH` — where to write the JSON (default `BENCH_7.json`).
+//! * `--out PATH` — where to write the JSON (default `BENCH_8.json`).
 //! * `--quick` — CI smoke mode: tiny repetition counts, same shape.
 //! * `--scaling-only` — emit only the `rank_scaling` section (the
 //!   seconds-scale CI lane for the scale-out acceptance bar).
 //! * `--faults-only` — emit only the `fault_recovery` section (the
 //!   seconds-scale CI lane for the availability acceptance bar).
+//! * `--copy-only` — emit only the `copy_frontier` section (the
+//!   seconds-scale CI lane for the raw-copy acceptance bars).
+//!
+//! Every report carries a `machine` header (host LLC size and core
+//! count, plus each simulated part's NUMA node count, cache sizes and
+//! DMA-channel inventory) and a `compared_against` field naming the
+//! newest committed `BENCH_<n>.json` found next to the output — the
+//! comparison base is discovered, never hardcoded.
 //!
 //! Sections (the first four keep the `BENCH_3.json` shape, so the
 //! perf trajectory stays comparable across PRs):
@@ -56,6 +64,13 @@
 //!   Host ns per progress-engine poll must stay flat in the universe
 //!   size (256-rank ≤ 1.2× the 8-rank cost) and resident tuner cells
 //!   must track touched pairs, not ranks².
+//! * `copy_frontier` — the raw-speed story: host store-flavour
+//!   bandwidth (temporal SSE vs streaming NT SSE vs memcpy) on a
+//!   working set twice the LLC (bar: NT ≥ 1.2× temporal SSE);
+//!   simulated CMA over 2 MiB huge-page windows vs 4 KiB pages at
+//!   1 MiB (bar: ≥ 1.05×); simulated striped scaling on the
+//!   two-DMA-channel Nehalem part (bar: striped-3 ≥ 1.1× striped-2);
+//!   and the rt striped rails under the available-parallelism cap.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -494,11 +509,260 @@ fn emit_fault_recovery(json: &mut String, quick: bool, last: bool) {
     let _ = writeln!(json, "  }}{}", if last { "" } else { "," });
 }
 
+/// The newest committed `BENCH_<n>.json` next to the output (excluding
+/// the file being written) — the comparison base for trajectory deltas.
+/// Discovered, never hardcoded: a stale name here silently compared
+/// three issues back.
+fn discover_baseline(out_path: &str) -> String {
+    let out_name = std::path::Path::new(out_path)
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let dir = std::path::Path::new(out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(std::path::Path::new("."));
+    let mut best: Option<(u32, String)> = None;
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for e in rd.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if name == out_name {
+                continue;
+            }
+            let n = name
+                .strip_prefix("BENCH_")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|r| r.parse::<u32>().ok());
+            if let Some(n) = n {
+                if best.as_ref().is_none_or(|(b, _)| n > *b) {
+                    best = Some((n, name));
+                }
+            }
+        }
+    }
+    match best {
+        Some((_, name)) => format!("{name} (latest committed artifact)"),
+        None => String::from("none (no committed BENCH_<n>.json found)"),
+    }
+}
+
+/// The `machine` header object: the host facts every wall-clock number
+/// depends on, and each simulated part's memory/rail inventory.
+fn emit_machine_header(json: &mut String) {
+    let llc = nemesis_rt::tuner::host_llc_size();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"machine\": {{");
+    let _ = writeln!(
+        json,
+        "    \"host\": {{ \"llc_bytes\": {llc}, \"available_parallelism\": {cpus} }},"
+    );
+    let sims: [(&str, MachineConfig); 2] = [
+        ("e5345", MachineConfig::xeon_e5345()),
+        ("x5550", MachineConfig::nehalem_x5550()),
+    ];
+    let _ = writeln!(json, "    \"sim_machines\": {{");
+    for (i, (key, m)) in sims.iter().enumerate() {
+        let comma = if i + 1 < sims.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {}: {{ \"numa_nodes\": {}, \"l2_bytes\": {}, \"l3_bytes\": {}, \
+             \"dma_channels\": {} }}{comma}",
+            quote(key),
+            m.topology.num_nodes(),
+            m.l2_size,
+            m.l3_size,
+            m.dma_channels
+        );
+    }
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+}
+
+/// Host store flavour for the raw-copy frontier bench.
+#[derive(Clone, Copy, PartialEq)]
+enum StoreFlavour {
+    TemporalSse,
+    NtSse,
+    Memcpy,
+}
+
+/// Chunked copy bandwidth (MiB/s) on the host for every store flavour:
+/// the ring-drain access pattern (32 KiB chunks) over a working set
+/// sized past the LLC, best of `passes` per flavour (min-noise
+/// statistic). The flavours are timed back-to-back *inside* each pass
+/// so ambient host drift (a shared box changing load between sweeps)
+/// lands on all of them equally instead of biasing whichever flavour
+/// happened to run in the quiet window. The temporal-vs-NT comparison
+/// holds the copy engine fixed (the same SSE loop, only the store
+/// instruction differs) so the ratio isolates the write-allocate
+/// traffic; memcpy rides along as the libc reference.
+fn host_copy_bw_all(len: usize, passes: usize) -> [f64; 3] {
+    const CHUNK: usize = 32 << 10;
+    const FLAVOURS: [StoreFlavour; 3] = [
+        StoreFlavour::TemporalSse,
+        StoreFlavour::NtSse,
+        StoreFlavour::Memcpy,
+    ];
+    let src = vec![7u8; len];
+    let mut dst = vec![0u8; len];
+    // Fault the destination in so page faults never land in the timing.
+    for i in (0..len).step_by(4096) {
+        dst[i] = 1;
+    }
+    let mut best = [0f64; 3];
+    for _ in 0..passes {
+        for (slot, &flavour) in FLAVOURS.iter().enumerate() {
+            let t0 = Instant::now();
+            let mut at = 0usize;
+            while at < len {
+                let n = CHUNK.min(len - at);
+                match flavour {
+                    StoreFlavour::Memcpy => dst[at..at + n].copy_from_slice(&src[at..at + n]),
+                    StoreFlavour::TemporalSse => {
+                        nemesis_rt::copy::simd_copy(&src[at..at + n], &mut dst[at..at + n], false)
+                    }
+                    StoreFlavour::NtSse => {
+                        nemesis_rt::copy::simd_copy(&src[at..at + n], &mut dst[at..at + n], true)
+                    }
+                }
+                at += n;
+            }
+            let bw = len as f64 / (1 << 20) as f64 / t0.elapsed().as_secs_f64();
+            best[slot] = best[slot].max(bw);
+        }
+    }
+    std::hint::black_box(&dst);
+    best
+}
+
+/// Simulated cross-socket CMA pingpong bandwidth (MiB/s, virtual time)
+/// with the payload buffers either 4 KiB-paged or backed by 2 MiB
+/// huge-page windows — the per-page charges (CMA's page walks, pin
+/// bookkeeping) are what the huge pages amortize.
+fn sim_cma_paged(huge: bool, size: u64, reps: u32) -> f64 {
+    let mcfg = MachineConfig::xeon_e5345();
+    let (a, b) = mcfg
+        .topology
+        .pair_for(Placement::DifferentSocket)
+        .expect("pair");
+    let machine = Arc::new(Machine::new(mcfg));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(Arc::clone(&os), 2, NemesisConfig::with_lmt(LmtSelect::Cma));
+    let elapsed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let e2 = Arc::clone(&elapsed);
+    run_simulation(machine, &[a, b], move |p| {
+        let comm = nem.attach(p);
+        let os = comm.os();
+        let alloc = |rank: usize| {
+            if huge {
+                os.alloc_huge(rank, size)
+            } else {
+                os.alloc(rank, size)
+            }
+        };
+        let sbuf = alloc(comm.rank());
+        let rbuf = alloc(comm.rank());
+        let mut t0 = comm.proc().now();
+        for rep in 0..=reps {
+            if rep == 1 {
+                t0 = comm.proc().now(); // 1 warmup roundtrip
+            }
+            let tag = rep as i32;
+            if comm.rank() == 0 {
+                comm.send(1, tag, sbuf, 0, size);
+                comm.recv(Some(1), Some(tag), rbuf, 0, size);
+            } else {
+                comm.recv(Some(0), Some(tag), rbuf, 0, size);
+                comm.send(0, tag, sbuf, 0, size);
+            }
+        }
+        if comm.rank() == 0 {
+            e2.store(comm.proc().now() - t0, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    let ps = elapsed.load(std::sync::atomic::Ordering::Relaxed);
+    (2 * reps as u64 * size) as f64 / (1 << 20) as f64 / (ps as f64 / 1e12)
+}
+
+/// The `copy_frontier` section — the raw-speed acceptance bars:
+/// * host NT-store engine ≥ 1.2× the same SSE loop with temporal
+///   stores once the working set is twice the LLC;
+/// * simulated huge-page CMA ≥ 1.05× the 4 KiB-paged twin at 1 MiB;
+/// * simulated striped-3 ≥ 1.1× striped-2 on the two-DMA-channel
+///   Nehalem part (the second rail kind actually overlaps);
+/// * rt striped rails under the available-parallelism cap (context:
+///   on a single-core host every rail count collapses to the anchor).
+fn emit_copy_frontier(json: &mut String, quick: bool, last: bool) {
+    let llc = nemesis_rt::tuner::host_llc_size();
+    // Twice the LLC, bounded: floor keeps the flavours distinguishable
+    // when the sysfs probe fell back, the cap bounds CI memory.
+    let len = (2 * llc).clamp(64 << 20, 1 << 30);
+    let passes = if quick { 2 } else { 5 };
+    eprintln!("[report] copy frontier: host store flavours over {len} B…");
+    let [temporal, nt, memcpy] = host_copy_bw_all(len, passes);
+    let _ = writeln!(json, "  \"copy_frontier\": {{");
+    let _ = writeln!(json, "    \"rt_store_flavours\": {{");
+    let _ = writeln!(json, "      \"working_set_bytes\": {len},");
+    let _ = writeln!(json, "      \"chunk_bytes\": {},", 32 << 10);
+    let _ = writeln!(json, "      \"temporal_sse_mib_s\": {temporal:.0},");
+    let _ = writeln!(json, "      \"nt_sse_mib_s\": {nt:.0},");
+    let _ = writeln!(json, "      \"memcpy_mib_s\": {memcpy:.0},");
+    let _ = writeln!(
+        json,
+        "      \"nt_over_temporal_sse\": {:.2},",
+        nt / temporal
+    );
+    let _ = writeln!(json, "      \"nt_over_memcpy\": {:.2}", nt / memcpy);
+    let _ = writeln!(json, "    }},");
+    eprintln!("[report] copy frontier: huge-page CMA windows…");
+    let sim_reps = if quick { 2 } else { 4 };
+    let small = sim_cma_paged(false, 1 << 20, sim_reps);
+    let huge = sim_cma_paged(true, 1 << 20, sim_reps);
+    let _ = writeln!(json, "    \"sim_hugepage_cma_1MiB_mib_s\": {{");
+    let _ = writeln!(json, "      \"page_4KiB\": {small:.1},");
+    let _ = writeln!(json, "      \"page_2MiB\": {huge:.1},");
+    let _ = writeln!(json, "      \"huge_over_small\": {:.3}", huge / small);
+    let _ = writeln!(json, "    }},");
+    eprintln!("[report] copy frontier: second DMA channel…");
+    let mut rail_bw = [0f64; 4];
+    let _ = writeln!(json, "    \"sim_striped_second_channel_mib_s\": {{");
+    let _ = writeln!(
+        json,
+        "      \"machine\": \"nehalem_x5550 (2 I/OAT channels, one per memory node)\","
+    );
+    for rails in 1..=4u8 {
+        rail_bw[rails as usize - 1] = sim_striped(MachineConfig::nehalem_x5550(), rails, sim_reps);
+        let _ = writeln!(
+            json,
+            "      \"{rails}\": {:.1},",
+            rail_bw[rails as usize - 1]
+        );
+    }
+    let _ = writeln!(
+        json,
+        "      \"striped3_over_striped2\": {:.2}",
+        rail_bw[2] / rail_bw[1]
+    );
+    let _ = writeln!(json, "    }},");
+    eprintln!("[report] copy frontier: rt striped under the core cap…");
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rt_reps = if quick { 10 } else { 50 };
+    let _ = writeln!(json, "    \"rt_striped_capped_mib_s\": {{");
+    let _ = writeln!(json, "      \"effective_rail_cap\": {},", cpus.min(4));
+    for rails in 1..=4u8 {
+        let bw = rt_bandwidth(RtLmt::Striped(rails), 1 << 20, rt_reps);
+        let comma = if rails < 4 { "," } else { "" };
+        let _ = writeln!(json, "      \"{rails}\": {bw:.1}{comma}");
+    }
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }}{}", if last { "" } else { "," });
+}
+
 /// The `rank_scaling` section (always the report's last section — no
 /// trailing comma). Host wall-clock per poll is noisy, so each point
 /// takes the best of a few repetitions (min is the right statistic for
 /// a cost floor).
-fn emit_rank_scaling(json: &mut String, quick: bool) {
+fn emit_rank_scaling(json: &mut String, quick: bool, baseline: &str) {
     let scale_steps: u32 = if quick { 24 } else { 96 };
     let scale_reps = if quick { 2 } else { 4 };
     let _ = writeln!(json, "  \"rank_scaling\": {{");
@@ -506,10 +770,7 @@ fn emit_rank_scaling(json: &mut String, quick: bool) {
         json,
         "    \"workload\": \"MMPP bursty: 8 active ranks, 8 directed pairs, 256 KiB rendezvous\","
     );
-    let _ = writeln!(
-        json,
-        "    \"compared_against\": \"BENCH_4.json (last committed artifact)\","
-    );
+    let _ = writeln!(json, "    \"compared_against\": {},", quote(baseline));
     let universes = [8usize, 64, 256];
     let mut ns_at = [0f64; 3];
     let _ = writeln!(json, "    \"universe_ranks\": {{");
@@ -542,10 +803,11 @@ fn emit_rank_scaling(json: &mut String, quick: bool) {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut quick = false;
     let mut scaling_only = false;
     let mut faults_only = false;
+    let mut copy_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -553,25 +815,32 @@ fn main() {
             "--quick" => quick = true,
             "--scaling-only" => scaling_only = true,
             "--faults-only" => faults_only = true,
+            "--copy-only" => copy_only = true,
             other => {
                 panic!(
                     "unknown argument {other:?} \
-                     (expected --out/--quick/--scaling-only/--faults-only)"
+                     (expected --out/--quick/--scaling-only/--faults-only/--copy-only)"
                 )
             }
         }
     }
+    let baseline = discover_baseline(&out_path);
     // The CI smoke lanes: one section each, bounded to seconds, so the
-    // scale-out and availability acceptance bars are checked on every
-    // push without paying for the wall-clock bandwidth sections.
-    if scaling_only || faults_only {
+    // scale-out, availability and raw-copy acceptance bars are checked
+    // on every push without paying for the wall-clock bandwidth
+    // sections.
+    if scaling_only || faults_only || copy_only {
         let mut json = String::from("{\n");
-        let _ = writeln!(json, "  \"issue\": 7,");
+        let _ = writeln!(json, "  \"issue\": 8,");
         let _ = writeln!(json, "  \"quick\": {quick},");
+        let _ = writeln!(json, "  \"compared_against\": {},", quote(&baseline));
+        emit_machine_header(&mut json);
         if faults_only {
             emit_fault_recovery(&mut json, quick, true);
+        } else if copy_only {
+            emit_copy_frontier(&mut json, quick, true);
         } else {
-            emit_rank_scaling(&mut json, quick);
+            emit_rank_scaling(&mut json, quick, &baseline);
         }
         json.push_str("}\n");
         std::fs::write(&out_path, &json).expect("write report");
@@ -596,8 +865,10 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"issue\": 7,");
+    let _ = writeln!(json, "  \"issue\": 8,");
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"compared_against\": {},", quote(&baseline));
+    emit_machine_header(&mut json);
 
     // --- queue message rates -------------------------------------------------
     eprintln!("[report] queue message rates ({} msgs)…", cfg.queue_msgs);
@@ -946,8 +1217,9 @@ fn main() {
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
 
+    emit_copy_frontier(&mut json, quick, false);
     emit_fault_recovery(&mut json, quick, false);
-    emit_rank_scaling(&mut json, quick);
+    emit_rank_scaling(&mut json, quick, &baseline);
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write report");

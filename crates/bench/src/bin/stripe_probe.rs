@@ -1,0 +1,27 @@
+//! Diagnostic: one striped pingpong per rail count on the Nehalem
+//! machine, with `STRIPE_TRACE=1` to dump per-rail completion times.
+//! Not part of the report; run by hand when stripe numbers look off.
+
+use nemesis_core::{LmtSelect, NemesisConfig, ThresholdSelect};
+use nemesis_sim::topology::Placement;
+use nemesis_sim::MachineConfig;
+use nemesis_workloads::imb::pingpong_bench;
+
+fn main() {
+    for rails in [1u8, 2, 3, 4] {
+        let cfg = NemesisConfig {
+            threshold: ThresholdSelect::Learned,
+            ..NemesisConfig::with_lmt(LmtSelect::Striped { rails })
+        };
+        eprintln!("=== rails={rails} ===");
+        let r = pingpong_bench(
+            MachineConfig::nehalem_x5550(),
+            cfg,
+            Placement::DifferentSocket,
+            1 << 20,
+            4,
+            6,
+        );
+        eprintln!("rails={rails} -> {:.1} MiB/s", r.throughput_mib_s);
+    }
+}

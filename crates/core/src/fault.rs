@@ -30,8 +30,9 @@
 //!   `drop-done`, `dup-done`, `stall`, `slow-rail`.
 //! * `@at` — virtual time the event arms (default `0`). Times accept
 //!   `ns`/`us`/`ms`/`s` suffixes; bare numbers are picoseconds.
-//! * `rail=` — `cma` | `knem` | `vmsplice` | `shm` (the striped
-//!   [`RailKind`](crate::lmt::RailKind) codes).
+//! * `rail=` — `cma` | `knem` | `vmsplice` | `shm` | `knem2` (the
+//!   striped [`RailKind`](crate::lmt::RailKind) codes; `knem2` is the
+//!   second I/OAT channel's rail).
 //! * `times=` / `count=` — event budget (default 1).
 //! * `rank=` + `for=` — stall target and duration (`for=forever` for
 //!   an unbounded window; also valid for `slow-rail`).
@@ -247,8 +248,9 @@ fn parse_rail(v: &str) -> Result<u8, String> {
         "knem" => Ok(1),
         "vmsplice" => Ok(2),
         "shm" => Ok(3),
+        "knem2" => Ok(4),
         other => Err(format!(
-            "unknown rail {other:?} (expected cma | knem | vmsplice | shm)"
+            "unknown rail {other:?} (expected cma | knem | vmsplice | shm | knem2)"
         )),
     }
 }

@@ -71,18 +71,20 @@ impl LmtBackend for KnemBackend {
             // honour the wire protocol with the default.
             _ => KnemSelect::SyncCpu,
         };
-        start_knem_recv(t, cookie, sel, layout, concurrency)
+        start_knem_recv(t, cookie, sel, None, layout, concurrency)
     }
 }
 
 /// Build a KNEM receive op with an explicit receive mode. Shared with
-/// the striped meta-backend, whose KNEM rail always runs the
+/// the striped meta-backend, whose KNEM rails always run the
 /// asynchronous I/OAT mode (the rail's whole point is moving bytes
-/// concurrently with the CPU rails).
+/// concurrently with the CPU rails). `channel` pins the I/OAT channel;
+/// `None` picks the receiver's NUMA-local one at issue time.
 pub(super) fn start_knem_recv(
     t: &Transfer,
     cookie: nemesis_kernel::Cookie,
     sel: KnemSelect,
+    channel: Option<usize>,
     layout: Option<&VectorLayout>,
     concurrency: u32,
 ) -> Box<dyn LmtRecvOp> {
@@ -95,6 +97,8 @@ pub(super) fn start_knem_recv(
     Box::new(KnemRecvOp {
         cookie,
         sel,
+        channel,
+        resolved_channel: 0,
         concurrency,
         iovs,
         state: KnemRecvState::Issue,
@@ -127,6 +131,11 @@ enum KnemRecvState {
 struct KnemRecvOp {
     cookie: nemesis_kernel::Cookie,
     sel: KnemSelect,
+    /// Pinned I/OAT channel (stripe rails); `None` resolves to the
+    /// receiver's NUMA-local channel when the ioctl is issued.
+    channel: Option<usize>,
+    /// The channel the ioctl actually targeted (the rail-cell key).
+    resolved_channel: usize,
     concurrency: u32,
     iovs: Vec<Iov>,
     state: KnemRecvState,
@@ -143,6 +152,15 @@ impl LmtRecvOp for KnemRecvOp {
             KnemRecvState::Issue => {
                 let flags = comm.resolve_knem(self.sel, t.peer, t.len, self.concurrency);
                 self.offloaded = flags.uses_ioat();
+                // NUMA-aware offload queue: unless a stripe pinned the
+                // channel, submit to the engine next to this core's
+                // memory controller (single-channel chipsets clamp).
+                let machine = os.machine();
+                self.resolved_channel = self.channel.unwrap_or_else(|| {
+                    let node = machine.cfg().topology.node_of(p.core());
+                    machine.dma_channel_for_node(node)
+                });
+                let flags = flags.on_channel(self.resolved_channel);
                 let status = comm.status_acquire();
                 os.knem_recv_cmd(p, self.cookie, &self.iovs, flags, status);
                 self.state = KnemRecvState::Poll(status);
@@ -173,7 +191,12 @@ impl LmtRecvOp for KnemRecvOp {
 
     fn rail_kind(&self) -> Option<super::RailKind> {
         // Only the I/OAT mode matches a stripe rail mechanism; the CPU
-        // copy modes move bytes no rail uses.
-        self.offloaded.then_some(super::RailKind::KnemIoat)
+        // copy modes move bytes no rail uses. Channel 1+ feeds the
+        // second rail's cell so its weight tracks its own engine.
+        self.offloaded.then_some(if self.resolved_channel > 0 {
+            super::RailKind::KnemIoat2
+        } else {
+            super::RailKind::KnemIoat
+        })
     }
 }

@@ -253,6 +253,50 @@ impl TransferPolicy {
         }
     }
 
+    /// The machine's last-level cache size — the *prior* for the
+    /// non-temporal-store threshold: a destination that fits in the LLC
+    /// is worth keeping there (temporal stores), one that doesn't just
+    /// evicts everything on its way through (streaming stores win).
+    pub fn nt_prior(machine: &Machine) -> u64 {
+        let c = machine.cfg();
+        c.l3_size.max(c.l2_size).max(1)
+    }
+
+    /// Effective non-temporal-store threshold for one copy on the
+    /// directed pair: learned when the tuner has observed a crossover,
+    /// the LLC-size prior otherwise.
+    pub fn nt_min(&self, machine: &Machine, pair: Option<(usize, usize)>) -> u64 {
+        let prior = Self::nt_prior(machine);
+        match (&self.tuner, pair) {
+            (Some(tuner), Some((src, dst))) => tuner.nt_min(src, dst, prior),
+            _ => prior,
+        }
+    }
+
+    /// The temporal-vs-NT store decision for one copy of `len` bytes,
+    /// including the tuner's deterministic in-band exploration when
+    /// learning is live. Static configurations (no tuner) always copy
+    /// temporally: they pin the paper's original memcpy-based transfer
+    /// paths (Table 2's cache-miss ordering depends on the default
+    /// scheme's write-allocate traffic), and the streaming-store engine
+    /// is by design a *learned* decision, never a hardcoded one.
+    pub fn nt_decision(&self, machine: &Machine, pair: Option<(usize, usize)>, len: u64) -> bool {
+        match (&self.tuner, pair) {
+            (Some(tuner), Some((src, dst))) => {
+                tuner.nt_decision(src, dst, len, self.nt_min(machine, pair))
+            }
+            _ => false,
+        }
+    }
+
+    /// Feed one completed copy's store flavour and timing into the NT
+    /// crossover model (no-op under static configurations).
+    pub fn record_copy_mode(&self, src: usize, dst: usize, nt: bool, bytes: u64, elapsed_ps: u64) {
+        if let Some(tuner) = &self.tuner {
+            tuner.record_copy_mode(src, dst, nt, bytes, elapsed_ps);
+        }
+    }
+
     /// Build the chunk pipeline for the *sender* side of a streaming
     /// transfer: the configured schedule over `[lmt_chunk_start,
     /// ceiling]`. The learned schedule pulls the pair's published sweet

@@ -15,6 +15,7 @@
 //! fill, so the receiver needs no chunk-size agreement.
 
 use nemesis_kernel::Iov;
+use nemesis_sim::CopyMode;
 
 use crate::comm::Comm;
 use crate::shm::LmtWire;
@@ -77,9 +78,21 @@ impl LmtBackend for ShmCopyBackend {
         _layout: Option<&VectorLayout>,
         _concurrency: u32,
     ) -> Box<dyn LmtRecvOp> {
+        // Decide the destination store flavour once per transfer: the
+        // receiver's ring→user copy is the only final-destination write
+        // this wire does (the sender's user→ring copy targets hot,
+        // constantly-reused slots — always temporal). The threshold is
+        // tuner-published (LLC-size prior), never a hardcoded constant
+        // on this path.
+        let nt =
+            comm.nem()
+                .policy
+                .nt_decision(comm.os().machine(), Some((t.peer, comm.rank())), t.len);
         Box::new(ShmRecvOp {
             pipe: ring_pipeline(comm, t.peer, comm.rank(), false),
             next_slot: 0,
+            nt,
+            copy_ps: 0,
         })
     }
 }
@@ -195,6 +208,12 @@ impl LmtSendOp for ShmSendOp {
 struct ShmRecvOp {
     pipe: ChunkPipeline,
     next_slot: usize,
+    /// Whether this transfer's ring→user copies use streaming stores
+    /// (decided once at start from the tuner-published threshold).
+    nt: bool,
+    /// Pure copy time accumulated across chunks (excludes waiting on
+    /// the sender) — the NT crossover model's sample.
+    copy_ps: nemesis_sim::Ps,
 }
 
 impl LmtRecvOp for ShmRecvOp {
@@ -214,6 +233,12 @@ impl LmtRecvOp for ShmRecvOp {
             }
         }
         let next_slot = &mut self.next_slot;
+        let mode = if self.nt {
+            CopyMode::NonTemporal
+        } else {
+            CopyMode::Temporal
+        };
+        let copy_ps = &mut self.copy_ps;
         // The sender decides the chunk sizes; our pipeline only tracks
         // position. A slot may carry more than this side's current
         // budget (the sender's schedule grew first) — `drive` accepts
@@ -229,7 +254,9 @@ impl LmtRecvOp for ShmRecvOp {
             if fill == 0 {
                 return 0; // sender hasn't filled it yet
             }
-            os.user_copy(p, ring_buf, 0, t.buf, t.off + at, fill);
+            let t0 = p.now();
+            os.user_copy_mode(p, ring_buf, 0, t.buf, t.off + at, fill, mode);
+            *copy_ps += p.now().saturating_sub(t0);
             {
                 let mut sh = nem.sh.lock();
                 let ring = sh.rings.get_mut(&key).unwrap();
@@ -240,6 +267,11 @@ impl LmtRecvOp for ShmRecvOp {
             fill
         });
         if self.pipe.is_complete(t.len) {
+            // Teach the crossover which store flavour this size favours
+            // (pure copy time only — ring waits are the sender's cost).
+            comm.nem()
+                .policy
+                .record_copy_mode(t.peer, comm.rank(), self.nt, t.len, self.copy_ps);
             Step::Complete
         } else if did {
             Step::Progress

@@ -70,9 +70,14 @@ use super::{LmtBackend, LmtRecvOp, LmtSendOp, Step, Transfer, TransferClass};
 pub enum RailKind {
     /// The anchor: CMA over the whole transfer's window.
     Cma,
-    /// KNEM with the asynchronous I/OAT engine — the one rail whose
-    /// bytes move concurrently with the CPU rails.
+    /// KNEM with the asynchronous I/OAT engine — a rail whose bytes
+    /// move concurrently with the CPU rails.
     KnemIoat,
+    /// KNEM on the chipset's *second* I/OAT channel (NUMA parts have
+    /// one engine per memory controller). Only composed when the
+    /// machine really has ≥ 2 channels, so the two DMA rails stripe
+    /// onto distinct hardware instead of multiplexing one queue.
+    KnemIoat2,
     /// Pipe + vmsplice.
     Vmsplice,
     /// The shared copy ring.
@@ -87,6 +92,20 @@ impl RailKind {
             RailKind::KnemIoat => 1,
             RailKind::Vmsplice => 2,
             RailKind::Shm => 3,
+            RailKind::KnemIoat2 => 4,
+        }
+    }
+
+    /// Whether this rail's bytes move on a DMA engine.
+    pub fn is_ioat(self) -> bool {
+        matches!(self, RailKind::KnemIoat | RailKind::KnemIoat2)
+    }
+
+    /// The I/OAT channel a DMA rail submits to.
+    fn ioat_channel(self) -> usize {
+        match self {
+            RailKind::KnemIoat2 => 1,
+            _ => 0,
         }
     }
 }
@@ -120,13 +139,20 @@ pub fn backend_for_rails(rails: usize) -> &'static StripedBackend {
 /// quarantined kinds.
 fn compose_rails(comm: &Comm<'_>, src: usize, dst: usize, want: usize) -> Vec<RailKind> {
     let cfg = comm.config();
+    let second_dma = comm.os().machine().dma_channels() >= 2;
     let mut kinds = vec![RailKind::Cma];
-    for k in [RailKind::KnemIoat, RailKind::Vmsplice, RailKind::Shm] {
+    for k in [
+        RailKind::KnemIoat,
+        RailKind::KnemIoat2,
+        RailKind::Vmsplice,
+        RailKind::Shm,
+    ] {
         if kinds.len() >= want {
             break;
         }
         let available = match k {
             RailKind::KnemIoat => cfg.knem_available,
+            RailKind::KnemIoat2 => cfg.knem_available && second_dma,
             RailKind::Vmsplice => cfg.vmsplice_available,
             RailKind::Shm => true,
             RailKind::Cma => unreachable!(),
@@ -156,7 +182,7 @@ fn split_spans(comm: &Comm<'_>, src: usize, dst: usize, kinds: &[RailKind], len:
             let own = policy.rail_bandwidth(src, dst, k);
             if own > 0.0 {
                 own
-            } else if k == RailKind::KnemIoat {
+            } else if k.is_ioat() {
                 offload_bw
             } else {
                 copy_bw
@@ -233,11 +259,18 @@ impl LmtBackend for StripedBackend {
                 // The anchor rail always exists, even with a zero span:
                 // its DONE doubles as the window-release handshake.
                 RailKind::Cma => (RailWire::Cma { window }, Box::new(CmaSendOp), true),
-                RailKind::KnemIoat if span > 0 => {
+                RailKind::KnemIoat | RailKind::KnemIoat2 if span > 0 => {
                     let cookie = comm
                         .os()
                         .knem_send_cmd(comm.proc(), &[Iov::new(sub.buf, sub.off, sub.len)]);
-                    (RailWire::Knem { cookie }, Box::new(KnemSendOp), true)
+                    (
+                        RailWire::Knem {
+                            cookie,
+                            channel: kind.ioat_channel() as u8,
+                        },
+                        Box::new(KnemSendOp),
+                        true,
+                    )
                 }
                 RailKind::Vmsplice if span > 0 => {
                     let (w, op) = start_pipe_send(comm, &VmspliceBackend, &sub, true);
@@ -322,12 +355,17 @@ impl LmtBackend for StripedBackend {
                         }),
                         None,
                     ),
-                    RailWire::Knem { cookie } => (
-                        RailKind::KnemIoat,
+                    RailWire::Knem { cookie, channel } => (
+                        if channel > 0 {
+                            RailKind::KnemIoat2
+                        } else {
+                            RailKind::KnemIoat
+                        },
                         Some(start_knem_recv(
                             &sub,
                             cookie,
                             KnemSelect::AsyncIoat,
+                            Some(channel as usize),
                             None,
                             concurrency,
                         )),
@@ -492,10 +530,10 @@ impl LmtRecvOp for StripedRecvOp {
         if faults.active() {
             let now = comm.proc().now();
             for i in 1..self.rails.len() {
-                if self.rails[i].done || self.rails[i].kind != RailKind::KnemIoat {
+                if self.rails[i].done || !self.rails[i].kind.is_ioat() {
                     continue;
                 }
-                let code = RailKind::KnemIoat.code();
+                let code = self.rails[i].kind.code();
                 if faults.rail_fail_armed(code, now)
                     && comm.nem().mark_rail_failed(t.peer, comm.rank(), code)
                 {
@@ -535,6 +573,19 @@ impl LmtRecvOp for StripedRecvOp {
                     }
                     r.done = true;
                     did = true;
+                    // `STRIPE_TRACE=1` dumps per-rail completion times
+                    // (virtual ps) — the first thing to look at when a
+                    // stripe's aggregate bandwidth stops scaling.
+                    if std::env::var_os("STRIPE_TRACE").is_some() {
+                        let now = comm.proc().now();
+                        eprintln!(
+                            "[stripe] rail={:?} span={} start={:?} done={now} elapsed={}",
+                            r.kind,
+                            r.span,
+                            r.started,
+                            now.saturating_sub(r.started.unwrap_or_default())
+                        );
+                    }
                     // Per-rail sample: the crossover model sees each
                     // mechanism's own bandwidth (the rail-weighting
                     // input), not one blended parent number.
@@ -616,6 +667,7 @@ fn rail_label(kind: RailKind) -> &'static str {
     match kind {
         RailKind::Cma => "stripe rail: CMA",
         RailKind::KnemIoat => "stripe rail: KNEM I/OAT",
+        RailKind::KnemIoat2 => "stripe rail: KNEM I/OAT ch1",
         RailKind::Vmsplice => "stripe rail: vmsplice",
         RailKind::Shm => "stripe rail: shm ring",
     }

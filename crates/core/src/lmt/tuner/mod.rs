@@ -123,6 +123,13 @@ struct PairState {
     /// Published learned `DMAmin` in bytes; 0 = nothing learned yet
     /// (callers fall back to the configured prior).
     dma_min: AtomicU64,
+    /// Published learned non-temporal-store threshold in bytes (the
+    /// copy size past which streaming stores beat temporal ones); 0 =
+    /// nothing learned (callers fall back to the LLC-size prior).
+    nt_min: AtomicU64,
+    /// Deterministic exploration counter for the NT decision (see
+    /// [`Tuner::nt_decision`]).
+    nt_explore: AtomicU32,
     /// Published learned chunk sweet spot in bytes; 0 = none yet.
     chunk: AtomicU64,
     /// Deterministic exploration counter (see [`Tuner::offload_decision`]).
@@ -154,11 +161,15 @@ struct PairState {
 }
 
 /// Number of [`RailKind`] codes (the per-kind cell array size).
-const NRAIL_KINDS: usize = 4;
+const NRAIL_KINDS: usize = 5;
 
 #[derive(Default)]
 struct Models {
     crossover: CrossoverModel,
+    /// Temporal-vs-non-temporal copy crossover: temporal samples land
+    /// in the model's Copy cells, streaming-store samples in its
+    /// Offload cells, so `learned()` is the size where NT wins.
+    nt: CrossoverModel,
     chunk: ChunkModel,
     selector: SelectorModel,
 }
@@ -167,6 +178,8 @@ impl PairState {
     fn new() -> Self {
         Self {
             dma_min: AtomicU64::new(0),
+            nt_min: AtomicU64::new(0),
+            nt_explore: AtomicU32::new(0),
             chunk: AtomicU64::new(0),
             explore: AtomicU32::new(0),
             chunk_probe: AtomicU32::new(0),
@@ -198,6 +211,8 @@ fn fold_bw(slot: &AtomicU64, bw: f64) {
 pub struct PairSnapshot {
     /// Learned `DMAmin` (0 = unlearned).
     pub dma_min: u64,
+    /// Learned non-temporal-store threshold (0 = unlearned).
+    pub nt_min: u64,
     /// Learned chunk sweet spot (0 = unlearned).
     pub chunk: u64,
     /// Transfer samples accepted.
@@ -225,6 +240,7 @@ const NPLACEMENTS: usize = 5;
 /// own traffic immediately starts refining the inherited values.
 struct PriorCell {
     dma_min: AtomicU64,
+    nt_min: AtomicU64,
     chunk: AtomicU64,
     copy_bw: AtomicU64,
     offload_bw: AtomicU64,
@@ -241,6 +257,7 @@ impl PriorCell {
     fn new() -> Self {
         Self {
             dma_min: AtomicU64::new(0),
+            nt_min: AtomicU64::new(0),
             chunk: AtomicU64::new(0),
             copy_bw: AtomicU64::new(0),
             offload_bw: AtomicU64::new(0),
@@ -327,6 +344,7 @@ impl Tuner {
             }
         };
         seed_if_unset(&p.dma_min, &prior.dma_min);
+        seed_if_unset(&p.nt_min, &prior.nt_min);
         seed_if_unset(&p.chunk, &prior.chunk);
         seed_if_unset(&p.copy_bw, &prior.copy_bw);
         seed_if_unset(&p.offload_bw, &prior.offload_bw);
@@ -351,6 +369,7 @@ impl Tuner {
             }
         };
         copy_if_set(&prior.dma_min, &p.dma_min);
+        copy_if_set(&prior.nt_min, &p.nt_min);
         copy_if_set(&prior.chunk, &p.chunk);
         copy_if_set(&prior.copy_bw, &p.copy_bw);
         copy_if_set(&prior.offload_bw, &p.offload_bw);
@@ -405,6 +424,7 @@ impl Tuner {
         if migrated {
             p.epoch.fetch_add(1, Ordering::Relaxed);
             m.crossover.decay();
+            m.nt.decay();
             m.chunk.decay();
             m.selector.decay();
         }
@@ -415,6 +435,71 @@ impl Tuner {
         }
         drop(m);
         self.donate_to_prior(&p, code);
+    }
+
+    /// Record one completed shared-memory copy in the pair's
+    /// temporal-vs-non-temporal crossover model. `nt` names the store
+    /// flavour the copy ran with; the learned threshold (the size past
+    /// which streaming stores win) is republished under the model's
+    /// hysteresis band.
+    pub fn record_copy_mode(&self, src: usize, dst: usize, nt: bool, bytes: u64, elapsed_ps: u64) {
+        if bytes == 0 || elapsed_ps == 0 {
+            return;
+        }
+        let p = self.pair(src, dst);
+        let class = if nt {
+            TransferClass::Offload
+        } else {
+            TransferClass::Copy
+        };
+        let mut m = p.model.lock();
+        m.nt.observe(class, bytes, elapsed_ps);
+        if let Some(t) = m.nt.learned() {
+            p.nt_min.store(t.min(self.ceil).max(1), Ordering::Relaxed);
+        }
+        drop(m);
+        let code = p.placement.load(Ordering::Relaxed);
+        if let Some(prior) = self.priors.get(code as usize) {
+            let v = p.nt_min.load(Ordering::Relaxed);
+            if v != 0 {
+                prior.nt_min.store(v, Ordering::Relaxed);
+                prior.donors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The pair's effective non-temporal-store threshold: the learned
+    /// value when one exists, otherwise `prior` (the machine's LLC
+    /// size — below it the destination fits in cache and temporal
+    /// stores win by keeping it there).
+    pub fn nt_min(&self, src: usize, dst: usize, prior: u64) -> u64 {
+        let learned = self
+            .try_pair(src, dst)
+            .map_or(0, |p| p.nt_min.load(Ordering::Relaxed));
+        if learned == 0 {
+            prior.max(1)
+        } else {
+            learned
+        }
+    }
+
+    /// The temporal-vs-NT decision for one copy of `len` bytes against
+    /// the resolved `threshold`, with the same deterministic in-band
+    /// exploration as [`Tuner::offload_decision`]: near-threshold
+    /// lengths occasionally run the minority store flavour so the
+    /// crossover keeps seeing both sides.
+    pub fn nt_decision(&self, src: usize, dst: usize, len: u64, threshold: u64) -> bool {
+        let by_threshold = len >= threshold;
+        if len >= threshold / 4 && len < threshold.saturating_mul(4) {
+            let tick = self
+                .pair(src, dst)
+                .nt_explore
+                .fetch_add(1, Ordering::Relaxed);
+            if tick % EXPLORE_PERIOD == EXPLORE_PERIOD - 1 {
+                return !by_threshold;
+            }
+        }
+        by_threshold
     }
 
     /// How many times the pair's placement has changed mid-run (each
@@ -637,12 +722,14 @@ impl Tuner {
         match self.try_pair(src, dst) {
             Some(p) => PairSnapshot {
                 dma_min: p.dma_min.load(Ordering::Relaxed),
+                nt_min: p.nt_min.load(Ordering::Relaxed),
                 chunk: p.chunk.load(Ordering::Relaxed),
                 samples: p.samples.load(Ordering::Relaxed),
                 placement: placement_from_code(p.placement.load(Ordering::Relaxed)),
             },
             None => PairSnapshot {
                 dma_min: 0,
+                nt_min: 0,
                 chunk: 0,
                 samples: 0,
                 placement: None,
@@ -670,28 +757,37 @@ impl Tuner {
                 let Some(p) = self.try_pair(src, dst) else {
                     continue;
                 };
-                if p.samples.load(Ordering::Relaxed) == 0 {
+                let samples = p.samples.load(Ordering::Relaxed);
+                let nt = p.nt_min.load(Ordering::Relaxed);
+                // A pair can learn an NT threshold without ever feeding
+                // the transfer models (copy-mode samples don't count as
+                // transfer samples), so the nt line stands alone.
+                if samples == 0 && nt == 0 {
                     continue;
                 }
-                let _ = writeln!(
-                    out,
-                    "pair {src} {dst} {} {} {} {:#x} {:#x} {}",
-                    p.dma_min.load(Ordering::Relaxed),
-                    p.chunk.load(Ordering::Relaxed),
-                    p.placement.load(Ordering::Relaxed),
-                    p.copy_bw.load(Ordering::Relaxed),
-                    p.offload_bw.load(Ordering::Relaxed),
-                    // The lifetime sample count rides along so a
-                    // warm-started universe that sees no new traffic
-                    // still re-exports the pair (export skips pairs
-                    // with samples == 0).
-                    p.samples.load(Ordering::Relaxed),
-                );
-                for kind in 0..NRAIL_KINDS {
-                    let bits = p.rail_bw[kind].load(Ordering::Relaxed);
-                    if bits != 0 {
-                        let _ = writeln!(out, "rail {src} {dst} {kind} {bits:#x}");
+                if samples != 0 {
+                    let _ = writeln!(
+                        out,
+                        "pair {src} {dst} {} {} {} {:#x} {:#x} {samples}",
+                        p.dma_min.load(Ordering::Relaxed),
+                        p.chunk.load(Ordering::Relaxed),
+                        p.placement.load(Ordering::Relaxed),
+                        p.copy_bw.load(Ordering::Relaxed),
+                        p.offload_bw.load(Ordering::Relaxed),
+                        // The lifetime sample count rides along so a
+                        // warm-started universe that sees no new traffic
+                        // still re-exports the pair (export skips pairs
+                        // with samples == 0).
+                    );
+                    for kind in 0..NRAIL_KINDS {
+                        let bits = p.rail_bw[kind].load(Ordering::Relaxed);
+                        if bits != 0 {
+                            let _ = writeln!(out, "rail {src} {dst} {kind} {bits:#x}");
+                        }
                     }
+                }
+                if nt != 0 {
+                    let _ = writeln!(out, "nt {src} {dst} {nt}");
                 }
                 p.model.lock().selector.export_lines(&mut out, src, dst);
             }
@@ -746,6 +842,13 @@ impl Tuner {
                         p.copy_bw.store(v[3], Ordering::Relaxed);
                         p.offload_bw.store(v[4], Ordering::Relaxed);
                         p.samples.store(v[5], Ordering::Relaxed);
+                    }
+                }
+                ("nt", 4) => {
+                    if let Some(v) = parse_u64(f[3]) {
+                        if v != 0 {
+                            p.nt_min.store(v.min(self.ceil), Ordering::Relaxed);
+                        }
                     }
                 }
                 ("rail", 5) => {
@@ -937,6 +1040,86 @@ mod tests {
         let s = t.snapshot(0, 1);
         assert_eq!(s.placement, Some(Placement::SharedL2));
         assert_eq!(s.samples, 1);
+    }
+
+    /// Synthetic store flavours: temporal costs c·n, NT costs S + o·n
+    /// (streaming stores pay a flat fence/setup charge but skip the
+    /// read-for-ownership per byte), so the true crossover is S/(c−o).
+    fn feed_nt(t: &Tuner, temporal_ps_per_b: u64, nt_setup: u64, nt_ps_per_b: u64) {
+        for round in 0..40 {
+            for exp in 17..24u32 {
+                let n = (1u64 << exp) + (round * 97) % 1000;
+                t.record_copy_mode(0, 1, false, n, temporal_ps_per_b * n);
+                t.record_copy_mode(0, 1, true, n, nt_setup + nt_ps_per_b * n);
+            }
+        }
+    }
+
+    #[test]
+    fn nt_crossover_publishes_temporal_below_and_nt_above() {
+        let t = Tuner::new(2, 64 << 10);
+        let llc = 8u64 << 20;
+        // Unlearned: the LLC-size prior stands, and decisions follow it.
+        assert_eq!(t.nt_min(0, 1, llc), llc);
+        // temporal 3 ps/B; NT 1 ps/B + 2 MiB·ps setup → crossover 1 MiB.
+        let setup = 2 * (1u64 << 20);
+        feed_nt(&t, 3, setup, 1);
+        let learned = t.nt_min(0, 1, llc);
+        let truth = 1u64 << 20;
+        assert!(
+            learned >= truth / 2 && learned <= truth * 2,
+            "learned NT threshold {learned} not within 2x of {truth}"
+        );
+        // Far out of band the decision is deterministic: temporal below
+        // the threshold, streaming stores above it.
+        assert!(!t.nt_decision(0, 1, learned / 8, learned));
+        assert!(t.nt_decision(0, 1, learned.saturating_mul(8), learned));
+        // Degenerate samples never perturb the model.
+        t.record_copy_mode(0, 1, true, 0, 100);
+        t.record_copy_mode(0, 1, false, 100, 0);
+        assert_eq!(t.nt_min(0, 1, llc), learned);
+    }
+
+    #[test]
+    fn nt_threshold_is_sticky_under_hysteresis() {
+        let t = Tuner::new(2, 64 << 10);
+        let setup = 2 * (1u64 << 20);
+        feed_nt(&t, 3, setup, 1);
+        let first = t.nt_min(0, 1, 8 << 20);
+        // A light wobble in the same direction (crossover moves a few
+        // percent) stays inside the 1.1x hysteresis band: the published
+        // value must not chatter.
+        for _ in 0..3 {
+            for exp in 17..24u32 {
+                let n = 1u64 << exp;
+                t.record_copy_mode(0, 1, false, n, 3 * n + n / 50);
+                t.record_copy_mode(0, 1, true, n, setup + n);
+            }
+        }
+        assert_eq!(
+            t.nt_min(0, 1, 8 << 20),
+            first,
+            "sub-hysteresis drift must not republish the NT threshold"
+        );
+        // A decisive regime change (NT now strictly worse everywhere)
+        // does move it.
+        feed_nt(&t, 1, 0, 3);
+        assert!(
+            t.nt_min(0, 1, 8 << 20) > first,
+            "regime flip should raise the NT threshold past {first}"
+        );
+    }
+
+    #[test]
+    fn nt_threshold_survives_a_snapshot_roundtrip() {
+        let t = Tuner::new(2, 64 << 10);
+        feed_nt(&t, 3, 2 * (1u64 << 20), 1);
+        let learned = t.nt_min(0, 1, 8 << 20);
+        let snap = t.export_snapshot();
+        assert!(snap.lines().any(|l| l.starts_with("nt 0 1 ")));
+        let fresh = Tuner::new(2, 64 << 10);
+        fresh.import_snapshot(&snap);
+        assert_eq!(fresh.nt_min(0, 1, 8 << 20), learned);
     }
 
     fn rail_sample(kind: RailKind, class: TransferClass, ps_per_b: u64) -> TransferSample {

@@ -39,8 +39,10 @@ pub enum RailWire {
     Shm,
     /// The pair's pipe; `vmsplice` selects single-copy.
     Pipe { pipe: PipeId, vmsplice: bool },
-    /// A KNEM cookie covering this rail's byte range.
-    Knem { cookie: Cookie },
+    /// A KNEM cookie covering this rail's byte range; `channel` is the
+    /// I/OAT channel the receive command targets, so two KNEM rails of
+    /// one stripe land on distinct engines (clamped by the chipset).
+    Knem { cookie: Cookie, channel: u8 },
     /// A CMA window (rail 0's window covers the *whole* transfer so a
     /// failed sibling rail's range can be re-read through it).
     Cma { window: CmaWindowId },

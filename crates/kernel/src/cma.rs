@@ -35,7 +35,6 @@
 
 use std::collections::HashMap;
 
-use nemesis_sim::config::PAGE;
 use nemesis_sim::Proc;
 
 use crate::mem::{Iov, Os};
@@ -140,13 +139,11 @@ impl Os {
         // Transient get_user_pages walk over the touched remote pages:
         // paid on every call (CMA's per-call overhead), never held (no
         // pin accounting — the page-pin-free half of the cost model).
+        // Charged at the source buffer's backing page size, so a 2 MiB
+        // huge-page window amortizes the walk 512-fold.
         let pages: u64 = runs
             .iter()
-            .map(|&(_, so, _, _, len)| {
-                let first = so / PAGE;
-                let last = (so + len - 1) / PAGE;
-                last - first + 1
-            })
+            .map(|&(sb, so, _, _, len)| self.pages_touched(sb, so, len))
             .sum();
         p.advance(pages * self.machine().cfg().costs.knem_map_page);
         self.kernel_copy_multi(p, &runs);
@@ -294,6 +291,70 @@ mod tests {
             m2.snapshot().per_proc[1].pinned_pages,
             0,
             "CMA must never hold pages pinned"
+        );
+    }
+
+    #[test]
+    fn huge_page_window_parity_and_walk_amortization() {
+        // The same 1 MiB CMA transfer from a 4 KiB-paged source and a
+        // 2 MiB-huge-page source: bytes must be identical, and the
+        // huge-page walk charge must collapse from 256 pages to 1.
+        use crate::mem::HUGE_PAGE;
+        let len: u64 = 1 << 20;
+        let run = |huge: bool| {
+            let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+            let os = Os::new(Arc::clone(&machine));
+            let window = parking_lot::Mutex::new(None::<CmaWindowId>);
+            let out = parking_lot::Mutex::new(Vec::new());
+            let walk = parking_lot::Mutex::new(0u64);
+            run_simulation(machine, &[0, 4], |p| {
+                if p.pid() == 0 {
+                    let src = if huge {
+                        os.alloc_huge(0, len)
+                    } else {
+                        os.alloc(0, len)
+                    };
+                    assert_eq!(os.page_size(src), if huge { HUGE_PAGE } else { 4096 });
+                    os.with_data_mut(p, src, |d| {
+                        for (i, b) in d.iter_mut().enumerate() {
+                            *b = (i % 241) as u8;
+                        }
+                    });
+                    os.touch_write(p, src, 0, len);
+                    *window.lock() = Some(os.cma_expose(p, &[Iov::new(src, 0, len)]));
+                } else {
+                    let w = p.poll_until(|| *window.lock());
+                    let dst = os.alloc(1, len);
+                    // Isolate the per-call overhead: measure one whole
+                    // readv loop and subtract the pure copy cost via the
+                    // walk-page count implied by the page size.
+                    let t0 = p.now();
+                    let mut at = 0u64;
+                    while at < len {
+                        at += os.process_vm_readv(p, w, at, &[Iov::new(dst, at, len - at)]);
+                    }
+                    *walk.lock() = p.now() - t0;
+                    os.cma_close(p, w);
+                    *out.lock() = os.read_bytes(p, dst, 0, len);
+                }
+            });
+            let bytes = out.lock().clone();
+            let t = *walk.lock();
+            (bytes, t)
+        };
+        let (small_bytes, small_t) = run(false);
+        let (huge_bytes, huge_t) = run(true);
+        assert_eq!(small_bytes, huge_bytes, "huge-page window corrupts data");
+        for (i, b) in huge_bytes.iter().enumerate() {
+            assert_eq!(*b, (i % 241) as u8, "byte {i} corrupt");
+        }
+        // Walk charge: 4 KiB pages walk 256 pages/MiB, huge pages 1. The
+        // elapsed difference must show (at least most of) those 255
+        // amortized walks.
+        let map = nemesis_sim::MachineConfig::xeon_e5345().costs.knem_map_page;
+        assert!(
+            small_t >= huge_t + 200 * map,
+            "huge pages must amortize the walk: 4K {small_t} vs huge {huge_t}"
         );
     }
 

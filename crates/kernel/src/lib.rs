@@ -30,7 +30,7 @@ mod proptests;
 
 pub use cma::{CmaWindowId, CMA_MAX_SEGS};
 pub use knem::{Cookie, KnemFlags, KnemMode, StatusId};
-pub use mem::{BufId, Iov, Os};
+pub use mem::{BufId, Iov, Os, HUGE_PAGE};
 pub use pipe::PipeId;
 
 #[cfg(test)]

@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use nemesis_sim::machine::PhysRange;
+use nemesis_sim::config::PAGE;
+use nemesis_sim::machine::{CopyMode, PhysRange};
 use nemesis_sim::{Machine, Proc};
 
 use crate::cma::CmaState;
@@ -23,6 +24,11 @@ pub type BufId = usize;
 
 /// Owner of a buffer: a process, or the shared segment.
 pub const SHARED_OWNER: usize = usize::MAX;
+
+/// Huge-page size (2 MiB on x86-64). A huge-page-backed buffer is
+/// physically contiguous per 2 MiB, so the page-walk / pin / descriptor
+/// charges that scale with page count shrink 512-fold.
+pub const HUGE_PAGE: u64 = 2 << 20;
 
 /// An (buffer, offset, length) triple — the simulated `struct iovec`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +52,10 @@ impl Iov {
 pub(crate) struct BufEntry {
     pub owner: usize,
     pub phys: u64,
+    /// Size of the pages backing this buffer (4 KiB default, 2 MiB for
+    /// huge-page windows). Everything charged per touched/pinned page —
+    /// CMA walks, KNEM pins, I/OAT descriptor chains — scales with it.
+    pub page_size: u64,
     pub data: Vec<u8>,
 }
 
@@ -125,14 +135,50 @@ impl Os {
         self.alloc_on(p.pid(), node, len)
     }
 
+    /// Allocate a 2 MiB-huge-page-backed window for `owner` on node 0
+    /// (the `mmap(MAP_HUGETLB)` analogue). Physical backing is whole
+    /// huge pages; `len` stays as requested.
+    pub fn alloc_huge(&self, owner: usize, len: u64) -> BufId {
+        self.alloc_huge_on(owner, 0, len)
+    }
+
+    /// [`Os::alloc_huge`] with explicit NUMA placement.
+    pub fn alloc_huge_on(&self, owner: usize, node: usize, len: u64) -> BufId {
+        let backing = len.div_ceil(HUGE_PAGE).max(1) * HUGE_PAGE;
+        let phys = self.machine.alloc_phys_on(node, backing);
+        self.register_paged(owner, phys, len, HUGE_PAGE)
+    }
+
     fn register(&self, owner: usize, phys: u64, len: u64) -> BufId {
+        self.register_paged(owner, phys, len, PAGE)
+    }
+
+    fn register_paged(&self, owner: usize, phys: u64, len: u64, page_size: u64) -> BufId {
         let mut st = self.state.lock();
         st.buffers.push(BufEntry {
             owner,
             phys,
+            page_size,
             data: vec![0u8; len as usize],
         });
         st.buffers.len() - 1
+    }
+
+    /// Size of the pages backing `buf` (4 KiB unless huge-page-backed).
+    pub fn page_size(&self, buf: BufId) -> u64 {
+        self.state.lock().buffers[buf].page_size
+    }
+
+    /// Page charge for a `len`-byte access to `buf`, at the buffer's
+    /// backing page size — the per-page charge unit for CMA walks and
+    /// KNEM pins. Charged by length (`ceil(len / page)`), matching the
+    /// seed's accounting for 4 KiB mappings; a huge-page window divides
+    /// the same length by 2 MiB instead. (Counting pages *spanned* would
+    /// add one per misaligned iov — a nuance that only perturbs the
+    /// paper-pinned small-transfer costs without informing the model.)
+    pub(crate) fn pages_touched(&self, buf: BufId, off: u64, len: u64) -> u64 {
+        let _ = off;
+        len.div_ceil(self.page_size(buf)).max(1)
     }
 
     /// Allocate a shared (mmap-style) buffer accessible by every process.
@@ -231,6 +277,23 @@ impl Os {
         dst_off: u64,
         len: u64,
     ) {
+        self.user_copy_mode(p, src, src_off, dst, dst_off, len, CopyMode::Temporal);
+    }
+
+    /// [`Os::user_copy`] with an explicit destination store mode:
+    /// `NonTemporal` streams the destination so an over-LLC copy never
+    /// pollutes the hierarchy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn user_copy_mode(
+        &self,
+        p: &Proc,
+        src: BufId,
+        src_off: u64,
+        dst: BufId,
+        dst_off: u64,
+        len: u64,
+        mode: CopyMode,
+    ) {
         self.assert_user_access(p.pid(), src);
         self.assert_user_access(p.pid(), dst);
         let (rs, rd) = {
@@ -257,7 +320,7 @@ impl Os {
                 )
             }
         };
-        p.copy(rs, rd);
+        p.copy_mode(rs, rd, mode);
     }
 
     /// Kernel-side copy that moves the bytes and *returns* the cost

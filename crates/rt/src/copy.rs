@@ -22,6 +22,83 @@ pub fn direct_copy(src: &[u8], dst: &mut [u8]) {
     dst.copy_from_slice(src);
 }
 
+/// Copy with an explicit SIMD store loop whose only variable is the
+/// store flavour: `nt = false` issues regular (temporal, write-allocate)
+/// stores, `nt = true` issues non-temporal streaming stores that bypass
+/// the cache hierarchy and combine into full-line writes. Streaming
+/// stores skip the read-for-ownership of every destination line — two
+/// bytes of memory traffic per copied byte instead of three — which is
+/// a win exactly when the destination won't be read back from cache
+/// (transfers larger than the LLC); below that, evicting the hot
+/// destination is a loss. The threshold is the tuner's to learn
+/// ([`crate::tuner::RtPairTune::nt_decision`]), never hardcoded here.
+///
+/// On non-x86_64 hosts both flavours fall back to `copy_from_slice`.
+pub fn simd_copy(src: &[u8], dst: &mut [u8], nt: bool) {
+    assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 is baseline on x86_64; lengths are equal and the
+        // slices are disjoint by &/&mut construction.
+        unsafe { sse2_copy(src.as_ptr(), dst.as_mut_ptr(), src.len(), nt) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = nt;
+        dst.copy_from_slice(src);
+    }
+}
+
+/// Streaming-store copy (`simd_copy` with `nt = true`): the engine for
+/// over-LLC destinations.
+pub fn nt_copy(src: &[u8], dst: &mut [u8]) {
+    simd_copy(src, dst, true);
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn sse2_copy(src: *const u8, dst: *mut u8, len: usize, nt: bool) {
+    use std::arch::x86_64::*;
+    let mut off = 0usize;
+    // Head: byte copy up to the destination's 16-byte boundary
+    // (streaming stores require aligned addresses).
+    let mis = (dst as usize).wrapping_neg() & 15;
+    if mis > 0 {
+        let head = mis.min(len);
+        std::ptr::copy_nonoverlapping(src, dst, head);
+        off = head;
+    }
+    // Body: one cache line per iteration, unaligned loads (the source's
+    // alignment is whatever the ring slot gave us), aligned stores.
+    while off + 64 <= len {
+        let a = _mm_loadu_si128(src.add(off) as *const __m128i);
+        let b = _mm_loadu_si128(src.add(off + 16) as *const __m128i);
+        let c = _mm_loadu_si128(src.add(off + 32) as *const __m128i);
+        let d = _mm_loadu_si128(src.add(off + 48) as *const __m128i);
+        if nt {
+            _mm_stream_si128(dst.add(off) as *mut __m128i, a);
+            _mm_stream_si128(dst.add(off + 16) as *mut __m128i, b);
+            _mm_stream_si128(dst.add(off + 32) as *mut __m128i, c);
+            _mm_stream_si128(dst.add(off + 48) as *mut __m128i, d);
+        } else {
+            _mm_store_si128(dst.add(off) as *mut __m128i, a);
+            _mm_store_si128(dst.add(off + 16) as *mut __m128i, b);
+            _mm_store_si128(dst.add(off + 32) as *mut __m128i, c);
+            _mm_store_si128(dst.add(off + 48) as *mut __m128i, d);
+        }
+        off += 64;
+    }
+    // Tail.
+    if off < len {
+        std::ptr::copy_nonoverlapping(src.add(off), dst.add(off), len - off);
+    }
+    if nt {
+        // Streaming stores are weakly ordered: fence before the caller
+        // publishes the buffer (the ring's flag store must not pass the
+        // payload).
+        _mm_sfence();
+    }
+}
+
 /// Marker trait for things that can run a transfer; used by benches.
 pub trait CopyEngine {
     fn name(&self) -> &'static str;
@@ -94,11 +171,19 @@ pub struct DoubleBufferPipe {
     /// unclamped as a probe, so chunk classes above the current sweet
     /// spot keep being sampled).
     sends: AtomicUsize,
+    /// 0 until the slot buffers are allocated and first-touched. The
+    /// *receiver* initializes them at its first `recv` (the sender
+    /// backoff-waits): under first-touch NUMA policy the ring's pages
+    /// then live on the receiver's node, so the drain copy — the
+    /// transfer's critical path — never crosses sockets for its reads.
+    ready: AtomicUsize,
 }
 
 struct Slot {
     /// 0 = empty, otherwise payload length.
     len: AtomicUsize,
+    /// Empty until the receiver's first-touch init (see
+    /// [`DoubleBufferPipe::ready`]); untouched pairs cost no memory.
     buf: parking_lot::Mutex<Box<[u8]>>,
 }
 
@@ -128,14 +213,41 @@ impl DoubleBufferPipe {
             slots: (0..nbufs)
                 .map(|_| Slot {
                     len: AtomicUsize::new(0),
-                    buf: parking_lot::Mutex::new(vec![0u8; chunk].into_boxed_slice()),
+                    buf: parking_lot::Mutex::new(Box::default()),
                 })
                 .collect(),
             chunk,
             start_chunk: start_chunk.min(chunk),
             schedule,
             sends: AtomicUsize::new(0),
+            ready: AtomicUsize::new(0),
         }
+    }
+
+    /// Allocate and first-touch the slot buffers from the calling
+    /// thread. `recv` runs this on its first drain so the pages land on
+    /// the receiver's NUMA node; the zeroing write below is what forces
+    /// the page faults (a fresh zeroed allocation maps the kernel's
+    /// shared zero page and would be placed by whoever writes first —
+    /// i.e. the sender — without it).
+    fn ensure_local(&self) {
+        if self.ready.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        for slot in &self.slots {
+            let mut buf = slot.buf.lock();
+            if buf.is_empty() {
+                let mut b = vec![0u8; self.chunk].into_boxed_slice();
+                for i in (0..b.len()).step_by(4096) {
+                    // Volatile defeats the "writing zero to zeroed
+                    // memory" elision; one store per page is enough to
+                    // fault it in.
+                    unsafe { b.as_mut_ptr().add(i).write_volatile(0) };
+                }
+                *buf = b;
+            }
+        }
+        self.ready.store(1, Ordering::Release);
     }
 
     /// Copy `src` into the ring (first of the two copies), growing the
@@ -156,6 +268,14 @@ impl DoubleBufferPipe {
     pub fn send(&self, src: &[u8]) {
         let n = self.slots.len();
         let mut bo = crate::backoff::Backoff::new();
+        // The receiver owns the ring's first touch (NUMA placement);
+        // wait for it before writing any slot. The rendezvous protocol
+        // guarantees a receiver is (or will be) draining this transfer,
+        // so this is the same wait as a full ring.
+        while self.ready.load(Ordering::Acquire) == 0 {
+            bo.snooze();
+        }
+        bo.reset();
         let tune = match &self.schedule {
             PipeSchedule::Learned(t) => Some(t),
             _ => None,
@@ -239,11 +359,31 @@ impl DoubleBufferPipe {
     /// Copy out of the ring into `dst` (second copy), draining whatever
     /// chunk size the sender published. Blocks (spin-then-yield) until
     /// every byte has arrived.
+    ///
+    /// The first call allocates and first-touches the ring from this
+    /// thread (NUMA placement — see [`DoubleBufferPipe::ensure_local`]).
+    /// The drain's ring→user stores are the transfer's only
+    /// final-destination writes, so the store flavour is decided here,
+    /// once per transfer: streaming (non-temporal) stores for
+    /// destinations past the pair's learned threshold (LLC-size prior
+    /// until learned), regular stores below it. Learned pipes time the
+    /// pure copy work and feed the pair's NT crossover model.
     pub fn recv(&self, dst: &mut [u8]) {
+        self.ensure_local();
+        let tune = match &self.schedule {
+            PipeSchedule::Learned(t) => Some(t),
+            _ => None,
+        };
+        let llc = crate::tuner::host_llc_size();
+        let nt = match tune {
+            Some(t) => t.nt_decision(dst.len(), llc),
+            None => dst.len() >= llc,
+        };
         let n = self.slots.len();
         let mut bo = crate::backoff::Backoff::new();
         let mut at = 0usize;
         let mut i = 0usize;
+        let mut copy_nanos = 0u64;
         while at < dst.len() {
             let slot = &self.slots[i % n];
             let len = loop {
@@ -255,11 +395,33 @@ impl DoubleBufferPipe {
             };
             bo.reset();
             assert!(len <= dst.len() - at, "chunk overruns the transfer");
-            dst[at..at + len].copy_from_slice(&slot.buf.lock()[..len]);
+            if tune.is_some() {
+                // Time only the copy (the wait above is the sender's
+                // cost) — the crossover model's sample.
+                let t0 = std::time::Instant::now();
+                copy_chunk(&slot.buf.lock()[..len], &mut dst[at..at + len], nt);
+                copy_nanos += t0.elapsed().as_nanos() as u64;
+            } else {
+                copy_chunk(&slot.buf.lock()[..len], &mut dst[at..at + len], nt);
+            }
             slot.len.store(0, Ordering::Release);
             at += len;
             i += 1;
         }
+        if let Some(tune) = tune {
+            tune.record_copy_mode(nt, dst.len(), copy_nanos);
+        }
+    }
+}
+
+/// One ring-drain chunk copy in the decided store flavour: regular
+/// stores ride `memcpy` (the general-purpose best below the LLC),
+/// streaming stores the explicit [`nt_copy`] loop.
+fn copy_chunk(src: &[u8], dst: &mut [u8], nt: bool) {
+    if nt {
+        nt_copy(src, dst);
+    } else {
+        dst.copy_from_slice(src);
     }
 }
 
@@ -408,15 +570,18 @@ impl OffloadEngine {
     }
 
     /// Submit a copy; returns a completion handle tied to the buffers'
-    /// lifetimes. The payload is split into page-sized descriptors (as
-    /// pinned user memory would be) followed by the status descriptor.
+    /// lifetimes. The payload is split into descriptors at huge-page
+    /// granularity (2 MiB — the windows pinned user memory now comes
+    /// in; descriptors used to be cut per 4 KiB page, and the
+    /// per-descriptor queue traffic was a measurable tax on striped
+    /// rails) followed by the status descriptor.
     pub fn submit<'a>(&self, src: &'a [u8], dst: &'a mut [u8]) -> Pending<'a> {
         assert_eq!(src.len(), dst.len());
-        const PAGE: usize = 4096;
+        const HUGE_PAGE: usize = 2 << 20;
         let flag = Arc::new(AtomicUsize::new(0));
         let mut off = 0;
         while off < src.len() {
-            let len = (src.len() - off).min(PAGE);
+            let len = (src.len() - off).min(HUGE_PAGE);
             self.tx.enqueue(Desc::Copy {
                 src: src[off..].as_ptr(),
                 dst: dst[off..].as_mut_ptr(),
@@ -470,6 +635,84 @@ mod tests {
         let mut dst = vec![0u8; 10_000];
         direct_copy(&src, &mut dst);
         assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn simd_copy_is_byte_identical_for_both_store_flavours() {
+        // Odd lengths and deliberately misaligned windows: head, 64-byte
+        // body, and tail paths all exercised, in both flavours.
+        for len in [0usize, 1, 15, 16, 63, 64, 65, 4097, 70_001] {
+            for off in [0usize, 1, 7, 13] {
+                let backing_src = pattern(len + off + 16);
+                let mut backing_dst = vec![0u8; len + off + 16];
+                for nt in [false, true] {
+                    backing_dst.fill(0xAA);
+                    let src = &backing_src[off..off + len];
+                    let dst = &mut backing_dst[off..off + len];
+                    simd_copy(src, dst, nt);
+                    assert_eq!(src, dst, "len={len} off={off} nt={nt}");
+                }
+                assert_eq!(backing_dst[len + off], 0xAA, "overrun past the window");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_slots_are_lazy_until_the_receiver_first_touches() {
+        let pipe = Arc::new(DoubleBufferPipe::new(32 << 10, 2));
+        // Construction allocates nothing: slot buffers stay empty until
+        // a receiver runs (first-touch NUMA placement is the receiver's
+        // job, and untouched pairs must cost no memory).
+        assert_eq!(pipe.ready.load(Ordering::Relaxed), 0);
+        for slot in &pipe.slots {
+            assert!(slot.buf.lock().is_empty(), "slot allocated before recv");
+        }
+        let src = pattern(100_000);
+        let mut dst = vec![0u8; 100_000];
+        std::thread::scope(|s| {
+            let p2 = Arc::clone(&pipe);
+            let src_ref = &src;
+            // The sender starts first and must simply wait for the
+            // receiver's first-touch, not deadlock or write early.
+            s.spawn(move || p2.send(src_ref));
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            pipe.recv(&mut dst);
+        });
+        assert_eq!(src, dst);
+        assert_eq!(pipe.ready.load(Ordering::Relaxed), 1);
+        for slot in &pipe.slots {
+            assert_eq!(slot.buf.lock().len(), 32 << 10, "slot sized after recv");
+        }
+    }
+
+    #[test]
+    fn forced_nt_drain_stays_byte_identical_and_feeds_the_model() {
+        // Pre-learn a tiny NT threshold so a 1 MiB transfer drains with
+        // streaming stores even on hosts with a huge LLC; parity must
+        // hold and the drain must feed the crossover model.
+        let tune = Arc::new(crate::tuner::RtTuner::new(2).pair(0, 1));
+        for _ in 0..4 {
+            // NT decisively faster at the smallest class → threshold
+            // publishes at 64 KiB.
+            tune.record_copy_mode(false, 64 << 10, 20_000);
+            tune.record_copy_mode(true, 64 << 10, 10_000);
+        }
+        assert_eq!(tune.nt_min(), 64 << 10);
+        let pipe = Arc::new(DoubleBufferPipe::with_schedule(
+            32 << 10,
+            2,
+            ADAPTIVE_CHUNK_START,
+            PipeSchedule::Learned(Arc::clone(&tune)),
+        ));
+        let src = pattern(1 << 20);
+        let mut dst = vec![0u8; 1 << 20];
+        std::thread::scope(|s| {
+            let p2 = Arc::clone(&pipe);
+            let src_ref = &src;
+            s.spawn(move || p2.send(src_ref));
+            pipe.recv(&mut dst);
+        });
+        assert_eq!(src, dst, "NT drain corrupted the payload");
     }
 
     #[test]

@@ -308,22 +308,43 @@ pub struct StripedBackend {
 
 impl StripedBackend {
     pub fn new(rails: usize) -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_rail_cap(rails, cpus)
+    }
+
+    /// `rails` rails, at most `cap` of them moving concurrently (the
+    /// receiving thread plus `cap - 1` engine threads). On a host with
+    /// fewer cores than rails the surplus engine threads can only
+    /// timeshare the receiver's core — pure context-switch and
+    /// cache-thrash tax, which is exactly why striped-2..4 *lost* to a
+    /// single rail on single-core containers — so the stripes collapse
+    /// onto the rails that can actually run in parallel. The backend
+    /// keeps its requested identity (`name`, selector arm) either way.
+    pub fn with_rail_cap(rails: usize, cap: usize) -> Self {
         let rails = rails.clamp(1, 4);
+        let effective = rails.min(cap.max(1));
         Self {
-            engines: (1..rails).map(|_| OffloadEngine::start()).collect(),
+            engines: (1..effective).map(|_| OffloadEngine::start()).collect(),
             rails,
         }
+    }
+
+    /// Rails that actually carry a stripe: the anchor plus one per
+    /// live engine thread.
+    fn effective_rails(&self) -> usize {
+        self.engines.len() + 1
     }
 
     /// The page-aligned stripe spans for `len` bytes (rail 0 absorbs
     /// the remainder, mirroring the sim's anchor rail).
     fn spans(&self, len: usize) -> Vec<usize> {
         const PAGE: usize = 4096;
-        let mut spans = vec![0usize; self.rails];
+        let rails = self.effective_rails();
+        let mut spans = vec![0usize; rails];
         let cap = len.saturating_sub(len.min(PAGE));
         let mut assigned = 0usize;
         for s in spans.iter_mut().skip(1) {
-            let span = (len / self.rails / PAGE * PAGE).min(cap - assigned.min(cap));
+            let span = (len / rails / PAGE * PAGE).min(cap - assigned.min(cap));
             *s = span;
             assigned += span;
         }
@@ -392,8 +413,9 @@ impl RtLmtBackend for StripedBackend {
 
     fn is_offload(&self) -> bool {
         // Rails beyond the anchor move their bytes off the receiving
-        // thread.
-        self.rails > 1
+        // thread — only true when the parallelism cap left any engine
+        // threads alive.
+        !self.engines.is_empty()
     }
 }
 
@@ -532,9 +554,37 @@ mod tests {
     }
 
     #[test]
+    fn striped_rails_collapse_to_available_parallelism() {
+        // A 4-rail stripe on a single-core host: every engine thread
+        // would timeshare the receiver's core, so the spans collapse
+        // onto the anchor — while the backend keeps its identity.
+        let b = StripedBackend::with_rail_cap(4, 1);
+        assert_eq!(b.name(), "striped-4", "identity keeps the request");
+        assert!(!b.is_offload(), "no engine threads, nothing off-CPU");
+        assert_eq!(b.spans(1 << 20), vec![1 << 20]);
+        // Two cores: anchor + one engine.
+        let b = StripedBackend::with_rail_cap(4, 2);
+        assert_eq!(b.spans(1 << 20).len(), 2);
+        assert!(b.is_offload());
+        // An abundant cap never lifts rails above the request.
+        let b = StripedBackend::with_rail_cap(2, 16);
+        assert_eq!(b.spans(1 << 20).len(), 2);
+        // And whatever the collapse, payloads stay byte-identical.
+        for cap in 1..=4usize {
+            let b = StripedBackend::with_rail_cap(4, cap);
+            let len = (1 << 20) + 123;
+            let src: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut dst = vec![0u8; len];
+            b.send_payload(0, 1, &src);
+            b.recv_payload(0, 1, &src, &mut dst);
+            assert_eq!(src, dst, "cap={cap}");
+        }
+    }
+
+    #[test]
     fn striped_spans_are_page_aligned_and_cover_the_payload() {
         for rails in 1..=4usize {
-            let b = StripedBackend::new(rails);
+            let b = StripedBackend::with_rail_cap(rails, rails);
             for len in [0usize, 1, 4095, 4096, 300 << 10, (1 << 20) + 7] {
                 let spans = b.spans(len);
                 assert_eq!(spans.len(), rails);
@@ -549,7 +599,7 @@ mod tests {
     #[test]
     fn striped_receives_land_byte_identical_payloads() {
         for rails in 1..=4u8 {
-            let b = StripedBackend::new(rails as usize);
+            let b = StripedBackend::with_rail_cap(rails as usize, rails as usize);
             for len in [1usize, 4096, (300 << 10) + 123, 1 << 20] {
                 let src: Vec<u8> = (0..len).map(|i| (i % 243) as u8).collect();
                 let mut dst = vec![0u8; len];
@@ -600,7 +650,7 @@ mod tests {
 
     #[test]
     fn striped_receive_survives_a_dead_engine_rail() {
-        let b = StripedBackend::new(3);
+        let b = StripedBackend::with_rail_cap(3, 3);
         // Kill one engine rail before the transfer: its stripe must be
         // absorbed by the receiving thread, byte-identically.
         b.engines[0].inject_failure();

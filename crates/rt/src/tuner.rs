@@ -55,6 +55,45 @@ const MIN_SAMPLES: u32 = 3;
 const ALPHA: f64 = 0.25;
 const HYSTERESIS: f64 = 1.05;
 
+/// The host's last-level cache size in bytes — the prior for the
+/// temporal-vs-streaming-store threshold (a destination below it fits
+/// in cache, so regular stores keep it hot; past it the write-allocate
+/// traffic is pure waste). Read once from sysfs; falls back to 32 MiB
+/// when the cache topology isn't exposed (containers, non-Linux).
+pub fn host_llc_size() -> usize {
+    static LLC: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LLC.get_or_init(|| probe_llc_size().unwrap_or(32 << 20))
+}
+
+fn probe_llc_size() -> Option<usize> {
+    let cache = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let mut best: Option<(u32, usize)> = None;
+    // Entries that aren't cache indices (uevent, power, …) are skipped,
+    // not fatal — only a directory with both `level` and `size` counts.
+    for entry in std::fs::read_dir(cache).ok()?.flatten() {
+        let p = entry.path();
+        let level = std::fs::read_to_string(p.join("level"))
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok());
+        let bytes = std::fs::read_to_string(p.join("size")).ok().and_then(|s| {
+            let s = s.trim();
+            if let Some(k) = s.strip_suffix('K') {
+                k.parse::<usize>().ok().map(|v| v << 10)
+            } else if let Some(m) = s.strip_suffix('M') {
+                m.parse::<usize>().ok().map(|v| v << 20)
+            } else {
+                s.parse::<usize>().ok()
+            }
+        });
+        if let (Some(level), Some(bytes)) = (level, bytes) {
+            if best.is_none_or(|(l, _)| level > l) {
+                best = Some((level, bytes));
+            }
+        }
+    }
+    best.map(|(_, b)| b)
+}
+
 fn class_of(bytes: usize) -> usize {
     let lg = if bytes == 0 { 0 } else { bytes.ilog2() };
     (lg.saturating_sub(CLASS_BASE) as usize).min(NCLASSES - 1)
@@ -98,6 +137,79 @@ impl ChunkModel {
     }
 }
 
+/// NT (streaming-store) crossover classes cover 2^16 (64 KiB) ..
+/// 2^(16+NT_NCLASSES-1) = 128 MiB — the band where a destination
+/// plausibly stops fitting in cache on any host.
+const NT_CLASS_BASE: u32 = 16;
+const NT_NCLASSES: usize = 12;
+/// A flavour must lead by 10% to flip a class's verdict — EWMA wobble
+/// inside the band keeps the previous verdict (and the published
+/// threshold) sticky.
+const NT_HYSTERESIS: f64 = 1.1;
+/// Every 8th decision whose length falls within [T/4, 4T) runs the
+/// *other* flavour, keeping both sides of the crossover sampled so the
+/// threshold can track regime changes.
+const NT_EXPLORE_PERIOD: usize = 8;
+/// Published when temporal wins at every sampled class: one class above
+/// the model's range (256 MiB), NOT `usize::MAX` — the explore band
+/// around it stays reachable, so huge transfers keep re-probing NT.
+const NT_SENTINEL: usize = 1 << (NT_CLASS_BASE + NT_NCLASSES as u32);
+
+fn nt_class_of(bytes: usize) -> usize {
+    let lg = if bytes == 0 { 0 } else { bytes.ilog2() };
+    (lg.saturating_sub(NT_CLASS_BASE) as usize).min(NT_NCLASSES - 1)
+}
+
+/// Temporal-vs-streaming-store crossover learner: per size class, an
+/// EWMA bandwidth for each store flavour and a sticky verdict. The
+/// published threshold is the lower bound of the smallest class where
+/// streaming stores win.
+#[derive(Debug, Default)]
+struct NtModel {
+    temporal: [Cell; NT_NCLASSES],
+    nt: [Cell; NT_NCLASSES],
+    /// +1 = NT wins here, -1 = temporal wins, 0 = undecided.
+    verdict: [i8; NT_NCLASSES],
+}
+
+impl NtModel {
+    /// Fold one timed copy in and return the threshold to publish
+    /// (0 = nothing decided anywhere yet).
+    fn observe(&mut self, nt: bool, bytes: usize, nanos: u64) -> usize {
+        let c = nt_class_of(bytes);
+        let bw = bytes as f64 / nanos as f64;
+        let cell = if nt {
+            &mut self.nt[c]
+        } else {
+            &mut self.temporal[c]
+        };
+        cell.bw = if cell.n == 0 {
+            bw
+        } else {
+            ALPHA * bw + (1.0 - ALPHA) * cell.bw
+        };
+        cell.n += 1;
+        let (t, n) = (self.temporal[c], self.nt[c]);
+        if t.n >= MIN_SAMPLES && n.n >= MIN_SAMPLES {
+            if n.bw > t.bw * NT_HYSTERESIS {
+                self.verdict[c] = 1;
+            } else if t.bw > n.bw * NT_HYSTERESIS {
+                self.verdict[c] = -1;
+            } else if self.verdict[c] == 0 {
+                // First decision with no clear margin: lean whichever
+                // way the EWMAs point; later samples inside the band
+                // will not flip it back and forth.
+                self.verdict[c] = if n.bw > t.bw { 1 } else { -1 };
+            }
+        }
+        match (0..NT_NCLASSES).find(|&i| self.verdict[i] > 0) {
+            Some(c) => 1usize << (NT_CLASS_BASE + c as u32),
+            None if self.verdict.iter().any(|&v| v < 0) => NT_SENTINEL,
+            None => 0,
+        }
+    }
+}
+
 /// Learned state of one directed rank pair. The chunk target is the
 /// hot-path read; the models behind it update under a small mutex at
 /// recording time only.
@@ -105,6 +217,11 @@ impl ChunkModel {
 pub struct RtPairTune {
     /// Published chunk sweet spot in bytes (0 = nothing learned).
     target: AtomicUsize,
+    /// Published NT-store threshold in bytes (0 = nothing learned —
+    /// callers fall back to the host-LLC prior).
+    nt_min: AtomicUsize,
+    /// Decision counter driving the in-band explore cadence.
+    nt_explore: AtomicUsize,
     /// Transfer samples accepted (diagnostics).
     samples: AtomicU64,
     /// EWMA transfer bandwidths in MiB/s ×1000 (fixed point), copy and
@@ -112,16 +229,20 @@ pub struct RtPairTune {
     copy_bw: AtomicU64,
     offload_bw: AtomicU64,
     chunk_model: Mutex<ChunkModel>,
+    nt_model: Mutex<NtModel>,
 }
 
 impl RtPairTune {
     fn new() -> Self {
         Self {
             target: AtomicUsize::new(0),
+            nt_min: AtomicUsize::new(0),
+            nt_explore: AtomicUsize::new(0),
             samples: AtomicU64::new(0),
             copy_bw: AtomicU64::new(0),
             offload_bw: AtomicU64::new(0),
             chunk_model: Mutex::new(ChunkModel::default()),
+            nt_model: Mutex::new(NtModel::default()),
         }
     }
 
@@ -175,6 +296,51 @@ impl RtPairTune {
     /// Transfer samples accepted.
     pub fn samples(&self) -> u64 {
         self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Fold one timed ring→user copy into the NT crossover model and
+    /// republish the threshold. `nanos` is pure copy time (waiting on
+    /// the sender excluded — that would smear both flavours equally and
+    /// wash out the crossover).
+    pub fn record_copy_mode(&self, nt: bool, bytes: usize, nanos: u64) {
+        if bytes == 0 || nanos == 0 {
+            return;
+        }
+        let t = self.nt_model.lock().observe(nt, bytes, nanos);
+        if t != 0 {
+            self.nt_min.store(t, Ordering::Relaxed);
+        }
+    }
+
+    /// The learned NT threshold in bytes, or `prior` (typically
+    /// [`host_llc_size`]) while nothing is learned.
+    pub fn nt_threshold(&self, prior: usize) -> usize {
+        match self.nt_min.load(Ordering::Relaxed) {
+            0 => prior.max(1),
+            t => t,
+        }
+    }
+
+    /// The raw learned NT threshold (0 = unlearned) — diagnostics.
+    pub fn nt_min(&self) -> usize {
+        self.nt_min.load(Ordering::Relaxed)
+    }
+
+    /// Should a `len`-byte ring→user copy use streaming stores? By
+    /// threshold, except every [`NT_EXPLORE_PERIOD`]th decision whose
+    /// length lands within [T/4, 4T) runs the opposite flavour so the
+    /// model keeps seeing both sides of the crossover. Out-of-band
+    /// lengths never explore — the answer there is not in doubt.
+    pub fn nt_decision(&self, len: usize, prior: usize) -> bool {
+        let t = self.nt_threshold(prior);
+        let by_threshold = len >= t;
+        if len >= t / 4 && len < t.saturating_mul(4) {
+            let k = self.nt_explore.fetch_add(1, Ordering::Relaxed);
+            if k % NT_EXPLORE_PERIOD == NT_EXPLORE_PERIOD - 1 {
+                return !by_threshold;
+            }
+        }
+        by_threshold
     }
 }
 
@@ -465,6 +631,111 @@ mod tests {
         );
         assert_eq!(t.resident_pairs(), 1, "one touched pair, one cell");
         assert_eq!(t.pair(3, 9).samples(), 1);
+    }
+
+    /// Feed both store flavours across the NT class range with the
+    /// given per-byte costs (ns per MiB), NT paying `nt_setup` extra
+    /// fixed nanoseconds per copy (its fence/setup tax, which is what
+    /// makes it lose on small copies).
+    fn feed_nt(p: &RtPairTune, temporal_ns_per_mib: u64, nt_setup: u64, nt_ns_per_mib: u64) {
+        for round in 0..6u64 {
+            for lg in NT_CLASS_BASE..NT_CLASS_BASE + NT_NCLASSES as u32 {
+                let bytes = 1usize << lg;
+                let mib = (bytes as f64 / (1 << 20) as f64).max(1e-9);
+                let wobble = 1.0 + (round * 97 % 10) as f64 / 1000.0;
+                let t_ns = (temporal_ns_per_mib as f64 * mib * wobble).max(1.0) as u64;
+                let n_ns = (nt_ns_per_mib as f64 * mib * wobble).max(1.0) as u64 + nt_setup;
+                p.record_copy_mode(false, bytes, t_ns);
+                p.record_copy_mode(true, bytes, n_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn nt_crossover_publishes_temporal_below_and_nt_above() {
+        let p = RtPairTune::new();
+        // Unlearned: the prior stands, decisions are by-threshold.
+        assert_eq!(p.nt_threshold(8 << 20), 8 << 20);
+        assert_eq!(p.nt_min(), 0);
+        // Temporal 500 ns/MiB; NT 250 ns/MiB but a 1000 ns fixed setup
+        // cost → NT wins only once copies are big enough to amortize
+        // it. Break-even at 1000/(250·wobble-ish) MiB ≈ 4 MiB.
+        feed_nt(&p, 500, 1000, 250);
+        let t = p.nt_min();
+        assert!(t != 0, "crossover must publish");
+        assert!(
+            (1 << 20..=16 << 20).contains(&t),
+            "threshold {t} should bracket the ~4 MiB break-even"
+        );
+        // Far out-of-band decisions are deterministic (no explore).
+        for _ in 0..64 {
+            assert!(!p.nt_decision(64 << 10, 1), "small copies stay temporal");
+            assert!(p.nt_decision(128 << 20, 1), "huge copies stream");
+        }
+        // Degenerate samples are discarded.
+        p.record_copy_mode(true, 0, 5);
+        p.record_copy_mode(false, 5, 0);
+        assert_eq!(p.nt_min(), t);
+    }
+
+    #[test]
+    fn nt_in_band_explore_flips_every_eighth_decision() {
+        let p = RtPairTune::new();
+        let prior = 8 << 20;
+        // len = prior is in-band; exactly one of every
+        // NT_EXPLORE_PERIOD decisions must flip to temporal.
+        let flips = (0..8 * NT_EXPLORE_PERIOD)
+            .filter(|_| !p.nt_decision(prior, prior))
+            .count();
+        assert_eq!(flips, 8, "one explore flip per period");
+    }
+
+    #[test]
+    fn nt_threshold_is_sticky_under_hysteresis() {
+        let p = RtPairTune::new();
+        feed_nt(&p, 500, 1000, 250);
+        let t = p.nt_min();
+        assert!(t != 0);
+        // Sub-10% wobble around the published verdicts must not move
+        // the threshold.
+        for _ in 0..40 {
+            p.record_copy_mode(
+                false,
+                t,
+                (t as f64 / (1 << 20) as f64 * 500.0 * 1.04) as u64,
+            );
+            p.record_copy_mode(
+                true,
+                t,
+                (t as f64 / (1 << 20) as f64 * 250.0 * 1.04) as u64 + 1000,
+            );
+        }
+        assert_eq!(p.nt_min(), t, "threshold wobbled under hysteresis");
+        // A real regime flip — temporal now decisively faster at the
+        // old threshold class — must raise it.
+        for _ in 0..40 {
+            p.record_copy_mode(
+                false,
+                t,
+                (t as f64 / (1 << 20) as f64 * 100.0).max(1.0) as u64,
+            );
+            p.record_copy_mode(true, t, (t as f64 / (1 << 20) as f64 * 250.0) as u64 + 1000);
+        }
+        assert!(p.nt_min() > t, "regime flip must raise the threshold");
+    }
+
+    #[test]
+    fn nt_sentinel_when_temporal_wins_everywhere_keeps_explore_reachable() {
+        let p = RtPairTune::new();
+        // Temporal strictly faster at every class.
+        feed_nt(&p, 200, 500, 400);
+        assert_eq!(p.nt_min(), NT_SENTINEL);
+        // The sentinel is finite: lengths near it are still in the
+        // explore band, so NT keeps getting re-probed.
+        let flips = (0..8 * NT_EXPLORE_PERIOD)
+            .filter(|_| p.nt_decision(NT_SENTINEL / 2, 1))
+            .count();
+        assert_eq!(flips, 8, "explore must survive the sentinel");
     }
 
     #[test]

@@ -105,6 +105,21 @@ impl Cache {
         self.sets[s].iter().any(|e| e.line == line && e.dirty)
     }
 
+    /// Non-temporal (streaming) store: the **no-allocate** charge mode.
+    /// The line is never inserted — the store's data goes straight to
+    /// memory through the write-combining buffers — and a resident copy
+    /// is dropped because the interior store makes it stale (x86 NT
+    /// stores invalidate cached copies rather than updating them).
+    /// Returns the dropped copy's dirty bit, `None` if it wasn't here.
+    ///
+    /// This is the cache-model half of the NT-store copy engine: a
+    /// streaming copy of an over-LLC destination pays bus occupancy but
+    /// causes *no pollution* (no fills, no evictions), unlike the
+    /// write-allocate path which fetches every destination line first.
+    pub fn stream_write(&mut self, line: u64) -> Option<bool> {
+        self.invalidate(line)
+    }
+
     /// Insert `line` as MRU; returns the evicted victim, if any.
     /// `dirty` marks the line modified on arrival (write-allocate stores).
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Evicted> {
@@ -305,6 +320,30 @@ mod tests {
         c.fill(2, false);
         c.flush();
         assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn stream_write_never_allocates_and_drops_stale_copies() {
+        let mut c = tiny();
+        // NT store to an uncached line: nothing allocated, nothing
+        // evicted — the no-allocate mode.
+        assert_eq!(c.stream_write(5), None);
+        assert_eq!(c.occupancy(), 0);
+        // NT store to a cached dirty line drops it (reports the dirty
+        // bit so the caller can account the lost write-back).
+        c.fill(5, true);
+        assert_eq!(c.stream_write(5), Some(true));
+        assert!(!c.peek(5));
+        assert_eq!(c.occupancy(), 0);
+        // A whole streaming pass leaves resident data untouched (no
+        // LRU pressure), unlike the write-allocate fill path.
+        c.fill(1, false);
+        c.fill(2, false);
+        for l in 100..200u64 {
+            assert_eq!(c.stream_write(l), None);
+        }
+        assert!(c.peek(1) && c.peek(2));
+        assert_eq!(c.occupancy(), 2);
     }
 
     #[test]

@@ -127,6 +127,11 @@ pub struct MachineConfig {
     /// Whether each socket has its own memory controller (NUMA). When
     /// false, all DRAM traffic shares one front-side bus (Clovertown).
     pub numa: bool,
+    /// Number of independent I/OAT DMA channels. Clovertown-class chipsets
+    /// expose one shared engine; Nehalem-class platforms put a CBDMA
+    /// engine next to each memory controller, one per NUMA node, so work
+    /// split across channels genuinely overlaps.
+    pub dma_channels: usize,
     pub costs: CostModel,
 }
 
@@ -144,6 +149,7 @@ impl MachineConfig {
             l3_size: 0,
             l3_assoc: 1,
             numa: false,
+            dma_channels: 1,
             costs: CostModel::default(),
         }
     }
@@ -162,6 +168,7 @@ impl MachineConfig {
             l3_size: 0,
             l3_assoc: 1,
             numa: false,
+            dma_channels: 1,
             costs: CostModel::default(),
         }
     }
@@ -184,7 +191,17 @@ impl MachineConfig {
             l3_size: 8 << 20,
             l3_assoc: 16,
             numa: true,
-            costs: CostModel::default(),
+            // One CBDMA channel per memory controller (per NUMA node).
+            dma_channels: 2,
+            costs: CostModel {
+                // Integrated triple-channel DDR3 per socket: each NUMA
+                // node's bus sustains ~20 GiB/s, not the 8 GiB/s shared
+                // FSB the Clovertown default models. This is what makes
+                // a second DMA engine worth striping onto — on the FSB
+                // machine both engines would queue behind one bus.
+                bus_per_line: 7_450, // TEMP-REVERT
+                ..CostModel::default()
+            },
         }
     }
 
@@ -201,6 +218,7 @@ impl MachineConfig {
             l3_size: 0,
             l3_assoc: 1,
             numa: false,
+            dma_channels: 1,
             costs: CostModel::default(),
         }
     }
@@ -283,6 +301,10 @@ mod tests {
         assert_eq!(m.largest_cache(), (8 << 20, 4));
         assert_eq!(m.dma_min_architectural(), 1 << 20);
         assert!(m.numa);
+        // One DMA channel per memory controller on Nehalem; one shared
+        // chipset engine on Clovertown.
+        assert_eq!(m.dma_channels, m.topology.num_nodes());
+        assert_eq!(MachineConfig::xeon_e5345().dma_channels, 1);
         // Clovertown's largest cache is its L2.
         assert_eq!(MachineConfig::xeon_e5345().largest_cache(), (4 << 20, 2));
     }

@@ -41,7 +41,7 @@ pub mod topology;
 
 pub use affinity::{assignment_cost, recommend_placement, TrafficMatrix};
 pub use config::{CostModel, MachineConfig};
-pub use machine::{AccessKind, Machine, PhysRange};
+pub use machine::{AccessKind, CopyMode, Machine, PhysRange};
 pub use sched::{run_simulation, Proc, SimReport};
 pub use stats::{ProcStats, StatsSnapshot};
 pub use topology::{CoreId, Topology};

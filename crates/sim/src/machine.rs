@@ -25,7 +25,7 @@ use parking_lot::Mutex;
 use crate::bus::{MemoryBus, PhysAllocator};
 use crate::cache::{Cache, Probe};
 use crate::config::{MachineConfig, LINE, PAGE};
-use crate::dma::DmaEngine;
+use crate::dma::DmaChannelSet;
 use crate::stats::{StatsSnapshot, StatsStore};
 use crate::topology::CoreId;
 use crate::Ps;
@@ -45,11 +45,19 @@ impl PhysRange {
     /// Split into page-aligned chunks (how `get_user_pages` + I/OAT see a
     /// pinned user buffer: one descriptor per page).
     pub fn page_chunks(&self) -> Vec<PhysRange> {
+        self.chunks_of(PAGE)
+    }
+
+    /// Split into `page`-aligned chunks for an arbitrary page size —
+    /// huge-page-backed buffers are physically contiguous per 2 MiB, so
+    /// they produce far fewer descriptors than 4 KiB mappings.
+    pub fn chunks_of(&self, page: u64) -> Vec<PhysRange> {
+        assert!(page > 0 && page.is_power_of_two(), "bad page size {page}");
         let mut out = Vec::new();
         let mut base = self.base;
         let end = self.base + self.len;
         while base < end {
-            let page_end = (base / PAGE + 1) * PAGE;
+            let page_end = (base / page + 1) * page;
             let chunk_end = page_end.min(end);
             out.push(PhysRange::new(base, chunk_end - base));
             base = chunk_end;
@@ -72,6 +80,24 @@ impl PhysRange {
 pub enum AccessKind {
     Read,
     Write,
+    /// Non-temporal (streaming) store: goes straight to memory through
+    /// the write-combining buffers, never allocates a cache line, and
+    /// invalidates stale cached copies everywhere. Pays bus occupancy
+    /// but causes no pollution — the over-LLC copy mode.
+    StreamWrite,
+}
+
+/// How a CPU copy treats its destination lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyMode {
+    /// Ordinary write-allocate stores (reads the destination line in,
+    /// dirties it, pollutes the hierarchy). Wins when the destination
+    /// is — or will be — cache-resident.
+    Temporal,
+    /// Streaming stores for the destination ([`AccessKind::StreamWrite`]).
+    /// Wins when the transfer dwarfs the LLC and allocation would only
+    /// evict useful data.
+    NonTemporal,
 }
 
 /// Result of submitting an I/OAT copy.
@@ -93,7 +119,7 @@ struct Inner {
     /// One memory bus per NUMA node (a single shared front-side bus on
     /// non-NUMA parts like Clovertown).
     buses: Vec<MemoryBus>,
-    dma: DmaEngine,
+    dma: DmaChannelSet,
     alloc: PhysAllocator,
     stats: StatsStore,
 }
@@ -151,7 +177,11 @@ impl Machine {
         let buses = (0..nbuses)
             .map(|_| MemoryBus::new(cfg.costs.bus_per_line))
             .collect();
-        let dma = DmaEngine::new(cfg.costs.ioat_per_line, cfg.costs.ioat_desc / 4);
+        let dma = DmaChannelSet::new(
+            cfg.dma_channels,
+            cfg.costs.ioat_per_line,
+            cfg.costs.ioat_desc / 4,
+        );
         Self {
             cfg,
             ncores,
@@ -174,6 +204,18 @@ impl Machine {
 
     pub fn cfg(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Number of independent DMA channels this machine exposes.
+    pub fn dma_channels(&self) -> usize {
+        self.inner.lock().dma.num_channels()
+    }
+
+    /// The NUMA-local DMA channel for a memory node (offload-queue
+    /// placement: submit a copy on the channel next to the destination's
+    /// memory controller).
+    pub fn dma_channel_for_node(&self, node: usize) -> usize {
+        self.inner.lock().dma.channel_for_node(node)
     }
 
     /// Allocate simulated physical memory (page aligned) on NUMA node 0.
@@ -286,7 +328,26 @@ impl Machine {
         dst: PhysRange,
         now: Ps,
     ) -> Ps {
+        self.copy_cost_mode(pid, core, src, dst, now, CopyMode::Temporal)
+    }
+
+    /// [`Machine::copy_cost`] with an explicit destination store mode:
+    /// `NonTemporal` streams the destination ([`AccessKind::StreamWrite`])
+    /// so the copy never allocates destination lines.
+    pub fn copy_cost_mode(
+        &self,
+        pid: usize,
+        core: CoreId,
+        src: PhysRange,
+        dst: PhysRange,
+        now: Ps,
+        mode: CopyMode,
+    ) -> Ps {
         assert_eq!(src.len, dst.len, "copy ranges must match");
+        let dst_kind = match mode {
+            CopyMode::Temporal => AccessKind::Write,
+            CopyMode::NonTemporal => AccessKind::StreamWrite,
+        };
         let mut inner = self.inner.lock();
         let mut cost: Ps = 0;
         let src_lines: Vec<u64> = src.lines().collect();
@@ -299,7 +360,7 @@ impl Machine {
                 cost += self.access_line(&mut inner, pid, core, l, AccessKind::Read, now + cost);
             }
             if let Some(&l) = dst_lines.get(i) {
-                cost += self.access_line(&mut inner, pid, core, l, AccessKind::Write, now + cost);
+                cost += self.access_line(&mut inner, pid, core, l, dst_kind, now + cost);
             }
         }
         cost
@@ -314,6 +375,9 @@ impl Machine {
         kind: AccessKind,
         now: Ps,
     ) -> Ps {
+        if kind == AccessKind::StreamWrite {
+            return self.stream_write_line(inner, pid, core, line, now);
+        }
         let write = kind == AccessKind::Write;
         let l1 = self.l1_id(core);
         let l2 = self.l2_id(core);
@@ -451,6 +515,52 @@ impl Machine {
         cost
     }
 
+    /// One non-temporal store: invalidate the line everywhere (including
+    /// the storer's own caches — x86 NT stores drop cached copies rather
+    /// than updating them), post the data to the home memory controller,
+    /// and charge bus occupancy only. No allocation, no `dram_overhead`
+    /// (the store is posted through write-combining buffers, the core
+    /// never waits on a fill), no pollution.
+    fn stream_write_line(
+        &self,
+        inner: &mut Inner,
+        pid: usize,
+        core: CoreId,
+        line: u64,
+        now: Ps,
+    ) -> Ps {
+        let c = &self.cfg.costs;
+        let my_socket = self.socket_of[core];
+        let my_die = self.die_of[core];
+        let mut cost: Ps = 0;
+        if let Some(mask) = inner.presence.remove(&line) {
+            // Coherence: stale copies anywhere must be dropped before the
+            // memory write lands; cost is the worst round-trip among the
+            // *remote* holders (killing our own copy is free).
+            let mut my_mask: u32 = (1 << self.l1_id(core)) | (1 << self.l2_id(core));
+            if self.nl3 > 0 {
+                my_mask |= 1 << self.l3_id(core);
+            }
+            for id in BitIter(mask) {
+                if my_mask & (1 << id) == 0 {
+                    cost = cost.max(self.placement_cost(my_socket, my_die, id));
+                }
+                inner.caches[id].stream_write(line);
+            }
+        }
+        let home = self.home_node_of_line(line);
+        let bus = home.min(inner.buses.len() - 1);
+        if self.cfg.numa && home != my_socket {
+            cost += c.numa_remote_extra;
+            inner.stats.proc_mut(pid).dram_remote_bytes += LINE;
+        }
+        cost += inner.buses[bus].transfer_lines(now + cost, 1);
+        let st = inner.stats.proc_mut(pid);
+        st.dram_bytes += LINE;
+        st.nt_lines += 1;
+        cost
+    }
+
     /// Insert `line` into cache `id`, maintaining presence bits, dirty
     /// write-backs and back-invalidation down the inclusive hierarchy
     /// (L3→L2→L1 on parts with a package cache).
@@ -543,6 +653,20 @@ impl Machine {
         now: Ps,
         descs: &[(PhysRange, PhysRange)],
     ) -> DmaSubmission {
+        self.dma_submit_copy_on(pid, now, 0, descs)
+    }
+
+    /// [`Machine::dma_submit_copy`] on a specific DMA channel. Channels
+    /// beyond what the chipset has are clamped to the last real one, so
+    /// callers can target "the second rail" unconditionally and single-
+    /// channel machines degrade to multiplexing (the old behaviour).
+    pub fn dma_submit_copy_on(
+        &self,
+        pid: usize,
+        now: Ps,
+        channel: usize,
+        descs: &[(PhysRange, PhysRange)],
+    ) -> DmaSubmission {
         let mut inner = self.inner.lock();
         let c = &self.cfg.costs;
         let mut cpu_cost: Ps = 0;
@@ -569,12 +693,20 @@ impl Machine {
                 }
             }
             cpu_cost += c.ioat_desc;
-            let done = inner.dma.submit(now + cpu_cost, dst.len);
-            // Engine read+write both occupy the destination's home bus.
-            let bus = self
+            let done = inner.dma.submit(channel, now + cpu_cost, dst.len);
+            // The engine's read occupies the source's home bus and its
+            // write the destination's. On a NUMA host a cross-socket DMA
+            // copy therefore splits its traffic across the two memory
+            // controllers; on flat machines both charges land on the one
+            // bus and the total is unchanged.
+            let rbus = self
+                .home_node_of_line(src.base / LINE)
+                .min(inner.buses.len() - 1);
+            let wbus = self
                 .home_node_of_line(dst.base / LINE)
                 .min(inner.buses.len() - 1);
-            inner.buses[bus].post_lines(now + cpu_cost, 2 * dst.len.div_ceil(LINE));
+            inner.buses[rbus].post_lines(now + cpu_cost, src.len.div_ceil(LINE));
+            inner.buses[wbus].post_lines(now + cpu_cost, dst.len.div_ceil(LINE));
             complete_at = done;
             let st = inner.stats.proc_mut(pid);
             st.ioat_bytes += dst.len;
@@ -589,6 +721,19 @@ impl Machine {
     /// The Figure-2 completion trick: append a one-byte status write to the
     /// in-order channel. Returns when the status becomes visible.
     pub fn dma_submit_status(&self, pid: usize, now: Ps, status: PhysRange) -> DmaSubmission {
+        self.dma_submit_status_on(pid, now, 0, status)
+    }
+
+    /// [`Machine::dma_submit_status`] on a specific DMA channel — the
+    /// status write only orders behind payloads submitted to the *same*
+    /// channel, so each rail needs its own.
+    pub fn dma_submit_status_on(
+        &self,
+        pid: usize,
+        now: Ps,
+        channel: usize,
+        status: PhysRange,
+    ) -> DmaSubmission {
         let mut inner = self.inner.lock();
         for line in status.lines() {
             if let Some(mask) = inner.presence.remove(&line) {
@@ -598,7 +743,7 @@ impl Machine {
             }
         }
         let cpu_cost = self.cfg.costs.ioat_desc;
-        let complete_at = inner.dma.submit_status_write(now + cpu_cost);
+        let complete_at = inner.dma.submit_status_write(channel, now + cpu_cost);
         inner.stats.proc_mut(pid).ioat_descs += 1;
         DmaSubmission {
             cpu_cost,
@@ -957,6 +1102,103 @@ mod tests {
         m.access(0, 0, PhysRange::new(big, 256 << 10), AccessKind::Read, 0);
         assert_eq!(m.l2_resident(0, PhysRange::new(small, 4096)), 0);
         m.check_presence_invariant();
+    }
+
+    #[test]
+    fn stream_write_no_pollution_and_wins_over_llc() {
+        let m = m();
+        let sz = 8 << 20; // 2x the 4 MiB L2
+        let a = m.alloc_phys(sz);
+        let b = m.alloc_phys(sz);
+        let ra = PhysRange::new(a, sz);
+        let rb = PhysRange::new(b, sz);
+        let small = m.alloc_phys(4096);
+        m.access(0, 0, PhysRange::new(small, 4096), AccessKind::Read, 0);
+        // NT streaming of an over-LLC destination: never allocates, so
+        // the resident working set survives.
+        let t_nt = m.copy_cost_mode(0, 0, ra, rb, 0, CopyMode::NonTemporal);
+        assert_eq!(m.l2_resident(0, rb), 0, "NT stores must not allocate");
+        let s = m.snapshot().per_proc[0];
+        assert_eq!(s.nt_lines, (sz / LINE));
+        m.check_presence_invariant();
+        // Same copy with temporal stores on a fresh machine costs more
+        // (write-allocate fetches every destination line first).
+        let m2 = Machine::new(MachineConfig::xeon_e5345());
+        let a2 = m2.alloc_phys(sz);
+        let b2 = m2.alloc_phys(sz);
+        let t_temporal = m2.copy_cost(0, 0, PhysRange::new(a2, sz), PhysRange::new(b2, sz), 0);
+        assert!(
+            t_nt < t_temporal,
+            "NT ({t_nt}) must beat temporal ({t_temporal}) above the LLC"
+        );
+    }
+
+    #[test]
+    fn temporal_wins_when_destination_is_cached() {
+        // Destination resident in the local L2: temporal write hits are
+        // far cheaper than NT stores' mandatory bus trips.
+        let m = m();
+        let sz = 64 << 10;
+        let a = m.alloc_phys(sz);
+        let b = m.alloc_phys(sz);
+        let ra = PhysRange::new(a, sz);
+        let rb = PhysRange::new(b, sz);
+        let warm = |machine: &Machine, ra: PhysRange, rb: PhysRange| {
+            machine.access(0, 0, ra, AccessKind::Read, 0);
+            machine.access(0, 0, rb, AccessKind::Write, 0);
+        };
+        warm(&m, ra, rb);
+        let t_temporal = m.copy_cost(0, 0, ra, rb, 0);
+        let m2 = Machine::new(MachineConfig::xeon_e5345());
+        let a2 = PhysRange::new(m2.alloc_phys(sz), sz);
+        let b2 = PhysRange::new(m2.alloc_phys(sz), sz);
+        warm(&m2, a2, b2);
+        let t_nt = m2.copy_cost_mode(0, 0, a2, b2, 0, CopyMode::NonTemporal);
+        assert!(
+            t_temporal < t_nt,
+            "temporal ({t_temporal}) must beat NT ({t_nt}) in cache"
+        );
+    }
+
+    #[test]
+    fn stream_write_invalidates_remote_copies() {
+        let m = m();
+        let r = PhysRange::new(m.alloc_phys(64), 64);
+        m.access(4, 4, r, AccessKind::Write, 0);
+        // Core 0 NT-stores the line: the remote dirty copy must vanish.
+        m.access(0, 0, r, AccessKind::StreamWrite, 0);
+        let before = m.snapshot().per_proc[4].l2_misses;
+        m.access(4, 4, r, AccessKind::Read, 0);
+        assert_eq!(m.snapshot().per_proc[4].l2_misses - before, 1);
+        m.check_presence_invariant();
+    }
+
+    #[test]
+    fn dma_channels_overlap_on_nehalem() {
+        // Two equal submissions: on Clovertown (1 channel) the second
+        // queues behind the first; on Nehalem (2 channels) they overlap.
+        let payload = 1 << 20;
+        let submit_two = |m: &Machine, second_channel: usize| {
+            let s1 = PhysRange::new(m.alloc_phys(payload), payload);
+            let d1 = PhysRange::new(m.alloc_phys(payload), payload);
+            let s2 = PhysRange::new(m.alloc_phys(payload), payload);
+            let d2 = PhysRange::new(m.alloc_phys(payload), payload);
+            let a = m.dma_submit_copy_on(0, 0, 0, &[(s1, d1)]);
+            let b = m.dma_submit_copy_on(1, 0, second_channel, &[(s2, d2)]);
+            (a.complete_at, b.complete_at)
+        };
+        let uma = Machine::new(MachineConfig::xeon_e5345());
+        assert_eq!(uma.dma_channels(), 1);
+        let (a, b) = submit_two(&uma, 1); // clamped to channel 0
+        assert!(b > a * 3 / 2, "single channel must serialize");
+        let numa = Machine::new(MachineConfig::nehalem_x5550());
+        assert_eq!(numa.dma_channels(), 2);
+        assert_eq!(numa.dma_channel_for_node(1), 1);
+        let (a2, b2) = submit_two(&numa, 1);
+        assert!(
+            b2 < a2 + a2 / 4,
+            "second channel ({b2}) must overlap the first ({a2})"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::machine::{AccessKind, DmaSubmission, Machine, PhysRange};
+use crate::machine::{AccessKind, CopyMode, DmaSubmission, Machine, PhysRange};
 use crate::stats::StatsSnapshot;
 use crate::topology::CoreId;
 use crate::Ps;
@@ -156,6 +156,17 @@ impl Proc {
         self.yield_now();
     }
 
+    /// CPU copy with an explicit destination store mode: `NonTemporal`
+    /// streams the destination (no allocation, no pollution) — the
+    /// over-LLC copy engine.
+    pub fn copy_mode(&self, src: PhysRange, dst: PhysRange, mode: CopyMode) {
+        let c = self
+            .machine
+            .copy_cost_mode(self.pid, self.core, src, dst, self.now(), mode);
+        self.advance(c);
+        self.yield_now();
+    }
+
     /// Charge a system call (no yield: the subsequent kernel work yields).
     pub fn syscall(&self) {
         let c = self.machine.syscall(self.pid);
@@ -171,14 +182,30 @@ impl Proc {
     /// Submit an I/OAT copy chain; charges the CPU-side submission cost and
     /// returns the engine completion time.
     pub fn dma_copy(&self, descs: &[(PhysRange, PhysRange)]) -> DmaSubmission {
-        let sub = self.machine.dma_submit_copy(self.pid, self.now(), descs);
+        self.dma_copy_on(0, descs)
+    }
+
+    /// [`Proc::dma_copy`] on a specific DMA channel (clamped to what the
+    /// machine has — single-channel chipsets multiplex as before).
+    pub fn dma_copy_on(&self, channel: usize, descs: &[(PhysRange, PhysRange)]) -> DmaSubmission {
+        let sub = self
+            .machine
+            .dma_submit_copy_on(self.pid, self.now(), channel, descs);
         self.advance(sub.cpu_cost);
         sub
     }
 
     /// Submit the trailing one-byte status write (Figure 2).
     pub fn dma_status(&self, status: PhysRange) -> DmaSubmission {
-        let sub = self.machine.dma_submit_status(self.pid, self.now(), status);
+        self.dma_status_on(0, status)
+    }
+
+    /// [`Proc::dma_status`] on a specific DMA channel; only orders behind
+    /// payloads on the *same* channel.
+    pub fn dma_status_on(&self, channel: usize, status: PhysRange) -> DmaSubmission {
+        let sub = self
+            .machine
+            .dma_submit_status_on(self.pid, self.now(), channel, status);
         self.advance(sub.cpu_cost);
         sub
     }

@@ -35,6 +35,8 @@ pub struct ProcStats {
     pub ioat_descs: u64,
     /// Pages pinned on this process's behalf.
     pub pinned_pages: u64,
+    /// Lines written with non-temporal (streaming, no-allocate) stores.
+    pub nt_lines: u64,
 }
 
 impl ProcStats {
@@ -58,6 +60,7 @@ impl ProcStats {
         self.ioat_bytes += o.ioat_bytes;
         self.ioat_descs += o.ioat_descs;
         self.pinned_pages += o.pinned_pages;
+        self.nt_lines += o.nt_lines;
     }
 }
 
@@ -103,6 +106,7 @@ impl StatsSnapshot {
                 ioat_bytes: a.ioat_bytes - b.ioat_bytes,
                 ioat_descs: a.ioat_descs - b.ioat_descs,
                 pinned_pages: a.pinned_pages - b.pinned_pages,
+                nt_lines: a.nt_lines - b.nt_lines,
             });
         }
         StatsSnapshot { per_proc: out }

@@ -129,6 +129,21 @@ impl Topology {
         core / self.cores_per_socket
     }
 
+    /// Number of NUMA memory nodes. On every part we model, the memory
+    /// controller lives per package, so node == socket; UMA machines
+    /// still report their socket count here — whether remote-node DRAM
+    /// costs extra is the machine config's `numa` flag, not topology.
+    pub fn num_nodes(&self) -> usize {
+        self.sockets
+    }
+
+    /// NUMA node whose DRAM is local to `core` (the node copy rings and
+    /// offload queues should be placed on so they never bounce across
+    /// the interconnect).
+    pub fn node_of(&self, core: CoreId) -> usize {
+        self.socket_of(core)
+    }
+
     /// Index of the L2 cache serving `core` (also the die index).
     pub fn l2_of(&self, core: CoreId) -> usize {
         assert!(core < self.num_cores(), "core {core} out of range");
@@ -259,6 +274,16 @@ mod tests {
         let t = Topology::new(1, 4, 2);
         assert_eq!(t.pair_for(Placement::DifferentSocket), None);
         assert_eq!(t.pair_for(Placement::SameSocketDifferentDie), Some((0, 2)));
+    }
+
+    #[test]
+    fn nodes_follow_sockets() {
+        let t = e5345();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(Topology::new(1, 4, 2).num_nodes(), 1);
     }
 
     #[test]

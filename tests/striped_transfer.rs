@@ -39,8 +39,20 @@ fn roundtrip(
     recv_stall: u64,
     warm: impl Fn(&Nemesis) + Send + Sync,
 ) -> (Vec<u8>, u64) {
+    roundtrip_on(MachineConfig::xeon_e5345(), cfg, data, recv_stall, warm)
+}
+
+/// [`roundtrip`] on an explicit machine (the second-DMA-channel matrix
+/// runs on nehalem_x5550, the only preset with two I/OAT engines).
+fn roundtrip_on(
+    mcfg: MachineConfig,
+    cfg: NemesisConfig,
+    data: &[u8],
+    recv_stall: u64,
+    warm: impl Fn(&Nemesis) + Send + Sync,
+) -> (Vec<u8>, u64) {
     let len = data.len() as u64;
-    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let machine = Arc::new(Machine::new(mcfg));
     let os = Arc::new(Os::new(Arc::clone(&machine)));
     let nem = Nemesis::new(Arc::clone(&os), 2, cfg);
     let out = Mutex::new(Vec::new());
@@ -93,6 +105,47 @@ fn stripe_reassembly_is_byte_identical_across_rail_counts() {
             );
         }
     }
+}
+
+/// The same seeded matrix on the two-DMA-channel machine: striped-3
+/// there composes CMA + KNEM ch0 + KNEM ch1 (the second I/OAT engine is
+/// its own rail kind), and reassembly must stay byte-identical with
+/// rails landing on distinct engines. Also pins the perf motivation:
+/// on hardware with a second channel, the third rail must *help* — the
+/// pre-channel composition lost ~35% going 2→3 rails because both KNEM
+/// rails multiplexed one engine.
+#[test]
+fn stripe_reassembly_with_second_dma_channel() {
+    let mut makespans = [0u64; 4];
+    for rails in 1..=4u8 {
+        for (seed, len) in [
+            (11u64, (64 << 10) + 1usize),
+            (37, (1 << 20) + 4093), // page-misaligned 1 MiB
+        ] {
+            let data = pattern(seed * rails as u64, len);
+            let (got, t) = roundtrip_on(
+                MachineConfig::nehalem_x5550(),
+                striped(rails),
+                &data,
+                0,
+                |_| {},
+            );
+            assert_eq!(
+                got, data,
+                "nehalem rails={rails} seed={seed} len={len}: payload differs"
+            );
+            if len > 1 << 20 {
+                makespans[rails as usize - 1] = t;
+            }
+        }
+    }
+    assert!(
+        makespans[2] < makespans[1],
+        "striped-3 on two DMA channels must beat striped-2 \
+         (3 rails {} ps vs 2 rails {} ps)",
+        makespans[2],
+        makespans[1]
+    );
 }
 
 /// The degenerate 1-rail stripe is the plain anchor backend: identical
