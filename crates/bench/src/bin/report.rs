@@ -3,10 +3,10 @@
 //! trajectory can be tracked against across PRs.
 //!
 //! ```text
-//! report [--out PATH] [--quick] [--scaling-only] [--faults-only] [--copy-only]
+//! report [--out PATH] [--quick] [--scaling-only] [--faults-only] [--copy-only] [--coll-only]
 //! ```
 //!
-//! * `--out PATH` — where to write the JSON (default `BENCH_8.json`).
+//! * `--out PATH` — where to write the JSON (default `BENCH_9.json`).
 //! * `--quick` — CI smoke mode: tiny repetition counts, same shape.
 //! * `--scaling-only` — emit only the `rank_scaling` section (the
 //!   seconds-scale CI lane for the scale-out acceptance bar).
@@ -14,6 +14,8 @@
 //!   seconds-scale CI lane for the availability acceptance bar).
 //! * `--copy-only` — emit only the `copy_frontier` section (the
 //!   seconds-scale CI lane for the raw-copy acceptance bars).
+//! * `--coll-only` — emit only the `collective_bandwidth` section (the
+//!   seconds-scale CI lane for the learned-collective acceptance bars).
 //!
 //! Every report carries a `machine` header (host LLC size and core
 //! count, plus each simulated part's NUMA node count, cache sizes and
@@ -53,6 +55,12 @@
 //!   policy and the best fixed backend, at 64 B / 4 KiB / 1 MiB on
 //!   both simulated parts. The acceptance bar: converged learned
 //!   selection ≥ 0.95× the best fixed backend at every size.
+//! * `collective_bandwidth` — collectives on the tuned substrate:
+//!   alltoall and allgather over 4 ranks at 4 KiB / 1 MiB, the learned
+//!   per-(group size, message class) algorithm arm vs both fixed arms
+//!   on both parts (bar: learned ≥ 0.95× best fixed), plus the rotated
+//!   per-destination 2-rail stripe vs the anchor-only stripe at 1 MiB
+//!   alltoall on the Nehalem part (bar: ≥ 1.1×).
 //! * `fault_recovery` — the availability story: 1 MiB striped
 //!   bandwidth with the KNEM rail dead vs fault-free (the degraded
 //!   mode must retain ≥ 0.5× of the fault-free number), plus the
@@ -77,8 +85,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nemesis_core::{
-    BackendSelect, ChunkScheduleSelect, FaultPlan, KnemSelect, LmtSelect, Nemesis, NemesisConfig,
-    ThresholdSelect,
+    BackendSelect, ChunkScheduleSelect, CollAlgSelect, FaultPlan, KnemSelect, LmtSelect, Nemesis,
+    NemesisConfig, ThresholdSelect,
 };
 use nemesis_kernel::Os;
 use nemesis_rt::{
@@ -87,7 +95,7 @@ use nemesis_rt::{
 use nemesis_sim::topology::Placement;
 use nemesis_sim::{run_simulation, Machine, MachineConfig};
 use nemesis_workloads::imb::pingpong_bench;
-use nemesis_workloads::{replay_on, Trace};
+use nemesis_workloads::{alltoall_bench, replay_on, suite_bench, SuiteBench, Trace};
 use parking_lot::Mutex;
 
 struct Cfg {
@@ -509,6 +517,108 @@ fn emit_fault_recovery(json: &mut String, quick: bool, last: bool) {
     let _ = writeln!(json, "  }}{}", if last { "" } else { "," });
 }
 
+/// The `collective_bandwidth` section: collectives as first-class
+/// consumers of the tuner. Two experiments, both in virtual time:
+/// * learned algorithm selection — alltoall and allgather over 4 ranks
+///   at 4 KiB (eager phases) and 1 MiB (rendezvous phases), the learned
+///   per-(group size, message class) arm against both fixed arms on
+///   both simulated parts (the acceptance bar: learned ≥ 0.95× the
+///   best fixed arm everywhere);
+/// * striped per-destination rail sets — 1 MiB alltoall on the
+///   two-DMA-channel Nehalem part, the rotated 2-rail stripe against
+///   the anchor-only degenerate stripe (the bar: ≥ 1.1×; concurrent
+///   transfers open on disjoint secondary rails instead of contending
+///   for one).
+fn emit_collective_bandwidth(json: &mut String, quick: bool, last: bool) {
+    let nprocs = 4usize;
+    let (reps, warm) = if quick { (4u32, 12u32) } else { (12, 32) };
+    type MachinePick = (&'static str, fn() -> MachineConfig);
+    let machines: [MachinePick; 2] = [
+        ("e5345", MachineConfig::xeon_e5345),
+        ("x5550", MachineConfig::nehalem_x5550),
+    ];
+    let sizes: [(&str, u64); 2] = [("4KiB", 4 << 10), ("1MiB", 1 << 20)];
+    let arms: [(&str, CollAlgSelect); 2] = [
+        ("arm0", CollAlgSelect::Fixed),
+        ("arm1", CollAlgSelect::Alternate),
+    ];
+    let _ = writeln!(json, "  \"collective_bandwidth\": {{");
+    let _ = writeln!(json, "    \"nprocs\": {nprocs},");
+    let _ = writeln!(json, "    \"learned_vs_best_fixed\": {{");
+    for (mi, (mkey, mcfg)) in machines.iter().enumerate() {
+        let _ = writeln!(json, "      {}: {{", quote(mkey));
+        for (oi, op) in ["alltoall", "allgather"].iter().enumerate() {
+            let _ = writeln!(json, "        {}: {{", quote(op));
+            for (si, (skey, size)) in sizes.iter().enumerate() {
+                eprintln!("[report] collective {op} on {mkey} at {skey}…");
+                let bw_of = |alg: CollAlgSelect, w: u32| -> f64 {
+                    let ncfg = NemesisConfig {
+                        coll_alg: alg,
+                        ..NemesisConfig::default()
+                    };
+                    if *op == "alltoall" {
+                        alltoall_bench(mcfg(), ncfg, nprocs, *size, reps, w).agg_throughput_mib_s
+                    } else {
+                        suite_bench(mcfg(), ncfg, SuiteBench::Allgather, nprocs, *size, reps, w)
+                            .agg_throughput_mib_s
+                    }
+                };
+                let mut best_fixed = 0f64;
+                let mut best_label = "";
+                for (label, alg) in arms {
+                    let bw = bw_of(alg, 2);
+                    if bw > best_fixed {
+                        best_fixed = bw;
+                        best_label = label;
+                    }
+                }
+                // The long warmup lets the bandit's initial sweep and
+                // first probes land outside the timed window.
+                let learned = bw_of(CollAlgSelect::Learned, warm);
+                let comma = if si + 1 < sizes.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "          {}: {{ \"best_fixed\": {}, \"best_fixed_mib_s\": {best_fixed:.1}, \
+                     \"learned_mib_s\": {learned:.1}, \"learned_over_best_fixed\": {:.3} }}{comma}",
+                    quote(skey),
+                    quote(best_label),
+                    learned / best_fixed
+                );
+            }
+            let comma = if oi == 0 { "," } else { "" };
+            let _ = writeln!(json, "        }}{comma}");
+        }
+        let comma = if mi + 1 < machines.len() { "," } else { "" };
+        let _ = writeln!(json, "      }}{comma}");
+    }
+    let _ = writeln!(json, "    }},");
+    eprintln!("[report] collective striped rail rotation on x5550…");
+    let striped_of = |rails: u8| -> f64 {
+        let ncfg = NemesisConfig::with_lmt(LmtSelect::Striped { rails });
+        alltoall_bench(
+            MachineConfig::nehalem_x5550(),
+            ncfg,
+            nprocs,
+            1 << 20,
+            reps,
+            2,
+        )
+        .agg_throughput_mib_s
+    };
+    let anchor_only = striped_of(1);
+    let rotated = striped_of(2);
+    let _ = writeln!(json, "    \"striped_rotation_1MiB_alltoall_x5550\": {{");
+    let _ = writeln!(json, "      \"anchor_only_mib_s\": {anchor_only:.1},");
+    let _ = writeln!(json, "      \"striped_2rail_mib_s\": {rotated:.1},");
+    let _ = writeln!(
+        json,
+        "      \"speedup_over_anchor_only\": {:.2}",
+        rotated / anchor_only
+    );
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }}{}", if last { "" } else { "," });
+}
+
 /// The newest committed `BENCH_<n>.json` next to the output (excluding
 /// the file being written) — the comparison base for trajectory deltas.
 /// Discovered, never hardcoded: a stale name here silently compared
@@ -803,11 +913,12 @@ fn emit_rank_scaling(json: &mut String, quick: bool, baseline: &str) {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut quick = false;
     let mut scaling_only = false;
     let mut faults_only = false;
     let mut copy_only = false;
+    let mut coll_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -816,22 +927,23 @@ fn main() {
             "--scaling-only" => scaling_only = true,
             "--faults-only" => faults_only = true,
             "--copy-only" => copy_only = true,
+            "--coll-only" => coll_only = true,
             other => {
                 panic!(
                     "unknown argument {other:?} \
-                     (expected --out/--quick/--scaling-only/--faults-only/--copy-only)"
+                     (expected --out/--quick/--scaling-only/--faults-only/--copy-only/--coll-only)"
                 )
             }
         }
     }
     let baseline = discover_baseline(&out_path);
     // The CI smoke lanes: one section each, bounded to seconds, so the
-    // scale-out, availability and raw-copy acceptance bars are checked
-    // on every push without paying for the wall-clock bandwidth
-    // sections.
-    if scaling_only || faults_only || copy_only {
+    // scale-out, availability, raw-copy and collective acceptance bars
+    // are checked on every push without paying for the wall-clock
+    // bandwidth sections.
+    if scaling_only || faults_only || copy_only || coll_only {
         let mut json = String::from("{\n");
-        let _ = writeln!(json, "  \"issue\": 8,");
+        let _ = writeln!(json, "  \"issue\": 9,");
         let _ = writeln!(json, "  \"quick\": {quick},");
         let _ = writeln!(json, "  \"compared_against\": {},", quote(&baseline));
         emit_machine_header(&mut json);
@@ -839,6 +951,8 @@ fn main() {
             emit_fault_recovery(&mut json, quick, true);
         } else if copy_only {
             emit_copy_frontier(&mut json, quick, true);
+        } else if coll_only {
+            emit_collective_bandwidth(&mut json, quick, true);
         } else {
             emit_rank_scaling(&mut json, quick, &baseline);
         }
@@ -865,7 +979,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"issue\": 8,");
+    let _ = writeln!(json, "  \"issue\": 9,");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"compared_against\": {},", quote(&baseline));
     emit_machine_header(&mut json);
@@ -1217,6 +1331,7 @@ fn main() {
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
 
+    emit_collective_bandwidth(&mut json, quick, false);
     emit_copy_frontier(&mut json, quick, false);
     emit_fault_recovery(&mut json, quick, false);
     emit_rank_scaling(&mut json, quick, &baseline);

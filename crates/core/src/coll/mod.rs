@@ -7,18 +7,72 @@
 //! [`crate::Comm::set_concurrency_hint`], which every collective sets for
 //! the duration of the operation when `collective_hint` is enabled.
 //!
-//! Algorithms are the classic deterministic ones (dissemination barrier,
-//! binomial bcast/reduce, ring allgather, pairwise-exchange alltoall), so
-//! simulated timings are reproducible run to run.
+//! **Groups.** Every collective takes a [`CommGroup`] — an ordered
+//! subset of the universe with its own dense rank space — through its
+//! `*_in` variant; the legacy group-less methods delegate to the cached
+//! universe group. Phases run `O(group)`, roots and block indices are
+//! *group* ranks, and a non-member call returns immediately (a
+//! documented no-op, mirroring MPI's undefined-on-non-member the safe
+//! way). Each group sequences its own operations, so interleaved
+//! collectives on overlapping groups can never collide in tag space
+//! (see [`group`]).
+//!
+//! **Algorithms.** Each of bcast / reduce / allgather / alltoall has two
+//! algorithm families:
+//!
+//! * arm 0 — the classic fixed algorithm (binomial bcast/reduce, ring
+//!   allgather, pairwise-exchange alltoall), byte- and timing-identical
+//!   to the pre-group implementation over the universe group;
+//! * arm 1 — the alternate family: a segmented *chain* bcast pipelined
+//!   through [`ChunkPipeline`](crate::lmt::ChunkPipeline) schedules, a
+//!   *linear* reduce with the fold order pinned to ascending group
+//!   rank, a Bruck-style `log`-round allgather, and a *scattered*
+//!   alltoall that posts every receive and send up front so all
+//!   `group−1` transfers overlap.
+//!
+//! `NEMESIS_COLL_ALG` (or [`NemesisConfig::coll_alg`]) picks the arm:
+//! `fixed`, `alternate`, or `learned` — the latter turns the choice
+//! into a per-(collective kind, group-size class, msg class) bandit in
+//! the tuner, credited from whole-operation completion times the same
+//! way backend arms are credited from receiver elapsed. Selections are
+//! memoized per `(group id, sequence)` inside the tuner so every
+//! member of an operation runs the same algorithm.
+//!
+//! **Striping.** Large-message alltoall/allgather phases set a
+//! per-endpoint flag the striped backend reads to *rotate* each
+//! destination's secondary-rail order, so concurrent transfers open on
+//! disjoint rails instead of contending for the anchor (§6).
+//!
+//! All algorithms are deterministic, so simulated timings are
+//! reproducible run to run.
+//!
+//! [`NemesisConfig::coll_alg`]: crate::config::NemesisConfig::coll_alg
+
+mod group;
+
+pub use group::CommGroup;
 
 use nemesis_kernel::BufId;
 
 use crate::comm::Comm;
+use crate::config::CollAlgSelect;
 use crate::datatype::{bytes_of, load_raw, store_raw, Element};
+use crate::lmt::tuner::selector::CollKind;
 
 /// Base for internal collective tags (applications should use small
 /// non-negative tags).
 const COLL_TAG: i32 = 0x4000_0000;
+
+/// Ceiling for chain-bcast segments: past this the pipeline stops
+/// growing (the fill/drain amortization has flattened).
+const CHAIN_SEG_MAX: u64 = 256 << 10;
+
+/// The tag of one collective phase: base + 6-bit group id + 14-bit
+/// per-group sequence + phase code. Stays below `i32::MAX`
+/// (`0x4000_0000 + 0xFC0_0000 + 0x3F_FF00 + 0xFF`).
+fn gtag(g: &CommGroup, seq: i32, phase: i32) -> i32 {
+    COLL_TAG + ((g.id() & 0x3F) << 22) + ((seq & 0x3FFF) << 8) + phase
+}
 
 /// Reduction operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,16 +101,10 @@ impl ReduceOp {
 }
 
 impl<'a> Comm<'a> {
-    fn coll_tag(&self, phase: i32) -> i32 {
-        // Collectives execute in the same order on every rank, so a
-        // sequence-stamped tag prevents cross-operation interference even
-        // with deep pipelining.
-        let seq = self.coll_seq.get();
-        COLL_TAG + ((seq & 0x3FFF) << 8) + phase
-    }
-
-    fn next_coll(&self) {
-        self.coll_seq.set(self.coll_seq.get().wrapping_add(1));
+    /// The cached universe group (identity rank mapping over all
+    /// ranks) the legacy group-less collectives run over.
+    pub fn universe_group(&self) -> &CommGroup {
+        self.ugroup.get_or_init(|| CommGroup::universe(self.size()))
     }
 
     fn scratch_buf(&self) -> BufId {
@@ -68,52 +116,118 @@ impl<'a> Comm<'a> {
         b
     }
 
-    /// Dissemination barrier: `ceil(log2(n))` rounds of 1-byte tokens.
+    /// The algorithm arm for one collective operation, resolved by the
+    /// configured [`CollAlgSelect`]. Under `Learned` the tuner decides
+    /// (memoized per `(group id, seq)` so every member agrees).
+    fn coll_arm(&self, g: &CommGroup, kind: CollKind, bytes: u64, seq: i32) -> usize {
+        match self.config().coll_alg {
+            CollAlgSelect::Fixed => 0,
+            CollAlgSelect::Alternate => 1,
+            CollAlgSelect::Learned => {
+                self.nem()
+                    .policy()
+                    .select_coll_alg(kind, g.size(), bytes, g.id(), seq)
+            }
+        }
+    }
+
+    /// Credit the completed operation's whole-op bandwidth to its arm
+    /// (no-op unless the algorithm choice is learned). `start_ps` is
+    /// the virtual time the operation began at on this rank.
+    fn credit_coll(
+        &self,
+        g: &CommGroup,
+        kind: CollKind,
+        msg_bytes: u64,
+        arm: usize,
+        moved_bytes: u64,
+        start_ps: u64,
+    ) {
+        if self.config().coll_alg == CollAlgSelect::Learned {
+            let elapsed = self.proc().now().saturating_sub(start_ps);
+            self.nem()
+                .policy()
+                .record_coll(kind, g.size(), msg_bytes, arm, moved_bytes, elapsed);
+        }
+    }
+
+    /// Dissemination barrier over the universe.
     pub fn barrier(&self) {
-        let n = self.size();
-        if n == 1 {
+        self.barrier_in(self.universe_group());
+    }
+
+    /// Dissemination barrier over the group: `ceil(log2(|group|))`
+    /// rounds of 1-byte tokens. Non-members return immediately.
+    pub fn barrier_in(&self, g: &CommGroup) {
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
+        if gn == 1 {
             return;
         }
-        let me = self.rank();
         let s = self.scratch_buf();
         let mut k = 0;
         let mut dist = 1;
-        while dist < n {
-            let dst = (me + dist) % n;
-            let src = (me + n - dist) % n;
-            self.sendrecv(
-                dst,
-                self.coll_tag(k),
-                s,
-                0,
-                1,
-                Some(src),
-                Some(self.coll_tag(k)),
-                s,
-                64,
-                1,
-            );
+        while dist < gn {
+            let dst = g.world_rank((gr + dist) % gn);
+            let src = g.world_rank((gr + gn - dist) % gn);
+            let tag = gtag(g, seq, k);
+            self.sendrecv(dst, tag, s, 0, 1, Some(src), Some(tag), s, 64, 1);
             dist <<= 1;
             k += 1;
         }
-        self.next_coll();
     }
 
-    /// Binomial-tree broadcast of `buf[off..off+len]` from `root`.
+    /// Broadcast of `buf[off..off+len]` from world-rank `root` over the
+    /// universe.
     pub fn bcast(&self, root: usize, buf: BufId, off: u64, len: u64) {
-        let n = self.size();
-        if n == 1 || len == 0 {
-            self.next_coll();
+        self.bcast_in(self.universe_group(), root, buf, off, len);
+    }
+
+    /// Broadcast from *group* rank `root` over the group: binomial tree
+    /// (arm 0) or segment-pipelined chain (arm 1).
+    pub fn bcast_in(&self, g: &CommGroup, root: usize, buf: BufId, off: u64, len: u64) {
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
+        assert!(root < gn, "bcast root {root} outside group");
+        if gn == 1 || len == 0 {
             return;
         }
-        let me = self.rank();
-        let vrank = (me + n - root) % n;
-        let tag = self.coll_tag(0);
+        let tag = gtag(g, seq, 0);
+        let arm = self.coll_arm(g, CollKind::Bcast, len, seq);
+        let start = self.proc().now();
+        if arm == 1 {
+            self.bcast_chain(g, gr, root, tag, buf, off, len);
+        } else {
+            self.bcast_binomial(g, gr, root, tag, buf, off, len);
+        }
+        self.credit_coll(g, CollKind::Bcast, len, arm, len, start);
+    }
+
+    /// Arm 0: the classic binomial tree over group virtual ranks.
+    #[allow(clippy::too_many_arguments)]
+    fn bcast_binomial(
+        &self,
+        g: &CommGroup,
+        gr: usize,
+        root: usize,
+        tag: i32,
+        buf: BufId,
+        off: u64,
+        len: u64,
+    ) {
+        let gn = g.size();
+        let vrank = (gr + gn - root) % gn;
         // Receive from parent (if not root).
         let mut mask = 1;
-        while mask < n {
+        while mask < gn {
             if vrank & mask != 0 {
-                let parent = (vrank - mask + root) % n;
+                let parent = g.world_rank((vrank - mask + root) % gn);
                 self.recv(Some(parent), Some(tag), buf, off, len);
                 break;
             }
@@ -122,21 +236,68 @@ impl<'a> Comm<'a> {
         // Forward to children.
         let mut mask = mask >> 1;
         while mask > 0 {
-            if vrank + mask < n {
-                let child = (vrank + mask + root) % n;
+            if vrank + mask < gn {
+                let child = g.world_rank((vrank + mask + root) % gn);
                 self.send(child, tag, buf, off, len);
             }
             mask >>= 1;
         }
-        self.next_coll();
     }
 
-    /// Binomial-tree reduction of `n_elems` elements into `root`'s
-    /// `rbuf[roff..]`. Every rank contributes `sbuf[soff..]`; `rbuf` must
-    /// be distinct from `sbuf`.
+    /// Arm 1: segmented chain — the payload flows root → root+1 → … in
+    /// group-rank order, split into [`ChunkPipeline`]-scheduled
+    /// segments so a middle rank forwards segment `k` while receiving
+    /// segment `k+1` (per-(src, tag) FIFO matching keeps one tag
+    /// sufficient for the whole segment train). Beats the binomial tree
+    /// when the pipeline fill is amortized — long chains, big payloads.
+    ///
+    /// [`ChunkPipeline`]: crate::lmt::ChunkPipeline
+    #[allow(clippy::too_many_arguments)]
+    fn bcast_chain(
+        &self,
+        g: &CommGroup,
+        gr: usize,
+        root: usize,
+        tag: i32,
+        buf: BufId,
+        off: u64,
+        len: u64,
+    ) {
+        let gn = g.size();
+        let pos = (gr + gn - root) % gn; // position in the chain
+        let pred = (pos > 0).then(|| g.world_rank((gr + gn - 1) % gn));
+        let succ = (pos + 1 < gn).then(|| g.world_rank((gr + 1) % gn));
+        // Enumerate the segment schedule identically on every member
+        // (pair-less + receiver-side: consumes no probe cadence, reads
+        // no pair state, so all ranks derive the same cut points).
+        let mut segs: Vec<(u64, u64)> = Vec::new();
+        let mut pipe = self.nem().policy().recv_pipeline(None, CHAIN_SEG_MAX);
+        pipe.drive(len, |done, budget| {
+            segs.push((off + done, budget));
+            budget
+        });
+        let mut reqs = Vec::new();
+        for &(o, l) in &segs {
+            if let Some(p) = pred {
+                self.recv(Some(p), Some(tag), buf, o, l);
+            }
+            if let Some(s) = succ {
+                reqs.push(self.isend(s, tag, buf, o, l));
+            }
+        }
+        self.waitall(&reqs);
+    }
+
+    /// Reduction of `n_elems` elements into group-root `root`'s
+    /// `rbuf[roff..]`: binomial tree (arm 0) or linear with the fold
+    /// order pinned to ascending group rank (arm 1). For exact
+    /// (integer) operators the two arms are bit-identical; that pinned
+    /// ordering is what the algorithm-independence property tests
+    /// assert against.
     #[allow(clippy::too_many_arguments)] // MPI-style signature
     fn reduce_impl<T: Element>(
         &self,
+        g: &CommGroup,
         root: usize,
         sbuf: BufId,
         soff: u64,
@@ -145,31 +306,66 @@ impl<'a> Comm<'a> {
         n_elems: usize,
         op: impl Fn(T, T) -> T,
     ) {
-        let n = self.size();
-        let me = self.rank();
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
+        assert!(root < gn, "reduce root {root} outside group");
         let os = self.os();
         let bytes = bytes_of::<T>(n_elems);
-        let tag = self.coll_tag(1);
+        let tag = gtag(g, seq, 1);
+        let arm = self.coll_arm(g, CollKind::Reduce, bytes, seq);
+        let start = self.proc().now();
         // Local accumulator starts as our contribution.
         let mut acc: Vec<T> = load_raw(os, self.proc(), sbuf, soff, n_elems);
         os.touch_read(self.proc(), sbuf, soff, bytes);
-        if n > 1 {
-            let vrank = (me + n - root) % n;
-            let tmp = os.alloc(me, bytes.max(1));
+        if gn > 1 && arm == 1 {
+            // Linear: non-roots send; the root folds contributions in
+            // ascending group-rank order (its own at its position).
+            let tmp = os.alloc(self.rank(), bytes.max(1));
+            if gr != root {
+                store_raw(os, self.proc(), tmp, 0, &acc);
+                os.touch_write(self.proc(), tmp, 0, bytes);
+                self.send(g.world_rank(root), tag, tmp, 0, bytes);
+                self.credit_coll(g, CollKind::Reduce, bytes, arm, bytes, start);
+                return;
+            }
+            let mut folded: Option<Vec<T>> = None;
+            for r in 0..gn {
+                let contrib: Vec<T> = if r == gr {
+                    acc.clone()
+                } else {
+                    self.recv(Some(g.world_rank(r)), Some(tag), tmp, 0, bytes);
+                    let v = load_raw(os, self.proc(), tmp, 0, n_elems);
+                    os.touch_read(self.proc(), tmp, 0, bytes);
+                    v
+                };
+                folded = Some(match folded {
+                    None => contrib,
+                    Some(a) => a.iter().zip(&contrib).map(|(&x, &y)| op(x, y)).collect(),
+                });
+            }
+            os.touch_write(self.proc(), tmp, 0, bytes);
+            acc = folded.unwrap();
+        } else if gn > 1 {
+            // Binomial tree over group virtual ranks.
+            let vrank = (gr + gn - root) % gn;
+            let tmp = os.alloc(self.rank(), bytes.max(1));
             let mut mask = 1;
-            while mask < n {
+            while mask < gn {
                 if vrank & mask != 0 {
                     // Send accumulator to parent and stop.
-                    let parent = (vrank - mask + root) % n;
+                    let parent = g.world_rank((vrank - mask + root) % gn);
                     store_raw(os, self.proc(), tmp, 0, &acc);
                     os.touch_write(self.proc(), tmp, 0, bytes);
                     self.send(parent, tag, tmp, 0, bytes);
-                    self.next_coll();
+                    self.credit_coll(g, CollKind::Reduce, bytes, arm, bytes, start);
                     return;
                 }
                 let child = vrank + mask;
-                if child < n {
-                    let child = (child + root) % n;
+                if child < gn {
+                    let child = g.world_rank((child + root) % gn);
                     self.recv(Some(child), Some(tag), tmp, 0, bytes);
                     let other: Vec<T> = load_raw(os, self.proc(), tmp, 0, n_elems);
                     os.touch_read(self.proc(), tmp, 0, bytes);
@@ -182,13 +378,13 @@ impl<'a> Comm<'a> {
                 mask <<= 1;
             }
         }
-        debug_assert_eq!(me, root);
+        debug_assert_eq!(gr, root);
         store_raw(os, self.proc(), rbuf, roff, &acc);
         os.touch_write(self.proc(), rbuf, roff, bytes);
-        self.next_coll();
+        self.credit_coll(g, CollKind::Reduce, bytes, arm, bytes, start);
     }
 
-    /// Reduce `f64` elements to `root`.
+    /// Reduce `f64` elements to world-rank `root` over the universe.
     #[allow(clippy::too_many_arguments)] // MPI-style signature
     pub fn reduce_f64(
         &self,
@@ -200,12 +396,37 @@ impl<'a> Comm<'a> {
         n_elems: usize,
         op: ReduceOp,
     ) {
-        self.reduce_impl::<f64>(root, sbuf, soff, rbuf, roff, n_elems, |a, b| {
+        self.reduce_f64_in(
+            self.universe_group(),
+            root,
+            sbuf,
+            soff,
+            rbuf,
+            roff,
+            n_elems,
+            op,
+        );
+    }
+
+    /// Reduce `f64` elements to group-rank `root` over the group.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn reduce_f64_in(
+        &self,
+        g: &CommGroup,
+        root: usize,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.reduce_impl::<f64>(g, root, sbuf, soff, rbuf, roff, n_elems, |a, b| {
             op.apply_f64(a, b)
         });
     }
 
-    /// Reduce `u64` elements to `root`.
+    /// Reduce `u64` elements to world-rank `root` over the universe.
     #[allow(clippy::too_many_arguments)] // MPI-style signature
     pub fn reduce_u64(
         &self,
@@ -217,7 +438,32 @@ impl<'a> Comm<'a> {
         n_elems: usize,
         op: ReduceOp,
     ) {
-        self.reduce_impl::<u64>(root, sbuf, soff, rbuf, roff, n_elems, |a, b| {
+        self.reduce_u64_in(
+            self.universe_group(),
+            root,
+            sbuf,
+            soff,
+            rbuf,
+            roff,
+            n_elems,
+            op,
+        );
+    }
+
+    /// Reduce `u64` elements to group-rank `root` over the group.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn reduce_u64_in(
+        &self,
+        g: &CommGroup,
+        root: usize,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.reduce_impl::<u64>(g, root, sbuf, soff, rbuf, roff, n_elems, |a, b| {
             op.apply_u64(a, b)
         });
     }
@@ -232,8 +478,23 @@ impl<'a> Comm<'a> {
         n_elems: usize,
         op: ReduceOp,
     ) {
-        self.reduce_f64(0, sbuf, soff, rbuf, roff, n_elems, op);
-        self.bcast(0, rbuf, roff, bytes_of::<f64>(n_elems));
+        self.allreduce_f64_in(self.universe_group(), sbuf, soff, rbuf, roff, n_elems, op);
+    }
+
+    /// Group allreduce on `f64` (reduce to group rank 0 + bcast).
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn allreduce_f64_in(
+        &self,
+        g: &CommGroup,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.reduce_f64_in(g, 0, sbuf, soff, rbuf, roff, n_elems, op);
+        self.bcast_in(g, 0, rbuf, roff, bytes_of::<f64>(n_elems));
     }
 
     /// Allreduce on `u64`.
@@ -246,81 +507,208 @@ impl<'a> Comm<'a> {
         n_elems: usize,
         op: ReduceOp,
     ) {
-        self.reduce_u64(0, sbuf, soff, rbuf, roff, n_elems, op);
-        self.bcast(0, rbuf, roff, bytes_of::<u64>(n_elems));
+        self.allreduce_u64_in(self.universe_group(), sbuf, soff, rbuf, roff, n_elems, op);
+    }
+
+    /// Group allreduce on `u64`.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn allreduce_u64_in(
+        &self,
+        g: &CommGroup,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.reduce_u64_in(g, 0, sbuf, soff, rbuf, roff, n_elems, op);
+        self.bcast_in(g, 0, rbuf, roff, bytes_of::<u64>(n_elems));
     }
 
     /// Linear gather: every rank's `len` bytes land at
     /// `rbuf[roff + rank*len]` on `root`.
     pub fn gather(&self, root: usize, sbuf: BufId, soff: u64, len: u64, rbuf: BufId, roff: u64) {
-        let n = self.size();
-        let me = self.rank();
-        let tag = self.coll_tag(2);
-        if me == root {
+        self.gather_in(self.universe_group(), root, sbuf, soff, len, rbuf, roff);
+    }
+
+    /// Group gather: member `r`'s bytes land at `rbuf[roff + r*len]`
+    /// (`r` a *group* rank) on group-rank `root`.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn gather_in(
+        &self,
+        g: &CommGroup,
+        root: usize,
+        sbuf: BufId,
+        soff: u64,
+        len: u64,
+        rbuf: BufId,
+        roff: u64,
+    ) {
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
+        assert!(root < gn, "gather root {root} outside group");
+        let tag = gtag(g, seq, 2);
+        if gr == root {
             self.os()
-                .user_copy(self.proc(), sbuf, soff, rbuf, roff + me as u64 * len, len);
-            let reqs: Vec<_> = (0..n)
+                .user_copy(self.proc(), sbuf, soff, rbuf, roff + gr as u64 * len, len);
+            let reqs: Vec<_> = (0..gn)
                 .filter(|&r| r != root)
-                .map(|r| self.irecv(Some(r), Some(tag), rbuf, roff + r as u64 * len, len))
+                .map(|r| {
+                    self.irecv(
+                        Some(g.world_rank(r)),
+                        Some(tag),
+                        rbuf,
+                        roff + r as u64 * len,
+                        len,
+                    )
+                })
                 .collect();
             self.waitall(&reqs);
         } else {
-            self.send(root, tag, sbuf, soff, len);
+            self.send(g.world_rank(root), tag, sbuf, soff, len);
         }
-        self.next_coll();
     }
 
     /// Linear scatter: `root`'s `sbuf[soff + rank*len]` lands in each
     /// rank's `rbuf[roff..]`.
     pub fn scatter(&self, root: usize, sbuf: BufId, soff: u64, len: u64, rbuf: BufId, roff: u64) {
-        let n = self.size();
-        let me = self.rank();
-        let tag = self.coll_tag(3);
-        if me == root {
-            let reqs: Vec<_> = (0..n)
-                .filter(|&r| r != root)
-                .map(|r| self.isend(r, tag, sbuf, soff + r as u64 * len, len))
-                .collect();
-            self.os()
-                .user_copy(self.proc(), sbuf, soff + me as u64 * len, rbuf, roff, len);
-            self.waitall(&reqs);
-        } else {
-            self.recv(Some(root), Some(tag), rbuf, roff, len);
-        }
-        self.next_coll();
+        self.scatter_in(self.universe_group(), root, sbuf, soff, len, rbuf, roff);
     }
 
-    /// Ring allgather: every rank's `len` bytes end at
+    /// Group scatter: group-root `root`'s block `r` goes to group-rank
+    /// `r`.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn scatter_in(
+        &self,
+        g: &CommGroup,
+        root: usize,
+        sbuf: BufId,
+        soff: u64,
+        len: u64,
+        rbuf: BufId,
+        roff: u64,
+    ) {
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
+        assert!(root < gn, "scatter root {root} outside group");
+        let tag = gtag(g, seq, 3);
+        if gr == root {
+            let reqs: Vec<_> = (0..gn)
+                .filter(|&r| r != root)
+                .map(|r| self.isend(g.world_rank(r), tag, sbuf, soff + r as u64 * len, len))
+                .collect();
+            self.os()
+                .user_copy(self.proc(), sbuf, soff + gr as u64 * len, rbuf, roff, len);
+            self.waitall(&reqs);
+        } else {
+            self.recv(Some(g.world_rank(root)), Some(tag), rbuf, roff, len);
+        }
+    }
+
+    /// Allgather over the universe: every rank's `len` bytes end at
     /// `rbuf[roff + rank*len]` on all ranks.
     pub fn allgather(&self, sbuf: BufId, soff: u64, len: u64, rbuf: BufId, roff: u64) {
-        let n = self.size();
-        let me = self.rank();
+        self.allgather_in(self.universe_group(), sbuf, soff, len, rbuf, roff);
+    }
+
+    /// Group allgather: member `r`'s bytes end at `rbuf[roff + r*len]`
+    /// (`r` a *group* rank) on every member. Ring (arm 0,
+    /// `|group|−1` neighbour rounds) or Bruck (arm 1,
+    /// `ceil(log2)` doubling rounds through a staging buffer).
+    pub fn allgather_in(
+        &self,
+        g: &CommGroup,
+        sbuf: BufId,
+        soff: u64,
+        len: u64,
+        rbuf: BufId,
+        roff: u64,
+    ) {
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
         let os = self.os();
-        os.user_copy(self.proc(), sbuf, soff, rbuf, roff + me as u64 * len, len);
-        if n == 1 {
-            self.next_coll();
+        os.user_copy(self.proc(), sbuf, soff, rbuf, roff + gr as u64 * len, len);
+        if gn == 1 {
             return;
         }
-        let right = (me + 1) % n;
-        let left = (me + n - 1) % n;
-        let tag = self.coll_tag(4);
-        for step in 0..n - 1 {
-            let send_block = (me + n - step) % n;
-            let recv_block = (me + n - step - 1) % n;
-            self.sendrecv(
-                right,
-                tag,
-                rbuf,
-                roff + send_block as u64 * len,
-                len,
-                Some(left),
-                Some(tag),
-                rbuf,
-                roff + recv_block as u64 * len,
-                len,
-            );
+        let tag = gtag(g, seq, 4);
+        let arm = self.coll_arm(g, CollKind::Allgather, len, seq);
+        let start = self.proc().now();
+        let stripe = len > self.config().eager_max;
+        if stripe {
+            self.coll_stripe.set(true);
         }
-        self.next_coll();
+        if arm == 1 {
+            // Bruck: doubling rounds over a group-rank-rotated staging
+            // buffer, then one rotation pass into place. After each
+            // round the buffer holds blocks of group ranks
+            // gr, gr+1, …, gr+have−1 (mod gn) in order.
+            let tmp = os.alloc(self.rank(), (gn as u64 * len).max(1));
+            os.user_copy(self.proc(), sbuf, soff, tmp, 0, len);
+            let mut have: usize = 1;
+            while have < gn {
+                let cnt = have.min(gn - have);
+                let dst = g.world_rank((gr + gn - have) % gn);
+                let src = g.world_rank((gr + have) % gn);
+                self.sendrecv(
+                    dst,
+                    tag,
+                    tmp,
+                    0,
+                    cnt as u64 * len,
+                    Some(src),
+                    Some(tag),
+                    tmp,
+                    have as u64 * len,
+                    cnt as u64 * len,
+                );
+                have += cnt;
+            }
+            for i in 0..gn {
+                let block = (gr + i) % gn;
+                os.user_copy(
+                    self.proc(),
+                    tmp,
+                    i as u64 * len,
+                    rbuf,
+                    roff + block as u64 * len,
+                    len,
+                );
+            }
+        } else {
+            let right = g.world_rank((gr + 1) % gn);
+            let left = g.world_rank((gr + gn - 1) % gn);
+            for step in 0..gn - 1 {
+                let send_block = (gr + gn - step) % gn;
+                let recv_block = (gr + gn - step - 1) % gn;
+                self.sendrecv(
+                    right,
+                    tag,
+                    rbuf,
+                    roff + send_block as u64 * len,
+                    len,
+                    Some(left),
+                    Some(tag),
+                    rbuf,
+                    roff + recv_block as u64 * len,
+                    len,
+                );
+            }
+        }
+        if stripe {
+            self.coll_stripe.set(false);
+        }
+        self.credit_coll(g, CollKind::Allgather, len, arm, gn as u64 * len, start);
     }
 
     /// Inclusive prefix reduction over `u64` lanes (`MPI_Scan`): rank r's
@@ -336,7 +724,31 @@ impl<'a> Comm<'a> {
         n_elems: usize,
         op: ReduceOp,
     ) {
-        self.scan_impl(sbuf, soff, rbuf, roff, n_elems, op, true);
+        self.scan_impl(
+            self.universe_group(),
+            sbuf,
+            soff,
+            rbuf,
+            roff,
+            n_elems,
+            op,
+            true,
+        );
+    }
+
+    /// Group scan (prefix order = group-rank order).
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn scan_u64_in(
+        &self,
+        g: &CommGroup,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.scan_impl(g, sbuf, soff, rbuf, roff, n_elems, op, true);
     }
 
     /// Exclusive prefix reduction (`MPI_Exscan`): rank r receives the
@@ -353,12 +765,37 @@ impl<'a> Comm<'a> {
         n_elems: usize,
         op: ReduceOp,
     ) {
-        self.scan_impl(sbuf, soff, rbuf, roff, n_elems, op, false);
+        self.scan_impl(
+            self.universe_group(),
+            sbuf,
+            soff,
+            rbuf,
+            roff,
+            n_elems,
+            op,
+            false,
+        );
+    }
+
+    /// Group exscan (group-rank 0 gets the identity).
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn exscan_u64_in(
+        &self,
+        g: &CommGroup,
+        sbuf: BufId,
+        soff: u64,
+        rbuf: BufId,
+        roff: u64,
+        n_elems: usize,
+        op: ReduceOp,
+    ) {
+        self.scan_impl(g, sbuf, soff, rbuf, roff, n_elems, op, false);
     }
 
     #[allow(clippy::too_many_arguments)]
     fn scan_impl(
         &self,
+        g: &CommGroup,
         sbuf: BufId,
         soff: u64,
         rbuf: BufId,
@@ -367,17 +804,20 @@ impl<'a> Comm<'a> {
         op: ReduceOp,
         inclusive: bool,
     ) {
-        let n = self.size();
-        let me = self.rank();
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
         let os = self.os();
         let bytes = bytes_of::<u64>(n_elems);
-        let tag = self.coll_tag(7);
+        let tag = gtag(g, seq, 7);
         let mine: Vec<u64> = load_raw(os, self.proc(), sbuf, soff, n_elems);
         os.touch_read(self.proc(), sbuf, soff, bytes);
-        // Chain algorithm: receive the prefix of 0..me, combine, forward.
-        let prefix: Option<Vec<u64>> = if me > 0 {
-            let tmp = os.alloc(me, bytes.max(1));
-            self.recv(Some(me - 1), Some(tag), tmp, 0, bytes);
+        // Chain algorithm: receive the prefix of 0..gr, combine, forward.
+        let prefix: Option<Vec<u64>> = if gr > 0 {
+            let tmp = os.alloc(self.rank(), bytes.max(1));
+            self.recv(Some(g.world_rank(gr - 1)), Some(tag), tmp, 0, bytes);
             let p: Vec<u64> = load_raw(os, self.proc(), tmp, 0, n_elems);
             os.touch_read(self.proc(), tmp, 0, bytes);
             Some(p)
@@ -392,11 +832,11 @@ impl<'a> Comm<'a> {
                 .collect(),
             None => mine.clone(),
         };
-        if me + 1 < n {
-            let tmp = os.alloc(me, bytes.max(1));
+        if gr + 1 < gn {
+            let tmp = os.alloc(self.rank(), bytes.max(1));
             store_raw(os, self.proc(), tmp, 0, &inclusive_val);
             os.touch_write(self.proc(), tmp, 0, bytes);
-            self.send(me + 1, tag, tmp, 0, bytes);
+            self.send(g.world_rank(gr + 1), tag, tmp, 0, bytes);
         }
         if inclusive {
             store_raw(os, self.proc(), rbuf, roff, &inclusive_val);
@@ -414,46 +854,99 @@ impl<'a> Comm<'a> {
                 None => {} // no identity: rank 0's buffer is undefined
             }
         }
-        self.next_coll();
     }
 
     /// Pairwise-exchange alltoall: rank `i`'s block `j` —
     /// `sbuf[soff + j*len]` — lands at `rbuf[roff + i*len]` on rank `j`.
     /// This is the operation of Figure 7.
     pub fn alltoall(&self, sbuf: BufId, soff: u64, len: u64, rbuf: BufId, roff: u64) {
-        let n = self.size();
-        let me = self.rank();
+        self.alltoall_in(self.universe_group(), sbuf, soff, len, rbuf, roff);
+    }
+
+    /// Group alltoall (block indices are *group* ranks): stepwise
+    /// pairwise exchange (arm 0) or fully scattered — every receive
+    /// and send posted up front so all `|group|−1` transfers overlap
+    /// (arm 1, the §6 concurrency shape).
+    pub fn alltoall_in(
+        &self,
+        g: &CommGroup,
+        sbuf: BufId,
+        soff: u64,
+        len: u64,
+        rbuf: BufId,
+        roff: u64,
+    ) {
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
         let os = self.os();
-        if self.nem_cfg_collective_hint() {
-            self.set_concurrency_hint(n as u32 - 1);
+        if self.nem_cfg_collective_hint() && gn > 1 {
+            self.set_concurrency_hint(gn as u32 - 1);
         }
         os.user_copy(
             self.proc(),
             sbuf,
-            soff + me as u64 * len,
+            soff + gr as u64 * len,
             rbuf,
-            roff + me as u64 * len,
+            roff + gr as u64 * len,
             len,
         );
-        let tag = self.coll_tag(5);
-        for step in 1..n {
-            let dst = (me + step) % n;
-            let src = (me + n - step) % n;
-            self.sendrecv(
-                dst,
-                tag,
-                sbuf,
-                soff + dst as u64 * len,
-                len,
-                Some(src),
-                Some(tag),
-                rbuf,
-                roff + src as u64 * len,
-                len,
-            );
+        if gn == 1 {
+            return;
+        }
+        let tag = gtag(g, seq, 5);
+        let arm = self.coll_arm(g, CollKind::Alltoall, len, seq);
+        let start = self.proc().now();
+        let stripe = len > self.config().eager_max;
+        if stripe {
+            self.coll_stripe.set(true);
+        }
+        if arm == 1 {
+            let rreqs: Vec<_> = (1..gn)
+                .map(|step| {
+                    let src = (gr + gn - step) % gn;
+                    self.irecv(
+                        Some(g.world_rank(src)),
+                        Some(tag),
+                        rbuf,
+                        roff + src as u64 * len,
+                        len,
+                    )
+                })
+                .collect();
+            let sreqs: Vec<_> = (1..gn)
+                .map(|step| {
+                    let dst = (gr + step) % gn;
+                    self.isend(g.world_rank(dst), tag, sbuf, soff + dst as u64 * len, len)
+                })
+                .collect();
+            self.waitall(&rreqs);
+            self.waitall(&sreqs);
+        } else {
+            for step in 1..gn {
+                let dst = (gr + step) % gn;
+                let src = (gr + gn - step) % gn;
+                self.sendrecv(
+                    g.world_rank(dst),
+                    tag,
+                    sbuf,
+                    soff + dst as u64 * len,
+                    len,
+                    Some(g.world_rank(src)),
+                    Some(tag),
+                    rbuf,
+                    roff + src as u64 * len,
+                    len,
+                );
+            }
+        }
+        if stripe {
+            self.coll_stripe.set(false);
         }
         self.set_concurrency_hint(1);
-        self.next_coll();
+        self.credit_coll(g, CollKind::Alltoall, len, arm, gn as u64 * len, start);
     }
 
     /// Vector alltoall: rank `i` sends `slens[j]` bytes from
@@ -468,28 +961,60 @@ impl<'a> Comm<'a> {
         roffs: &[u64],
         rlens: &[u64],
     ) {
-        let n = self.size();
-        let me = self.rank();
-        assert!(soffs.len() == n && slens.len() == n && roffs.len() == n && rlens.len() == n);
+        self.alltoallv_in(
+            self.universe_group(),
+            sbuf,
+            soffs,
+            slens,
+            rbuf,
+            roffs,
+            rlens,
+        );
+    }
+
+    /// Group vector alltoall — all four slices are indexed by *group*
+    /// rank and must be `|group|` long.
+    #[allow(clippy::too_many_arguments)] // MPI-style signature
+    pub fn alltoallv_in(
+        &self,
+        g: &CommGroup,
+        sbuf: BufId,
+        soffs: &[u64],
+        slens: &[u64],
+        rbuf: BufId,
+        roffs: &[u64],
+        rlens: &[u64],
+    ) {
+        let Some(gr) = g.group_rank(self.rank()) else {
+            return;
+        };
+        let seq = g.next_seq();
+        let gn = g.size();
+        assert!(soffs.len() == gn && slens.len() == gn && roffs.len() == gn && rlens.len() == gn);
         let os = self.os();
-        if self.nem_cfg_collective_hint() {
-            self.set_concurrency_hint(n as u32 - 1);
+        if self.nem_cfg_collective_hint() && gn > 1 {
+            self.set_concurrency_hint(gn as u32 - 1);
         }
-        debug_assert_eq!(slens[me], rlens[me], "self block mismatch");
-        if slens[me] > 0 {
-            os.user_copy(self.proc(), sbuf, soffs[me], rbuf, roffs[me], slens[me]);
+        debug_assert_eq!(slens[gr], rlens[gr], "self block mismatch");
+        if slens[gr] > 0 {
+            os.user_copy(self.proc(), sbuf, soffs[gr], rbuf, roffs[gr], slens[gr]);
         }
-        let tag = self.coll_tag(6);
-        for step in 1..n {
-            let dst = (me + step) % n;
-            let src = (me + n - step) % n;
-            let r = self.irecv(Some(src), Some(tag), rbuf, roffs[src], rlens[src]);
-            let s = self.isend(dst, tag, sbuf, soffs[dst], slens[dst]);
+        let tag = gtag(g, seq, 6);
+        for step in 1..gn {
+            let dst = (gr + step) % gn;
+            let src = (gr + gn - step) % gn;
+            let r = self.irecv(
+                Some(g.world_rank(src)),
+                Some(tag),
+                rbuf,
+                roffs[src],
+                rlens[src],
+            );
+            let s = self.isend(g.world_rank(dst), tag, sbuf, soffs[dst], slens[dst]);
             self.wait(r);
             self.wait(s);
         }
         self.set_concurrency_hint(1);
-        self.next_coll();
     }
 
     fn nem_cfg_collective_hint(&self) -> bool {

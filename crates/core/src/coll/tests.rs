@@ -315,3 +315,193 @@ fn eight_rank_alltoall_all_lmts_deterministic() {
         assert_eq!(run(lmt), run(lmt), "{lmt:?} nondeterministic");
     }
 }
+
+// ---------------------------------------------------------------------
+// Group arithmetic and cross-algorithm properties.
+
+/// Deterministic xorshift64* for the seeded property tests (the crate
+/// has no RNG dependency, and the seed pins the case set).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[test]
+fn group_translation_roundtrips_seeded() {
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    for case in 0..200 {
+        let universe = 2 + (rng.next() % 30) as usize;
+        // A random-order, duplicate-free member list via Fisher–Yates.
+        let mut pool: Vec<usize> = (0..universe).collect();
+        for i in (1..pool.len()).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            pool.swap(i, j);
+        }
+        let k = 1 + (rng.next() % universe as u64) as usize;
+        let members = &pool[..k];
+        let g = CommGroup::new(members);
+        assert_eq!(g.size(), k, "case {case}");
+        assert!(
+            (1..=63).contains(&g.id()),
+            "subgroup ids live in 1..=63, got {} (case {case})",
+            g.id()
+        );
+        for (gr, &wr) in members.iter().enumerate() {
+            assert_eq!(g.world_rank(gr), wr, "case {case}");
+            assert_eq!(g.group_rank(wr), Some(gr), "case {case}");
+            assert!(g.contains(wr));
+        }
+        for wr in 0..universe {
+            if !members.contains(&wr) {
+                assert_eq!(g.group_rank(wr), None, "case {case}");
+                assert!(!g.contains(wr));
+            }
+        }
+        assert_eq!(g.world_ranks(), members.to_vec());
+        assert!(!g.is_universe());
+    }
+    let u = CommGroup::universe(7);
+    assert!(u.is_universe());
+    assert_eq!(u.id(), 0);
+    for wr in 0..7 {
+        assert_eq!(u.group_rank(wr), Some(wr));
+        assert_eq!(u.world_rank(wr), wr);
+    }
+    assert_eq!(u.group_rank(7), None);
+}
+
+#[test]
+fn disjoint_subgroup_collectives_do_not_interfere() {
+    for coll_alg in [
+        CollAlgSelect::Fixed,
+        CollAlgSelect::Alternate,
+        CollAlgSelect::Learned,
+    ] {
+        let cfg = NemesisConfig {
+            coll_alg,
+            ..NemesisConfig::default()
+        };
+        n_ranks(6, cfg, |comm| {
+            let os = comm.os();
+            let me = comm.rank();
+            let evens = CommGroup::new(&[0, 2, 4]);
+            // Scrambled member order: world 5 is group rank 0.
+            let odds = CommGroup::new(&[5, 1, 3]);
+            let g = if me % 2 == 0 { &evens } else { &odds };
+            let gr = g.group_rank(me).expect("member");
+            let block = 4096u64;
+            // Both groups broadcast concurrently from their group root.
+            let buf = os.alloc(me, block);
+            let fill = if me % 2 == 0 { 0x11u8 } else { 0x22 };
+            if gr == 0 {
+                os.with_data_mut(comm.proc(), buf, |d| d.fill(fill));
+            }
+            comm.bcast_in(g, 0, buf, 0, block);
+            os.with_data(comm.proc(), buf, |d| {
+                assert!(
+                    d.iter().all(|&x| x == fill),
+                    "{coll_alg:?}: rank {me} saw the other group's bcast"
+                );
+            });
+            // And allgather concurrently; block q must come from the
+            // group's member q, not the other group's.
+            let sbuf = os.alloc(me, block);
+            let rbuf = os.alloc(me, block * 3);
+            os.with_data_mut(comm.proc(), sbuf, |d| d.fill(me as u8 + 1));
+            comm.allgather_in(g, sbuf, 0, block, rbuf, 0);
+            os.with_data(comm.proc(), rbuf, |d| {
+                for (q, &wr) in g.world_ranks().iter().enumerate() {
+                    assert!(
+                        d[q * 4096..(q + 1) * 4096]
+                            .iter()
+                            .all(|&x| x == wr as u8 + 1),
+                        "{coll_alg:?}: rank {me} block {q} not from world {wr}"
+                    );
+                }
+            });
+        });
+    }
+}
+
+#[test]
+fn reduce_and_scan_results_independent_of_algorithm() {
+    // u64 sums are exact, and the linear arm pins an ascending
+    // group-rank fold, so every arm must produce identical bytes.
+    let run = |coll_alg: CollAlgSelect| -> (Vec<u64>, Vec<u64>) {
+        let reduced = std::sync::Mutex::new(Vec::new());
+        let scanned = std::sync::Mutex::new(vec![0u64; 5]);
+        let cfg = NemesisConfig {
+            coll_alg,
+            ..NemesisConfig::default()
+        };
+        n_ranks(5, cfg, |comm| {
+            let os = comm.os();
+            let me = comm.rank() as u64;
+            let g = CommGroup::new(&[4, 0, 2, 1, 3]);
+            let gr = g.group_rank(comm.rank()).unwrap();
+            let n_elems = 32usize;
+            let sbuf = os.alloc(comm.rank(), 8 * n_elems as u64);
+            let rbuf = os.alloc(comm.rank(), 8 * n_elems as u64);
+            let vals: Vec<u64> = (0..n_elems as u64).map(|i| me * 1000 + i * 7 + 1).collect();
+            store_raw(os, comm.proc(), sbuf, 0, &vals);
+            comm.reduce_u64_in(&g, 2, sbuf, 0, rbuf, 0, n_elems, ReduceOp::Sum);
+            if gr == 2 {
+                *reduced.lock().unwrap() = load_raw(os, comm.proc(), rbuf, 0, n_elems);
+            }
+            comm.scan_u64_in(&g, sbuf, 0, rbuf, 0, 1, ReduceOp::Sum);
+            let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, 1);
+            scanned.lock().unwrap()[gr] = got[0];
+        });
+        (reduced.into_inner().unwrap(), scanned.into_inner().unwrap())
+    };
+    let fixed = run(CollAlgSelect::Fixed);
+    let alternate = run(CollAlgSelect::Alternate);
+    let learned = run(CollAlgSelect::Learned);
+    assert!(!fixed.0.is_empty());
+    assert_eq!(fixed, alternate, "alternate arm changed reduce/scan bytes");
+    assert_eq!(fixed, learned, "learned arm changed reduce/scan bytes");
+    // And the reduction is the right one.
+    let expect: u64 = (0..5u64).map(|r| r * 1000 + 1).sum();
+    assert_eq!(fixed.0[0], expect);
+}
+
+#[test]
+fn tuner_snapshot_roundtrips_collective_cells() {
+    use crate::lmt::tuner::selector::CollKind;
+    use crate::lmt::Tuner;
+    let t = Tuner::new(4, 64 << 10);
+    // Credit distinguishable bandwidths into two arms of two kinds.
+    for _ in 0..4 {
+        t.record_coll(CollKind::Alltoall, 4, 1 << 20, 0, 4 << 20, 1_000_000);
+        t.record_coll(CollKind::Alltoall, 4, 1 << 20, 1, 4 << 20, 2_000_000);
+        t.record_coll(CollKind::Bcast, 3, 4096, 1, 4096, 700);
+    }
+    let snap = t.export_snapshot();
+    assert!(snap.lines().any(|l| l.starts_with("coll ")), "{snap}");
+    let t2 = Tuner::new(4, 64 << 10);
+    t2.import_snapshot(&snap);
+    for (kind, gsize, bytes, arm) in [
+        (CollKind::Alltoall, 4usize, 1u64 << 20, 0usize),
+        (CollKind::Alltoall, 4, 1 << 20, 1),
+        (CollKind::Bcast, 3, 4096, 1),
+    ] {
+        let (bw, n) = t.coll_cell(kind, gsize, bytes, arm);
+        let (bw2, n2) = t2.coll_cell(kind, gsize, bytes, arm);
+        assert_eq!(n, n2, "{kind:?} arm {arm} sample count");
+        assert!(
+            (bw - bw2).abs() < 1e-12,
+            "{kind:?} arm {arm}: {bw} vs {bw2}"
+        );
+        assert!(n > 0);
+    }
+    // Importing must not materialize pair cells.
+    assert_eq!(t2.resident_pairs(), 0);
+}

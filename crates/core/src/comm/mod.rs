@@ -208,7 +208,8 @@ impl Nemesis {
             nem: Arc::clone(self),
             inner: RefCell::new(CommInner::default()),
             concurrency: Cell::new(1),
-            coll_seq: Cell::new(0),
+            ugroup: std::cell::OnceCell::new(),
+            coll_stripe: Cell::new(false),
             scratch: Cell::new(None),
             polls: Cell::new(0),
         }
@@ -593,8 +594,15 @@ pub struct Comm<'a> {
     /// Concurrency hint attached to outgoing RTS packets (set by the
     /// collective layer when `collective_hint` is enabled).
     pub(in crate::comm) concurrency: Cell<u32>,
-    /// Collective sequence number (disambiguates internal tags).
-    pub(crate) coll_seq: Cell<i32>,
+    /// Cached universe group (collective sequencing lives in the group
+    /// — see `crate::coll::CommGroup`), built on first legacy
+    /// (group-less) collective call.
+    pub(crate) ugroup: std::cell::OnceCell<crate::coll::CommGroup>,
+    /// Whether a large-message collective phase is in flight: the
+    /// striped backend then rotates each destination's candidate rail
+    /// order so concurrent transfers start on disjoint rails instead of
+    /// all contending for the anchor (§6).
+    pub(crate) coll_stripe: Cell<bool>,
     /// Lazily-allocated one-page scratch buffer (barrier tokens etc.).
     pub(crate) scratch: Cell<Option<BufId>>,
     /// Lifetime count of [`Comm::progress`] calls (scaling diagnostics:

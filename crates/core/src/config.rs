@@ -159,6 +159,46 @@ impl BackendSelect {
     }
 }
 
+/// Which algorithm family each collective operation runs (see
+/// [`crate::coll`] for the algorithms behind both arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollAlgSelect {
+    /// The classic fixed algorithms: binomial bcast/reduce, ring
+    /// allgather, pairwise-exchange alltoall.
+    #[default]
+    Fixed,
+    /// The alternate family: chain-segmented pipelined bcast, linear
+    /// pinned-order reduce, Bruck allgather, scattered alltoall.
+    Alternate,
+    /// Learn the choice online, per (collective, group-size class,
+    /// message class): another deterministic bandit in the
+    /// [`tuner`](crate::lmt::tuner), credited from whole-operation
+    /// completion times the same way backend arms are credited from
+    /// receiver elapsed. Selections are sequence-memoized so every
+    /// member of a group resolves the same arm for the same operation.
+    Learned,
+}
+
+impl CollAlgSelect {
+    /// The CI matrix hook (the sibling of [`ThresholdSelect::from_env`]):
+    /// resolve the *default* collective algorithm family from the
+    /// `NEMESIS_COLL_ALG` environment variable. Unset/`auto`/`fixed`
+    /// keep the classic algorithms; `alternate` flips every collective
+    /// to its second algorithm; `learned` selects the bandit; anything
+    /// else fails loudly. Configs that pin `coll_alg` explicitly are
+    /// unaffected.
+    pub fn from_env() -> Self {
+        match std::env::var("NEMESIS_COLL_ALG").as_deref() {
+            Err(_) | Ok("") | Ok("auto") | Ok("fixed") => CollAlgSelect::Fixed,
+            Ok("alternate") => CollAlgSelect::Alternate,
+            Ok("learned") => CollAlgSelect::Learned,
+            Ok(other) => {
+                panic!("NEMESIS_COLL_ALG={other:?} (expected fixed | alternate | learned)")
+            }
+        }
+    }
+}
+
 /// Which chunk schedule drives the [`ChunkPipeline`](crate::lmt::ChunkPipeline)
 /// of streaming LMT wires (see [`ChunkSchedule`](crate::lmt::ChunkSchedule)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -261,6 +301,10 @@ pub struct NemesisConfig {
     /// How [`LmtSelect::Dynamic`] resolves per pair: the rule-based
     /// blended policy, or the learned backend selector.
     pub backend: BackendSelect,
+    /// Which algorithm family the collectives run: the classic fixed
+    /// algorithms, the alternate family, or the learned per-(group
+    /// size, message class) bandit.
+    pub coll_alg: CollAlgSelect,
     /// Optional warm-start for the learned state: a snapshot produced
     /// by a previous universe's
     /// [`Tuner::export_snapshot`](crate::lmt::Tuner::export_snapshot)
@@ -303,6 +347,7 @@ impl Default for NemesisConfig {
             threshold: ThresholdSelect::from_env(),
             chunk_schedule: ChunkScheduleSelect::default(),
             backend: BackendSelect::from_env(),
+            coll_alg: CollAlgSelect::from_env(),
             tuner_snapshot: None,
             tuner_snapshot_path: tuner_snapshot_path_from_env(),
         }

@@ -59,11 +59,13 @@ pub mod lmt;
 pub mod shm;
 pub mod vector;
 
+pub use coll::{CommGroup, ReduceOp};
 pub use comm::{
     BackendUnavailable, Comm, MessageInfo, Nemesis, PeerHealth, Request, ANY_SOURCE, ANY_TAG,
 };
 pub use config::{
-    BackendSelect, ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect,
+    BackendSelect, ChunkScheduleSelect, CollAlgSelect, KnemSelect, LmtSelect, NemesisConfig,
+    ThresholdSelect,
 };
 pub use fault::{FaultEngine, FaultEvent, FaultKind, FaultPlan, PacketAction};
 pub use lmt::{

@@ -23,7 +23,8 @@ use std::sync::Arc;
 use nemesis_sim::{topology::Placement, Machine};
 
 use crate::config::{
-    BackendSelect, ChunkScheduleSelect, KnemSelect, LmtSelect, NemesisConfig, ThresholdSelect,
+    BackendSelect, ChunkScheduleSelect, CollAlgSelect, KnemSelect, LmtSelect, NemesisConfig,
+    ThresholdSelect,
 };
 use crate::lmt::striped::RailKind;
 use crate::lmt::tuner::{selector, TransferSample, Tuner};
@@ -170,6 +171,7 @@ impl TransferPolicy {
             cfg.backend == BackendSelect::LearnedBackend && cfg.lmt == LmtSelect::Dynamic;
         let learned = cfg.threshold == ThresholdSelect::Learned
             || cfg.chunk_schedule == ChunkScheduleSelect::Learned
+            || cfg.coll_alg == CollAlgSelect::Learned
             || learned_backend;
         let tuner = learned.then(|| {
             let t = Tuner::new(nprocs, cfg.eager_max);
@@ -438,6 +440,42 @@ impl TransferPolicy {
     pub fn record_arm(&self, src: usize, dst: usize, arm: usize, bytes: u64, elapsed_ps: u64) {
         if let (Some(tuner), true) = (&self.tuner, self.learned_backend) {
             tuner.observe_arm(src, dst, arm, bytes, elapsed_ps);
+        }
+    }
+
+    /// The algorithm arm for one collective operation through the
+    /// learned collective bandit: 0 (the classic fixed algorithm) when
+    /// no tuner is live. Memoized per `(group id, sequence)` inside the
+    /// tuner so every group member lands on the same arm.
+    pub fn select_coll_alg(
+        &self,
+        kind: selector::CollKind,
+        gsize: usize,
+        bytes: u64,
+        gid: i32,
+        seq: i32,
+    ) -> usize {
+        match &self.tuner {
+            Some(tuner) => tuner.select_coll_alg(kind, gsize, bytes, gid, seq),
+            None => 0,
+        }
+    }
+
+    /// Credit one completed collective operation's whole-op bandwidth
+    /// to the algorithm arm that ran it (no-op under static
+    /// configurations) — the collective analogue of
+    /// [`TransferPolicy::record_arm`].
+    pub fn record_coll(
+        &self,
+        kind: selector::CollKind,
+        gsize: usize,
+        msg_bytes: u64,
+        arm: usize,
+        moved_bytes: u64,
+        elapsed_ps: u64,
+    ) {
+        if let Some(tuner) = &self.tuner {
+            tuner.record_coll(kind, gsize, msg_bytes, arm, moved_bytes, elapsed_ps);
         }
     }
 

@@ -141,12 +141,39 @@ fn compose_rails(comm: &Comm<'_>, src: usize, dst: usize, want: usize) -> Vec<Ra
     let cfg = comm.config();
     let second_dma = comm.os().machine().dma_channels() >= 2;
     let mut kinds = vec![RailKind::Cma];
-    for k in [
+    let order = [
         RailKind::KnemIoat,
         RailKind::KnemIoat2,
         RailKind::Vmsplice,
         RailKind::Shm,
-    ] {
+    ];
+    // During a large-message collective phase, rotate the start of the
+    // candidate scan within the DMA-channel prefix: the concurrent
+    // transfers of an alltoall step then open on *disjoint* channels
+    // instead of all queueing on the first one (§6 — concurrency is
+    // where the copy/DMA overlap pays). The rotation deliberately stays
+    // inside the DMA prefix — downgrading a pair's secondary rail to a
+    // slower two-copy CPU rail costs more than the channel contention
+    // it would avoid — and is a pure function of the pair, so the
+    // receiver-side span reconstruction (which reads the rail kinds off
+    // the RTS wire) is unaffected.
+    let dma_prefix = if second_dma && cfg.knem_available {
+        2
+    } else {
+        1
+    };
+    let rot = if comm.coll_stripe.get() {
+        src % dma_prefix
+    } else {
+        0
+    };
+    for i in 0..order.len() {
+        let idx = if i < dma_prefix {
+            (i + rot) % dma_prefix
+        } else {
+            i
+        };
+        let k = order[idx];
         if kinds.len() >= want {
             break;
         }

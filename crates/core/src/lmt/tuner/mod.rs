@@ -63,7 +63,7 @@ use crate::config::LmtSelect;
 use crate::lmt::striped::RailKind;
 
 use chunk::ChunkModel;
-use selector::SelectorModel;
+use selector::{CollAlgModel, CollKind, SelectorModel};
 use threshold::CrossoverModel;
 
 /// Which mechanism moved the bytes of a transfer — the §3.5 dichotomy
@@ -282,6 +282,12 @@ pub struct Tuner {
     /// Upper clamp (keeps a run of one-sided observations from pushing
     /// the threshold to infinity).
     ceil: u64,
+    /// The collective algorithm bandit — universe-global (a collective
+    /// involves a whole group, not a pair), keyed by (collective kind,
+    /// group-size class, message class). See
+    /// [`CollAlgModel`](selector::CollAlgModel) for the cross-rank
+    /// consistency memo.
+    coll: Mutex<CollAlgModel>,
 }
 
 impl Tuner {
@@ -297,7 +303,51 @@ impl Tuner {
             nprocs,
             floor,
             ceil: (floor << 10).max(64 << 20),
+            coll: Mutex::new(CollAlgModel::default()),
         }
+    }
+
+    /// The algorithm arm for one collective operation (memoized per
+    /// `(group id, sequence)` so every group member lands on the same
+    /// arm — see [`CollAlgModel::select`]).
+    pub fn select_coll_alg(
+        &self,
+        kind: CollKind,
+        gsize: usize,
+        bytes: u64,
+        gid: i32,
+        seq: i32,
+    ) -> usize {
+        self.coll.lock().select(kind, gsize, bytes, gid, seq)
+    }
+
+    /// Credit one completed collective operation: `moved_bytes` over
+    /// `elapsed_ps` of whole-op time becomes the arm's reward, exactly
+    /// as backend arms are credited from receiver elapsed.
+    pub fn record_coll(
+        &self,
+        kind: CollKind,
+        gsize: usize,
+        msg_bytes: u64,
+        arm: usize,
+        moved_bytes: u64,
+        elapsed_ps: u64,
+    ) {
+        self.coll
+            .lock()
+            .observe(kind, gsize, msg_bytes, arm, moved_bytes, elapsed_ps);
+    }
+
+    /// One collective-bandit cell's `(bandwidth EWMA, samples)` —
+    /// diagnostics and tests.
+    pub fn coll_cell(
+        &self,
+        kind: CollKind,
+        gsize: usize,
+        msg_bytes: u64,
+        arm: usize,
+    ) -> (f64, u32) {
+        self.coll.lock().cell(kind, gsize, msg_bytes, arm)
     }
 
     /// Materialize (or fetch) the pair's cell. Decision and recording
@@ -792,6 +842,7 @@ impl Tuner {
                 p.model.lock().selector.export_lines(&mut out, src, dst);
             }
         }
+        self.coll.lock().export_lines(&mut out);
         out
     }
 
@@ -809,6 +860,33 @@ impl Tuner {
         }
         for line in snap.lines() {
             let f: Vec<&str> = line.split_whitespace().collect();
+            // Collective-bandit cells are universe-global, not pair
+            // lines: handle them before the pair-materializing path
+            // below (their second field is a kind code, not a rank).
+            if f.first() == Some(&"coll") {
+                if f.len() == 7 {
+                    if let (
+                        Some(kind),
+                        Some(gclass),
+                        Some(mclass),
+                        Some(arm),
+                        Some(bits),
+                        Some(n),
+                    ) = (
+                        f[1].parse::<usize>().ok(),
+                        f[2].parse::<usize>().ok(),
+                        f[3].parse::<usize>().ok(),
+                        f[4].parse::<usize>().ok(),
+                        parse_u64(f[5]),
+                        f[6].parse::<u32>().ok(),
+                    ) {
+                        self.coll
+                            .lock()
+                            .import_cell(kind, gclass, mclass, arm, bits, n);
+                    }
+                }
+                continue;
+            }
             let (Some(&tag), Some(src), Some(dst)) = (
                 f.first(),
                 f.get(1).and_then(|s| s.parse::<usize>().ok()),

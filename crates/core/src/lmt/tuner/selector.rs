@@ -419,6 +419,296 @@ impl SelectorModel {
     }
 }
 
+/// The collective operations whose algorithm choice is learned. Each
+/// gets its own bandit cells: a group size where the chain bcast wins
+/// says nothing about the scattered alltoall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    Bcast,
+    Reduce,
+    Allgather,
+    Alltoall,
+}
+
+impl CollKind {
+    /// Stable code (snapshot lines and cell indexing).
+    pub fn code(self) -> usize {
+        match self {
+            CollKind::Bcast => 0,
+            CollKind::Reduce => 1,
+            CollKind::Allgather => 2,
+            CollKind::Alltoall => 3,
+        }
+    }
+
+    /// Inverse of [`CollKind::code`].
+    pub fn from_code(c: usize) -> Option<Self> {
+        Some(match c {
+            0 => CollKind::Bcast,
+            1 => CollKind::Reduce,
+            2 => CollKind::Allgather,
+            3 => CollKind::Alltoall,
+            _ => return None,
+        })
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollKind::Bcast => "bcast",
+            CollKind::Reduce => "reduce",
+            CollKind::Allgather => "allgather",
+            CollKind::Alltoall => "alltoall",
+        }
+    }
+}
+
+/// Number of learned collective kinds.
+pub const COLL_KINDS: usize = 4;
+/// Algorithm arms per collective (0 = the classic fixed algorithm,
+/// 1 = the alternate family — see `crate::coll`).
+pub const COLL_ARMS: usize = 2;
+/// Group-size classes: 2, 3–4, 5–8, 9+ members. Algorithm crossovers
+/// move with the participant count (a chain bcast amortizes its
+/// pipeline fill over long chains; Bruck's log rounds only beat the
+/// ring once the ring is long), so the cells split on it.
+pub const COLL_GCLASSES: usize = 4;
+
+/// The group-size class of a member count.
+pub fn gclass_of(n: usize) -> usize {
+    match n {
+        0..=2 => 0,
+        3..=4 => 1,
+        5..=8 => 2,
+        _ => 3,
+    }
+}
+
+/// Message classes for collectives start at 2^10 (collectives run far
+/// below the rendezvous switchover too — a 1-byte barrier token and a
+/// 1 MiB bcast must not share a cell).
+const COLL_CLASS_BASE: u32 = 10;
+
+/// The collective message class of a per-peer block length.
+pub fn coll_class_of(bytes: u64) -> usize {
+    let lg = if bytes == 0 { 0 } else { bytes.ilog2() };
+    (lg.saturating_sub(COLL_CLASS_BASE) as usize).min(NCLASSES - 1)
+}
+
+/// Memoized `(group id, op sequence) → arm` entries per cell — enough
+/// for a few groups of the same shape interleaving their operations.
+const COLL_MEMO: usize = 4;
+
+/// One (kind, group-size class, message class) cell of the collective
+/// algorithm bandit: the same compact sweep → probe-streak →
+/// exponential-probe → exploit-with-hysteresis skeleton as
+/// [`SelectorModel`], over [`COLL_ARMS`] arms.
+#[derive(Clone, Copy)]
+struct CollClass {
+    cells: [Cell; COLL_ARMS],
+    tick: u64,
+    next_probe: u64,
+    probe_interval: u64,
+    probe_cursor: usize,
+    probe_streak: u8,
+    incumbent: usize,
+    /// `(group id, op sequence, arm)` memo ring (`gid` −1 = empty):
+    /// the first group member to select for a given operation runs the
+    /// real pick; every later member of the *same* operation reads the
+    /// memo, so all members run the same algorithm regardless of which
+    /// rank's selection executed first.
+    memo: [(i32, i32, u8); COLL_MEMO],
+    memo_cursor: usize,
+}
+
+impl Default for CollClass {
+    fn default() -> Self {
+        Self {
+            cells: [Cell::default(); COLL_ARMS],
+            tick: 0,
+            next_probe: 0,
+            probe_interval: PROBE_START,
+            probe_cursor: 0,
+            probe_streak: 0,
+            incumbent: usize::MAX,
+            memo: [(-1, 0, 0); COLL_MEMO],
+            memo_cursor: 0,
+        }
+    }
+}
+
+impl CollClass {
+    /// One real bandit decision (the memo layer sits above this).
+    fn pick(&mut self) -> usize {
+        self.tick += 1;
+        if let Some(arm) = (0..COLL_ARMS)
+            .find(|&a| self.cells[a].n < MIN_PROBE && self.cells[a].picked < 2 * MIN_PROBE)
+        {
+            self.cells[arm].picked += 1;
+            return arm;
+        }
+        if self.probe_streak > 0 {
+            self.probe_streak -= 1;
+            let arm = self.probe_cursor % COLL_ARMS;
+            self.cells[arm].picked += 1;
+            return arm;
+        }
+        if self.next_probe == 0 {
+            self.next_probe = self.tick + self.probe_interval;
+        } else if self.tick >= self.next_probe {
+            self.probe_interval = (self.probe_interval * 2).min(PROBE_CAP);
+            self.next_probe = self.tick + self.probe_interval;
+            self.probe_cursor = (self.probe_cursor + 1) % COLL_ARMS;
+            self.probe_streak = 1;
+            let arm = self.probe_cursor;
+            self.cells[arm].picked += 1;
+            return arm;
+        }
+        let best = (0..COLL_ARMS)
+            .max_by(|&a, &b| self.cells[a].bw.total_cmp(&self.cells[b].bw))
+            .unwrap_or(0);
+        let inc = self.incumbent;
+        let keep = inc < COLL_ARMS && self.cells[best].bw <= self.cells[inc].bw * HYSTERESIS;
+        if !keep {
+            self.incumbent = best;
+        }
+        self.cells[self.incumbent].picked += 1;
+        self.incumbent
+    }
+}
+
+/// The collective algorithm bandit: one universe-global model (not per
+/// pair — a collective involves a whole group), keyed by (collective
+/// kind, group-size class, message class), with two arms per cell.
+///
+/// **Cross-rank consistency.** Every group member must run the same
+/// algorithm for the same operation, but the members' selection calls
+/// interleave arbitrarily through the shared tuner. Selections are
+/// therefore memoized per `(group id, op sequence)`: the first caller
+/// runs the real bandit decision and caches it; peers hitting the same
+/// key read the cached arm. Sequence counters advance identically on
+/// every member (groups sequence their own operations — see
+/// `crate::coll::CommGroup`), so the key agrees across ranks by
+/// construction.
+pub struct CollAlgModel {
+    classes: [[[CollClass; NCLASSES]; COLL_GCLASSES]; COLL_KINDS],
+}
+
+impl Default for CollAlgModel {
+    fn default() -> Self {
+        Self {
+            classes: [[[CollClass::default(); NCLASSES]; COLL_GCLASSES]; COLL_KINDS],
+        }
+    }
+}
+
+impl CollAlgModel {
+    /// The algorithm arm for one collective operation: the memoized
+    /// arm when this `(group id, sequence)` was already decided by a
+    /// peer, a fresh bandit decision otherwise.
+    pub fn select(
+        &mut self,
+        kind: CollKind,
+        gsize: usize,
+        bytes: u64,
+        gid: i32,
+        seq: i32,
+    ) -> usize {
+        let s = &mut self.classes[kind.code()][gclass_of(gsize)][coll_class_of(bytes)];
+        if let Some(&(_, _, arm)) = s.memo.iter().find(|&&(g, q, _)| g == gid && q == seq) {
+            return arm as usize;
+        }
+        let arm = s.pick();
+        s.memo[s.memo_cursor] = (gid, seq, arm as u8);
+        s.memo_cursor = (s.memo_cursor + 1) % COLL_MEMO;
+        arm
+    }
+
+    /// Fold one completed operation's achieved bandwidth into the
+    /// arm's cell. `msg_bytes` classes the cell (the per-peer block
+    /// length the caller selected with); `moved_bytes / elapsed_ps` is
+    /// the reward. First samples are provisional, exactly as in
+    /// [`SelectorModel::observe`].
+    pub fn observe(
+        &mut self,
+        kind: CollKind,
+        gsize: usize,
+        msg_bytes: u64,
+        arm: usize,
+        moved_bytes: u64,
+        elapsed_ps: u64,
+    ) {
+        if arm >= COLL_ARMS || moved_bytes == 0 || elapsed_ps == 0 {
+            return;
+        }
+        let bw = moved_bytes as f64 / elapsed_ps as f64;
+        let cell =
+            &mut self.classes[kind.code()][gclass_of(gsize)][coll_class_of(msg_bytes)].cells[arm];
+        cell.bw = if cell.n <= 1 {
+            bw
+        } else {
+            ALPHA * bw + (1.0 - ALPHA) * cell.bw
+        };
+        cell.n = cell.n.saturating_add(1);
+    }
+
+    /// The arm's `(bandwidth EWMA, samples)` for a (kind, group size,
+    /// message length) — diagnostics, persistence and tests.
+    pub fn cell(&self, kind: CollKind, gsize: usize, msg_bytes: u64, arm: usize) -> (f64, u32) {
+        let c = self.classes[kind.code()][gclass_of(gsize)][coll_class_of(msg_bytes)].cells
+            [arm.min(COLL_ARMS - 1)];
+        (c.bw, c.n)
+    }
+
+    /// Serialize the sampled cells as
+    /// `coll kind gclass mclass arm bw_bits n` lines (the tuner
+    /// snapshot embeds them; exploration clocks and memos restart
+    /// fresh).
+    pub(super) fn export_lines(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for (k, kinds) in self.classes.iter().enumerate() {
+            for (g, gclasses) in kinds.iter().enumerate() {
+                for (c, class) in gclasses.iter().enumerate() {
+                    for (a, cell) in class.cells.iter().enumerate() {
+                        if cell.n > 0 {
+                            let _ = writeln!(
+                                out,
+                                "coll {k} {g} {c} {a} {:#x} {}",
+                                cell.bw.to_bits(),
+                                cell.n
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restore one exported cell (counted as picked, so a warm-started
+    /// cell exploits instead of re-sweeping). Non-finite or negative
+    /// bandwidths are rejected, as in [`SelectorModel::import_cell`].
+    pub(super) fn import_cell(
+        &mut self,
+        kind: usize,
+        gclass: usize,
+        mclass: usize,
+        arm: usize,
+        bw_bits: u64,
+        n: u32,
+    ) {
+        let bw = f64::from_bits(bw_bits);
+        if kind < COLL_KINDS
+            && gclass < COLL_GCLASSES
+            && mclass < NCLASSES
+            && arm < COLL_ARMS
+            && bw.is_finite()
+            && bw >= 0.0
+        {
+            self.classes[kind][gclass][mclass].cells[arm] = Cell { bw, n, picked: n };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

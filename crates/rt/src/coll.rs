@@ -1,41 +1,280 @@
 //! Collective operations over the real-thread runtime ([`RtComm`]).
 //!
 //! The algorithms mirror `nemesis-core::coll` so the same communication
-//! patterns the paper benchmarks (§4.4) also run on real threads: a
-//! dissemination barrier, binomial-tree broadcast and reduce,
-//! recursive-doubling allreduce/allgather, linear gather/scatter and
-//! pairwise-exchange alltoall. All of them are built purely from
-//! [`RtComm::send`]/[`RtComm::recv`], so every byte flows through the
-//! selected [`RtLmt`](crate::comm::RtLmt) strategy.
+//! patterns the paper benchmarks (§4.4) also run on real threads, and —
+//! like the simulated stack — every collective here runs over a
+//! **group** ([`RtGroup`]): a subcommunicator holding a world-rank
+//! translation table. The classic free functions (`barrier`, `bcast`,
+//! …) are retained as wrappers over a transient universe group; the
+//! `*_in` variants take an explicit group and cost O(group), not
+//! O(universe). Ranks outside the group return immediately.
 //!
-//! Tags: collectives use the high tag space (`COLL_TAG_BASE +
-//! round`) so they never collide with application point-to-point tags,
-//! and each rank participates in rounds in a deterministic order, which
-//! keeps matching unambiguous without a communicator sequence number.
+//! Every collective has **two algorithms** (arm 0 = the classic fixed
+//! choice, arm 1 = an alternate with a different latency/bandwidth
+//! trade-off):
+//!
+//! * bcast: binomial tree vs a segmented chain (segments sized to the
+//!   eager cutoff so forwarding pipelines without rendezvous stalls);
+//! * reduce: binomial tree vs linear fold at the root (contributions
+//!   folded in ascending group-rank order, so results are pinned for
+//!   non-commutative-safe operators);
+//! * allgather: gather-to-root + bcast vs a neighbor ring;
+//! * alltoall: shifted-ring exchange vs XOR-pairwise (power-of-two
+//!   groups; the ring is reused otherwise, where the arms coincide).
+//!
+//! The arm is chosen per operation by [`RtComm::coll_alg`]: `Fixed`
+//! pins arm 0, `Alternate` pins arm 1, and `Learned` consults the
+//! collective bandit in [`RtTuner`](crate::tuner::RtTuner). On real
+//! threads only the operation's root queries the bandit; the chosen arm
+//! then rides a one-byte binomial broadcast to the rest of the group,
+//! so concurrent groups can never disagree about which algorithm an
+//! operation runs. Every member credits the arm with its own
+//! whole-operation wall-clock elapsed time on completion.
+//!
+//! Tags: collectives use the high tag space. Each operation takes a
+//! per-group sequence number at entry and derives its tags as
+//! `COLL_TAG_BASE + (group id << 18) + (seq << 8) + phase`, which keeps
+//! concurrent collectives on overlapping groups from cross-matching
+//! while per-`(src, tag)` FIFO matching disambiguates repeats.
 
-use crate::comm::RtComm;
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::comm::{RtComm, EAGER_MAX};
+use crate::tuner::RtCollKind;
 
 /// Base of the internal tag space used by collectives.
 pub const COLL_TAG_BASE: i32 = 1 << 24;
 
+/// Per-operation phase codes (disambiguated by the group sequence
+/// number, so a phase only needs to be unique within one operation;
+/// the barrier uses its round index `k` as the phase).
+const PHASE_BCAST: i32 = 0;
+const PHASE_REDUCE: i32 = 1;
+const PHASE_GATHER: i32 = 2;
+const PHASE_SCATTER: i32 = 3;
+const PHASE_ALLGATHER: i32 = 4;
+const PHASE_ALLTOALL: i32 = 5;
+/// One-byte learned-arm distribution broadcast.
+const PHASE_ARM: i32 = 6;
+
+/// How each collective picks its algorithm arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RtCollAlg {
+    /// Arm 0: the classic fixed algorithm.
+    #[default]
+    Fixed,
+    /// Arm 1: the alternate algorithm (exercises the second code path).
+    Alternate,
+    /// Ask the tuner's collective bandit per (kind, group size,
+    /// message class).
+    Learned,
+}
+
+impl RtCollAlg {
+    /// Read the selection from `NEMESIS_COLL_ALG` (the same knob the
+    /// simulated stack honors).
+    pub fn from_env() -> Self {
+        match std::env::var("NEMESIS_COLL_ALG").as_deref() {
+            Err(_) | Ok("") | Ok("auto") | Ok("fixed") => RtCollAlg::Fixed,
+            Ok("alternate") => RtCollAlg::Alternate,
+            Ok("learned") => RtCollAlg::Learned,
+            Ok(other) => {
+                panic!("NEMESIS_COLL_ALG={other:?}: expected fixed | alternate | learned")
+            }
+        }
+    }
+}
+
+/// A subcommunicator: an ordered set of world ranks. Group rank `i` is
+/// the rank that `ranks[i]` plays inside the group; collectives over a
+/// group touch only its members.
+///
+/// Groups are plain per-thread values — every member thread builds its
+/// own copy from the same rank list inside the `run_rt` body. The
+/// 6-bit id (a hash of the member list) and the per-group operation
+/// sequence number are deterministic functions of that list and the
+/// call history, so all members derive identical collective tags
+/// without sharing state.
+#[derive(Debug)]
+pub struct RtGroup {
+    /// `None` = the universe 0..n (identity translation, no table).
+    ranks: Option<Vec<usize>>,
+    n: usize,
+    id: i32,
+    /// Per-group collective sequence number, taken at operation start.
+    seq: Cell<i32>,
+}
+
+impl RtGroup {
+    /// The universe group over world ranks `0..n`.
+    pub fn universe(n: usize) -> Self {
+        assert!(n > 0, "empty universe group");
+        Self {
+            ranks: None,
+            n,
+            id: 0,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// A proper subgroup from an ordered, duplicate-free world-rank
+    /// list. The id is a 6-bit FNV fold of the list (1..=63, so it can
+    /// never collide with the universe's 0).
+    pub fn new(ranks: &[usize]) -> Self {
+        assert!(!ranks.is_empty(), "empty group");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, &r) in ranks.iter().enumerate() {
+            assert!(
+                !ranks[..i].contains(&r),
+                "duplicate world rank {r} in group"
+            );
+            h ^= r as u64 + 1;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            n: ranks.len(),
+            ranks: Some(ranks.to_vec()),
+            id: ((h % 63) + 1) as i32,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The group's 6-bit tag-space id.
+    pub fn id(&self) -> i32 {
+        self.id
+    }
+
+    /// Whether this is the identity (universe) group.
+    pub fn is_universe(&self) -> bool {
+        self.ranks.is_none()
+    }
+
+    /// Group rank → world rank. Panics if `gr` is out of bounds.
+    pub fn world_rank(&self, gr: usize) -> usize {
+        match &self.ranks {
+            None => {
+                assert!(gr < self.n, "group rank {gr} out of bounds");
+                gr
+            }
+            Some(rs) => rs[gr],
+        }
+    }
+
+    /// World rank → group rank, or `None` for non-members.
+    pub fn group_rank(&self, wr: usize) -> Option<usize> {
+        match &self.ranks {
+            None => (wr < self.n).then_some(wr),
+            Some(rs) => rs.iter().position(|&r| r == wr),
+        }
+    }
+
+    /// Whether the world rank is a member.
+    pub fn contains(&self, wr: usize) -> bool {
+        self.group_rank(wr).is_some()
+    }
+
+    /// The member list in group-rank order.
+    pub fn world_ranks(&self) -> Vec<usize> {
+        match &self.ranks {
+            None => (0..self.n).collect(),
+            Some(rs) => rs.clone(),
+        }
+    }
+
+    fn next_seq(&self) -> i32 {
+        let s = self.seq.get();
+        self.seq.set((s + 1) & 0x3FF);
+        s
+    }
+}
+
+/// The tag for one phase of one collective operation on a group.
+fn gtag(g: &RtGroup, seq: i32, phase: i32) -> i32 {
+    COLL_TAG_BASE + ((g.id() & 0x3F) << 18) + ((seq & 0x3FF) << 8) + phase
+}
+
+/// Resolve the algorithm arm for one operation. Under `Learned`, group
+/// rank `root` queries the bandit and the arm is distributed by a
+/// one-byte binomial broadcast so every member runs the same algorithm.
+fn pick_arm(
+    comm: &mut RtComm,
+    g: &RtGroup,
+    kind: RtCollKind,
+    bytes: usize,
+    seq: i32,
+    root: usize,
+    gr: usize,
+) -> usize {
+    match comm.coll_alg() {
+        RtCollAlg::Fixed => 0,
+        RtCollAlg::Alternate => 1,
+        RtCollAlg::Learned => {
+            let mut arm = [0u8; 1];
+            if gr == root {
+                arm[0] = comm
+                    .tuner()
+                    .map(|t| t.select_coll_alg(kind, g.size(), bytes))
+                    .unwrap_or(0) as u8;
+            }
+            if g.size() > 1 {
+                let tag = gtag(g, seq, PHASE_ARM);
+                bcast_binomial(comm, g, gr, root, tag, &mut arm);
+            }
+            (arm[0] as usize).min(crate::tuner::RT_COLL_ARMS - 1)
+        }
+    }
+}
+
+/// Credit the arm with this member's whole-operation elapsed time.
+fn credit(
+    comm: &RtComm,
+    g: &RtGroup,
+    kind: RtCollKind,
+    msg_bytes: usize,
+    arm: usize,
+    moved_bytes: usize,
+    start: Instant,
+) {
+    if comm.coll_alg() != RtCollAlg::Learned {
+        return;
+    }
+    if let Some(t) = comm.tuner() {
+        let nanos = start.elapsed().as_nanos() as u64;
+        t.record_coll(kind, g.size(), msg_bytes, arm, moved_bytes, nanos);
+    }
+}
+
 /// Dissemination barrier: ⌈log₂ n⌉ rounds, rank r signals r+2^k.
 pub fn barrier(comm: &mut RtComm) {
-    let n = comm.size();
-    let me = comm.rank();
-    if n == 1 {
+    let g = RtGroup::universe(comm.size());
+    barrier_in(comm, &g);
+}
+
+/// Dissemination barrier over a group; non-members return immediately.
+pub fn barrier_in(comm: &mut RtComm, g: &RtGroup) {
+    let Some(gr) = g.group_rank(comm.rank()) else {
+        return;
+    };
+    let seq = g.next_seq();
+    let gn = g.size();
+    if gn == 1 {
         return;
     }
     let token = [0u8; 1];
     let mut buf = [0u8; 1];
     let mut k = 0;
     let mut dist = 1;
-    while dist < n {
-        let dst = (me + dist) % n;
-        let src = (me + n - dist) % n;
-        let tag = COLL_TAG_BASE + k;
-        // Odd/even split inside each round avoids send-send cycles with
-        // the synchronous rendezvous path (1-byte tokens go eager, but
-        // keep the discipline uniform).
+    while dist < gn {
+        let dst = g.world_rank((gr + dist) % gn);
+        let src = g.world_rank((gr + gn - dist) % gn);
+        let tag = gtag(g, seq, k);
+        // 1-byte tokens go eager, so send-before-recv cannot cycle.
         comm.send(dst, tag, &token);
         comm.recv(Some(src), Some(tag), &mut buf);
         dist <<= 1;
@@ -43,22 +282,25 @@ pub fn barrier(comm: &mut RtComm) {
     }
 }
 
-/// Binomial-tree broadcast of `data` from `root`; every rank's `data`
-/// holds the payload on return.
-pub fn bcast(comm: &mut RtComm, root: usize, data: &mut [u8]) {
-    let n = comm.size();
-    let me = comm.rank();
-    if n == 1 {
-        return;
-    }
+/// Binomial-tree forwarding of `data` from group rank `root` under one
+/// tag (shared by bcast proper and the learned-arm distribution).
+fn bcast_binomial(
+    comm: &mut RtComm,
+    g: &RtGroup,
+    gr: usize,
+    root: usize,
+    tag: i32,
+    data: &mut [u8],
+) {
+    let gn = g.size();
     // Rotate so the root is virtual rank 0.
-    let vrank = (me + n - root) % n;
+    let vrank = (gr + gn - root) % gn;
     let mut mask = 1;
     // Receive phase: find our parent.
-    while mask < n {
+    while mask < gn {
         if vrank & mask != 0 {
-            let parent = (vrank - mask + root) % n;
-            comm.recv(Some(parent), Some(COLL_TAG_BASE + 1), data);
+            let parent = g.world_rank((vrank - mask + root) % gn);
+            comm.recv(Some(parent), Some(tag), data);
             break;
         }
         mask <<= 1;
@@ -66,12 +308,71 @@ pub fn bcast(comm: &mut RtComm, root: usize, data: &mut [u8]) {
     // Send phase: forward to children below our lowest set bit.
     mask >>= 1;
     while mask > 0 {
-        if vrank + mask < n {
-            let child = (vrank + mask + root) % n;
-            comm.send(child, COLL_TAG_BASE + 1, data);
+        if vrank + mask < gn {
+            let child = g.world_rank((vrank + mask + root) % gn);
+            comm.send(child, tag, data);
         }
         mask >>= 1;
     }
+}
+
+/// Chain broadcast: the group is one line rooted at `root`, and the
+/// payload moves down it in eager-sized segments so each hop forwards
+/// a segment while receiving the next — dependency edges only point
+/// down the chain, so blocking sends cannot cycle.
+fn bcast_chain(comm: &mut RtComm, g: &RtGroup, gr: usize, root: usize, tag: i32, data: &mut [u8]) {
+    let gn = g.size();
+    let pos = (gr + gn - root) % gn;
+    let pred = (pos > 0).then(|| g.world_rank((gr + gn - 1) % gn));
+    let succ = (pos + 1 < gn).then(|| g.world_rank((gr + 1) % gn));
+    let seg = EAGER_MAX.max(1);
+    let mut off = 0;
+    while off < data.len() {
+        let l = seg.min(data.len() - off);
+        if let Some(p) = pred {
+            comm.recv(Some(p), Some(tag), &mut data[off..off + l]);
+        }
+        if let Some(s) = succ {
+            comm.send(s, tag, &data[off..off + l]);
+        }
+        off += l;
+    }
+}
+
+/// Broadcast of `data` from world rank `root`; every rank's `data`
+/// holds the payload on return.
+pub fn bcast(comm: &mut RtComm, root: usize, data: &mut [u8]) {
+    let g = RtGroup::universe(comm.size());
+    bcast_in(comm, &g, root, data);
+}
+
+/// Broadcast over a group from group rank `root`.
+pub fn bcast_in(comm: &mut RtComm, g: &RtGroup, root: usize, data: &mut [u8]) {
+    let Some(gr) = g.group_rank(comm.rank()) else {
+        return;
+    };
+    assert!(root < g.size(), "bcast root out of group");
+    let seq = g.next_seq();
+    if g.size() == 1 || data.is_empty() {
+        return;
+    }
+    let start = Instant::now();
+    let arm = pick_arm(comm, g, RtCollKind::Bcast, data.len(), seq, root, gr);
+    let tag = gtag(g, seq, PHASE_BCAST);
+    if arm == 1 {
+        bcast_chain(comm, g, gr, root, tag, data);
+    } else {
+        bcast_binomial(comm, g, gr, root, tag, data);
+    }
+    credit(
+        comm,
+        g,
+        RtCollKind::Bcast,
+        data.len(),
+        arm,
+        data.len(),
+        start,
+    );
 }
 
 /// Element-wise reduction operator on byte-equal-length slices.
@@ -105,153 +406,291 @@ impl ReduceOp for SumU64 {
     }
 }
 
-/// Binomial-tree reduce to `root`: on return, `data` at the root holds
+/// Reduce to world rank `root`: on return, `data` at the root holds
 /// the reduction of every rank's input (other ranks' `data` is clobbered
 /// with partial results, as in MPI's sendbuf-aliasing mode).
 pub fn reduce(comm: &mut RtComm, root: usize, data: &mut [u8], op: &dyn ReduceOp) {
-    let n = comm.size();
-    let me = comm.rank();
-    if n == 1 {
+    let g = RtGroup::universe(comm.size());
+    reduce_in(comm, &g, root, data, op);
+}
+
+/// Reduce over a group to group rank `root`.
+pub fn reduce_in(comm: &mut RtComm, g: &RtGroup, root: usize, data: &mut [u8], op: &dyn ReduceOp) {
+    let Some(gr) = g.group_rank(comm.rank()) else {
+        return;
+    };
+    assert!(root < g.size(), "reduce root out of group");
+    let seq = g.next_seq();
+    let gn = g.size();
+    if gn == 1 {
         return;
     }
-    let vrank = (me + n - root) % n;
-    let mut tmp = vec![0u8; data.len()];
-    let mut mask = 1;
-    while mask < n {
-        if vrank & mask != 0 {
-            let parent = (vrank - mask + root) % n;
-            comm.send(parent, COLL_TAG_BASE + 2, data);
-            break;
+    let start = Instant::now();
+    let arm = pick_arm(comm, g, RtCollKind::Reduce, data.len(), seq, root, gr);
+    let tag = gtag(g, seq, PHASE_REDUCE);
+    if arm == 1 {
+        // Linear fold at the root, contributions combined in ascending
+        // group-rank order (own block folded at its own position) so
+        // the operand ordering is pinned independent of tree shape.
+        if gr == root {
+            let mut tmp = vec![0u8; data.len()];
+            let mut acc: Option<Vec<u8>> = None;
+            for q in 0..gn {
+                let contrib: &[u8] = if q == root {
+                    data
+                } else {
+                    comm.recv(Some(g.world_rank(q)), Some(tag), &mut tmp);
+                    &tmp
+                };
+                match &mut acc {
+                    None => acc = Some(contrib.to_vec()),
+                    Some(a) => op.combine(a, contrib),
+                }
+            }
+            data.copy_from_slice(&acc.unwrap());
+        } else {
+            comm.send(g.world_rank(root), tag, data);
         }
-        let peer = vrank | mask;
-        if peer < n {
-            let child = (peer + root) % n;
-            comm.recv(Some(child), Some(COLL_TAG_BASE + 2), &mut tmp);
-            op.combine(data, &tmp);
+    } else {
+        let vrank = (gr + gn - root) % gn;
+        let mut tmp = vec![0u8; data.len()];
+        let mut mask = 1;
+        while mask < gn {
+            if vrank & mask != 0 {
+                let parent = g.world_rank((vrank - mask + root) % gn);
+                comm.send(parent, tag, data);
+                break;
+            }
+            let peer = vrank | mask;
+            if peer < gn {
+                let child = g.world_rank((peer + root) % gn);
+                comm.recv(Some(child), Some(tag), &mut tmp);
+                op.combine(data, &tmp);
+            }
+            mask <<= 1;
         }
-        mask <<= 1;
     }
+    credit(
+        comm,
+        g,
+        RtCollKind::Reduce,
+        data.len(),
+        arm,
+        data.len(),
+        start,
+    );
 }
 
 /// Allreduce = reduce to 0 + bcast from 0 (the pattern MPICH2 uses for
 /// large payloads when reduce-scatter does not apply).
 pub fn allreduce(comm: &mut RtComm, data: &mut [u8], op: &dyn ReduceOp) {
-    reduce(comm, 0, data, op);
-    bcast(comm, 0, data);
+    let g = RtGroup::universe(comm.size());
+    allreduce_in(comm, &g, data, op);
 }
 
-/// Linear gather: every rank's `mine` lands in `all[r*len..]` at the root.
+/// Allreduce over a group.
+pub fn allreduce_in(comm: &mut RtComm, g: &RtGroup, data: &mut [u8], op: &dyn ReduceOp) {
+    reduce_in(comm, g, 0, data, op);
+    bcast_in(comm, g, 0, data);
+}
+
+/// Linear gather: every rank's `mine` lands in `all[r*len..]` at the
+/// world-rank `root`.
 pub fn gather(comm: &mut RtComm, root: usize, mine: &[u8], all: Option<&mut [u8]>) {
-    let n = comm.size();
-    let me = comm.rank();
+    let g = RtGroup::universe(comm.size());
+    gather_in(comm, &g, root, mine, all);
+}
+
+/// Linear gather over a group to group rank `root`; block indices are
+/// group ranks.
+pub fn gather_in(comm: &mut RtComm, g: &RtGroup, root: usize, mine: &[u8], all: Option<&mut [u8]>) {
+    let Some(gr) = g.group_rank(comm.rank()) else {
+        return;
+    };
+    assert!(root < g.size(), "gather root out of group");
+    let seq = g.next_seq();
+    let gn = g.size();
     let len = mine.len();
-    if me == root {
+    let tag = gtag(g, seq, PHASE_GATHER);
+    if gr == root {
         let all = all.expect("root must supply a gather buffer");
-        assert!(all.len() >= n * len, "gather buffer too small");
-        all[me * len..(me + 1) * len].copy_from_slice(mine);
-        for src in (0..n).filter(|&r| r != root) {
+        assert!(all.len() >= gn * len, "gather buffer too small");
+        all[gr * len..(gr + 1) * len].copy_from_slice(mine);
+        for q in (0..gn).filter(|&q| q != root) {
             comm.recv(
-                Some(src),
-                Some(COLL_TAG_BASE + 3),
-                &mut all[src * len..(src + 1) * len],
+                Some(g.world_rank(q)),
+                Some(tag),
+                &mut all[q * len..(q + 1) * len],
             );
         }
     } else {
-        comm.send(root, COLL_TAG_BASE + 3, mine);
+        comm.send(g.world_rank(root), tag, mine);
     }
 }
 
 /// Linear scatter: the root's `all[r*len..]` lands in each rank's `mine`.
 pub fn scatter(comm: &mut RtComm, root: usize, all: Option<&[u8]>, mine: &mut [u8]) {
-    let n = comm.size();
-    let me = comm.rank();
+    let g = RtGroup::universe(comm.size());
+    scatter_in(comm, &g, root, all, mine);
+}
+
+/// Linear scatter over a group from group rank `root`; block indices
+/// are group ranks.
+pub fn scatter_in(
+    comm: &mut RtComm,
+    g: &RtGroup,
+    root: usize,
+    all: Option<&[u8]>,
+    mine: &mut [u8],
+) {
+    let Some(gr) = g.group_rank(comm.rank()) else {
+        return;
+    };
+    assert!(root < g.size(), "scatter root out of group");
+    let seq = g.next_seq();
+    let gn = g.size();
     let len = mine.len();
-    if me == root {
+    let tag = gtag(g, seq, PHASE_SCATTER);
+    if gr == root {
         let all = all.expect("root must supply a scatter buffer");
-        assert!(all.len() >= n * len, "scatter buffer too small");
-        for dst in (0..n).filter(|&r| r != root) {
-            comm.send(dst, COLL_TAG_BASE + 4, &all[dst * len..(dst + 1) * len]);
+        assert!(all.len() >= gn * len, "scatter buffer too small");
+        for q in (0..gn).filter(|&q| q != root) {
+            comm.send(g.world_rank(q), tag, &all[q * len..(q + 1) * len]);
         }
-        mine.copy_from_slice(&all[me * len..(me + 1) * len]);
+        mine.copy_from_slice(&all[gr * len..(gr + 1) * len]);
     } else {
-        comm.recv(Some(root), Some(COLL_TAG_BASE + 4), mine);
+        comm.recv(Some(g.world_rank(root)), Some(tag), mine);
     }
 }
 
-/// Allgather by gather-to-0 + bcast (simple and deadlock-free under the
-/// synchronous rendezvous; ring allgather is measured separately in the
-/// sim crate).
+/// Allgather: every rank's `mine` lands in everyone's `all[r*len..]`.
 pub fn allgather(comm: &mut RtComm, mine: &[u8], all: &mut [u8]) {
-    let root = 0;
-    if comm.rank() == root {
-        gather(comm, root, mine, Some(all));
-    } else {
-        gather(comm, root, mine, None);
-    }
-    bcast(comm, root, all);
+    let g = RtGroup::universe(comm.size());
+    allgather_in(comm, &g, mine, all);
 }
 
-/// Pairwise-exchange alltoall: in round k, rank r exchanges with r ^ k
-/// (for power-of-two n) or uses the shifted ring schedule otherwise.
-/// `send[r*len..]` is what we send to rank r; `recv[r*len..]` is what we
-/// got from rank r.
+/// Allgather over a group; block indices are group ranks.
+pub fn allgather_in(comm: &mut RtComm, g: &RtGroup, mine: &[u8], all: &mut [u8]) {
+    let Some(gr) = g.group_rank(comm.rank()) else {
+        return;
+    };
+    let seq = g.next_seq();
+    let gn = g.size();
+    let len = mine.len();
+    assert!(all.len() >= gn * len, "allgather buffer too small");
+    all[gr * len..(gr + 1) * len].copy_from_slice(mine);
+    if gn == 1 || len == 0 {
+        return;
+    }
+    let start = Instant::now();
+    let arm = pick_arm(comm, g, RtCollKind::Allgather, len, seq, 0, gr);
+    if arm == 1 {
+        // Neighbor ring: in round k every member forwards the block it
+        // received last round. The last group rank receives first and
+        // everyone else sends first, so the blocking-rendezvous chain
+        // unwinds from the end of the ring.
+        let tag = gtag(g, seq, PHASE_ALLGATHER);
+        let right = g.world_rank((gr + 1) % gn);
+        let left = g.world_rank((gr + gn - 1) % gn);
+        for k in 0..gn - 1 {
+            let sb = (gr + gn - k) % gn;
+            let rb = (gr + gn - k - 1) % gn;
+            if gr + 1 < gn {
+                comm.send(right, tag, &all[sb * len..(sb + 1) * len]);
+                comm.recv(Some(left), Some(tag), &mut all[rb * len..(rb + 1) * len]);
+            } else {
+                comm.recv(Some(left), Some(tag), &mut all[rb * len..(rb + 1) * len]);
+                comm.send(right, tag, &all[sb * len..(sb + 1) * len]);
+            }
+        }
+    } else {
+        // Gather to group rank 0 + bcast (the nested operations take
+        // their own sequence numbers and arm decisions).
+        if gr == 0 {
+            let (head, _) = all.split_at_mut(gn * len);
+            gather_in(comm, g, 0, mine, Some(head));
+        } else {
+            gather_in(comm, g, 0, mine, None);
+        }
+        let (head, _) = all.split_at_mut(gn * len);
+        bcast_in(comm, g, 0, head);
+    }
+    credit(comm, g, RtCollKind::Allgather, len, arm, gn * len, start);
+}
+
+/// Alltoall: `send[r*len..]` is what we send to rank r; `recv[r*len..]`
+/// is what we got from rank r.
 pub fn alltoall(comm: &mut RtComm, send: &[u8], recv: &mut [u8], len: usize) {
-    let n = comm.size();
-    let me = comm.rank();
+    let g = RtGroup::universe(comm.size());
+    alltoall_in(comm, &g, send, recv, len);
+}
+
+/// Alltoall over a group; block indices are group ranks.
+pub fn alltoall_in(comm: &mut RtComm, g: &RtGroup, send: &[u8], recv: &mut [u8], len: usize) {
+    let Some(gr) = g.group_rank(comm.rank()) else {
+        return;
+    };
+    let seq = g.next_seq();
+    let gn = g.size();
     assert!(
-        send.len() >= n * len && recv.len() >= n * len,
+        send.len() >= gn * len && recv.len() >= gn * len,
         "alltoall buffers too small"
     );
-    recv[me * len..(me + 1) * len].copy_from_slice(&send[me * len..(me + 1) * len]);
-    if n.is_power_of_two() {
-        for k in 1..n {
-            let peer = me ^ k;
-            let tag = COLL_TAG_BASE + 5 + k as i32;
-            // XOR pairing is symmetric: lower rank sends first.
-            if me < peer {
-                comm.send(peer, tag, &send[peer * len..(peer + 1) * len]);
-                comm.recv(
-                    Some(peer),
-                    Some(tag),
-                    &mut recv[peer * len..(peer + 1) * len],
-                );
+    recv[gr * len..(gr + 1) * len].copy_from_slice(&send[gr * len..(gr + 1) * len]);
+    if gn == 1 || len == 0 {
+        return;
+    }
+    let start = Instant::now();
+    let arm = pick_arm(comm, g, RtCollKind::Alltoall, len, seq, 0, gr);
+    let tag = gtag(g, seq, PHASE_ALLTOALL);
+    if arm == 1 && gn.is_power_of_two() {
+        // XOR pairing: in round k, group rank r exchanges with r ^ k.
+        // The pairing is symmetric; the lower rank sends first.
+        for k in 1..gn {
+            let peer = gr ^ k;
+            let pw = g.world_rank(peer);
+            if gr < peer {
+                comm.send(pw, tag, &send[peer * len..(peer + 1) * len]);
+                comm.recv(Some(pw), Some(tag), &mut recv[peer * len..(peer + 1) * len]);
             } else {
-                let (a, b) = split_mut(recv, peer * len, len);
-                comm.recv(Some(peer), Some(tag), a);
-                comm.send(peer, tag, &send[peer * len..(peer + 1) * len]);
-                let _ = b;
+                comm.recv(Some(pw), Some(tag), &mut recv[peer * len..(peer + 1) * len]);
+                comm.send(pw, tag, &send[peer * len..(peer + 1) * len]);
             }
         }
     } else {
-        for k in 1..n {
-            let dst = (me + k) % n;
-            let src = (me + n - k) % n;
-            let tag = COLL_TAG_BASE + 5 + k as i32;
-            // Odd/even phase split breaks the ring cycle.
-            if me.is_multiple_of(2) {
-                comm.send(dst, tag, &send[dst * len..(dst + 1) * len]);
-                comm.recv(Some(src), Some(tag), &mut recv[src * len..(src + 1) * len]);
+        // Shifted ring: in round k, send to gr+k and receive from gr-k.
+        // A member sends first iff its destination does not wrap, which
+        // puts both orderings in every +k cycle and keeps the blocking
+        // rendezvous from cycling for any group size.
+        for k in 1..gn {
+            let dst_g = (gr + k) % gn;
+            let src_g = (gr + gn - k) % gn;
+            let dst = g.world_rank(dst_g);
+            let src = g.world_rank(src_g);
+            if gr + k < gn {
+                comm.send(dst, tag, &send[dst_g * len..(dst_g + 1) * len]);
+                comm.recv(
+                    Some(src),
+                    Some(tag),
+                    &mut recv[src_g * len..(src_g + 1) * len],
+                );
             } else {
-                let (a, _) = split_mut(recv, src * len, len);
-                comm.recv(Some(src), Some(tag), a);
-                comm.send(dst, tag, &send[dst * len..(dst + 1) * len]);
+                comm.recv(
+                    Some(src),
+                    Some(tag),
+                    &mut recv[src_g * len..(src_g + 1) * len],
+                );
+                comm.send(dst, tag, &send[dst_g * len..(dst_g + 1) * len]);
             }
         }
     }
-}
-
-/// Borrow `buf[at..at+len]` mutably (helper keeping the borrow checker
-/// happy when receiving into a slice of a larger buffer).
-fn split_mut(buf: &mut [u8], at: usize, len: usize) -> (&mut [u8], &mut [u8]) {
-    let (_, rest) = buf.split_at_mut(at);
-    let (mid, tail) = rest.split_at_mut(len);
-    (mid, tail)
+    credit(comm, g, RtCollKind::Alltoall, len, arm, gn * len, start);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::comm::{run_rt, RtLmt};
+    use crate::comm::{run_rt, run_rt_cfg, RtConfig, RtLmt};
 
     const STRATEGIES: [RtLmt; 3] = [RtLmt::DoubleBuffer, RtLmt::Direct, RtLmt::Offload];
 
@@ -410,5 +849,147 @@ mod tests {
                 });
             }
         }
+    }
+
+    fn alt_cfg(alg: RtCollAlg) -> RtConfig {
+        RtConfig {
+            coll_alg: alg,
+            ..RtConfig::default()
+        }
+    }
+
+    #[test]
+    fn group_translation_roundtrip() {
+        let g = RtGroup::new(&[5, 2, 9]);
+        assert_eq!(g.size(), 3);
+        assert!(!g.is_universe());
+        for gr in 0..g.size() {
+            assert_eq!(g.group_rank(g.world_rank(gr)), Some(gr));
+        }
+        assert_eq!(g.group_rank(7), None);
+        assert!(g.contains(9) && !g.contains(0));
+        assert_eq!(g.world_ranks(), vec![5, 2, 9]);
+        let u = RtGroup::universe(4);
+        assert!(u.is_universe());
+        assert_eq!(u.id(), 0);
+        assert_eq!(u.group_rank(3), Some(3));
+        assert_eq!(u.group_rank(4), None);
+        assert_ne!(RtGroup::new(&[5, 2, 9]).id(), 0);
+    }
+
+    #[test]
+    fn subgroup_collectives_skip_non_members() {
+        for alg in [RtCollAlg::Fixed, RtCollAlg::Alternate, RtCollAlg::Learned] {
+            run_rt_cfg(4, RtLmt::Direct, alt_cfg(alg), |comm| {
+                let g = RtGroup::new(&[3, 1, 0]);
+                let me = comm.rank();
+                // Group-rank order is [3, 1, 0]: world 3 is group 0.
+                let len = 20_000;
+                let mut data = vec![0u8; len];
+                if me == 3 {
+                    data.fill(0xAB);
+                }
+                bcast_in(comm, &g, 0, &mut data);
+                if g.contains(me) {
+                    assert!(data.iter().all(|&b| b == 0xAB), "{alg:?} rank {me}");
+                } else {
+                    assert!(data.iter().all(|&b| b == 0), "{alg:?} non-member touched");
+                }
+                let mut all = vec![0u8; 3 * len];
+                let mine = vec![me as u8 + 1; len];
+                allgather_in(comm, &g, &mine, &mut all);
+                if let Some(gr) = g.group_rank(me) {
+                    let _ = gr;
+                    for (q, &wr) in [3usize, 1, 0].iter().enumerate() {
+                        assert!(
+                            all[q * len..(q + 1) * len]
+                                .iter()
+                                .all(|&b| b == wr as u8 + 1),
+                            "{alg:?} rank {me} block {q}"
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn alternate_arms_match_fixed() {
+        // Every collective's arm 1 must agree byte-for-byte with arm 0.
+        for alg in [RtCollAlg::Alternate, RtCollAlg::Learned] {
+            for n in [3usize, 4] {
+                run_rt_cfg(n, RtLmt::Direct, alt_cfg(alg), |comm| {
+                    let me = comm.rank();
+                    let n = comm.size();
+                    for len in [64usize, EAGER_MAX, EAGER_MAX + 1, 100_000] {
+                        let mut data = vec![0u8; len];
+                        if me == 1 {
+                            data.iter_mut()
+                                .enumerate()
+                                .for_each(|(i, b)| *b = (i % 253) as u8);
+                        }
+                        bcast(comm, 1, &mut data);
+                        assert!(
+                            data.iter().enumerate().all(|(i, &b)| b == (i % 253) as u8),
+                            "{alg:?} bcast n={n} len={len}"
+                        );
+
+                        let mut acc = vec![me as u8 + 1; len];
+                        allreduce(comm, &mut acc, &SumU8);
+                        let want = (1..=n as u8).sum::<u8>();
+                        assert!(acc.iter().all(|&b| b == want), "{alg:?} allreduce");
+
+                        let mine = vec![me as u8 ^ 0x5A; len];
+                        let mut all = vec![0u8; n * len];
+                        allgather(comm, &mine, &mut all);
+                        for r in 0..n {
+                            assert!(
+                                all[r * len..(r + 1) * len]
+                                    .iter()
+                                    .all(|&b| b == r as u8 ^ 0x5A),
+                                "{alg:?} allgather n={n} len={len} block {r}"
+                            );
+                        }
+
+                        let mut send = vec![0u8; n * len];
+                        for r in 0..n {
+                            send[r * len..(r + 1) * len].fill((me * 16 + r) as u8);
+                        }
+                        let mut recv = vec![0u8; n * len];
+                        alltoall(comm, &send, &mut recv, len);
+                        for r in 0..n {
+                            assert!(
+                                recv[r * len..(r + 1) * len]
+                                    .iter()
+                                    .all(|&b| b == (r * 16 + me) as u8),
+                                "{alg:?} alltoall n={n} len={len} block {r}"
+                            );
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn learned_mode_credits_the_bandit() {
+        let tuner = crate::tuner::RtTuner::new(4);
+        let cfg = RtConfig {
+            tuner: Some(std::sync::Arc::clone(&tuner)),
+            ..alt_cfg(RtCollAlg::Learned)
+        };
+        run_rt_cfg(4, RtLmt::Direct, cfg, |comm| {
+            let g = RtGroup::universe(comm.size());
+            let mut all = vec![0u8; 4 * 4096];
+            let mine = vec![comm.rank() as u8; 4096];
+            for _ in 0..8 {
+                allgather_in(comm, &g, &mine, &mut all);
+            }
+        });
+        let (bw0, n0) = tuner.coll_cell(RtCollKind::Allgather, 4, 4096, 0);
+        let (bw1, n1) = tuner.coll_cell(RtCollKind::Allgather, 4, 4096, 1);
+        // 8 ops × 4 members credited somewhere across the two arms.
+        assert!(n0 + n1 >= 8, "arms never credited: {n0}+{n1}");
+        assert!(bw0 >= 0.0 && bw1 >= 0.0);
     }
 }

@@ -56,6 +56,11 @@ pub struct RtConfig {
     /// Chunk schedule of the double-buffer ring (the rt mirror of
     /// `NemesisConfig::chunk_schedule`, bridged by `nemesis::rt_config_from`).
     pub chunk_schedule: RtChunkScheduleSelect,
+    /// How collectives pick their algorithm arm (the rt mirror of
+    /// `NemesisConfig::coll_alg`). `Learned` consults the tuner's
+    /// collective bandit; `run_rt_cfg` creates a tuner automatically
+    /// when none is supplied.
+    pub coll_alg: crate::coll::RtCollAlg,
     /// Per-pair learned state. `run_rt_cfg` creates one automatically
     /// when the schedule is `Learned`; pass an explicit tuner to keep
     /// learned state across runs (the report binary does, to measure a
@@ -79,6 +84,7 @@ impl Default for RtConfig {
             spin_limit: crate::backoff::DEFAULT_SPIN_LIMIT,
             recv_batch: 16,
             chunk_schedule: RtChunkScheduleSelect::default(),
+            coll_alg: crate::coll::RtCollAlg::from_env(),
             tuner: None,
             rndv_timeout: Some(std::time::Duration::from_secs(30)),
         }
@@ -226,6 +232,11 @@ impl RtComm {
     /// The learned-state tuner, when the configuration carries one.
     pub fn tuner(&self) -> Option<&Arc<RtTuner>> {
         self.shared.cfg.tuner.as_ref()
+    }
+
+    /// How collectives pick their algorithm arm.
+    pub fn coll_alg(&self) -> crate::coll::RtCollAlg {
+        self.shared.cfg.coll_alg
     }
 
     fn backoff(&self) -> Backoff {
@@ -503,7 +514,10 @@ pub fn run_rt_cfg<F>(n: usize, lmt: RtLmt, mut cfg: RtConfig, body: F)
 where
     F: Fn(&mut RtComm) + Send + Sync,
 {
-    if cfg.chunk_schedule == RtChunkScheduleSelect::Learned && cfg.tuner.is_none() {
+    if (cfg.chunk_schedule == RtChunkScheduleSelect::Learned
+        || cfg.coll_alg == crate::coll::RtCollAlg::Learned)
+        && cfg.tuner.is_none()
+    {
         cfg.tuner = Some(RtTuner::new(n));
     }
     let backend = backend_for_schedule(lmt, n, cfg.chunk_schedule, cfg.tuner.as_ref());

@@ -33,7 +33,10 @@
 //!   hardware.
 //! * [`coll`] — collectives (barrier, bcast, reduce, allreduce, gather,
 //!   scatter, allgather, alltoall) over [`comm`], so the paper's §4.4
-//!   patterns also run on real threads.
+//!   patterns also run on real threads. Every collective runs over an
+//!   [`RtGroup`](coll::RtGroup) subcommunicator, with two algorithms
+//!   per operation and a learned per-(group size, message class)
+//!   algorithm choice when the tuner is attached.
 
 pub mod backoff;
 pub mod cellpool;
@@ -46,8 +49,9 @@ pub mod tuner;
 
 pub use backoff::Backoff;
 pub use cellpool::{CellPool, FreeStack};
+pub use coll::{RtCollAlg, RtGroup};
 pub use comm::{run_rt, run_rt_cfg, run_rt_with, run_rt_with_cfg, RtComm, RtConfig, RtLmt};
 pub use copy::{CopyEngine, DoubleBufferPipe, OffloadEngine, PipeSchedule};
 pub use lmt::{backend_for, backend_for_schedule, RtLmtBackend, ALL_RT_LMTS, ALL_RT_STRIPED};
 pub use queue::{NemQueue, QueueFull};
-pub use tuner::{RtChunkScheduleSelect, RtTransferSample, RtTuner};
+pub use tuner::{RtChunkScheduleSelect, RtCollKind, RtTransferSample, RtTuner};

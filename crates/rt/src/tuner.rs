@@ -479,15 +479,186 @@ impl RtPairSelector {
     }
 }
 
+/// The learned collective kinds — the rt mirror of the simulated
+/// selector's `CollKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtCollKind {
+    Bcast,
+    Reduce,
+    Allgather,
+    Alltoall,
+}
+
+impl RtCollKind {
+    fn code(self) -> usize {
+        match self {
+            RtCollKind::Bcast => 0,
+            RtCollKind::Reduce => 1,
+            RtCollKind::Allgather => 2,
+            RtCollKind::Alltoall => 3,
+        }
+    }
+}
+
+/// Learned collective kinds.
+const COLL_KINDS: usize = 4;
+/// Algorithm arms per collective (0 = classic fixed, 1 = alternate).
+pub const RT_COLL_ARMS: usize = 2;
+/// Group-size classes: 2, 3–4, 5–8, 9+ members.
+const COLL_GCLASSES: usize = 4;
+/// Collective message classes start at 2^10 (collectives run far below
+/// the rendezvous switchover too).
+const COLL_CLASS_BASE: u32 = 10;
+const COLL_NCLASSES: usize = 8;
+
+fn coll_gclass_of(n: usize) -> usize {
+    match n {
+        0..=2 => 0,
+        3..=4 => 1,
+        5..=8 => 2,
+        _ => 3,
+    }
+}
+
+fn coll_class_of(bytes: usize) -> usize {
+    let lg = if bytes == 0 { 0 } else { bytes.ilog2() };
+    (lg.saturating_sub(COLL_CLASS_BASE) as usize).min(COLL_NCLASSES - 1)
+}
+
+/// One (kind, group-size class, message class) cell of the collective
+/// algorithm bandit — the same sweep → probe → exploit skeleton as
+/// [`RtPairSelector`], over [`RT_COLL_ARMS`] arms. Unlike the simulated
+/// model there is no `(group id, sequence)` memo: on real threads only
+/// one member (the operation's root) consults the bandit, and the
+/// chosen arm rides a one-byte broadcast to the rest of the group, so
+/// the decision is made exactly once per operation.
+#[derive(Debug, Clone, Copy)]
+struct CollClass {
+    cells: [SelCell; RT_COLL_ARMS],
+    tick: u64,
+    next_probe: u64,
+    probe_interval: u64,
+    probe_cursor: usize,
+    probe_streak: u8,
+    incumbent: usize,
+}
+
+impl Default for CollClass {
+    fn default() -> Self {
+        Self {
+            cells: [SelCell::default(); RT_COLL_ARMS],
+            tick: 0,
+            next_probe: 0,
+            probe_interval: SEL_PROBE_START,
+            probe_cursor: 0,
+            probe_streak: 0,
+            incumbent: usize::MAX,
+        }
+    }
+}
+
+impl CollClass {
+    fn pick(&mut self) -> usize {
+        self.tick += 1;
+        if let Some(arm) = (0..RT_COLL_ARMS)
+            .find(|&a| self.cells[a].n < SEL_MIN_PROBE && self.cells[a].picked < 2 * SEL_MIN_PROBE)
+        {
+            self.cells[arm].picked += 1;
+            return arm;
+        }
+        if self.probe_streak > 0 {
+            self.probe_streak -= 1;
+            let arm = self.probe_cursor % RT_COLL_ARMS;
+            self.cells[arm].picked += 1;
+            return arm;
+        }
+        if self.next_probe == 0 {
+            self.next_probe = self.tick + self.probe_interval;
+        } else if self.tick >= self.next_probe {
+            self.probe_interval = (self.probe_interval * 2).min(SEL_PROBE_CAP);
+            self.next_probe = self.tick + self.probe_interval;
+            self.probe_cursor = (self.probe_cursor + 1) % RT_COLL_ARMS;
+            self.probe_streak = 1;
+            let arm = self.probe_cursor;
+            self.cells[arm].picked += 1;
+            return arm;
+        }
+        let best = (0..RT_COLL_ARMS)
+            .max_by(|&a, &b| self.cells[a].bw.total_cmp(&self.cells[b].bw))
+            .unwrap_or(0);
+        let inc = self.incumbent;
+        if inc >= RT_COLL_ARMS || self.cells[best].bw > self.cells[inc].bw * HYSTERESIS {
+            self.incumbent = best;
+        }
+        self.cells[self.incumbent].picked += 1;
+        self.incumbent
+    }
+}
+
+/// The collective algorithm bandit — run-global (a collective involves
+/// a whole group, not a pair), keyed by (kind, group-size class,
+/// message class). The rt mirror of the simulated `CollAlgModel`;
+/// rewards are wall-clock whole-operation bandwidths.
+#[derive(Debug)]
+pub struct RtCollModel {
+    classes: [[[CollClass; COLL_NCLASSES]; COLL_GCLASSES]; COLL_KINDS],
+}
+
+impl Default for RtCollModel {
+    fn default() -> Self {
+        Self {
+            classes: [[[CollClass::default(); COLL_NCLASSES]; COLL_GCLASSES]; COLL_KINDS],
+        }
+    }
+}
+
+impl RtCollModel {
+    fn select(&mut self, kind: RtCollKind, gsize: usize, bytes: usize) -> usize {
+        self.classes[kind.code()][coll_gclass_of(gsize)][coll_class_of(bytes)].pick()
+    }
+
+    fn observe(
+        &mut self,
+        kind: RtCollKind,
+        gsize: usize,
+        msg_bytes: usize,
+        arm: usize,
+        moved_bytes: usize,
+        nanos: u64,
+    ) {
+        if arm >= RT_COLL_ARMS || moved_bytes == 0 || nanos == 0 {
+            return;
+        }
+        let bw = moved_bytes as f64 / nanos as f64;
+        let cell = &mut self.classes[kind.code()][coll_gclass_of(gsize)][coll_class_of(msg_bytes)]
+            .cells[arm];
+        cell.bw = if cell.n <= 1 {
+            bw
+        } else {
+            ALPHA * bw + (1.0 - ALPHA) * cell.bw
+        };
+        cell.n += 1;
+    }
+
+    fn cell(&self, kind: RtCollKind, gsize: usize, msg_bytes: usize, arm: usize) -> (f64, u32) {
+        let c = self.classes[kind.code()][coll_gclass_of(gsize)][coll_class_of(msg_bytes)].cells
+            [arm.min(RT_COLL_ARMS - 1)];
+        (c.bw, c.n)
+    }
+}
+
 /// The per-run tuner. Pair cells are **lazily materialized** — the map
 /// starts empty whatever the rank count, and a directed pair's
 /// [`RtPairTune`] is allocated on its first recorded traffic (the rt
 /// mirror of the simulated tuner's sublinear state: resident cells
 /// track *touched* pairs, never ranks²). Read-only queries on an
-/// untouched pair answer the defaults without allocating.
+/// untouched pair answer the defaults without allocating. The
+/// collective algorithm bandit rides along as one run-global model
+/// (inline arrays, no heap).
 #[derive(Debug)]
 pub struct RtTuner {
     pairs: RwLock<HashMap<(usize, usize), Arc<RtPairTune>>>,
+    coll: Mutex<RtCollModel>,
 }
 
 impl RtTuner {
@@ -496,7 +667,43 @@ impl RtTuner {
     pub fn new(_nranks: usize) -> Arc<Self> {
         Arc::new(Self {
             pairs: RwLock::new(HashMap::new()),
+            coll: Mutex::new(RtCollModel::default()),
         })
+    }
+
+    /// Pick the algorithm arm for one collective operation. Call this
+    /// from exactly one member per operation (the root) — the arm is
+    /// then distributed to the rest of the group in-band, which is what
+    /// keeps concurrent groups consistent without a shared memo.
+    pub fn select_coll_alg(&self, kind: RtCollKind, gsize: usize, bytes: usize) -> usize {
+        self.coll.lock().select(kind, gsize, bytes)
+    }
+
+    /// Credit an arm with one completed collective's whole-operation
+    /// elapsed wall-clock time.
+    pub fn record_coll(
+        &self,
+        kind: RtCollKind,
+        gsize: usize,
+        msg_bytes: usize,
+        arm: usize,
+        moved_bytes: usize,
+        nanos: u64,
+    ) {
+        self.coll
+            .lock()
+            .observe(kind, gsize, msg_bytes, arm, moved_bytes, nanos);
+    }
+
+    /// The learned `(bandwidth, samples)` for a collective arm.
+    pub fn coll_cell(
+        &self,
+        kind: RtCollKind,
+        gsize: usize,
+        msg_bytes: usize,
+        arm: usize,
+    ) -> (f64, u32) {
+        self.coll.lock().cell(kind, gsize, msg_bytes, arm)
     }
 
     /// The directed pair's learned state, materializing its cell on

@@ -266,35 +266,17 @@ pub fn replay_on(
         let sbuf = os.alloc_local(p, max_len.max(1));
         os.with_data_mut(p, sbuf, |d| d.fill(me as u8 + 1));
         os.touch_write(p, sbuf, 0, max_len.max(1));
-        // `Comm::barrier` is a collective over the whole universe; when
-        // the trace drives only a subset of a larger universe, sync the
-        // active ranks with a linear fan-in/fan-out through rank 0
-        // instead (1-byte eager messages in a tag range disjoint from
-        // the positive transfer tags).
+        // When the trace drives only a subset of a larger universe, the
+        // sync points run a real dissemination barrier over the active
+        // subgroup — O(active log active) instead of the whole universe
+        // (the former linear fan-in/fan-out through rank 0 is gone now
+        // that collectives take groups).
         let active = trace.nranks;
-        let subset = comm.size() != active;
-        let sync_buf = os.alloc_local(p, 1);
-        let mut sync_seq: i32 = 0;
-        let mut sync = |pending: &mut Vec<Request>| {
+        let group = nemesis_core::CommGroup::new(&(0..active).collect::<Vec<_>>());
+        let sync = |pending: &mut Vec<Request>| {
             comm.waitall(pending);
             pending.clear();
-            if !subset {
-                comm.barrier();
-                return;
-            }
-            sync_seq += 1;
-            let tag = i32::MIN / 2 + sync_seq;
-            if me == 0 {
-                for r in 1..active {
-                    comm.recv(Some(r), Some(tag), sync_buf, 0, 1);
-                }
-                for r in 1..active {
-                    comm.send(r, tag, sync_buf, 0, 1);
-                }
-            } else {
-                comm.send(0, tag, sync_buf, 0, 1);
-                comm.recv(Some(0), Some(tag), sync_buf, 0, 1);
-            }
+            comm.barrier_in(&group);
         };
         let mut pending: Vec<Request> = Vec::new();
         let mut tag = 0i32;

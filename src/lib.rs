@@ -89,6 +89,11 @@ pub fn rt_config_from(cfg: &core::NemesisConfig) -> rt::RtConfig {
             core::ChunkScheduleSelect::Fixed => rt::RtChunkScheduleSelect::Fixed,
             core::ChunkScheduleSelect::Learned => rt::RtChunkScheduleSelect::Learned,
         },
+        coll_alg: match cfg.coll_alg {
+            core::CollAlgSelect::Fixed => rt::RtCollAlg::Fixed,
+            core::CollAlgSelect::Alternate => rt::RtCollAlg::Alternate,
+            core::CollAlgSelect::Learned => rt::RtCollAlg::Learned,
+        },
         ..rt::RtConfig::default()
     }
 }
@@ -104,6 +109,7 @@ mod tests {
             progress_batch: 5,
             cell_payload: 8 << 10,
             chunk_schedule: core::ChunkScheduleSelect::Learned,
+            coll_alg: core::CollAlgSelect::Learned,
             ..core::NemesisConfig::default()
         };
         let rtc = rt_config_from(&cfg);
@@ -112,6 +118,7 @@ mod tests {
         assert_eq!(rtc.cell_size, 8 << 10);
         assert_eq!(rtc.queue_capacity, cfg.queue_slots);
         assert_eq!(rtc.chunk_schedule, rt::RtChunkScheduleSelect::Learned);
+        assert_eq!(rtc.coll_alg, rt::RtCollAlg::Learned);
         // Backend selections bridge onto their rt analogues.
         assert_eq!(rt_lmt_from(core::LmtSelect::Cma), rt::RtLmt::Cma);
         assert_eq!(

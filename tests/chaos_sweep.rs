@@ -205,6 +205,79 @@ fn exhausted_retry_budget_fails_loudly_instead_of_hanging() {
     assert!(panicked.load(std::sync::atomic::Ordering::Relaxed));
 }
 
+/// A collective under chaos: a 3-member subgroup of a 4-rank universe
+/// runs allgather rounds over a 2-rail stripe while the KNEM rail
+/// aborts and DONE packets are eaten. The faulted run must land the
+/// byte-identical result of its fault-free twin (both are collected and
+/// compared, and both are checked against the deterministic pattern),
+/// and nothing may leak.
+#[test]
+fn subgroup_allgather_survives_rail_failure_and_dropped_done() {
+    use nemesis::core::CommGroup;
+    use parking_lot::Mutex;
+
+    let rounds = 3usize;
+    let len = 192u64 << 10; // rendezvous-sized: rides the stripe
+    let members = [2usize, 0, 1]; // scrambled: world 2 is group rank 0
+
+    let run =
+        |plan: Option<&str>| -> Vec<Vec<u8>> {
+            let mut cfg = NemesisConfig::with_lmt(LmtSelect::Striped { rails: 2 });
+            cfg.fault_plan = plan.map(|p| FaultPlan::parse(p).expect("plan"));
+            cfg.retry_deadline_ps = 2_000_000_000; // 2 ms sim
+            let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+            let os = Arc::new(Os::new(Arc::clone(&machine)));
+            let nem = Nemesis::new(Arc::clone(&os), 4, cfg);
+            let results: Arc<Mutex<Vec<Vec<u8>>>> =
+                Arc::new(Mutex::new(vec![Vec::new(); members.len()]));
+            let collected = Arc::clone(&results);
+            run_simulation(machine, &[0, 4, 2, 6], move |p| {
+                let comm = nem.attach(p);
+                let os = comm.os();
+                let me = comm.rank();
+                let g = CommGroup::new(&members);
+                let gn = g.size();
+                let mine = os.alloc(me, len);
+                let all = os.alloc(me, len * gn as u64);
+                for round in 0..rounds {
+                    os.with_data_mut(comm.proc(), mine, |d| {
+                        for (j, b) in d[..len as usize].iter_mut().enumerate() {
+                            *b = pattern(round, j).wrapping_add(me as u8 * 17);
+                        }
+                    });
+                    comm.allgather_in(&g, mine, 0, len, all, 0);
+                    if let Some(gr) = g.group_rank(me) {
+                        os.with_data(comm.proc(), all, |d| {
+                            for (q, &wr) in g.world_ranks().iter().enumerate() {
+                                let lo = q * len as usize;
+                                assert!(
+                                    d[lo..lo + len as usize].iter().enumerate().all(|(j, &b)| b
+                                        == pattern(round, j).wrapping_add(wr as u8 * 17)),
+                                    "round {round} rank {me} block {q} corrupt (plan {plan:?})"
+                                );
+                            }
+                            if round == rounds - 1 {
+                                collected.lock()[gr] = d[..gn * len as usize].to_vec();
+                            }
+                        });
+                    }
+                }
+            });
+            assert_eq!(os.knem_live_cookies(), 0, "coll chaos: cookie leak");
+            assert_eq!(os.knem_pinned_pages(), 0, "coll chaos: pin leak");
+            assert_eq!(os.cma_live_windows(), 0, "coll chaos: window leak");
+            Arc::try_unwrap(results).expect("sim done").into_inner()
+        };
+
+    let clean = run(None);
+    let faulted = run(Some("rail-fail:rail=knem,times=1;drop-done:count=2"));
+    assert_eq!(
+        clean, faulted,
+        "faulted subgroup allgather must match its fault-free twin"
+    );
+    assert!(clean.iter().all(|r| !r.is_empty()));
+}
+
 /// Four ranks in a ring under a combined plan: a mid-ring rank stalls
 /// while control packets are dropped and duplicated. Every rank must
 /// still receive its neighbour's payload intact, every round.

@@ -1,0 +1,428 @@
+//! Collective-parity suite: every collective runs over {the universe
+//! group, a scrambled proper subgroup, a singleton} × {1 byte, exactly
+//! `eager_max`, `eager_max`+1, 1 MiB} payloads × {fixed, alternate,
+//! learned} algorithm selection, on BOTH stacks (simulated and
+//! real-thread), and every byte is checked against a scalar reference.
+//! This is the collective analogue of `backend_parity.rs`: an algorithm
+//! arm that passes this matrix can be picked by the bandit without
+//! protocol changes, and a group-translated collective that passes it
+//! cannot leak traffic outside its group.
+
+use std::sync::Arc;
+
+use nemesis::core::datatype::{load_raw, store_raw};
+use nemesis::core::{CollAlgSelect, CommGroup, Nemesis, NemesisConfig, ReduceOp};
+use nemesis::kernel::Os;
+use nemesis::rt::coll as rtcoll;
+use nemesis::rt::{run_rt_cfg, RtCollAlg, RtConfig, RtGroup, RtLmt};
+use nemesis::sim::{run_simulation, Machine, MachineConfig};
+
+/// Universe size on both stacks.
+const UNIVERSE: usize = 4;
+
+/// The byte every (rank, index) cell must carry.
+fn pat(r: usize, i: usize) -> u8 {
+    (i as u8)
+        .wrapping_mul(37)
+        .wrapping_add(11)
+        .wrapping_add(r as u8 * 13)
+}
+
+/// Constant fill for an alltoall block src → dst (world ranks).
+fn a2a(src: usize, dst: usize) -> u8 {
+    (src * 11 + dst * 3 + 5) as u8
+}
+
+/// Exact u64 lane contributed by world rank `r` at index `i`.
+fn lane(r: usize, i: usize) -> u64 {
+    (r as u64 + 1) * 1_000_003 + i as u64 * 7
+}
+
+const ALGS: [CollAlgSelect; 3] = [
+    CollAlgSelect::Fixed,
+    CollAlgSelect::Alternate,
+    CollAlgSelect::Learned,
+];
+
+/// Drive the whole collective matrix for one (group, algorithm) cell on
+/// the simulated stack. Non-members attach too and call every
+/// operation — the documented no-op path — so leakage outside the
+/// group would be caught by their untouched buffers.
+fn sim_case(alg: CollAlgSelect, members: &[usize]) {
+    let cfg = NemesisConfig {
+        coll_alg: alg,
+        ..NemesisConfig::default()
+    };
+    let eager = cfg.eager_max;
+    let sizes = [1u64, eager, eager + 1, 1 << 20];
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, UNIVERSE, cfg);
+    let placements: Vec<usize> = (0..UNIVERSE).collect();
+    let members = members.to_vec();
+    run_simulation(machine, &placements, move |p| {
+        let comm = nem.attach(p);
+        let os = comm.os();
+        let me = comm.rank();
+        let g = CommGroup::new(&members);
+        let gn = g.size();
+        let wr_of = g.world_ranks();
+        let member = g.contains(me);
+        let max = 1u64 << 20;
+        let buf = os.alloc(me, max);
+        let sbuf = os.alloc(me, max * gn as u64);
+        let rbuf = os.alloc(me, max * gn as u64);
+        for &len in &sizes {
+            let tail = format!("{alg:?} members {members:?} len {len}");
+            // ---- bcast from the last group rank ----
+            let root = gn - 1;
+            os.with_data_mut(comm.proc(), buf, |d| {
+                if g.group_rank(me) == Some(root) {
+                    for (i, b) in d[..len as usize].iter_mut().enumerate() {
+                        *b = pat(wr_of[root], i);
+                    }
+                } else {
+                    d[..len as usize].fill(0);
+                }
+            });
+            comm.bcast_in(&g, root, buf, 0, len);
+            os.with_data(comm.proc(), buf, |d| {
+                if member {
+                    assert!(
+                        d[..len as usize]
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &x)| x == pat(wr_of[root], i)),
+                        "bcast corrupt on rank {me}: {tail}"
+                    );
+                } else {
+                    assert!(
+                        d[..len as usize].iter().all(|&x| x == 0),
+                        "bcast leaked into non-member {me}: {tail}"
+                    );
+                }
+            });
+            comm.barrier_in(&g);
+
+            // ---- reduce + allreduce (exact u64 lanes) ----
+            let n_elems = (len / 8).max(1) as usize;
+            let vals: Vec<u64> = (0..n_elems).map(|i| lane(me, i)).collect();
+            store_raw(os, comm.proc(), sbuf, 0, &vals);
+            let rroot = 0;
+            comm.reduce_u64_in(&g, rroot, sbuf, 0, rbuf, 0, n_elems, ReduceOp::Sum);
+            if g.group_rank(me) == Some(rroot) {
+                let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, n_elems);
+                for (i, &v) in got.iter().enumerate() {
+                    let expect: u64 = wr_of.iter().map(|&r| lane(r, i)).sum();
+                    assert_eq!(v, expect, "reduce lane {i}: {tail}");
+                }
+            }
+            comm.allreduce_u64_in(&g, sbuf, 0, rbuf, 0, n_elems, ReduceOp::Sum);
+            if member {
+                let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, n_elems);
+                for (i, &v) in got.iter().enumerate() {
+                    let expect: u64 = wr_of.iter().map(|&r| lane(r, i)).sum();
+                    assert_eq!(v, expect, "allreduce lane {i} rank {me}: {tail}");
+                }
+            }
+
+            // ---- gather / scatter round trip ----
+            os.with_data_mut(comm.proc(), buf, |d| d[..len as usize].fill(me as u8 + 1));
+            comm.gather_in(&g, 0, buf, 0, len, rbuf, 0);
+            if g.group_rank(me) == Some(0) {
+                os.with_data(comm.proc(), rbuf, |d| {
+                    for (q, &wr) in wr_of.iter().enumerate() {
+                        let lo = q * len as usize;
+                        assert!(
+                            d[lo..lo + len as usize].iter().all(|&x| x == wr as u8 + 1),
+                            "gather block {q}: {tail}"
+                        );
+                    }
+                });
+            }
+            comm.scatter_in(&g, 0, rbuf, 0, len, buf, 0);
+            if member {
+                os.with_data(comm.proc(), buf, |d| {
+                    assert!(
+                        d[..len as usize].iter().all(|&x| x == me as u8 + 1),
+                        "scatter rank {me}: {tail}"
+                    );
+                });
+            }
+
+            // ---- allgather ----
+            os.with_data_mut(comm.proc(), buf, |d| {
+                for (i, b) in d[..len as usize].iter_mut().enumerate() {
+                    *b = pat(me, i);
+                }
+            });
+            os.with_data_mut(comm.proc(), rbuf, |d| {
+                d[..gn * len as usize].fill(0xEE);
+            });
+            comm.allgather_in(&g, buf, 0, len, rbuf, 0);
+            if member {
+                os.with_data(comm.proc(), rbuf, |d| {
+                    for (q, &wr) in wr_of.iter().enumerate() {
+                        let lo = q * len as usize;
+                        assert!(
+                            d[lo..lo + len as usize]
+                                .iter()
+                                .enumerate()
+                                .all(|(i, &x)| x == pat(wr, i)),
+                            "allgather rank {me} block {q}: {tail}"
+                        );
+                    }
+                });
+            }
+
+            // ---- alltoall ----
+            os.with_data_mut(comm.proc(), sbuf, |d| {
+                for (q, &wr) in wr_of.iter().enumerate() {
+                    let lo = q * len as usize;
+                    d[lo..lo + len as usize].fill(a2a(me, wr));
+                }
+            });
+            os.with_data_mut(comm.proc(), rbuf, |d| {
+                d[..gn * len as usize].fill(0xEE);
+            });
+            comm.alltoall_in(&g, sbuf, 0, len, rbuf, 0);
+            if member {
+                os.with_data(comm.proc(), rbuf, |d| {
+                    for (q, &wr) in wr_of.iter().enumerate() {
+                        let lo = q * len as usize;
+                        assert!(
+                            d[lo..lo + len as usize].iter().all(|&x| x == a2a(wr, me)),
+                            "alltoall rank {me} block {q}: {tail}"
+                        );
+                    }
+                });
+            }
+
+            // ---- scan (inclusive prefix over group ranks) ----
+            let scan_elems = (n_elems).min(64);
+            let svals: Vec<u64> = (0..scan_elems).map(|i| lane(me, i)).collect();
+            store_raw(os, comm.proc(), sbuf, 0, &svals);
+            comm.scan_u64_in(&g, sbuf, 0, rbuf, 0, scan_elems, ReduceOp::Sum);
+            if let Some(gr) = g.group_rank(me) {
+                let got: Vec<u64> = load_raw(os, comm.proc(), rbuf, 0, scan_elems);
+                for (i, &v) in got.iter().enumerate() {
+                    let expect: u64 = (0..=gr).map(|q| lane(wr_of[q], i)).sum();
+                    assert_eq!(v, expect, "scan lane {i} rank {me}: {tail}");
+                }
+            }
+            comm.barrier_in(&g);
+        }
+
+        // ---- alltoallv, once per cell at deliberately uneven lengths ----
+        let vlen = |src: usize, dst: usize| ((src + dst) % 3) as u64 * 4096 + 16;
+        let lens: Vec<u64> = wr_of.iter().map(|&wr| vlen(me, wr)).collect();
+        let offs: Vec<u64> = lens
+            .iter()
+            .scan(0u64, |acc, &l| {
+                let o = *acc;
+                *acc += l;
+                Some(o)
+            })
+            .collect();
+        os.with_data_mut(comm.proc(), sbuf, |d| {
+            for (q, &wr) in wr_of.iter().enumerate() {
+                let lo = offs[q] as usize;
+                d[lo..lo + lens[q] as usize].fill(a2a(me, wr));
+            }
+        });
+        os.with_data_mut(comm.proc(), rbuf, |d| {
+            d[..lens.iter().sum::<u64>() as usize].fill(0xEE);
+        });
+        comm.alltoallv_in(&g, sbuf, &offs, &lens, rbuf, &offs, &lens);
+        if member {
+            os.with_data(comm.proc(), rbuf, |d| {
+                for (q, &wr) in wr_of.iter().enumerate() {
+                    let lo = offs[q] as usize;
+                    assert!(
+                        d[lo..lo + lens[q] as usize]
+                            .iter()
+                            .all(|&x| x == a2a(wr, me)),
+                        "alltoallv rank {me} block {q}: {alg:?} members {members:?}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn sim_universe_group_matrix() {
+    for alg in ALGS {
+        sim_case(alg, &[0, 1, 2, 3]);
+    }
+}
+
+#[test]
+fn sim_proper_subgroup_matrix() {
+    // Scrambled member order: world 3 is group rank 0.
+    for alg in ALGS {
+        sim_case(alg, &[3, 1, 0]);
+    }
+}
+
+#[test]
+fn sim_singleton_group_matrix() {
+    for alg in ALGS {
+        sim_case(alg, &[2]);
+    }
+}
+
+/// The same matrix on the real-thread stack.
+fn rt_case(alg: RtCollAlg, members: &[usize]) {
+    let cfg = RtConfig {
+        coll_alg: alg,
+        ..RtConfig::default()
+    };
+    let eager = nemesis::rt::comm::EAGER_MAX;
+    let sizes = [1usize, eager, eager + 1, 1 << 20];
+    let members: Vec<usize> = members.to_vec();
+    run_rt_cfg(UNIVERSE, RtLmt::Direct, cfg, move |comm| {
+        let me = comm.rank();
+        let g = RtGroup::new(&members);
+        let gn = g.size();
+        let wr_of = g.world_ranks();
+        let member = g.contains(me);
+        for &len in &sizes {
+            let tail = format!("{alg:?} members {members:?} len {len}");
+            // ---- bcast from the last group rank ----
+            let root = gn - 1;
+            let mut data = vec![0u8; len];
+            if g.group_rank(me) == Some(root) {
+                for (i, b) in data.iter_mut().enumerate() {
+                    *b = pat(wr_of[root], i);
+                }
+            }
+            rtcoll::bcast_in(comm, &g, root, &mut data);
+            if member {
+                assert!(
+                    data.iter()
+                        .enumerate()
+                        .all(|(i, &x)| x == pat(wr_of[root], i)),
+                    "bcast corrupt on rank {me}: {tail}"
+                );
+            } else {
+                assert!(
+                    data.iter().all(|&x| x == 0),
+                    "bcast leaked into non-member {me}: {tail}"
+                );
+            }
+            rtcoll::barrier_in(comm, &g);
+
+            // ---- reduce + allreduce (exact u64 lanes) ----
+            let n_elems = (len / 8).max(1);
+            let mine: Vec<u8> = (0..n_elems)
+                .flat_map(|i| lane(me, i).to_le_bytes())
+                .collect();
+            let mut acc = mine.clone();
+            rtcoll::reduce_in(comm, &g, 0, &mut acc, &rtcoll::SumU64);
+            if g.group_rank(me) == Some(0) {
+                for (i, chunk) in acc.chunks_exact(8).enumerate() {
+                    let v = u64::from_le_bytes(chunk.try_into().unwrap());
+                    let expect: u64 = wr_of.iter().map(|&r| lane(r, i)).sum();
+                    assert_eq!(v, expect, "reduce lane {i}: {tail}");
+                }
+            }
+            let mut acc = mine.clone();
+            rtcoll::allreduce_in(comm, &g, &mut acc, &rtcoll::SumU64);
+            if member {
+                for (i, chunk) in acc.chunks_exact(8).enumerate() {
+                    let v = u64::from_le_bytes(chunk.try_into().unwrap());
+                    let expect: u64 = wr_of.iter().map(|&r| lane(r, i)).sum();
+                    assert_eq!(v, expect, "allreduce lane {i} rank {me}: {tail}");
+                }
+            }
+
+            // ---- gather / scatter round trip ----
+            let mine = vec![me as u8 + 1; len];
+            let mut all = vec![0u8; gn * len];
+            if g.group_rank(me) == Some(0) {
+                rtcoll::gather_in(comm, &g, 0, &mine, Some(&mut all));
+                for (q, &wr) in wr_of.iter().enumerate() {
+                    assert!(
+                        all[q * len..(q + 1) * len]
+                            .iter()
+                            .all(|&x| x == wr as u8 + 1),
+                        "gather block {q}: {tail}"
+                    );
+                }
+            } else {
+                rtcoll::gather_in(comm, &g, 0, &mine, None);
+            }
+            let mut back = vec![0u8; len];
+            if g.group_rank(me) == Some(0) {
+                rtcoll::scatter_in(comm, &g, 0, Some(&all), &mut back);
+            } else {
+                rtcoll::scatter_in(comm, &g, 0, None, &mut back);
+            }
+            if member {
+                assert!(
+                    back.iter().all(|&x| x == me as u8 + 1),
+                    "scatter rank {me}: {tail}"
+                );
+            }
+
+            // ---- allgather ----
+            let mine: Vec<u8> = (0..len).map(|i| pat(me, i)).collect();
+            let mut all = vec![0xEEu8; gn * len];
+            rtcoll::allgather_in(comm, &g, &mine, &mut all);
+            if member {
+                for (q, &wr) in wr_of.iter().enumerate() {
+                    assert!(
+                        all[q * len..(q + 1) * len]
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &x)| x == pat(wr, i)),
+                        "allgather rank {me} block {q}: {tail}"
+                    );
+                }
+            }
+
+            // ---- alltoall ----
+            let mut send = vec![0u8; gn * len];
+            for (q, &wr) in wr_of.iter().enumerate() {
+                send[q * len..(q + 1) * len].fill(a2a(me, wr));
+            }
+            let mut recv = vec![0xEEu8; gn * len];
+            rtcoll::alltoall_in(comm, &g, &send, &mut recv, len);
+            if member {
+                for (q, &wr) in wr_of.iter().enumerate() {
+                    assert!(
+                        recv[q * len..(q + 1) * len]
+                            .iter()
+                            .all(|&x| x == a2a(wr, me)),
+                        "alltoall rank {me} block {q}: {tail}"
+                    );
+                }
+            }
+            rtcoll::barrier_in(comm, &g);
+        }
+    });
+}
+
+const RT_ALGS: [RtCollAlg; 3] = [RtCollAlg::Fixed, RtCollAlg::Alternate, RtCollAlg::Learned];
+
+#[test]
+fn rt_universe_group_matrix() {
+    for alg in RT_ALGS {
+        rt_case(alg, &[0, 1, 2, 3]);
+    }
+}
+
+#[test]
+fn rt_proper_subgroup_matrix() {
+    for alg in RT_ALGS {
+        rt_case(alg, &[3, 1, 0]);
+    }
+}
+
+#[test]
+fn rt_singleton_group_matrix() {
+    for alg in RT_ALGS {
+        rt_case(alg, &[2]);
+    }
+}

@@ -119,6 +119,53 @@ fn explicit_snapshot_string_beats_file() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The linear fan-in/fan-out through rank 0 that `replay_on` used to
+/// sync a subset of a larger universe, and the real subgroup barrier
+/// that replaced it, must agree on `Comm::polls()` ordering semantics:
+/// each sync strictly advances every active rank's poll counter (the
+/// progress engine ran), and the counter is monotone across
+/// consecutive syncs of either flavor.
+#[test]
+fn subgroup_barrier_matches_fanin_fanout_poll_semantics() {
+    use nemesis::core::CommGroup;
+    let active = 4usize;
+    let machine = Arc::new(Machine::new(MachineConfig::xeon_e5345()));
+    let os = Arc::new(Os::new(Arc::clone(&machine)));
+    let nem = Nemesis::new(os, 64, learned_cfg());
+    let placements: Vec<usize> = (0..active).collect();
+    run_simulation(machine, &placements, |p| {
+        let comm = nem.attach(p);
+        let os = comm.os();
+        let me = comm.rank();
+        let sync_buf = os.alloc_local(p, 1);
+        let group = CommGroup::new(&(0..active).collect::<Vec<_>>());
+        let p0 = comm.polls();
+        // The retired workaround, replicated verbatim: 1-byte eager
+        // fan-in to rank 0, fan-out back, in the negative tag range.
+        let tag = i32::MIN / 2 + 1;
+        if me == 0 {
+            for r in 1..active {
+                comm.recv(Some(r), Some(tag), sync_buf, 0, 1);
+            }
+            for r in 1..active {
+                comm.send(r, tag, sync_buf, 0, 1);
+            }
+        } else {
+            comm.send(0, tag, sync_buf, 0, 1);
+            comm.recv(Some(0), Some(tag), sync_buf, 0, 1);
+        }
+        let p1 = comm.polls();
+        assert!(p1 > p0, "fan-in/fan-out must drive the progress engine");
+        // The replacement: a dissemination barrier over the subgroup.
+        comm.barrier_in(&group);
+        let p2 = comm.polls();
+        assert!(p2 > p1, "subgroup barrier must drive the progress engine");
+        // And the two compose: another round of each stays monotone.
+        comm.barrier_in(&group);
+        assert!(comm.polls() > p2);
+    });
+}
+
 /// A 256-rank universe with 8 active ranks must complete a bursty
 /// replay and keep tuner residency at touched pairs, not ranks².
 #[test]
