@@ -3,10 +3,10 @@
 //! trajectory can be tracked against across PRs.
 //!
 //! ```text
-//! report [--out PATH] [--quick] [--scaling-only] [--faults-only] [--copy-only] [--coll-only]
+//! report [--out PATH] [--quick] [--scaling-only] [--faults-only] [--copy-only] [--coll-only] [--serve-only]
 //! ```
 //!
-//! * `--out PATH` — where to write the JSON (default `BENCH_9.json`).
+//! * `--out PATH` — where to write the JSON (default `BENCH_10.json`).
 //! * `--quick` — CI smoke mode: tiny repetition counts, same shape.
 //! * `--scaling-only` — emit only the `rank_scaling` section (the
 //!   seconds-scale CI lane for the scale-out acceptance bar).
@@ -16,6 +16,8 @@
 //!   seconds-scale CI lane for the raw-copy acceptance bars).
 //! * `--coll-only` — emit only the `collective_bandwidth` section (the
 //!   seconds-scale CI lane for the learned-collective acceptance bars).
+//! * `--serve-only` — emit only the `serving_tail` section (the
+//!   seconds-scale CI lane for the request/response tail-latency bars).
 //!
 //! Every report carries a `machine` header (host LLC size and core
 //! count, plus each simulated part's NUMA node count, cache sizes and
@@ -79,6 +81,13 @@
 //!   1 MiB (bar: ≥ 1.05×); simulated striped scaling on the
 //!   two-DMA-channel Nehalem part (bar: striped-3 ≥ 1.1× striped-2);
 //!   and the rt striped rails under the available-parallelism cap.
+//! * `serving_tail` — what a *user* of the stack feels: the serving
+//!   facade (`nemesis-serve`) replays open-loop MMPP traffic against
+//!   worker ranks across an offered-load sweep, reporting p50/p99/p999
+//!   enqueue→response latency, the achieved-vs-offered saturation curve
+//!   with its knee, and a degraded-mode cell (one worker stalled via
+//!   `NEMESIS_FAULT_PLAN`; bar: p99 at 50% of knee load ≤ 3× the
+//!   fault-free p99).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -92,6 +101,7 @@ use nemesis_kernel::Os;
 use nemesis_rt::{
     run_rt, run_rt_cfg, RtChunkScheduleSelect, RtConfig, RtLmt, RtTuner, ALL_RT_LMTS,
 };
+use nemesis_serve::{run_service, ServeConfig, ServeReport};
 use nemesis_sim::topology::Placement;
 use nemesis_sim::{run_simulation, Machine, MachineConfig};
 use nemesis_workloads::imb::pingpong_bench;
@@ -619,6 +629,166 @@ fn emit_collective_bandwidth(json: &mut String, quick: bool, last: bool) {
     let _ = writeln!(json, "  }}{}", if last { "" } else { "," });
 }
 
+/// One serving run at the given per-client MMPP ON-rate. The worker
+/// pool is 3+2 on purpose: this host has one core, so the interesting
+/// contention is scheduling, not parallel copy bandwidth — the sweep's
+/// job is the *shape* of the saturation curve, and sleep-based
+/// synthetic service gives a capacity ceiling independent of how the
+/// kernel timeslices copy loops. Three workers (not two) so the
+/// degraded-mode cell measures the health machine, not arithmetic:
+/// with two, stalling one at half-knee load puts the survivor at
+/// ~100% utilization and the queue it grows — not detection latency —
+/// sets the degraded tail.
+fn serve_run(rate_on: f64, steps: u32, plan: Option<&str>) -> ServeReport {
+    // 100 µs steps, ON 75% of the time in expectation (p_on/(p_on+p_off)),
+    // so offered ≈ clients · 0.75 · rate_on / 100 µs.
+    let mut cfg = ServeConfig::with_mmpp(3, 2, steps, 100_000, 0.6, 0.2, rate_on, 0xBEEF);
+    // ~60 µs synthetic service (sleep-based: does not burn the core the
+    // clients need) → a capacity knee well inside the sweep range.
+    cfg.service_ns = 60_000;
+    // Detection latency is the degraded-mode tail: a request caught by
+    // a stall eats ~suspect_after before it is struck and re-routed, so
+    // this sits just above the healthy half-knee p99 (~0.7 ms) — tight
+    // enough that a re-route costs ~2× the healthy tail, loose enough
+    // that ordinary jitter does not strike healthy workers.
+    cfg.suspect_after_ns = 1_000_000;
+    cfg.holdoff_ns = 8_000_000;
+    cfg.drain_timeout_ns = 2_000_000_000;
+    cfg.fault_plan = plan.map(|s| FaultPlan::parse(s).expect("valid fault plan"));
+    // Shift every arrival past the worker/client thread-spawn
+    // transient: the first ~2 ms of a run measure scheduler startup,
+    // not the service, and with percentile populations in the low
+    // thousands that transient alone is p99-visible.
+    const WARMUP_NS: u64 = 5_000_000;
+    for a in &mut cfg.arrivals {
+        for t in a.iter_mut() {
+            *t += WARMUP_NS;
+        }
+    }
+    cfg.span_ns += WARMUP_NS;
+    run_service(&cfg)
+}
+
+fn emit_serve_cell(json: &mut String, r: &ServeReport, extra_degraded: bool, indent: &str) {
+    let us = |q: f64| r.hist.percentile(q) as f64 / 1e3;
+    let _ = writeln!(json, "{indent}\"offered_rps\": {:.0},", r.offered_rps());
+    let _ = writeln!(json, "{indent}\"achieved_rps\": {:.0},", r.achieved_rps());
+    let _ = writeln!(json, "{indent}\"offered\": {},", r.offered);
+    let _ = writeln!(json, "{indent}\"completed\": {},", r.completed);
+    let _ = writeln!(json, "{indent}\"shed\": {},", r.shed);
+    if extra_degraded {
+        let _ = writeln!(json, "{indent}\"rerouted\": {},", r.rerouted);
+        let _ = writeln!(json, "{indent}\"quarantines\": {},", r.quarantines);
+        let _ = writeln!(json, "{indent}\"abandoned\": {},", r.abandoned);
+    }
+    let _ = writeln!(json, "{indent}\"p50_us\": {:.1},", us(0.50));
+    let _ = writeln!(json, "{indent}\"p99_us\": {:.1},", us(0.99));
+    let _ = writeln!(json, "{indent}\"p999_us\": {:.1}", us(0.999));
+}
+
+/// The `serving_tail` section: the request/response facade under an
+/// offered-load sweep (open-loop MMPP, 3 workers + 2 clients), the
+/// saturation knee, and the degraded-mode cell — the same traffic at
+/// 50% of the knee load with one worker stalled through the
+/// `NEMESIS_FAULT_PLAN` environment path. The acceptance bars: ≥ 4
+/// sweep points with a knee identified, and degraded p99 ≤ 3× the
+/// fault-free p99 at half-knee load.
+fn emit_serving_tail(json: &mut String, quick: bool, last: bool) {
+    // Full mode runs a 400 ms trace per cell: percentiles over ~3k
+    // requests at the knee instead of ~300 — a p99 over 300 samples is
+    // a 3-sample tail and flaps run-to-run on a one-core host. The
+    // trace length also sets where the degraded-mode stall lands in
+    // the distribution: its blast radius is a fixed handful of
+    // requests (the stall is 10 ms regardless of trace length), so a
+    // long trace keeps it out of p99 and visible in p999 — which is
+    // the story a health machine with ~1 ms detection should tell.
+    let steps = if quick { 150 } else { 4000 };
+    // Doubling offered load per point: ~1.8k → ~58k rps total. The
+    // grid is sized to the *sustained* capacity of the sleep-based
+    // service on a one-core host (timer slack and scheduling make the
+    // effective per-request cost several times the nominal 60 µs):
+    // short traces absorb far more on queue elasticity alone, a
+    // 200 ms trace saturates honestly, so the knee sits mid-grid with
+    // visibly flattened achieved throughput above it.
+    let rates: [f64; 6] = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
+    let _ = writeln!(json, "  \"serving_tail\": {{");
+    let _ = writeln!(json, "    \"workers\": 3,");
+    let _ = writeln!(json, "    \"clients\": 2,");
+    let _ = writeln!(json, "    \"service_us\": 60,");
+    let _ = writeln!(json, "    \"open_loop\": true,");
+    let _ = writeln!(json, "    \"offered_sweep\": [");
+    let mut sweep: Vec<(f64, ServeReport)> = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        eprintln!(
+            "[report] serving tail, sweep point {} of {}…",
+            i + 1,
+            rates.len()
+        );
+        let r = serve_run(rate, steps, None);
+        let _ = writeln!(json, "      {{");
+        emit_serve_cell(json, &r, false, "        ");
+        let comma = if i + 1 < rates.len() { "," } else { "" };
+        let _ = writeln!(json, "      }}{comma}");
+        sweep.push((rate, r));
+    }
+    let _ = writeln!(json, "    ],");
+    // The knee: the highest offered point the service still absorbs —
+    // achieved ≥ 90% of offered with nothing shed or abandoned. Beyond
+    // it the achieved curve flattens while offered keeps climbing.
+    let knee_idx = sweep
+        .iter()
+        .rposition(|(_, r)| r.shed + r.abandoned == 0 && r.achieved_rps() >= 0.90 * r.offered_rps())
+        .unwrap_or(0);
+    let (knee_rate, knee_report) = &sweep[knee_idx];
+    let _ = writeln!(json, "    \"knee\": {{");
+    let _ = writeln!(
+        json,
+        "      \"offered_rps\": {:.0},",
+        knee_report.offered_rps()
+    );
+    let _ = writeln!(
+        json,
+        "      \"achieved_rps\": {:.0}",
+        knee_report.achieved_rps()
+    );
+    let _ = writeln!(json, "    }},");
+    // Degraded mode at 50% of the knee load: worker 0 goes dark for
+    // 10 ms mid-trace, injected through NEMESIS_FAULT_PLAN so the env
+    // path itself is exercised. The health machine must strike it and
+    // re-route; the bar is tail retention, not zero impact. This pair
+    // runs a 5× longer trace than the sweep: at light load p99 is set
+    // by multi-ms scheduler-jitter windows that strike a 400 ms trace
+    // zero or one times — a coin flip between the two cells that can
+    // swing the ratio 0.3×–6× — while a 2 s trace samples many such
+    // windows in *both* cells, making each p99 a stable estimate of
+    // the jitter-inclusive distribution. The stall's own blast radius
+    // is a fixed handful of requests either way.
+    let plan = "stall@10ms:rank=0,for=10ms";
+    let deg_steps = if quick { 150 } else { 5 * steps };
+    eprintln!("[report] serving tail, degraded-mode cell (fault-free twin)…");
+    let free = serve_run(knee_rate * 0.5, deg_steps, None);
+    eprintln!("[report] serving tail, degraded-mode cell (one rank stalled)…");
+    std::env::set_var("NEMESIS_FAULT_PLAN", plan);
+    let degraded = serve_run(knee_rate * 0.5, deg_steps, None);
+    std::env::remove_var("NEMESIS_FAULT_PLAN");
+    let _ = writeln!(json, "    \"degraded_mode\": {{");
+    let _ = writeln!(json, "      \"fault_plan\": {},", quote(plan));
+    let _ = writeln!(json, "      \"fault_free\": {{");
+    emit_serve_cell(json, &free, false, "        ");
+    let _ = writeln!(json, "      }},");
+    let _ = writeln!(json, "      \"one_rank_stalled\": {{");
+    emit_serve_cell(json, &degraded, true, "        ");
+    let _ = writeln!(json, "      }},");
+    let p99_ratio =
+        degraded.hist.percentile(0.99) as f64 / free.hist.percentile(0.99).max(1) as f64;
+    let _ = writeln!(
+        json,
+        "      \"p99_degraded_over_fault_free\": {p99_ratio:.2}"
+    );
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }}{}", if last { "" } else { "," });
+}
+
 /// The newest committed `BENCH_<n>.json` next to the output (excluding
 /// the file being written) — the comparison base for trajectory deltas.
 /// Discovered, never hardcoded: a stale name here silently compared
@@ -913,12 +1083,13 @@ fn emit_rank_scaling(json: &mut String, quick: bool, baseline: &str) {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_9.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut quick = false;
     let mut scaling_only = false;
     let mut faults_only = false;
     let mut copy_only = false;
     let mut coll_only = false;
+    let mut serve_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -928,22 +1099,23 @@ fn main() {
             "--faults-only" => faults_only = true,
             "--copy-only" => copy_only = true,
             "--coll-only" => coll_only = true,
+            "--serve-only" => serve_only = true,
             other => {
                 panic!(
                     "unknown argument {other:?} \
-                     (expected --out/--quick/--scaling-only/--faults-only/--copy-only/--coll-only)"
+                     (expected --out/--quick/--scaling-only/--faults-only/--copy-only/--coll-only/--serve-only)"
                 )
             }
         }
     }
     let baseline = discover_baseline(&out_path);
     // The CI smoke lanes: one section each, bounded to seconds, so the
-    // scale-out, availability, raw-copy and collective acceptance bars
-    // are checked on every push without paying for the wall-clock
-    // bandwidth sections.
-    if scaling_only || faults_only || copy_only || coll_only {
+    // scale-out, availability, raw-copy, collective and serving-tail
+    // acceptance bars are checked on every push without paying for the
+    // wall-clock bandwidth sections.
+    if scaling_only || faults_only || copy_only || coll_only || serve_only {
         let mut json = String::from("{\n");
-        let _ = writeln!(json, "  \"issue\": 9,");
+        let _ = writeln!(json, "  \"issue\": 10,");
         let _ = writeln!(json, "  \"quick\": {quick},");
         let _ = writeln!(json, "  \"compared_against\": {},", quote(&baseline));
         emit_machine_header(&mut json);
@@ -953,6 +1125,8 @@ fn main() {
             emit_copy_frontier(&mut json, quick, true);
         } else if coll_only {
             emit_collective_bandwidth(&mut json, quick, true);
+        } else if serve_only {
+            emit_serving_tail(&mut json, quick, true);
         } else {
             emit_rank_scaling(&mut json, quick, &baseline);
         }
@@ -979,7 +1153,7 @@ fn main() {
     };
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"issue\": 9,");
+    let _ = writeln!(json, "  \"issue\": 10,");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"compared_against\": {},", quote(&baseline));
     emit_machine_header(&mut json);
@@ -1334,6 +1508,7 @@ fn main() {
     emit_collective_bandwidth(&mut json, quick, false);
     emit_copy_frontier(&mut json, quick, false);
     emit_fault_recovery(&mut json, quick, false);
+    emit_serving_tail(&mut json, quick, false);
     emit_rank_scaling(&mut json, quick, &baseline);
     json.push_str("}\n");
 

@@ -200,15 +200,25 @@ fn compose_rails(comm: &Comm<'_>, src: usize, dst: usize, want: usize) -> Vec<Ra
 /// blended per-mechanism cell (offload for the DMA rail, copy for CPU
 /// rails) while its kind is unsampled. The anchor takes the remainder,
 /// so it can only be empty when `len` is.
+///
+/// Once every rail is weighted, a learned trim may zero-weight a
+/// non-anchor CPU rail whose measured EWMA drags the completion
+/// estimate below what the remaining rails achieve alone (see the
+/// inline derivation) — zero-span rails are dropped from the wire, so
+/// the receiver needs no extra agreement.
 fn split_spans(comm: &Comm<'_>, src: usize, dst: usize, kinds: &[RailKind], len: u64) -> Vec<u64> {
     let policy = &comm.nem().policy;
     let (copy_bw, offload_bw) = policy.pair_bandwidths(src, dst);
+    let own: Vec<f64> = kinds
+        .iter()
+        .map(|&k| policy.rail_bandwidth(src, dst, k))
+        .collect();
     let raw: Vec<f64> = kinds
         .iter()
-        .map(|&k| {
-            let own = policy.rail_bandwidth(src, dst, k);
-            if own > 0.0 {
-                own
+        .zip(&own)
+        .map(|(&k, &own_bw)| {
+            if own_bw > 0.0 {
+                own_bw
             } else if k.is_ioat() {
                 offload_bw
             } else {
@@ -217,11 +227,40 @@ fn split_spans(comm: &Comm<'_>, src: usize, dst: usize, kinds: &[RailKind], len:
         })
         .collect();
     let weighted = raw.iter().all(|&w| w > 0.0);
-    let weights: Vec<f64> = if weighted {
+    let mut weights: Vec<f64> = if weighted {
         raw
     } else {
         vec![1.0; kinds.len()]
     };
+    if weighted {
+        // Learned rail trim. CPU rails (the CMA anchor, vmsplice, shm)
+        // all execute on the two process timelines and therefore
+        // *serialize*, while I/OAT rails overlap with everything.
+        // Under bandwidth-proportional spans every rail finishes in
+        // len/Σw, so the stripe completes in ~n_cpu·len/Σw; dropping a
+        // non-anchor CPU rail i shortens that iff n_cpu·w_i < Σw. A
+        // rail is only droppable once its *own* per-kind EWMA has been
+        // observed — a blended guess must not evict a rail the tuner
+        // has never measured. This is what un-collapses striped-4 on
+        // the x5550: the 4th rail is vmsplice, a CPU copy contending
+        // with the anchor, and its measured weight never justifies the
+        // serial time it adds next to two overlapped DMA channels.
+        loop {
+            let kept: Vec<usize> = (0..kinds.len()).filter(|&i| weights[i] > 0.0).collect();
+            let total: f64 = kept.iter().map(|&i| weights[i]).sum();
+            let n_cpu = kept.iter().filter(|&&i| !kinds[i].is_ioat()).count() as f64;
+            let victim = kept
+                .iter()
+                .copied()
+                .filter(|&i| i > 0 && !kinds[i].is_ioat() && own[i] > 0.0)
+                .filter(|&i| n_cpu * weights[i] < total)
+                .min_by(|&a, &b| weights[a].total_cmp(&weights[b]));
+            match victim {
+                Some(i) => weights[i] = 0.0,
+                None => break,
+            }
+        }
+    }
     let total_w: f64 = weights.iter().sum();
     let mut spans = vec![0u64; kinds.len()];
     let mut assigned = 0u64;

@@ -231,8 +231,13 @@ impl ShmSegment {
         let doorbell_buf = (0..nprocs)
             .map(|_| os.alloc_shared(doorbell_words as u64 * 64))
             .collect();
+        // The cell slab is the eager hot path: every pooled-cell copy
+        // (and any CMA/KNEM walk over it) pays per-page charges, so
+        // back it with 2 MiB pages like the large-message windows —
+        // the control/doorbell lines stay 4 KiB-paged (they are
+        // charged per 64 B line, never per page).
         let cell_pool = (0..nprocs)
-            .map(|_| os.alloc_shared(cfg.cells_per_proc as u64 * cfg.cell_payload))
+            .map(|_| os.alloc_shared_huge(cfg.cells_per_proc as u64 * cfg.cell_payload))
             .collect();
         let state = ShmState {
             queues: (0..nprocs).map(|_| VecDeque::new()).collect(),
@@ -446,6 +451,12 @@ mod tests {
             cfg.cells_per_proc as u64 * cfg.cell_payload
         );
         assert_eq!(seg.cell_off(3), 3 * cfg.cell_payload);
+        // The eager cell slab is huge-page-backed (CMA/KNEM walks over
+        // it pay 2 MiB-granularity page charges, like the large-message
+        // windows); the 64 B-line-charged control structures stay on
+        // ordinary pages.
+        assert_eq!(os.page_size(seg.cell_pool[0]), 2 << 20);
+        assert_eq!(os.page_size(seg.queue_ctrl[0]), 4 << 10);
     }
 
     #[test]

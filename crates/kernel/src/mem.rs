@@ -186,6 +186,16 @@ impl Os {
         self.alloc(SHARED_OWNER, len)
     }
 
+    /// Allocate a shared buffer backed by 2 MiB huge pages (the
+    /// `shm_open` + `MAP_HUGETLB` analogue). Accesses through it pay
+    /// per-page charges at the huge-page granularity, so a CMA/KNEM
+    /// walk over the eager cell slab costs 512× fewer page units.
+    pub fn alloc_shared_huge(&self, len: u64) -> BufId {
+        let backing = len.div_ceil(HUGE_PAGE).max(1) * HUGE_PAGE;
+        let phys = self.machine.alloc_phys_on(0, backing);
+        self.register_paged(SHARED_OWNER, phys, len, HUGE_PAGE)
+    }
+
     /// Length of a buffer.
     pub fn len(&self, buf: BufId) -> u64 {
         self.state.lock().buffers[buf].data.len() as u64

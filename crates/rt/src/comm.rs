@@ -234,6 +234,17 @@ impl RtComm {
         self.shared.cfg.tuner.as_ref()
     }
 
+    /// Free cells in the shared eager pool. Exact only while the other
+    /// ranks are quiesced — use for leak checks at known sync points.
+    pub fn free_cells(&self) -> usize {
+        self.shared.cells.free_count()
+    }
+
+    /// Total cells in the shared eager pool.
+    pub fn total_cells(&self) -> usize {
+        self.shared.cfg.cells
+    }
+
     /// How collectives pick their algorithm arm.
     pub fn coll_alg(&self) -> crate::coll::RtCollAlg {
         self.shared.cfg.coll_alg
@@ -349,10 +360,61 @@ impl RtComm {
             .map_err(|QueueFull(_)| QueueFull(()))
     }
 
+    /// Admission batching: non-blocking send of a run of inline-sized
+    /// payloads to `dst`, in order, stopping at the first full queue.
+    /// Returns how many were admitted (`payloads.len()` when the whole
+    /// batch landed). Stopping at the first [`QueueFull`] — instead of
+    /// skipping ahead — is what keeps the admitted stream per-pair
+    /// FIFO: a later payload never overtakes one the queue rejected.
+    /// The serving layer's submit path batches arrivals through this,
+    /// amortizing the doorbell/turnstile traffic of one enqueue across
+    /// a burst.
+    pub fn try_send_batch(&self, dst: usize, tag: i32, payloads: &[&[u8]]) -> usize {
+        for (i, p) in payloads.iter().enumerate() {
+            if self.try_send(dst, tag, p).is_err() {
+                return i;
+            }
+        }
+        payloads.len()
+    }
+
     /// Blocking receive from `src` with `tag` into `dst`; returns the
     /// received length.
     pub fn recv(&mut self, src: Option<usize>, tag: Option<i32>, dst: &mut [u8]) -> usize {
         let pkt = self.match_packet(src, tag);
+        self.deliver(pkt, dst)
+    }
+
+    /// Non-blocking receive: deliver a matching packet if one is
+    /// already buffered or arrives in a single queue drain, else
+    /// `None`. This is the service worker's poll primitive — a worker
+    /// multiplexing requests with health probes cannot park inside
+    /// [`RtComm::recv`]'s backoff loop.
+    pub fn try_recv(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<i32>,
+        dst: &mut [u8],
+    ) -> Option<usize> {
+        if let Some(p) = self.unexpected.take(src, tag) {
+            return Some(self.deliver(p, dst));
+        }
+        let batch = self.shared.cfg.recv_batch.max(1);
+        let mut found: Option<Packet> = None;
+        let unexpected = &mut self.unexpected;
+        self.rx.dequeue_batch(batch, |p| {
+            if found.is_none() && Self::pkt_matches(&p, src, tag) {
+                found = Some(p);
+            } else {
+                unexpected.push(p);
+            }
+        });
+        found.map(|p| self.deliver(p, dst))
+    }
+
+    /// Move one matched packet's payload into `dst` (the shared tail of
+    /// [`RtComm::recv`] and [`RtComm::try_recv`]).
+    fn deliver(&mut self, pkt: Packet, dst: &mut [u8]) -> usize {
         match pkt {
             Packet::Inline { len, data, .. } => {
                 let len = len as usize;
@@ -795,6 +857,76 @@ mod tests {
                 assert!(buf.iter().all(|&b| b == 1));
                 comm.recv(Some(0), Some(7), &mut buf);
                 assert!(buf.iter().all(|&b| b == 2));
+            }
+        });
+    }
+
+    #[test]
+    fn try_send_batch_admits_prefix_in_fifo_order() {
+        // Queue of 4: a 6-payload batch admits exactly the first 4, and
+        // the receiver sees them in submission order.
+        let cfg = RtConfig {
+            queue_capacity: 4,
+            ..RtConfig::default()
+        };
+        run_rt_cfg(2, RtLmt::Direct, cfg, |comm| {
+            if comm.rank() == 0 {
+                let payloads: Vec<Vec<u8>> = (1..=6u8).map(|i| vec![i; 16]).collect();
+                let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+                let admitted = comm.try_send_batch(1, 7, &refs);
+                assert_eq!(admitted, 4, "bounded queue admits the prefix");
+                // Signal the receiver how many to expect (tag 8 rides
+                // after the drain starts, so capacity frees up).
+                comm.send(1, 8, &[admitted as u8]);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let mut buf = [0u8; 16];
+                for expect in 1..=4u8 {
+                    comm.recv(Some(0), Some(7), &mut buf);
+                    assert_eq!(buf[0], expect, "admitted prefix out of order");
+                }
+                let mut n = [0u8; 1];
+                comm.recv(Some(0), Some(8), &mut n);
+                assert_eq!(n[0], 4);
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        run_rt(2, RtLmt::Direct, |comm| {
+            if comm.rank() == 0 {
+                let mut buf = [0u8; 16];
+                // Nothing sent yet: the poll comes back empty.
+                assert_eq!(comm.try_recv(Some(1), Some(3), &mut buf), None);
+                comm.send(1, 1, &[9u8; 8]); // release the peer
+                                            // Now poll until the reply lands.
+                loop {
+                    if let Some(len) = comm.try_recv(Some(1), Some(3), &mut buf) {
+                        assert_eq!(len, 16);
+                        assert!(buf.iter().all(|&b| b == 5));
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                // Tag filtering holds for polls too: a mismatched tag
+                // stays buffered for the blocking path.
+                comm.send(1, 1, &[9u8; 8]);
+                loop {
+                    if comm.try_recv(Some(1), Some(4), &mut buf).is_some() {
+                        panic!("tag 4 never sent");
+                    }
+                    if comm.try_recv(Some(1), Some(5), &mut buf).is_some() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            } else {
+                let mut buf = [0u8; 8];
+                comm.recv(Some(0), Some(1), &mut buf);
+                comm.send(0, 3, &[5u8; 16]);
+                comm.recv(Some(0), Some(1), &mut buf);
+                comm.send(0, 5, &[6u8; 16]);
             }
         });
     }

@@ -210,6 +210,41 @@ impl NtModel {
     }
 }
 
+/// The shared per-socket-pair NT crossover cell. The temporal-vs-NT
+/// break-even is a property of the *memory system between two
+/// sockets* — cache sizes, ring/QPI bandwidth — not of the rank pair
+/// that happens to traverse it, so every pair re-learning it from the
+/// LLC prior is wasted exploration at many ranks. Pairs read this cell
+/// as their prior while their own model is unlearned and donate every
+/// republished verdict back, so the first pair to converge on a socket
+/// pair seeds all later ones. A pair's own published threshold always
+/// overrides the shared cell (a pinned-thread pair may genuinely
+/// differ, e.g. by sharing an L2).
+#[derive(Debug, Default)]
+pub struct SocketNtPrior {
+    /// Latest donated threshold in bytes (0 = no donation yet).
+    nt_min: AtomicUsize,
+    /// Donations folded in (diagnostics).
+    donors: AtomicU64,
+}
+
+impl SocketNtPrior {
+    /// The donated threshold (0 = none yet).
+    pub fn threshold(&self) -> usize {
+        self.nt_min.load(Ordering::Relaxed)
+    }
+
+    /// Donations received (diagnostics).
+    pub fn donors(&self) -> u64 {
+        self.donors.load(Ordering::Relaxed)
+    }
+
+    fn donate(&self, t: usize) {
+        self.nt_min.store(t, Ordering::Relaxed);
+        self.donors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Learned state of one directed rank pair. The chunk target is the
 /// hot-path read; the models behind it update under a small mutex at
 /// recording time only.
@@ -230,10 +265,21 @@ pub struct RtPairTune {
     offload_bw: AtomicU64,
     chunk_model: Mutex<ChunkModel>,
     nt_model: Mutex<NtModel>,
+    /// The socket pair's shared NT cell (None for standalone cells,
+    /// e.g. in unit tests): read as the prior while this pair is
+    /// unlearned, donated into on every republish.
+    socket_nt: Option<Arc<SocketNtPrior>>,
 }
 
 impl RtPairTune {
+    /// A standalone cell with no socket back-pointer (unit tests; real
+    /// cells are built by [`RtTuner::pair`] with the cell installed).
+    #[cfg(test)]
     fn new() -> Self {
+        Self::with_socket_nt(None)
+    }
+
+    fn with_socket_nt(socket_nt: Option<Arc<SocketNtPrior>>) -> Self {
         Self {
             target: AtomicUsize::new(0),
             nt_min: AtomicUsize::new(0),
@@ -243,6 +289,7 @@ impl RtPairTune {
             offload_bw: AtomicU64::new(0),
             chunk_model: Mutex::new(ChunkModel::default()),
             nt_model: Mutex::new(NtModel::default()),
+            socket_nt,
         }
     }
 
@@ -309,14 +356,21 @@ impl RtPairTune {
         let t = self.nt_model.lock().observe(nt, bytes, nanos);
         if t != 0 {
             self.nt_min.store(t, Ordering::Relaxed);
+            if let Some(cell) = &self.socket_nt {
+                cell.donate(t);
+            }
         }
     }
 
-    /// The learned NT threshold in bytes, or `prior` (typically
-    /// [`host_llc_size`]) while nothing is learned.
+    /// The learned NT threshold in bytes. Fallback chain while this
+    /// pair is unlearned: the socket pair's donated verdict first, then
+    /// `prior` (typically [`host_llc_size`]).
     pub fn nt_threshold(&self, prior: usize) -> usize {
         match self.nt_min.load(Ordering::Relaxed) {
-            0 => prior.max(1),
+            0 => match self.socket_nt.as_ref().map_or(0, |c| c.threshold()) {
+                0 => prior.max(1),
+                t => t,
+            },
             t => t,
         }
     }
@@ -659,6 +713,14 @@ impl RtCollModel {
 pub struct RtTuner {
     pairs: RwLock<HashMap<(usize, usize), Arc<RtPairTune>>>,
     coll: Mutex<RtCollModel>,
+    /// Rank → socket placement (unmapped ranks sit on socket 0 — the
+    /// right default for the unpinned single-address-space stack).
+    /// Populate via [`RtTuner::set_rank_socket`] *before* traffic
+    /// materializes pair cells: the socket back-pointer is installed at
+    /// materialization time.
+    sockets: RwLock<HashMap<usize, usize>>,
+    /// Shared NT crossover cells, one per (src socket, dst socket).
+    socket_nt: RwLock<HashMap<(usize, usize), Arc<SocketNtPrior>>>,
 }
 
 impl RtTuner {
@@ -668,7 +730,31 @@ impl RtTuner {
         Arc::new(Self {
             pairs: RwLock::new(HashMap::new()),
             coll: Mutex::new(RtCollModel::default()),
+            sockets: RwLock::new(HashMap::new()),
+            socket_nt: RwLock::new(HashMap::new()),
         })
+    }
+
+    /// Declare `rank`'s socket for the per-socket NT prior cells. Call
+    /// before the rank's pairs see traffic (existing cells keep the
+    /// back-pointer they were built with).
+    pub fn set_rank_socket(&self, rank: usize, socket: usize) {
+        self.sockets.write().insert(rank, socket);
+    }
+
+    /// The declared socket of `rank` (0 when never declared).
+    pub fn socket_of(&self, rank: usize) -> usize {
+        self.sockets.read().get(&rank).copied().unwrap_or(0)
+    }
+
+    /// The shared NT cell for a socket pair, materializing it on first
+    /// touch.
+    pub fn socket_nt_cell(&self, s_src: usize, s_dst: usize) -> Arc<SocketNtPrior> {
+        if let Some(c) = self.socket_nt.read().get(&(s_src, s_dst)) {
+            return Arc::clone(c);
+        }
+        let mut w = self.socket_nt.write();
+        Arc::clone(w.entry((s_src, s_dst)).or_default())
     }
 
     /// Pick the algorithm arm for one collective operation. Call this
@@ -714,10 +800,13 @@ impl RtTuner {
         if let Some(p) = self.pairs.read().get(&(src, dst)) {
             return Arc::clone(p);
         }
+        // Resolve the socket cell before taking the pair write lock
+        // (both maps are leaf locks; never hold two at once).
+        let cell = self.socket_nt_cell(self.socket_of(src), self.socket_of(dst));
         let mut w = self.pairs.write();
         Arc::clone(
             w.entry((src, dst))
-                .or_insert_with(|| Arc::new(RtPairTune::new())),
+                .or_insert_with(|| Arc::new(RtPairTune::with_socket_nt(Some(cell)))),
         )
     }
 
@@ -943,6 +1032,45 @@ mod tests {
             .filter(|_| p.nt_decision(NT_SENTINEL / 2, 1))
             .count();
         assert_eq!(flips, 8, "explore must survive the sentinel");
+    }
+
+    #[test]
+    fn converged_pair_donates_nt_verdict_to_its_socket_cell() {
+        let t = RtTuner::new(8);
+        // Ranks 0..4 on socket 0, 4..8 on socket 1.
+        for r in 0..8 {
+            t.set_rank_socket(r, r / 4);
+        }
+        let llc = 8 << 20;
+        // A fresh cross-socket pair knows nothing: the LLC prior stands.
+        assert_eq!(t.pair(0, 4).nt_threshold(llc), llc);
+        feed_nt(&t.pair(0, 4), 500, 1000, 250);
+        let learned = t.pair(0, 4).nt_min();
+        assert!(learned != 0, "crossover must publish");
+        assert_eq!(t.socket_nt_cell(0, 1).threshold(), learned);
+        assert!(t.socket_nt_cell(0, 1).donors() > 0);
+        // A *different* pair crossing the same socket pair starts from
+        // the donated verdict, not the LLC prior...
+        assert_eq!(t.pair(1, 5).nt_threshold(llc), learned);
+        assert_eq!(t.pair(1, 5).nt_min(), 0, "prior is read, not copied");
+        // ...while pairs on other socket pairs are unaffected.
+        assert_eq!(t.pair(0, 1).nt_threshold(llc), llc);
+        assert_eq!(t.pair(4, 0).nt_threshold(llc), llc);
+    }
+
+    #[test]
+    fn own_learned_nt_threshold_overrides_socket_prior() {
+        let t = RtTuner::new(4);
+        // All ranks on socket 0 (the default map).
+        feed_nt(&t.pair(0, 1), 500, 1000, 250);
+        let donated = t.socket_nt_cell(0, 0).threshold();
+        assert!(donated != 0);
+        // Pair (2,3) converges on a much later crossover (bigger setup
+        // tax); its own verdict must win over the shared cell.
+        feed_nt(&t.pair(2, 3), 500, 64_000, 250);
+        let own = t.pair(2, 3).nt_min();
+        assert!(own != 0 && own != donated);
+        assert_eq!(t.pair(2, 3).nt_threshold(1), own);
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Client-side backend-health tracking: the serving mirror of the
+//! simulated transport's peer-health machine (`nemesis_core::comm`,
+//! PR 7), driven by wall-clock response timeouts instead of missed
+//! retry deadlines. Same state vocabulary, same shape:
+//!
+//! `Healthy → Suspect` on the first timed-out request, `Suspect →
+//! Quarantined` on the second strike, `Quarantined → Probing` once the
+//! holdoff expires (the router then risks a single live request on the
+//! peer), and any response from the worker resets it to `Healthy`.
+//!
+//! Each client tracks health independently — like the sim's machine,
+//! which is per-observer — so a worker that only misbehaves toward one
+//! client is not globally condemned, and no cross-thread health state
+//! contends on the submit path.
+
+/// Health of one worker as seen by one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    Healthy,
+    /// One strike: still routable, but under suspicion.
+    Suspect,
+    /// Two strikes: not routable until the holdoff expires.
+    Quarantined,
+    /// Holdoff expired: one in-flight probe request allowed.
+    Probing,
+}
+
+#[derive(Debug, Clone)]
+struct WorkerHealth {
+    state: WorkerState,
+    /// Wall-clock ns (client epoch) when quarantine was entered.
+    quarantined_at: u64,
+    /// Wall-clock ns (client epoch) of the strike that made it Suspect.
+    suspected_at: u64,
+    /// A probe request is in flight (at most one).
+    probe_inflight: bool,
+}
+
+/// The per-client health table + routing policy over `n` workers.
+#[derive(Debug)]
+pub struct HealthTable {
+    workers: Vec<WorkerHealth>,
+    holdoff_ns: u64,
+    /// Round-robin cursor for routing.
+    cursor: usize,
+    /// Suspect→Quarantined transitions (diagnostics).
+    quarantines: u64,
+}
+
+impl HealthTable {
+    pub fn new(n: usize, holdoff_ns: u64) -> Self {
+        Self {
+            workers: vec![
+                WorkerHealth {
+                    state: WorkerState::Healthy,
+                    quarantined_at: 0,
+                    suspected_at: 0,
+                    probe_inflight: false,
+                };
+                n
+            ],
+            holdoff_ns,
+            cursor: 0,
+            quarantines: 0,
+        }
+    }
+
+    pub fn state(&self, w: usize) -> WorkerState {
+        self.workers[w].state
+    }
+
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// A response arrived from worker `w`: full reinstatement.
+    pub fn on_response(&mut self, w: usize) {
+        self.workers[w].state = WorkerState::Healthy;
+        self.workers[w].probe_inflight = false;
+    }
+
+    /// A request to worker `w` timed out at `now_ns`: advance the
+    /// strike machine.
+    pub fn on_timeout(&mut self, w: usize, now_ns: u64) {
+        let h = &mut self.workers[w];
+        match h.state {
+            WorkerState::Healthy => {
+                h.state = WorkerState::Suspect;
+                h.suspected_at = now_ns;
+            }
+            WorkerState::Suspect | WorkerState::Probing => {
+                h.state = WorkerState::Quarantined;
+                h.quarantined_at = now_ns;
+                h.probe_inflight = false;
+                self.quarantines += 1;
+            }
+            WorkerState::Quarantined => {}
+        }
+    }
+
+    /// A request routed to a probing worker never made it onto the wire
+    /// (shed at admission): give the probe slot back so the next route
+    /// can retry it.
+    pub fn probe_aborted(&mut self, w: usize) {
+        if self.workers[w].state == WorkerState::Probing {
+            self.workers[w].probe_inflight = false;
+        }
+    }
+
+    /// Release expired quarantines into `Probing`, and forgive stale
+    /// single strikes (call once per poll tick; cheap — one pass over
+    /// a handful of workers). Forgiveness matters because the router
+    /// starves a Suspect worker while any Healthy peer exists: without
+    /// decay, a worker struck once by a transient blip would carry no
+    /// traffic — so never answer, so never be reinstated — and the
+    /// fleet would be permanently one worker smaller.
+    pub fn tick(&mut self, now_ns: u64) {
+        for h in &mut self.workers {
+            match h.state {
+                WorkerState::Quarantined
+                    if now_ns.saturating_sub(h.quarantined_at) >= self.holdoff_ns =>
+                {
+                    h.state = WorkerState::Probing;
+                    h.probe_inflight = false;
+                }
+                WorkerState::Suspect
+                    if now_ns.saturating_sub(h.suspected_at) >= self.holdoff_ns =>
+                {
+                    h.state = WorkerState::Healthy;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Pick the worker for the next request: round-robin over routable
+    /// workers, preferring `Healthy` peers, then `Suspect` ones; a
+    /// `Probing` peer is eligible for exactly one in-flight probe.
+    /// When *everything* is quarantined the router degrades to plain
+    /// round-robin over all workers rather than wedging — requests
+    /// must keep moving so responses can rehabilitate someone.
+    pub fn route(&mut self, now_ns: u64) -> usize {
+        self.tick(now_ns);
+        let n = self.workers.len();
+        // Pass 1: a probe-eligible peer gets the next request. This
+        // runs *before* the healthy pass — otherwise a probing worker
+        // would only ever see traffic once every healthy worker was
+        // also dark, and nothing would ever rehabilitate.
+        for k in 0..n {
+            let w = (self.cursor + k) % n;
+            if self.workers[w].state == WorkerState::Probing && !self.workers[w].probe_inflight {
+                self.workers[w].probe_inflight = true;
+                self.cursor = (w + 1) % n;
+                return w;
+            }
+        }
+        // Pass 2: Healthy only. Pass 3: fall back to Suspect. The
+        // split matters for the tail: one strike is already enough
+        // signal to steer *fresh* arrivals elsewhere — folding Suspect
+        // into this pass would keep feeding a stalled worker new
+        // requests (each eating a full timeout) until the second
+        // strike finally quarantined it.
+        for want_suspect in [false, true] {
+            for k in 0..n {
+                let w = (self.cursor + k) % n;
+                let hit = match self.workers[w].state {
+                    WorkerState::Healthy => !want_suspect,
+                    WorkerState::Suspect => want_suspect,
+                    _ => false,
+                };
+                if hit {
+                    self.cursor = (w + 1) % n;
+                    return w;
+                }
+            }
+        }
+        // Pass 4: everyone is dark — keep traffic flowing.
+        let w = self.cursor % n;
+        self.cursor = (w + 1) % n;
+        w
+    }
+
+    /// Pick a worker for *re-routing* a timed-out request: like
+    /// [`HealthTable::route`] but never the worker it just failed on
+    /// (unless it is the only one).
+    pub fn route_away_from(&mut self, avoid: usize, now_ns: u64) -> usize {
+        let n = self.workers.len();
+        if n == 1 {
+            return avoid;
+        }
+        for _ in 0..n {
+            let w = self.route(now_ns);
+            if w != avoid {
+                return w;
+            }
+        }
+        (avoid + 1) % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_strikes_quarantine_then_probe_then_reinstate() {
+        let mut t = HealthTable::new(2, 1000);
+        assert_eq!(t.state(0), WorkerState::Healthy);
+        t.on_timeout(0, 10);
+        assert_eq!(t.state(0), WorkerState::Suspect);
+        t.on_timeout(0, 20);
+        assert_eq!(t.state(0), WorkerState::Quarantined);
+        assert_eq!(t.quarantines(), 1);
+        // While quarantined, the router avoids worker 0 entirely.
+        for _ in 0..8 {
+            assert_eq!(t.route(100), 1);
+        }
+        // Holdoff expiry opens exactly one probe slot.
+        t.tick(20 + 1000);
+        assert_eq!(t.state(0), WorkerState::Probing);
+        let mut saw0 = 0;
+        for _ in 0..8 {
+            if t.route(20 + 1000) == 0 {
+                saw0 += 1;
+            }
+        }
+        assert_eq!(saw0, 1, "exactly one in-flight probe");
+        // The probe answering reinstates the worker.
+        t.on_response(0);
+        assert_eq!(t.state(0), WorkerState::Healthy);
+        let hits0 = (0..8).filter(|_| t.route(3000) == 0).count();
+        assert_eq!(hits0, 4, "healthy workers share round-robin");
+    }
+
+    #[test]
+    fn failed_probe_requarantines() {
+        let mut t = HealthTable::new(2, 1000);
+        t.on_timeout(0, 0);
+        t.on_timeout(0, 0);
+        t.tick(1000);
+        assert_eq!(t.state(0), WorkerState::Probing);
+        t.on_timeout(0, 1500);
+        assert_eq!(t.state(0), WorkerState::Quarantined);
+        assert_eq!(t.quarantines(), 2);
+    }
+
+    #[test]
+    fn all_dark_still_routes() {
+        let mut t = HealthTable::new(2, u64::MAX);
+        for w in 0..2 {
+            t.on_timeout(w, 0);
+            t.on_timeout(w, 0);
+        }
+        // Both quarantined forever: traffic must still flow.
+        let picks: Vec<usize> = (0..4).map(|_| t.route(10)).collect();
+        assert!(picks.contains(&0) && picks.contains(&1));
+    }
+
+    #[test]
+    fn one_strike_diverts_fresh_traffic_while_a_healthy_worker_exists() {
+        let mut t = HealthTable::new(2, 1000);
+        t.on_timeout(0, 10);
+        assert_eq!(t.state(0), WorkerState::Suspect);
+        // Suspect is still routable in principle, but never preferred
+        // over a healthy peer.
+        for _ in 0..8 {
+            assert_eq!(t.route(20), 1);
+        }
+        // With the healthy peer struck too, the suspect pass kicks in
+        // and traffic keeps flowing to both.
+        t.on_timeout(1, 30);
+        let picks: Vec<usize> = (0..4).map(|_| t.route(40)).collect();
+        assert!(picks.contains(&0) && picks.contains(&1));
+    }
+
+    #[test]
+    fn a_single_strike_is_forgiven_after_the_holdoff() {
+        let mut t = HealthTable::new(2, 1000);
+        t.on_timeout(0, 10);
+        assert_eq!(t.state(0), WorkerState::Suspect);
+        // Starved of traffic by the healthy peer, the suspect worker
+        // can never answer its way back — the holdoff must do it.
+        t.tick(10 + 1000);
+        assert_eq!(t.state(0), WorkerState::Healthy);
+        let hits0 = (0..8).filter(|_| t.route(2000) == 0).count();
+        assert_eq!(hits0, 4, "forgiven worker shares round-robin again");
+    }
+
+    #[test]
+    fn reroute_avoids_the_failed_worker() {
+        let mut t = HealthTable::new(3, 1000);
+        for _ in 0..6 {
+            assert_ne!(t.route_away_from(1, 0), 1);
+        }
+    }
+}

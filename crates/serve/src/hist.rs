@@ -1,0 +1,203 @@
+//! HDR-style log-linear latency histogram.
+//!
+//! Fixed-size, allocation-free on the record path: values bucket into
+//! octaves of 16 linear sub-buckets (relative quantization error is
+//! bounded by 1/16 ≈ 6%, uniform across the whole range), so one
+//! `[u64; 976]` array covers 1 ns to `u64::MAX` ns. The client hot loop
+//! records into a thread-local histogram with one shift/mask and one
+//! increment; merging across clients happens once, after the run.
+
+/// Linear sub-buckets per octave (as a power of two).
+const SUB_BITS: usize = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves 0..=60 of 16 sub-buckets each.
+const N_BUCKETS: usize = (64 - SUB_BITS + 1) * SUB;
+
+/// A log-linear histogram of nanosecond latencies.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0u64; N_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        let v = v.max(1);
+        let msb = 63 - v.leading_zeros() as usize;
+        if msb < SUB_BITS {
+            return v as usize;
+        }
+        let octave = msb - SUB_BITS + 1;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (octave << SUB_BITS) | sub
+    }
+
+    /// Lower edge of bucket `i` (every value in the bucket is ≥ this).
+    fn bucket_floor(i: usize) -> u64 {
+        let octave = i >> SUB_BITS;
+        let sub = (i & (SUB - 1)) as u64;
+        if octave == 0 {
+            sub
+        } else {
+            (SUB as u64 + sub) << (octave - 1)
+        }
+    }
+
+    /// Record one latency (clamped to ≥ 1 ns). No allocation, no
+    /// branching beyond the bucket math.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        self.min = self.min.min(nanos.max(1));
+        self.max = self.max.max(nanos);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in ns (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Largest recorded value (exact, not quantized).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in ns, quantized to its bucket's
+    /// lower edge (≤ 6% below the true value). 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_floor(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50_ns", &self.percentile(0.50))
+            .field("p99_ns", &self.percentile(0.99))
+            .field("p999_ns", &self.percentile(0.999))
+            .field("max_ns", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..SUB as u64 {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let want = ((q * (SUB - 1) as f64).ceil() as u64).max(1);
+            assert_eq!(h.percentile(q), want, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_a_known_distribution_within_bucket_error() {
+        let mut h = LatencyHistogram::new();
+        // Deterministic skewed stream: mostly ~10us, a 1% tail at ~5ms.
+        let mut vals: Vec<u64> = Vec::new();
+        for i in 0..10_000u64 {
+            let v = if i % 100 == 99 {
+                5_000_000 + i * 13
+            } else {
+                10_000 + (i * 7) % 3_000
+            };
+            vals.push(v);
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.50, 0.99, 0.999] {
+            let exact = vals[((q * vals.len() as f64).ceil() as usize - 1).min(vals.len() - 1)];
+            let got = h.percentile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err < 1.0 / SUB as f64 + 0.001,
+                "q={q}: histogram {got} vs exact {exact} (err {err:.3})"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let (mut a, mut b, mut whole) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for i in 1..1000u64 {
+            let v = i * i;
+            if i % 2 == 0 { &mut a } else { &mut b }.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -207,6 +207,63 @@ impl Trace {
     }
 }
 
+/// Open-loop arrival timestamps for the serving facade: one client's
+/// request stream from the same two-state MMPP chain as [`Trace::mmpp`],
+/// emitted as absolute *nanosecond arrival times* on a wall-clock axis
+/// instead of trace ops. Each step spans `step_ns`; the Poisson-drawn
+/// messages of an ON step land uniformly (deterministically, from the
+/// same rng stream) inside it. Returned sorted.
+///
+/// The timestamp form is what makes a replay **open-loop**: the client
+/// fires each request at its scheduled arrival whether or not earlier
+/// responses have come back, so queueing delay lands in the measured
+/// enqueue→response latency. A closed-loop replay (issue the next
+/// request only after the previous response) self-throttles exactly
+/// when the system saturates — the offered load silently collapses to
+/// the service rate and the recorded tail stays flat no matter how
+/// overloaded the backend is. Tail-latency numbers from a closed loop
+/// are fabrications; every serving measurement here replays arrivals.
+pub fn mmpp_arrivals_ns(
+    steps: u32,
+    step_ns: u64,
+    p_on: f64,
+    p_off: f64,
+    rate_on: f64,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(step_ns > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut on = false;
+    let mut arrivals = Vec::new();
+    let poisson_floor = (-rate_on).exp();
+    for step in 0..steps {
+        let flip = rng.random::<f64>();
+        if on {
+            if flip < p_off {
+                on = false;
+            }
+        } else if flip < p_on {
+            on = true;
+        }
+        if !on {
+            continue;
+        }
+        // Knuth's Poisson sampler (as in [`Trace::mmpp`]).
+        let mut k = 0u32;
+        let mut acc = rng.random::<f64>();
+        while acc > poisson_floor {
+            k += 1;
+            acc *= rng.random::<f64>();
+        }
+        let base = step as u64 * step_ns;
+        for _ in 0..k {
+            arrivals.push(base + (rng.random::<f64>() * step_ns as f64) as u64);
+        }
+    }
+    arrivals.sort_unstable();
+    arrivals
+}
+
 /// Result of replaying a trace.
 #[derive(Debug, Clone)]
 pub struct TraceResult {
@@ -364,6 +421,35 @@ mod tests {
             (xfers as f64) < 0.8 * expected_uniform,
             "OFF states must suppress traffic: {xfers} transfers"
         );
+    }
+
+    #[test]
+    fn mmpp_arrivals_are_sorted_bursty_and_deterministic() {
+        let a = mmpp_arrivals_ns(400, 100_000, 0.1, 0.3, 2.0, 17);
+        let b = mmpp_arrivals_ns(400, 100_000, 0.1, 0.3, 2.0, 17);
+        assert_eq!(a, b, "same seed, same arrivals");
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals sorted");
+        let span = 400u64 * 100_000;
+        assert!(a.iter().all(|&t| t < span), "arrival outside the trace");
+        // Bursty: OFF stretches suppress traffic well below the all-ON
+        // Poisson volume.
+        assert!(
+            (a.len() as f64) < 0.8 * 400.0 * 2.0,
+            "OFF states must suppress arrivals: {}",
+            a.len()
+        );
+        // And ON stretches cluster arrivals: some step carries several.
+        let busiest = a
+            .iter()
+            .fold(std::collections::HashMap::<u64, u32>::new(), |mut m, &t| {
+                *m.entry(t / 100_000).or_default() += 1;
+                m
+            })
+            .into_values()
+            .max()
+            .unwrap();
+        assert!(busiest >= 2, "no step carried a burst");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub use nemesis_core as core;
 pub use nemesis_kernel as kernel;
 pub use nemesis_rt as rt;
+pub use nemesis_serve as serve;
 pub use nemesis_sim as sim;
 pub use nemesis_workloads as workloads;
 

@@ -15,6 +15,7 @@ use nemesis::core::{LmtSelect, Nemesis, NemesisConfig, ThresholdSelect};
 use nemesis::kernel::Os;
 use nemesis::sim::topology::Placement;
 use nemesis::sim::{run_simulation, Machine, MachineConfig};
+use nemesis::workloads::imb::pingpong_bench;
 
 /// Deterministic xorshift byte stream (seeded property payloads).
 fn pattern(seed: u64, len: usize) -> Vec<u8> {
@@ -145,6 +146,39 @@ fn stripe_reassembly_with_second_dma_channel() {
          (3 rails {} ps vs 2 rails {} ps)",
         makespans[2],
         makespans[1]
+    );
+}
+
+/// The learned rail trim: on the x5550 the 4-rail stripe composes
+/// CMA + both I/OAT channels + vmsplice, and the 4th rail is a CPU
+/// copy serializing with the anchor — historically collapsing
+/// striped-4 to ~0.4× striped-3. Once the per-kind EWMAs converge
+/// (warmup roundtrips under the learned threshold), `split_spans`
+/// must zero-weight the vmsplice rail, so striped-4 performs at least
+/// as well as striped-3.
+#[test]
+fn learned_trim_uncollapses_striped_4_on_x5550() {
+    let bw = |rails: u8| {
+        let cfg = NemesisConfig {
+            threshold: ThresholdSelect::Learned,
+            ..striped(rails)
+        };
+        pingpong_bench(
+            MachineConfig::nehalem_x5550(),
+            cfg,
+            Placement::DifferentSocket,
+            1 << 20,
+            8,
+            6,
+        )
+        .throughput_mib_s
+    };
+    let three = bw(3);
+    let four = bw(4);
+    assert!(
+        four >= three * 0.99,
+        "striped-4 must not trail striped-3 once the trim engages \
+         (4 rails {four:.1} MiB/s vs 3 rails {three:.1} MiB/s)"
     );
 }
 
